@@ -1,0 +1,487 @@
+//! The canonical algebraic amplitude type.
+
+use std::fmt;
+
+use autoq_bigint::BigInt;
+
+/// A plain double-precision complex number, used only for diagnostics and
+/// probability estimates (never for the exact analysis itself).
+///
+/// ```
+/// use autoq_amplitude::Algebraic;
+/// let omega = Algebraic::omega().to_complex();
+/// assert!((omega.re - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+/// assert!((omega.im - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct ComplexF64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl ComplexF64 {
+    /// Squared modulus `re² + im²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Euclidean distance to another complex number.
+    pub fn distance(self, other: ComplexF64) -> f64 {
+        let dr = self.re - other.re;
+        let di = self.im - other.im;
+        (dr * dr + di * di).sqrt()
+    }
+}
+
+/// An exact complex amplitude `(1/√2)^k (a + bω + cω² + dω³)` with
+/// `ω = e^{iπ/4}` (Eq. (3) of the AutoQ paper).
+///
+/// Values are always kept in *canonical form*: `k` is the smallest
+/// exponent for which the coefficients are integers, and zero is represented
+/// as `(0,0,0,0,0)`.  Because the representation of a value is unique,
+/// `Eq`/`Hash` are structural and exact.
+///
+/// # Examples
+///
+/// ```
+/// use autoq_amplitude::Algebraic;
+///
+/// // (1/√2)·(1 + ω²) equals ω  (since ω = (1+i)/√2 and ω² = i):
+/// let lhs = (&Algebraic::one() + &Algebraic::omega_pow(2)).div_sqrt2();
+/// assert_eq!(lhs, Algebraic::omega());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Algebraic {
+    pub(crate) a: BigInt,
+    pub(crate) b: BigInt,
+    pub(crate) c: BigInt,
+    pub(crate) d: BigInt,
+    pub(crate) k: u64,
+}
+
+impl Algebraic {
+    /// The amplitude `0`.
+    pub fn zero() -> Self {
+        Algebraic {
+            a: BigInt::zero(),
+            b: BigInt::zero(),
+            c: BigInt::zero(),
+            d: BigInt::zero(),
+            k: 0,
+        }
+    }
+
+    /// The amplitude `1`.
+    pub fn one() -> Self {
+        Algebraic::from_int(1)
+    }
+
+    /// The amplitude `ω = e^{iπ/4}`.
+    pub fn omega() -> Self {
+        Algebraic::omega_pow(1)
+    }
+
+    /// The amplitude `i = ω²`.
+    pub fn i() -> Self {
+        Algebraic::omega_pow(2)
+    }
+
+    /// The amplitude `1/√2`.
+    ///
+    /// ```
+    /// # use autoq_amplitude::Algebraic;
+    /// let v = Algebraic::one_over_sqrt2();
+    /// assert!((v.to_complex().re - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+    /// ```
+    pub fn one_over_sqrt2() -> Self {
+        Algebraic::one().div_sqrt2()
+    }
+
+    /// The integer amplitude `n`.
+    pub fn from_int(n: i64) -> Self {
+        Algebraic::new(BigInt::from(n), BigInt::zero(), BigInt::zero(), BigInt::zero(), 0)
+    }
+
+    /// Builds an amplitude from small-integer components `(a, b, c, d, k)`.
+    ///
+    /// ```
+    /// # use autoq_amplitude::Algebraic;
+    /// // (1/√2)^2 · 2 = 1
+    /// assert_eq!(Algebraic::from_components(2, 0, 0, 0, 2), Algebraic::one());
+    /// ```
+    pub fn from_components(a: i64, b: i64, c: i64, d: i64, k: u64) -> Self {
+        Algebraic::new(BigInt::from(a), BigInt::from(b), BigInt::from(c), BigInt::from(d), k)
+    }
+
+    /// Builds an amplitude from arbitrary-precision components and
+    /// canonicalises it.
+    pub fn new(a: BigInt, b: BigInt, c: BigInt, d: BigInt, k: u64) -> Self {
+        let mut value = Algebraic { a, b, c, d, k };
+        value.canonicalize();
+        value
+    }
+
+    /// The amplitude `ω^j` (for any `j`, reduced modulo 8).
+    ///
+    /// ```
+    /// # use autoq_amplitude::Algebraic;
+    /// assert_eq!(Algebraic::omega_pow(2), Algebraic::i());
+    /// assert_eq!(Algebraic::omega_pow(6), -&Algebraic::i());
+    /// assert_eq!(Algebraic::omega_pow(-1), Algebraic::omega_pow(7));
+    /// ```
+    pub fn omega_pow(j: i64) -> Self {
+        let mut value = Algebraic::one();
+        let reduced = j.rem_euclid(8) as u64;
+        for _ in 0..reduced {
+            value = value.mul_omega();
+        }
+        value
+    }
+
+    /// Returns `true` if the amplitude is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.a.is_zero() && self.b.is_zero() && self.c.is_zero() && self.d.is_zero()
+    }
+
+    /// Returns the `(a, b, c, d, k)` canonical components as `BigInt`s.
+    pub fn components(&self) -> (&BigInt, &BigInt, &BigInt, &BigInt, u64) {
+        (&self.a, &self.b, &self.c, &self.d, self.k)
+    }
+
+    /// Multiplies by `ω` (a right rotation of the coefficient tuple with a
+    /// sign flip, as described in Section 2.1 of the paper).
+    ///
+    /// ```
+    /// # use autoq_amplitude::Algebraic;
+    /// assert_eq!(Algebraic::one().mul_omega(), Algebraic::omega());
+    /// ```
+    pub fn mul_omega(&self) -> Algebraic {
+        Algebraic {
+            a: -&self.d,
+            b: self.a.clone(),
+            c: self.b.clone(),
+            d: self.c.clone(),
+            k: self.k,
+        }
+    }
+
+    /// Multiplies by `ω^j`.
+    pub fn mul_omega_pow(&self, j: i64) -> Algebraic {
+        let mut value = self.clone();
+        for _ in 0..j.rem_euclid(8) {
+            value = value.mul_omega();
+        }
+        value
+    }
+
+    /// Multiplies by `1/√2` (the paper's `Mult(A, 1/√2)` leaf operation).
+    ///
+    /// ```
+    /// # use autoq_amplitude::Algebraic;
+    /// let half = Algebraic::one().div_sqrt2().div_sqrt2();
+    /// assert_eq!(&half + &half, Algebraic::one());
+    /// ```
+    pub fn div_sqrt2(&self) -> Algebraic {
+        if self.is_zero() {
+            return Algebraic::zero();
+        }
+        Algebraic::new(self.a.clone(), self.b.clone(), self.c.clone(), self.d.clone(), self.k + 1)
+    }
+
+    /// Multiplies by `√2` exactly.
+    ///
+    /// ```
+    /// # use autoq_amplitude::Algebraic;
+    /// assert_eq!(Algebraic::one_over_sqrt2().mul_sqrt2(), Algebraic::one());
+    /// ```
+    pub fn mul_sqrt2(&self) -> Algebraic {
+        if self.k >= 1 {
+            Algebraic::new(self.a.clone(), self.b.clone(), self.c.clone(), self.d.clone(), self.k - 1)
+        } else {
+            let (a, b, c, d) = mul_sqrt2_coeffs(&self.a, &self.b, &self.c, &self.d);
+            Algebraic::new(a, b, c, d, 0)
+        }
+    }
+
+    /// Multiplies by an integer scalar.
+    pub fn scale_int(&self, n: i64) -> Algebraic {
+        let factor = BigInt::from(n);
+        Algebraic::new(&self.a * &factor, &self.b * &factor, &self.c * &factor, &self.d * &factor, self.k)
+    }
+
+    /// Complex conjugate (`ω ↦ ω⁻¹ = −ω³`).
+    ///
+    /// ```
+    /// # use autoq_amplitude::Algebraic;
+    /// let t = Algebraic::omega();
+    /// assert_eq!(&t * &t.conj(), Algebraic::one());
+    /// ```
+    pub fn conj(&self) -> Algebraic {
+        Algebraic::new(self.a.clone(), -&self.d, -&self.c, -&self.b, self.k)
+    }
+
+    /// Converts the exact amplitude to a floating-point complex number.
+    pub fn to_complex(&self) -> ComplexF64 {
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        let a = self.a.to_f64();
+        let b = self.b.to_f64();
+        let c = self.c.to_f64();
+        let d = self.d.to_f64();
+        let re = a + (b - d) * inv_sqrt2;
+        let im = c + (b + d) * inv_sqrt2;
+        let scale = inv_sqrt2.powi(self.k.min(i32::MAX as u64) as i32);
+        ComplexF64 { re: re * scale, im: im * scale }
+    }
+
+    /// Squared modulus as a floating-point number (the measurement
+    /// probability weight of a computational-basis amplitude).
+    ///
+    /// ```
+    /// # use autoq_amplitude::Algebraic;
+    /// assert!((Algebraic::one_over_sqrt2().norm_sqr() - 0.5).abs() < 1e-12);
+    /// ```
+    pub fn norm_sqr(&self) -> f64 {
+        self.to_complex().norm_sqr()
+    }
+
+    /// Canonicalises in place: reduces `k` as far as the coefficients allow
+    /// and normalises zero.
+    fn canonicalize(&mut self) {
+        if self.is_zero() {
+            self.k = 0;
+            return;
+        }
+        // (1/√2)·(a + bω + cω² + dω³) = ((b−d) + (a+c)ω + (b+d)ω² + (c−a)ω³)/2,
+        // which stays integral exactly when a+c and b+d are both even.
+        while self.k >= 1 {
+            let ac = &self.a + &self.c;
+            let bd = &self.b + &self.d;
+            if !(ac.is_even() && bd.is_even()) {
+                break;
+            }
+            let new_a = (&self.b - &self.d).half_exact();
+            let new_b = ac.half_exact();
+            let new_c = bd.half_exact();
+            let new_d = (&self.c - &self.a).half_exact();
+            self.a = new_a;
+            self.b = new_b;
+            self.c = new_c;
+            self.d = new_d;
+            self.k -= 1;
+        }
+    }
+
+    /// Internal: raises the `(1/√2)` exponent to `target_k ≥ self.k` without
+    /// changing the value, returning non-canonical coefficients.
+    pub(crate) fn with_k(&self, target_k: u64) -> (BigInt, BigInt, BigInt, BigInt) {
+        debug_assert!(target_k >= self.k);
+        let mut diff = target_k - self.k;
+        let mut a = self.a.clone();
+        let mut b = self.b.clone();
+        let mut c = self.c.clone();
+        let mut d = self.d.clone();
+        // multiply by 2 for every pair of √2 factors
+        let doublings = (diff / 2) as usize;
+        if doublings > 0 {
+            a = &a << doublings;
+            b = &b << doublings;
+            c = &c << doublings;
+            d = &d << doublings;
+            diff %= 2;
+        }
+        if diff == 1 {
+            let (na, nb, nc, nd) = mul_sqrt2_coeffs(&a, &b, &c, &d);
+            a = na;
+            b = nb;
+            c = nc;
+            d = nd;
+        }
+        (a, b, c, d)
+    }
+}
+
+/// Multiplies the coefficient tuple by `√2 = ω − ω³` in `ℤ[ω]`.
+pub(crate) fn mul_sqrt2_coeffs(
+    a: &BigInt,
+    b: &BigInt,
+    c: &BigInt,
+    d: &BigInt,
+) -> (BigInt, BigInt, BigInt, BigInt) {
+    (b - d, a + c, b + d, c - a)
+}
+
+impl Default for Algebraic {
+    fn default() -> Self {
+        Algebraic::zero()
+    }
+}
+
+impl fmt::Display for Algebraic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut terms = Vec::new();
+        for (coeff, suffix) in [(&self.a, ""), (&self.b, "ω"), (&self.c, "ω²"), (&self.d, "ω³")] {
+            if coeff.is_zero() {
+                continue;
+            }
+            if suffix.is_empty() {
+                terms.push(coeff.to_string());
+            } else if *coeff == BigInt::one() {
+                terms.push(suffix.to_string());
+            } else if *coeff == -&BigInt::one() {
+                terms.push(format!("-{suffix}"));
+            } else {
+                terms.push(format!("{coeff}{suffix}"));
+            }
+        }
+        let poly = terms.join(" + ").replace("+ -", "- ");
+        if self.k == 0 {
+            write!(f, "{poly}")
+        } else if terms.len() == 1 {
+            write!(f, "{poly}/√2^{}", self.k)
+        } else {
+            write!(f, "({poly})/√2^{}", self.k)
+        }
+    }
+}
+
+impl fmt::Debug for Algebraic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Algebraic({}, {}, {}, {}; k={})", self.a, self.b, self.c, self.d, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one_are_canonical() {
+        assert!(Algebraic::zero().is_zero());
+        assert_eq!(Algebraic::zero().components().4, 0);
+        assert_eq!(Algebraic::one().components().0, &BigInt::one());
+        assert_eq!(Algebraic::from_int(0), Algebraic::zero());
+    }
+
+    #[test]
+    fn omega_powers_cycle_with_period_eight() {
+        let omega = Algebraic::omega();
+        let mut acc = Algebraic::one();
+        for _ in 0..8 {
+            acc = &acc * &omega;
+        }
+        assert_eq!(acc, Algebraic::one());
+        assert_eq!(Algebraic::omega_pow(4), Algebraic::from_int(-1));
+        assert_eq!(Algebraic::omega_pow(2), Algebraic::i());
+        assert_eq!(Algebraic::omega_pow(9), Algebraic::omega());
+        assert_eq!(Algebraic::omega_pow(-3), Algebraic::omega_pow(5));
+    }
+
+    #[test]
+    fn canonicalisation_reduces_k() {
+        // (1/√2)^2 · 2 = 1
+        assert_eq!(Algebraic::from_components(2, 0, 0, 0, 2), Algebraic::one());
+        // (1/√2)·(ω + ω³) = ω² ·  (since ω + ω³ = i√2)
+        assert_eq!(Algebraic::from_components(0, 1, 0, 1, 1), Algebraic::i());
+        // (1/√2)·1 cannot be reduced
+        let v = Algebraic::from_components(1, 0, 0, 0, 1);
+        assert_eq!(v.components().4, 1);
+    }
+
+    #[test]
+    fn canonical_form_is_unique_for_equal_values() {
+        // (1/√2)^4·4 == (1/√2)^2·2 == 1
+        let x = Algebraic::from_components(4, 0, 0, 0, 4);
+        let y = Algebraic::from_components(2, 0, 0, 0, 2);
+        let z = Algebraic::one();
+        assert_eq!(x, y);
+        assert_eq!(y, z);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        x.hash(&mut h1);
+        z.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn sqrt2_multiplication_and_division_are_inverse() {
+        let values = [
+            Algebraic::one(),
+            Algebraic::omega(),
+            Algebraic::from_components(3, -1, 2, 5, 3),
+            Algebraic::from_components(0, 1, 0, 0, 1),
+        ];
+        for v in values {
+            assert_eq!(v.div_sqrt2().mul_sqrt2(), v);
+            assert_eq!(v.mul_sqrt2().div_sqrt2(), v);
+        }
+    }
+
+    #[test]
+    fn conjugation_is_an_involution_and_fixes_reals() {
+        let v = Algebraic::from_components(3, -1, 2, 5, 3);
+        assert_eq!(v.conj().conj(), v);
+        assert_eq!(Algebraic::from_int(7).conj(), Algebraic::from_int(7));
+        let omega_conj = Algebraic::omega().conj();
+        assert_eq!(omega_conj, Algebraic::omega_pow(7));
+    }
+
+    #[test]
+    fn to_complex_matches_known_values() {
+        let inv = std::f64::consts::FRAC_1_SQRT_2;
+        let omega = Algebraic::omega().to_complex();
+        assert!((omega.re - inv).abs() < 1e-12);
+        assert!((omega.im - inv).abs() < 1e-12);
+        let i = Algebraic::i().to_complex();
+        assert!(i.re.abs() < 1e-12);
+        assert!((i.im - 1.0).abs() < 1e-12);
+        assert_eq!(Algebraic::zero().to_complex(), ComplexF64 { re: 0.0, im: 0.0 });
+    }
+
+    #[test]
+    fn norm_sqr_of_hadamard_coefficients() {
+        assert!((Algebraic::one_over_sqrt2().norm_sqr() - 0.5).abs() < 1e-12);
+        assert!((Algebraic::omega().norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_k_preserves_value() {
+        let v = Algebraic::from_components(1, 2, 3, 4, 1);
+        for target in [1, 2, 3, 6] {
+            let (a, b, c, d) = v.with_k(target);
+            let rebuilt = Algebraic::new(a, b, c, d, target);
+            assert_eq!(rebuilt, v, "target k = {target}");
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Algebraic::zero().to_string(), "0");
+        assert_eq!(Algebraic::one().to_string(), "1");
+        assert_eq!(Algebraic::omega().to_string(), "ω");
+        assert_eq!(Algebraic::one_over_sqrt2().to_string(), "1/√2^1");
+        assert_eq!(Algebraic::from_components(1, 0, -1, 0, 0).to_string(), "1 - ω²");
+    }
+
+    #[test]
+    fn scale_int_matches_repeated_addition() {
+        let v = Algebraic::from_components(1, 1, 0, 0, 1);
+        assert_eq!(v.scale_int(3), &(&v + &v) + &v);
+        assert_eq!(v.scale_int(0), Algebraic::zero());
+        assert_eq!(v.scale_int(-1), -&v);
+    }
+
+    #[test]
+    fn complexf64_distance_and_norm() {
+        let a = ComplexF64 { re: 3.0, im: 4.0 };
+        assert_eq!(a.norm_sqr(), 25.0);
+        let b = ComplexF64 { re: 0.0, im: 0.0 };
+        assert_eq!(a.distance(b), 5.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Ring operations (`+`, `−`, `×`, unary `−`) for [`Algebraic`] amplitudes.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+use autoq_bigint::BigInt;
+
+use crate::Algebraic;
+
+/// Adds two amplitudes after aligning their `1/√2` exponents.
+fn add_values(lhs: &Algebraic, rhs: &Algebraic) -> Algebraic {
+    if lhs.is_zero() {
+        return rhs.clone();
+    }
+    if rhs.is_zero() {
+        return lhs.clone();
+    }
+    let k = lhs.k.max(rhs.k);
+    let (la, lb, lc, ld) = lhs.with_k(k);
+    let (ra, rb, rc, rd) = rhs.with_k(k);
+    Algebraic::new(&la + &ra, &lb + &rb, &lc + &rc, &ld + &rd, k)
+}
+
+/// Multiplies two amplitudes (polynomial product modulo `ω⁴ = −1`).
+fn mul_values(lhs: &Algebraic, rhs: &Algebraic) -> Algebraic {
+    if lhs.is_zero() || rhs.is_zero() {
+        return Algebraic::zero();
+    }
+    let (a1, b1, c1, d1) = (&lhs.a, &lhs.b, &lhs.c, &lhs.d);
+    let (a2, b2, c2, d2) = (&rhs.a, &rhs.b, &rhs.c, &rhs.d);
+    let r0: BigInt = &(&(a1 * a2) - &(b1 * d2)) - &(&(c1 * c2) + &(d1 * b2));
+    let r1: BigInt = &(&(a1 * b2) + &(b1 * a2)) - &(&(c1 * d2) + &(d1 * c2));
+    let r2: BigInt = &(&(a1 * c2) + &(b1 * b2)) + &(&(c1 * a2) - &(d1 * d2));
+    let r3: BigInt = &(&(a1 * d2) + &(b1 * c2)) + &(&(c1 * b2) + &(d1 * a2));
+    Algebraic::new(r0, r1, r2, r3, lhs.k + rhs.k)
+}
+
+impl Add for &Algebraic {
+    type Output = Algebraic;
+
+    fn add(self, rhs: &Algebraic) -> Algebraic {
+        add_values(self, rhs)
+    }
+}
+
+impl Add for Algebraic {
+    type Output = Algebraic;
+
+    fn add(self, rhs: Algebraic) -> Algebraic {
+        add_values(&self, &rhs)
+    }
+}
+
+impl AddAssign<&Algebraic> for Algebraic {
+    fn add_assign(&mut self, rhs: &Algebraic) {
+        *self = add_values(self, rhs);
+    }
+}
+
+impl AddAssign for Algebraic {
+    fn add_assign(&mut self, rhs: Algebraic) {
+        *self = add_values(self, &rhs);
+    }
+}
+
+impl Sub for &Algebraic {
+    type Output = Algebraic;
+
+    fn sub(self, rhs: &Algebraic) -> Algebraic {
+        add_values(self, &(-rhs))
+    }
+}
+
+impl Sub for Algebraic {
+    type Output = Algebraic;
+
+    fn sub(self, rhs: Algebraic) -> Algebraic {
+        add_values(&self, &(-&rhs))
+    }
+}
+
+impl Neg for &Algebraic {
+    type Output = Algebraic;
+
+    fn neg(self) -> Algebraic {
+        Algebraic {
+            a: -&self.a,
+            b: -&self.b,
+            c: -&self.c,
+            d: -&self.d,
+            k: self.k,
+        }
+    }
+}
+
+impl Neg for Algebraic {
+    type Output = Algebraic;
+
+    fn neg(self) -> Algebraic {
+        -&self
+    }
+}
+
+impl Mul for &Algebraic {
+    type Output = Algebraic;
+
+    fn mul(self, rhs: &Algebraic) -> Algebraic {
+        mul_values(self, rhs)
+    }
+}
+
+impl Mul for Algebraic {
+    type Output = Algebraic;
+
+    fn mul(self, rhs: Algebraic) -> Algebraic {
+        mul_values(&self, &rhs)
+    }
+}
+
+impl std::iter::Sum for Algebraic {
+    fn sum<I: Iterator<Item = Algebraic>>(iter: I) -> Algebraic {
+        iter.fold(Algebraic::zero(), |acc, x| &acc + &x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_with_mismatched_exponents() {
+        // 1 + 1/√2 = (√2 + 1)/√2
+        let sum = &Algebraic::one() + &Algebraic::one_over_sqrt2();
+        let expected = Algebraic::from_components(1, 1, 0, -1, 1);
+        assert_eq!(sum, expected);
+        let complex = sum.to_complex();
+        assert!((complex.re - (1.0 + std::f64::consts::FRAC_1_SQRT_2)).abs() < 1e-12);
+        assert!(complex.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn addition_cancels_exactly() {
+        let v = Algebraic::from_components(5, -3, 2, 1, 4);
+        assert_eq!(&v + &(-&v), Algebraic::zero());
+        assert_eq!(&v - &v, Algebraic::zero());
+    }
+
+    #[test]
+    fn multiplication_agrees_with_complex_arithmetic() {
+        let samples = [
+            Algebraic::one(),
+            Algebraic::omega(),
+            Algebraic::from_components(1, -2, 3, 4, 2),
+            Algebraic::one_over_sqrt2(),
+            Algebraic::from_components(0, 1, 1, 0, 3),
+        ];
+        for x in &samples {
+            for y in &samples {
+                let exact = (x * y).to_complex();
+                let (cx, cy) = (x.to_complex(), y.to_complex());
+                let approx_re = cx.re * cy.re - cx.im * cy.im;
+                let approx_im = cx.re * cy.im + cx.im * cy.re;
+                assert!((exact.re - approx_re).abs() < 1e-9, "{x} * {y}");
+                assert!((exact.im - approx_im).abs() < 1e-9, "{x} * {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn omega_squared_is_i_and_fourth_power_is_minus_one() {
+        let omega = Algebraic::omega();
+        assert_eq!(&omega * &omega, Algebraic::i());
+        let fourth = &(&omega * &omega) * &(&omega * &omega);
+        assert_eq!(fourth, Algebraic::from_int(-1));
+    }
+
+    #[test]
+    fn hadamard_twice_is_identity_on_amplitudes() {
+        // H² = I implies (1/√2)² + (1/√2)² = 1 and (1/√2)² − (1/√2)² = 0
+        let h = Algebraic::one_over_sqrt2();
+        let hh = &h * &h;
+        assert_eq!(&hh + &hh, Algebraic::one());
+        assert_eq!(&hh - &hh, Algebraic::zero());
+    }
+
+    #[test]
+    fn sum_iterator_accumulates() {
+        let parts = vec![Algebraic::one_over_sqrt2(); 4];
+        let total: Algebraic = parts.into_iter().sum();
+        // 4/√2 = 2√2
+        assert_eq!(total, Algebraic::from_components(0, 2, 0, -2, 0));
+    }
+
+    #[test]
+    fn add_assign_variants() {
+        let mut acc = Algebraic::zero();
+        acc += &Algebraic::one();
+        acc += Algebraic::i();
+        assert_eq!(acc, Algebraic::from_components(1, 0, 1, 0, 0));
+    }
+
+    #[test]
+    fn t_gate_phase_accumulation() {
+        // Applying the T phase ω eight times returns to the original amplitude.
+        let mut amp = Algebraic::one_over_sqrt2();
+        let original = amp.clone();
+        for _ in 0..8 {
+            amp = &amp * &Algebraic::omega();
+        }
+        assert_eq!(amp, original);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the algebraic amplitude ring.
+//!
+//! Every exact operation is cross-checked against double-precision complex
+//! arithmetic, and ring axioms are verified structurally (exact equality).
+
+use autoq_amplitude::Algebraic;
+use proptest::prelude::*;
+
+/// Strategy generating arbitrary (canonical) amplitudes with small components.
+fn amplitude() -> impl Strategy<Value = Algebraic> {
+    (-20i64..=20, -20i64..=20, -20i64..=20, -20i64..=20, 0u64..6)
+        .prop_map(|(a, b, c, d, k)| Algebraic::from_components(a, b, c, d, k))
+}
+
+fn close(x: f64, y: f64) -> bool {
+    (x - y).abs() < 1e-6
+}
+
+proptest! {
+    #[test]
+    fn addition_is_commutative(x in amplitude(), y in amplitude()) {
+        prop_assert_eq!(&x + &y, &y + &x);
+    }
+
+    #[test]
+    fn addition_is_associative(x in amplitude(), y in amplitude(), z in amplitude()) {
+        prop_assert_eq!(&(&x + &y) + &z, &x + &(&y + &z));
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative(
+        x in amplitude(), y in amplitude(), z in amplitude()
+    ) {
+        prop_assert_eq!(&x * &y, &y * &x);
+        prop_assert_eq!(&(&x * &y) * &z, &x * &(&y * &z));
+    }
+
+    #[test]
+    fn multiplication_distributes(x in amplitude(), y in amplitude(), z in amplitude()) {
+        prop_assert_eq!(&x * &(&y + &z), &(&x * &y) + &(&x * &z));
+    }
+
+    #[test]
+    fn additive_inverse(x in amplitude()) {
+        prop_assert_eq!(&x + &(-&x), Algebraic::zero());
+    }
+
+    #[test]
+    fn one_is_multiplicative_identity(x in amplitude()) {
+        prop_assert_eq!(&x * &Algebraic::one(), x.clone());
+        prop_assert_eq!(&x * &Algebraic::zero(), Algebraic::zero());
+    }
+
+    #[test]
+    fn addition_matches_floating_point(x in amplitude(), y in amplitude()) {
+        let exact = (&x + &y).to_complex();
+        let (cx, cy) = (x.to_complex(), y.to_complex());
+        prop_assert!(close(exact.re, cx.re + cy.re));
+        prop_assert!(close(exact.im, cx.im + cy.im));
+    }
+
+    #[test]
+    fn multiplication_matches_floating_point(x in amplitude(), y in amplitude()) {
+        let exact = (&x * &y).to_complex();
+        let (cx, cy) = (x.to_complex(), y.to_complex());
+        prop_assert!(close(exact.re, cx.re * cy.re - cx.im * cy.im));
+        prop_assert!(close(exact.im, cx.re * cy.im + cx.im * cy.re));
+    }
+
+    #[test]
+    fn sqrt2_scaling_round_trips(x in amplitude()) {
+        prop_assert_eq!(x.div_sqrt2().mul_sqrt2(), x.clone());
+        prop_assert_eq!(x.mul_sqrt2().div_sqrt2(), x.clone());
+        // dividing twice is the same as halving: (x/√2/√2)·2 = x
+        let halved = x.div_sqrt2().div_sqrt2();
+        prop_assert_eq!(halved.scale_int(2), x.clone());
+    }
+
+    #[test]
+    fn omega_multiplication_has_order_eight(x in amplitude()) {
+        prop_assert_eq!(x.mul_omega_pow(8), x.clone());
+        prop_assert_eq!(x.mul_omega_pow(4), -&x);
+        prop_assert_eq!(x.mul_omega().mul_omega(), x.mul_omega_pow(2));
+    }
+
+    #[test]
+    fn conjugation_is_ring_homomorphism(x in amplitude(), y in amplitude()) {
+        prop_assert_eq!((&x + &y).conj(), &x.conj() + &y.conj());
+        prop_assert_eq!((&x * &y).conj(), &x.conj() * &y.conj());
+        prop_assert_eq!(x.conj().conj(), x.clone());
+    }
+
+    #[test]
+    fn norm_is_multiplicative(x in amplitude(), y in amplitude()) {
+        let lhs = (&x * &y).norm_sqr();
+        let rhs = x.norm_sqr() * y.norm_sqr();
+        prop_assert!((lhs - rhs).abs() < 1e-5 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn canonical_form_is_stable(x in amplitude()) {
+        // Re-canonicalising the canonical components must be the identity.
+        let (a, b, c, d, k) = {
+            let (a, b, c, d, k) = x.components();
+            (a.clone(), b.clone(), c.clone(), d.clone(), k)
+        };
+        prop_assert_eq!(Algebraic::new(a, b, c, d, k), x);
+    }
+}

@@ -1,0 +1,75 @@
+//! Criterion benchmarks for the Table 2 workloads (verification against
+//! pre/post-conditions), at parameters small enough for statistical timing.
+
+use autoq_bench::table2::{bv_row, grover_single_row, mc_toffoli_row};
+use autoq_circuit::generators::{bernstein_vazirani, mc_toffoli};
+use autoq_core::presets::{bv_spec, mc_toffoli_spec};
+use autoq_core::{Engine, SpecMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_bv_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/bv");
+    group.sample_size(10);
+    for n in [8u32, 16] {
+        let hidden: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let circuit = bernstein_vazirani(&hidden);
+        let spec = bv_spec(&hidden);
+        group.bench_function(format!("hybrid/n{n}"), |b| {
+            b.iter(|| {
+                autoq_core::verify(
+                    &Engine::hybrid(),
+                    black_box(&spec.pre),
+                    black_box(&circuit),
+                    &spec.post,
+                    SpecMode::Equality,
+                )
+            })
+        });
+        group.bench_function(format!("composition/n{n}"), |b| {
+            b.iter(|| {
+                autoq_core::verify(
+                    &Engine::composition(),
+                    black_box(&spec.pre),
+                    black_box(&circuit),
+                    &spec.post,
+                    SpecMode::Equality,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mc_toffoli_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/mctoffoli");
+    group.sample_size(10);
+    for m in [3u32, 5] {
+        let circuit = mc_toffoli(m);
+        let spec = mc_toffoli_spec(&circuit);
+        group.bench_function(format!("hybrid/m{m}"), |b| {
+            b.iter(|| {
+                autoq_core::verify(
+                    &Engine::hybrid(),
+                    black_box(&spec.pre),
+                    black_box(&circuit),
+                    &spec.post,
+                    SpecMode::Equality,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/full-rows");
+    group.sample_size(10);
+    group.bench_function("bv/n12", |b| b.iter(|| black_box(bv_row(12))));
+    group.bench_function("mctoffoli/m4", |b| b.iter(|| black_box(mc_toffoli_row(4))));
+    group.bench_function("grover-single/m2", |b| b.iter(|| black_box(grover_single_row(2, Some(1)))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_bv_verification, bench_mc_toffoli_verification, bench_full_rows);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benchmarks for the Table 3 workloads (bug finding on mutated
+//! circuits): AutoQ's hunter versus the path-sum and stimuli baselines.
+
+use autoq_circuit::generators::{gf2_multiplier, random_circuit, ripple_carry_adder, RandomCircuitConfig};
+use autoq_circuit::mutation::inject_random_gate;
+use autoq_core::{BugHunter, Engine};
+use autoq_equivcheck::pathsum;
+use autoq_equivcheck::stimuli::{check_with_stimuli, StimuliConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_bug_finding_reversible(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/adder16");
+    group.sample_size(10);
+    let circuit = ripple_carry_adder(16);
+    let mut rng = StdRng::seed_from_u64(9);
+    let (buggy, _) = inject_random_gate(&circuit, false, &mut rng);
+
+    group.bench_function("autoq-hunt", |b| {
+        b.iter(|| {
+            let mut hunt_rng = StdRng::seed_from_u64(5);
+            black_box(BugHunter::new(Engine::hybrid()).hunt(&circuit, &buggy, &mut hunt_rng))
+        })
+    });
+    group.bench_function("pathsum", |b| {
+        b.iter(|| black_box(pathsum::check_equivalence(&circuit, &buggy)))
+    });
+    group.bench_function("stimuli", |b| {
+        b.iter(|| {
+            let mut stim_rng = StdRng::seed_from_u64(6);
+            black_box(check_with_stimuli(&circuit, &buggy, &StimuliConfig::default(), &mut stim_rng))
+        })
+    });
+    group.finish();
+}
+
+fn bench_bug_finding_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/random8");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(21);
+    let circuit = random_circuit(&RandomCircuitConfig::with_paper_ratio(8), &mut rng);
+    let (buggy, _) = inject_random_gate(&circuit, true, &mut rng);
+
+    group.bench_function("autoq-hunt", |b| {
+        b.iter(|| {
+            let mut hunt_rng = StdRng::seed_from_u64(2);
+            black_box(
+                BugHunter::new(Engine::hybrid())
+                    .with_max_iterations(4)
+                    .hunt(&circuit, &buggy, &mut hunt_rng),
+            )
+        })
+    });
+    group.bench_function("stimuli", |b| {
+        b.iter(|| {
+            let mut stim_rng = StdRng::seed_from_u64(3);
+            black_box(check_with_stimuli(&circuit, &buggy, &StimuliConfig::default(), &mut stim_rng))
+        })
+    });
+    group.finish();
+}
+
+fn bench_bug_finding_multiplier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/gf2_6_mult");
+    group.sample_size(10);
+    let circuit = gf2_multiplier(6);
+    let mut rng = StdRng::seed_from_u64(33);
+    let (buggy, _) = inject_random_gate(&circuit, false, &mut rng);
+    group.bench_function("autoq-hunt", |b| {
+        b.iter(|| {
+            let mut hunt_rng = StdRng::seed_from_u64(4);
+            black_box(BugHunter::new(Engine::hybrid()).hunt(&circuit, &buggy, &mut hunt_rng))
+        })
+    });
+    group.bench_function("pathsum", |b| {
+        b.iter(|| black_box(pathsum::check_equivalence(&circuit, &buggy)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bug_finding_reversible,
+    bench_bug_finding_random,
+    bench_bug_finding_multiplier
+);
+criterion_main!(benches);

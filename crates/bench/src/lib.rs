@@ -1,0 +1,36 @@
+//! Shared harness code for reproducing the AutoQ paper's evaluation tables.
+//!
+//! The binaries `table2` and `table3` print Markdown tables mirroring the
+//! paper's Table 2 (verification against pre/post-conditions) and Table 3
+//! (bug finding); the Criterion benches reuse the same row runners on small
+//! parameters.
+
+pub mod table2;
+pub mod table3;
+
+use std::time::{Duration, Instant};
+
+/// Runs a closure and returns its result together with the wall-clock time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Formats a duration in seconds with millisecond resolution.
+pub fn fmt_duration(duration: Duration) -> String {
+    format!("{:.3}s", duration.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_measures_and_returns() {
+        let (value, duration) = timed(|| (0..1000).sum::<u64>());
+        assert_eq!(value, 499500);
+        assert!(duration.as_secs() < 5);
+        assert!(fmt_duration(duration).ends_with('s'));
+    }
+}

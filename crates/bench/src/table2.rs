@@ -1,0 +1,216 @@
+//! Table 2 — verification of quantum algorithms against pre/post-conditions.
+//!
+//! For every benchmark row the harness measures:
+//!
+//! * `AutoQ-Hybrid` and `AutoQ-Composition`: the time to compute the tree
+//!   automaton of output states plus the time of the equivalence check
+//!   against the post-condition (the paper's `analysis` and `=` columns),
+//!   together with the automaton sizes before/after (the `states
+//!   (transitions)` columns);
+//! * the simulator baseline: running the exact simulator on *every* state of
+//!   the pre-condition and accumulating the time (the paper's SliQSim
+//!   column).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use autoq_amplitude::Algebraic;
+use autoq_circuit::generators::{bernstein_vazirani, grover_all, grover_single, mc_toffoli};
+use autoq_circuit::Circuit;
+use autoq_core::presets::{bv_spec, grover_all_pre, mc_toffoli_spec};
+use autoq_core::{Engine, SpecMode, StateSet};
+use autoq_simulator::DenseState;
+
+use crate::timed;
+
+/// One row of Table 2.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Benchmark family name.
+    pub family: String,
+    /// The family parameter `n` of the paper.
+    pub n: u32,
+    /// Number of qubits (`#q`).
+    pub qubits: u32,
+    /// Number of gates (`#G`).
+    pub gates: usize,
+    /// Pre-condition automaton size: (states, transitions).
+    pub before: (usize, usize),
+    /// Output automaton size for the Hybrid engine: (states, transitions).
+    pub after: (usize, usize),
+    /// Hybrid analysis time.
+    pub hybrid_analysis: Duration,
+    /// Hybrid equivalence-check time.
+    pub hybrid_check: Duration,
+    /// Composition analysis time.
+    pub composition_analysis: Duration,
+    /// Composition equivalence-check time.
+    pub composition_check: Duration,
+    /// Accumulated simulator baseline time.
+    pub simulator: Duration,
+    /// Whether the specification holds (it must, for un-mutated circuits).
+    pub verified: bool,
+}
+
+impl Table2Row {
+    /// Renders the row as a Markdown table line.
+    pub fn to_markdown(&self) -> String {
+        format!(
+            "| {} | {} | {} | {} | {} ({}) | {} ({}) | {:.3}s | {:.3}s | {:.3}s | {:.3}s | {:.3}s | {} |",
+            self.family,
+            self.n,
+            self.qubits,
+            self.gates,
+            self.before.0,
+            self.before.1,
+            self.after.0,
+            self.after.1,
+            self.hybrid_analysis.as_secs_f64(),
+            self.hybrid_check.as_secs_f64(),
+            self.composition_analysis.as_secs_f64(),
+            self.composition_check.as_secs_f64(),
+            self.simulator.as_secs_f64(),
+            if self.verified { "ok" } else { "VIOLATED" },
+        )
+    }
+
+    /// The Markdown header matching [`Table2Row::to_markdown`].
+    pub fn markdown_header() -> String {
+        "| family | n | #q | #G | before | after | Hybrid analysis | Hybrid = | Comp. analysis | Comp. = | simulator | verdict |\n|---|---|---|---|---|---|---|---|---|---|---|---|".to_string()
+    }
+}
+
+/// Runs one verification row given a circuit and its pre/post-conditions.
+pub fn run_row(
+    family: &str,
+    n: u32,
+    circuit: &Circuit,
+    pre: &StateSet,
+    post: &StateSet,
+    simulate_inputs: &[u64],
+) -> Table2Row {
+    let hybrid = Engine::hybrid();
+    let composition = Engine::composition();
+
+    let (hybrid_output, hybrid_analysis) = timed(|| hybrid.apply_circuit(pre, circuit));
+    let (hybrid_outcome, hybrid_check) =
+        timed(|| autoq_core::verify::compare_with_post(&hybrid_output, post, SpecMode::Equality));
+
+    let (composition_output, composition_analysis) = timed(|| composition.apply_circuit(pre, circuit));
+    let (_, composition_check) =
+        timed(|| autoq_core::verify::compare_with_post(&composition_output, post, SpecMode::Equality));
+
+    // Simulator baseline: run every pre-condition state through the dense
+    // simulator (the paper accumulates per-state simulation times).
+    let (_, simulator) = timed(|| {
+        let mut outputs: Vec<BTreeMap<u64, Algebraic>> = Vec::new();
+        for &basis in simulate_inputs {
+            outputs.push(DenseState::run(circuit, basis).to_amplitude_map());
+        }
+        outputs
+    });
+
+    Table2Row {
+        family: family.to_string(),
+        n,
+        qubits: circuit.num_qubits(),
+        gates: circuit.gate_count(),
+        before: (pre.state_count(), pre.transition_count()),
+        after: (hybrid_output.state_count(), hybrid_output.transition_count()),
+        hybrid_analysis,
+        hybrid_check,
+        composition_analysis,
+        composition_check,
+        simulator,
+        verified: hybrid_outcome.holds(),
+    }
+}
+
+/// The Bernstein–Vazirani row for a hidden string of length `n`.
+pub fn bv_row(n: u32) -> Table2Row {
+    let hidden: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+    let circuit = bernstein_vazirani(&hidden);
+    let spec = bv_spec(&hidden);
+    run_row("BV", n, &circuit, &spec.pre, &spec.post, &[0])
+}
+
+/// The `MCToffoli` row with `m` controls.
+pub fn mc_toffoli_row(m: u32) -> Table2Row {
+    let circuit = mc_toffoli(m);
+    let spec = mc_toffoli_spec(&circuit);
+    // The simulator baseline must cover every pre-condition state.
+    let inputs: Vec<u64> = spec
+        .pre
+        .states(1 << (m + 1))
+        .iter()
+        .map(|map| *map.keys().next().expect("basis state"))
+        .collect();
+    run_row("MCToffoli", m, &circuit, &spec.pre, &spec.post, &inputs)
+}
+
+/// The `Grover-Sing` row for an `m`-bit search with `iterations` Grover
+/// iterations (defaults to the textbook optimum).
+pub fn grover_single_row(m: u32, iterations: Option<u32>) -> Table2Row {
+    let marked = (1u64 << m) - 1;
+    let (circuit, _layout) = grover_single(m, marked, iterations);
+    let pre = StateSet::basis_state(circuit.num_qubits(), 0);
+    // Post-condition: the exact output state, obtained from an independent
+    // reference execution (the paper constructs it from the algorithm's
+    // known closed form).
+    let reference = DenseState::run(&circuit, 0).to_amplitude_map();
+    let post = StateSet::from_state_maps(circuit.num_qubits(), &[reference]);
+    run_row("Grover-Sing", m, &circuit, &pre, &post, &[0])
+}
+
+/// The `Grover-All` row for an `m`-bit search over all `2^m` oracles.
+pub fn grover_all_row(m: u32, iterations: Option<u32>) -> Table2Row {
+    let (circuit, layout) = grover_all(m, iterations);
+    let n = circuit.num_qubits();
+    let pre = grover_all_pre(&layout, n);
+    let inputs: Vec<u64> =
+        pre.states(1 << m).iter().map(|map| *map.keys().next().expect("basis state")).collect();
+    let reference: Vec<BTreeMap<u64, Algebraic>> =
+        inputs.iter().map(|&basis| DenseState::run(&circuit, basis).to_amplitude_map()).collect();
+    let post = StateSet::from_state_maps(n, &reference);
+    run_row("Grover-All", m, &circuit, &pre, &post, &inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bv_row_verifies_and_reports_linear_sizes() {
+        let row = bv_row(6);
+        assert!(row.verified);
+        assert_eq!(row.qubits, 7);
+        assert!(row.before.0 <= 2 * 7 + 1);
+        assert!(row.to_markdown().contains("BV"));
+    }
+
+    #[test]
+    fn mc_toffoli_row_verifies() {
+        let row = mc_toffoli_row(3);
+        assert!(row.verified);
+        assert_eq!(row.qubits, 6);
+        assert_eq!(row.gates, 5);
+    }
+
+    #[test]
+    fn grover_rows_verify_on_small_instances() {
+        let row = grover_single_row(2, Some(1));
+        assert!(row.verified);
+        assert_eq!(row.qubits, 4);
+        let row = grover_all_row(2, Some(1));
+        assert!(row.verified);
+        assert_eq!(row.qubits, 6);
+    }
+
+    #[test]
+    fn markdown_header_and_rows_have_matching_column_counts() {
+        let header = Table2Row::markdown_header();
+        let row = bv_row(3).to_markdown();
+        let header_cols = header.lines().next().unwrap().matches('|').count();
+        assert_eq!(header_cols, row.matches('|').count());
+    }
+}

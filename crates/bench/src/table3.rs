@@ -1,0 +1,198 @@
+//! Table 3 — finding injected bugs, comparing AutoQ with the path-sum and
+//! random-stimuli baselines.
+//!
+//! For every circuit a copy with one extra random gate is created
+//! (Section 7.2) and all three checkers are asked whether the two circuits
+//! are equivalent:
+//!
+//! * AutoQ (`BugHunter`, Hybrid engine) — reports the time and the number of
+//!   input-set-growing iterations, like the paper's `time`/`iter` columns;
+//! * the path-sum checker — `T` when it proves non-equivalence, `—` when it
+//!   answers Unknown (mirroring Feynman's timeouts), `F` if it were ever to
+//!   claim equivalence of genuinely different circuits;
+//! * the stimuli checker — `T` when a distinguishing stimulus is found, `F`
+//!   otherwise (it can only ever miss bugs, never prove equivalence).
+
+use std::time::Duration;
+
+use autoq_circuit::generators::{
+    carry_lookahead_like, gf2_multiplier, increment_circuit, random_circuit, ripple_carry_adder,
+    RandomCircuitConfig,
+};
+use autoq_circuit::mutation::inject_random_gate;
+use autoq_circuit::Circuit;
+use autoq_core::{BugHunter, Engine};
+use autoq_equivcheck::stimuli::{check_with_stimuli, StimuliConfig};
+use autoq_equivcheck::{pathsum, Verdict};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::timed;
+
+/// One row of Table 3.
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    /// Circuit name.
+    pub circuit: String,
+    /// Number of qubits.
+    pub qubits: u32,
+    /// Number of gates (of the original circuit).
+    pub gates: usize,
+    /// AutoQ bug-hunting time.
+    pub autoq_time: Duration,
+    /// AutoQ iterations (the `iter` column).
+    pub autoq_iterations: u32,
+    /// Did AutoQ find the bug?
+    pub autoq_found: bool,
+    /// Path-sum checker time.
+    pub pathsum_time: Duration,
+    /// Path-sum verdict.
+    pub pathsum_verdict: Verdict,
+    /// Stimuli checker time.
+    pub stimuli_time: Duration,
+    /// Stimuli verdict.
+    pub stimuli_verdict: Verdict,
+}
+
+/// Renders a baseline verdict like the paper: `T` = bug found, `F` = bug
+/// missed (claimed equivalent / no difference observed), `—` = unknown.
+pub fn verdict_symbol(verdict: Verdict, definitely_buggy: bool) -> &'static str {
+    match verdict {
+        Verdict::NotEquivalent => "T",
+        Verdict::Equivalent => {
+            if definitely_buggy {
+                "F"
+            } else {
+                "T"
+            }
+        }
+        Verdict::Unknown => "—",
+    }
+}
+
+impl Table3Row {
+    /// Renders the row as a Markdown table line.
+    pub fn to_markdown(&self) -> String {
+        format!(
+            "| {} | {} | {} | {:.3}s | {} | {} | {:.3}s | {} | {:.3}s | {} |",
+            self.circuit,
+            self.qubits,
+            self.gates,
+            self.autoq_time.as_secs_f64(),
+            self.autoq_iterations,
+            if self.autoq_found { "T" } else { "—" },
+            self.pathsum_time.as_secs_f64(),
+            verdict_symbol(self.pathsum_verdict, true),
+            self.stimuli_time.as_secs_f64(),
+            match self.stimuli_verdict {
+                Verdict::NotEquivalent => "T",
+                _ => "F",
+            },
+        )
+    }
+
+    /// The Markdown header matching [`Table3Row::to_markdown`].
+    pub fn markdown_header() -> String {
+        "| circuit | #q | #G | AutoQ time | iter | bug? | path-sum time | bug? | stimuli time | bug? |\n|---|---|---|---|---|---|---|---|---|---|".to_string()
+    }
+}
+
+/// Runs one bug-finding row: injects a random gate into `circuit` and asks
+/// all three checkers.
+pub fn run_row(name: &str, circuit: &Circuit, superposing: bool, seed: u64) -> Table3Row {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (buggy, _bug) = inject_random_gate(circuit, superposing, &mut rng);
+
+    let hunter = BugHunter::new(Engine::hybrid()).with_max_iterations(circuit.num_qubits().min(10) + 1);
+    let mut hunt_rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+    let (report, autoq_time) = timed(|| hunter.hunt(circuit, &buggy, &mut hunt_rng));
+
+    let (pathsum_verdict, pathsum_time) = timed(|| pathsum::check_equivalence(circuit, &buggy));
+
+    let mut stimuli_rng = StdRng::seed_from_u64(seed ^ 0x1234);
+    let (stimuli_report, stimuli_time) =
+        timed(|| check_with_stimuli(circuit, &buggy, &StimuliConfig::default(), &mut stimuli_rng));
+
+    Table3Row {
+        circuit: name.to_string(),
+        qubits: circuit.num_qubits(),
+        gates: circuit.gate_count(),
+        autoq_time,
+        autoq_iterations: report.iterations,
+        autoq_found: report.bug_found,
+        pathsum_time,
+        pathsum_verdict,
+        stimuli_time,
+        stimuli_verdict: stimuli_report.verdict,
+    }
+}
+
+/// The default Table 3 workload: a scaled-down version of the paper's
+/// `Random`, `RevLib` and `FeynmanBench` families (identical gate vocabulary
+/// and structure; sizes chosen so that the whole table runs on a laptop).
+pub fn default_workload() -> Vec<(String, Circuit, bool)> {
+    let mut workload = Vec::new();
+    // Random family (the paper uses 35 and 70 qubits with a 1:3 ratio).
+    for (index, qubits) in [8u32, 10, 12].into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(1000 + index as u64);
+        let circuit = random_circuit(&RandomCircuitConfig::with_paper_ratio(qubits), &mut rng);
+        workload.push((format!("random{qubits}{}", (b'a' + index as u8) as char), circuit, true));
+    }
+    // RevLib-style reversible arithmetic.
+    for bits in [4u32, 6, 8] {
+        workload.push((format!("add{bits}"), ripple_carry_adder(bits), false));
+    }
+    workload.push(("increment8".to_string(), increment_circuit(8), false));
+    workload.push(("cycle10".to_string(), carry_lookahead_like(10, 5), false));
+    // FeynmanBench-style multiplier circuits.
+    for bits in [4u32, 5, 6] {
+        workload.push((format!("gf2^{bits}_mult"), gf2_multiplier(bits), false));
+    }
+    workload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn autoq_finds_bugs_in_reversible_rows() {
+        let row = run_row("add4", &ripple_carry_adder(4), false, 7);
+        assert!(row.autoq_found, "AutoQ must find the injected bug");
+        assert!(row.autoq_iterations >= 1);
+        assert!(row.to_markdown().contains("add4"));
+    }
+
+    #[test]
+    fn pathsum_catches_classical_bugs() {
+        let row = run_row("gf2^3_mult", &gf2_multiplier(3), false, 3);
+        assert_eq!(row.pathsum_verdict, Verdict::NotEquivalent);
+        assert!(row.autoq_found);
+    }
+
+    #[test]
+    fn workload_is_nonempty_and_well_formed() {
+        let workload = default_workload();
+        assert!(workload.len() >= 8);
+        for (name, circuit, _) in &workload {
+            assert!(!name.is_empty());
+            assert!(circuit.gate_count() > 0);
+            assert!(circuit.num_qubits() <= 64, "{name} exceeds the 64-qubit pattern limit");
+        }
+    }
+
+    #[test]
+    fn verdict_symbols_match_the_paper_conventions() {
+        assert_eq!(verdict_symbol(Verdict::NotEquivalent, true), "T");
+        assert_eq!(verdict_symbol(Verdict::Equivalent, true), "F");
+        assert_eq!(verdict_symbol(Verdict::Unknown, true), "—");
+    }
+
+    #[test]
+    fn markdown_header_and_rows_have_matching_column_counts() {
+        let header = Table3Row::markdown_header();
+        let row = run_row("inc4", &increment_circuit(4), false, 11).to_markdown();
+        let header_cols = header.lines().next().unwrap().matches('|').count();
+        assert_eq!(header_cols, row.matches('|').count());
+    }
+}

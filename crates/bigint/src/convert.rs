@@ -1,0 +1,130 @@
+//! Conversions between [`BigInt`] and primitive integer types.
+
+use crate::{BigInt, Sign};
+
+impl From<u64> for BigInt {
+    fn from(value: u64) -> Self {
+        if value == 0 {
+            BigInt::zero()
+        } else {
+            BigInt { sign: Sign::Positive, limbs: vec![value] }
+        }
+    }
+}
+
+impl From<u32> for BigInt {
+    fn from(value: u32) -> Self {
+        BigInt::from(value as u64)
+    }
+}
+
+impl From<u128> for BigInt {
+    fn from(value: u128) -> Self {
+        BigInt::from_sign_limbs(
+            if value == 0 { Sign::Zero } else { Sign::Positive },
+            vec![value as u64, (value >> 64) as u64],
+        )
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(value: i64) -> Self {
+        BigInt::from(value as i128)
+    }
+}
+
+impl From<i32> for BigInt {
+    fn from(value: i32) -> Self {
+        BigInt::from(value as i128)
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(value: i128) -> Self {
+        match value {
+            0 => BigInt::zero(),
+            v if v > 0 => {
+                let unsigned = v as u128;
+                BigInt::from_sign_limbs(Sign::Positive, vec![unsigned as u64, (unsigned >> 64) as u64])
+            }
+            v => {
+                let unsigned = v.unsigned_abs();
+                BigInt::from_sign_limbs(Sign::Negative, vec![unsigned as u64, (unsigned >> 64) as u64])
+            }
+        }
+    }
+}
+
+impl BigInt {
+    /// Converts to `i128` if the value fits.
+    ///
+    /// ```
+    /// # use autoq_bigint::BigInt;
+    /// assert_eq!(BigInt::from(i128::MIN).to_i128(), Some(i128::MIN));
+    /// let huge = BigInt::from(i128::MAX).pow(2);
+    /// assert_eq!(huge.to_i128(), None);
+    /// ```
+    pub fn to_i128(&self) -> Option<i128> {
+        if self.limbs.len() > 2 {
+            return None;
+        }
+        let lo = self.limbs.first().copied().unwrap_or(0) as u128;
+        let hi = self.limbs.get(1).copied().unwrap_or(0) as u128;
+        let magnitude = (hi << 64) | lo;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => {
+                if magnitude <= i128::MAX as u128 {
+                    Some(magnitude as i128)
+                } else {
+                    None
+                }
+            }
+            Sign::Negative => {
+                if magnitude <= i128::MAX as u128 + 1 {
+                    Some((magnitude as i128).wrapping_neg())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_unsigned_values() {
+        assert!(BigInt::from(0u64).is_zero());
+        assert_eq!(BigInt::from(42u64).to_i64(), Some(42));
+        assert_eq!(BigInt::from(u128::MAX).to_string(), u128::MAX.to_string());
+        assert_eq!(BigInt::from(7u32), BigInt::from(7i32));
+    }
+
+    #[test]
+    fn from_signed_values() {
+        assert_eq!(BigInt::from(-1i32).to_i64(), Some(-1));
+        assert_eq!(BigInt::from(i64::MIN).to_string(), i64::MIN.to_string());
+        assert_eq!(BigInt::from(i128::MIN).to_string(), i128::MIN.to_string());
+        assert!(BigInt::from(0i128).is_zero());
+    }
+
+    #[test]
+    fn i128_round_trip() {
+        for v in [0i128, 1, -1, i64::MAX as i128 + 1, i128::MAX, i128::MIN, -(1i128 << 90)] {
+            assert_eq!(BigInt::from(v).to_i128(), Some(v), "{v}");
+        }
+    }
+
+    #[test]
+    fn i128_overflow_detected() {
+        let too_big = &BigInt::from(i128::MAX) + &BigInt::one();
+        assert_eq!(too_big.to_i128(), None);
+        let fits = &BigInt::from(i128::MIN) + &BigInt::zero();
+        assert_eq!(fits.to_i128(), Some(i128::MIN));
+        let too_small = &BigInt::from(i128::MIN) - &BigInt::one();
+        assert_eq!(too_small.to_i128(), None);
+    }
+}

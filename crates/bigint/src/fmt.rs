@@ -1,0 +1,159 @@
+//! Decimal formatting and parsing for [`BigInt`].
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{mag, BigInt, Sign};
+
+/// 10^19, the largest power of ten that fits in a `u64` limb.
+const DECIMAL_CHUNK: u64 = 10_000_000_000_000_000_000;
+const DECIMAL_CHUNK_DIGITS: usize = 19;
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        let mut chunks = Vec::new();
+        let mut magnitude = self.limbs.clone();
+        while !magnitude.is_empty() {
+            let (quotient, remainder) = mag::divmod_small(&magnitude, DECIMAL_CHUNK);
+            chunks.push(remainder);
+            magnitude = quotient;
+        }
+        let mut digits = String::new();
+        for (i, chunk) in chunks.iter().rev().enumerate() {
+            if i == 0 {
+                digits.push_str(&chunk.to_string());
+            } else {
+                digits.push_str(&format!("{chunk:0width$}", width = DECIMAL_CHUNK_DIGITS));
+            }
+        }
+        f.pad_integral(self.sign != Sign::Negative, "", &digits)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+/// Error returned when parsing a [`BigInt`] from a malformed string.
+///
+/// ```
+/// use autoq_bigint::BigInt;
+/// assert!("12x34".parse::<BigInt>().is_err());
+/// assert!("".parse::<BigInt>().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit {c:?} in integer literal"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (negative, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() {
+            return Err(ParseBigIntError { kind: ParseErrorKind::Empty });
+        }
+        let mut limbs: Vec<u64> = Vec::new();
+        for ch in digits.chars() {
+            let digit = ch
+                .to_digit(10)
+                .ok_or(ParseBigIntError { kind: ParseErrorKind::InvalidDigit(ch) })?;
+            mag::mul_small_add(&mut limbs, 10, digit as u64);
+        }
+        let sign = if limbs.is_empty() {
+            Sign::Zero
+        } else if negative {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        };
+        Ok(BigInt::from_sign_limbs(sign, limbs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_small_values() {
+        for v in [-1234567_i64, -1, 0, 1, 99, i64::MAX, i64::MIN] {
+            assert_eq!(BigInt::from(v).to_string(), v.to_string());
+        }
+    }
+
+    #[test]
+    fn display_multi_limb_values() {
+        let v = BigInt::from(u64::MAX);
+        let squared = &v * &v;
+        assert_eq!(squared.to_string(), "340282366920938463426481119284349108225");
+        assert_eq!((-&squared).to_string(), "-340282366920938463426481119284349108225");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for s in [
+            "0",
+            "-0",
+            "+17",
+            "123456789012345678901234567890123456789",
+            "-999999999999999999999999999999",
+        ] {
+            let value: BigInt = s.parse().unwrap();
+            let normalised = s.trim_start_matches('+');
+            let expected = if normalised == "-0" { "0" } else { normalised };
+            assert_eq!(value.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+        assert!("12 34".parse::<BigInt>().is_err());
+        assert!("0x10".parse::<BigInt>().is_err());
+        let err = "12a".parse::<BigInt>().unwrap_err();
+        assert!(err.to_string().contains("invalid digit"));
+    }
+
+    #[test]
+    fn display_pads_with_zero_chunks() {
+        // 10^19 exactly: second chunk is 1, first chunk is 0 and must render as 19 zeros.
+        let v: BigInt = "10000000000000000000".parse().unwrap();
+        assert_eq!(v.to_string(), "10000000000000000000");
+        let v2: BigInt = "100000000000000000000000000000000000001".parse().unwrap();
+        assert_eq!(v2.to_string(), "100000000000000000000000000000000000001");
+    }
+
+    #[test]
+    fn debug_format_mentions_value() {
+        assert_eq!(format!("{:?}", BigInt::from(-5)), "BigInt(-5)");
+    }
+}

@@ -1,0 +1,327 @@
+//! Arbitrary-precision signed integers.
+//!
+//! This crate is the AutoQ-rs substitute for GMP (which the AutoQ paper uses
+//! to keep amplitude coefficients exact).  The algebraic amplitude encoding
+//! `(1/√2)^k (a + bω + cω² + dω³)` only ever needs *ring* operations on the
+//! integer coefficients — addition, subtraction, multiplication, comparison,
+//! parity tests and halving — so this crate provides exactly those (plus
+//! decimal formatting/parsing and division by machine-word divisors for I/O).
+//! General multi-word division is intentionally not implemented.
+//!
+//! # Examples
+//!
+//! ```
+//! use autoq_bigint::BigInt;
+//!
+//! let a = BigInt::from(1_000_000_007_i64);
+//! let b = &a * &a;
+//! assert_eq!(b.to_string(), "1000000014000000049");
+//! assert!(b > a);
+//! let c: BigInt = "-340282366920938463463374607431768211456".parse().unwrap();
+//! assert_eq!((&c + &(-&c)), BigInt::zero());
+//! ```
+
+mod convert;
+mod fmt;
+mod magnitude;
+mod ops;
+mod sign;
+
+pub use fmt::ParseBigIntError;
+pub use sign::Sign;
+
+pub(crate) use magnitude as mag;
+
+/// An arbitrary-precision signed integer.
+///
+/// The representation is a [`Sign`] together with a little-endian sequence of
+/// `u64` limbs with no trailing zero limbs.  The invariant `sign == Sign::Zero
+/// ⇔ limbs.is_empty()` always holds.
+///
+/// # Examples
+///
+/// ```
+/// use autoq_bigint::BigInt;
+/// let x = BigInt::from(-5_i64);
+/// assert!(x.is_negative());
+/// assert_eq!((&x * &x).to_string(), "25");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    pub(crate) sign: Sign,
+    /// Little-endian limbs; canonical (no trailing zeros).
+    pub(crate) limbs: Vec<u64>,
+}
+
+impl BigInt {
+    /// Returns the integer zero.
+    ///
+    /// ```
+    /// # use autoq_bigint::BigInt;
+    /// assert!(BigInt::zero().is_zero());
+    /// ```
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Zero, limbs: Vec::new() }
+    }
+
+    /// Returns the integer one.
+    ///
+    /// ```
+    /// # use autoq_bigint::BigInt;
+    /// assert_eq!(BigInt::one(), BigInt::from(1));
+    /// ```
+    pub fn one() -> Self {
+        BigInt { sign: Sign::Positive, limbs: vec![1] }
+    }
+
+    /// Constructs a `BigInt` from a sign and little-endian limbs, normalising
+    /// trailing zeros and the zero sign.
+    pub(crate) fn from_sign_limbs(sign: Sign, mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        if limbs.is_empty() {
+            BigInt::zero()
+        } else {
+            debug_assert!(sign != Sign::Zero);
+            BigInt { sign, limbs }
+        }
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Returns `true` if the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// Returns `true` if the value is even (zero is even).
+    ///
+    /// ```
+    /// # use autoq_bigint::BigInt;
+    /// assert!(BigInt::from(-4).is_even());
+    /// assert!(!BigInt::from(7).is_even());
+    /// assert!(BigInt::zero().is_even());
+    /// ```
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Returns `true` if the value is odd.
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Returns the sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Returns the absolute value.
+    ///
+    /// ```
+    /// # use autoq_bigint::BigInt;
+    /// assert_eq!(BigInt::from(-9).abs(), BigInt::from(9));
+    /// ```
+    pub fn abs(&self) -> BigInt {
+        match self.sign {
+            Sign::Negative => BigInt { sign: Sign::Positive, limbs: self.limbs.clone() },
+            _ => self.clone(),
+        }
+    }
+
+    /// Exact division by two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is odd (the amplitude canonicalisation only ever
+    /// halves numbers it has proven even).
+    ///
+    /// ```
+    /// # use autoq_bigint::BigInt;
+    /// assert_eq!(BigInt::from(-10).half_exact(), BigInt::from(-5));
+    /// ```
+    pub fn half_exact(&self) -> BigInt {
+        assert!(self.is_even(), "half_exact called on an odd integer");
+        self >> 1
+    }
+
+    /// Multiplies the value by `2^exp`.
+    ///
+    /// ```
+    /// # use autoq_bigint::BigInt;
+    /// assert_eq!(BigInt::from(3).mul_pow2(5), BigInt::from(96));
+    /// ```
+    pub fn mul_pow2(&self, exp: u32) -> BigInt {
+        self << (exp as usize)
+    }
+
+    /// Number of bits in the magnitude (zero has zero bits).
+    ///
+    /// ```
+    /// # use autoq_bigint::BigInt;
+    /// assert_eq!(BigInt::from(255).bits(), 8);
+    /// assert_eq!(BigInt::zero().bits(), 0);
+    /// ```
+    pub fn bits(&self) -> u64 {
+        mag::bits(&self.limbs)
+    }
+
+    /// Approximates the value as an `f64` (may lose precision or overflow to
+    /// infinity for huge magnitudes).
+    ///
+    /// ```
+    /// # use autoq_bigint::BigInt;
+    /// assert_eq!(BigInt::from(-3).to_f64(), -3.0);
+    /// ```
+    pub fn to_f64(&self) -> f64 {
+        let mut value = 0.0_f64;
+        for &limb in self.limbs.iter().rev() {
+            value = value * 18446744073709551616.0 + limb as f64;
+        }
+        match self.sign {
+            Sign::Negative => -value,
+            _ => value,
+        }
+    }
+
+    /// Converts to `i64` if the value fits.
+    ///
+    /// ```
+    /// # use autoq_bigint::BigInt;
+    /// assert_eq!(BigInt::from(-42).to_i64(), Some(-42));
+    /// assert_eq!((&BigInt::from(i64::MAX) + &BigInt::one()).to_i64(), None);
+    /// ```
+    pub fn to_i64(&self) -> Option<i64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => {
+                let limb = self.limbs[0];
+                match self.sign {
+                    Sign::Positive if limb <= i64::MAX as u64 => Some(limb as i64),
+                    Sign::Negative if limb <= i64::MAX as u64 + 1 => Some((limb as i128 * -1) as i64),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Raises the value to a small power.
+    ///
+    /// ```
+    /// # use autoq_bigint::BigInt;
+    /// assert_eq!(BigInt::from(3).pow(4), BigInt::from(81));
+    /// assert_eq!(BigInt::from(7).pow(0), BigInt::one());
+    /// ```
+    pub fn pow(&self, mut exp: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut result = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                result = &result * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        result
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_canonical() {
+        let z = BigInt::zero();
+        assert!(z.is_zero());
+        assert!(z.limbs.is_empty());
+        assert_eq!(z.sign(), Sign::Zero);
+        assert!(z.is_even());
+        assert!(!z.is_negative());
+        assert!(!z.is_positive());
+    }
+
+    #[test]
+    fn normalisation_strips_trailing_zero_limbs() {
+        let v = BigInt::from_sign_limbs(Sign::Positive, vec![5, 0, 0]);
+        assert_eq!(v.limbs, vec![5]);
+        let z = BigInt::from_sign_limbs(Sign::Positive, vec![0, 0]);
+        assert!(z.is_zero());
+    }
+
+    #[test]
+    fn parity_and_abs() {
+        assert!(BigInt::from(6).is_even());
+        assert!(BigInt::from(-7).is_odd());
+        assert_eq!(BigInt::from(-7).abs(), BigInt::from(7));
+        assert_eq!(BigInt::from(7).abs(), BigInt::from(7));
+    }
+
+    #[test]
+    fn half_exact_works() {
+        assert_eq!(BigInt::from(128).half_exact(), BigInt::from(64));
+        assert_eq!(BigInt::from(-2).half_exact(), BigInt::from(-1));
+        assert_eq!(BigInt::zero().half_exact(), BigInt::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "half_exact")]
+    fn half_exact_panics_on_odd() {
+        let _ = BigInt::from(3).half_exact();
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        assert_eq!(BigInt::from(2).pow(10), BigInt::from(1024));
+        assert_eq!(BigInt::from(-2).pow(3), BigInt::from(-8));
+        assert_eq!(BigInt::from(-2).pow(4), BigInt::from(16));
+        assert_eq!(BigInt::zero().pow(0), BigInt::one());
+    }
+
+    #[test]
+    fn to_f64_round_trip_small() {
+        for v in [-1000_i64, -1, 0, 1, 65536, 1 << 52] {
+            assert_eq!(BigInt::from(v).to_f64(), v as f64);
+        }
+    }
+
+    #[test]
+    fn to_i64_bounds() {
+        assert_eq!(BigInt::from(i64::MIN).to_i64(), Some(i64::MIN));
+        assert_eq!(BigInt::from(i64::MAX).to_i64(), Some(i64::MAX));
+        let too_big = &BigInt::from(i64::MAX) + &BigInt::one();
+        assert_eq!(too_big.to_i64(), None);
+    }
+
+    #[test]
+    fn bits_counts_magnitude_bits() {
+        assert_eq!(BigInt::from(1).bits(), 1);
+        assert_eq!(BigInt::from(-16).bits(), 5);
+        assert_eq!(BigInt::from(u64::MAX).bits(), 64);
+        assert_eq!((&BigInt::from(u64::MAX) + &BigInt::one()).bits(), 65);
+    }
+
+    #[test]
+    fn mul_pow2_matches_shift() {
+        let x = BigInt::from(12345);
+        assert_eq!(x.mul_pow2(7), &x * &BigInt::from(128));
+    }
+}

@@ -1,0 +1,271 @@
+//! Unsigned magnitude arithmetic on little-endian `u64` limb slices.
+//!
+//! All functions operate on canonical magnitudes (no trailing zero limbs);
+//! the functions that produce magnitudes always return canonical vectors.
+
+use std::cmp::Ordering;
+
+/// Removes trailing zero limbs in place.
+pub(crate) fn normalize(limbs: &mut Vec<u64>) {
+    while limbs.last() == Some(&0) {
+        limbs.pop();
+    }
+}
+
+/// Compares two canonical magnitudes.
+pub(crate) fn cmp(a: &[u64], b: &[u64]) -> Ordering {
+    match a.len().cmp(&b.len()) {
+        Ordering::Equal => {
+            for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+                match x.cmp(y) {
+                    Ordering::Equal => continue,
+                    non_eq => return non_eq,
+                }
+            }
+            Ordering::Equal
+        }
+        non_eq => non_eq,
+    }
+}
+
+/// Adds two magnitudes.
+pub(crate) fn add(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut result = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for i in 0..long.len() {
+        let x = long[i];
+        let y = short.get(i).copied().unwrap_or(0);
+        let (sum1, c1) = x.overflowing_add(y);
+        let (sum2, c2) = sum1.overflowing_add(carry);
+        carry = (c1 as u64) + (c2 as u64);
+        result.push(sum2);
+    }
+    if carry != 0 {
+        result.push(carry);
+    }
+    result
+}
+
+/// Subtracts `b` from `a`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `a < b`; callers must ensure `a >= b`.
+pub(crate) fn sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert!(cmp(a, b) != Ordering::Less, "magnitude subtraction underflow");
+    let mut result = Vec::with_capacity(a.len());
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let x = a[i];
+        let y = b.get(i).copied().unwrap_or(0);
+        let (d1, b1) = x.overflowing_sub(y);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        borrow = (b1 as u64) + (b2 as u64);
+        result.push(d2);
+    }
+    debug_assert_eq!(borrow, 0);
+    normalize(&mut result);
+    result
+}
+
+/// Multiplies two magnitudes (schoolbook algorithm).
+pub(crate) fn mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut result = vec![0u64; a.len() + b.len()];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &y) in b.iter().enumerate() {
+            let cur = result[i + j] as u128 + (x as u128) * (y as u128) + carry;
+            result[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = result[k] as u128 + carry;
+            result[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    normalize(&mut result);
+    result
+}
+
+/// Shifts a magnitude left by `bits` bits.
+pub(crate) fn shl(a: &[u64], bits: usize) -> Vec<u64> {
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let limb_shift = bits / 64;
+    let bit_shift = bits % 64;
+    let mut result = vec![0u64; limb_shift];
+    if bit_shift == 0 {
+        result.extend_from_slice(a);
+    } else {
+        let mut carry = 0u64;
+        for &limb in a {
+            result.push((limb << bit_shift) | carry);
+            carry = limb >> (64 - bit_shift);
+        }
+        if carry != 0 {
+            result.push(carry);
+        }
+    }
+    normalize(&mut result);
+    result
+}
+
+/// Shifts a magnitude right by `bits` bits (dropping shifted-out bits).
+pub(crate) fn shr(a: &[u64], bits: usize) -> Vec<u64> {
+    let limb_shift = bits / 64;
+    if limb_shift >= a.len() {
+        return Vec::new();
+    }
+    let bit_shift = bits % 64;
+    let slice = &a[limb_shift..];
+    let mut result = Vec::with_capacity(slice.len());
+    if bit_shift == 0 {
+        result.extend_from_slice(slice);
+    } else {
+        for i in 0..slice.len() {
+            let lo = slice[i] >> bit_shift;
+            let hi = slice.get(i + 1).map_or(0, |&next| next << (64 - bit_shift));
+            result.push(lo | hi);
+        }
+    }
+    normalize(&mut result);
+    result
+}
+
+/// Divides a magnitude by a single non-zero limb, returning `(quotient, remainder)`.
+pub(crate) fn divmod_small(a: &[u64], divisor: u64) -> (Vec<u64>, u64) {
+    assert!(divisor != 0, "division by zero");
+    let mut quotient = vec![0u64; a.len()];
+    let mut remainder = 0u128;
+    for i in (0..a.len()).rev() {
+        let cur = (remainder << 64) | a[i] as u128;
+        quotient[i] = (cur / divisor as u128) as u64;
+        remainder = cur % divisor as u128;
+    }
+    normalize(&mut quotient);
+    (quotient, remainder as u64)
+}
+
+/// Multiplies a magnitude in place by a small factor and adds a small addend.
+/// Used by decimal parsing.
+pub(crate) fn mul_small_add(a: &mut Vec<u64>, factor: u64, addend: u64) {
+    let mut carry = addend as u128;
+    for limb in a.iter_mut() {
+        let cur = (*limb as u128) * (factor as u128) + carry;
+        *limb = cur as u64;
+        carry = cur >> 64;
+    }
+    while carry != 0 {
+        a.push(carry as u64);
+        carry >>= 64;
+    }
+    normalize(a);
+}
+
+/// Number of significant bits in a canonical magnitude.
+pub(crate) fn bits(a: &[u64]) -> u64 {
+    match a.last() {
+        None => 0,
+        Some(&top) => (a.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_with_carry_propagation() {
+        let a = vec![u64::MAX, u64::MAX];
+        let b = vec![1];
+        assert_eq!(add(&a, &b), vec![0, 0, 1]);
+        assert_eq!(add(&b, &a), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn sub_with_borrow_propagation() {
+        let a = vec![0, 0, 1];
+        let b = vec![1];
+        assert_eq!(sub(&a, &b), vec![u64::MAX, u64::MAX]);
+        assert_eq!(sub(&a, &a), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn mul_simple_and_cross_limb() {
+        assert_eq!(mul(&[3], &[4]), vec![12]);
+        assert_eq!(mul(&[], &[4]), Vec::<u64>::new());
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        assert_eq!(mul(&[u64::MAX], &[u64::MAX]), vec![1, u64::MAX - 1]);
+    }
+
+    #[test]
+    fn cmp_orders_by_length_then_lexicographic() {
+        assert_eq!(cmp(&[1, 1], &[u64::MAX]), Ordering::Greater);
+        assert_eq!(cmp(&[5], &[6]), Ordering::Less);
+        assert_eq!(cmp(&[7, 2], &[7, 2]), Ordering::Equal);
+        assert_eq!(cmp(&[0xdead, 3], &[0xbeef, 3]), Ordering::Greater);
+    }
+
+    #[test]
+    fn shl_shr_round_trip() {
+        let a = vec![0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210];
+        for bits in [0usize, 1, 7, 63, 64, 65, 100, 128] {
+            let shifted = shl(&a, bits);
+            assert_eq!(shr(&shifted, bits), a, "round trip failed for {bits} bits");
+        }
+        assert_eq!(shr(&a, 200), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn divmod_small_matches_u128() {
+        let value: u128 = 0x1234_5678_9abc_def0_1122_3344_5566_7788;
+        let a = vec![value as u64, (value >> 64) as u64];
+        let (q, r) = divmod_small(&a, 1_000_000_007);
+        let expect_q = value / 1_000_000_007;
+        let expect_r = value % 1_000_000_007;
+        let mut expected_limbs = vec![expect_q as u64, (expect_q >> 64) as u64];
+        normalize(&mut expected_limbs);
+        assert_eq!(q, expected_limbs);
+        assert_eq!(r, expect_r as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn divmod_small_zero_divisor_panics() {
+        let _ = divmod_small(&[1], 0);
+    }
+
+    #[test]
+    fn mul_small_add_builds_decimal() {
+        // simulate parsing "123456789012345678901234567890"
+        let mut acc: Vec<u64> = Vec::new();
+        for ch in "123456789012345678901234567890".bytes() {
+            mul_small_add(&mut acc, 10, (ch - b'0') as u64);
+        }
+        // check against divmod by 10^19 chunks
+        let (q, r) = divmod_small(&acc, 10_000_000_000_000_000_000);
+        assert_eq!(r, 2345678901234567890);
+        let (q2, r2) = divmod_small(&q, 10_000_000_000_000_000_000);
+        assert_eq!(r2, 12345678901);
+        assert_eq!(q2, Vec::<u64>::new());
+    }
+
+    #[test]
+    fn bits_of_magnitudes() {
+        assert_eq!(bits(&[]), 0);
+        assert_eq!(bits(&[1]), 1);
+        assert_eq!(bits(&[u64::MAX]), 64);
+        assert_eq!(bits(&[0, 1]), 65);
+    }
+}

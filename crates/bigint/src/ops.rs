@@ -1,0 +1,312 @@
+//! Arithmetic operator implementations for [`BigInt`].
+
+use std::cmp::Ordering;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Shl, Shr, Sub, SubAssign};
+
+use crate::{mag, BigInt, Sign};
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => match self.sign {
+                Sign::Zero => Ordering::Equal,
+                Sign::Positive => mag::cmp(&self.limbs, &other.limbs),
+                Sign::Negative => mag::cmp(&other.limbs, &self.limbs),
+            },
+            non_eq => non_eq,
+        }
+    }
+}
+
+/// Adds two signed magnitudes.
+fn signed_add(a: &BigInt, b: &BigInt) -> BigInt {
+    if a.is_zero() {
+        return b.clone();
+    }
+    if b.is_zero() {
+        return a.clone();
+    }
+    if a.sign == b.sign {
+        BigInt::from_sign_limbs(a.sign, mag::add(&a.limbs, &b.limbs))
+    } else {
+        match mag::cmp(&a.limbs, &b.limbs) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::from_sign_limbs(a.sign, mag::sub(&a.limbs, &b.limbs)),
+            Ordering::Less => BigInt::from_sign_limbs(b.sign, mag::sub(&b.limbs, &a.limbs)),
+        }
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+
+    fn add(self, rhs: &BigInt) -> BigInt {
+        signed_add(self, rhs)
+    }
+}
+
+impl Add for BigInt {
+    type Output = BigInt;
+
+    fn add(self, rhs: BigInt) -> BigInt {
+        signed_add(&self, &rhs)
+    }
+}
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = signed_add(self, rhs);
+    }
+}
+
+impl AddAssign for BigInt {
+    fn add_assign(&mut self, rhs: BigInt) {
+        *self = signed_add(self, &rhs);
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        signed_add(self, &(-rhs))
+    }
+}
+
+impl Sub for BigInt {
+    type Output = BigInt;
+
+    fn sub(self, rhs: BigInt) -> BigInt {
+        signed_add(&self, &(-&rhs))
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = signed_add(self, &(-rhs));
+    }
+}
+
+impl SubAssign for BigInt {
+    fn sub_assign(&mut self, rhs: BigInt) {
+        *self = signed_add(self, &(-&rhs));
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        let sign = self.sign.mul(rhs.sign);
+        if sign == Sign::Zero {
+            return BigInt::zero();
+        }
+        BigInt::from_sign_limbs(sign, mag::mul(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Mul for BigInt {
+    type Output = BigInt;
+
+    fn mul(self, rhs: BigInt) -> BigInt {
+        &self * &rhs
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: &BigInt) {
+        *self = &*self * rhs;
+    }
+}
+
+impl MulAssign for BigInt {
+    fn mul_assign(&mut self, rhs: BigInt) {
+        *self = &*self * &rhs;
+    }
+}
+
+impl Mul<i64> for &BigInt {
+    type Output = BigInt;
+
+    fn mul(self, rhs: i64) -> BigInt {
+        self * &BigInt::from(rhs)
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+
+    fn neg(self) -> BigInt {
+        BigInt { sign: -self.sign, limbs: self.limbs.clone() }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+
+    fn neg(mut self) -> BigInt {
+        self.sign = -self.sign;
+        self
+    }
+}
+
+impl Shl<usize> for &BigInt {
+    type Output = BigInt;
+
+    fn shl(self, bits: usize) -> BigInt {
+        if self.is_zero() {
+            return BigInt::zero();
+        }
+        BigInt::from_sign_limbs(self.sign, mag::shl(&self.limbs, bits))
+    }
+}
+
+impl Shl<usize> for BigInt {
+    type Output = BigInt;
+
+    fn shl(self, bits: usize) -> BigInt {
+        &self << bits
+    }
+}
+
+impl Shr<usize> for &BigInt {
+    type Output = BigInt;
+
+    /// Arithmetic-magnitude right shift: shifts the magnitude, keeping the
+    /// sign (truncates towards zero).  Only used for exact halving in the
+    /// amplitude algebra.
+    fn shr(self, bits: usize) -> BigInt {
+        if self.is_zero() {
+            return BigInt::zero();
+        }
+        let limbs = mag::shr(&self.limbs, bits);
+        if limbs.is_empty() {
+            BigInt::zero()
+        } else {
+            BigInt::from_sign_limbs(self.sign, limbs)
+        }
+    }
+}
+
+impl Shr<usize> for BigInt {
+    type Output = BigInt;
+
+    fn shr(self, bits: usize) -> BigInt {
+        &self >> bits
+    }
+}
+
+impl std::iter::Sum for BigInt {
+    fn sum<I: Iterator<Item = BigInt>>(iter: I) -> BigInt {
+        iter.fold(BigInt::zero(), |acc, x| &acc + &x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn addition_covers_all_sign_combinations() {
+        let cases: [(i128, i128); 9] = [
+            (0, 0),
+            (5, 0),
+            (0, -5),
+            (3, 4),
+            (-3, -4),
+            (10, -4),
+            (-10, 4),
+            (4, -10),
+            (-4, 10),
+        ];
+        for (x, y) in cases {
+            assert_eq!(&big(x) + &big(y), big(x + y), "{x} + {y}");
+        }
+    }
+
+    #[test]
+    fn subtraction_covers_all_sign_combinations() {
+        let cases: [(i128, i128); 8] =
+            [(0, 0), (5, 0), (0, 5), (3, 4), (-3, -4), (10, -4), (-10, 4), (4, 10)];
+        for (x, y) in cases {
+            assert_eq!(&big(x) - &big(y), big(x - y), "{x} - {y}");
+        }
+    }
+
+    #[test]
+    fn multiplication_signs_and_magnitudes() {
+        let cases: [(i128, i128); 7] =
+            [(0, 7), (7, 0), (3, 4), (-3, 4), (3, -4), (-3, -4), (1 << 40, 1 << 40)];
+        for (x, y) in cases {
+            assert_eq!(&big(x) * &big(y), big(x * y), "{x} * {y}");
+        }
+    }
+
+    #[test]
+    fn comparisons_match_integer_order() {
+        let values: [i128; 7] = [-(1 << 70), -5, -1, 0, 1, 5, 1 << 70];
+        for &x in &values {
+            for &y in &values {
+                assert_eq!(big(x).cmp(&big(y)), x.cmp(&y), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        for v in [-7_i128, 0, 7, 1 << 90] {
+            assert_eq!(-(-&big(v)), big(v));
+        }
+    }
+
+    #[test]
+    fn shifts_match_i128() {
+        for v in [1_i128, 5, -17, 123456789] {
+            for s in [0usize, 1, 3, 10, 64] {
+                assert_eq!(&big(v) << s, big(v << s), "{v} << {s}");
+            }
+        }
+        assert_eq!(&big(-8) >> 1, big(-4));
+        assert_eq!(&big(16) >> 2, big(4));
+        assert_eq!(&big(1) >> 1, BigInt::zero());
+    }
+
+    #[test]
+    fn assignment_operators() {
+        let mut x = big(10);
+        x += &big(5);
+        assert_eq!(x, big(15));
+        x -= &big(20);
+        assert_eq!(x, big(-5));
+        x *= &big(-3);
+        assert_eq!(x, big(15));
+        x += big(1);
+        x -= big(2);
+        x *= big(2);
+        assert_eq!(x, big(28));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: BigInt = (1..=100_i64).map(BigInt::from).sum();
+        assert_eq!(total, big(5050));
+    }
+
+    #[test]
+    fn large_cancellation_is_exact() {
+        let a = big(1 << 100) * big(1 << 20);
+        let b = &a - &big(1);
+        assert_eq!(&a - &b, big(1));
+        assert_eq!(&b - &a, big(-1));
+    }
+}

@@ -1,0 +1,93 @@
+//! The sign of a [`BigInt`](crate::BigInt).
+
+use std::ops::Neg;
+
+/// Sign of an arbitrary-precision integer.
+///
+/// ```
+/// use autoq_bigint::{BigInt, Sign};
+/// assert_eq!(BigInt::from(-3).sign(), Sign::Negative);
+/// assert_eq!(BigInt::zero().sign(), Sign::Zero);
+/// assert_eq!(BigInt::from(3).sign(), Sign::Positive);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+impl Sign {
+    /// Returns the product sign of two signs.
+    ///
+    /// ```
+    /// use autoq_bigint::Sign;
+    /// assert_eq!(Sign::Negative.mul(Sign::Negative), Sign::Positive);
+    /// assert_eq!(Sign::Negative.mul(Sign::Zero), Sign::Zero);
+    /// ```
+    pub fn mul(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Positive,
+            _ => Sign::Negative,
+        }
+    }
+
+    /// Returns `1`, `0` or `-1`.
+    pub fn to_i32(self) -> i32 {
+        match self {
+            Sign::Negative => -1,
+            Sign::Zero => 0,
+            Sign::Positive => 1,
+        }
+    }
+}
+
+impl Neg for Sign {
+    type Output = Sign;
+
+    fn neg(self) -> Sign {
+        match self {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_multiplication_table() {
+        use Sign::*;
+        assert_eq!(Positive.mul(Positive), Positive);
+        assert_eq!(Positive.mul(Negative), Negative);
+        assert_eq!(Negative.mul(Positive), Negative);
+        assert_eq!(Negative.mul(Negative), Positive);
+        for s in [Negative, Zero, Positive] {
+            assert_eq!(s.mul(Zero), Zero);
+            assert_eq!(Zero.mul(s), Zero);
+        }
+    }
+
+    #[test]
+    fn sign_negation() {
+        assert_eq!(-Sign::Positive, Sign::Negative);
+        assert_eq!(-Sign::Negative, Sign::Positive);
+        assert_eq!(-Sign::Zero, Sign::Zero);
+    }
+
+    #[test]
+    fn sign_ordering_matches_numeric_order() {
+        assert!(Sign::Negative < Sign::Zero);
+        assert!(Sign::Zero < Sign::Positive);
+        assert_eq!(Sign::Negative.to_i32(), -1);
+        assert_eq!(Sign::Zero.to_i32(), 0);
+        assert_eq!(Sign::Positive.to_i32(), 1);
+    }
+}

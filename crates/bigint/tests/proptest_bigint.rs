@@ -1,0 +1,86 @@
+//! Property-based tests comparing `BigInt` arithmetic against `i128`.
+
+use autoq_bigint::BigInt;
+use proptest::prelude::*;
+
+fn big(v: i128) -> BigInt {
+    BigInt::from(v)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_i128(a in -(1i128 << 100)..(1i128 << 100), b in -(1i128 << 100)..(1i128 << 100)) {
+        prop_assert_eq!(&big(a) + &big(b), big(a + b));
+    }
+
+    #[test]
+    fn sub_matches_i128(a in -(1i128 << 100)..(1i128 << 100), b in -(1i128 << 100)..(1i128 << 100)) {
+        prop_assert_eq!(&big(a) - &big(b), big(a - b));
+    }
+
+    #[test]
+    fn mul_matches_i128(a in -(1i128 << 60)..(1i128 << 60), b in -(1i128 << 60)..(1i128 << 60)) {
+        prop_assert_eq!(&big(a) * &big(b), big(a * b));
+    }
+
+    #[test]
+    fn ordering_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(big(a as i128).cmp(&big(b as i128)), a.cmp(&b));
+    }
+
+    #[test]
+    fn parity_matches_i128(a in any::<i128>()) {
+        prop_assert_eq!(big(a).is_even(), a % 2 == 0);
+    }
+
+    #[test]
+    fn display_parse_round_trip(a in any::<i128>()) {
+        let value = big(a);
+        let parsed: BigInt = value.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, value);
+    }
+
+    #[test]
+    fn to_i128_round_trip(a in any::<i128>()) {
+        prop_assert_eq!(big(a).to_i128(), Some(a));
+    }
+
+    #[test]
+    fn shl_matches_i128(a in -(1i128 << 80)..(1i128 << 80), s in 0usize..40) {
+        prop_assert_eq!(&big(a) << s, big(a << s));
+    }
+
+    #[test]
+    fn addition_is_commutative_and_associative(
+        a in any::<i128>(), b in any::<i128>(), c in any::<i128>()
+    ) {
+        let (x, y, z) = (big(a), big(b), big(c));
+        prop_assert_eq!(&x + &y, &y + &x);
+        prop_assert_eq!(&(&x + &y) + &z, &x + &(&y + &z));
+    }
+
+    #[test]
+    fn multiplication_distributes_over_addition(
+        a in -(1i128 << 40)..(1i128 << 40),
+        b in -(1i128 << 40)..(1i128 << 40),
+        c in -(1i128 << 40)..(1i128 << 40)
+    ) {
+        let (x, y, z) = (big(a), big(b), big(c));
+        prop_assert_eq!(&x * &(&y + &z), &(&x * &y) + &(&x * &z));
+    }
+
+    #[test]
+    fn half_of_doubled_value_is_identity(a in any::<i128>()) {
+        let x = big(a);
+        let doubled = &x + &x;
+        prop_assert_eq!(doubled.half_exact(), x);
+    }
+
+    #[test]
+    fn to_f64_sign_agrees(a in any::<i128>()) {
+        let f = big(a).to_f64();
+        if a > 0 { prop_assert!(f > 0.0); }
+        if a < 0 { prop_assert!(f < 0.0); }
+        if a == 0 { prop_assert_eq!(f, 0.0); }
+    }
+}

@@ -1,0 +1,345 @@
+//! Circuits: validated gate sequences over a fixed set of qubits.
+
+use std::fmt;
+
+use crate::Gate;
+
+/// Error produced when building an ill-formed circuit.
+///
+/// ```
+/// use autoq_circuit::{Circuit, CircuitError, Gate};
+/// let mut circuit = Circuit::new(2);
+/// assert_eq!(circuit.push(Gate::X(5)), Err(CircuitError::QubitOutOfRange { qubit: 5, num_qubits: 2 }));
+/// assert_eq!(
+///     circuit.push(Gate::Cnot { control: 1, target: 1 }),
+///     Err(CircuitError::DuplicateQubit { qubit: 1 })
+/// );
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A gate refers to a qubit index `≥ num_qubits`.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: u32,
+        /// The circuit width.
+        num_qubits: u32,
+    },
+    /// A gate uses the same qubit twice (e.g. a CNOT with control = target).
+    DuplicateQubit {
+        /// The repeated qubit index.
+        qubit: u32,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for a {num_qubits}-qubit circuit")
+            }
+            CircuitError::DuplicateQubit { qubit } => {
+                write!(f, "gate uses qubit {qubit} more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// A quantum circuit: an ordered list of gates over `num_qubits` qubits.
+///
+/// # Examples
+///
+/// ```
+/// use autoq_circuit::{Circuit, Gate};
+/// let mut circuit = Circuit::new(3);
+/// circuit.push(Gate::H(0)).unwrap();
+/// circuit.push(Gate::Toffoli { controls: [0, 1], target: 2 }).unwrap();
+/// assert_eq!(circuit.num_qubits(), 3);
+/// assert_eq!(circuit.gate_count(), 2);
+/// assert_eq!(circuit.t_like_count(), 0);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Circuit {
+    num_qubits: u32,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: u32) -> Self {
+        Circuit { num_qubits, gates: Vec::new() }
+    }
+
+    /// Builds a circuit from a gate list, validating every gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation error encountered.
+    pub fn from_gates(num_qubits: u32, gates: impl IntoIterator<Item = Gate>) -> Result<Self, CircuitError> {
+        let mut circuit = Circuit::new(num_qubits);
+        for gate in gates {
+            circuit.push(gate)?;
+        }
+        Ok(circuit)
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError`] if the gate refers to an out-of-range qubit
+    /// or repeats a qubit.
+    pub fn push(&mut self, gate: Gate) -> Result<(), CircuitError> {
+        let qubits = gate.qubits();
+        for &q in &qubits {
+            if q >= self.num_qubits {
+                return Err(CircuitError::QubitOutOfRange { qubit: q, num_qubits: self.num_qubits });
+            }
+        }
+        for (i, &q) in qubits.iter().enumerate() {
+            if qubits[i + 1..].contains(&q) {
+                return Err(CircuitError::DuplicateQubit { qubit: q });
+            }
+        }
+        self.gates.push(gate);
+        Ok(())
+    }
+
+    /// Appends every gate of `other` (which must have the same width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn append(&mut self, other: &Circuit) {
+        assert_eq!(self.num_qubits, other.num_qubits, "circuit width mismatch");
+        self.gates.extend(other.gates.iter().copied());
+    }
+
+    /// The number of qubits (circuit width).
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// The number of gates (the paper's `#G` column).
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The gates in application order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Iterates over the gates in application order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Gate> {
+        self.gates.iter()
+    }
+
+    /// Returns the inverse circuit `C†` (gates reversed and inverted).
+    ///
+    /// ```
+    /// # use autoq_circuit::{Circuit, Gate};
+    /// let mut c = Circuit::new(1);
+    /// c.push(Gate::T(0)).unwrap();
+    /// c.push(Gate::H(0)).unwrap();
+    /// let dag = c.dagger();
+    /// assert_eq!(dag.gates()[0], Gate::H(0));
+    /// assert_eq!(dag.gates()[1], Gate::Tdg(0));
+    /// ```
+    pub fn dagger(&self) -> Circuit {
+        let mut result = Circuit::new(self.num_qubits);
+        for gate in self.gates.iter().rev() {
+            for inverse in gate.dagger() {
+                result.gates.push(inverse);
+            }
+        }
+        result
+    }
+
+    /// Returns a copy with `SWAP`/Fredkin gates decomposed into the primitive
+    /// set supported by the automata engine.
+    pub fn decomposed(&self) -> Circuit {
+        let mut result = Circuit::new(self.num_qubits);
+        for gate in &self.gates {
+            result.gates.extend(gate.decompose());
+        }
+        result
+    }
+
+    /// Concatenates `self ; other.dagger()`, the "miter" circuit used by
+    /// equivalence checkers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn then_inverse_of(&self, other: &Circuit) -> Circuit {
+        assert_eq!(self.num_qubits, other.num_qubits, "circuit width mismatch");
+        let mut result = self.clone();
+        result.append(&other.dagger());
+        result
+    }
+
+    /// Number of `T`/`T†` gates (a common cost measure for Clifford+T
+    /// circuits).
+    pub fn t_like_count(&self) -> usize {
+        self.gates.iter().filter(|g| matches!(g, Gate::T(_) | Gate::Tdg(_))).count()
+    }
+
+    /// Number of gates that are not in the Clifford group.
+    pub fn non_clifford_count(&self) -> usize {
+        self.gates.iter().filter(|g| !g.is_clifford()).count()
+    }
+
+    /// Number of multi-qubit gates.
+    pub fn multi_qubit_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.qubits().len() > 1).count()
+    }
+
+    /// A simple circuit depth measure: the length of the longest chain of
+    /// gates sharing qubits.
+    pub fn depth(&self) -> usize {
+        let mut layer_of_qubit = vec![0usize; self.num_qubits as usize];
+        let mut depth = 0;
+        for gate in &self.gates {
+            let layer = gate.qubits().iter().map(|&q| layer_of_qubit[q as usize]).max().unwrap_or(0) + 1;
+            for q in gate.qubits() {
+                layer_of_qubit[q as usize] = layer;
+            }
+            depth = depth.max(layer);
+        }
+        depth
+    }
+
+    /// Serialises the circuit as OpenQASM 2.0 (see [`crate::qasm`]).
+    pub fn to_qasm(&self) -> String {
+        crate::qasm::write_qasm(self)
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit on {} qubits, {} gates:", self.num_qubits, self.gates.len())?;
+        for gate in &self.gates {
+            writeln!(f, "  {gate};")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Gate;
+    type IntoIter = std::slice::Iter<'a, Gate>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.gates.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epr() -> Circuit {
+        Circuit::from_gates(2, [Gate::H(0), Gate::Cnot { control: 0, target: 1 }]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let circuit = epr();
+        assert_eq!(circuit.num_qubits(), 2);
+        assert_eq!(circuit.gate_count(), 2);
+        assert_eq!(circuit.gates()[0], Gate::H(0));
+        assert_eq!(circuit.iter().count(), 2);
+        assert_eq!((&circuit).into_iter().count(), 2);
+        assert_eq!(circuit.depth(), 2);
+    }
+
+    #[test]
+    fn validation_rejects_bad_gates() {
+        let mut circuit = Circuit::new(2);
+        assert!(circuit.push(Gate::X(2)).is_err());
+        assert!(circuit.push(Gate::Toffoli { controls: [0, 0], target: 1 }).is_err());
+        assert!(circuit.push(Gate::Swap(1, 1)).is_err());
+        assert_eq!(circuit.gate_count(), 0);
+        let err = CircuitError::QubitOutOfRange { qubit: 9, num_qubits: 2 };
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn dagger_reverses_and_inverts() {
+        let mut circuit = Circuit::new(2);
+        circuit.push(Gate::S(0)).unwrap();
+        circuit.push(Gate::Cnot { control: 0, target: 1 }).unwrap();
+        circuit.push(Gate::T(1)).unwrap();
+        let dag = circuit.dagger();
+        assert_eq!(dag.gates(), &[Gate::Tdg(1), Gate::Cnot { control: 0, target: 1 }, Gate::Sdg(0)]);
+        // (C†)† = C for circuits without rotations
+        assert_eq!(dag.dagger(), circuit);
+    }
+
+    #[test]
+    fn miter_has_expected_length() {
+        let c1 = epr();
+        let c2 = epr();
+        let miter = c1.then_inverse_of(&c2);
+        assert_eq!(miter.gate_count(), 4);
+        assert_eq!(miter.num_qubits(), 2);
+    }
+
+    #[test]
+    fn gate_statistics() {
+        let circuit = Circuit::from_gates(
+            3,
+            [
+                Gate::T(0),
+                Gate::Tdg(1),
+                Gate::H(2),
+                Gate::Toffoli { controls: [0, 1], target: 2 },
+                Gate::Cnot { control: 0, target: 1 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(circuit.t_like_count(), 2);
+        assert_eq!(circuit.non_clifford_count(), 3);
+        assert_eq!(circuit.multi_qubit_count(), 2);
+    }
+
+    #[test]
+    fn decomposed_expands_swap_gates() {
+        let circuit = Circuit::from_gates(3, [Gate::Swap(0, 2), Gate::H(1)]).unwrap();
+        let decomposed = circuit.decomposed();
+        assert_eq!(decomposed.gate_count(), 4);
+        assert!(decomposed.gates().iter().all(|g| !matches!(g, Gate::Swap(..))));
+    }
+
+    #[test]
+    fn append_merges_circuits() {
+        let mut a = epr();
+        let b = epr();
+        a.append(&b);
+        assert_eq!(a.gate_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn append_panics_on_width_mismatch() {
+        let mut a = Circuit::new(2);
+        let b = Circuit::new(3);
+        a.append(&b);
+    }
+
+    #[test]
+    fn display_lists_gates() {
+        let rendered = epr().to_string();
+        assert!(rendered.contains("h q[0];"));
+        assert!(rendered.contains("cx q[0],q[1];"));
+    }
+
+    #[test]
+    fn depth_of_parallel_gates_is_one() {
+        let circuit = Circuit::from_gates(3, [Gate::H(0), Gate::H(1), Gate::H(2)]).unwrap();
+        assert_eq!(circuit.depth(), 1);
+        assert_eq!(Circuit::new(4).depth(), 0);
+    }
+}

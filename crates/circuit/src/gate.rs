@@ -1,0 +1,390 @@
+//! The quantum gate vocabulary.
+
+use std::fmt;
+
+use autoq_amplitude::Algebraic;
+
+/// A quantum gate from the AutoQ paper's supported set (Table 1 and
+/// Appendix A), applied to concrete 0-based qubit indices.
+///
+/// The set contains the Clifford+T universal basis (`H`, `S`, `CNOT`, `T`)
+/// and therefore suffices for approximately-universal quantum computation;
+/// `SWAP` and the Fredkin gate are provided as conveniences and are
+/// decomposed into the primitive set by [`Gate::decompose`].
+///
+/// # Examples
+///
+/// ```
+/// use autoq_circuit::Gate;
+/// let gate = Gate::Toffoli { controls: [0, 1], target: 2 };
+/// assert_eq!(gate.qubits(), vec![0, 1, 2]);
+/// assert_eq!(gate.name(), "ccx");
+/// assert!(gate.is_self_inverse());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Gate {
+    /// Pauli-X (NOT) on the target qubit.
+    X(u32),
+    /// Pauli-Y on the target qubit.
+    Y(u32),
+    /// Pauli-Z on the target qubit.
+    Z(u32),
+    /// Hadamard on the target qubit.
+    H(u32),
+    /// Phase gate `S = diag(1, i)`.
+    S(u32),
+    /// Inverse phase gate `S† = diag(1, −i)`.
+    Sdg(u32),
+    /// `T = diag(1, ω)`.
+    T(u32),
+    /// `T† = diag(1, ω⁻¹)`.
+    Tdg(u32),
+    /// X-axis rotation by π/2 (as in Table 1).
+    RxPi2(u32),
+    /// Y-axis rotation by π/2 (as in Table 1).
+    RyPi2(u32),
+    /// Controlled NOT.
+    Cnot {
+        /// Control qubit.
+        control: u32,
+        /// Target qubit.
+        target: u32,
+    },
+    /// Controlled Z.
+    Cz {
+        /// Control qubit.
+        control: u32,
+        /// Target qubit.
+        target: u32,
+    },
+    /// Swap two qubits.
+    Swap(u32, u32),
+    /// Toffoli (doubly-controlled NOT).
+    Toffoli {
+        /// Control qubits.
+        controls: [u32; 2],
+        /// Target qubit.
+        target: u32,
+    },
+    /// Fredkin (controlled swap).
+    Fredkin {
+        /// Control qubit.
+        control: u32,
+        /// Swapped qubits.
+        targets: [u32; 2],
+    },
+}
+
+impl Gate {
+    /// All qubits touched by the gate, controls first.
+    pub fn qubits(&self) -> Vec<u32> {
+        match *self {
+            Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::H(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::RxPi2(q)
+            | Gate::RyPi2(q) => vec![q],
+            Gate::Cnot { control, target } | Gate::Cz { control, target } => vec![control, target],
+            Gate::Swap(a, b) => vec![a, b],
+            Gate::Toffoli { controls, target } => vec![controls[0], controls[1], target],
+            Gate::Fredkin { control, targets } => vec![control, targets[0], targets[1]],
+        }
+    }
+
+    /// The control qubits of the gate (empty for single-qubit gates).
+    pub fn controls(&self) -> Vec<u32> {
+        match *self {
+            Gate::Cnot { control, .. } | Gate::Cz { control, .. } | Gate::Fredkin { control, .. } => {
+                vec![control]
+            }
+            Gate::Toffoli { controls, .. } => controls.to_vec(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// The short OpenQASM-style mnemonic of the gate.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::X(_) => "x",
+            Gate::Y(_) => "y",
+            Gate::Z(_) => "z",
+            Gate::H(_) => "h",
+            Gate::S(_) => "s",
+            Gate::Sdg(_) => "sdg",
+            Gate::T(_) => "t",
+            Gate::Tdg(_) => "tdg",
+            Gate::RxPi2(_) => "rx(pi/2)",
+            Gate::RyPi2(_) => "ry(pi/2)",
+            Gate::Cnot { .. } => "cx",
+            Gate::Cz { .. } => "cz",
+            Gate::Swap(..) => "swap",
+            Gate::Toffoli { .. } => "ccx",
+            Gate::Fredkin { .. } => "cswap",
+        }
+    }
+
+    /// Returns `true` if the gate equals its own inverse.
+    pub fn is_self_inverse(&self) -> bool {
+        matches!(
+            self,
+            Gate::X(_)
+                | Gate::Y(_)
+                | Gate::Z(_)
+                | Gate::H(_)
+                | Gate::Cnot { .. }
+                | Gate::Cz { .. }
+                | Gate::Swap(..)
+                | Gate::Toffoli { .. }
+                | Gate::Fredkin { .. }
+        )
+    }
+
+    /// Returns `true` if the gate belongs to the Clifford group (i.e. all
+    /// gates of Table 1 except `T`, `T†` and the Toffoli/Fredkin gates).
+    pub fn is_clifford(&self) -> bool {
+        !matches!(self, Gate::T(_) | Gate::Tdg(_) | Gate::Toffoli { .. } | Gate::Fredkin { .. })
+    }
+
+    /// The inverse of the gate as a (short) gate sequence.
+    ///
+    /// Self-inverse gates return themselves; `S`/`T` return their daggered
+    /// variants; the π/2 rotations return seven copies of themselves (their
+    /// eighth power is the identity).
+    pub fn dagger(&self) -> Vec<Gate> {
+        match *self {
+            Gate::S(q) => vec![Gate::Sdg(q)],
+            Gate::Sdg(q) => vec![Gate::S(q)],
+            Gate::T(q) => vec![Gate::Tdg(q)],
+            Gate::Tdg(q) => vec![Gate::T(q)],
+            Gate::RxPi2(q) => vec![Gate::RxPi2(q); 7],
+            Gate::RyPi2(q) => vec![Gate::RyPi2(q); 7],
+            gate => vec![gate],
+        }
+    }
+
+    /// Decomposes convenience gates (`SWAP`, Fredkin) into the primitive set
+    /// handled by the automata engine; primitive gates return themselves.
+    pub fn decompose(&self) -> Vec<Gate> {
+        match *self {
+            Gate::Swap(a, b) => vec![
+                Gate::Cnot { control: a, target: b },
+                Gate::Cnot { control: b, target: a },
+                Gate::Cnot { control: a, target: b },
+            ],
+            Gate::Fredkin { control, targets: [a, b] } => vec![
+                Gate::Cnot { control: b, target: a },
+                Gate::Toffoli { controls: [control, a], target: b },
+                Gate::Cnot { control: b, target: a },
+            ],
+            gate => vec![gate],
+        }
+    }
+
+    /// The dense unitary matrix of the gate over its own qubits, in the
+    /// ordering returned by [`Gate::qubits`] (most significant qubit first).
+    ///
+    /// The matrix entries are exact algebraic amplitudes; the matrix is used
+    /// by tests to validate the circuit simulator and the symbolic update
+    /// formulae of the automata engine.
+    pub fn unitary(&self) -> Vec<Vec<Algebraic>> {
+        let zero = Algebraic::zero;
+        let one = Algebraic::one;
+        let inv_sqrt2 = Algebraic::one_over_sqrt2;
+        let i = Algebraic::i;
+        match self {
+            Gate::X(_) => vec![vec![zero(), one()], vec![one(), zero()]],
+            Gate::Y(_) => vec![vec![zero(), -&i()], vec![i(), zero()]],
+            Gate::Z(_) => vec![vec![one(), zero()], vec![zero(), -&one()]],
+            Gate::H(_) => vec![vec![inv_sqrt2(), inv_sqrt2()], vec![inv_sqrt2(), -&inv_sqrt2()]],
+            Gate::S(_) => vec![vec![one(), zero()], vec![zero(), i()]],
+            Gate::Sdg(_) => vec![vec![one(), zero()], vec![zero(), -&i()]],
+            Gate::T(_) => vec![vec![one(), zero()], vec![zero(), Algebraic::omega()]],
+            Gate::Tdg(_) => vec![vec![one(), zero()], vec![zero(), Algebraic::omega_pow(7)]],
+            Gate::RxPi2(_) => vec![
+                vec![inv_sqrt2(), -&(i().div_sqrt2())],
+                vec![-&(i().div_sqrt2()), inv_sqrt2()],
+            ],
+            Gate::RyPi2(_) => vec![
+                vec![inv_sqrt2(), -&inv_sqrt2()],
+                vec![inv_sqrt2(), inv_sqrt2()],
+            ],
+            Gate::Cnot { .. } => permutation_matrix(&[0, 1, 3, 2]),
+            Gate::Cz { .. } => {
+                let mut m = permutation_matrix(&[0, 1, 2, 3]);
+                m[3][3] = -&Algebraic::one();
+                m
+            }
+            Gate::Swap(..) => permutation_matrix(&[0, 2, 1, 3]),
+            Gate::Toffoli { .. } => permutation_matrix(&[0, 1, 2, 3, 4, 5, 7, 6]),
+            Gate::Fredkin { .. } => permutation_matrix(&[0, 1, 2, 3, 4, 6, 5, 7]),
+        }
+    }
+}
+
+/// Builds the matrix of a basis-state permutation: column `j` has a one in
+/// row `perm[j]`.
+fn permutation_matrix(perm: &[usize]) -> Vec<Vec<Algebraic>> {
+    let n = perm.len();
+    let mut matrix = vec![vec![Algebraic::zero(); n]; n];
+    for (col, &row) in perm.iter().enumerate() {
+        matrix[row][col] = Algebraic::one();
+    }
+    matrix
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let qubits: Vec<String> = self.qubits().iter().map(|q| format!("q[{q}]")).collect();
+        write!(f, "{} {}", self.name(), qubits.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_sample_gates() -> Vec<Gate> {
+        vec![
+            Gate::X(0),
+            Gate::Y(1),
+            Gate::Z(2),
+            Gate::H(0),
+            Gate::S(1),
+            Gate::Sdg(1),
+            Gate::T(2),
+            Gate::Tdg(2),
+            Gate::RxPi2(0),
+            Gate::RyPi2(0),
+            Gate::Cnot { control: 0, target: 1 },
+            Gate::Cz { control: 1, target: 2 },
+            Gate::Swap(0, 2),
+            Gate::Toffoli { controls: [0, 1], target: 2 },
+            Gate::Fredkin { control: 0, targets: [1, 2] },
+        ]
+    }
+
+    /// Multiplies two exact matrices.
+    fn matmul(a: &[Vec<Algebraic>], b: &[Vec<Algebraic>]) -> Vec<Vec<Algebraic>> {
+        let n = a.len();
+        let mut out = vec![vec![Algebraic::zero(); n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = Algebraic::zero();
+                for (k, b_row) in b.iter().enumerate() {
+                    acc = &acc + &(&a[i][k] * &b_row[j]);
+                }
+                out[i][j] = acc;
+            }
+        }
+        out
+    }
+
+    fn conjugate_transpose(a: &[Vec<Algebraic>]) -> Vec<Vec<Algebraic>> {
+        let n = a.len();
+        let mut out = vec![vec![Algebraic::zero(); n]; n];
+        for (i, row) in a.iter().enumerate() {
+            for (j, value) in row.iter().enumerate() {
+                out[j][i] = value.conj();
+            }
+        }
+        out
+    }
+
+    fn is_identity(a: &[Vec<Algebraic>]) -> bool {
+        a.iter().enumerate().all(|(i, row)| {
+            row.iter().enumerate().all(|(j, v)| {
+                if i == j {
+                    v == &Algebraic::one()
+                } else {
+                    v.is_zero()
+                }
+            })
+        })
+    }
+
+    #[test]
+    fn every_gate_matrix_is_unitary() {
+        for gate in all_sample_gates() {
+            let u = gate.unitary();
+            let product = matmul(&conjugate_transpose(&u), &u);
+            assert!(is_identity(&product), "{gate:?} is not unitary");
+        }
+    }
+
+    #[test]
+    fn self_inverse_gates_square_to_identity() {
+        for gate in all_sample_gates() {
+            if gate.is_self_inverse() {
+                let u = gate.unitary();
+                assert!(is_identity(&matmul(&u, &u)), "{gate:?} should square to I");
+            }
+        }
+    }
+
+    #[test]
+    fn dagger_composes_to_identity() {
+        for gate in all_sample_gates() {
+            let u = gate.unitary();
+            let mut acc = u.clone();
+            for inverse in gate.dagger() {
+                // all dagger gates act on the same qubits, so matrices compose directly
+                acc = matmul(&inverse.unitary(), &acc);
+            }
+            assert!(is_identity(&acc), "{gate:?} dagger is wrong");
+        }
+    }
+
+    #[test]
+    fn qubits_and_controls_are_reported() {
+        let toffoli = Gate::Toffoli { controls: [3, 1], target: 0 };
+        assert_eq!(toffoli.qubits(), vec![3, 1, 0]);
+        assert_eq!(toffoli.controls(), vec![3, 1]);
+        assert_eq!(Gate::H(5).controls(), Vec::<u32>::new());
+        assert_eq!(Gate::Fredkin { control: 2, targets: [0, 1] }.qubits(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn clifford_classification() {
+        assert!(Gate::H(0).is_clifford());
+        assert!(Gate::S(0).is_clifford());
+        assert!(Gate::Cnot { control: 0, target: 1 }.is_clifford());
+        assert!(!Gate::T(0).is_clifford());
+        assert!(!Gate::Toffoli { controls: [0, 1], target: 2 }.is_clifford());
+    }
+
+    #[test]
+    fn decomposition_uses_only_primitive_gates() {
+        for gate in [Gate::Swap(0, 1), Gate::Fredkin { control: 0, targets: [1, 2] }] {
+            for primitive in gate.decompose() {
+                assert!(matches!(primitive, Gate::Cnot { .. } | Gate::Toffoli { .. }));
+            }
+        }
+        assert_eq!(Gate::H(0).decompose(), vec![Gate::H(0)]);
+    }
+
+    #[test]
+    fn display_is_qasm_like() {
+        assert_eq!(Gate::Cnot { control: 1, target: 0 }.to_string(), "cx q[1],q[0]");
+        assert_eq!(Gate::T(3).to_string(), "t q[3]");
+    }
+
+    #[test]
+    fn rotation_matrices_match_their_definition() {
+        // Rx(π/2) = (I − i·X)/√2, checked entry-wise.
+        let rx = Gate::RxPi2(0).unitary();
+        let minus_i_over_sqrt2 = -&Algebraic::i().div_sqrt2();
+        assert_eq!(rx[0][0], Algebraic::one_over_sqrt2());
+        assert_eq!(rx[0][1], minus_i_over_sqrt2);
+        assert_eq!(rx[1][0], minus_i_over_sqrt2);
+        assert_eq!(rx[1][1], Algebraic::one_over_sqrt2());
+        // Ry(π/2) has real entries ±1/√2.
+        let ry = Gate::RyPi2(0).unitary();
+        assert_eq!(ry[0][1], -&Algebraic::one_over_sqrt2());
+        assert_eq!(ry[1][0], Algebraic::one_over_sqrt2());
+    }
+}

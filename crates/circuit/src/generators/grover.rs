@@ -1,0 +1,226 @@
+//! Grover's search circuits (single oracle and all-oracles variants).
+
+use crate::generators::mct::{mcx_with_work_qubits, mcz_with_work_qubits};
+use crate::{Circuit, Gate};
+
+/// Describes where the registers of a generated Grover circuit live, so that
+/// callers (pre/post-condition builders, simulators) can interpret basis
+/// states.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroverLayout {
+    /// Oracle-definition qubits (empty for the single-oracle variant).
+    pub oracle: Vec<u32>,
+    /// Search-register qubits.
+    pub search: Vec<u32>,
+    /// Clean work qubits used by the multi-controlled gates.
+    pub work: Vec<u32>,
+    /// The phase (oracle output) qubit.
+    pub phase: u32,
+    /// Number of Grover iterations in the circuit.
+    pub iterations: u32,
+}
+
+/// The textbook number of Grover iterations for an `m`-bit search space:
+/// `⌊(π/4)·√(2^m)⌋`, at least 1.
+pub fn optimal_iterations(m: u32) -> u32 {
+    let n = (1u64 << m) as f64;
+    ((std::f64::consts::FRAC_PI_4 * n.sqrt()).floor() as u32).max(1)
+}
+
+/// Builds Grover's search for one hidden `marked` string of `m` bits
+/// (the paper's `Grover-Sing` family).
+///
+/// Qubit layout (total `2m` qubits, matching the paper's `#q = 2n`):
+///
+/// * qubits `0 .. m−1` — the search register,
+/// * qubits `m .. 2m−2` — `m−1` clean work qubits,
+/// * qubit `2m−1` — the phase qubit.
+///
+/// The circuit starts from `|0…0⟩`: it prepares the phase qubit in `|−⟩`
+/// with `X·H`, runs `iterations` Grover iterations (phase oracle +
+/// diffusion), and finally applies `H` to the phase qubit so that the
+/// expected output has the phase qubit back at `|1⟩` (as in Appendix E).
+///
+/// # Panics
+///
+/// Panics if `m < 2` or `marked ≥ 2^m`.
+pub fn grover_single(m: u32, marked: u64, iterations: Option<u32>) -> (Circuit, GroverLayout) {
+    assert!(m >= 2, "grover_single needs at least two search qubits");
+    assert!(marked < (1u64 << m), "marked string out of range");
+    let iterations = iterations.unwrap_or_else(|| optimal_iterations(m));
+    let search: Vec<u32> = (0..m).collect();
+    let work: Vec<u32> = (m..2 * m - 1).collect();
+    let phase = 2 * m - 1;
+    let mut circuit = Circuit::new(2 * m);
+
+    // Initialise: phase qubit to |−⟩, search register to uniform superposition.
+    circuit.push(Gate::X(phase)).expect("valid gate");
+    circuit.push(Gate::H(phase)).expect("valid gate");
+    for &q in &search {
+        circuit.push(Gate::H(q)).expect("valid gate");
+    }
+
+    for _ in 0..iterations {
+        // Oracle: flip the phase qubit iff the search register equals `marked`.
+        flip_on_pattern(&mut circuit, &search, &work, phase, marked, m);
+        diffusion(&mut circuit, &search, &work);
+    }
+
+    // Normalise the phase qubit back to |1⟩ for a clean post-condition.
+    circuit.push(Gate::H(phase)).expect("valid gate");
+
+    let layout = GroverLayout { oracle: Vec::new(), search, work, phase, iterations };
+    (circuit, layout)
+}
+
+/// Builds Grover's search where the oracle answer is taken from an extra
+/// input register (the paper's `Grover-All` family, Appendix D): one circuit
+/// that is correct *for every possible oracle*.
+///
+/// Qubit layout (total `3m` qubits, matching the paper's `#q = 3n`):
+///
+/// * qubits `0 .. m−1` — the oracle-definition register (holds the secret),
+/// * qubits `m .. 2m−1` — the search register,
+/// * qubits `2m .. 3m−2` — `m−1` clean work qubits,
+/// * qubit `3m−1` — the phase qubit.
+///
+/// # Panics
+///
+/// Panics if `m < 2`.
+pub fn grover_all(m: u32, iterations: Option<u32>) -> (Circuit, GroverLayout) {
+    assert!(m >= 2, "grover_all needs at least two search qubits");
+    let iterations = iterations.unwrap_or_else(|| optimal_iterations(m));
+    let oracle: Vec<u32> = (0..m).collect();
+    let search: Vec<u32> = (m..2 * m).collect();
+    let work: Vec<u32> = (2 * m..3 * m - 1).collect();
+    let phase = 3 * m - 1;
+    let mut circuit = Circuit::new(3 * m);
+
+    circuit.push(Gate::X(phase)).expect("valid gate");
+    circuit.push(Gate::H(phase)).expect("valid gate");
+    for &q in &search {
+        circuit.push(Gate::H(q)).expect("valid gate");
+    }
+
+    for _ in 0..iterations {
+        // Oracle: flip the phase qubit iff search == oracle register.
+        // XOR the oracle register into the search register; the marked
+        // configuration becomes |0…0⟩, which we detect with X + MCX + X.
+        for i in 0..m as usize {
+            circuit.push(Gate::Cnot { control: oracle[i], target: search[i] }).expect("valid gate");
+        }
+        for &q in &search {
+            circuit.push(Gate::X(q)).expect("valid gate");
+        }
+        mcx_with_work_qubits(&mut circuit, &search, &work, phase);
+        for &q in &search {
+            circuit.push(Gate::X(q)).expect("valid gate");
+        }
+        for i in 0..m as usize {
+            circuit.push(Gate::Cnot { control: oracle[i], target: search[i] }).expect("valid gate");
+        }
+        diffusion(&mut circuit, &search, &work);
+    }
+
+    circuit.push(Gate::H(phase)).expect("valid gate");
+
+    let layout = GroverLayout { oracle, search, work, phase, iterations };
+    (circuit, layout)
+}
+
+/// Appends a phase-oracle that flips `phase` exactly when the `search`
+/// register holds the classical `pattern`.
+fn flip_on_pattern(
+    circuit: &mut Circuit,
+    search: &[u32],
+    work: &[u32],
+    phase: u32,
+    pattern: u64,
+    m: u32,
+) {
+    // Map the marked pattern to the all-ones configuration.
+    let flips: Vec<u32> = search
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| (pattern >> (m as usize - 1 - i)) & 1 == 0)
+        .map(|(_, &q)| q)
+        .collect();
+    for &q in &flips {
+        circuit.push(Gate::X(q)).expect("valid gate");
+    }
+    mcx_with_work_qubits(circuit, search, work, phase);
+    for &q in &flips {
+        circuit.push(Gate::X(q)).expect("valid gate");
+    }
+}
+
+/// Appends the Grover diffusion operator on the search register.
+fn diffusion(circuit: &mut Circuit, search: &[u32], work: &[u32]) {
+    for &q in search {
+        circuit.push(Gate::H(q)).expect("valid gate");
+    }
+    for &q in search {
+        circuit.push(Gate::X(q)).expect("valid gate");
+    }
+    mcz_with_work_qubits(circuit, search, work);
+    for &q in search {
+        circuit.push(Gate::X(q)).expect("valid gate");
+    }
+    for &q in search {
+        circuit.push(Gate::H(q)).expect("valid gate");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_iterations_grows_with_the_search_space() {
+        assert_eq!(optimal_iterations(2), 1);
+        assert_eq!(optimal_iterations(4), 3);
+        assert!(optimal_iterations(10) > optimal_iterations(6));
+    }
+
+    #[test]
+    fn grover_single_layout_and_size() {
+        let (circuit, layout) = grover_single(3, 0b101, None);
+        assert_eq!(circuit.num_qubits(), 6);
+        assert_eq!(layout.search, vec![0, 1, 2]);
+        assert_eq!(layout.work, vec![3, 4]);
+        assert_eq!(layout.phase, 5);
+        assert!(layout.oracle.is_empty());
+        assert!(circuit.gate_count() > 20);
+        // Gate count grows roughly linearly with the iteration count.
+        let (short, _) = grover_single(3, 0b101, Some(1));
+        let (long, _) = grover_single(3, 0b101, Some(3));
+        assert!(long.gate_count() > 2 * short.gate_count() - 10);
+    }
+
+    #[test]
+    fn grover_all_layout_and_size() {
+        let (circuit, layout) = grover_all(3, Some(2));
+        assert_eq!(circuit.num_qubits(), 9);
+        assert_eq!(layout.oracle, vec![0, 1, 2]);
+        assert_eq!(layout.search, vec![3, 4, 5]);
+        assert_eq!(layout.work, vec![6, 7]);
+        assert_eq!(layout.phase, 8);
+        assert_eq!(layout.iterations, 2);
+        circuit.gates().iter().for_each(|g| assert!(g.qubits().iter().all(|&q| q < 9)));
+    }
+
+    #[test]
+    fn oracle_x_flips_complement_of_marked_pattern() {
+        // For a marked pattern of all ones no X gates are needed around the MCX.
+        let (all_ones, _) = grover_single(3, 0b111, Some(1));
+        let (all_zeros, _) = grover_single(3, 0b000, Some(1));
+        // The all-zeros oracle needs 2·3 extra X gates per iteration.
+        assert_eq!(all_zeros.gate_count(), all_ones.gate_count() + 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn marked_string_must_fit() {
+        let _ = grover_single(2, 7, None);
+    }
+}

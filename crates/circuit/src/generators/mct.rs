@@ -1,0 +1,150 @@
+//! Multi-controlled Toffoli decompositions (the paper's `MCToffoli` family).
+
+use crate::{Circuit, Gate};
+
+/// Appends a multi-controlled X onto `target`, controlled on `controls`,
+/// using the clean work qubits `work` (the variation of Nielsen & Chuang's
+/// decomposition used by the paper: an AND-ladder of Toffolis that is
+/// uncomputed afterwards).
+///
+/// Requires `work.len() ≥ controls.len() − 1` when there are two or more
+/// controls; the work qubits are returned to their original state.
+///
+/// # Panics
+///
+/// Panics if there are not enough work qubits or if `controls` is empty.
+pub fn mcx_with_work_qubits(circuit: &mut Circuit, controls: &[u32], work: &[u32], target: u32) {
+    assert!(!controls.is_empty(), "multi-controlled X needs at least one control");
+    match controls.len() {
+        1 => circuit.push(Gate::Cnot { control: controls[0], target }).expect("valid gate"),
+        2 => circuit
+            .push(Gate::Toffoli { controls: [controls[0], controls[1]], target })
+            .expect("valid gate"),
+        k => {
+            assert!(work.len() >= k - 1, "need {} work qubits, got {}", k - 1, work.len());
+            // Compute the AND-ladder.
+            let ladder = build_ladder(controls, work);
+            for gate in &ladder {
+                circuit.push(*gate).expect("valid gate");
+            }
+            circuit.push(Gate::Cnot { control: work[k - 2], target }).expect("valid gate");
+            // Uncompute.
+            for gate in ladder.iter().rev() {
+                circuit.push(*gate).expect("valid gate");
+            }
+        }
+    }
+}
+
+/// The Toffoli ladder computing `work[i] = controls[0] ∧ … ∧ controls[i+1]`.
+fn build_ladder(controls: &[u32], work: &[u32]) -> Vec<Gate> {
+    let mut gates = Vec::new();
+    gates.push(Gate::Toffoli { controls: [controls[0], controls[1]], target: work[0] });
+    for i in 2..controls.len() {
+        gates.push(Gate::Toffoli { controls: [controls[i], work[i - 2]], target: work[i - 1] });
+    }
+    gates
+}
+
+/// Appends a multi-controlled Z using the `H · MCX · H` conjugation trick on
+/// the last control qubit.
+///
+/// # Panics
+///
+/// Panics if fewer than two qubits participate or if there are not enough
+/// work qubits (`work.len() ≥ qubits.len() − 2`).
+pub fn mcz_with_work_qubits(circuit: &mut Circuit, qubits: &[u32], work: &[u32]) {
+    assert!(qubits.len() >= 2, "multi-controlled Z needs at least two qubits");
+    let (target, controls) = qubits.split_last().expect("non-empty");
+    circuit.push(Gate::H(*target)).expect("valid gate");
+    mcx_with_work_qubits(circuit, controls, work, *target);
+    circuit.push(Gate::H(*target)).expect("valid gate");
+}
+
+/// The paper's `MCToffoli(m)` benchmark: a multi-controlled Toffoli with `m`
+/// controls decomposed over `2m` qubits.
+///
+/// Qubit layout:
+///
+/// * qubits `0 .. m−1` — the control register,
+/// * qubits `m .. 2m−2` — the `m−1` clean work qubits,
+/// * qubit `2m−1` — the target.
+///
+/// For `m ≥ 3` the circuit has `2(m−1) + 1 = 2m − 1` gates, matching the
+/// paper's Table 2 (`n = 8` → 15 gates, `n = 16` → 31 gates).
+///
+/// # Examples
+///
+/// ```
+/// use autoq_circuit::generators::mc_toffoli;
+/// let circuit = mc_toffoli(8);
+/// assert_eq!(circuit.num_qubits(), 16);
+/// assert_eq!(circuit.gate_count(), 15);
+/// ```
+pub fn mc_toffoli(num_controls: u32) -> Circuit {
+    assert!(num_controls >= 2, "mc_toffoli needs at least two controls");
+    let m = num_controls;
+    let mut circuit = Circuit::new(2 * m);
+    let controls: Vec<u32> = (0..m).collect();
+    let work: Vec<u32> = (m..2 * m - 1).collect();
+    let target = 2 * m - 1;
+    mcx_with_work_qubits(&mut circuit, &controls, &work, target);
+    circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_counts_match_the_paper() {
+        for (controls, expected_gates) in [(8u32, 15usize), (10, 19), (12, 23), (14, 27), (16, 31)] {
+            let circuit = mc_toffoli(controls);
+            assert_eq!(circuit.num_qubits(), 2 * controls);
+            assert_eq!(circuit.gate_count(), expected_gates);
+        }
+    }
+
+    #[test]
+    fn small_cases_use_direct_gates() {
+        let mut c = Circuit::new(3);
+        mcx_with_work_qubits(&mut c, &[0], &[], 2);
+        assert_eq!(c.gates(), &[Gate::Cnot { control: 0, target: 2 }]);
+        let mut c = Circuit::new(3);
+        mcx_with_work_qubits(&mut c, &[0, 1], &[], 2);
+        assert_eq!(c.gates(), &[Gate::Toffoli { controls: [0, 1], target: 2 }]);
+    }
+
+    #[test]
+    fn ladder_is_uncomputed() {
+        let circuit = mc_toffoli(5);
+        // Work qubits must be touched an even number of times (compute +
+        // uncompute), targets of the middle CNOT aside.
+        let work_range = 5..9u32;
+        for w in work_range {
+            let touches = circuit
+                .gates()
+                .iter()
+                .filter(|g| g.qubits().contains(&w) && matches!(g, Gate::Toffoli { target, .. } if *target == w))
+                .count();
+            assert_eq!(touches % 2, 0, "work qubit {w} is not uncomputed");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "work qubits")]
+    fn missing_work_qubits_panic() {
+        let mut c = Circuit::new(4);
+        mcx_with_work_qubits(&mut c, &[0, 1, 2], &[], 3);
+    }
+
+    #[test]
+    fn mcz_wraps_mcx_in_hadamards() {
+        let mut c = Circuit::new(4);
+        mcz_with_work_qubits(&mut c, &[0, 1, 2], &[3]);
+        let gates = c.gates();
+        assert_eq!(gates.first(), Some(&Gate::H(2)));
+        assert_eq!(gates.last(), Some(&Gate::H(2)));
+        assert_eq!(gates.len(), 3);
+    }
+}

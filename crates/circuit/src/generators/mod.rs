@@ -1,0 +1,20 @@
+//! Benchmark circuit generators.
+//!
+//! These are programmatic replacements for the circuit suites used in the
+//! AutoQ paper's evaluation (Section 7): Bernstein–Vazirani, Grover's search
+//! (for a single oracle and for all oracles), multi-controlled Toffoli
+//! decompositions, random circuits, and RevLib-style reversible arithmetic.
+//! Each generator documents the qubit layout it uses, so that pre/post
+//! conditions can be constructed in `autoq-core`.
+
+mod bv;
+mod grover;
+mod mct;
+mod random;
+mod reversible;
+
+pub use bv::{bernstein_vazirani, bernstein_vazirani_expected_output};
+pub use grover::{grover_all, grover_single, optimal_iterations, GroverLayout};
+pub use mct::{mc_toffoli, mcx_with_work_qubits, mcz_with_work_qubits};
+pub use random::{random_circuit, random_gate, RandomCircuitConfig};
+pub use reversible::{carry_lookahead_like, gf2_multiplier, increment_circuit, ripple_carry_adder};

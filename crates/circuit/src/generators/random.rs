@@ -1,0 +1,141 @@
+//! Random circuit generation (the paper's `Random` benchmark family).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Circuit, Gate};
+
+/// Configuration of the random circuit generator.
+///
+/// The defaults reproduce the paper's setup: the gate/qubit ratio is fixed to
+/// 3 : 1 and gates/qubits are drawn uniformly at random (Section 7,
+/// "Random" data set and Appendix E).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RandomCircuitConfig {
+    /// Number of qubits.
+    pub num_qubits: u32,
+    /// Number of gates (defaults to `3 × num_qubits` when built with
+    /// [`RandomCircuitConfig::with_paper_ratio`]).
+    pub num_gates: usize,
+    /// Whether to include the non-permutation gates (`H`, `Rx`, `Ry`); the
+    /// paper's random circuits include them.
+    pub include_superposing_gates: bool,
+}
+
+impl RandomCircuitConfig {
+    /// The paper's configuration: `3n` gates over `n` qubits.
+    pub fn with_paper_ratio(num_qubits: u32) -> Self {
+        RandomCircuitConfig {
+            num_qubits,
+            num_gates: 3 * num_qubits as usize,
+            include_superposing_gates: true,
+        }
+    }
+}
+
+/// Generates a uniformly random circuit.
+///
+/// # Panics
+///
+/// Panics if the configuration has fewer than 3 qubits (the gate pool
+/// includes Toffoli gates).
+///
+/// # Examples
+///
+/// ```
+/// use autoq_circuit::generators::{random_circuit, RandomCircuitConfig};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let circuit = random_circuit(&RandomCircuitConfig::with_paper_ratio(35), &mut rng);
+/// assert_eq!(circuit.num_qubits(), 35);
+/// assert_eq!(circuit.gate_count(), 105);
+/// ```
+pub fn random_circuit(config: &RandomCircuitConfig, rng: &mut impl Rng) -> Circuit {
+    assert!(config.num_qubits >= 3, "random circuits need at least 3 qubits");
+    let mut circuit = Circuit::new(config.num_qubits);
+    for _ in 0..config.num_gates {
+        let gate = random_gate(config, rng);
+        circuit.push(gate).expect("randomly drawn gates are always valid");
+    }
+    circuit
+}
+
+/// Draws one random gate over distinct random qubits.
+pub fn random_gate(config: &RandomCircuitConfig, rng: &mut impl Rng) -> Gate {
+    let qubits = distinct_qubits(config.num_qubits, 3, rng);
+    let (a, b, c) = (qubits[0], qubits[1], qubits[2]);
+    let mut pool: Vec<Gate> = vec![
+        Gate::X(a),
+        Gate::Y(a),
+        Gate::Z(a),
+        Gate::S(a),
+        Gate::T(a),
+        Gate::Cnot { control: a, target: b },
+        Gate::Cz { control: a, target: b },
+        Gate::Toffoli { controls: [a, b], target: c },
+    ];
+    if config.include_superposing_gates {
+        pool.push(Gate::H(a));
+        pool.push(Gate::RxPi2(a));
+        pool.push(Gate::RyPi2(a));
+    }
+    *pool.choose(rng).expect("non-empty gate pool")
+}
+
+/// Draws `count` distinct qubit indices.
+fn distinct_qubits(num_qubits: u32, count: usize, rng: &mut impl Rng) -> Vec<u32> {
+    let mut chosen: Vec<u32> = Vec::with_capacity(count);
+    while chosen.len() < count {
+        let q = rng.gen_range(0..num_qubits);
+        if !chosen.contains(&q) {
+            chosen.push(q);
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_ratio_is_three_to_one() {
+        let config = RandomCircuitConfig::with_paper_ratio(70);
+        assert_eq!(config.num_gates, 210);
+        assert!(config.include_superposing_gates);
+    }
+
+    #[test]
+    fn generation_is_reproducible_with_a_seed() {
+        let config = RandomCircuitConfig::with_paper_ratio(10);
+        let a = random_circuit(&config, &mut rand::rngs::StdRng::seed_from_u64(42));
+        let b = random_circuit(&config, &mut rand::rngs::StdRng::seed_from_u64(42));
+        let c = random_circuit(&config, &mut rand::rngs::StdRng::seed_from_u64(43));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn permutation_only_circuits_avoid_superposing_gates() {
+        let config = RandomCircuitConfig {
+            num_qubits: 6,
+            num_gates: 200,
+            include_superposing_gates: false,
+        };
+        let circuit = random_circuit(&config, &mut rand::rngs::StdRng::seed_from_u64(7));
+        assert!(circuit
+            .gates()
+            .iter()
+            .all(|g| !matches!(g, Gate::H(_) | Gate::RxPi2(_) | Gate::RyPi2(_))));
+    }
+
+    #[test]
+    fn all_generated_gates_are_valid() {
+        let config = RandomCircuitConfig::with_paper_ratio(5);
+        for seed in 0..20 {
+            let circuit = random_circuit(&config, &mut rand::rngs::StdRng::seed_from_u64(seed));
+            assert_eq!(circuit.gate_count(), 15);
+        }
+    }
+}

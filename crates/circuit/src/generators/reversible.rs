@@ -1,0 +1,207 @@
+//! Reversible-arithmetic circuit families (RevLib-style substitutes).
+//!
+//! The AutoQ paper takes large reversible benchmarks (adders, multipliers,
+//! `hwb`, permutation networks) from RevLib.  Those files are not available
+//! offline, so this module *generates* circuits with the same gate
+//! vocabulary (X/CNOT/Toffoli), comparable structure and scalable size; the
+//! bug-finding experiment (Table 3) only needs such circuits as targets for
+//! bug injection.
+
+use crate::generators::mct::mcx_with_work_qubits;
+use crate::{Circuit, Gate};
+
+/// A Cuccaro-style ripple-carry adder computing `b ← a + b (mod 2^n)` with a
+/// carry-out qubit.
+///
+/// Qubit layout over `2n + 2` qubits:
+///
+/// * qubit `0` — carry-in (expected `|0⟩`),
+/// * qubits `1, 3, 5, …, 2n−1` — the `a` register (LSB first),
+/// * qubits `2, 4, 6, …, 2n` — the `b` register (LSB first),
+/// * qubit `2n + 1` — carry-out.
+///
+/// The construction follows Cuccaro et al.'s MAJ/UMA network, which the
+/// RevLib `addNN` benchmarks are also based on.
+///
+/// # Examples
+///
+/// ```
+/// use autoq_circuit::generators::ripple_carry_adder;
+/// let adder = ripple_carry_adder(16);
+/// assert_eq!(adder.num_qubits(), 34);
+/// assert!(adder.gate_count() > 90);
+/// ```
+pub fn ripple_carry_adder(n: u32) -> Circuit {
+    assert!(n >= 1, "adder needs at least one bit");
+    let mut circuit = Circuit::new(2 * n + 2);
+    let a = |i: u32| 2 * i + 1;
+    let b = |i: u32| 2 * i + 2;
+    let carry_in = 0u32;
+    let carry_out = 2 * n + 1;
+
+    let maj = |circuit: &mut Circuit, c: u32, y: u32, x: u32| {
+        circuit.push(Gate::Cnot { control: x, target: y }).expect("valid gate");
+        circuit.push(Gate::Cnot { control: x, target: c }).expect("valid gate");
+        circuit.push(Gate::Toffoli { controls: [c, y], target: x }).expect("valid gate");
+    };
+    let uma = |circuit: &mut Circuit, c: u32, y: u32, x: u32| {
+        circuit.push(Gate::Toffoli { controls: [c, y], target: x }).expect("valid gate");
+        circuit.push(Gate::Cnot { control: x, target: c }).expect("valid gate");
+        circuit.push(Gate::Cnot { control: c, target: y }).expect("valid gate");
+    };
+
+    // MAJ cascade.
+    maj(&mut circuit, carry_in, b(0), a(0));
+    for i in 1..n {
+        maj(&mut circuit, a(i - 1), b(i), a(i));
+    }
+    // Carry out.
+    circuit.push(Gate::Cnot { control: a(n - 1), target: carry_out }).expect("valid gate");
+    // UMA cascade (reverse order).
+    for i in (1..n).rev() {
+        uma(&mut circuit, a(i - 1), b(i), a(i));
+    }
+    uma(&mut circuit, carry_in, b(0), a(0));
+    circuit
+}
+
+/// A carry-less GF(2) multiplier: `c ← c ⊕ a·b` where each partial product
+/// `a_i·b_j` is accumulated into `c_{i+j}` with one Toffoli gate.
+///
+/// Qubit layout over `4n − 1` qubits: `a` on `0..n`, `b` on `n..2n`, and the
+/// `2n − 1`-bit product register on `2n..4n−1`.  The structure (and the
+/// `n²` Toffoli count) mirrors the RevLib/Feynman `gf2^n_mult` benchmarks.
+///
+/// ```
+/// use autoq_circuit::generators::gf2_multiplier;
+/// let circuit = gf2_multiplier(10);
+/// assert_eq!(circuit.num_qubits(), 39);
+/// assert_eq!(circuit.gate_count(), 100);
+/// ```
+pub fn gf2_multiplier(n: u32) -> Circuit {
+    assert!(n >= 1, "multiplier needs at least one bit");
+    let mut circuit = Circuit::new(4 * n - 1);
+    let a = |i: u32| i;
+    let b = |j: u32| n + j;
+    let c = |k: u32| 2 * n + k;
+    for i in 0..n {
+        for j in 0..n {
+            circuit
+                .push(Gate::Toffoli { controls: [a(i), b(j)], target: c(i + j) })
+                .expect("valid gate");
+        }
+    }
+    circuit
+}
+
+/// A reversible increment circuit (`x ← x + 1 mod 2^n`), similar in shape to
+/// RevLib's counter/cycle benchmarks: a cascade of multi-controlled X gates
+/// from the most significant bit downwards.
+///
+/// Qubit layout over `2n − 2` qubits (for `n ≥ 3`): the counter register on
+/// `0..n` (MSB first) and `n − 2` work qubits for the Toffoli ladders.
+///
+/// ```
+/// use autoq_circuit::generators::increment_circuit;
+/// let circuit = increment_circuit(5);
+/// assert_eq!(circuit.num_qubits(), 8);
+/// ```
+pub fn increment_circuit(n: u32) -> Circuit {
+    assert!(n >= 2, "increment needs at least two bits");
+    let work_count = n.saturating_sub(2);
+    let mut circuit = Circuit::new(n + work_count);
+    let work: Vec<u32> = (n..n + work_count).collect();
+    // Counter register is MSB-first: qubit 0 is the most significant bit.
+    // x + 1: flip bit i iff all lower bits are 1, starting from the MSB.
+    for target in 0..n {
+        let controls: Vec<u32> = (target + 1..n).collect();
+        if controls.is_empty() {
+            circuit.push(Gate::X(target)).expect("valid gate");
+        } else {
+            mcx_with_work_qubits(&mut circuit, &controls, &work, target);
+        }
+    }
+    circuit
+}
+
+/// A layered permutation network reminiscent of the RevLib `hwb`/`cycle`
+/// benchmarks: alternating layers of CNOT rings and Toffoli chains, with the
+/// number of layers controlling the circuit size.
+///
+/// ```
+/// use autoq_circuit::generators::carry_lookahead_like;
+/// let circuit = carry_lookahead_like(9, 4);
+/// assert_eq!(circuit.num_qubits(), 9);
+/// assert!(circuit.gate_count() > 30);
+/// ```
+pub fn carry_lookahead_like(num_qubits: u32, layers: u32) -> Circuit {
+    assert!(num_qubits >= 3, "need at least three qubits");
+    let mut circuit = Circuit::new(num_qubits);
+    for layer in 0..layers {
+        // A ring of CNOTs with a layer-dependent stride.
+        let stride = 1 + (layer % (num_qubits - 1));
+        for q in 0..num_qubits {
+            let target = (q + stride) % num_qubits;
+            if target != q {
+                circuit.push(Gate::Cnot { control: q, target }).expect("valid gate");
+            }
+        }
+        // A chain of Toffolis.
+        for q in 0..num_qubits.saturating_sub(2) {
+            circuit
+                .push(Gate::Toffoli { controls: [q, q + 1], target: q + 2 })
+                .expect("valid gate");
+        }
+        // A sprinkle of X gates to break symmetry.
+        circuit.push(Gate::X(layer % num_qubits)).expect("valid gate");
+    }
+    circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_sizes_scale_linearly() {
+        for n in [1u32, 4, 16, 32] {
+            let adder = ripple_carry_adder(n);
+            assert_eq!(adder.num_qubits(), 2 * n + 2);
+            assert_eq!(adder.gate_count() as u32, 6 * n + 1);
+        }
+    }
+
+    #[test]
+    fn adder_is_classical_reversible() {
+        let adder = ripple_carry_adder(8);
+        assert!(adder
+            .gates()
+            .iter()
+            .all(|g| matches!(g, Gate::X(_) | Gate::Cnot { .. } | Gate::Toffoli { .. })));
+    }
+
+    #[test]
+    fn multiplier_has_n_squared_toffolis() {
+        let circuit = gf2_multiplier(6);
+        assert_eq!(circuit.gate_count(), 36);
+        assert!(circuit.gates().iter().all(|g| matches!(g, Gate::Toffoli { .. })));
+    }
+
+    #[test]
+    fn increment_uses_multi_controls() {
+        let circuit = increment_circuit(4);
+        assert_eq!(circuit.num_qubits(), 6);
+        // The final gate flips the LSB unconditionally.
+        assert_eq!(circuit.gates().last(), Some(&Gate::X(3)));
+    }
+
+    #[test]
+    fn permutation_network_is_reversible_classical() {
+        let circuit = carry_lookahead_like(10, 6);
+        assert!(circuit
+            .gates()
+            .iter()
+            .all(|g| matches!(g, Gate::X(_) | Gate::Cnot { .. } | Gate::Toffoli { .. })));
+        assert_eq!(circuit.num_qubits(), 10);
+    }
+}

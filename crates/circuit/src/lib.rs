@@ -1,0 +1,35 @@
+//! Quantum circuit representation and workloads for AutoQ-rs.
+//!
+//! The crate provides:
+//!
+//! * [`Gate`] — the gate vocabulary of the AutoQ paper's Table 1 (plus the
+//!   standard inverses `S†`/`T†`, `SWAP` and the Fredkin gate of Appendix A),
+//! * [`Circuit`] — a validated sequence of gates over a fixed qubit count,
+//! * [`qasm`] — an OpenQASM 2.0 subset reader/writer,
+//! * [`generators`] — the benchmark families used in the paper's evaluation
+//!   (Bernstein–Vazirani, Grover, multi-controlled Toffoli, random circuits,
+//!   and RevLib-style reversible arithmetic), and
+//! * [`mutation`] — the bug-injection procedure of Section 7.2 (one extra
+//!   random gate at a random position).
+//!
+//! # Examples
+//!
+//! ```
+//! use autoq_circuit::{Circuit, Gate};
+//!
+//! // The EPR (Bell-state) circuit of Fig. 1(c).
+//! let mut epr = Circuit::new(2);
+//! epr.push(Gate::H(0)).unwrap();
+//! epr.push(Gate::Cnot { control: 0, target: 1 }).unwrap();
+//! assert_eq!(epr.gate_count(), 2);
+//! assert_eq!(epr.to_qasm().lines().count(), 5);
+//! ```
+
+mod circuit;
+mod gate;
+pub mod generators;
+pub mod mutation;
+pub mod qasm;
+
+pub use circuit::{Circuit, CircuitError};
+pub use gate::Gate;

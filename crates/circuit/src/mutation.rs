@@ -1,0 +1,136 @@
+//! Bug injection (Section 7.2 of the AutoQ paper).
+//!
+//! The paper evaluates bug hunting by taking a circuit, creating a copy, and
+//! injecting "an artificial bug (one additional randomly selected gate at a
+//! random location)".  [`inject_random_gate`] reproduces exactly that
+//! procedure and reports what was injected, so harnesses can log it.
+
+use rand::Rng;
+
+use crate::generators::{random_gate, RandomCircuitConfig};
+use crate::{Circuit, Gate};
+
+/// Description of an injected bug.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InjectedBug {
+    /// The extra gate that was inserted.
+    pub gate: Gate,
+    /// The position (gate index) at which it was inserted.
+    pub position: usize,
+}
+
+impl std::fmt::Display for InjectedBug {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected `{}` at gate position {}", self.gate, self.position)
+    }
+}
+
+/// Returns a copy of `circuit` with one additional random gate inserted at a
+/// random position, together with a description of the injected bug.
+///
+/// The gate is drawn from the same pool as the paper's random circuits
+/// (restricted to the permutation gates when `superposing` is `false`, which
+/// keeps classical reversible benchmarks classical).
+///
+/// # Examples
+///
+/// ```
+/// use autoq_circuit::generators::{random_circuit, RandomCircuitConfig};
+/// use autoq_circuit::mutation::inject_random_gate;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let original = random_circuit(&RandomCircuitConfig::with_paper_ratio(6), &mut rng);
+/// let (buggy, bug) = inject_random_gate(&original, true, &mut rng);
+/// assert_eq!(buggy.gate_count(), original.gate_count() + 1);
+/// assert_eq!(buggy.gates()[bug.position], bug.gate);
+/// ```
+pub fn inject_random_gate(circuit: &Circuit, superposing: bool, rng: &mut impl Rng) -> (Circuit, InjectedBug) {
+    let config = RandomCircuitConfig {
+        num_qubits: circuit.num_qubits(),
+        num_gates: 1,
+        include_superposing_gates: superposing,
+    };
+    let gate = random_gate(&config, rng);
+    let position = rng.gen_range(0..=circuit.gate_count());
+    let buggy = insert_gate(circuit, gate, position);
+    (buggy, InjectedBug { gate, position })
+}
+
+/// Returns a copy of `circuit` with `gate` inserted at `position`
+/// (deterministic variant of [`inject_random_gate`], useful for tests).
+///
+/// # Panics
+///
+/// Panics if `position > circuit.gate_count()` or the gate does not fit the
+/// circuit width.
+pub fn insert_gate(circuit: &Circuit, gate: Gate, position: usize) -> Circuit {
+    assert!(position <= circuit.gate_count(), "insertion position out of range");
+    let mut gates: Vec<Gate> = circuit.gates().to_vec();
+    gates.insert(position, gate);
+    Circuit::from_gates(circuit.num_qubits(), gates).expect("injected gate must fit the circuit")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample_circuit() -> Circuit {
+        Circuit::from_gates(
+            4,
+            [
+                Gate::H(0),
+                Gate::Cnot { control: 0, target: 1 },
+                Gate::Toffoli { controls: [1, 2], target: 3 },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn injection_adds_exactly_one_gate() {
+        let original = sample_circuit();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let (buggy, bug) = inject_random_gate(&original, true, &mut rng);
+            assert_eq!(buggy.gate_count(), original.gate_count() + 1);
+            assert_eq!(buggy.gates()[bug.position], bug.gate);
+            // Removing the injected gate restores the original.
+            let mut gates = buggy.gates().to_vec();
+            gates.remove(bug.position);
+            assert_eq!(gates, original.gates());
+        }
+    }
+
+    #[test]
+    fn classical_injection_stays_classical() {
+        let original = sample_circuit();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let (_, bug) = inject_random_gate(&original, false, &mut rng);
+            assert!(!matches!(bug.gate, Gate::H(_) | Gate::RxPi2(_) | Gate::RyPi2(_)));
+        }
+    }
+
+    #[test]
+    fn insert_gate_at_every_position() {
+        let original = sample_circuit();
+        for position in 0..=original.gate_count() {
+            let modified = insert_gate(&original, Gate::Z(2), position);
+            assert_eq!(modified.gates()[position], Gate::Z(2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_gate_rejects_bad_position() {
+        let _ = insert_gate(&sample_circuit(), Gate::X(0), 99);
+    }
+
+    #[test]
+    fn display_of_injected_bug_mentions_gate_and_position() {
+        let bug = InjectedBug { gate: Gate::X(1), position: 4 };
+        assert_eq!(bug.to_string(), "injected `x q[1]` at gate position 4");
+    }
+}

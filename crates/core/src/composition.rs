@@ -1,0 +1,531 @@
+//! The composition-based encoding of quantum gates (Section 6).
+//!
+//! A gate is applied to a tree automaton by (1) *tagging* the automaton so
+//! every tree keeps a unique identity (Algorithm 3), (2) evaluating the
+//! gate's symbolic update formula term by term with the tag-preserving
+//! *restriction* (Algorithm 4), *multiplication* (Algorithm 5) and
+//! *projection* (Algorithm 6–8, via forward/backward variable-order
+//! swapping) operations, (3) combining the per-term automata with the
+//! *binary operation* (Algorithm 9), and (4) *untagging* the result.
+//!
+//! The composition approach supports every gate of Table 1 — including the
+//! Hadamard and π/2 rotations, which the permutation-based approach of
+//! Section 5 cannot express — at the price of more expensive constructions.
+
+use std::collections::HashMap;
+
+use autoq_amplitude::Algebraic;
+use autoq_treeaut::{InternalSymbol, StateId, Tag, TreeAutomaton};
+
+use crate::formula::{CombineSign, ScaleFactor, UpdateExpr};
+
+/// Applies a gate's update formula to an (untagged) automaton and returns the
+/// untagged result (not yet reduced).
+///
+/// This is the complete pipeline of Section 6.2: tag → per-term construction
+/// → binary combination → untag.
+pub fn apply_formula(automaton: &TreeAutomaton, formula: &UpdateExpr) -> TreeAutomaton {
+    let tagged = tag(automaton);
+    let result = evaluate(formula, &tagged);
+    result.untagged()
+}
+
+/// Evaluates an update-formula term over a tagged source automaton.
+pub fn evaluate(expr: &UpdateExpr, tagged_source: &TreeAutomaton) -> TreeAutomaton {
+    match expr {
+        UpdateExpr::Source => tagged_source.clone(),
+        UpdateExpr::Proj { qubit, bit } => project(tagged_source, *qubit, *bit),
+        UpdateExpr::Restrict { qubit, bit, inner } => {
+            restrict(&evaluate(inner, tagged_source), *qubit, *bit)
+        }
+        UpdateExpr::Scale { factor, inner } => multiply(&evaluate(inner, tagged_source), *factor),
+        UpdateExpr::Combine { sign, lhs, rhs } => binary_op(
+            &evaluate(lhs, tagged_source),
+            &evaluate(rhs, tagged_source),
+            *sign,
+        ),
+    }
+}
+
+/// The tagging procedure (Algorithm 3): gives every internal transition a
+/// unique tag so that every accepted tree has a unique "shape identity".
+pub fn tag(automaton: &TreeAutomaton) -> TreeAutomaton {
+    let mut result = automaton.clone();
+    for (index, transition) in result.internal.iter_mut().enumerate() {
+        transition.symbol = transition.symbol.untagged().with_tag(Tag::Single(index as u64 + 1));
+    }
+    result
+}
+
+/// The restriction operation (Algorithm 4): `B_{x_t}·T` (`bit = true`) keeps
+/// the amplitudes on branches where qubit `t` is `1` and zeroes the others;
+/// `B̄_{x_t}·T` (`bit = false`) is symmetric.
+pub fn restrict(automaton: &TreeAutomaton, qubit: u32, bit: bool) -> TreeAutomaton {
+    // Primed copy with all leaves zeroed; structure (and tags) identical.
+    let zeroed = automaton.map_leaves(|_| Algebraic::zero());
+    let mut result = automaton.clone();
+    let offset = result.import_disjoint(&zeroed);
+    let original_count = automaton.internal.len();
+    for transition in result.internal.iter_mut().take(original_count) {
+        if transition.symbol.var == qubit {
+            if bit {
+                // keep x_t = 1, zero the left (x_t = 0) subtree
+                transition.left = transition.left.offset(offset);
+            } else {
+                transition.right = transition.right.offset(offset);
+            }
+        }
+    }
+    result
+}
+
+/// The multiplication operation (Algorithm 5, generalised to all scalar
+/// factors appearing in Table 1): rewrites every leaf value.
+pub fn multiply(automaton: &TreeAutomaton, factor: ScaleFactor) -> TreeAutomaton {
+    automaton.map_leaves(|value| match factor {
+        ScaleFactor::OmegaPow(j) => value.mul_omega_pow(j as i64),
+        ScaleFactor::Neg => -value,
+        ScaleFactor::InvSqrt2 => value.div_sqrt2(),
+    })
+}
+
+/// The projection operation (Eq. (13)): `T_{x_t}` (`bit = true`) replaces
+/// both subtrees of every `x_t` node by its `1`-subtree; `T_{x̄_t}` is
+/// symmetric.  For qubits above the leaf layer the variable is first moved
+/// to the bottom with forward swaps, copied there, and moved back.
+pub fn project(automaton: &TreeAutomaton, qubit: u32, bit: bool) -> TreeAutomaton {
+    let bottom = automaton.num_vars - 1;
+    if qubit == bottom {
+        return subtree_copy(automaton, qubit, bit);
+    }
+    let swaps = bottom - qubit;
+    let mut current = automaton.clone();
+    for _ in 0..swaps {
+        current = forward_swap(&current, qubit);
+    }
+    current = subtree_copy(&current, qubit, bit);
+    for _ in 0..swaps {
+        current = backward_swap(&current, qubit);
+    }
+    current
+}
+
+/// The subtree-copying procedure (Algorithm 6), only valid at the layer just
+/// above the leaves (Lemma 6.8).
+pub fn subtree_copy(automaton: &TreeAutomaton, qubit: u32, bit: bool) -> TreeAutomaton {
+    let mut result = automaton.clone();
+    for transition in result.internal.iter_mut() {
+        if transition.symbol.var == qubit {
+            let copied = if bit { transition.right } else { transition.left };
+            transition.left = copied;
+            transition.right = copied;
+        }
+    }
+    result
+}
+
+/// The forward variable-order swapping procedure (Algorithm 7): pushes the
+/// `x_t` layer one level down, remembering the tags of the displaced layer
+/// in a [`Tag::Pair`] so that [`backward_swap`] can restore them.
+pub fn forward_swap(automaton: &TreeAutomaton, qubit: u32) -> TreeAutomaton {
+    let mut result = TreeAutomaton::new(automaton.num_vars);
+    result.num_states = automaton.num_states;
+    result.roots = automaton.roots.clone();
+    result.leaves = automaton.leaves.clone();
+
+    // Index the child transitions by parent state.
+    let mut by_parent: HashMap<StateId, Vec<usize>> = HashMap::new();
+    for (index, transition) in automaton.internal.iter().enumerate() {
+        by_parent.entry(transition.parent).or_default().push(index);
+    }
+
+    // States interned by the content of their single new transition.
+    let mut interned: HashMap<(InternalSymbol, StateId, StateId), StateId> = HashMap::new();
+    let mut removed: Vec<bool> = vec![false; automaton.internal.len()];
+    let mut new_transitions: Vec<(StateId, InternalSymbol, StateId, StateId)> = Vec::new();
+
+    for (upper_index, upper) in automaton.internal.iter().enumerate() {
+        if upper.symbol.var != qubit {
+            continue;
+        }
+        let left_children = by_parent.get(&upper.left).cloned().unwrap_or_default();
+        let right_children = by_parent.get(&upper.right).cloned().unwrap_or_default();
+        if left_children.is_empty() || right_children.is_empty() {
+            continue;
+        }
+        removed[upper_index] = true;
+        for &li in &left_children {
+            for &ri in &right_children {
+                let left_t = &automaton.internal[li];
+                let right_t = &automaton.internal[ri];
+                if left_t.symbol.var != right_t.symbol.var {
+                    continue;
+                }
+                removed[li] = true;
+                removed[ri] = true;
+                let tag_left = single_tag(left_t.symbol.tag);
+                let tag_right = single_tag(right_t.symbol.tag);
+                let new_upper_symbol =
+                    InternalSymbol::new(left_t.symbol.var).with_tag(Tag::Pair(tag_left, tag_right));
+                // q'_0 generates x_t^h(q00, q10); q'_1 generates x_t^h(q01, q11).
+                let lower_symbol = upper.symbol;
+                let q0 = intern_state(
+                    &mut result,
+                    &mut interned,
+                    lower_symbol,
+                    left_t.left,
+                    right_t.left,
+                    &mut new_transitions,
+                );
+                let q1 = intern_state(
+                    &mut result,
+                    &mut interned,
+                    lower_symbol,
+                    left_t.right,
+                    right_t.right,
+                    &mut new_transitions,
+                );
+                new_transitions.push((upper.parent, new_upper_symbol, q0, q1));
+            }
+        }
+    }
+
+    for (index, transition) in automaton.internal.iter().enumerate() {
+        if !removed[index] {
+            result.internal.push(transition.clone());
+        }
+    }
+    for (parent, symbol, left, right) in new_transitions {
+        result.add_internal(parent, symbol, left, right);
+    }
+    result.dedup_transitions();
+    result
+}
+
+/// The backward variable-order swapping procedure (Algorithm 8): restores a
+/// layer displaced by [`forward_swap`], using the remembered tag pair.
+pub fn backward_swap(automaton: &TreeAutomaton, qubit: u32) -> TreeAutomaton {
+    let mut result = TreeAutomaton::new(automaton.num_vars);
+    result.num_states = automaton.num_states;
+    result.roots = automaton.roots.clone();
+    result.leaves = automaton.leaves.clone();
+
+    let mut by_parent: HashMap<StateId, Vec<usize>> = HashMap::new();
+    for (index, transition) in automaton.internal.iter().enumerate() {
+        by_parent.entry(transition.parent).or_default().push(index);
+    }
+
+    let mut interned: HashMap<(InternalSymbol, StateId, StateId), StateId> = HashMap::new();
+    let mut removed: Vec<bool> = vec![false; automaton.internal.len()];
+    let mut new_transitions: Vec<(StateId, InternalSymbol, StateId, StateId)> = Vec::new();
+
+    for (upper_index, upper) in automaton.internal.iter().enumerate() {
+        // Only rewrite the Pair-tagged layer sitting directly above x_qubit.
+        let (tag_left, tag_right) = match upper.symbol.tag {
+            Tag::Pair(i, j) => (i, j),
+            _ => continue,
+        };
+        let left_children = by_parent.get(&upper.left).cloned().unwrap_or_default();
+        let right_children = by_parent.get(&upper.right).cloned().unwrap_or_default();
+        let mut handled = false;
+        for &li in &left_children {
+            for &ri in &right_children {
+                let left_t = &automaton.internal[li];
+                let right_t = &automaton.internal[ri];
+                if left_t.symbol.var != qubit || right_t.symbol.var != qubit {
+                    continue;
+                }
+                if left_t.symbol != right_t.symbol {
+                    continue;
+                }
+                handled = true;
+                removed[li] = true;
+                removed[ri] = true;
+                let restored_left_symbol =
+                    InternalSymbol::new(upper.symbol.var).with_tag(Tag::Single(tag_left));
+                let restored_right_symbol =
+                    InternalSymbol::new(upper.symbol.var).with_tag(Tag::Single(tag_right));
+                let lower_symbol = left_t.symbol;
+                // q''_0 generates x_l^i(q00, q01); q''_1 generates x_l^j(q10, q11).
+                let q0 = intern_state(
+                    &mut result,
+                    &mut interned,
+                    restored_left_symbol,
+                    left_t.left,
+                    right_t.left,
+                    &mut new_transitions,
+                );
+                let q1 = intern_state(
+                    &mut result,
+                    &mut interned,
+                    restored_right_symbol,
+                    left_t.right,
+                    right_t.right,
+                    &mut new_transitions,
+                );
+                new_transitions.push((upper.parent, lower_symbol, q0, q1));
+            }
+        }
+        if handled {
+            removed[upper_index] = true;
+        }
+    }
+
+    for (index, transition) in automaton.internal.iter().enumerate() {
+        if !removed[index] {
+            result.internal.push(transition.clone());
+        }
+    }
+    for (parent, symbol, left, right) in new_transitions {
+        result.add_internal(parent, symbol, left, right);
+    }
+    result.dedup_transitions();
+    result
+}
+
+/// Allocates (or reuses) a state whose single outgoing transition is
+/// `symbol(left, right)`.
+fn intern_state(
+    result: &mut TreeAutomaton,
+    interned: &mut HashMap<(InternalSymbol, StateId, StateId), StateId>,
+    symbol: InternalSymbol,
+    left: StateId,
+    right: StateId,
+    new_transitions: &mut Vec<(StateId, InternalSymbol, StateId, StateId)>,
+) -> StateId {
+    if let Some(&state) = interned.get(&(symbol, left, right)) {
+        return state;
+    }
+    let state = result.add_state();
+    interned.insert((symbol, left, right), state);
+    new_transitions.push((state, symbol, left, right));
+    state
+}
+
+fn single_tag(tag: Tag) -> u64 {
+    match tag {
+        Tag::Single(t) => t,
+        Tag::None => 0,
+        Tag::Pair(i, _) => i,
+    }
+}
+
+/// The binary operation (Algorithm 9): a product construction that combines
+/// only trees with the same tag (guaranteed by matching the uniquely tagged
+/// symbols) and adds/subtracts their leaf amplitudes.
+pub fn binary_op(a1: &TreeAutomaton, a2: &TreeAutomaton, sign: CombineSign) -> TreeAutomaton {
+    let mut result = TreeAutomaton::new(a1.num_vars);
+    let mut pair_state: HashMap<(StateId, StateId), StateId> = HashMap::new();
+    let mut worklist: Vec<(StateId, StateId)> = Vec::new();
+
+    let get_state = |result: &mut TreeAutomaton,
+                         worklist: &mut Vec<(StateId, StateId)>,
+                         pair_state: &mut HashMap<(StateId, StateId), StateId>,
+                         q1: StateId,
+                         q2: StateId| {
+        *pair_state.entry((q1, q2)).or_insert_with(|| {
+            worklist.push((q1, q2));
+            result.add_state()
+        })
+    };
+
+    // Root pairs.
+    for &r1 in &a1.roots {
+        for &r2 in &a2.roots {
+            let state = get_state(&mut result, &mut worklist, &mut pair_state, r1, r2);
+            result.add_root(state);
+        }
+    }
+
+    // Index transitions by parent.
+    let mut internal1: HashMap<StateId, Vec<usize>> = HashMap::new();
+    for (index, t) in a1.internal.iter().enumerate() {
+        internal1.entry(t.parent).or_default().push(index);
+    }
+    let mut internal2: HashMap<StateId, Vec<usize>> = HashMap::new();
+    for (index, t) in a2.internal.iter().enumerate() {
+        internal2.entry(t.parent).or_default().push(index);
+    }
+
+    while let Some((q1, q2)) = worklist.pop() {
+        let parent = pair_state[&(q1, q2)];
+        // Internal transitions with matching (tagged) symbols.
+        for &i1 in internal1.get(&q1).map(|v| v.as_slice()).unwrap_or(&[]) {
+            for &i2 in internal2.get(&q2).map(|v| v.as_slice()).unwrap_or(&[]) {
+                let t1 = &a1.internal[i1];
+                let t2 = &a2.internal[i2];
+                if t1.symbol != t2.symbol {
+                    continue;
+                }
+                let left = get_state(&mut result, &mut worklist, &mut pair_state, t1.left, t2.left);
+                let right =
+                    get_state(&mut result, &mut worklist, &mut pair_state, t1.right, t2.right);
+                result.add_internal(parent, t1.symbol, left, right);
+            }
+        }
+        // Leaf combination.
+        let v1 = a1.leaf_value(q1);
+        let v2 = a2.leaf_value(q2);
+        if let (Some(v1), Some(v2)) = (v1, v2) {
+            let value = match sign {
+                CombineSign::Plus => v1 + v2,
+                CombineSign::Minus => v1 - v2,
+            };
+            result.add_leaf(parent, value);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::update_formula;
+    use autoq_circuit::Gate;
+    use autoq_treeaut::{equivalence, Tree};
+
+    fn singleton(tree: &Tree) -> TreeAutomaton {
+        TreeAutomaton::from_tree(tree)
+    }
+
+    fn state_of(automaton: &TreeAutomaton) -> Vec<std::collections::BTreeMap<u64, Algebraic>> {
+        automaton.enumerate(64).iter().map(Tree::to_amplitude_map).collect()
+    }
+
+    #[test]
+    fn tagging_gives_unique_tags() {
+        let automaton = TreeAutomaton::from_trees(
+            2,
+            &[Tree::basis_state(2, 0), Tree::basis_state(2, 1), Tree::basis_state(2, 3)],
+        );
+        let tagged = tag(&automaton);
+        let mut tags: Vec<_> = tagged.internal.iter().map(|t| t.symbol.tag).collect();
+        tags.sort();
+        tags.dedup();
+        assert_eq!(tags.len(), tagged.internal.len(), "tags must be unique");
+        assert_eq!(tagged.untagged().internal.len(), automaton.internal.len());
+    }
+
+    #[test]
+    fn restriction_zeroes_one_branch() {
+        // B_{x_0}·T on |11⟩ keeps it; B̄_{x_0}·T zeroes it.
+        let tree = Tree::basis_state(2, 0b11);
+        let tagged = tag(&singleton(&tree));
+        let keep = restrict(&tagged, 0, true).untagged().reduce();
+        let kill = restrict(&tagged, 0, false).untagged().reduce();
+        assert_eq!(state_of(&keep), vec![tree.to_amplitude_map()]);
+        let killed = state_of(&kill);
+        assert_eq!(killed.len(), 1);
+        assert!(killed[0].is_empty(), "all amplitudes must be zero");
+    }
+
+    #[test]
+    fn multiplication_rewrites_leaves() {
+        let tree = Tree::basis_state(1, 1);
+        let tagged = tag(&singleton(&tree));
+        let scaled = multiply(&tagged, ScaleFactor::OmegaPow(2)).untagged();
+        let states = state_of(&scaled);
+        assert_eq!(states[0][&1], Algebraic::i());
+        let halved = multiply(&tagged, ScaleFactor::InvSqrt2).untagged();
+        assert_eq!(state_of(&halved)[0][&1], Algebraic::one_over_sqrt2());
+        let negated = multiply(&tagged, ScaleFactor::Neg).untagged();
+        assert_eq!(state_of(&negated)[0][&1], -&Algebraic::one());
+    }
+
+    #[test]
+    fn projection_at_the_bottom_layer() {
+        // T on 1 qubit: T_{x_0} copies the |1⟩ amplitude everywhere.
+        let tree = Tree::from_fn(1, |b| if b == 0 { Algebraic::one() } else { Algebraic::i() });
+        let tagged = tag(&singleton(&tree));
+        let projected = project(&tagged, 0, true).untagged();
+        let states = state_of(&projected);
+        assert_eq!(states.len(), 1);
+        assert_eq!(states[0][&0], Algebraic::i());
+        assert_eq!(states[0][&1], Algebraic::i());
+    }
+
+    #[test]
+    fn projection_above_the_bottom_layer_uses_swaps() {
+        // 2 qubits: T(b0 b1) = b0*2 + b1 as amplitude (all distinct).
+        let tree = Tree::from_fn(2, |b| Algebraic::from_int(b as i64 + 1));
+        let tagged = tag(&singleton(&tree));
+        // T_{x̄_0}: fix qubit 0 to 0 → amplitudes (1, 2, 1, 2).
+        let projected = project(&tagged, 0, false).untagged().reduce();
+        let states = state_of(&projected);
+        assert_eq!(states.len(), 1);
+        assert_eq!(states[0][&0b00], Algebraic::from_int(1));
+        assert_eq!(states[0][&0b01], Algebraic::from_int(2));
+        assert_eq!(states[0][&0b10], Algebraic::from_int(1));
+        assert_eq!(states[0][&0b11], Algebraic::from_int(2));
+        // T_{x_0}: fix qubit 0 to 1 → amplitudes (3, 4, 3, 4).
+        let projected = project(&tagged, 0, true).untagged().reduce();
+        let states = state_of(&projected);
+        assert_eq!(states[0][&0b00], Algebraic::from_int(3));
+        assert_eq!(states[0][&0b01], Algebraic::from_int(4));
+    }
+
+    #[test]
+    fn forward_then_backward_swap_is_identity_on_the_language() {
+        let trees = vec![
+            Tree::from_fn(3, |b| Algebraic::from_int((b % 3) as i64)),
+            Tree::basis_state(3, 5),
+        ];
+        let automaton = tag(&TreeAutomaton::from_trees(3, &trees));
+        let swapped = forward_swap(&automaton, 1);
+        let restored = backward_swap(&swapped, 1);
+        assert!(equivalence(&automaton.untagged(), &restored.untagged()).holds());
+    }
+
+    #[test]
+    fn binary_op_adds_amplitudes_of_matching_trees() {
+        let tree = Tree::from_fn(1, |b| if b == 0 { Algebraic::one() } else { Algebraic::i() });
+        let tagged = tag(&singleton(&tree));
+        let doubled = binary_op(&tagged, &tagged, CombineSign::Plus).untagged().reduce();
+        let states = state_of(&doubled);
+        assert_eq!(states.len(), 1);
+        assert_eq!(states[0][&0], Algebraic::from_int(2));
+        let cancelled = binary_op(&tagged, &tagged, CombineSign::Minus).untagged().reduce();
+        assert!(state_of(&cancelled)[0].is_empty());
+    }
+
+    #[test]
+    fn binary_op_does_not_mix_distinct_trees() {
+        // Two different basis states in one automaton: the combination must
+        // pair each tree with itself, not cross-combine (the paper's
+        // motivation for tagging).
+        let automaton = TreeAutomaton::from_trees(2, &[Tree::basis_state(2, 0), Tree::basis_state(2, 3)]);
+        let tagged = tag(&automaton);
+        let doubled = binary_op(&tagged, &tagged, CombineSign::Plus).untagged().reduce();
+        let states = state_of(&doubled);
+        assert_eq!(states.len(), 2);
+        for map in states {
+            assert_eq!(map.len(), 1, "each combined tree keeps a single non-zero amplitude");
+            assert_eq!(map.values().next().unwrap(), &Algebraic::from_int(2));
+        }
+    }
+
+    #[test]
+    fn hadamard_formula_produces_the_plus_state() {
+        let formula = update_formula(&Gate::H(0)).unwrap();
+        let automaton = singleton(&Tree::basis_state(1, 0));
+        let result = apply_formula(&automaton, &formula).reduce();
+        let states = state_of(&result);
+        assert_eq!(states.len(), 1);
+        assert_eq!(states[0][&0], Algebraic::one_over_sqrt2());
+        assert_eq!(states[0][&1], Algebraic::one_over_sqrt2());
+    }
+
+    #[test]
+    fn cnot_formula_flips_conditionally_on_sets() {
+        let formula = update_formula(&Gate::Cnot { control: 0, target: 1 }).unwrap();
+        let automaton = TreeAutomaton::from_trees(
+            2,
+            &[Tree::basis_state(2, 0b00), Tree::basis_state(2, 0b10), Tree::basis_state(2, 0b11)],
+        );
+        let result = apply_formula(&automaton, &formula).reduce();
+        assert!(result.accepts(&Tree::basis_state(2, 0b00)));
+        assert!(result.accepts(&Tree::basis_state(2, 0b11)));
+        assert!(result.accepts(&Tree::basis_state(2, 0b10)));
+        assert_eq!(result.enumerate(16).len(), 3);
+    }
+}

@@ -1,0 +1,270 @@
+//! The gate-application engine: Hybrid vs Composition settings.
+
+use autoq_circuit::{Circuit, Gate};
+use autoq_treeaut::TreeAutomaton;
+
+use crate::formula::update_formula;
+use crate::{composition, permutation, StateSet};
+
+/// Which gate encoding the engine prefers (the two settings evaluated in the
+/// paper's Section 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Use the permutation-based encoding whenever the gate supports it and
+    /// fall back on the composition-based encoding otherwise (the paper's
+    /// `Hybrid` setting — consistently the faster one in Table 2).
+    #[default]
+    Hybrid,
+    /// Use the composition-based encoding for every gate (the paper's
+    /// `Composition` setting).
+    Composition,
+}
+
+/// When the automaton reduction (trimming + successor merging) runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ReductionPolicy {
+    /// Reduce after every gate (the paper reduces after the cheap
+    /// permutation-style gates; reducing after every gate keeps automata
+    /// small at a modest cost and is the default).
+    #[default]
+    AfterEachGate,
+    /// Never reduce (used by the ablation benchmarks).
+    Never,
+}
+
+/// A configured gate-application engine.
+///
+/// # Examples
+///
+/// ```
+/// use autoq_circuit::{Circuit, Gate};
+/// use autoq_core::{Engine, StateSet};
+///
+/// let circuit = Circuit::from_gates(2, [Gate::H(0), Gate::Cnot { control: 0, target: 1 }]).unwrap();
+/// let input = StateSet::basis_state(2, 0);
+/// let hybrid = Engine::hybrid().apply_circuit(&input, &circuit);
+/// let composition = Engine::composition().apply_circuit(&input, &circuit);
+/// // Both engines compute the same set of output states.
+/// assert_eq!(hybrid.states(8), composition.states(8));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Engine {
+    /// The preferred gate encoding.
+    pub kind: EngineKind,
+    /// When to reduce intermediate automata.
+    pub reduction: ReductionPolicy,
+}
+
+impl Engine {
+    /// The `Hybrid` engine with the default reduction policy.
+    pub fn hybrid() -> Self {
+        Engine { kind: EngineKind::Hybrid, reduction: ReductionPolicy::AfterEachGate }
+    }
+
+    /// The `Composition` engine with the default reduction policy.
+    pub fn composition() -> Self {
+        Engine { kind: EngineKind::Composition, reduction: ReductionPolicy::AfterEachGate }
+    }
+
+    /// Returns a copy with the given reduction policy.
+    pub fn with_reduction(self, reduction: ReductionPolicy) -> Self {
+        Engine { reduction, ..self }
+    }
+
+    /// Applies a single gate to a set of states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate refers to qubits outside the set.
+    pub fn apply_gate(&self, set: &StateSet, gate: &Gate) -> StateSet {
+        for q in gate.qubits() {
+            assert!(q < set.num_qubits(), "gate qubit {q} out of range");
+        }
+        let mut automaton = set.automaton().clone();
+        for primitive in gate.decompose() {
+            automaton = self.apply_primitive(&automaton, &primitive);
+        }
+        set.with_automaton(automaton)
+    }
+
+    /// Applies a primitive (already decomposed) gate to a raw automaton.
+    fn apply_primitive(&self, automaton: &TreeAutomaton, gate: &Gate) -> TreeAutomaton {
+        let use_permutation = match self.kind {
+            EngineKind::Hybrid => permutation::supports(gate),
+            EngineKind::Composition => false,
+        };
+        let result = if use_permutation {
+            permutation::apply(automaton, gate)
+        } else {
+            let formula = update_formula(gate)
+                .expect("primitive gates always have an update formula");
+            composition::apply_formula(automaton, &formula)
+        };
+        match self.reduction {
+            ReductionPolicy::AfterEachGate => result.reduce(),
+            ReductionPolicy::Never => result,
+        }
+    }
+
+    /// Applies every gate of a circuit in order, returning the set of output
+    /// states (the automaton `A` of the paper's workflow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is wider than the state set.
+    pub fn apply_circuit(&self, set: &StateSet, circuit: &Circuit) -> StateSet {
+        assert!(
+            circuit.num_qubits() <= set.num_qubits(),
+            "circuit has more qubits than the state set"
+        );
+        let mut current = set.clone();
+        for gate in circuit.gates() {
+            current = self.apply_gate(&current, gate);
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoq_amplitude::Algebraic;
+    use autoq_simulator::DenseState;
+    use autoq_treeaut::Tree;
+
+    /// Applies a circuit with both engines and with the dense simulator on a
+    /// basis-state input and checks that all three agree exactly.
+    fn check_against_simulator(circuit: &Circuit, basis: u64) {
+        let expected = DenseState::run(circuit, basis).to_amplitude_map();
+        let input = StateSet::basis_state(circuit.num_qubits(), basis);
+        for engine in [Engine::hybrid(), Engine::composition()] {
+            let output = engine.apply_circuit(&input, circuit);
+            let states = output.states(4);
+            assert_eq!(states.len(), 1, "singleton input must stay a singleton ({engine:?})");
+            assert_eq!(states[0], expected, "engine {engine:?} disagrees with the simulator");
+        }
+    }
+
+    #[test]
+    fn epr_circuit_constructs_the_bell_state() {
+        let circuit =
+            Circuit::from_gates(2, [Gate::H(0), Gate::Cnot { control: 0, target: 1 }]).unwrap();
+        check_against_simulator(&circuit, 0b00);
+        check_against_simulator(&circuit, 0b10);
+    }
+
+    #[test]
+    fn every_single_qubit_gate_matches_the_simulator() {
+        let gates = [
+            Gate::X(1),
+            Gate::Y(1),
+            Gate::Z(1),
+            Gate::H(1),
+            Gate::S(1),
+            Gate::Sdg(1),
+            Gate::T(1),
+            Gate::Tdg(1),
+            Gate::RxPi2(1),
+            Gate::RyPi2(1),
+        ];
+        for gate in gates {
+            for basis in 0..4u64 {
+                let circuit = Circuit::from_gates(2, [Gate::H(0), Gate::H(1), gate]).unwrap();
+                check_against_simulator(&circuit, basis);
+            }
+        }
+    }
+
+    #[test]
+    fn every_multi_qubit_gate_matches_the_simulator() {
+        let gates = [
+            Gate::Cnot { control: 0, target: 2 },
+            Gate::Cnot { control: 2, target: 0 },
+            Gate::Cz { control: 1, target: 2 },
+            Gate::Cz { control: 2, target: 1 },
+            Gate::Swap(0, 2),
+            Gate::Toffoli { controls: [0, 1], target: 2 },
+            Gate::Toffoli { controls: [2, 1], target: 0 },
+            Gate::Fredkin { control: 0, targets: [1, 2] },
+        ];
+        for gate in gates {
+            for basis in 0..8u64 {
+                let circuit = Circuit::from_gates(3, [Gate::H(0), Gate::T(1), gate]).unwrap();
+                check_against_simulator(&circuit, basis);
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_and_composition_agree_on_superposition_circuits() {
+        let circuit = Circuit::from_gates(
+            3,
+            [
+                Gate::H(0),
+                Gate::RyPi2(1),
+                Gate::Cnot { control: 1, target: 0 },
+                Gate::T(2),
+                Gate::RxPi2(2),
+                Gate::Toffoli { controls: [0, 2], target: 1 },
+                Gate::H(2),
+            ],
+        )
+        .unwrap();
+        check_against_simulator(&circuit, 0);
+        check_against_simulator(&circuit, 0b101);
+    }
+
+    #[test]
+    fn engine_handles_sets_of_inputs() {
+        // Apply X(1) to the set of all 2-qubit basis states: the set is unchanged.
+        let all = StateSet::all_basis_states(2);
+        let result = Engine::hybrid().apply_gate(&all, &Gate::X(1));
+        assert_eq!(result.states(8).len(), 4);
+        for b in 0..4u64 {
+            assert!(result.contains_basis_state(b));
+        }
+        // Apply H(0) to {|00⟩, |10⟩}: produces the two superposition states.
+        let two = StateSet::basis_state(2, 0).union(&StateSet::basis_state(2, 0b10));
+        let result = Engine::composition().apply_gate(&two, &Gate::H(0));
+        let states = result.states(8);
+        assert_eq!(states.len(), 2);
+        assert!(result.contains_state_fn(|b| match b {
+            0b00 | 0b10 => Algebraic::one_over_sqrt2(),
+            _ => Algebraic::zero(),
+        }));
+        assert!(result.contains_state_fn(|b| match b {
+            0b00 => Algebraic::one_over_sqrt2(),
+            0b10 => -&Algebraic::one_over_sqrt2(),
+            _ => Algebraic::zero(),
+        }));
+    }
+
+    #[test]
+    fn reduction_policy_controls_automaton_growth() {
+        let circuit = Circuit::from_gates(
+            2,
+            [Gate::H(0), Gate::T(0), Gate::H(1), Gate::Cnot { control: 0, target: 1 }, Gate::H(0)],
+        )
+        .unwrap();
+        let input = StateSet::basis_state(2, 0);
+        let reduced = Engine::hybrid().apply_circuit(&input, &circuit);
+        let unreduced = Engine::hybrid()
+            .with_reduction(ReductionPolicy::Never)
+            .apply_circuit(&input, &circuit);
+        assert!(reduced.state_count() <= unreduced.state_count());
+        // Both represent the same single state.
+        assert_eq!(reduced.states(4), unreduced.reduced().states(4));
+    }
+
+    #[test]
+    fn bell_state_output_accepts_expected_tree() {
+        let circuit =
+            Circuit::from_gates(2, [Gate::H(0), Gate::Cnot { control: 0, target: 1 }]).unwrap();
+        let output = Engine::hybrid().apply_circuit(&StateSet::basis_state(2, 0), &circuit);
+        let bell = Tree::from_fn(2, |b| match b {
+            0b00 | 0b11 => Algebraic::one_over_sqrt2(),
+            _ => Algebraic::zero(),
+        });
+        assert!(output.automaton().accepts(&bell));
+    }
+}

@@ -1,0 +1,297 @@
+//! Symbolic update formulae for quantum gates (Table 1 of the paper).
+//!
+//! A gate's action on the tree view `T : {0,1}ⁿ → amplitudes` of a quantum
+//! state is expressed with four operators (Section 4):
+//!
+//! * *projection* `T_{x_t}` / `T_{x̄_t}` — fix qubit `t` to `1` / `0`,
+//! * *restriction* `B_{x_t}·e` / `B̄_{x_t}·e` — zero the branches where
+//!   qubit `t` is `0` / `1`,
+//! * *scaling* by `ω^j`, `−1` or `1/√2`,
+//! * *binary* `+` / `−` of two terms derived from the same source tree.
+//!
+//! [`UpdateExpr`] is the AST of such formulae and [`update_formula`] returns
+//! the formula of every supported primitive gate.  The H and Ry(π/2) rows
+//! are derived directly from the gate matrices (Appendix A); all formulae
+//! are validated against the exact simulator in tests, which establishes the
+//! paper's Theorem 4.1 for this implementation.
+
+use autoq_circuit::Gate;
+
+/// A scaling factor appearing in an update formula.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleFactor {
+    /// Multiplication by `ω^j` (`j` taken modulo 8).
+    OmegaPow(u8),
+    /// Multiplication by `−1`.
+    Neg,
+    /// Multiplication by `1/√2`.
+    InvSqrt2,
+}
+
+/// Sign of a binary combination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CombineSign {
+    /// Addition of the two terms.
+    Plus,
+    /// Subtraction (left minus right).
+    Minus,
+}
+
+/// The abstract syntax of a symbolic update formula.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UpdateExpr {
+    /// The source tree `T`.
+    Source,
+    /// Projection `T_{x_qubit}` (`bit = true`) or `T_{x̄_qubit}` (`bit = false`)
+    /// of the source tree.
+    Proj {
+        /// Qubit whose value is fixed.
+        qubit: u32,
+        /// The value it is fixed to.
+        bit: bool,
+    },
+    /// Restriction `B_{x_qubit}·inner` (`bit = true`) or `B̄_{x_qubit}·inner`
+    /// (`bit = false`).
+    Restrict {
+        /// Qubit tested by the restriction.
+        qubit: u32,
+        /// Which value of the qubit keeps its amplitudes (the other branch
+        /// is zeroed).
+        bit: bool,
+        /// The term being restricted.
+        inner: Box<UpdateExpr>,
+    },
+    /// Scalar multiplication.
+    Scale {
+        /// The factor.
+        factor: ScaleFactor,
+        /// The term being scaled.
+        inner: Box<UpdateExpr>,
+    },
+    /// Sum or difference of two terms.
+    Combine {
+        /// The sign.
+        sign: CombineSign,
+        /// Left term.
+        lhs: Box<UpdateExpr>,
+        /// Right term.
+        rhs: Box<UpdateExpr>,
+    },
+}
+
+impl UpdateExpr {
+    fn proj(qubit: u32, bit: bool) -> Self {
+        UpdateExpr::Proj { qubit, bit }
+    }
+
+    fn restrict(qubit: u32, bit: bool, inner: UpdateExpr) -> Self {
+        UpdateExpr::Restrict { qubit, bit, inner: Box::new(inner) }
+    }
+
+    fn scale(factor: ScaleFactor, inner: UpdateExpr) -> Self {
+        UpdateExpr::Scale { factor, inner: Box::new(inner) }
+    }
+
+    fn add(lhs: UpdateExpr, rhs: UpdateExpr) -> Self {
+        UpdateExpr::Combine { sign: CombineSign::Plus, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    fn sub(lhs: UpdateExpr, rhs: UpdateExpr) -> Self {
+        UpdateExpr::Combine { sign: CombineSign::Minus, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// The qubits mentioned anywhere in the formula.
+    pub fn qubits(&self) -> Vec<u32> {
+        let mut qubits = Vec::new();
+        self.collect_qubits(&mut qubits);
+        qubits.sort_unstable();
+        qubits.dedup();
+        qubits
+    }
+
+    fn collect_qubits(&self, out: &mut Vec<u32>) {
+        match self {
+            UpdateExpr::Source => {}
+            UpdateExpr::Proj { qubit, .. } => out.push(*qubit),
+            UpdateExpr::Restrict { qubit, inner, .. } => {
+                out.push(*qubit);
+                inner.collect_qubits(out);
+            }
+            UpdateExpr::Scale { inner, .. } => inner.collect_qubits(out),
+            UpdateExpr::Combine { lhs, rhs, .. } => {
+                lhs.collect_qubits(out);
+                rhs.collect_qubits(out);
+            }
+        }
+    }
+}
+
+/// The "flip qubit `t`" sub-formula `B̄_{x_t}·T_{x_t} + B_{x_t}·T_{x̄_t}`
+/// shared by `X`, `CNOT` and Toffoli (Eq. (11)/(12) of the paper).
+fn flip_formula(t: u32) -> UpdateExpr {
+    UpdateExpr::add(
+        UpdateExpr::restrict(t, false, UpdateExpr::proj(t, true)),
+        UpdateExpr::restrict(t, true, UpdateExpr::proj(t, false)),
+    )
+}
+
+/// The `Z` sub-formula `B̄_{x_t}·T − B_{x_t}·T`.
+fn z_formula(t: u32) -> UpdateExpr {
+    UpdateExpr::sub(
+        UpdateExpr::restrict(t, false, UpdateExpr::Source),
+        UpdateExpr::restrict(t, true, UpdateExpr::Source),
+    )
+}
+
+/// Phase-on-one sub-formula `B̄_{x_t}·T + ω^j·B_{x_t}·T` (used by S, S†, T, T†).
+fn phase_formula(t: u32, omega_power: u8) -> UpdateExpr {
+    UpdateExpr::add(
+        UpdateExpr::restrict(t, false, UpdateExpr::Source),
+        UpdateExpr::scale(
+            ScaleFactor::OmegaPow(omega_power),
+            UpdateExpr::restrict(t, true, UpdateExpr::Source),
+        ),
+    )
+}
+
+/// Returns the symbolic update formula of a primitive gate, or `None` for the
+/// convenience gates (`SWAP`, Fredkin) that must be decomposed first.
+///
+/// # Examples
+///
+/// ```
+/// use autoq_circuit::Gate;
+/// use autoq_core::formula::update_formula;
+/// assert!(update_formula(&Gate::H(0)).is_some());
+/// assert!(update_formula(&Gate::Swap(0, 1)).is_none());
+/// ```
+pub fn update_formula(gate: &Gate) -> Option<UpdateExpr> {
+    use UpdateExpr as E;
+    let formula = match *gate {
+        // X_t(T) = B̄_{x_t}·T_{x_t} + B_{x_t}·T_{x̄_t}
+        Gate::X(t) => flip_formula(t),
+        // Y_t(T) = ω²·(B_{x_t}·T_{x̄_t} − B̄_{x_t}·T_{x_t})
+        Gate::Y(t) => E::scale(
+            ScaleFactor::OmegaPow(2),
+            E::sub(
+                E::restrict(t, true, E::proj(t, false)),
+                E::restrict(t, false, E::proj(t, true)),
+            ),
+        ),
+        // Z_t(T) = B̄_{x_t}·T − B_{x_t}·T
+        Gate::Z(t) => z_formula(t),
+        // H_t(T) = (T_{x̄_t} + B̄_{x_t}·T_{x_t} − B_{x_t}·T)/√2
+        Gate::H(t) => E::scale(
+            ScaleFactor::InvSqrt2,
+            E::sub(
+                E::add(E::proj(t, false), E::restrict(t, false, E::proj(t, true))),
+                E::restrict(t, true, E::Source),
+            ),
+        ),
+        Gate::S(t) => phase_formula(t, 2),
+        Gate::Sdg(t) => phase_formula(t, 6),
+        Gate::T(t) => phase_formula(t, 1),
+        Gate::Tdg(t) => phase_formula(t, 7),
+        // Rx(π/2)_t(T) = (T − ω²·(B_{x_t}·T_{x̄_t} + B̄_{x_t}·T_{x_t}))/√2
+        Gate::RxPi2(t) => E::scale(
+            ScaleFactor::InvSqrt2,
+            E::sub(
+                E::Source,
+                E::scale(
+                    ScaleFactor::OmegaPow(2),
+                    E::add(
+                        E::restrict(t, true, E::proj(t, false)),
+                        E::restrict(t, false, E::proj(t, true)),
+                    ),
+                ),
+            ),
+        ),
+        // Ry(π/2)_t(T) = (T − B̄_{x_t}·T_{x_t} + B_{x_t}·T_{x̄_t})/√2
+        Gate::RyPi2(t) => E::scale(
+            ScaleFactor::InvSqrt2,
+            E::add(
+                E::sub(E::Source, E::restrict(t, false, E::proj(t, true))),
+                E::restrict(t, true, E::proj(t, false)),
+            ),
+        ),
+        // CNOT^c_t(T) = B̄_{x_c}·T + B_{x_c}·(flip_t)
+        Gate::Cnot { control, target } => E::add(
+            E::restrict(control, false, E::Source),
+            E::restrict(control, true, flip_formula(target)),
+        ),
+        // CZ^c_t(T) = B̄_{x_c}·T + B_{x_c}·(Z_t)
+        Gate::Cz { control, target } => E::add(
+            E::restrict(control, false, E::Source),
+            E::restrict(control, true, z_formula(target)),
+        ),
+        // Toffoli^{c,c'}_t(T) = B̄_{x_c}·T + B_{x_c}·(B̄_{x_c'}·T + B_{x_c'}·(flip_t))
+        Gate::Toffoli { controls: [c1, c2], target } => E::add(
+            E::restrict(c1, false, E::Source),
+            E::restrict(
+                c1,
+                true,
+                E::add(
+                    E::restrict(c2, false, E::Source),
+                    E::restrict(c2, true, flip_formula(target)),
+                ),
+            ),
+        ),
+        Gate::Swap(..) | Gate::Fredkin { .. } => return None,
+    };
+    Some(formula)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_primitive_gate_has_a_formula() {
+        let gates = [
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::H(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::T(0),
+            Gate::Tdg(0),
+            Gate::RxPi2(0),
+            Gate::RyPi2(0),
+            Gate::Cnot { control: 0, target: 1 },
+            Gate::Cz { control: 0, target: 1 },
+            Gate::Toffoli { controls: [0, 1], target: 2 },
+        ];
+        for gate in gates {
+            let formula = update_formula(&gate).expect("missing formula");
+            assert_eq!(formula.qubits(), gate.qubits().into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn convenience_gates_have_no_formula() {
+        assert!(update_formula(&Gate::Swap(0, 1)).is_none());
+        assert!(update_formula(&Gate::Fredkin { control: 0, targets: [1, 2] }).is_none());
+    }
+
+    #[test]
+    fn x_formula_matches_eq_11() {
+        let formula = update_formula(&Gate::X(3)).unwrap();
+        assert_eq!(formula, flip_formula(3));
+        assert_eq!(formula.qubits(), vec![3]);
+    }
+
+    #[test]
+    fn controlled_formulae_nest_the_target_formula() {
+        let cnot = update_formula(&Gate::Cnot { control: 1, target: 4 }).unwrap();
+        match cnot {
+            UpdateExpr::Combine { sign: CombineSign::Plus, rhs, .. } => match *rhs {
+                UpdateExpr::Restrict { qubit: 1, bit: true, inner } => {
+                    assert_eq!(*inner, flip_formula(4));
+                }
+                other => panic!("unexpected rhs {other:?}"),
+            },
+            other => panic!("unexpected formula {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The incremental bug-hunting strategy of Section 7.2.
+//!
+//! To find a bug that distinguishes an original circuit from its (allegedly
+//! equivalent) optimised version, the paper starts from a tree automaton
+//! encoding a *single* basis state and gradually adds nondeterminism —
+//! enlarging the input set one step at a time — re-running the analysis
+//! after each step until the two circuits' output sets differ.  Small input
+//! sets keep the automata small, so bugs that manifest on few inputs are
+//! found cheaply; the input set only grows as far as necessary.
+
+use autoq_circuit::Circuit;
+use autoq_treeaut::Tree;
+use rand::Rng;
+
+use crate::{check_circuit_equivalence, Engine, StateSet};
+
+/// Configuration of the bug hunter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BugHunter {
+    /// The engine used to run both circuits.
+    pub engine: Engine,
+    /// Upper bound on the number of iterations (each iteration frees one
+    /// more qubit of the input pattern, so `num_qubits + 1` iterations reach
+    /// the set of all basis states).
+    pub max_iterations: u32,
+}
+
+impl Default for BugHunter {
+    fn default() -> Self {
+        BugHunter { engine: Engine::hybrid(), max_iterations: u32::MAX }
+    }
+}
+
+/// The result of a bug hunt.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HuntReport {
+    /// `true` if a distinguishing output state was found.
+    pub bug_found: bool,
+    /// Number of analysis iterations performed (the paper's `iter` column in
+    /// Table 3).
+    pub iterations: u32,
+    /// A quantum state produced by exactly one of the two circuits, if a bug
+    /// was found.
+    pub witness: Option<Tree>,
+    /// The number of basis states in the final input set.
+    pub final_input_size: u64,
+}
+
+impl BugHunter {
+    /// Creates a hunter with the given engine and no iteration bound.
+    pub fn new(engine: Engine) -> Self {
+        BugHunter { engine, max_iterations: u32::MAX }
+    }
+
+    /// Limits the number of iterations.
+    pub fn with_max_iterations(mut self, max_iterations: u32) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Hunts for a bug distinguishing `original` from `candidate`.
+    ///
+    /// Iteration `i` runs both circuits on an input set of `2^i` basis
+    /// states: a random base pattern with `i` randomly chosen free qubits
+    /// (iteration 0 is a single random basis state).  The hunt stops as soon
+    /// as the two output sets differ, or when the whole basis-state space
+    /// has been covered without finding a difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuits have different widths.
+    pub fn hunt(&self, original: &Circuit, candidate: &Circuit, rng: &mut impl Rng) -> HuntReport {
+        assert_eq!(original.num_qubits(), candidate.num_qubits(), "circuit width mismatch");
+        let n = original.num_qubits();
+        let base: u64 = if n >= 64 { rng.gen() } else { rng.gen_range(0..(1u64 << n.min(63))) };
+
+        // Random order in which qubits become unconstrained.
+        let mut order: Vec<u32> = (0..n).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+
+        let mut iterations = 0;
+        for free_count in 0..=n.min(self.max_iterations.saturating_sub(1)) {
+            iterations += 1;
+            let free = &order[..free_count as usize];
+            let inputs = StateSet::basis_pattern(n, base, free);
+            let result = check_circuit_equivalence(&self.engine, &inputs, original, candidate);
+            if let Some(witness) = result.witness() {
+                return HuntReport {
+                    bug_found: true,
+                    iterations,
+                    witness: Some(witness.clone()),
+                    final_input_size: 1u64 << free_count,
+                };
+            }
+            if iterations >= self.max_iterations {
+                break;
+            }
+        }
+        HuntReport {
+            bug_found: false,
+            iterations,
+            witness: None,
+            final_input_size: 1u64 << (iterations - 1).min(63),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoq_circuit::generators::{mc_toffoli, random_circuit, RandomCircuitConfig};
+    use autoq_circuit::mutation::inject_random_gate;
+    use autoq_circuit::Gate;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_circuits_yield_no_bug() {
+        let circuit = mc_toffoli(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let report = BugHunter::default().with_max_iterations(3).hunt(&circuit, &circuit, &mut rng);
+        assert!(!report.bug_found);
+        assert!(report.witness.is_none());
+        assert_eq!(report.iterations, 3);
+    }
+
+    #[test]
+    fn injected_bugs_in_small_reversible_circuits_are_found() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let circuit = mc_toffoli(3);
+        for _ in 0..5 {
+            let (buggy, _) = inject_random_gate(&circuit, false, &mut rng);
+            if buggy.gates() == circuit.gates() {
+                continue;
+            }
+            let report = BugHunter::default().hunt(&circuit, &buggy, &mut rng);
+            assert!(report.bug_found, "bug not found");
+            assert!(report.iterations >= 1);
+            assert!(report.witness.is_some());
+        }
+    }
+
+    #[test]
+    fn bugs_in_random_quantum_circuits_are_found() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let config = RandomCircuitConfig { num_qubits: 4, num_gates: 12, include_superposing_gates: true };
+        let circuit = random_circuit(&config, &mut rng);
+        let buggy = autoq_circuit::mutation::insert_gate(&circuit, Gate::Z(2), 5);
+        // Z commutes with nothing here by luck of the draw? — if the outputs
+        // happen to agree on every input the hunter reports no bug, which is
+        // also sound; but for this seed the bug is observable.
+        let report = BugHunter::default().hunt(&circuit, &buggy, &mut rng);
+        assert!(report.bug_found);
+        assert!(report.final_input_size >= 1);
+    }
+
+    #[test]
+    fn iteration_bound_is_respected() {
+        let circuit = mc_toffoli(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let report = BugHunter::default().with_max_iterations(1).hunt(&circuit, &circuit, &mut rng);
+        assert_eq!(report.iterations, 1);
+        assert_eq!(report.final_input_size, 1);
+    }
+}

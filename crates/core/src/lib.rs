@@ -1,0 +1,56 @@
+//! AutoQ-rs: an automata-based framework for verification and bug hunting in
+//! quantum circuits.
+//!
+//! This crate implements the core contribution of the PLDI'23 paper
+//! *"An Automata-Based Framework for Verification and Bug Hunting in Quantum
+//! Circuits"* (Chen, Chung, Lengál, Lin, Tsai, Yen):
+//!
+//! * **Sets of quantum states as tree automata** — [`StateSet`] wraps a
+//!   [`TreeAutomaton`](autoq_treeaut::TreeAutomaton) whose full binary trees
+//!   encode quantum states with exact algebraic amplitudes (Section 3).
+//! * **Quantum gates as automata transformers** — two instantiations:
+//!   the *permutation-based* encoding of Section 5 ([`permutation`]) and the
+//!   *composition-based* encoding of Section 6 ([`composition`]), driven by
+//!   the symbolic update formulae of Table 1 ([`formula`]).
+//! * **Verification and bug hunting** — `{P} C {Q}` triple checking with
+//!   witness extraction ([`verify`]), circuit (non-)equivalence checking over
+//!   a set of inputs, and the incremental bug-hunting strategy of
+//!   Section 7.2 ([`hunt`]).
+//!
+//! # Quick start
+//!
+//! Verify the Bell-state preparation circuit of the paper's overview
+//! (Fig. 1): starting from `|00⟩`, the EPR circuit must produce exactly the
+//! maximally entangled state `(|00⟩ + |11⟩)/√2`.
+//!
+//! ```
+//! use autoq_amplitude::Algebraic;
+//! use autoq_circuit::{Circuit, Gate};
+//! use autoq_core::{Engine, SpecMode, StateSet, VerificationOutcome};
+//!
+//! let epr = Circuit::from_gates(2, [Gate::H(0), Gate::Cnot { control: 0, target: 1 }]).unwrap();
+//!
+//! let pre = StateSet::basis_state(2, 0b00);
+//! let post = StateSet::from_state_fn(2, |basis| match basis {
+//!     0b00 | 0b11 => Algebraic::one_over_sqrt2(),
+//!     _ => Algebraic::zero(),
+//! });
+//!
+//! let engine = Engine::hybrid();
+//! let outcome = autoq_core::verify(&engine, &pre, &epr, &post, SpecMode::Equality);
+//! assert_eq!(outcome, VerificationOutcome::Holds);
+//! ```
+
+pub mod composition;
+pub mod engine;
+pub mod formula;
+pub mod hunt;
+pub mod permutation;
+pub mod presets;
+mod state_set;
+pub mod verify;
+
+pub use engine::{Engine, EngineKind, ReductionPolicy};
+pub use hunt::{BugHunter, HuntReport};
+pub use state_set::StateSet;
+pub use verify::{check_circuit_equivalence, verify, SpecMode, VerificationOutcome};

@@ -1,0 +1,290 @@
+//! Sets of quantum states represented by tree automata (Section 3).
+
+use std::collections::BTreeMap;
+
+use autoq_amplitude::Algebraic;
+use autoq_treeaut::{InternalSymbol, Tree, TreeAutomaton};
+
+/// A set of `n`-qubit quantum states, stored as a tree automaton over full
+/// binary trees of height `n`.
+///
+/// `StateSet` is the user-facing handle of the framework: pre- and
+/// post-conditions, intermediate analysis results and witness sets are all
+/// `StateSet`s.
+///
+/// # Examples
+///
+/// ```
+/// use autoq_core::StateSet;
+///
+/// // All computational basis states of a 3-qubit register — the set Q_n of
+/// // Example 3.1 — has a linear-size automaton: 2n+1 states, 3n+1 transitions.
+/// let all = StateSet::all_basis_states(3);
+/// assert_eq!(all.state_count(), 7);
+/// assert_eq!(all.transition_count(), 10);
+/// assert_eq!(all.states(100).len(), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StateSet {
+    num_qubits: u32,
+    automaton: TreeAutomaton,
+}
+
+impl StateSet {
+    /// Wraps an existing automaton.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the automaton fails basic validation.
+    pub fn from_automaton(num_qubits: u32, automaton: TreeAutomaton) -> Self {
+        assert_eq!(automaton.num_vars, num_qubits, "automaton height mismatch");
+        automaton.validate().expect("invalid automaton");
+        StateSet { num_qubits, automaton }
+    }
+
+    /// The singleton set `{|basis⟩}`.
+    ///
+    /// ```
+    /// # use autoq_core::StateSet;
+    /// let set = StateSet::basis_state(3, 0b101);
+    /// assert_eq!(set.states(10).len(), 1);
+    /// ```
+    pub fn basis_state(num_qubits: u32, basis: u64) -> Self {
+        let tree = Tree::basis_state(num_qubits, basis);
+        StateSet { num_qubits, automaton: TreeAutomaton::from_tree(&tree) }
+    }
+
+    /// The singleton set containing the state described by an amplitude
+    /// function over basis indices (MSBF encoding).
+    pub fn from_state_fn(num_qubits: u32, f: impl Fn(u64) -> Algebraic) -> Self {
+        let tree = Tree::from_fn(num_qubits, f);
+        StateSet { num_qubits, automaton: TreeAutomaton::from_tree(&tree) }
+    }
+
+    /// A set given by explicit states, each described by a map from basis
+    /// indices to amplitudes (absent entries are zero).
+    pub fn from_state_maps(num_qubits: u32, states: &[BTreeMap<u64, Algebraic>]) -> Self {
+        let trees: Vec<Tree> = states
+            .iter()
+            .map(|map| {
+                Tree::from_fn(num_qubits, |basis| {
+                    map.get(&basis).cloned().unwrap_or_else(Algebraic::zero)
+                })
+            })
+            .collect();
+        StateSet { num_qubits, automaton: TreeAutomaton::from_trees(num_qubits, &trees).reduce() }
+    }
+
+    /// The set of **all** computational basis states `{|i⟩ : i ∈ {0,1}ⁿ}`,
+    /// built directly as the linear-size automaton of Example 3.1
+    /// (`2n + 1` states, `3n + 1` transitions).
+    pub fn all_basis_states(num_qubits: u32) -> Self {
+        Self::basis_pattern(num_qubits, 0, &(0..num_qubits).collect::<Vec<_>>())
+    }
+
+    /// The set of basis states obtained from `fixed` by letting every qubit
+    /// listed in `free` range over both values; all other qubits keep their
+    /// bit from `fixed` (MSBF: qubit 0 is the most significant bit).
+    ///
+    /// This is the family of input sets used by the paper's experiments: the
+    /// MCToffoli pre-condition fixes the work qubits to `0` and frees the
+    /// control/target qubits; the bug-hunting strategy of Section 7.2 starts
+    /// from a single basis state and frees one more qubit per iteration.
+    ///
+    /// ```
+    /// # use autoq_core::StateSet;
+    /// // |x 0 y⟩ for x, y ∈ {0,1}
+    /// let set = StateSet::basis_pattern(3, 0b000, &[0, 2]);
+    /// assert_eq!(set.states(10).len(), 4);
+    /// ```
+    pub fn basis_pattern(num_qubits: u32, fixed: u64, free: &[u32]) -> Self {
+        assert!(num_qubits > 0, "need at least one qubit");
+        let mut automaton = TreeAutomaton::new(num_qubits);
+        let leaf_zero = automaton.leaf_state(&Algebraic::zero());
+        let leaf_one = automaton.leaf_state(&Algebraic::one());
+        // For every layer from the bottom up we keep two states: one that
+        // generates the all-zero subtree and one that generates the subtree
+        // carrying the single 1 leaf (on the path selected by `fixed`/`free`).
+        let mut zero_state = leaf_zero;
+        let mut one_state = leaf_one;
+        for var in (0..num_qubits).rev() {
+            let new_zero = automaton.add_state();
+            let new_one = automaton.add_state();
+            automaton.add_internal(new_zero, InternalSymbol::new(var), zero_state, zero_state);
+            let bit = (fixed >> (num_qubits - 1 - var)) & 1;
+            let is_free = free.contains(&var);
+            if is_free || bit == 0 {
+                automaton.add_internal(new_one, InternalSymbol::new(var), one_state, zero_state);
+            }
+            if is_free || bit == 1 {
+                automaton.add_internal(new_one, InternalSymbol::new(var), zero_state, one_state);
+            }
+            zero_state = new_zero;
+            one_state = new_one;
+        }
+        automaton.add_root(one_state);
+        let automaton = automaton.trim();
+        StateSet { num_qubits, automaton }
+    }
+
+    /// The union of two sets over the same number of qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn union(&self, other: &StateSet) -> StateSet {
+        assert_eq!(self.num_qubits, other.num_qubits, "qubit count mismatch");
+        let mut automaton = self.automaton.clone();
+        let offset = automaton.import_disjoint(&other.automaton);
+        let other_roots: Vec<_> = other.automaton.roots.iter().map(|r| r.offset(offset)).collect();
+        for root in other_roots {
+            automaton.add_root(root);
+        }
+        StateSet { num_qubits: self.num_qubits, automaton: automaton.reduce() }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// The underlying tree automaton.
+    pub fn automaton(&self) -> &TreeAutomaton {
+        &self.automaton
+    }
+
+    /// Number of automaton states (the paper's "states" column in Table 2).
+    pub fn state_count(&self) -> usize {
+        self.automaton.state_count()
+    }
+
+    /// Number of automaton transitions (the paper's "(transitions)" column).
+    pub fn transition_count(&self) -> usize {
+        self.automaton.transition_count()
+    }
+
+    /// Enumerates up to `limit` states of the set as maps from basis indices
+    /// to non-zero amplitudes.
+    pub fn states(&self, limit: usize) -> Vec<BTreeMap<u64, Algebraic>> {
+        self.automaton.enumerate(limit).iter().map(Tree::to_amplitude_map).collect()
+    }
+
+    /// Returns `true` if the set contains the state described by `f`.
+    pub fn contains_state_fn(&self, f: impl Fn(u64) -> Algebraic) -> bool {
+        self.automaton.accepts(&Tree::from_fn(self.num_qubits, f))
+    }
+
+    /// Returns `true` if the set contains the computational basis state.
+    pub fn contains_basis_state(&self, basis: u64) -> bool {
+        self.automaton.accepts(&Tree::basis_state(self.num_qubits, basis))
+    }
+
+    /// Applies the automaton reduction (trimming + successor merging) and
+    /// returns the reduced set.
+    pub fn reduced(&self) -> StateSet {
+        StateSet { num_qubits: self.num_qubits, automaton: self.automaton.reduce() }
+    }
+
+    /// Replaces the underlying automaton (used by the gate transformers).
+    pub(crate) fn with_automaton(&self, automaton: TreeAutomaton) -> StateSet {
+        StateSet { num_qubits: self.num_qubits, automaton }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_state_set_contains_exactly_one_state() {
+        let set = StateSet::basis_state(4, 0b1010);
+        assert!(set.contains_basis_state(0b1010));
+        assert!(!set.contains_basis_state(0b1011));
+        assert_eq!(set.states(10).len(), 1);
+        assert_eq!(set.num_qubits(), 4);
+    }
+
+    #[test]
+    fn all_basis_states_has_linear_size() {
+        for n in 1..8u32 {
+            let set = StateSet::all_basis_states(n);
+            assert_eq!(set.state_count(), 2 * n as usize + 1, "states for n = {n}");
+            assert_eq!(set.transition_count(), 3 * n as usize + 1, "transitions for n = {n}");
+            if n <= 5 {
+                assert_eq!(set.states(1 << n).len(), 1 << n);
+            }
+        }
+    }
+
+    #[test]
+    fn basis_pattern_fixes_and_frees_qubits() {
+        // 4 qubits, fix qubit 1 to 1 and qubit 3 to 0, free qubits 0 and 2.
+        let set = StateSet::basis_pattern(4, 0b0100, &[0, 2]);
+        let states = set.states(100);
+        assert_eq!(states.len(), 4);
+        for map in &states {
+            assert_eq!(map.len(), 1);
+            let basis = *map.keys().next().unwrap();
+            assert_eq!((basis >> 2) & 1, 1, "qubit 1 must stay 1");
+            assert_eq!(basis & 1, 0, "qubit 3 must stay 0");
+        }
+    }
+
+    #[test]
+    fn pattern_with_no_free_qubits_is_a_single_basis_state() {
+        let set = StateSet::basis_pattern(3, 0b011, &[]);
+        assert_eq!(set.states(10).len(), 1);
+        assert!(set.contains_basis_state(0b011));
+    }
+
+    #[test]
+    fn union_merges_languages() {
+        let a = StateSet::basis_state(2, 0);
+        let b = StateSet::basis_state(2, 3);
+        let union = a.union(&b);
+        assert!(union.contains_basis_state(0));
+        assert!(union.contains_basis_state(3));
+        assert!(!union.contains_basis_state(1));
+        assert_eq!(union.states(10).len(), 2);
+    }
+
+    #[test]
+    fn from_state_maps_builds_superpositions() {
+        let mut bell = BTreeMap::new();
+        bell.insert(0u64, Algebraic::one_over_sqrt2());
+        bell.insert(3u64, Algebraic::one_over_sqrt2());
+        let set = StateSet::from_state_maps(2, &[bell.clone()]);
+        assert!(set.contains_state_fn(|b| match b {
+            0 | 3 => Algebraic::one_over_sqrt2(),
+            _ => Algebraic::zero(),
+        }));
+        assert_eq!(set.states(10), vec![bell]);
+    }
+
+    #[test]
+    fn from_state_fn_and_contains_state_fn_round_trip() {
+        let set = StateSet::from_state_fn(2, |b| {
+            if b == 1 {
+                -&Algebraic::one()
+            } else {
+                Algebraic::zero()
+            }
+        });
+        assert!(set.contains_state_fn(|b| if b == 1 { -&Algebraic::one() } else { Algebraic::zero() }));
+        assert!(!set.contains_basis_state(1));
+    }
+
+    #[test]
+    fn reduced_preserves_language() {
+        let a = StateSet::basis_state(3, 1).union(&StateSet::basis_state(3, 5));
+        let reduced = a.reduced();
+        assert_eq!(reduced.states(10).len(), 2);
+        assert!(reduced.state_count() <= a.state_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "qubit count mismatch")]
+    fn union_of_mismatched_sets_panics() {
+        let _ = StateSet::basis_state(2, 0).union(&StateSet::basis_state(3, 0));
+    }
+}

@@ -1,0 +1,48 @@
+//! Baseline quantum-circuit equivalence checkers.
+//!
+//! The AutoQ paper compares its bug-hunting approach against two families of
+//! equivalence checkers (Table 3):
+//!
+//! * **Feynman** — a path-sum (sum-over-paths / phase-polynomial) rewriting
+//!   checker.  [`pathsum`] implements the same representation with a reduced
+//!   rewriting rule set; when the rules get stuck it honestly reports
+//!   [`Verdict::Unknown`], mirroring Feynman's timeouts on hard instances.
+//! * **QCEC** — which, for the bug-finding workload, succeeds or fails mainly
+//!   through its random-stimuli component.  [`stimuli`] implements exactly
+//!   that: simulate both circuits on random basis states with the exact
+//!   simulator and compare.
+//!
+//! # Examples
+//!
+//! ```
+//! use autoq_circuit::{Circuit, Gate};
+//! use autoq_equivcheck::{pathsum, Verdict};
+//!
+//! let hh = Circuit::from_gates(1, [Gate::H(0), Gate::H(0)]).unwrap();
+//! let identity = Circuit::new(1);
+//! assert_eq!(pathsum::check_equivalence(&hh, &identity), Verdict::Equivalent);
+//! ```
+
+pub mod pathsum;
+pub mod stimuli;
+
+/// The verdict of a baseline equivalence check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The circuits were proven equivalent (up to global phase for the
+    /// path-sum checker).
+    Equivalent,
+    /// The circuits were proven non-equivalent.
+    NotEquivalent,
+    /// The checker could not decide (rewriting got stuck / all sampled
+    /// stimuli agreed).
+    Unknown,
+}
+
+impl Verdict {
+    /// `true` when the verdict definitively catches a difference — the
+    /// paper's `T` entries in Table 3.
+    pub fn caught_bug(self) -> bool {
+        self == Verdict::NotEquivalent
+    }
+}

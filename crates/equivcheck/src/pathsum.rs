@@ -1,0 +1,601 @@
+//! A path-sum (phase-polynomial) circuit representation and equivalence
+//! checker — the Feynman stand-in.
+//!
+//! A Clifford+T circuit maps a computational basis state `|x⟩` to
+//!
+//! ```text
+//! (1/√2)^h · Σ_{y ∈ {0,1}^v}  ω^{P(x, y)} · |f(x, y)⟩
+//! ```
+//!
+//! where `y` are the path variables introduced by Hadamard-like gates,
+//! `P` is a multilinear *phase polynomial* with coefficients in ℤ₈ and
+//! `f` is a vector of `𝔽₂` output polynomials.  Two circuits are equivalent
+//! iff the path sum of `C₁ ; C₂†` reduces to the identity.  The reduction
+//! uses the HH rule (eliminating a pair of path variables connected by a
+//! `(−1)^{y·y'}` factor); when it gets stuck the checker answers
+//! [`Verdict::Unknown`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use autoq_circuit::{Circuit, Gate};
+
+use crate::Verdict;
+
+/// A variable of the path-sum representation: inputs first, then path
+/// variables, numbered consecutively.
+pub type Var = u32;
+
+/// A multilinear monomial: a sorted set of variables (empty = constant 1).
+pub type Monomial = BTreeSet<Var>;
+
+/// A polynomial over 𝔽₂ (XOR of monomials).
+///
+/// ```
+/// use autoq_equivcheck::pathsum::BoolPoly;
+/// let x0 = BoolPoly::variable(0);
+/// let x1 = BoolPoly::variable(1);
+/// let sum = x0.add(&x1);
+/// assert_eq!(sum.add(&x1), x0); // characteristic 2
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct BoolPoly {
+    monomials: BTreeSet<Monomial>,
+}
+
+impl BoolPoly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        BoolPoly::default()
+    }
+
+    /// The constant-one polynomial.
+    pub fn one() -> Self {
+        BoolPoly { monomials: [Monomial::new()].into_iter().collect() }
+    }
+
+    /// The polynomial consisting of a single variable.
+    pub fn variable(var: Var) -> Self {
+        BoolPoly { monomials: [[var].into_iter().collect()].into_iter().collect() }
+    }
+
+    /// Returns `true` if the polynomial is zero.
+    pub fn is_zero(&self) -> bool {
+        self.monomials.is_empty()
+    }
+
+    /// Returns `Some(var)` if the polynomial is exactly a single variable.
+    pub fn as_single_variable(&self) -> Option<Var> {
+        if self.monomials.len() == 1 {
+            let monomial = self.monomials.iter().next().unwrap();
+            if monomial.len() == 1 {
+                return monomial.iter().next().copied();
+            }
+        }
+        None
+    }
+
+    /// XOR (addition in characteristic 2).
+    pub fn add(&self, other: &BoolPoly) -> BoolPoly {
+        let mut monomials = self.monomials.clone();
+        for m in &other.monomials {
+            if !monomials.remove(m) {
+                monomials.insert(m.clone());
+            }
+        }
+        BoolPoly { monomials }
+    }
+
+    /// Multiplication (AND), using `v² = v`.
+    pub fn mul(&self, other: &BoolPoly) -> BoolPoly {
+        let mut result = BoolPoly::zero();
+        for a in &self.monomials {
+            for b in &other.monomials {
+                let mut product = a.clone();
+                product.extend(b.iter().copied());
+                let single = BoolPoly { monomials: [product].into_iter().collect() };
+                result = result.add(&single);
+            }
+        }
+        result
+    }
+
+    /// Returns `true` if the polynomial mentions `var`.
+    pub fn contains_var(&self, var: Var) -> bool {
+        self.monomials.iter().any(|m| m.contains(&var))
+    }
+
+    /// Substitutes `var := replacement` and normalises.
+    pub fn substitute(&self, var: Var, replacement: &BoolPoly) -> BoolPoly {
+        let mut result = BoolPoly::zero();
+        for monomial in &self.monomials {
+            if monomial.contains(&var) {
+                let mut rest = monomial.clone();
+                rest.remove(&var);
+                let rest_poly = BoolPoly { monomials: [rest].into_iter().collect() };
+                result = result.add(&rest_poly.mul(replacement));
+            } else {
+                result = result.add(&BoolPoly { monomials: [monomial.clone()].into_iter().collect() });
+            }
+        }
+        result
+    }
+
+    /// Evaluates the polynomial under a variable assignment.
+    pub fn evaluate(&self, assignment: &dyn Fn(Var) -> bool) -> bool {
+        self.monomials
+            .iter()
+            .filter(|m| m.iter().all(|&v| assignment(v)))
+            .count()
+            % 2
+            == 1
+    }
+}
+
+/// A phase polynomial: multilinear monomials with coefficients in ℤ₈
+/// (the exponent of `ω = e^{iπ/4}`).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct PhasePoly {
+    terms: BTreeMap<Monomial, u8>,
+}
+
+impl PhasePoly {
+    /// The zero phase.
+    pub fn zero() -> Self {
+        PhasePoly::default()
+    }
+
+    /// Returns `true` if the phase polynomial is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Adds `coefficient · monomial` (mod 8).
+    pub fn add_term(&mut self, monomial: Monomial, coefficient: u8) {
+        let entry = self.terms.entry(monomial).or_insert(0);
+        *entry = (*entry + coefficient) % 8;
+        if *entry == 0 {
+            self.terms.retain(|_, &mut c| c != 0);
+        }
+    }
+
+    /// Adds `coefficient · lift(poly)` where `lift` maps an 𝔽₂ polynomial to
+    /// an integer-valued polynomial via `a ⊕ b = a + b − 2ab`.
+    pub fn add_scaled_bool(&mut self, poly: &BoolPoly, coefficient: u8) {
+        // lift(m1 ⊕ m2 ⊕ …) computed by folding the XOR identity.
+        let lifted = lift(poly);
+        for (monomial, coeff) in lifted {
+            let scaled = ((coeff as i64 * coefficient as i64).rem_euclid(8)) as u8;
+            self.add_term(monomial, scaled);
+        }
+    }
+
+    /// The coefficient of a monomial (0 if absent).
+    pub fn coefficient(&self, monomial: &Monomial) -> u8 {
+        self.terms.get(monomial).copied().unwrap_or(0)
+    }
+
+    /// All terms.
+    pub fn terms(&self) -> &BTreeMap<Monomial, u8> {
+        &self.terms
+    }
+
+    /// Returns `true` if the phase mentions `var`.
+    pub fn contains_var(&self, var: Var) -> bool {
+        self.terms.keys().any(|m| m.contains(&var))
+    }
+
+    /// Substitutes an 𝔽₂ polynomial for a variable (re-lifting the result).
+    pub fn substitute(&self, var: Var, replacement: &BoolPoly) -> PhasePoly {
+        let mut result = PhasePoly::zero();
+        for (monomial, &coeff) in &self.terms {
+            if monomial.contains(&var) {
+                // monomial = var · rest: lift(var·rest) after substitution is
+                // lift(replacement) · rest (both are 0/1-valued).
+                let mut rest = monomial.clone();
+                rest.remove(&var);
+                let mut rest_poly = BoolPoly { monomials: [rest.clone()].into_iter().collect() };
+                rest_poly = rest_poly.mul(replacement);
+                result.add_scaled_bool(&rest_poly, coeff);
+            } else {
+                result.add_term(monomial.clone(), coeff);
+            }
+        }
+        result
+    }
+}
+
+/// Lifts an 𝔽₂ polynomial to a ℤ-valued multilinear polynomial (coefficients
+/// reported modulo 8): `lift(a ⊕ b) = lift(a) + lift(b) − 2·lift(a)·lift(b)`.
+fn lift(poly: &BoolPoly) -> BTreeMap<Monomial, i8> {
+    let mut acc: BTreeMap<Monomial, i64> = BTreeMap::new();
+    for monomial in &poly.monomials {
+        // acc := acc + m − 2·acc·m
+        let mut next = acc.clone();
+        *next.entry(monomial.clone()).or_insert(0) += 1;
+        for (existing, coeff) in &acc {
+            let mut product: Monomial = existing.clone();
+            product.extend(monomial.iter().copied());
+            *next.entry(product).or_insert(0) -= 2 * coeff;
+        }
+        next.retain(|_, c| *c % 8 != 0);
+        acc = next;
+    }
+    acc.into_iter().map(|(m, c)| (m, (c.rem_euclid(8)) as i8)).collect()
+}
+
+/// The path-sum of a circuit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathSum {
+    /// Number of qubits (= number of input variables).
+    pub num_qubits: u32,
+    /// Total number of variables (inputs + path variables).
+    pub num_vars: u32,
+    /// Global normalisation: the number of `1/√2` factors.
+    pub sqrt2_factors: u32,
+    /// Global phase (exponent of ω) plus the input/path-dependent phase.
+    pub phase: PhasePoly,
+    /// One output polynomial per qubit.
+    pub outputs: Vec<BoolPoly>,
+    /// Path variables already summed out by the reduction rules.
+    pub eliminated_vars: BTreeSet<Var>,
+}
+
+impl PathSum {
+    /// The identity path-sum over `num_qubits` qubits.
+    pub fn identity(num_qubits: u32) -> Self {
+        PathSum {
+            num_qubits,
+            num_vars: num_qubits,
+            sqrt2_factors: 0,
+            phase: PhasePoly::zero(),
+            outputs: (0..num_qubits).map(BoolPoly::variable).collect(),
+            eliminated_vars: BTreeSet::new(),
+        }
+    }
+
+    /// Number of live (not yet eliminated) path variables.
+    pub fn path_var_count(&self) -> u32 {
+        self.num_vars - self.num_qubits - self.eliminated_vars.len() as u32
+    }
+
+    /// Returns `true` if the path-sum is syntactically the identity (up to a
+    /// global phase when `ignore_global_phase` is set).
+    pub fn is_identity(&self, ignore_global_phase: bool) -> bool {
+        if self.sqrt2_factors != 0 {
+            return false;
+        }
+        let phase_ok = if ignore_global_phase {
+            self.phase.terms().keys().all(Monomial::is_empty)
+        } else {
+            self.phase.is_zero()
+        };
+        phase_ok
+            && self
+                .outputs
+                .iter()
+                .enumerate()
+                .all(|(q, out)| out.as_single_variable() == Some(q as u32))
+    }
+
+    /// Appends one gate to the path-sum.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::X(t) => {
+                self.outputs[t as usize] = self.outputs[t as usize].add(&BoolPoly::one());
+            }
+            Gate::Y(t) => {
+                // Y = i·X·Z (global phase i = ω²).
+                let out = self.outputs[t as usize].clone();
+                self.phase.add_term(Monomial::new(), 2);
+                self.phase.add_scaled_bool(&out, 4);
+                self.outputs[t as usize] = out.add(&BoolPoly::one());
+            }
+            Gate::Z(t) => {
+                let out = self.outputs[t as usize].clone();
+                self.phase.add_scaled_bool(&out, 4);
+            }
+            Gate::S(t) => {
+                let out = self.outputs[t as usize].clone();
+                self.phase.add_scaled_bool(&out, 2);
+            }
+            Gate::Sdg(t) => {
+                let out = self.outputs[t as usize].clone();
+                self.phase.add_scaled_bool(&out, 6);
+            }
+            Gate::T(t) => {
+                let out = self.outputs[t as usize].clone();
+                self.phase.add_scaled_bool(&out, 1);
+            }
+            Gate::Tdg(t) => {
+                let out = self.outputs[t as usize].clone();
+                self.phase.add_scaled_bool(&out, 7);
+            }
+            Gate::H(t) => {
+                let fresh = self.num_vars;
+                self.num_vars += 1;
+                let y = BoolPoly::variable(fresh);
+                let out = self.outputs[t as usize].clone();
+                // (−1)^{y·out} = ω^{4·y·out}
+                self.phase.add_scaled_bool(&y.mul(&out), 4);
+                self.outputs[t as usize] = y;
+                self.sqrt2_factors += 1;
+            }
+            Gate::RxPi2(t) => {
+                // Rx(π/2) = ω⁻¹ · H · S · H
+                self.apply_gate(&Gate::H(t));
+                self.apply_gate(&Gate::S(t));
+                self.apply_gate(&Gate::H(t));
+                self.phase.add_term(Monomial::new(), 7);
+            }
+            Gate::RyPi2(t) => {
+                // Ry(π/2) = X · H  (apply H first, then X)
+                self.apply_gate(&Gate::H(t));
+                self.apply_gate(&Gate::X(t));
+            }
+            Gate::Cnot { control, target } => {
+                let c = self.outputs[control as usize].clone();
+                self.outputs[target as usize] = self.outputs[target as usize].add(&c);
+            }
+            Gate::Cz { control, target } => {
+                let product =
+                    self.outputs[control as usize].mul(&self.outputs[target as usize]);
+                self.phase.add_scaled_bool(&product, 4);
+            }
+            Gate::Toffoli { controls, target } => {
+                let product =
+                    self.outputs[controls[0] as usize].mul(&self.outputs[controls[1] as usize]);
+                self.outputs[target as usize] = self.outputs[target as usize].add(&product);
+            }
+            Gate::Swap(a, b) => {
+                self.outputs.swap(a as usize, b as usize);
+            }
+            Gate::Fredkin { .. } => {
+                for primitive in gate.decompose() {
+                    self.apply_gate(&primitive);
+                }
+            }
+        }
+    }
+
+    /// Builds the path-sum of a whole circuit.
+    pub fn of_circuit(circuit: &Circuit) -> Self {
+        let mut sum = PathSum::identity(circuit.num_qubits());
+        for gate in circuit.gates() {
+            sum.apply_gate(gate);
+        }
+        sum
+    }
+
+    /// Applies the HH reduction rule until no more path variables can be
+    /// eliminated; returns the number of eliminated variables.
+    ///
+    /// The rule: if a path variable `y` occurs in no output polynomial and
+    /// every phase term containing `y` has coefficient 4 (so the phase is
+    /// `4·y·Q + R`), then summing over `y` forces `Q = 0`; if `Q = y' ⊕ Q'`
+    /// for another path variable `y'` not occurring elsewhere in `Q`, we can
+    /// substitute `y' := Q'` everywhere, drop both variables, and cancel two
+    /// `1/√2` factors.
+    pub fn reduce(&mut self) -> u32 {
+        let mut eliminated = 0;
+        loop {
+            // Dangling rule: a path variable occurring nowhere sums to a
+            // factor of 2, cancelling two 1/√2 factors.
+            let dangling: Vec<Var> = (self.num_qubits..self.num_vars)
+                .filter(|y| {
+                    !self.eliminated_vars.contains(y)
+                        && !self.phase.contains_var(*y)
+                        && !self.outputs.iter().any(|o| o.contains_var(*y))
+                })
+                .collect();
+            for y in dangling {
+                self.eliminated_vars.insert(y);
+                self.sqrt2_factors = self.sqrt2_factors.saturating_sub(2);
+                eliminated += 1;
+            }
+            let Some((y, y_prime, replacement)) = self.find_hh_candidate() else {
+                return eliminated;
+            };
+            // Substitute y' := replacement in outputs and phase, then drop
+            // every phase term containing y.
+            let mut new_phase = PhasePoly::zero();
+            for (monomial, &coeff) in self.phase.terms() {
+                if monomial.contains(&y) {
+                    continue;
+                }
+                new_phase.add_term(monomial.clone(), coeff);
+            }
+            self.phase = new_phase.substitute(y_prime, &replacement);
+            for out in &mut self.outputs {
+                *out = out.substitute(y_prime, &replacement);
+            }
+            self.sqrt2_factors = self.sqrt2_factors.saturating_sub(2);
+            self.eliminated_vars.insert(y);
+            self.eliminated_vars.insert(y_prime);
+            eliminated += 2;
+        }
+    }
+
+    /// Finds `(y, y', Q')` for the HH rule, if any.
+    fn find_hh_candidate(&self) -> Option<(Var, Var, BoolPoly)> {
+        for y in self.num_qubits..self.num_vars {
+            if self.eliminated_vars.contains(&y) {
+                continue;
+            }
+            if self.outputs.iter().any(|o| o.contains_var(y)) {
+                continue;
+            }
+            if !self.phase.contains_var(y) {
+                continue;
+            }
+            // Collect Q = Σ {m \ y : y ∈ m}; require every such term to have
+            // coefficient exactly 4.
+            let mut q = BoolPoly::zero();
+            let mut all_four = true;
+            for (monomial, &coeff) in self.phase.terms() {
+                if monomial.contains(&y) {
+                    if coeff != 4 {
+                        all_four = false;
+                        break;
+                    }
+                    let mut rest = monomial.clone();
+                    rest.remove(&y);
+                    q = q.add(&BoolPoly { monomials: [rest].into_iter().collect() });
+                }
+            }
+            if !all_four {
+                continue;
+            }
+            // Find a path variable y' occurring linearly in Q.
+            for monomial in &q.monomials {
+                if monomial.len() == 1 {
+                    let y_prime = *monomial.iter().next().unwrap();
+                    if y_prime < self.num_qubits || y_prime == y || self.eliminated_vars.contains(&y_prime) {
+                        continue;
+                    }
+                    // Q = y' ⊕ Q' requires y' not to occur in any other
+                    // monomial of Q.
+                    let occurrences =
+                        q.monomials.iter().filter(|m| m.contains(&y_prime)).count();
+                    if occurrences != 1 {
+                        continue;
+                    }
+                    let mut q_rest = q.clone();
+                    q_rest = q_rest.add(&BoolPoly::variable(y_prime));
+                    return Some((y, y_prime, q_rest));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Checks the equivalence of two circuits by reducing the path-sum of
+/// `c1 ; c2†`.
+///
+/// * [`Verdict::Equivalent`] — the miter reduces to the identity (up to a
+///   global phase).
+/// * [`Verdict::NotEquivalent`] — the reduced miter has no path variables
+///   left but differs from the identity (e.g. two reversible circuits that
+///   compute different permutations), or its outputs provably differ.
+/// * [`Verdict::Unknown`] — rewriting got stuck with path variables left.
+pub fn check_equivalence(c1: &Circuit, c2: &Circuit) -> Verdict {
+    assert_eq!(c1.num_qubits(), c2.num_qubits(), "circuit width mismatch");
+    let miter = c1.then_inverse_of(c2);
+    let mut sum = PathSum::of_circuit(&miter);
+    sum.reduce();
+    if sum.path_var_count() == 0 {
+        if sum.is_identity(true) {
+            Verdict::Equivalent
+        } else {
+            Verdict::NotEquivalent
+        }
+    } else if sum.is_identity(true) {
+        Verdict::Equivalent
+    } else {
+        Verdict::Unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoq_circuit::generators::{gf2_multiplier, ripple_carry_adder};
+    use autoq_circuit::mutation::insert_gate;
+
+    #[test]
+    fn bool_poly_algebra() {
+        let x = BoolPoly::variable(0);
+        let y = BoolPoly::variable(1);
+        assert_eq!(x.add(&x), BoolPoly::zero());
+        assert_eq!(x.mul(&x), x);
+        let xy = x.mul(&y);
+        assert!(xy.contains_var(0) && xy.contains_var(1));
+        assert_eq!(xy.substitute(1, &BoolPoly::one()), x);
+        assert_eq!(xy.substitute(1, &BoolPoly::zero()), BoolPoly::zero());
+        assert!(x.add(&y).evaluate(&|v| v == 0));
+        assert!(!x.add(&y).evaluate(&|_| true));
+    }
+
+    #[test]
+    fn lift_of_xor_has_correction_term() {
+        let x = BoolPoly::variable(0);
+        let y = BoolPoly::variable(1);
+        let mut phase = PhasePoly::zero();
+        phase.add_scaled_bool(&x.add(&y), 1);
+        // lift(x ⊕ y) = x + y − 2xy
+        assert_eq!(phase.coefficient(&[0].into_iter().collect()), 1);
+        assert_eq!(phase.coefficient(&[1].into_iter().collect()), 1);
+        assert_eq!(phase.coefficient(&[0, 1].into_iter().collect()), 6);
+    }
+
+    #[test]
+    fn identity_and_classical_circuits_have_no_path_variables() {
+        let adder = ripple_carry_adder(4);
+        let sum = PathSum::of_circuit(&adder);
+        assert_eq!(sum.path_var_count(), 0);
+        assert_eq!(sum.sqrt2_factors, 0);
+        let mult = gf2_multiplier(3);
+        assert_eq!(PathSum::of_circuit(&mult).path_var_count(), 0);
+    }
+
+    #[test]
+    fn hadamard_pairs_reduce_away() {
+        let hh = Circuit::from_gates(1, [Gate::H(0), Gate::H(0)]).unwrap();
+        let mut sum = PathSum::of_circuit(&hh);
+        assert_eq!(sum.path_var_count(), 2);
+        sum.reduce();
+        assert_eq!(sum.path_var_count() as usize, 2 - 2);
+        assert!(sum.is_identity(true));
+    }
+
+    #[test]
+    fn equivalence_of_simple_identities() {
+        let identity = Circuit::new(2);
+        let hh = Circuit::from_gates(2, [Gate::H(0), Gate::H(0)]).unwrap();
+        let xx = Circuit::from_gates(2, [Gate::X(1), Gate::X(1)]).unwrap();
+        let ss = Circuit::from_gates(2, [Gate::S(0), Gate::S(0), Gate::Z(0)]).unwrap();
+        assert_eq!(check_equivalence(&hh, &identity), Verdict::Equivalent);
+        assert_eq!(check_equivalence(&xx, &identity), Verdict::Equivalent);
+        // S·S·Z = Z·Z = I
+        assert_eq!(check_equivalence(&ss, &identity), Verdict::Equivalent);
+        assert_eq!(check_equivalence(&identity, &identity), Verdict::Equivalent);
+    }
+
+    #[test]
+    fn classical_bugs_are_caught() {
+        let adder = ripple_carry_adder(4);
+        let buggy = insert_gate(&adder, Gate::X(3), 5);
+        assert_eq!(check_equivalence(&adder, &buggy), Verdict::NotEquivalent);
+        let buggy_cnot = insert_gate(&adder, Gate::Cnot { control: 2, target: 6 }, 10);
+        assert_eq!(check_equivalence(&adder, &buggy_cnot), Verdict::NotEquivalent);
+        assert_eq!(check_equivalence(&adder, &adder), Verdict::Equivalent);
+    }
+
+    #[test]
+    fn phase_bugs_in_classical_circuits_are_caught() {
+        let mult = gf2_multiplier(2);
+        let buggy = insert_gate(&mult, Gate::Z(1), 2);
+        // The injected Z leaves a non-trivial phase polynomial behind.
+        assert_eq!(check_equivalence(&mult, &buggy), Verdict::NotEquivalent);
+    }
+
+    #[test]
+    fn hard_instances_report_unknown_rather_than_guessing() {
+        // A circuit whose miter keeps unresolvable path variables: the
+        // reduced rule set cannot finish, so the checker must say Unknown.
+        let c1 = Circuit::from_gates(2, [Gate::H(0), Gate::T(0), Gate::Cnot { control: 0, target: 1 }, Gate::H(1)])
+            .unwrap();
+        let c2 = Circuit::from_gates(2, [Gate::H(0), Gate::Tdg(0), Gate::Cnot { control: 0, target: 1 }, Gate::H(1)])
+            .unwrap();
+        let verdict = check_equivalence(&c1, &c2);
+        assert_ne!(verdict, Verdict::Equivalent);
+    }
+
+    #[test]
+    fn x_h_equivalence_with_global_phase() {
+        // X = H Z H exactly; the path-sum must reduce (up to global phase).
+        let lhs = Circuit::from_gates(1, [Gate::X(0)]).unwrap();
+        let rhs = Circuit::from_gates(1, [Gate::H(0), Gate::Z(0), Gate::H(0)]).unwrap();
+        assert_eq!(check_equivalence(&lhs, &rhs), Verdict::Equivalent);
+    }
+}

@@ -1,0 +1,152 @@
+//! Random-stimuli (non-)equivalence checking — the QCEC stand-in.
+//!
+//! Two circuits are simulated on a number of randomly chosen computational
+//! basis states (always including `|0…0⟩`) with the exact sparse simulator;
+//! any difference in the exact output states proves non-equivalence.  If all
+//! sampled stimuli agree the checker answers [`Verdict::Unknown`] — like the
+//! random-stimuli component of QCEC, it can produce "looks equivalent"
+//! answers for buggy circuits whose bug is not triggered by the sample
+//! (the `F` entries of the paper's Table 3).
+
+use autoq_circuit::Circuit;
+use autoq_simulator::SparseState;
+use rand::Rng;
+
+use crate::Verdict;
+
+/// Configuration of the stimuli checker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StimuliConfig {
+    /// Number of random basis states to try (in addition to `|0…0⟩`).
+    pub samples: usize,
+}
+
+impl Default for StimuliConfig {
+    fn default() -> Self {
+        // QCEC's default random-stimuli count is in the same ballpark.
+        StimuliConfig { samples: 16 }
+    }
+}
+
+/// The result of a stimuli run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StimuliReport {
+    /// The verdict ([`Verdict::Equivalent`] is never returned — agreeing on
+    /// samples proves nothing).
+    pub verdict: Verdict,
+    /// The basis state on which the circuits differed, if any.
+    pub counterexample: Option<u128>,
+    /// How many stimuli were simulated.
+    pub samples_used: usize,
+}
+
+/// Checks two circuits on random basis-state stimuli.
+///
+/// # Panics
+///
+/// Panics if the circuits have different widths.
+///
+/// # Examples
+///
+/// ```
+/// use autoq_circuit::{Circuit, Gate};
+/// use autoq_equivcheck::stimuli::{check_with_stimuli, StimuliConfig};
+/// use autoq_equivcheck::Verdict;
+/// use rand::SeedableRng;
+///
+/// let c = Circuit::from_gates(2, [Gate::H(0), Gate::Cnot { control: 0, target: 1 }]).unwrap();
+/// let buggy = Circuit::from_gates(2, [Gate::H(0)]).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let report = check_with_stimuli(&c, &buggy, &StimuliConfig::default(), &mut rng);
+/// assert_eq!(report.verdict, Verdict::NotEquivalent);
+/// ```
+pub fn check_with_stimuli(
+    c1: &Circuit,
+    c2: &Circuit,
+    config: &StimuliConfig,
+    rng: &mut impl Rng,
+) -> StimuliReport {
+    assert_eq!(c1.num_qubits(), c2.num_qubits(), "circuit width mismatch");
+    let n = c1.num_qubits();
+    let mut stimuli: Vec<u128> = vec![0];
+    for _ in 0..config.samples {
+        stimuli.push(random_basis(n, rng));
+    }
+    let mut samples_used = 0;
+    for &basis in &stimuli {
+        samples_used += 1;
+        let out1 = SparseState::run(c1, basis);
+        let out2 = SparseState::run(c2, basis);
+        if out1 != out2 {
+            return StimuliReport {
+                verdict: Verdict::NotEquivalent,
+                counterexample: Some(basis),
+                samples_used,
+            };
+        }
+    }
+    StimuliReport { verdict: Verdict::Unknown, counterexample: None, samples_used }
+}
+
+/// Draws a uniformly random `n`-qubit basis index.
+fn random_basis(num_qubits: u32, rng: &mut impl Rng) -> u128 {
+    let mut basis = 0u128;
+    for _ in 0..num_qubits {
+        basis = (basis << 1) | u128::from(rng.gen_bool(0.5));
+    }
+    basis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoq_circuit::generators::{gf2_multiplier, random_circuit, RandomCircuitConfig};
+    use autoq_circuit::mutation::{inject_random_gate, insert_gate};
+    use autoq_circuit::Gate;
+    use rand::SeedableRng;
+
+    #[test]
+    fn agreement_is_reported_as_unknown_not_equivalent() {
+        let circuit = gf2_multiplier(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let report = check_with_stimuli(&circuit, &circuit, &StimuliConfig::default(), &mut rng);
+        assert_eq!(report.verdict, Verdict::Unknown);
+        assert!(report.counterexample.is_none());
+    }
+
+    #[test]
+    fn visible_bugs_are_caught() {
+        let circuit = gf2_multiplier(3);
+        // An X on an output qubit changes the result for every input.
+        let buggy = insert_gate(&circuit, Gate::X(7), 0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let report = check_with_stimuli(&circuit, &buggy, &StimuliConfig::default(), &mut rng);
+        assert_eq!(report.verdict, Verdict::NotEquivalent);
+        assert!(report.counterexample.is_some());
+    }
+
+    #[test]
+    fn subtle_bugs_can_be_missed_with_few_samples() {
+        // A Toffoli controlled on two specific qubits only fires when both
+        // are 1; with a single sample (|0…0⟩) the bug goes unnoticed —
+        // exactly the false-negative mode of stimuli checking.
+        let circuit = Circuit::new(6);
+        let buggy = insert_gate(&circuit, Gate::Toffoli { controls: [0, 1], target: 5 }, 0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let report = check_with_stimuli(&circuit, &buggy, &StimuliConfig { samples: 0 }, &mut rng);
+        assert_eq!(report.verdict, Verdict::Unknown);
+    }
+
+    #[test]
+    fn quantum_bugs_are_caught_on_random_circuits() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let config = RandomCircuitConfig { num_qubits: 5, num_gates: 15, include_superposing_gates: true };
+        let circuit = random_circuit(&config, &mut rng);
+        let (buggy, bug) = inject_random_gate(&circuit, true, &mut rng);
+        let report = check_with_stimuli(&circuit, &buggy, &StimuliConfig { samples: 32 }, &mut rng);
+        // The verdict is either a definite non-equivalence or Unknown (the
+        // injected gate may cancel on the sampled inputs); it must never
+        // claim equivalence.
+        assert_ne!(report.verdict, Verdict::Equivalent, "stimuli cannot prove equivalence ({bug})");
+    }
+}

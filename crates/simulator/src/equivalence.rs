@@ -1,0 +1,122 @@
+//! Simulation-based (non-)equivalence checking helpers.
+//!
+//! Table 2 of the AutoQ paper uses a simulator as the baseline by running it
+//! over *every* state of the pre-condition and accumulating the time; these
+//! helpers implement that workflow and the exact comparison of the results.
+
+use autoq_amplitude::Algebraic;
+use autoq_circuit::Circuit;
+
+use crate::{DenseState, SparseState};
+
+/// Which simulator backend to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SimulationBackend {
+    /// Dense `2ⁿ` state vector (exact, limited to ~26 qubits).
+    #[default]
+    Dense,
+    /// Sparse hash-map state (exact, scales with the support size).
+    Sparse,
+}
+
+/// Simulates `circuit` on each of the given basis-state inputs and returns,
+/// for every input, the non-zero output amplitudes.
+///
+/// This is the "run the simulator over all states encoded in the
+/// pre-condition" baseline of Section 7.1.
+///
+/// # Examples
+///
+/// ```
+/// use autoq_circuit::{Circuit, Gate};
+/// use autoq_simulator::{simulate_on_inputs, SimulationBackend};
+///
+/// let circuit = Circuit::from_gates(2, [Gate::X(1)]).unwrap();
+/// let outputs = simulate_on_inputs(&circuit, &[0b00, 0b10], SimulationBackend::Sparse);
+/// assert_eq!(outputs[0].keys().copied().collect::<Vec<_>>(), vec![0b01]);
+/// assert_eq!(outputs[1].keys().copied().collect::<Vec<_>>(), vec![0b11]);
+/// ```
+pub fn simulate_on_inputs(
+    circuit: &Circuit,
+    inputs: &[u64],
+    backend: SimulationBackend,
+) -> Vec<std::collections::BTreeMap<u64, Algebraic>> {
+    inputs
+        .iter()
+        .map(|&basis| match backend {
+            SimulationBackend::Dense => DenseState::run(circuit, basis).to_amplitude_map(),
+            SimulationBackend::Sparse => SparseState::run(circuit, basis as u128)
+                .to_amplitude_map()
+                .iter()
+                .map(|(&b, a)| (b as u64, a.clone()))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Compares two circuits on the given basis-state inputs, returning the first
+/// input on which their exact output states differ (`None` means they agree
+/// on every given input — which does *not* prove equivalence).
+///
+/// ```
+/// use autoq_circuit::{Circuit, Gate};
+/// use autoq_simulator::{states_equal, SimulationBackend};
+///
+/// let c1 = Circuit::from_gates(2, [Gate::H(0), Gate::H(0)]).unwrap();
+/// let identity = Circuit::new(2);
+/// let buggy = Circuit::from_gates(2, [Gate::X(1)]).unwrap();
+/// assert_eq!(states_equal(&c1, &identity, &[0, 1, 2, 3], SimulationBackend::Dense), None);
+/// assert_eq!(states_equal(&c1, &buggy, &[0, 1, 2, 3], SimulationBackend::Dense), Some(0));
+/// ```
+pub fn states_equal(
+    c1: &Circuit,
+    c2: &Circuit,
+    inputs: &[u64],
+    backend: SimulationBackend,
+) -> Option<u64> {
+    assert_eq!(c1.num_qubits(), c2.num_qubits(), "circuit width mismatch");
+    for &basis in inputs {
+        let out1 = simulate_on_inputs(c1, &[basis], backend);
+        let out2 = simulate_on_inputs(c2, &[basis], backend);
+        if out1 != out2 {
+            return Some(basis);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoq_circuit::mutation::insert_gate;
+    use autoq_circuit::Gate;
+
+    #[test]
+    fn dense_and_sparse_backends_agree() {
+        let circuit = Circuit::from_gates(
+            3,
+            [Gate::H(0), Gate::T(0), Gate::Cnot { control: 0, target: 2 }, Gate::RyPi2(1)],
+        )
+        .unwrap();
+        let inputs: Vec<u64> = (0..8).collect();
+        let dense = simulate_on_inputs(&circuit, &inputs, SimulationBackend::Dense);
+        let sparse = simulate_on_inputs(&circuit, &inputs, SimulationBackend::Sparse);
+        assert_eq!(dense, sparse);
+    }
+
+    #[test]
+    fn injected_bug_is_visible_on_some_input() {
+        let circuit = autoq_circuit::generators::ripple_carry_adder(3);
+        let buggy = insert_gate(&circuit, Gate::X(4), 7);
+        let inputs: Vec<u64> = (0..64).map(|i| i * 4).collect();
+        let difference = states_equal(&circuit, &buggy, &inputs, SimulationBackend::Sparse);
+        assert!(difference.is_some());
+    }
+
+    #[test]
+    fn identical_circuits_agree_everywhere() {
+        let circuit = autoq_circuit::generators::mc_toffoli(3);
+        let inputs: Vec<u64> = (0..16).collect();
+        assert_eq!(states_equal(&circuit, &circuit, &inputs, SimulationBackend::Sparse), None);
+    }
+}

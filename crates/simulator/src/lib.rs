@@ -1,0 +1,37 @@
+//! Exact quantum circuit simulators over algebraic amplitudes.
+//!
+//! This crate is the AutoQ-rs stand-in for SliQSim, the decision-diagram
+//! simulator the paper compares against in Table 2.  Two simulators are
+//! provided, both computing with the same exact `(a,b,c,d,k)` amplitude
+//! encoding the automata framework uses (so outputs can be compared
+//! *structurally*, with no numeric tolerance):
+//!
+//! * [`DenseState`] — a `2ⁿ`-element state vector; the work-horse oracle for
+//!   tests and small-to-medium circuits.
+//! * [`SparseState`] — a hash-map over non-zero amplitudes; adequate for
+//!   circuits that keep states sparse (reversible circuits, BV, …) even at
+//!   hundreds of qubits.
+//!
+//! # Examples
+//!
+//! ```
+//! use autoq_circuit::{Circuit, Gate};
+//! use autoq_simulator::DenseState;
+//! use autoq_amplitude::Algebraic;
+//!
+//! // Simulate the EPR circuit on |00⟩ and observe the Bell state.
+//! let circuit = Circuit::from_gates(2, [Gate::H(0), Gate::Cnot { control: 0, target: 1 }]).unwrap();
+//! let mut state = DenseState::basis_state(2, 0);
+//! state.apply_circuit(&circuit);
+//! assert_eq!(state.amplitude(0b00), Algebraic::one_over_sqrt2());
+//! assert_eq!(state.amplitude(0b11), Algebraic::one_over_sqrt2());
+//! assert!(state.amplitude(0b01).is_zero());
+//! ```
+
+mod dense;
+mod equivalence;
+mod sparse;
+
+pub use dense::DenseState;
+pub use equivalence::{states_equal, simulate_on_inputs, SimulationBackend};
+pub use sparse::SparseState;

@@ -1,0 +1,290 @@
+//! Sparse (hash-map) state-vector simulation for wide but sparse states.
+
+use std::collections::BTreeMap;
+
+use autoq_amplitude::Algebraic;
+use autoq_circuit::{Circuit, Gate};
+
+/// A sparse quantum state: a map from basis indices to non-zero amplitudes.
+///
+/// Unlike [`DenseState`](crate::DenseState), the sparse simulator scales to
+/// hundreds of qubits as long as the number of non-zero amplitudes stays
+/// manageable — which is the case for the reversible-circuit benchmarks of
+/// the paper (they permute basis states) and for Bernstein–Vazirani.
+///
+/// # Examples
+///
+/// ```
+/// use autoq_circuit::{Circuit, Gate};
+/// use autoq_simulator::SparseState;
+///
+/// // A 200-qubit reversible circuit on a basis state stays a basis state.
+/// let mut circuit = Circuit::new(200);
+/// for q in 0..199 {
+///     circuit.push(Gate::Cnot { control: q, target: q + 1 }).unwrap();
+/// }
+/// let mut state = SparseState::basis_state(200, 0);
+/// state.apply_gate(&Gate::X(0));
+/// state.apply_circuit(&circuit);
+/// assert_eq!(state.support_size(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SparseState {
+    num_qubits: u32,
+    amplitudes: BTreeMap<u128, Algebraic>,
+}
+
+impl SparseState {
+    /// The computational basis state `|basis⟩` over `num_qubits ≤ 128` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > 128`.
+    pub fn basis_state(num_qubits: u32, basis: u128) -> Self {
+        assert!(num_qubits <= 128, "sparse simulation limited to 128 qubits");
+        let mut amplitudes = BTreeMap::new();
+        amplitudes.insert(basis, Algebraic::one());
+        SparseState { num_qubits, amplitudes }
+    }
+
+    /// Builds a state from explicit non-zero amplitudes.
+    pub fn from_amplitudes(num_qubits: u32, entries: impl IntoIterator<Item = (u128, Algebraic)>) -> Self {
+        let amplitudes = entries.into_iter().filter(|(_, a)| !a.is_zero()).collect();
+        SparseState { num_qubits, amplitudes }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Number of non-zero amplitudes.
+    pub fn support_size(&self) -> usize {
+        self.amplitudes.len()
+    }
+
+    /// The amplitude of `|basis⟩` (zero if absent).
+    pub fn amplitude(&self, basis: u128) -> Algebraic {
+        self.amplitudes.get(&basis).cloned().unwrap_or_else(Algebraic::zero)
+    }
+
+    /// The non-zero amplitudes.
+    pub fn to_amplitude_map(&self) -> &BTreeMap<u128, Algebraic> {
+        &self.amplitudes
+    }
+
+    /// Total squared norm (should be 1).
+    pub fn total_probability(&self) -> f64 {
+        self.amplitudes.values().map(|a| a.norm_sqr()).sum()
+    }
+
+    fn mask(&self, qubit: u32) -> u128 {
+        1u128 << (self.num_qubits - 1 - qubit)
+    }
+
+    /// Applies one gate in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate refers to a qubit outside the state.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        for q in gate.qubits() {
+            assert!(q < self.num_qubits, "gate qubit {q} out of range");
+        }
+        let mut next: BTreeMap<u128, Algebraic> = BTreeMap::new();
+        let mut add = |basis: u128, amp: Algebraic| {
+            if amp.is_zero() {
+                return;
+            }
+            let entry = next.entry(basis).or_insert_with(Algebraic::zero);
+            *entry = &*entry + &amp;
+        };
+        for (&basis, amp) in &self.amplitudes {
+            match *gate {
+                Gate::X(q) => add(basis ^ self.mask(q), amp.clone()),
+                Gate::Y(q) => {
+                    let mask = self.mask(q);
+                    let flipped = basis ^ mask;
+                    // |0⟩→i|1⟩ (sign +i when source bit is 0), |1⟩→−i|0⟩.
+                    let factor = if basis & mask == 0 { Algebraic::i() } else { -&Algebraic::i() };
+                    add(flipped, amp * &factor);
+                }
+                Gate::Z(q) => {
+                    let sign = if basis & self.mask(q) != 0 { -amp } else { amp.clone() };
+                    add(basis, sign);
+                }
+                Gate::H(q) => {
+                    let mask = self.mask(q);
+                    let scaled = amp.div_sqrt2();
+                    if basis & mask == 0 {
+                        add(basis, scaled.clone());
+                        add(basis | mask, scaled);
+                    } else {
+                        add(basis & !mask, scaled.clone());
+                        add(basis, -&scaled);
+                    }
+                }
+                Gate::S(q) => add(basis, phase_if_set(basis, self.mask(q), amp, 2)),
+                Gate::Sdg(q) => add(basis, phase_if_set(basis, self.mask(q), amp, 6)),
+                Gate::T(q) => add(basis, phase_if_set(basis, self.mask(q), amp, 1)),
+                Gate::Tdg(q) => add(basis, phase_if_set(basis, self.mask(q), amp, 7)),
+                Gate::RxPi2(q) => {
+                    let mask = self.mask(q);
+                    let scaled = amp.div_sqrt2();
+                    let minus_i_scaled = -&(&scaled * &Algebraic::i());
+                    add(basis, scaled);
+                    add(basis ^ mask, minus_i_scaled);
+                }
+                Gate::RyPi2(q) => {
+                    let mask = self.mask(q);
+                    let scaled = amp.div_sqrt2();
+                    if basis & mask == 0 {
+                        add(basis, scaled.clone());
+                        add(basis | mask, scaled);
+                    } else {
+                        add(basis & !mask, -&scaled);
+                        add(basis, scaled);
+                    }
+                }
+                Gate::Cnot { control, target } => {
+                    let flipped = if basis & self.mask(control) != 0 { basis ^ self.mask(target) } else { basis };
+                    add(flipped, amp.clone());
+                }
+                Gate::Cz { control, target } => {
+                    let both = basis & self.mask(control) != 0 && basis & self.mask(target) != 0;
+                    add(basis, if both { -amp } else { amp.clone() });
+                }
+                Gate::Swap(a, b) => {
+                    let (ma, mb) = (self.mask(a), self.mask(b));
+                    let bit_a = basis & ma != 0;
+                    let bit_b = basis & mb != 0;
+                    let mut new_basis = basis & !(ma | mb);
+                    if bit_a {
+                        new_basis |= mb;
+                    }
+                    if bit_b {
+                        new_basis |= ma;
+                    }
+                    add(new_basis, amp.clone());
+                }
+                Gate::Toffoli { controls, target } => {
+                    let on = basis & self.mask(controls[0]) != 0 && basis & self.mask(controls[1]) != 0;
+                    let flipped = if on { basis ^ self.mask(target) } else { basis };
+                    add(flipped, amp.clone());
+                }
+                Gate::Fredkin { control, targets } => {
+                    if basis & self.mask(control) != 0 {
+                        let (ma, mb) = (self.mask(targets[0]), self.mask(targets[1]));
+                        let bit_a = basis & ma != 0;
+                        let bit_b = basis & mb != 0;
+                        let mut new_basis = basis & !(ma | mb);
+                        if bit_a {
+                            new_basis |= mb;
+                        }
+                        if bit_b {
+                            new_basis |= ma;
+                        }
+                        add(new_basis, amp.clone());
+                    } else {
+                        add(basis, amp.clone());
+                    }
+                }
+            }
+        }
+        next.retain(|_, amp| !amp.is_zero());
+        self.amplitudes = next;
+    }
+
+    /// Applies every gate of a circuit in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit width exceeds the state width.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert!(circuit.num_qubits() <= self.num_qubits, "circuit wider than the state");
+        for gate in circuit.gates() {
+            self.apply_gate(gate);
+        }
+    }
+
+    /// Convenience: simulates `circuit` on the basis state `|basis⟩`.
+    pub fn run(circuit: &Circuit, basis: u128) -> SparseState {
+        let mut state = SparseState::basis_state(circuit.num_qubits(), basis);
+        state.apply_circuit(circuit);
+        state
+    }
+}
+
+/// Multiplies by `ω^power` if the masked bit is set.
+fn phase_if_set(basis: u128, mask: u128, amp: &Algebraic, power: i64) -> Algebraic {
+    if basis & mask != 0 {
+        amp.mul_omega_pow(power)
+    } else {
+        amp.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DenseState;
+    use autoq_circuit::generators::{random_circuit, RandomCircuitConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn sparse_matches_dense_on_random_circuits() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let config = RandomCircuitConfig::with_paper_ratio(6);
+        for _ in 0..10 {
+            let circuit = random_circuit(&config, &mut rng);
+            let dense = DenseState::run(&circuit, 5);
+            let sparse = SparseState::run(&circuit, 5);
+            for (basis, amp) in dense.to_amplitude_map() {
+                assert_eq!(sparse.amplitude(basis as u128), amp, "mismatch at |{basis:b}⟩");
+            }
+            assert_eq!(dense.to_amplitude_map().len(), sparse.support_size());
+        }
+    }
+
+    #[test]
+    fn y_gate_phases_match_dense() {
+        for basis in 0..2u64 {
+            let mut dense = DenseState::basis_state(1, basis);
+            let mut sparse = SparseState::basis_state(1, basis as u128);
+            dense.apply_gate(&Gate::Y(0));
+            sparse.apply_gate(&Gate::Y(0));
+            for b in 0..2u64 {
+                assert_eq!(dense.amplitude(b), sparse.amplitude(b as u128));
+            }
+        }
+    }
+
+    #[test]
+    fn wide_reversible_circuit_keeps_single_support() {
+        let circuit = autoq_circuit::generators::ripple_carry_adder(40); // 82 qubits
+        let state = SparseState::run(&circuit, 0);
+        assert_eq!(state.support_size(), 1);
+        assert!((state.total_probability() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sixty_qubit_bernstein_vazirani() {
+        let hidden: Vec<bool> = (0..60).map(|i| i % 3 == 0).collect();
+        let circuit = autoq_circuit::generators::bernstein_vazirani(&hidden);
+        let state = SparseState::run(&circuit, 0);
+        assert_eq!(state.support_size(), 1);
+        let expected = autoq_circuit::generators::bernstein_vazirani_expected_output(&hidden) as u128;
+        assert_eq!(state.amplitude(expected), Algebraic::one());
+    }
+
+    #[test]
+    fn interference_cancels_amplitudes_exactly() {
+        // H · Z · H |0⟩ = |1⟩: the |0⟩ branch must vanish exactly, not just approximately.
+        let mut state = SparseState::basis_state(1, 0);
+        state.apply_gate(&Gate::H(0));
+        state.apply_gate(&Gate::Z(0));
+        state.apply_gate(&Gate::H(0));
+        assert_eq!(state.support_size(), 1);
+        assert_eq!(state.amplitude(1), Algebraic::one());
+    }
+}

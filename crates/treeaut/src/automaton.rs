@@ -1,0 +1,559 @@
+//! The tree automaton data structure.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+use autoq_amplitude::Algebraic;
+
+use crate::{InternalSymbol, StateId, Tag, Tree};
+
+/// An internal transition `parent → symbol(left, right)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct InternalTransition {
+    /// The parent (upper) state.
+    pub parent: StateId,
+    /// The binary symbol (qubit variable + optional tag).
+    pub symbol: InternalSymbol,
+    /// Child state generating the `0` (left) subtree.
+    pub left: StateId,
+    /// Child state generating the `1` (right) subtree.
+    pub right: StateId,
+}
+
+/// A leaf transition `parent → amplitude()`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LeafTransition {
+    /// The parent state.
+    pub parent: StateId,
+    /// The exact amplitude carried by the leaf.
+    pub value: Algebraic,
+}
+
+/// A nondeterministic finite tree automaton over full binary trees whose
+/// leaves carry exact algebraic amplitudes.
+///
+/// The struct exposes its components publicly because the gate transformers
+/// in `autoq-core` are whole-automaton rewrites (they add, remove and rewire
+/// transitions wholesale, exactly as the paper's Algorithms 1–9 do).
+///
+/// # Examples
+///
+/// ```
+/// use autoq_amplitude::Algebraic;
+/// use autoq_treeaut::{Tree, TreeAutomaton};
+///
+/// // The set {|0⟩, |1⟩} of one-qubit basis states.
+/// let set = TreeAutomaton::from_trees(1, &[Tree::basis_state(1, 0), Tree::basis_state(1, 1)]);
+/// assert!(set.accepts(&Tree::basis_state(1, 0)));
+/// assert!(set.accepts(&Tree::basis_state(1, 1)));
+/// assert_eq!(set.enumerate(16).len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TreeAutomaton {
+    /// Number of qubit variables (tree height).
+    pub num_vars: u32,
+    /// Number of allocated states (ids `0..num_states`).
+    pub num_states: u32,
+    /// Root (accepting) states.
+    pub roots: BTreeSet<StateId>,
+    /// Internal transitions.
+    pub internal: Vec<InternalTransition>,
+    /// Leaf transitions.
+    pub leaves: Vec<LeafTransition>,
+}
+
+impl TreeAutomaton {
+    /// Creates an empty automaton over `num_vars` qubit variables.
+    pub fn new(num_vars: u32) -> Self {
+        TreeAutomaton {
+            num_vars,
+            num_states: 0,
+            roots: BTreeSet::new(),
+            internal: Vec::new(),
+            leaves: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh state.
+    pub fn add_state(&mut self) -> StateId {
+        let id = StateId::new(self.num_states);
+        self.num_states += 1;
+        id
+    }
+
+    /// Allocates `count` fresh states and returns their ids.
+    pub fn add_states(&mut self, count: u32) -> Vec<StateId> {
+        (0..count).map(|_| self.add_state()).collect()
+    }
+
+    /// Marks a state as a root (accepting) state.
+    pub fn add_root(&mut self, state: StateId) {
+        assert!(state.raw() < self.num_states, "root state out of range");
+        self.roots.insert(state);
+    }
+
+    /// Adds an internal transition `parent → symbol(left, right)`.
+    pub fn add_internal(&mut self, parent: StateId, symbol: InternalSymbol, left: StateId, right: StateId) {
+        debug_assert!(parent.raw() < self.num_states && left.raw() < self.num_states && right.raw() < self.num_states);
+        self.internal.push(InternalTransition { parent, symbol, left, right });
+    }
+
+    /// Adds a leaf transition `parent → value()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` already has a leaf transition with a *different*
+    /// value: the paper requires leaf parents to determine their symbol.
+    pub fn add_leaf(&mut self, parent: StateId, value: Algebraic) {
+        debug_assert!(parent.raw() < self.num_states);
+        if let Some(existing) = self.leaf_value(parent) {
+            assert!(
+                existing == &value,
+                "state {parent} already carries a different leaf value"
+            );
+            return;
+        }
+        self.leaves.push(LeafTransition { parent, value });
+    }
+
+    /// Returns the leaf value of `state` if it has a leaf transition.
+    pub fn leaf_value(&self, state: StateId) -> Option<&Algebraic> {
+        self.leaves.iter().find(|t| t.parent == state).map(|t| &t.value)
+    }
+
+    /// Returns an existing state carrying the given leaf value, or allocates
+    /// one.  Keeps the "one leaf state per amplitude" canonical shape used by
+    /// the constructors.
+    pub fn leaf_state(&mut self, value: &Algebraic) -> StateId {
+        if let Some(t) = self.leaves.iter().find(|t| &t.value == value) {
+            return t.parent;
+        }
+        let state = self.add_state();
+        self.leaves.push(LeafTransition { parent: state, value: value.clone() });
+        state
+    }
+
+    /// Total number of transitions (internal + leaf), the paper's
+    /// "transitions" column.
+    pub fn transition_count(&self) -> usize {
+        self.internal.len() + self.leaves.len()
+    }
+
+    /// Number of allocated states, the paper's "states" column.
+    pub fn state_count(&self) -> usize {
+        self.num_states as usize
+    }
+
+    /// Builds the automaton accepting exactly one tree.
+    pub fn from_tree(tree: &Tree) -> Self {
+        Self::from_trees(tree.num_qubits(), std::slice::from_ref(tree))
+    }
+
+    /// Builds the automaton accepting exactly the given trees (all of height
+    /// `num_vars`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some tree has a different height than `num_vars`.
+    pub fn from_trees(num_vars: u32, trees: &[Tree]) -> Self {
+        let mut automaton = TreeAutomaton::new(num_vars);
+        for tree in trees {
+            assert_eq!(tree.num_qubits(), num_vars, "tree height mismatch");
+            let root = automaton.insert_tree(tree);
+            automaton.add_root(root);
+        }
+        automaton
+    }
+
+    /// Inserts the transitions generating `tree` and returns the state that
+    /// generates it (maximally sharing identical subtrees).
+    fn insert_tree(&mut self, tree: &Tree) -> StateId {
+        let mut cache: HashMap<*const Tree, StateId> = HashMap::new();
+        self.insert_tree_rec(tree, &mut cache)
+    }
+
+    fn insert_tree_rec(&mut self, tree: &Tree, cache: &mut HashMap<*const Tree, StateId>) -> StateId {
+        match tree {
+            Tree::Leaf(value) => self.leaf_state(value),
+            Tree::Node { var, left, right } => {
+                let left_state = self.insert_tree_rec(left, cache);
+                let right_state = self.insert_tree_rec(right, cache);
+                // Share states for structurally equal internal transitions
+                // created for *this* tree insertion.
+                if let Some(existing) = self.internal.iter().find(|t| {
+                    t.symbol == InternalSymbol::new(*var) && t.left == left_state && t.right == right_state
+                }) {
+                    let parent = existing.parent;
+                    cache.insert(tree as *const Tree, parent);
+                    return parent;
+                }
+                let parent = self.add_state();
+                self.add_internal(parent, InternalSymbol::new(*var), left_state, right_state);
+                cache.insert(tree as *const Tree, parent);
+                parent
+            }
+        }
+    }
+
+    /// Returns `true` if the automaton accepts `tree` (tags are ignored).
+    pub fn accepts(&self, tree: &Tree) -> bool {
+        self.run_states(tree).iter().any(|state| self.roots.contains(state))
+    }
+
+    /// Computes the set of states that can generate `tree` (bottom-up run).
+    pub fn run_states(&self, tree: &Tree) -> HashSet<StateId> {
+        match tree {
+            Tree::Leaf(value) => self
+                .leaves
+                .iter()
+                .filter(|t| &t.value == value)
+                .map(|t| t.parent)
+                .collect(),
+            Tree::Node { var, left, right } => {
+                let left_states = self.run_states(left);
+                let right_states = self.run_states(right);
+                self.internal
+                    .iter()
+                    .filter(|t| {
+                        t.symbol.var == *var
+                            && left_states.contains(&t.left)
+                            && right_states.contains(&t.right)
+                    })
+                    .map(|t| t.parent)
+                    .collect()
+            }
+        }
+    }
+
+    /// Enumerates the accepted trees, returning at most `limit` of them.
+    ///
+    /// The automaton is assumed to be acyclic (every automaton produced by
+    /// this crate and by `autoq-core` is); states on a cycle contribute no
+    /// trees.
+    pub fn enumerate(&self, limit: usize) -> Vec<Tree> {
+        let mut memo: HashMap<StateId, Vec<Tree>> = HashMap::new();
+        let mut visiting: HashSet<StateId> = HashSet::new();
+        let mut result = Vec::new();
+        let mut seen: HashSet<Tree> = HashSet::new();
+        for &root in &self.roots {
+            for tree in self.language_of(root, limit, &mut memo, &mut visiting) {
+                if result.len() >= limit {
+                    return result;
+                }
+                if seen.insert(tree.clone()) {
+                    result.push(tree);
+                }
+            }
+        }
+        result
+    }
+
+    fn language_of(
+        &self,
+        state: StateId,
+        limit: usize,
+        memo: &mut HashMap<StateId, Vec<Tree>>,
+        visiting: &mut HashSet<StateId>,
+    ) -> Vec<Tree> {
+        if let Some(cached) = memo.get(&state) {
+            return cached.clone();
+        }
+        if !visiting.insert(state) {
+            return Vec::new();
+        }
+        let mut trees = Vec::new();
+        for t in self.leaves.iter().filter(|t| t.parent == state) {
+            trees.push(Tree::Leaf(t.value.clone()));
+        }
+        let transitions: Vec<InternalTransition> =
+            self.internal.iter().filter(|t| t.parent == state).cloned().collect();
+        for t in transitions {
+            let left_trees = self.language_of(t.left, limit, memo, visiting);
+            let right_trees = self.language_of(t.right, limit, memo, visiting);
+            'outer: for l in &left_trees {
+                for r in &right_trees {
+                    if trees.len() >= limit {
+                        break 'outer;
+                    }
+                    trees.push(Tree::Node {
+                        var: t.symbol.var,
+                        left: Box::new(l.clone()),
+                        right: Box::new(r.clone()),
+                    });
+                }
+            }
+        }
+        visiting.remove(&state);
+        memo.insert(state, trees.clone());
+        trees
+    }
+
+    /// Applies a function to every leaf value, returning the rewritten
+    /// automaton (used by the scaling constructions of Algorithm 1 and the
+    /// multiplication operation of Algorithm 5).
+    pub fn map_leaves(&self, f: impl Fn(&Algebraic) -> Algebraic) -> Self {
+        let mut result = self.clone();
+        for leaf in &mut result.leaves {
+            leaf.value = f(&leaf.value);
+        }
+        result
+    }
+
+    /// Imports all states and transitions of `other` with state ids shifted
+    /// past this automaton's states, returning the offset.  Roots of `other`
+    /// are *not* imported.
+    pub fn import_disjoint(&mut self, other: &TreeAutomaton) -> u32 {
+        let offset = self.num_states;
+        self.num_states += other.num_states;
+        for t in &other.internal {
+            self.internal.push(InternalTransition {
+                parent: t.parent.offset(offset),
+                symbol: t.symbol,
+                left: t.left.offset(offset),
+                right: t.right.offset(offset),
+            });
+        }
+        for t in &other.leaves {
+            self.leaves.push(LeafTransition { parent: t.parent.offset(offset), value: t.value.clone() });
+        }
+        offset
+    }
+
+    /// Removes duplicate transitions.
+    pub fn dedup_transitions(&mut self) {
+        let mut seen_internal: HashSet<(StateId, InternalSymbol, StateId, StateId)> = HashSet::new();
+        self.internal.retain(|t| seen_internal.insert((t.parent, t.symbol, t.left, t.right)));
+        let mut seen_leaves: HashSet<(StateId, Algebraic)> = HashSet::new();
+        self.leaves.retain(|t| seen_leaves.insert((t.parent, t.value.clone())));
+    }
+
+    /// Returns a copy with every tag stripped from the internal symbols and
+    /// duplicate transitions removed (the paper's final "untagging" step).
+    pub fn untagged(&self) -> Self {
+        let mut result = self.clone();
+        for t in &mut result.internal {
+            t.symbol = t.symbol.untagged();
+        }
+        result.dedup_transitions();
+        result
+    }
+
+    /// Returns `true` if any internal symbol carries a tag.
+    pub fn is_tagged(&self) -> bool {
+        self.internal.iter().any(|t| t.symbol.tag != Tag::None)
+    }
+
+    /// Iterates over the internal transitions whose symbol is on `var`.
+    pub fn transitions_on_var(&self, var: u32) -> impl Iterator<Item = &InternalTransition> {
+        self.internal.iter().filter(move |t| t.symbol.var == var)
+    }
+
+    /// Checks basic structural sanity: transitions refer to allocated states
+    /// and every leaf parent carries a single value.
+    pub fn validate(&self) -> Result<(), String> {
+        for t in &self.internal {
+            for s in [t.parent, t.left, t.right] {
+                if s.raw() >= self.num_states {
+                    return Err(format!("internal transition refers to unallocated state {s}"));
+                }
+            }
+            if t.symbol.var >= self.num_vars {
+                return Err(format!("symbol variable x{} out of range", t.symbol.var));
+            }
+        }
+        let mut leaf_values: HashMap<StateId, &Algebraic> = HashMap::new();
+        for t in &self.leaves {
+            if t.parent.raw() >= self.num_states {
+                return Err(format!("leaf transition refers to unallocated state {}", t.parent));
+            }
+            if let Some(existing) = leaf_values.insert(t.parent, &t.value) {
+                if existing != &t.value {
+                    return Err(format!("leaf parent {} carries two distinct values", t.parent));
+                }
+            }
+        }
+        for &root in &self.roots {
+            if root.raw() >= self.num_states {
+                return Err(format!("root {root} out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TreeAutomaton {
+    /// Renders the automaton in a VATA/Timbuk-like textual format.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Automaton ({} vars, {} states)", self.num_vars, self.num_states)?;
+        write!(f, "Roots:")?;
+        for root in &self.roots {
+            write!(f, " {root}")?;
+        }
+        writeln!(f)?;
+        writeln!(f, "Transitions:")?;
+        for t in &self.internal {
+            writeln!(f, "  {} -> {}({}, {})", t.parent, t.symbol, t.left, t.right)?;
+        }
+        for t in &self.leaves {
+            writeln!(f, "  {} -> [{}]", t.parent, t.value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basis(n: u32, b: u64) -> Tree {
+        Tree::basis_state(n, b)
+    }
+
+    #[test]
+    fn singleton_automaton_accepts_only_its_tree() {
+        let tree = basis(3, 0b101);
+        let automaton = TreeAutomaton::from_tree(&tree);
+        automaton.validate().unwrap();
+        assert!(automaton.accepts(&tree));
+        assert!(!automaton.accepts(&basis(3, 0b100)));
+        assert_eq!(automaton.enumerate(100), vec![tree]);
+    }
+
+    #[test]
+    fn union_of_trees_accepts_each_tree() {
+        let trees: Vec<Tree> = (0..4).map(|b| basis(2, b)).collect();
+        let automaton = TreeAutomaton::from_trees(2, &trees);
+        automaton.validate().unwrap();
+        for tree in &trees {
+            assert!(automaton.accepts(tree));
+        }
+        assert_eq!(automaton.enumerate(100).len(), 4);
+    }
+
+    #[test]
+    fn superposition_trees_are_supported() {
+        let bell = Tree::from_fn(2, |b| match b {
+            0 | 3 => Algebraic::one_over_sqrt2(),
+            _ => Algebraic::zero(),
+        });
+        let automaton = TreeAutomaton::from_tree(&bell);
+        assert!(automaton.accepts(&bell));
+        assert!(!automaton.accepts(&basis(2, 0)));
+    }
+
+    #[test]
+    fn leaf_state_reuses_states_per_value() {
+        let mut automaton = TreeAutomaton::new(1);
+        let q0 = automaton.leaf_state(&Algebraic::zero());
+        let q0_again = automaton.leaf_state(&Algebraic::zero());
+        let q1 = automaton.leaf_state(&Algebraic::one());
+        assert_eq!(q0, q0_again);
+        assert_ne!(q0, q1);
+        assert_eq!(automaton.leaf_value(q1), Some(&Algebraic::one()));
+        assert_eq!(automaton.leaf_value(StateId::new(99)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "different leaf value")]
+    fn conflicting_leaf_values_panic() {
+        let mut automaton = TreeAutomaton::new(1);
+        let q = automaton.add_state();
+        automaton.add_leaf(q, Algebraic::zero());
+        automaton.add_leaf(q, Algebraic::one());
+    }
+
+    #[test]
+    fn map_leaves_scales_all_amplitudes() {
+        let automaton = TreeAutomaton::from_tree(&basis(2, 1));
+        let scaled = automaton.map_leaves(|v| v.mul_omega());
+        let trees = scaled.enumerate(10);
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].amplitude(1), Algebraic::omega());
+        assert_eq!(trees[0].amplitude(0), Algebraic::zero());
+    }
+
+    #[test]
+    fn import_disjoint_offsets_states() {
+        let mut a = TreeAutomaton::from_tree(&basis(1, 0));
+        let b = TreeAutomaton::from_tree(&basis(1, 1));
+        let before_states = a.num_states;
+        let offset = a.import_disjoint(&b);
+        assert_eq!(offset, before_states);
+        assert_eq!(a.num_states, before_states + b.num_states);
+        a.validate().unwrap();
+        // roots were not imported, so the language is unchanged
+        assert_eq!(a.enumerate(10).len(), 1);
+    }
+
+    #[test]
+    fn untagging_removes_tags_and_duplicates() {
+        let mut automaton = TreeAutomaton::new(1);
+        let leaf0 = automaton.leaf_state(&Algebraic::zero());
+        let leaf1 = automaton.leaf_state(&Algebraic::one());
+        let root = automaton.add_state();
+        automaton.add_root(root);
+        automaton.add_internal(root, InternalSymbol::new(0).with_tag(Tag::Single(1)), leaf0, leaf1);
+        automaton.add_internal(root, InternalSymbol::new(0).with_tag(Tag::Single(2)), leaf0, leaf1);
+        assert!(automaton.is_tagged());
+        let untagged = automaton.untagged();
+        assert!(!untagged.is_tagged());
+        assert_eq!(untagged.internal.len(), 1);
+        assert!(untagged.accepts(&basis(1, 1)));
+    }
+
+    #[test]
+    fn validation_catches_broken_automata() {
+        let mut automaton = TreeAutomaton::new(1);
+        let q = automaton.add_state();
+        automaton.add_root(q);
+        automaton.internal.push(InternalTransition {
+            parent: q,
+            symbol: InternalSymbol::new(5),
+            left: q,
+            right: q,
+        });
+        assert!(automaton.validate().is_err());
+    }
+
+    #[test]
+    fn display_contains_roots_and_transitions() {
+        let automaton = TreeAutomaton::from_tree(&basis(1, 0));
+        let rendered = automaton.to_string();
+        assert!(rendered.contains("Roots:"));
+        assert!(rendered.contains("x0"));
+    }
+
+    #[test]
+    fn example_3_1_linear_size_encoding_of_all_basis_states() {
+        // Build the TA of Example 3.1 for n = 3 by hand: 2n+1 states and
+        // 3n+1 transitions accepting all 2^n basis states.
+        let n = 3u32;
+        let mut automaton = TreeAutomaton::new(n);
+        let leaf0 = automaton.leaf_state(&Algebraic::zero());
+        let leaf1 = automaton.leaf_state(&Algebraic::one());
+        // states q^level_0 and q^level_1 for levels 1..n-1, plus root.
+        let mut zero_state = leaf0;
+        let mut one_state = leaf1;
+        for level in (1..n).rev() {
+            let new_zero = automaton.add_state();
+            let new_one = automaton.add_state();
+            automaton.add_internal(new_zero, InternalSymbol::new(level), zero_state, zero_state);
+            automaton.add_internal(new_one, InternalSymbol::new(level), one_state, zero_state);
+            automaton.add_internal(new_one, InternalSymbol::new(level), zero_state, one_state);
+            zero_state = new_zero;
+            one_state = new_one;
+        }
+        let root = automaton.add_state();
+        automaton.add_root(root);
+        automaton.add_internal(root, InternalSymbol::new(0), one_state, zero_state);
+        automaton.add_internal(root, InternalSymbol::new(0), zero_state, one_state);
+        automaton.validate().unwrap();
+        assert_eq!(automaton.state_count(), 2 * n as usize + 1);
+        assert_eq!(automaton.transition_count(), 3 * n as usize + 1);
+        let language = automaton.enumerate(100);
+        assert_eq!(language.len(), 8);
+        for b in 0..8u64 {
+            assert!(automaton.accepts(&basis(3, b)), "missing |{b:03b}⟩");
+        }
+    }
+}

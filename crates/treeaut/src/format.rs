@@ -1,0 +1,296 @@
+//! A Timbuk/VATA-style textual exchange format for tree automata.
+//!
+//! The AutoQ tool exchanges automata with VATA in a textual format; this
+//! module provides the equivalent for AutoQ-rs so that pre/post-conditions
+//! can be stored in files, diffed, and loaded back.  The format is
+//! line-oriented:
+//!
+//! ```text
+//! Ops            # ignored header, optional
+//! Automaton A
+//! Vars 2
+//! States q0 q1 q2
+//! Final States q2
+//! Transitions
+//! [0,0,0,0,0] -> q0
+//! [1,0,0,0,0] -> q1
+//! x1(q0, q1) -> q2
+//! ```
+//!
+//! Internal symbols are written `x<var>` (optionally `x<var>#tag`), leaf
+//! symbols are the 5-tuple `(a,b,c,d,k)` of the algebraic amplitude.
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use autoq_amplitude::Algebraic;
+use autoq_bigint::BigInt;
+
+use crate::{StateId, Tag, TreeAutomaton};
+
+/// Error produced when parsing the textual automaton format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FormatError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "automaton format error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// Serialises an automaton in the exchange format.
+///
+/// ```
+/// use autoq_treeaut::{format, Tree, TreeAutomaton};
+/// let automaton = TreeAutomaton::from_tree(&Tree::basis_state(2, 0b10));
+/// let text = format::to_text(&automaton);
+/// let parsed = format::from_text(&text).unwrap();
+/// assert!(autoq_treeaut::equivalence(&automaton, &parsed).holds());
+/// ```
+pub fn to_text(automaton: &TreeAutomaton) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Automaton A");
+    let _ = writeln!(out, "Vars {}", automaton.num_vars);
+    let _ = write!(out, "States");
+    for s in 0..automaton.num_states {
+        let _ = write!(out, " q{s}");
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "Final States");
+    for root in &automaton.roots {
+        let _ = write!(out, " q{}", root.raw());
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Transitions");
+    for t in &automaton.leaves {
+        let (a, b, c, d, k) = t.value.components();
+        let _ = writeln!(out, "[{a},{b},{c},{d},{k}] -> q{}", t.parent.raw());
+    }
+    for t in &automaton.internal {
+        let tag = match t.symbol.tag {
+            Tag::None => String::new(),
+            Tag::Single(i) => format!("#{i}"),
+            Tag::Pair(i, j) => format!("#{i},{j}"),
+        };
+        let _ = writeln!(
+            out,
+            "x{}{}(q{}, q{}) -> q{}",
+            t.symbol.var,
+            tag,
+            t.left.raw(),
+            t.right.raw(),
+            t.parent.raw()
+        );
+    }
+    out
+}
+
+/// Parses an automaton from the exchange format.
+///
+/// # Errors
+///
+/// Returns a [`FormatError`] describing the first offending line.
+pub fn from_text(text: &str) -> Result<TreeAutomaton, FormatError> {
+    let mut num_vars: Option<u32> = None;
+    let mut num_states: u32 = 0;
+    let mut roots: Vec<u32> = Vec::new();
+    let mut leaf_lines: Vec<(usize, String)> = Vec::new();
+    let mut internal_lines: Vec<(usize, String)> = Vec::new();
+    let mut in_transitions = false;
+
+    for (index, raw_line) in text.lines().enumerate() {
+        let line_no = index + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with("Ops") || line.starts_with("Automaton") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("Vars") {
+            num_vars = Some(rest.trim().parse().map_err(|_| FormatError {
+                line: line_no,
+                message: "malformed Vars line".to_string(),
+            })?);
+        } else if let Some(rest) = line.strip_prefix("Final States") {
+            for token in rest.split_whitespace() {
+                roots.push(parse_state(token, line_no)?);
+            }
+        } else if let Some(rest) = line.strip_prefix("States") {
+            num_states = rest.split_whitespace().count() as u32;
+        } else if line == "Transitions" {
+            in_transitions = true;
+        } else if in_transitions {
+            if line.starts_with('[') {
+                leaf_lines.push((line_no, line.to_string()));
+            } else {
+                internal_lines.push((line_no, line.to_string()));
+            }
+        } else {
+            return Err(FormatError { line: line_no, message: format!("unexpected line {line:?}") });
+        }
+    }
+
+    let num_vars = num_vars
+        .ok_or(FormatError { line: 0, message: "missing Vars declaration".to_string() })?;
+    let mut automaton = TreeAutomaton::new(num_vars);
+    automaton.add_states(num_states);
+    for root in roots {
+        automaton.add_root(StateId::new(root));
+    }
+    for (line_no, line) in leaf_lines {
+        let arrow = line.find("->").ok_or(FormatError {
+            line: line_no,
+            message: "leaf transition missing ->".to_string(),
+        })?;
+        let value = parse_amplitude(line[..arrow].trim(), line_no)?;
+        let parent = parse_state(line[arrow + 2..].trim(), line_no)?;
+        automaton.add_leaf(StateId::new(parent), value);
+    }
+    for (line_no, line) in internal_lines {
+        let arrow = line.find("->").ok_or(FormatError {
+            line: line_no,
+            message: "transition missing ->".to_string(),
+        })?;
+        let parent = parse_state(line[arrow + 2..].trim(), line_no)?;
+        let lhs = line[..arrow].trim();
+        let open = lhs.find('(').ok_or(FormatError {
+            line: line_no,
+            message: "internal transition missing children".to_string(),
+        })?;
+        let close = lhs.rfind(')').ok_or(FormatError {
+            line: line_no,
+            message: "internal transition missing children".to_string(),
+        })?;
+        let symbol = parse_symbol(lhs[..open].trim(), line_no)?;
+        let children: Vec<&str> = lhs[open + 1..close].split(',').map(str::trim).collect();
+        if children.len() != 2 {
+            return Err(FormatError {
+                line: line_no,
+                message: "internal transitions must have exactly two children".to_string(),
+            });
+        }
+        let left = parse_state(children[0], line_no)?;
+        let right = parse_state(children[1], line_no)?;
+        automaton.add_internal(parent_state(parent), symbol, StateId::new(left), StateId::new(right));
+    }
+    automaton
+        .validate()
+        .map_err(|message| FormatError { line: 0, message })?;
+    Ok(automaton)
+}
+
+fn parent_state(raw: u32) -> StateId {
+    StateId::new(raw)
+}
+
+fn parse_state(token: &str, line: usize) -> Result<u32, FormatError> {
+    token
+        .trim()
+        .strip_prefix('q')
+        .and_then(|rest| rest.parse().ok())
+        .ok_or(FormatError { line, message: format!("malformed state {token:?}") })
+}
+
+fn parse_symbol(token: &str, line: usize) -> Result<crate::InternalSymbol, FormatError> {
+    let rest = token
+        .strip_prefix('x')
+        .ok_or(FormatError { line, message: format!("malformed symbol {token:?}") })?;
+    let (var_text, tag) = match rest.split_once('#') {
+        None => (rest, Tag::None),
+        Some((var_text, tag_text)) => {
+            let tag = match tag_text.split_once(',') {
+                None => Tag::Single(tag_text.parse().map_err(|_| FormatError {
+                    line,
+                    message: format!("malformed tag {tag_text:?}"),
+                })?),
+                Some((i, j)) => Tag::Pair(
+                    i.parse().map_err(|_| FormatError { line, message: format!("malformed tag {i:?}") })?,
+                    j.parse().map_err(|_| FormatError { line, message: format!("malformed tag {j:?}") })?,
+                ),
+            };
+            (var_text, tag)
+        }
+    };
+    let var: u32 = var_text
+        .parse()
+        .map_err(|_| FormatError { line, message: format!("malformed variable {var_text:?}") })?;
+    Ok(crate::InternalSymbol::new(var).with_tag(tag))
+}
+
+fn parse_amplitude(token: &str, line: usize) -> Result<Algebraic, FormatError> {
+    let inner = token
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or(FormatError { line, message: format!("malformed amplitude {token:?}") })?;
+    let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
+    if parts.len() != 5 {
+        return Err(FormatError { line, message: "amplitudes are 5-tuples (a,b,c,d,k)".to_string() });
+    }
+    let parse_int = |text: &str| -> Result<BigInt, FormatError> {
+        BigInt::from_str(text)
+            .map_err(|_| FormatError { line, message: format!("malformed integer {text:?}") })
+    };
+    let k: u64 = parts[4]
+        .parse()
+        .map_err(|_| FormatError { line, message: format!("malformed exponent {:?}", parts[4]) })?;
+    Ok(Algebraic::new(parse_int(parts[0])?, parse_int(parts[1])?, parse_int(parts[2])?, parse_int(parts[3])?, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{equivalence, Tree};
+
+    #[test]
+    fn round_trip_preserves_the_language() {
+        let trees = vec![
+            Tree::from_fn(3, |b| if b % 2 == 0 { Algebraic::one_over_sqrt2() } else { Algebraic::zero() }),
+            Tree::basis_state(3, 5),
+        ];
+        let automaton = TreeAutomaton::from_trees(3, &trees);
+        let text = to_text(&automaton);
+        let parsed = from_text(&text).unwrap();
+        assert!(equivalence(&automaton, &parsed).holds());
+        assert_eq!(parsed.state_count(), automaton.state_count());
+    }
+
+    #[test]
+    fn tagged_automata_round_trip() {
+        let mut automaton = TreeAutomaton::from_tree(&Tree::basis_state(2, 1));
+        for (i, t) in automaton.internal.iter_mut().enumerate() {
+            t.symbol = t.symbol.with_tag(Tag::Single(i as u64 + 1));
+        }
+        let text = to_text(&automaton);
+        let parsed = from_text(&text).unwrap();
+        assert_eq!(parsed.internal.len(), automaton.internal.len());
+        assert!(parsed.is_tagged());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        assert!(from_text("").is_err());
+        let err = from_text("Vars 1\nStates q0\nFinal States q0\nTransitions\nbroken\n").unwrap_err();
+        assert_eq!(err.line, 5);
+        let err = from_text("Vars 1\nStates q0 q1\nFinal States q1\nTransitions\n[1,0,0,0] -> q0\n")
+            .unwrap_err();
+        assert!(err.message.contains("5-tuples"));
+    }
+
+    #[test]
+    fn negative_and_large_coefficients_survive() {
+        let amp = Algebraic::from_components(-3, 141, -59, 26, 5);
+        let mut automaton = TreeAutomaton::new(1);
+        let leaf = automaton.leaf_state(&amp);
+        let zero = automaton.leaf_state(&Algebraic::zero());
+        let root = automaton.add_state();
+        automaton.add_root(root);
+        automaton.add_internal(root, crate::InternalSymbol::new(0), zero, leaf);
+        let parsed = from_text(&to_text(&automaton)).unwrap();
+        assert!(equivalence(&automaton, &parsed).holds());
+    }
+}

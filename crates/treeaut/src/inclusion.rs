@@ -1,0 +1,334 @@
+//! Language inclusion and equivalence checking with witness extraction.
+//!
+//! This module replaces the VATA calls of the AutoQ paper.  Inclusion
+//! `L(A) ⊆ L(B)` is decided by an antichain-style bottom-up search over
+//! pairs `(q, S)` where `q` is a state of `A` reachable by some tree `t` and
+//! `S` is the exact set of states of `B` reachable by the same `t`.  A
+//! counterexample exists iff some pair reaches a root of `A` while `S`
+//! contains no root of `B`; the witness tree is reconstructed from the
+//! search.
+
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+
+use autoq_amplitude::Algebraic;
+
+use crate::{StateId, Tree, TreeAutomaton};
+
+/// Result of a language inclusion test `L(A) ⊆ L(B)`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InclusionResult {
+    /// Every tree accepted by `A` is accepted by `B`.
+    Included,
+    /// A tree accepted by `A` but not by `B`.
+    Counterexample(Tree),
+}
+
+impl InclusionResult {
+    /// Returns `true` if the inclusion holds.
+    pub fn holds(&self) -> bool {
+        matches!(self, InclusionResult::Included)
+    }
+}
+
+/// Result of a language equivalence test `L(A) = L(B)`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EquivalenceResult {
+    /// The languages are equal.
+    Equivalent,
+    /// A tree accepted by `A` but not by `B`.
+    OnlyInLeft(Tree),
+    /// A tree accepted by `B` but not by `A`.
+    OnlyInRight(Tree),
+}
+
+impl EquivalenceResult {
+    /// Returns `true` if the languages are equal.
+    pub fn holds(&self) -> bool {
+        matches!(self, EquivalenceResult::Equivalent)
+    }
+
+    /// Returns the witness tree of a failed check, if any.
+    pub fn witness(&self) -> Option<&Tree> {
+        match self {
+            EquivalenceResult::Equivalent => None,
+            EquivalenceResult::OnlyInLeft(t) | EquivalenceResult::OnlyInRight(t) => Some(t),
+        }
+    }
+}
+
+/// A lazily shared witness tree (converted to a [`Tree`] only when a
+/// counterexample is actually reported), so that deep automata do not pay
+/// for materialising full binary trees during the search.
+#[derive(Clone, Debug)]
+enum Witness {
+    Leaf(Algebraic),
+    Node(u32, Rc<Witness>, Rc<Witness>),
+}
+
+impl Witness {
+    fn to_tree(&self) -> Tree {
+        match self {
+            Witness::Leaf(value) => Tree::Leaf(value.clone()),
+            Witness::Node(var, left, right) => Tree::Node {
+                var: *var,
+                left: Box::new(left.to_tree()),
+                right: Box::new(right.to_tree()),
+            },
+        }
+    }
+}
+
+/// A pair of the antichain search: the set of `B`-states reachable by the
+/// witness tree, plus the witness itself.
+#[derive(Clone, Debug)]
+struct SearchPair {
+    b_states: BTreeSet<StateId>,
+    witness: Rc<Witness>,
+}
+
+/// Decides `L(a) ⊆ L(b)`, producing a witness tree on failure.
+///
+/// Tags are ignored: inclusion is always performed on the untagged view of
+/// the symbols (tagged automata only exist transiently inside gate
+/// application).
+///
+/// # Examples
+///
+/// ```
+/// use autoq_treeaut::{inclusion, Tree, TreeAutomaton};
+///
+/// let small = TreeAutomaton::from_tree(&Tree::basis_state(2, 1));
+/// let trees: Vec<Tree> = (0..4).map(|b| Tree::basis_state(2, b)).collect();
+/// let big = TreeAutomaton::from_trees(2, &trees);
+/// assert!(inclusion(&small, &big).holds());
+/// assert!(!inclusion(&big, &small).holds());
+/// ```
+pub fn inclusion(a: &TreeAutomaton, b: &TreeAutomaton) -> InclusionResult {
+    // Group B's leaf transitions by value and internal transitions by var.
+    let mut b_leaves: HashMap<&Algebraic, BTreeSet<StateId>> = HashMap::new();
+    for t in &b.leaves {
+        b_leaves.entry(&t.value).or_default().insert(t.parent);
+    }
+    let mut b_internal_by_var: HashMap<u32, Vec<(StateId, StateId, StateId)>> = HashMap::new();
+    for t in &b.internal {
+        b_internal_by_var.entry(t.symbol.var).or_default().push((t.parent, t.left, t.right));
+    }
+    let b_roots: BTreeSet<StateId> = b.roots.iter().copied().collect();
+
+    // pairs[q] = antichain (by ⊆ on b_states) of SearchPairs for A-state q.
+    let mut pairs: HashMap<StateId, Vec<SearchPair>> = HashMap::new();
+
+    // Returns true when the pair is new (not subsumed by an existing pair).
+    fn insert_pair(pairs: &mut HashMap<StateId, Vec<SearchPair>>, q: StateId, new: SearchPair) -> bool {
+        let entry = pairs.entry(q).or_default();
+        // Subsumed: an existing pair with a subset of B-states witnesses at
+        // least as much "escape" as the new one.
+        if entry.iter().any(|existing| existing.b_states.is_subset(&new.b_states)) {
+            return false;
+        }
+        entry.retain(|existing| !new.b_states.is_subset(&existing.b_states));
+        entry.push(new);
+        true
+    }
+
+    let failure = |pair: &SearchPair, roots: &BTreeSet<StateId>| -> bool {
+        pair.b_states.is_disjoint(roots)
+    };
+
+    // Initialise with A's leaf transitions.
+    for t in &a.leaves {
+        let b_states = b_leaves.get(&t.value).cloned().unwrap_or_default();
+        let pair = SearchPair { b_states, witness: Rc::new(Witness::Leaf(t.value.clone())) };
+        if a.roots.contains(&t.parent) && failure(&pair, &b_roots) {
+            return InclusionResult::Counterexample(pair.witness.to_tree());
+        }
+        insert_pair(&mut pairs, t.parent, pair);
+    }
+
+    // Saturate.
+    loop {
+        let mut changed = false;
+        for t in &a.internal {
+            let left_pairs: Vec<SearchPair> = pairs.get(&t.left).cloned().unwrap_or_default();
+            let right_pairs: Vec<SearchPair> = pairs.get(&t.right).cloned().unwrap_or_default();
+            if left_pairs.is_empty() || right_pairs.is_empty() {
+                continue;
+            }
+            let candidates = b_internal_by_var.get(&t.symbol.var).cloned().unwrap_or_default();
+            for lp in &left_pairs {
+                for rp in &right_pairs {
+                    let mut b_states = BTreeSet::new();
+                    for &(parent, left, right) in &candidates {
+                        if lp.b_states.contains(&left) && rp.b_states.contains(&right) {
+                            b_states.insert(parent);
+                        }
+                    }
+                    let pair = SearchPair {
+                        b_states,
+                        witness: Rc::new(Witness::Node(
+                            t.symbol.var,
+                            Rc::clone(&lp.witness),
+                            Rc::clone(&rp.witness),
+                        )),
+                    };
+                    if a.roots.contains(&t.parent) && failure(&pair, &b_roots) {
+                        return InclusionResult::Counterexample(pair.witness.to_tree());
+                    }
+                    if insert_pair(&mut pairs, t.parent, pair) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return InclusionResult::Included;
+        }
+    }
+}
+
+/// Decides `L(a) = L(b)`, producing a witness tree on failure.
+///
+/// ```
+/// use autoq_treeaut::{equivalence, Tree, TreeAutomaton};
+/// let a = TreeAutomaton::from_tree(&Tree::basis_state(1, 0));
+/// let b = TreeAutomaton::from_tree(&Tree::basis_state(1, 1));
+/// assert!(equivalence(&a, &a).holds());
+/// assert!(!equivalence(&a, &b).holds());
+/// ```
+pub fn equivalence(a: &TreeAutomaton, b: &TreeAutomaton) -> EquivalenceResult {
+    match inclusion(a, b) {
+        InclusionResult::Counterexample(tree) => EquivalenceResult::OnlyInLeft(tree),
+        InclusionResult::Included => match inclusion(b, a) {
+            InclusionResult::Counterexample(tree) => EquivalenceResult::OnlyInRight(tree),
+            InclusionResult::Included => EquivalenceResult::Equivalent,
+        },
+    }
+}
+
+/// A brute-force equivalence check by explicit language enumeration, used to
+/// cross-validate the antichain algorithm in tests on small automata.
+///
+/// # Panics
+///
+/// Panics if either language has more than `limit` trees.
+pub fn naive_equivalence(a: &TreeAutomaton, b: &TreeAutomaton, limit: usize) -> bool {
+    let la = a.enumerate(limit + 1);
+    let lb = b.enumerate(limit + 1);
+    assert!(la.len() <= limit && lb.len() <= limit, "language too large for naive check");
+    if la.len() != lb.len() {
+        return false;
+    }
+    la.iter().all(|t| b.accepts(t)) && lb.iter().all(|t| a.accepts(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoq_amplitude::Algebraic;
+
+    fn all_basis(n: u32) -> TreeAutomaton {
+        let trees: Vec<Tree> = (0..(1u64 << n)).map(|b| Tree::basis_state(n, b)).collect();
+        TreeAutomaton::from_trees(n, &trees)
+    }
+
+    #[test]
+    fn inclusion_of_singleton_in_full_set() {
+        let single = TreeAutomaton::from_tree(&Tree::basis_state(3, 5));
+        let all = all_basis(3);
+        assert!(inclusion(&single, &all).holds());
+        match inclusion(&all, &single) {
+            InclusionResult::Counterexample(tree) => {
+                assert!(all.accepts(&tree));
+                assert!(!single.accepts(&tree));
+            }
+            InclusionResult::Included => panic!("inclusion should fail"),
+        }
+    }
+
+    #[test]
+    fn equivalence_detects_amplitude_differences() {
+        let plus = Tree::from_fn(1, |_| Algebraic::one_over_sqrt2());
+        let minus = Tree::from_fn(1, |b| {
+            if b == 0 {
+                Algebraic::one_over_sqrt2()
+            } else {
+                -&Algebraic::one_over_sqrt2()
+            }
+        });
+        let a = TreeAutomaton::from_tree(&plus);
+        let b = TreeAutomaton::from_tree(&minus);
+        let result = equivalence(&a, &b);
+        assert!(!result.holds());
+        let witness = result.witness().unwrap();
+        assert!(a.accepts(witness) != b.accepts(witness));
+    }
+
+    #[test]
+    fn equivalence_after_reduction_is_preserved() {
+        let all = all_basis(4);
+        let reduced = all.reduce();
+        assert!(equivalence(&all, &reduced).holds());
+        assert!(naive_equivalence(&all, &reduced, 100));
+    }
+
+    #[test]
+    fn empty_language_is_included_in_everything() {
+        let empty = TreeAutomaton::new(2);
+        let all = all_basis(2);
+        assert!(inclusion(&empty, &all).holds());
+        assert!(!inclusion(&all, &empty).holds());
+        assert!(equivalence(&empty, &TreeAutomaton::new(2)).holds());
+    }
+
+    #[test]
+    fn witness_is_minimal_looking_tree_from_left_language() {
+        let a = all_basis(2);
+        let three_of_four = TreeAutomaton::from_trees(
+            2,
+            &[Tree::basis_state(2, 0), Tree::basis_state(2, 1), Tree::basis_state(2, 2)],
+        );
+        match equivalence(&a, &three_of_four) {
+            EquivalenceResult::OnlyInLeft(tree) => {
+                assert_eq!(tree, Tree::basis_state(2, 3));
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+    }
+
+    #[test]
+    fn antichain_matches_naive_on_random_small_sets() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..=3u32);
+            let universe = 1u64 << n;
+            let pick = |rng: &mut rand::rngs::StdRng| -> Vec<Tree> {
+                (0..universe).filter(|_| rng.gen_bool(0.5)).map(|b| Tree::basis_state(n, b)).collect()
+            };
+            let set_a = pick(&mut rng);
+            let set_b = pick(&mut rng);
+            let a = TreeAutomaton::from_trees(n, &set_a);
+            let b = TreeAutomaton::from_trees(n, &set_b);
+            let expected = set_a.iter().all(|t| set_b.contains(t)) && set_b.iter().all(|t| set_a.contains(t));
+            assert_eq!(equivalence(&a, &b).holds(), expected);
+            assert_eq!(naive_equivalence(&a, &b, 64), expected);
+        }
+    }
+
+    #[test]
+    fn inclusion_distinguishes_related_superpositions() {
+        let bell = Tree::from_fn(2, |b| match b {
+            0 | 3 => Algebraic::one_over_sqrt2(),
+            _ => Algebraic::zero(),
+        });
+        let union = TreeAutomaton::from_trees(2, &[bell.clone(), Tree::basis_state(2, 0)]);
+        let only_bell = TreeAutomaton::from_tree(&bell);
+        assert!(inclusion(&only_bell, &union).holds());
+        let result = inclusion(&union, &only_bell);
+        match result {
+            InclusionResult::Counterexample(tree) => assert_eq!(tree, Tree::basis_state(2, 0)),
+            InclusionResult::Included => panic!("should not be included"),
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Nondeterministic finite tree automata (TAs) over full binary trees.
+//!
+//! This crate is the automata substrate of AutoQ-rs.  It plays the role that
+//! the VATA library plays in the AutoQ paper: it stores sets of full binary
+//! trees (which encode sets of quantum states, see `autoq-core`), reduces
+//! them, and decides language inclusion/equivalence with witness extraction.
+//!
+//! A tree automaton is a tuple `⟨Q, Σ, Δ, R⟩` (Section 2.2 of the paper):
+//! states `Q`, a ranked alphabet `Σ` of binary symbols `x₁ … xₙ` (one per
+//! qubit, possibly carrying a *tag* used by the composition-based gate
+//! construction) and constant leaf symbols (exact algebraic amplitudes),
+//! transitions `Δ`, and root states `R`.
+//!
+//! # Examples
+//!
+//! Build the automaton of Fig. 1(a) of the paper — the single tree encoding
+//! the 2-qubit basis state `|00⟩` — and check that it accepts exactly that
+//! tree:
+//!
+//! ```
+//! use autoq_amplitude::Algebraic;
+//! use autoq_treeaut::{Tree, TreeAutomaton};
+//!
+//! // |00⟩ as a function {0,1}² → amplitudes
+//! let tree = Tree::from_fn(2, |basis| {
+//!     if basis == 0 { Algebraic::one() } else { Algebraic::zero() }
+//! });
+//! let automaton = TreeAutomaton::from_tree(&tree);
+//! assert!(automaton.accepts(&tree));
+//! assert_eq!(automaton.enumerate(10).len(), 1);
+//! ```
+
+mod automaton;
+pub mod format;
+mod inclusion;
+mod reduce;
+mod state;
+mod symbol;
+mod tree;
+
+pub use automaton::{InternalTransition, LeafTransition, TreeAutomaton};
+pub use inclusion::{equivalence, inclusion, naive_equivalence, EquivalenceResult, InclusionResult};
+pub use state::StateId;
+pub use symbol::{InternalSymbol, Tag};
+pub use tree::Tree;

@@ -1,0 +1,256 @@
+//! Size reduction of tree automata.
+//!
+//! Two reductions are provided, matching the AutoQ paper:
+//!
+//! * **Trimming** — removing states that are not *productive* (cannot derive
+//!   any tree) or not *accessible* (cannot be reached top-down from a root).
+//! * **Successor merging** — the paper's lightweight simulation-based
+//!   reduction (footnote 6): states with exactly the same outgoing
+//!   transitions generate the same tree language, so they can be merged; the
+//!   merge is iterated to a fixpoint.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::{InternalTransition, LeafTransition, StateId, TreeAutomaton};
+
+impl TreeAutomaton {
+    /// Removes useless states and transitions (non-productive or
+    /// inaccessible) and renumbers the remaining states densely.
+    pub fn trim(&self) -> TreeAutomaton {
+        // 1. Productive states: fixed point from the leaves upwards.
+        let mut productive: HashSet<StateId> = self.leaves.iter().map(|t| t.parent).collect();
+        loop {
+            let mut changed = false;
+            for t in &self.internal {
+                if !productive.contains(&t.parent)
+                    && productive.contains(&t.left)
+                    && productive.contains(&t.right)
+                {
+                    productive.insert(t.parent);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // 2. Accessible states: from the roots downwards, only through
+        //    transitions whose children are productive.
+        let mut accessible: HashSet<StateId> =
+            self.roots.iter().copied().filter(|root| productive.contains(root)).collect();
+        let mut worklist: Vec<StateId> = accessible.iter().copied().collect();
+        while let Some(state) = worklist.pop() {
+            for t in self.internal.iter().filter(|t| t.parent == state) {
+                if productive.contains(&t.left) && productive.contains(&t.right) {
+                    for child in [t.left, t.right] {
+                        if accessible.insert(child) {
+                            worklist.push(child);
+                        }
+                    }
+                }
+            }
+        }
+        let keep: HashSet<StateId> = productive.intersection(&accessible).copied().collect();
+        // 3. Renumber.
+        let mut mapping: HashMap<StateId, StateId> = HashMap::new();
+        let mut result = TreeAutomaton::new(self.num_vars);
+        let mut ordered: Vec<StateId> = keep.iter().copied().collect();
+        ordered.sort();
+        for state in ordered {
+            let new_id = result.add_state();
+            mapping.insert(state, new_id);
+        }
+        for &root in &self.roots {
+            if let Some(&mapped) = mapping.get(&root) {
+                result.add_root(mapped);
+            }
+        }
+        for t in &self.internal {
+            if let (Some(&parent), Some(&left), Some(&right)) =
+                (mapping.get(&t.parent), mapping.get(&t.left), mapping.get(&t.right))
+            {
+                result.internal.push(InternalTransition { parent, symbol: t.symbol, left, right });
+            }
+        }
+        for t in &self.leaves {
+            if let Some(&parent) = mapping.get(&t.parent) {
+                result.leaves.push(LeafTransition { parent, value: t.value.clone() });
+            }
+        }
+        result.dedup_transitions();
+        result
+    }
+
+    /// The paper's lightweight reduction: trim, then repeatedly merge states
+    /// that have exactly the same outgoing transitions ("the same
+    /// successors"), which is a sound under-approximation of bottom-up
+    /// bisimulation.
+    pub fn reduce(&self) -> TreeAutomaton {
+        let mut current = self.trim();
+        loop {
+            let (merged, changed) = current.merge_identical_states();
+            current = merged;
+            if !changed {
+                return current;
+            }
+        }
+    }
+
+    /// Merges states with identical outgoing-transition signatures.
+    /// Returns the merged automaton and whether anything changed.
+    fn merge_identical_states(&self) -> (TreeAutomaton, bool) {
+        // Signature: sorted outgoing internal transitions + sorted leaf values,
+        // indexed by parent state in a single pass over the transitions.
+        let mut internal_by_parent: Vec<Vec<String>> = vec![Vec::new(); self.num_states as usize];
+        for t in &self.internal {
+            internal_by_parent[t.parent.index()]
+                .push(format!("{}({},{})", t.symbol, t.left.raw(), t.right.raw()));
+        }
+        let mut leaves_by_parent: Vec<Vec<String>> = vec![Vec::new(); self.num_states as usize];
+        for t in &self.leaves {
+            leaves_by_parent[t.parent.index()].push(format!("[{:?}]", t.value));
+        }
+        let mut signatures: HashMap<String, Vec<StateId>> = HashMap::new();
+        for state_index in 0..self.num_states {
+            let state = StateId::new(state_index);
+            let mut internal_sig = internal_by_parent[state.index()].clone();
+            internal_sig.sort();
+            let mut leaf_sig = leaves_by_parent[state.index()].clone();
+            leaf_sig.sort();
+            let signature = format!("{internal_sig:?}|{leaf_sig:?}");
+            signatures.entry(signature).or_default().push(state);
+        }
+        let mut mapping: HashMap<StateId, StateId> = HashMap::new();
+        let mut changed = false;
+        for group in signatures.values() {
+            let representative = *group.iter().min().unwrap();
+            for &state in group {
+                if state != representative {
+                    changed = true;
+                }
+                mapping.insert(state, representative);
+            }
+        }
+        if !changed {
+            return (self.clone(), false);
+        }
+        let remap = |s: StateId| *mapping.get(&s).unwrap_or(&s);
+        let mut result = TreeAutomaton::new(self.num_vars);
+        result.num_states = self.num_states;
+        for &root in &self.roots {
+            result.roots.insert(remap(root));
+        }
+        for t in &self.internal {
+            result.internal.push(InternalTransition {
+                parent: remap(t.parent),
+                symbol: t.symbol,
+                left: remap(t.left),
+                right: remap(t.right),
+            });
+        }
+        for t in &self.leaves {
+            result.leaves.push(LeafTransition { parent: remap(t.parent), value: t.value.clone() });
+        }
+        result.dedup_transitions();
+        (result.trim(), true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use autoq_amplitude::Algebraic;
+
+    use crate::{InternalSymbol, Tree, TreeAutomaton};
+
+    fn all_basis(n: u32) -> TreeAutomaton {
+        let trees: Vec<Tree> = (0..(1u64 << n)).map(|b| Tree::basis_state(n, b)).collect();
+        TreeAutomaton::from_trees(n, &trees)
+    }
+
+    #[test]
+    fn trim_removes_unreachable_states() {
+        let mut automaton = TreeAutomaton::from_tree(&Tree::basis_state(2, 0));
+        // Add a dangling state with no transitions and an unproductive chain.
+        let dangling = automaton.add_state();
+        let unproductive = automaton.add_state();
+        automaton.add_internal(unproductive, InternalSymbol::new(0), dangling, dangling);
+        let before = automaton.state_count();
+        let trimmed = automaton.trim();
+        assert!(trimmed.state_count() < before);
+        trimmed.validate().unwrap();
+        assert!(trimmed.accepts(&Tree::basis_state(2, 0)));
+        assert_eq!(trimmed.enumerate(10).len(), 1);
+    }
+
+    #[test]
+    fn trim_preserves_language() {
+        let automaton = all_basis(3);
+        let trimmed = automaton.trim();
+        let original: Vec<Tree> = automaton.enumerate(100);
+        for tree in &original {
+            assert!(trimmed.accepts(tree));
+        }
+        assert_eq!(trimmed.enumerate(100).len(), original.len());
+    }
+
+    #[test]
+    fn reduce_merges_identical_subtrees() {
+        // Duplicate an automaton side by side (as the primed-copy gate
+        // constructions do); the successor-merging reduction must collapse
+        // the two copies back into one while preserving the language.
+        let automaton = all_basis(4);
+        let mut redundant = automaton.clone();
+        let offset = redundant.import_disjoint(&automaton);
+        let copied_roots: Vec<_> = automaton.roots.iter().map(|r| r.offset(offset)).collect();
+        for root in copied_roots {
+            redundant.add_root(root);
+        }
+        assert_eq!(redundant.state_count(), 2 * automaton.state_count());
+        let reduced = redundant.reduce();
+        assert!(reduced.state_count() <= automaton.state_count());
+        assert!(reduced.state_count() < redundant.state_count());
+        assert_eq!(reduced.enumerate(100).len(), 16);
+        for b in 0..16u64 {
+            assert!(reduced.accepts(&Tree::basis_state(4, b)));
+        }
+        reduced.validate().unwrap();
+    }
+
+    #[test]
+    fn reduce_is_idempotent() {
+        let automaton = all_basis(3).reduce();
+        let twice = automaton.reduce();
+        assert_eq!(automaton.state_count(), twice.state_count());
+        assert_eq!(automaton.transition_count(), twice.transition_count());
+    }
+
+    #[test]
+    fn reduce_keeps_superposition_amplitudes_distinct() {
+        let bell = Tree::from_fn(2, |b| match b {
+            0 | 3 => Algebraic::one_over_sqrt2(),
+            _ => Algebraic::zero(),
+        });
+        let flipped = Tree::from_fn(2, |b| match b {
+            1 | 2 => Algebraic::one_over_sqrt2(),
+            _ => Algebraic::zero(),
+        });
+        let automaton = TreeAutomaton::from_trees(2, &[bell.clone(), flipped.clone()]);
+        let reduced = automaton.reduce();
+        assert!(reduced.accepts(&bell));
+        assert!(reduced.accepts(&flipped));
+        // The spurious cross-combinations must not be accepted.
+        let wrong = Tree::from_fn(2, |b| match b {
+            0 | 1 => Algebraic::one_over_sqrt2(),
+            _ => Algebraic::zero(),
+        });
+        assert!(!reduced.accepts(&wrong));
+    }
+
+    #[test]
+    fn empty_automaton_trims_to_empty() {
+        let automaton = TreeAutomaton::new(2);
+        let trimmed = automaton.trim();
+        assert_eq!(trimmed.state_count(), 0);
+        assert_eq!(trimmed.enumerate(10).len(), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! State identifiers.
+
+use std::fmt;
+
+/// A state of a [`TreeAutomaton`](crate::TreeAutomaton), represented as a
+/// dense index.
+///
+/// ```
+/// use autoq_treeaut::StateId;
+/// let q = StateId::new(3);
+/// assert_eq!(q.index(), 3);
+/// assert_eq!(q.to_string(), "q3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(u32);
+
+impl StateId {
+    /// Creates a state id from a raw index.
+    pub fn new(index: u32) -> Self {
+        StateId(index)
+    }
+
+    /// Returns the raw index as a `usize` (for table lookups).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw index.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the state shifted by `offset` (used when merging automata
+    /// with disjoint state spaces).
+    pub fn offset(self, offset: u32) -> StateId {
+        StateId(self.0 + offset)
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl fmt::Debug for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u32> for StateId {
+    fn from(value: u32) -> Self {
+        StateId(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_id_basics() {
+        let q = StateId::new(7);
+        assert_eq!(q.index(), 7);
+        assert_eq!(q.raw(), 7);
+        assert_eq!(q.offset(3), StateId::new(10));
+        assert_eq!(format!("{q:?}"), "q7");
+        assert!(StateId::new(1) < StateId::new(2));
+        assert_eq!(StateId::from(4u32), StateId::new(4));
+    }
+}

@@ -1,0 +1,304 @@
+//! Full binary trees encoding individual quantum states.
+//!
+//! A full binary tree of height `n` encodes a function `{0,1}ⁿ → amplitudes`
+//! (Section 3 of the AutoQ paper): following the left child of the layer-`t`
+//! node corresponds to qubit `t` being `0`, the right child to `1`, and the
+//! leaf at the end of a branch carries the amplitude of that computational
+//! basis state.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use autoq_amplitude::Algebraic;
+
+/// A ground term over the binary/leaf alphabet: either a leaf carrying an
+/// exact amplitude, or an internal node labelled with a qubit variable.
+///
+/// # Examples
+///
+/// ```
+/// use autoq_amplitude::Algebraic;
+/// use autoq_treeaut::Tree;
+///
+/// // The Bell state (|00⟩ + |11⟩)/√2 over two qubits.
+/// let bell = Tree::from_fn(2, |basis| match basis {
+///     0b00 | 0b11 => Algebraic::one_over_sqrt2(),
+///     _ => Algebraic::zero(),
+/// });
+/// assert_eq!(bell.num_qubits(), 2);
+/// assert_eq!(bell.amplitude(0b11), Algebraic::one_over_sqrt2());
+/// assert_eq!(bell.amplitude(0b01), Algebraic::zero());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Tree {
+    /// A leaf carrying an amplitude.
+    Leaf(Algebraic),
+    /// An internal node for qubit variable `var` (0-based, root = 0).
+    Node {
+        /// Qubit variable index.
+        var: u32,
+        /// Subtree for the qubit value `0`.
+        left: Box<Tree>,
+        /// Subtree for the qubit value `1`.
+        right: Box<Tree>,
+    },
+}
+
+impl Tree {
+    /// Builds the full binary tree of height `num_qubits` whose leaf for the
+    /// computational basis state `b` (MSBF encoding: qubit 0 is the most
+    /// significant bit) is `f(b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is larger than 63 (the basis index would not
+    /// fit in a `u64`).
+    pub fn from_fn(num_qubits: u32, f: impl Fn(u64) -> Algebraic) -> Tree {
+        assert!(num_qubits < 64, "at most 63 qubits supported by Tree::from_fn");
+        Self::from_fn_rec(num_qubits, 0, 0, &f)
+    }
+
+    fn from_fn_rec(num_qubits: u32, var: u32, prefix: u64, f: &impl Fn(u64) -> Algebraic) -> Tree {
+        if var == num_qubits {
+            Tree::Leaf(f(prefix))
+        } else {
+            Tree::Node {
+                var,
+                left: Box::new(Self::from_fn_rec(num_qubits, var + 1, prefix << 1, f)),
+                right: Box::new(Self::from_fn_rec(num_qubits, var + 1, (prefix << 1) | 1, f)),
+            }
+        }
+    }
+
+    /// Builds the tree of a single computational basis state `|basis⟩`.
+    ///
+    /// ```
+    /// # use autoq_treeaut::Tree;
+    /// # use autoq_amplitude::Algebraic;
+    /// let t = Tree::basis_state(3, 0b101);
+    /// assert_eq!(t.amplitude(0b101), Algebraic::one());
+    /// assert_eq!(t.amplitude(0b100), Algebraic::zero());
+    /// ```
+    pub fn basis_state(num_qubits: u32, basis: u64) -> Tree {
+        Tree::from_fn(num_qubits, |b| if b == basis { Algebraic::one() } else { Algebraic::zero() })
+    }
+
+    /// Number of qubits (the height of the tree).
+    pub fn num_qubits(&self) -> u32 {
+        match self {
+            Tree::Leaf(_) => 0,
+            Tree::Node { left, .. } => 1 + left.num_qubits(),
+        }
+    }
+
+    /// Returns `true` if the tree is a full binary tree whose layer-`t`
+    /// nodes are all labelled with variable `t`.
+    pub fn is_well_formed(&self) -> bool {
+        fn check(tree: &Tree, depth: u32, height: u32) -> bool {
+            match tree {
+                Tree::Leaf(_) => depth == height,
+                Tree::Node { var, left, right } => {
+                    *var == depth && check(left, depth + 1, height) && check(right, depth + 1, height)
+                }
+            }
+        }
+        let height = self.num_qubits();
+        check(self, 0, height)
+    }
+
+    /// The amplitude of the computational basis state `basis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `basis` has bits above the tree height.
+    pub fn amplitude(&self, basis: u64) -> Algebraic {
+        let n = self.num_qubits();
+        assert!(n == 64 || basis < (1u64 << n), "basis state out of range");
+        let mut node = self;
+        for level in (0..n).rev() {
+            let bit = (basis >> level) & 1;
+            node = match node {
+                Tree::Node { left, right, .. } => {
+                    if bit == 0 {
+                        left
+                    } else {
+                        right
+                    }
+                }
+                Tree::Leaf(_) => unreachable!("tree shallower than expected"),
+            };
+        }
+        match node {
+            Tree::Leaf(value) => value.clone(),
+            Tree::Node { .. } => panic!("tree deeper than expected"),
+        }
+    }
+
+    /// Converts the tree into an explicit map from basis states to non-zero
+    /// amplitudes.
+    ///
+    /// ```
+    /// # use autoq_treeaut::Tree;
+    /// # use autoq_amplitude::Algebraic;
+    /// let t = Tree::basis_state(2, 0b10);
+    /// let map = t.to_amplitude_map();
+    /// assert_eq!(map.len(), 1);
+    /// assert_eq!(map[&0b10], Algebraic::one());
+    /// ```
+    pub fn to_amplitude_map(&self) -> BTreeMap<u64, Algebraic> {
+        let mut map = BTreeMap::new();
+        self.collect_amplitudes(0, &mut map);
+        map
+    }
+
+    fn collect_amplitudes(&self, prefix: u64, map: &mut BTreeMap<u64, Algebraic>) {
+        match self {
+            Tree::Leaf(value) => {
+                if !value.is_zero() {
+                    map.insert(prefix, value.clone());
+                }
+            }
+            Tree::Node { left, right, .. } => {
+                left.collect_amplitudes(prefix << 1, map);
+                right.collect_amplitudes((prefix << 1) | 1, map);
+            }
+        }
+    }
+
+    /// Converts the tree into a dense state vector of length `2^n`, indexed
+    /// by basis state.
+    pub fn to_state_vector(&self) -> Vec<Algebraic> {
+        let n = self.num_qubits();
+        let mut vector = vec![Algebraic::zero(); 1usize << n];
+        for (basis, amp) in self.to_amplitude_map() {
+            vector[basis as usize] = amp;
+        }
+        vector
+    }
+
+    /// Renders the tree as a Dirac-notation superposition, e.g.
+    /// `(1/√2^1)|00⟩ + (1/√2^1)|11⟩`.
+    pub fn to_dirac(&self) -> String {
+        let n = self.num_qubits();
+        let map = self.to_amplitude_map();
+        if map.is_empty() {
+            return "0".to_string();
+        }
+        map.iter()
+            .map(|(basis, amp)| format!("({amp})|{:0width$b}⟩", basis, width = n as usize))
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+}
+
+impl fmt::Debug for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tree::Leaf(value) => write!(f, "{value}"),
+            Tree::Node { var, left, right } => write!(f, "x{var}({left:?}, {right:?})"),
+        }
+    }
+}
+
+impl fmt::Display for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_dirac())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_state_tree_has_single_one_leaf() {
+        let tree = Tree::basis_state(3, 0b010);
+        assert!(tree.is_well_formed());
+        assert_eq!(tree.num_qubits(), 3);
+        let map = tree.to_amplitude_map();
+        assert_eq!(map.len(), 1);
+        assert_eq!(map[&0b010], Algebraic::one());
+        for basis in 0..8u64 {
+            let expected = if basis == 0b010 { Algebraic::one() } else { Algebraic::zero() };
+            assert_eq!(tree.amplitude(basis), expected);
+        }
+    }
+
+    #[test]
+    fn from_fn_matches_eq4_of_the_paper() {
+        // Eq. (4): x1(x2(x3(1,0), x3(0,0)), x2(x3(0,0), x3(0,0))) encodes T(000)=1.
+        let tree = Tree::basis_state(3, 0);
+        match &tree {
+            Tree::Node { var, left, .. } => {
+                assert_eq!(*var, 0);
+                match left.as_ref() {
+                    Tree::Node { var, .. } => assert_eq!(*var, 1),
+                    _ => panic!("expected internal node"),
+                }
+            }
+            _ => panic!("expected internal node"),
+        }
+        assert_eq!(tree.to_dirac(), "(1)|000⟩");
+    }
+
+    #[test]
+    fn state_vector_round_trip() {
+        let bell = Tree::from_fn(2, |b| match b {
+            0 | 3 => Algebraic::one_over_sqrt2(),
+            _ => Algebraic::zero(),
+        });
+        let vec = bell.to_state_vector();
+        assert_eq!(vec.len(), 4);
+        assert_eq!(vec[0], Algebraic::one_over_sqrt2());
+        assert_eq!(vec[1], Algebraic::zero());
+        assert_eq!(vec[3], Algebraic::one_over_sqrt2());
+    }
+
+    #[test]
+    fn zero_qubit_tree_is_a_single_leaf() {
+        let tree = Tree::from_fn(0, |_| Algebraic::one());
+        assert_eq!(tree.num_qubits(), 0);
+        assert!(tree.is_well_formed());
+        assert_eq!(tree.amplitude(0), Algebraic::one());
+    }
+
+    #[test]
+    fn ill_formed_trees_are_detected() {
+        let bad = Tree::Node {
+            var: 0,
+            left: Box::new(Tree::Leaf(Algebraic::zero())),
+            right: Box::new(Tree::Node {
+                var: 1,
+                left: Box::new(Tree::Leaf(Algebraic::zero())),
+                right: Box::new(Tree::Leaf(Algebraic::one())),
+            }),
+        };
+        assert!(!bad.is_well_formed());
+        let bad_var = Tree::Node {
+            var: 3,
+            left: Box::new(Tree::Leaf(Algebraic::zero())),
+            right: Box::new(Tree::Leaf(Algebraic::one())),
+        };
+        assert!(!bad_var.is_well_formed());
+    }
+
+    #[test]
+    fn dirac_rendering_of_superpositions() {
+        let tree = Tree::from_fn(2, |b| match b {
+            0 => Algebraic::one_over_sqrt2(),
+            3 => -&Algebraic::one_over_sqrt2(),
+            _ => Algebraic::zero(),
+        });
+        let dirac = tree.to_dirac();
+        assert!(dirac.contains("|00⟩"));
+        assert!(dirac.contains("|11⟩"));
+        let zero = Tree::from_fn(1, |_| Algebraic::zero());
+        assert_eq!(zero.to_dirac(), "0");
+    }
+
+    #[test]
+    fn debug_rendering_is_term_like() {
+        let tree = Tree::basis_state(1, 1);
+        assert_eq!(format!("{tree:?}"), "x0(0, 1)");
+    }
+}

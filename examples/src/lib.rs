@@ -1,0 +1,1 @@
+//! Shared helpers for the runnable examples (see the `examples/` targets).

@@ -1,0 +1,77 @@
+//! Cross-validation of the automata engine against the exact simulators on
+//! randomly generated circuits — the implementation-level counterpart of the
+//! paper's Theorems 4.1, 5.1–5.3 and Corollary 6.13.
+
+use autoq_circuit::generators::{random_circuit, RandomCircuitConfig};
+use autoq_core::{Engine, StateSet};
+use autoq_simulator::{DenseState, SparseState};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Applies a random circuit to a random basis state with the Hybrid engine,
+/// the Composition engine, the dense simulator and the sparse simulator, and
+/// requires exact agreement.
+fn check_all_backends(num_qubits: u32, num_gates: usize, seed: u64, basis: u64) {
+    let config = RandomCircuitConfig { num_qubits, num_gates, include_superposing_gates: true };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let circuit = random_circuit(&config, &mut rng);
+
+    let dense = DenseState::run(&circuit, basis).to_amplitude_map();
+    let sparse: std::collections::BTreeMap<u64, _> = SparseState::run(&circuit, basis as u128)
+        .to_amplitude_map()
+        .iter()
+        .map(|(&b, a)| (b as u64, a.clone()))
+        .collect();
+    assert_eq!(dense, sparse, "dense and sparse simulators disagree (seed {seed})");
+
+    let input = StateSet::basis_state(num_qubits, basis);
+    for engine in [Engine::hybrid(), Engine::composition()] {
+        let output = engine.apply_circuit(&input, &circuit);
+        let states = output.states(4);
+        assert_eq!(states.len(), 1, "engine {engine:?} lost the singleton property (seed {seed})");
+        assert_eq!(states[0], dense, "engine {engine:?} disagrees with the simulator (seed {seed})");
+    }
+}
+
+#[test]
+fn engines_match_simulators_on_a_sweep_of_random_circuits() {
+    for seed in 0..12u64 {
+        let num_qubits = 3 + (seed % 3) as u32;
+        let basis = seed % (1 << num_qubits);
+        check_all_backends(num_qubits, 3 * num_qubits as usize, seed, basis);
+    }
+}
+
+#[test]
+fn engines_match_simulators_on_deeper_circuits() {
+    check_all_backends(4, 30, 1001, 0b1010);
+    check_all_backends(5, 25, 1002, 0b00111);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property-based version of the cross-validation: the tree-automata
+    /// engine is an exact implementation of the circuit semantics.
+    #[test]
+    fn engine_equals_simulator_on_random_circuits(
+        seed in 0u64..10_000,
+        num_qubits in 3u32..5,
+        basis in 0u64..8,
+    ) {
+        check_all_backends(num_qubits, 2 * num_qubits as usize, seed, basis % (1 << num_qubits));
+    }
+
+    /// Applying a circuit and then its dagger with the automata engine
+    /// returns exactly the input state set.
+    #[test]
+    fn circuit_then_dagger_is_identity(seed in 0u64..10_000, basis in 0u64..8) {
+        let config = RandomCircuitConfig { num_qubits: 3, num_gates: 8, include_superposing_gates: true };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let circuit = random_circuit(&config, &mut rng);
+        let round_trip = circuit.then_inverse_of(&circuit);
+        let input = StateSet::basis_state(3, basis % 8);
+        let output = Engine::hybrid().apply_circuit(&input, &round_trip);
+        prop_assert_eq!(output.states(4), input.states(4));
+    }
+}
