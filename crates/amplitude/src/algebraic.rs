@@ -101,7 +101,13 @@ impl Algebraic {
 
     /// The integer amplitude `n`.
     pub fn from_int(n: i64) -> Self {
-        Algebraic::new(BigInt::from(n), BigInt::zero(), BigInt::zero(), BigInt::zero(), 0)
+        Algebraic::new(
+            BigInt::from(n),
+            BigInt::zero(),
+            BigInt::zero(),
+            BigInt::zero(),
+            0,
+        )
     }
 
     /// Builds an amplitude from small-integer components `(a, b, c, d, k)`.
@@ -112,7 +118,13 @@ impl Algebraic {
     /// assert_eq!(Algebraic::from_components(2, 0, 0, 0, 2), Algebraic::one());
     /// ```
     pub fn from_components(a: i64, b: i64, c: i64, d: i64, k: u64) -> Self {
-        Algebraic::new(BigInt::from(a), BigInt::from(b), BigInt::from(c), BigInt::from(d), k)
+        Algebraic::new(
+            BigInt::from(a),
+            BigInt::from(b),
+            BigInt::from(c),
+            BigInt::from(d),
+            k,
+        )
     }
 
     /// Builds an amplitude from arbitrary-precision components and
@@ -187,7 +199,13 @@ impl Algebraic {
         if self.is_zero() {
             return Algebraic::zero();
         }
-        Algebraic::new(self.a.clone(), self.b.clone(), self.c.clone(), self.d.clone(), self.k + 1)
+        Algebraic::new(
+            self.a.clone(),
+            self.b.clone(),
+            self.c.clone(),
+            self.d.clone(),
+            self.k + 1,
+        )
     }
 
     /// Multiplies by `√2` exactly.
@@ -198,7 +216,13 @@ impl Algebraic {
     /// ```
     pub fn mul_sqrt2(&self) -> Algebraic {
         if self.k >= 1 {
-            Algebraic::new(self.a.clone(), self.b.clone(), self.c.clone(), self.d.clone(), self.k - 1)
+            Algebraic::new(
+                self.a.clone(),
+                self.b.clone(),
+                self.c.clone(),
+                self.d.clone(),
+                self.k - 1,
+            )
         } else {
             let (a, b, c, d) = mul_sqrt2_coeffs(&self.a, &self.b, &self.c, &self.d);
             Algebraic::new(a, b, c, d, 0)
@@ -208,7 +232,13 @@ impl Algebraic {
     /// Multiplies by an integer scalar.
     pub fn scale_int(&self, n: i64) -> Algebraic {
         let factor = BigInt::from(n);
-        Algebraic::new(&self.a * &factor, &self.b * &factor, &self.c * &factor, &self.d * &factor, self.k)
+        Algebraic::new(
+            &self.a * &factor,
+            &self.b * &factor,
+            &self.c * &factor,
+            &self.d * &factor,
+            self.k,
+        )
     }
 
     /// Complex conjugate (`ω ↦ ω⁻¹ = −ω³`).
@@ -232,7 +262,10 @@ impl Algebraic {
         let re = a + (b - d) * inv_sqrt2;
         let im = c + (b + d) * inv_sqrt2;
         let scale = inv_sqrt2.powi(self.k.min(i32::MAX as u64) as i32);
-        ComplexF64 { re: re * scale, im: im * scale }
+        ComplexF64 {
+            re: re * scale,
+            im: im * scale,
+        }
     }
 
     /// Squared modulus as a floating-point number (the measurement
@@ -324,7 +357,12 @@ impl fmt::Display for Algebraic {
             return write!(f, "0");
         }
         let mut terms = Vec::new();
-        for (coeff, suffix) in [(&self.a, ""), (&self.b, "ω"), (&self.c, "ω²"), (&self.d, "ω³")] {
+        for (coeff, suffix) in [
+            (&self.a, ""),
+            (&self.b, "ω"),
+            (&self.c, "ω²"),
+            (&self.d, "ω³"),
+        ] {
             if coeff.is_zero() {
                 continue;
             }
@@ -351,7 +389,11 @@ impl fmt::Display for Algebraic {
 
 impl fmt::Debug for Algebraic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Algebraic({}, {}, {}, {}; k={})", self.a, self.b, self.c, self.d, self.k)
+        write!(
+            f,
+            "Algebraic({}, {}, {}, {}; k={})",
+            self.a, self.b, self.c, self.d, self.k
+        )
     }
 }
 
@@ -441,7 +483,10 @@ mod tests {
         let i = Algebraic::i().to_complex();
         assert!(i.re.abs() < 1e-12);
         assert!((i.im - 1.0).abs() < 1e-12);
-        assert_eq!(Algebraic::zero().to_complex(), ComplexF64 { re: 0.0, im: 0.0 });
+        assert_eq!(
+            Algebraic::zero().to_complex(),
+            ComplexF64 { re: 0.0, im: 0.0 }
+        );
     }
 
     #[test]
@@ -466,7 +511,10 @@ mod tests {
         assert_eq!(Algebraic::one().to_string(), "1");
         assert_eq!(Algebraic::omega().to_string(), "ω");
         assert_eq!(Algebraic::one_over_sqrt2().to_string(), "1/√2^1");
-        assert_eq!(Algebraic::from_components(1, 0, -1, 0, 0).to_string(), "1 - ω²");
+        assert_eq!(
+            Algebraic::from_components(1, 0, -1, 0, 0).to_string(),
+            "1 - ω²"
+        );
     }
 
     #[test]

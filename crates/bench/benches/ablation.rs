@@ -51,10 +51,19 @@ fn bench_dense_vs_sparse_simulation(c: &mut Criterion) {
     group.sample_size(10);
     let hidden: Vec<bool> = (0..14).map(|i| i % 2 == 0).collect();
     let circuit = bernstein_vazirani(&hidden);
-    group.bench_function("dense", |b| b.iter(|| black_box(DenseState::run(&circuit, 0))));
-    group.bench_function("sparse", |b| b.iter(|| black_box(SparseState::run(&circuit, 0))));
+    group.bench_function("dense", |b| {
+        b.iter(|| black_box(DenseState::run(&circuit, 0)))
+    });
+    group.bench_function("sparse", |b| {
+        b.iter(|| black_box(SparseState::run(&circuit, 0)))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_hybrid_vs_composition, bench_reduction_policy, bench_dense_vs_sparse_simulation);
+criterion_group!(
+    benches,
+    bench_hybrid_vs_composition,
+    bench_reduction_policy,
+    bench_dense_vs_sparse_simulation
+);
 criterion_main!(benches);

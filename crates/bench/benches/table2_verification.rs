@@ -67,9 +67,16 @@ fn bench_full_rows(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("bv/n12", |b| b.iter(|| black_box(bv_row(12))));
     group.bench_function("mctoffoli/m4", |b| b.iter(|| black_box(mc_toffoli_row(4))));
-    group.bench_function("grover-single/m2", |b| b.iter(|| black_box(grover_single_row(2, Some(1)))));
+    group.bench_function("grover-single/m2", |b| {
+        b.iter(|| black_box(grover_single_row(2, Some(1))))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_bv_verification, bench_mc_toffoli_verification, bench_full_rows);
+criterion_group!(
+    benches,
+    bench_bv_verification,
+    bench_mc_toffoli_verification,
+    bench_full_rows
+);
 criterion_main!(benches);

@@ -1,7 +1,9 @@
 //! Criterion benchmarks for the Table 3 workloads (bug finding on mutated
 //! circuits): AutoQ's hunter versus the path-sum and stimuli baselines.
 
-use autoq_circuit::generators::{gf2_multiplier, random_circuit, ripple_carry_adder, RandomCircuitConfig};
+use autoq_circuit::generators::{
+    gf2_multiplier, random_circuit, ripple_carry_adder, RandomCircuitConfig,
+};
 use autoq_circuit::mutation::inject_random_gate;
 use autoq_core::{BugHunter, Engine};
 use autoq_equivcheck::pathsum;
@@ -30,7 +32,12 @@ fn bench_bug_finding_reversible(c: &mut Criterion) {
     group.bench_function("stimuli", |b| {
         b.iter(|| {
             let mut stim_rng = StdRng::seed_from_u64(6);
-            black_box(check_with_stimuli(&circuit, &buggy, &StimuliConfig::default(), &mut stim_rng))
+            black_box(check_with_stimuli(
+                &circuit,
+                &buggy,
+                &StimuliConfig::default(),
+                &mut stim_rng,
+            ))
         })
     });
     group.finish();
@@ -56,7 +63,12 @@ fn bench_bug_finding_random(c: &mut Criterion) {
     group.bench_function("stimuli", |b| {
         b.iter(|| {
             let mut stim_rng = StdRng::seed_from_u64(3);
-            black_box(check_with_stimuli(&circuit, &buggy, &StimuliConfig::default(), &mut stim_rng))
+            black_box(check_with_stimuli(
+                &circuit,
+                &buggy,
+                &StimuliConfig::default(),
+                &mut stim_rng,
+            ))
         })
     });
     group.finish();

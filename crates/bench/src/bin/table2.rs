@@ -12,9 +12,17 @@ use autoq_bench::table2::{bv_row, grover_all_row, grover_single_row, mc_toffoli_
 fn main() {
     let large = std::env::args().any(|arg| arg == "--large");
 
-    let bv_sizes: Vec<u32> = if large { vec![20, 40, 60, 80, 95] } else { vec![8, 12, 16, 20] };
+    let bv_sizes: Vec<u32> = if large {
+        vec![20, 40, 60, 80, 95]
+    } else {
+        vec![8, 12, 16, 20]
+    };
     let grover_single_sizes: Vec<u32> = if large { vec![2, 3, 4, 5] } else { vec![2, 3] };
-    let mct_sizes: Vec<u32> = if large { vec![4, 6, 8, 10, 12] } else { vec![3, 4, 5, 6] };
+    let mct_sizes: Vec<u32> = if large {
+        vec![4, 6, 8, 10, 12]
+    } else {
+        vec![3, 4, 5, 6]
+    };
     let grover_all_sizes: Vec<u32> = if large { vec![2, 3, 4] } else { vec![2, 3] };
 
     println!("# Table 2 — verification against pre- and post-conditions");
@@ -45,7 +53,10 @@ fn main() {
         .iter()
         .filter(|r| r.hybrid_analysis > r.composition_analysis)
         .count();
-    println!("Rows: {} | specification violations: {violations}", rows.len());
+    println!(
+        "Rows: {} | specification violations: {violations}",
+        rows.len()
+    );
     println!(
         "Rows where Hybrid was slower than Composition: {hybrid_never_slower} (the paper reports Hybrid is consistently faster)"
     );

@@ -20,8 +20,14 @@ fn main() {
 
     println!();
     let autoq_found = rows.iter().filter(|r| r.autoq_found).count();
-    let pathsum_found = rows.iter().filter(|r| r.pathsum_verdict.caught_bug()).count();
-    let stimuli_found = rows.iter().filter(|r| r.stimuli_verdict.caught_bug()).count();
+    let pathsum_found = rows
+        .iter()
+        .filter(|r| r.pathsum_verdict.caught_bug())
+        .count();
+    let stimuli_found = rows
+        .iter()
+        .filter(|r| r.stimuli_verdict.caught_bug())
+        .count();
     println!(
         "Bugs found — AutoQ: {autoq_found}/{} | path-sum: {pathsum_found}/{} | stimuli: {stimuli_found}/{}",
         rows.len(),

@@ -96,9 +96,11 @@ pub fn run_row(
     let (hybrid_outcome, hybrid_check) =
         timed(|| autoq_core::verify::compare_with_post(&hybrid_output, post, SpecMode::Equality));
 
-    let (composition_output, composition_analysis) = timed(|| composition.apply_circuit(pre, circuit));
-    let (_, composition_check) =
-        timed(|| autoq_core::verify::compare_with_post(&composition_output, post, SpecMode::Equality));
+    let (composition_output, composition_analysis) =
+        timed(|| composition.apply_circuit(pre, circuit));
+    let (_, composition_check) = timed(|| {
+        autoq_core::verify::compare_with_post(&composition_output, post, SpecMode::Equality)
+    });
 
     // Simulator baseline: run every pre-condition state through the dense
     // simulator (the paper accumulates per-state simulation times).
@@ -116,7 +118,10 @@ pub fn run_row(
         qubits: circuit.num_qubits(),
         gates: circuit.gate_count(),
         before: (pre.state_count(), pre.transition_count()),
-        after: (hybrid_output.state_count(), hybrid_output.transition_count()),
+        after: (
+            hybrid_output.state_count(),
+            hybrid_output.transition_count(),
+        ),
         hybrid_analysis,
         hybrid_check,
         composition_analysis,
@@ -167,10 +172,15 @@ pub fn grover_all_row(m: u32, iterations: Option<u32>) -> Table2Row {
     let (circuit, layout) = grover_all(m, iterations);
     let n = circuit.num_qubits();
     let pre = grover_all_pre(&layout, n);
-    let inputs: Vec<u64> =
-        pre.states(1 << m).iter().map(|map| *map.keys().next().expect("basis state")).collect();
-    let reference: Vec<BTreeMap<u64, Algebraic>> =
-        inputs.iter().map(|&basis| DenseState::run(&circuit, basis).to_amplitude_map()).collect();
+    let inputs: Vec<u64> = pre
+        .states(1 << m)
+        .iter()
+        .map(|map| *map.keys().next().expect("basis state"))
+        .collect();
+    let reference: Vec<BTreeMap<u64, Algebraic>> = inputs
+        .iter()
+        .map(|&basis| DenseState::run(&circuit, basis).to_amplitude_map())
+        .collect();
     let post = StateSet::from_state_maps(n, &reference);
     run_row("Grover-All", m, &circuit, &pre, &post, &inputs)
 }

@@ -103,7 +103,8 @@ pub fn run_row(name: &str, circuit: &Circuit, superposing: bool, seed: u64) -> T
     let mut rng = StdRng::seed_from_u64(seed);
     let (buggy, _bug) = inject_random_gate(circuit, superposing, &mut rng);
 
-    let hunter = BugHunter::new(Engine::hybrid()).with_max_iterations(circuit.num_qubits().min(10) + 1);
+    let hunter =
+        BugHunter::new(Engine::hybrid()).with_max_iterations(circuit.num_qubits().min(10) + 1);
     let mut hunt_rng = StdRng::seed_from_u64(seed ^ 0xabcd);
     let (report, autoq_time) = timed(|| hunter.hunt(circuit, &buggy, &mut hunt_rng));
 
@@ -136,7 +137,11 @@ pub fn default_workload() -> Vec<(String, Circuit, bool)> {
     for (index, qubits) in [8u32, 10, 12].into_iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(1000 + index as u64);
         let circuit = random_circuit(&RandomCircuitConfig::with_paper_ratio(qubits), &mut rng);
-        workload.push((format!("random{qubits}{}", (b'a' + index as u8) as char), circuit, true));
+        workload.push((
+            format!("random{qubits}{}", (b'a' + index as u8) as char),
+            circuit,
+            true,
+        ));
     }
     // RevLib-style reversible arithmetic.
     for bits in [4u32, 6, 8] {
@@ -177,7 +182,10 @@ mod tests {
         for (name, circuit, _) in &workload {
             assert!(!name.is_empty());
             assert!(circuit.gate_count() > 0);
-            assert!(circuit.num_qubits() <= 64, "{name} exceeds the 64-qubit pattern limit");
+            assert!(
+                circuit.num_qubits() <= 64,
+                "{name} exceeds the 64-qubit pattern limit"
+            );
         }
     }
 

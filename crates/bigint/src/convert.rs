@@ -7,7 +7,10 @@ impl From<u64> for BigInt {
         if value == 0 {
             BigInt::zero()
         } else {
-            BigInt { sign: Sign::Positive, limbs: vec![value] }
+            BigInt {
+                sign: Sign::Positive,
+                limbs: vec![value],
+            }
         }
     }
 }
@@ -21,7 +24,11 @@ impl From<u32> for BigInt {
 impl From<u128> for BigInt {
     fn from(value: u128) -> Self {
         BigInt::from_sign_limbs(
-            if value == 0 { Sign::Zero } else { Sign::Positive },
+            if value == 0 {
+                Sign::Zero
+            } else {
+                Sign::Positive
+            },
             vec![value as u64, (value >> 64) as u64],
         )
     }
@@ -45,11 +52,17 @@ impl From<i128> for BigInt {
             0 => BigInt::zero(),
             v if v > 0 => {
                 let unsigned = v as u128;
-                BigInt::from_sign_limbs(Sign::Positive, vec![unsigned as u64, (unsigned >> 64) as u64])
+                BigInt::from_sign_limbs(
+                    Sign::Positive,
+                    vec![unsigned as u64, (unsigned >> 64) as u64],
+                )
             }
             v => {
                 let unsigned = v.unsigned_abs();
-                BigInt::from_sign_limbs(Sign::Negative, vec![unsigned as u64, (unsigned >> 64) as u64])
+                BigInt::from_sign_limbs(
+                    Sign::Negative,
+                    vec![unsigned as u64, (unsigned >> 64) as u64],
+                )
             }
         }
     }
@@ -113,7 +126,15 @@ mod tests {
 
     #[test]
     fn i128_round_trip() {
-        for v in [0i128, 1, -1, i64::MAX as i128 + 1, i128::MAX, i128::MIN, -(1i128 << 90)] {
+        for v in [
+            0i128,
+            1,
+            -1,
+            i64::MAX as i128 + 1,
+            i128::MAX,
+            i128::MIN,
+            -(1i128 << 90),
+        ] {
             assert_eq!(BigInt::from(v).to_i128(), Some(v), "{v}");
         }
     }

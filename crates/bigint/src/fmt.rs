@@ -78,13 +78,15 @@ impl FromStr for BigInt {
             None => (false, s.strip_prefix('+').unwrap_or(s)),
         };
         if digits.is_empty() {
-            return Err(ParseBigIntError { kind: ParseErrorKind::Empty });
+            return Err(ParseBigIntError {
+                kind: ParseErrorKind::Empty,
+            });
         }
         let mut limbs: Vec<u64> = Vec::new();
         for ch in digits.chars() {
-            let digit = ch
-                .to_digit(10)
-                .ok_or(ParseBigIntError { kind: ParseErrorKind::InvalidDigit(ch) })?;
+            let digit = ch.to_digit(10).ok_or(ParseBigIntError {
+                kind: ParseErrorKind::InvalidDigit(ch),
+            })?;
             mag::mul_small_add(&mut limbs, 10, digit as u64);
         }
         let sign = if limbs.is_empty() {
@@ -113,8 +115,14 @@ mod tests {
     fn display_multi_limb_values() {
         let v = BigInt::from(u64::MAX);
         let squared = &v * &v;
-        assert_eq!(squared.to_string(), "340282366920938463426481119284349108225");
-        assert_eq!((-&squared).to_string(), "-340282366920938463426481119284349108225");
+        assert_eq!(
+            squared.to_string(),
+            "340282366920938463426481119284349108225"
+        );
+        assert_eq!(
+            (-&squared).to_string(),
+            "-340282366920938463426481119284349108225"
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl BigInt {
     /// assert!(BigInt::zero().is_zero());
     /// ```
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Zero, limbs: Vec::new() }
+        BigInt {
+            sign: Sign::Zero,
+            limbs: Vec::new(),
+        }
     }
 
     /// Returns the integer one.
@@ -71,7 +74,10 @@ impl BigInt {
     /// assert_eq!(BigInt::one(), BigInt::from(1));
     /// ```
     pub fn one() -> Self {
-        BigInt { sign: Sign::Positive, limbs: vec![1] }
+        BigInt {
+            sign: Sign::Positive,
+            limbs: vec![1],
+        }
     }
 
     /// Constructs a `BigInt` from a sign and little-endian limbs, normalising
@@ -133,7 +139,10 @@ impl BigInt {
     /// ```
     pub fn abs(&self) -> BigInt {
         match self.sign {
-            Sign::Negative => BigInt { sign: Sign::Positive, limbs: self.limbs.clone() },
+            Sign::Negative => BigInt {
+                sign: Sign::Positive,
+                limbs: self.limbs.clone(),
+            },
             _ => self.clone(),
         }
     }
@@ -207,7 +216,7 @@ impl BigInt {
                 let limb = self.limbs[0];
                 match self.sign {
                     Sign::Positive if limb <= i64::MAX as u64 => Some(limb as i64),
-                    Sign::Negative if limb <= i64::MAX as u64 + 1 => Some((limb as i128 * -1) as i64),
+                    Sign::Negative if limb <= i64::MAX as u64 + 1 => Some((-(limb as i128)) as i64),
                     _ => None,
                 }
             }

@@ -33,8 +33,7 @@ pub(crate) fn add(a: &[u64], b: &[u64]) -> Vec<u64> {
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut result = Vec::with_capacity(long.len() + 1);
     let mut carry = 0u64;
-    for i in 0..long.len() {
-        let x = long[i];
+    for (i, &x) in long.iter().enumerate() {
         let y = short.get(i).copied().unwrap_or(0);
         let (sum1, c1) = x.overflowing_add(y);
         let (sum2, c2) = sum1.overflowing_add(carry);
@@ -53,11 +52,13 @@ pub(crate) fn add(a: &[u64], b: &[u64]) -> Vec<u64> {
 ///
 /// Panics (in debug builds) if `a < b`; callers must ensure `a >= b`.
 pub(crate) fn sub(a: &[u64], b: &[u64]) -> Vec<u64> {
-    debug_assert!(cmp(a, b) != Ordering::Less, "magnitude subtraction underflow");
+    debug_assert!(
+        cmp(a, b) != Ordering::Less,
+        "magnitude subtraction underflow"
+    );
     let mut result = Vec::with_capacity(a.len());
     let mut borrow = 0u64;
-    for i in 0..a.len() {
-        let x = a[i];
+    for (i, &x) in a.iter().enumerate() {
         let y = b.get(i).copied().unwrap_or(0);
         let (d1, b1) = x.overflowing_sub(y);
         let (d2, b2) = d1.overflowing_sub(borrow);

@@ -103,7 +103,7 @@ impl Mul for &BigInt {
     type Output = BigInt;
 
     fn mul(self, rhs: &BigInt) -> BigInt {
-        let sign = self.sign.mul(rhs.sign);
+        let sign = self.sign * rhs.sign;
         if sign == Sign::Zero {
             return BigInt::zero();
         }
@@ -143,7 +143,10 @@ impl Neg for &BigInt {
     type Output = BigInt;
 
     fn neg(self) -> BigInt {
-        BigInt { sign: -self.sign, limbs: self.limbs.clone() }
+        BigInt {
+            sign: -self.sign,
+            limbs: self.limbs.clone(),
+        }
     }
 }
 
@@ -236,8 +239,16 @@ mod tests {
 
     #[test]
     fn subtraction_covers_all_sign_combinations() {
-        let cases: [(i128, i128); 8] =
-            [(0, 0), (5, 0), (0, 5), (3, 4), (-3, -4), (10, -4), (-10, 4), (4, 10)];
+        let cases: [(i128, i128); 8] = [
+            (0, 0),
+            (5, 0),
+            (0, 5),
+            (3, 4),
+            (-3, -4),
+            (10, -4),
+            (-10, 4),
+            (4, 10),
+        ];
         for (x, y) in cases {
             assert_eq!(&big(x) - &big(y), big(x - y), "{x} - {y}");
         }
@@ -245,8 +256,15 @@ mod tests {
 
     #[test]
     fn multiplication_signs_and_magnitudes() {
-        let cases: [(i128, i128); 7] =
-            [(0, 7), (7, 0), (3, 4), (-3, 4), (3, -4), (-3, -4), (1 << 40, 1 << 40)];
+        let cases: [(i128, i128); 7] = [
+            (0, 7),
+            (7, 0),
+            (3, 4),
+            (-3, 4),
+            (3, -4),
+            (-3, -4),
+            (1 << 40, 1 << 40),
+        ];
         for (x, y) in cases {
             assert_eq!(&big(x) * &big(y), big(x * y), "{x} * {y}");
         }

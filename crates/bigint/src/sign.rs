@@ -1,6 +1,6 @@
 //! The sign of a [`BigInt`](crate::BigInt).
 
-use std::ops::Neg;
+use std::ops::{Mul, Neg};
 
 /// Sign of an arbitrary-precision integer.
 ///
@@ -20,22 +20,26 @@ pub enum Sign {
     Positive,
 }
 
-impl Sign {
-    /// Returns the product sign of two signs.
-    ///
-    /// ```
-    /// use autoq_bigint::Sign;
-    /// assert_eq!(Sign::Negative.mul(Sign::Negative), Sign::Positive);
-    /// assert_eq!(Sign::Negative.mul(Sign::Zero), Sign::Zero);
-    /// ```
-    pub fn mul(self, other: Sign) -> Sign {
+/// The product sign of two signs.
+///
+/// ```
+/// use autoq_bigint::Sign;
+/// assert_eq!(Sign::Negative * Sign::Negative, Sign::Positive);
+/// assert_eq!(Sign::Negative * Sign::Zero, Sign::Zero);
+/// ```
+impl Mul for Sign {
+    type Output = Sign;
+
+    fn mul(self, other: Sign) -> Sign {
         match (self, other) {
             (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
             (a, b) if a == b => Sign::Positive,
             _ => Sign::Negative,
         }
     }
+}
 
+impl Sign {
     /// Returns `1`, `0` or `-1`.
     pub fn to_i32(self) -> i32 {
         match self {
@@ -65,13 +69,13 @@ mod tests {
     #[test]
     fn sign_multiplication_table() {
         use Sign::*;
-        assert_eq!(Positive.mul(Positive), Positive);
-        assert_eq!(Positive.mul(Negative), Negative);
-        assert_eq!(Negative.mul(Positive), Negative);
-        assert_eq!(Negative.mul(Negative), Positive);
+        assert_eq!(Positive * Positive, Positive);
+        assert_eq!(Positive * Negative, Negative);
+        assert_eq!(Negative * Positive, Negative);
+        assert_eq!(Negative * Negative, Positive);
         for s in [Negative, Zero, Positive] {
-            assert_eq!(s.mul(Zero), Zero);
-            assert_eq!(Zero.mul(s), Zero);
+            assert_eq!(s * Zero, Zero);
+            assert_eq!(Zero * s, Zero);
         }
     }
 

@@ -35,7 +35,10 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for a {num_qubits}-qubit circuit")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for a {num_qubits}-qubit circuit"
+                )
             }
             CircuitError::DuplicateQubit { qubit } => {
                 write!(f, "gate uses qubit {qubit} more than once")
@@ -68,7 +71,10 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit over `num_qubits` qubits.
     pub fn new(num_qubits: u32) -> Self {
-        Circuit { num_qubits, gates: Vec::new() }
+        Circuit {
+            num_qubits,
+            gates: Vec::new(),
+        }
     }
 
     /// Builds a circuit from a gate list, validating every gate.
@@ -76,7 +82,10 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns the first validation error encountered.
-    pub fn from_gates(num_qubits: u32, gates: impl IntoIterator<Item = Gate>) -> Result<Self, CircuitError> {
+    pub fn from_gates(
+        num_qubits: u32,
+        gates: impl IntoIterator<Item = Gate>,
+    ) -> Result<Self, CircuitError> {
         let mut circuit = Circuit::new(num_qubits);
         for gate in gates {
             circuit.push(gate)?;
@@ -94,7 +103,10 @@ impl Circuit {
         let qubits = gate.qubits();
         for &q in &qubits {
             if q >= self.num_qubits {
-                return Err(CircuitError::QubitOutOfRange { qubit: q, num_qubits: self.num_qubits });
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
             }
         }
         for (i, &q) in qubits.iter().enumerate() {
@@ -183,7 +195,10 @@ impl Circuit {
     /// Number of `T`/`T†` gates (a common cost measure for Clifford+T
     /// circuits).
     pub fn t_like_count(&self) -> usize {
-        self.gates.iter().filter(|g| matches!(g, Gate::T(_) | Gate::Tdg(_))).count()
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::T(_) | Gate::Tdg(_)))
+            .count()
     }
 
     /// Number of gates that are not in the Clifford group.
@@ -202,7 +217,13 @@ impl Circuit {
         let mut layer_of_qubit = vec![0usize; self.num_qubits as usize];
         let mut depth = 0;
         for gate in &self.gates {
-            let layer = gate.qubits().iter().map(|&q| layer_of_qubit[q as usize]).max().unwrap_or(0) + 1;
+            let layer = gate
+                .qubits()
+                .iter()
+                .map(|&q| layer_of_qubit[q as usize])
+                .max()
+                .unwrap_or(0)
+                + 1;
             for q in gate.qubits() {
                 layer_of_qubit[q as usize] = layer;
             }
@@ -219,7 +240,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit on {} qubits, {} gates:", self.num_qubits, self.gates.len())?;
+        writeln!(
+            f,
+            "circuit on {} qubits, {} gates:",
+            self.num_qubits,
+            self.gates.len()
+        )?;
         for gate in &self.gates {
             writeln!(f, "  {gate};")?;
         }
@@ -241,7 +267,17 @@ mod tests {
     use super::*;
 
     fn epr() -> Circuit {
-        Circuit::from_gates(2, [Gate::H(0), Gate::Cnot { control: 0, target: 1 }]).unwrap()
+        Circuit::from_gates(
+            2,
+            [
+                Gate::H(0),
+                Gate::Cnot {
+                    control: 0,
+                    target: 1,
+                },
+            ],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -259,10 +295,18 @@ mod tests {
     fn validation_rejects_bad_gates() {
         let mut circuit = Circuit::new(2);
         assert!(circuit.push(Gate::X(2)).is_err());
-        assert!(circuit.push(Gate::Toffoli { controls: [0, 0], target: 1 }).is_err());
+        assert!(circuit
+            .push(Gate::Toffoli {
+                controls: [0, 0],
+                target: 1
+            })
+            .is_err());
         assert!(circuit.push(Gate::Swap(1, 1)).is_err());
         assert_eq!(circuit.gate_count(), 0);
-        let err = CircuitError::QubitOutOfRange { qubit: 9, num_qubits: 2 };
+        let err = CircuitError::QubitOutOfRange {
+            qubit: 9,
+            num_qubits: 2,
+        };
         assert!(err.to_string().contains("out of range"));
     }
 
@@ -270,10 +314,25 @@ mod tests {
     fn dagger_reverses_and_inverts() {
         let mut circuit = Circuit::new(2);
         circuit.push(Gate::S(0)).unwrap();
-        circuit.push(Gate::Cnot { control: 0, target: 1 }).unwrap();
+        circuit
+            .push(Gate::Cnot {
+                control: 0,
+                target: 1,
+            })
+            .unwrap();
         circuit.push(Gate::T(1)).unwrap();
         let dag = circuit.dagger();
-        assert_eq!(dag.gates(), &[Gate::Tdg(1), Gate::Cnot { control: 0, target: 1 }, Gate::Sdg(0)]);
+        assert_eq!(
+            dag.gates(),
+            &[
+                Gate::Tdg(1),
+                Gate::Cnot {
+                    control: 0,
+                    target: 1
+                },
+                Gate::Sdg(0)
+            ]
+        );
         // (C†)† = C for circuits without rotations
         assert_eq!(dag.dagger(), circuit);
     }
@@ -295,8 +354,14 @@ mod tests {
                 Gate::T(0),
                 Gate::Tdg(1),
                 Gate::H(2),
-                Gate::Toffoli { controls: [0, 1], target: 2 },
-                Gate::Cnot { control: 0, target: 1 },
+                Gate::Toffoli {
+                    controls: [0, 1],
+                    target: 2,
+                },
+                Gate::Cnot {
+                    control: 0,
+                    target: 1,
+                },
             ],
         )
         .unwrap();
@@ -310,7 +375,10 @@ mod tests {
         let circuit = Circuit::from_gates(3, [Gate::Swap(0, 2), Gate::H(1)]).unwrap();
         let decomposed = circuit.decomposed();
         assert_eq!(decomposed.gate_count(), 4);
-        assert!(decomposed.gates().iter().all(|g| !matches!(g, Gate::Swap(..))));
+        assert!(decomposed
+            .gates()
+            .iter()
+            .all(|g| !matches!(g, Gate::Swap(..))));
     }
 
     #[test]

@@ -99,7 +99,9 @@ impl Gate {
     /// The control qubits of the gate (empty for single-qubit gates).
     pub fn controls(&self) -> Vec<u32> {
         match *self {
-            Gate::Cnot { control, .. } | Gate::Cz { control, .. } | Gate::Fredkin { control, .. } => {
+            Gate::Cnot { control, .. }
+            | Gate::Cz { control, .. }
+            | Gate::Fredkin { control, .. } => {
                 vec![control]
             }
             Gate::Toffoli { controls, .. } => controls.to_vec(),
@@ -147,7 +149,10 @@ impl Gate {
     /// Returns `true` if the gate belongs to the Clifford group (i.e. all
     /// gates of Table 1 except `T`, `T†` and the Toffoli/Fredkin gates).
     pub fn is_clifford(&self) -> bool {
-        !matches!(self, Gate::T(_) | Gate::Tdg(_) | Gate::Toffoli { .. } | Gate::Fredkin { .. })
+        !matches!(
+            self,
+            Gate::T(_) | Gate::Tdg(_) | Gate::Toffoli { .. } | Gate::Fredkin { .. }
+        )
     }
 
     /// The inverse of the gate as a (short) gate sequence.
@@ -172,14 +177,35 @@ impl Gate {
     pub fn decompose(&self) -> Vec<Gate> {
         match *self {
             Gate::Swap(a, b) => vec![
-                Gate::Cnot { control: a, target: b },
-                Gate::Cnot { control: b, target: a },
-                Gate::Cnot { control: a, target: b },
+                Gate::Cnot {
+                    control: a,
+                    target: b,
+                },
+                Gate::Cnot {
+                    control: b,
+                    target: a,
+                },
+                Gate::Cnot {
+                    control: a,
+                    target: b,
+                },
             ],
-            Gate::Fredkin { control, targets: [a, b] } => vec![
-                Gate::Cnot { control: b, target: a },
-                Gate::Toffoli { controls: [control, a], target: b },
-                Gate::Cnot { control: b, target: a },
+            Gate::Fredkin {
+                control,
+                targets: [a, b],
+            } => vec![
+                Gate::Cnot {
+                    control: b,
+                    target: a,
+                },
+                Gate::Toffoli {
+                    controls: [control, a],
+                    target: b,
+                },
+                Gate::Cnot {
+                    control: b,
+                    target: a,
+                },
             ],
             gate => vec![gate],
         }
@@ -200,7 +226,10 @@ impl Gate {
             Gate::X(_) => vec![vec![zero(), one()], vec![one(), zero()]],
             Gate::Y(_) => vec![vec![zero(), -&i()], vec![i(), zero()]],
             Gate::Z(_) => vec![vec![one(), zero()], vec![zero(), -&one()]],
-            Gate::H(_) => vec![vec![inv_sqrt2(), inv_sqrt2()], vec![inv_sqrt2(), -&inv_sqrt2()]],
+            Gate::H(_) => vec![
+                vec![inv_sqrt2(), inv_sqrt2()],
+                vec![inv_sqrt2(), -&inv_sqrt2()],
+            ],
             Gate::S(_) => vec![vec![one(), zero()], vec![zero(), i()]],
             Gate::Sdg(_) => vec![vec![one(), zero()], vec![zero(), -&i()]],
             Gate::T(_) => vec![vec![one(), zero()], vec![zero(), Algebraic::omega()]],
@@ -260,11 +289,23 @@ mod tests {
             Gate::Tdg(2),
             Gate::RxPi2(0),
             Gate::RyPi2(0),
-            Gate::Cnot { control: 0, target: 1 },
-            Gate::Cz { control: 1, target: 2 },
+            Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
+            Gate::Cz {
+                control: 1,
+                target: 2,
+            },
             Gate::Swap(0, 2),
-            Gate::Toffoli { controls: [0, 1], target: 2 },
-            Gate::Fredkin { control: 0, targets: [1, 2] },
+            Gate::Toffoli {
+                controls: [0, 1],
+                target: 2,
+            },
+            Gate::Fredkin {
+                control: 0,
+                targets: [1, 2],
+            },
         ]
     }
 
@@ -341,27 +382,54 @@ mod tests {
 
     #[test]
     fn qubits_and_controls_are_reported() {
-        let toffoli = Gate::Toffoli { controls: [3, 1], target: 0 };
+        let toffoli = Gate::Toffoli {
+            controls: [3, 1],
+            target: 0,
+        };
         assert_eq!(toffoli.qubits(), vec![3, 1, 0]);
         assert_eq!(toffoli.controls(), vec![3, 1]);
         assert_eq!(Gate::H(5).controls(), Vec::<u32>::new());
-        assert_eq!(Gate::Fredkin { control: 2, targets: [0, 1] }.qubits(), vec![2, 0, 1]);
+        assert_eq!(
+            Gate::Fredkin {
+                control: 2,
+                targets: [0, 1]
+            }
+            .qubits(),
+            vec![2, 0, 1]
+        );
     }
 
     #[test]
     fn clifford_classification() {
         assert!(Gate::H(0).is_clifford());
         assert!(Gate::S(0).is_clifford());
-        assert!(Gate::Cnot { control: 0, target: 1 }.is_clifford());
+        assert!(Gate::Cnot {
+            control: 0,
+            target: 1
+        }
+        .is_clifford());
         assert!(!Gate::T(0).is_clifford());
-        assert!(!Gate::Toffoli { controls: [0, 1], target: 2 }.is_clifford());
+        assert!(!Gate::Toffoli {
+            controls: [0, 1],
+            target: 2
+        }
+        .is_clifford());
     }
 
     #[test]
     fn decomposition_uses_only_primitive_gates() {
-        for gate in [Gate::Swap(0, 1), Gate::Fredkin { control: 0, targets: [1, 2] }] {
+        for gate in [
+            Gate::Swap(0, 1),
+            Gate::Fredkin {
+                control: 0,
+                targets: [1, 2],
+            },
+        ] {
             for primitive in gate.decompose() {
-                assert!(matches!(primitive, Gate::Cnot { .. } | Gate::Toffoli { .. }));
+                assert!(matches!(
+                    primitive,
+                    Gate::Cnot { .. } | Gate::Toffoli { .. }
+                ));
             }
         }
         assert_eq!(Gate::H(0).decompose(), vec![Gate::H(0)]);
@@ -369,7 +437,14 @@ mod tests {
 
     #[test]
     fn display_is_qasm_like() {
-        assert_eq!(Gate::Cnot { control: 1, target: 0 }.to_string(), "cx q[1],q[0]");
+        assert_eq!(
+            Gate::Cnot {
+                control: 1,
+                target: 0
+            }
+            .to_string(),
+            "cx q[1],q[0]"
+        );
         assert_eq!(Gate::T(3).to_string(), "t q[3]");
     }
 

@@ -34,7 +34,12 @@ pub fn bernstein_vazirani(hidden: &[bool]) -> Circuit {
     }
     for (i, &bit) in hidden.iter().enumerate() {
         if bit {
-            circuit.push(Gate::Cnot { control: i as u32, target: work }).expect("valid gate");
+            circuit
+                .push(Gate::Cnot {
+                    control: i as u32,
+                    target: work,
+                })
+                .expect("valid gate");
         }
     }
     for q in 0..=n {
@@ -70,7 +75,10 @@ mod tests {
 
     #[test]
     fn expected_output_encodes_hidden_string_and_work_bit() {
-        assert_eq!(bernstein_vazirani_expected_output(&[true, false, true]), 0b1011);
+        assert_eq!(
+            bernstein_vazirani_expected_output(&[true, false, true]),
+            0b1011
+        );
         assert_eq!(bernstein_vazirani_expected_output(&[false]), 0b01);
         assert_eq!(bernstein_vazirani_expected_output(&[]), 1);
     }

@@ -69,7 +69,13 @@ pub fn grover_single(m: u32, marked: u64, iterations: Option<u32>) -> (Circuit, 
     // Normalise the phase qubit back to |1⟩ for a clean post-condition.
     circuit.push(Gate::H(phase)).expect("valid gate");
 
-    let layout = GroverLayout { oracle: Vec::new(), search, work, phase, iterations };
+    let layout = GroverLayout {
+        oracle: Vec::new(),
+        search,
+        work,
+        phase,
+        iterations,
+    };
     (circuit, layout)
 }
 
@@ -107,7 +113,12 @@ pub fn grover_all(m: u32, iterations: Option<u32>) -> (Circuit, GroverLayout) {
         // XOR the oracle register into the search register; the marked
         // configuration becomes |0…0⟩, which we detect with X + MCX + X.
         for i in 0..m as usize {
-            circuit.push(Gate::Cnot { control: oracle[i], target: search[i] }).expect("valid gate");
+            circuit
+                .push(Gate::Cnot {
+                    control: oracle[i],
+                    target: search[i],
+                })
+                .expect("valid gate");
         }
         for &q in &search {
             circuit.push(Gate::X(q)).expect("valid gate");
@@ -117,14 +128,25 @@ pub fn grover_all(m: u32, iterations: Option<u32>) -> (Circuit, GroverLayout) {
             circuit.push(Gate::X(q)).expect("valid gate");
         }
         for i in 0..m as usize {
-            circuit.push(Gate::Cnot { control: oracle[i], target: search[i] }).expect("valid gate");
+            circuit
+                .push(Gate::Cnot {
+                    control: oracle[i],
+                    target: search[i],
+                })
+                .expect("valid gate");
         }
         diffusion(&mut circuit, &search, &work);
     }
 
     circuit.push(Gate::H(phase)).expect("valid gate");
 
-    let layout = GroverLayout { oracle, search, work, phase, iterations };
+    let layout = GroverLayout {
+        oracle,
+        search,
+        work,
+        phase,
+        iterations,
+    };
     (circuit, layout)
 }
 
@@ -206,7 +228,10 @@ mod tests {
         assert_eq!(layout.work, vec![6, 7]);
         assert_eq!(layout.phase, 8);
         assert_eq!(layout.iterations, 2);
-        circuit.gates().iter().for_each(|g| assert!(g.qubits().iter().all(|&q| q < 9)));
+        circuit
+            .gates()
+            .iter()
+            .for_each(|g| assert!(g.qubits().iter().all(|&q| q < 9)));
     }
 
     #[test]

@@ -14,20 +14,41 @@ use crate::{Circuit, Gate};
 ///
 /// Panics if there are not enough work qubits or if `controls` is empty.
 pub fn mcx_with_work_qubits(circuit: &mut Circuit, controls: &[u32], work: &[u32], target: u32) {
-    assert!(!controls.is_empty(), "multi-controlled X needs at least one control");
+    assert!(
+        !controls.is_empty(),
+        "multi-controlled X needs at least one control"
+    );
     match controls.len() {
-        1 => circuit.push(Gate::Cnot { control: controls[0], target }).expect("valid gate"),
+        1 => circuit
+            .push(Gate::Cnot {
+                control: controls[0],
+                target,
+            })
+            .expect("valid gate"),
         2 => circuit
-            .push(Gate::Toffoli { controls: [controls[0], controls[1]], target })
+            .push(Gate::Toffoli {
+                controls: [controls[0], controls[1]],
+                target,
+            })
             .expect("valid gate"),
         k => {
-            assert!(work.len() >= k - 1, "need {} work qubits, got {}", k - 1, work.len());
+            assert!(
+                work.len() >= k - 1,
+                "need {} work qubits, got {}",
+                k - 1,
+                work.len()
+            );
             // Compute the AND-ladder.
             let ladder = build_ladder(controls, work);
             for gate in &ladder {
                 circuit.push(*gate).expect("valid gate");
             }
-            circuit.push(Gate::Cnot { control: work[k - 2], target }).expect("valid gate");
+            circuit
+                .push(Gate::Cnot {
+                    control: work[k - 2],
+                    target,
+                })
+                .expect("valid gate");
             // Uncompute.
             for gate in ladder.iter().rev() {
                 circuit.push(*gate).expect("valid gate");
@@ -39,9 +60,15 @@ pub fn mcx_with_work_qubits(circuit: &mut Circuit, controls: &[u32], work: &[u32
 /// The Toffoli ladder computing `work[i] = controls[0] ∧ … ∧ controls[i+1]`.
 fn build_ladder(controls: &[u32], work: &[u32]) -> Vec<Gate> {
     let mut gates = Vec::new();
-    gates.push(Gate::Toffoli { controls: [controls[0], controls[1]], target: work[0] });
+    gates.push(Gate::Toffoli {
+        controls: [controls[0], controls[1]],
+        target: work[0],
+    });
     for i in 2..controls.len() {
-        gates.push(Gate::Toffoli { controls: [controls[i], work[i - 2]], target: work[i - 1] });
+        gates.push(Gate::Toffoli {
+            controls: [controls[i], work[i - 2]],
+            target: work[i - 1],
+        });
     }
     gates
 }
@@ -54,7 +81,10 @@ fn build_ladder(controls: &[u32], work: &[u32]) -> Vec<Gate> {
 /// Panics if fewer than two qubits participate or if there are not enough
 /// work qubits (`work.len() ≥ qubits.len() − 2`).
 pub fn mcz_with_work_qubits(circuit: &mut Circuit, qubits: &[u32], work: &[u32]) {
-    assert!(qubits.len() >= 2, "multi-controlled Z needs at least two qubits");
+    assert!(
+        qubits.len() >= 2,
+        "multi-controlled Z needs at least two qubits"
+    );
     let (target, controls) = qubits.split_last().expect("non-empty");
     circuit.push(Gate::H(*target)).expect("valid gate");
     mcx_with_work_qubits(circuit, controls, work, *target);
@@ -98,7 +128,8 @@ mod tests {
 
     #[test]
     fn gate_counts_match_the_paper() {
-        for (controls, expected_gates) in [(8u32, 15usize), (10, 19), (12, 23), (14, 27), (16, 31)] {
+        for (controls, expected_gates) in [(8u32, 15usize), (10, 19), (12, 23), (14, 27), (16, 31)]
+        {
             let circuit = mc_toffoli(controls);
             assert_eq!(circuit.num_qubits(), 2 * controls);
             assert_eq!(circuit.gate_count(), expected_gates);
@@ -109,10 +140,22 @@ mod tests {
     fn small_cases_use_direct_gates() {
         let mut c = Circuit::new(3);
         mcx_with_work_qubits(&mut c, &[0], &[], 2);
-        assert_eq!(c.gates(), &[Gate::Cnot { control: 0, target: 2 }]);
+        assert_eq!(
+            c.gates(),
+            &[Gate::Cnot {
+                control: 0,
+                target: 2
+            }]
+        );
         let mut c = Circuit::new(3);
         mcx_with_work_qubits(&mut c, &[0, 1], &[], 2);
-        assert_eq!(c.gates(), &[Gate::Toffoli { controls: [0, 1], target: 2 }]);
+        assert_eq!(
+            c.gates(),
+            &[Gate::Toffoli {
+                controls: [0, 1],
+                target: 2
+            }]
+        );
     }
 
     #[test]
@@ -125,7 +168,10 @@ mod tests {
             let touches = circuit
                 .gates()
                 .iter()
-                .filter(|g| g.qubits().contains(&w) && matches!(g, Gate::Toffoli { target, .. } if *target == w))
+                .filter(|g| {
+                    g.qubits().contains(&w)
+                        && matches!(g, Gate::Toffoli { target, .. } if *target == w)
+                })
                 .count();
             assert_eq!(touches % 2, 0, "work qubit {w} is not uncomputed");
         }

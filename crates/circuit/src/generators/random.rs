@@ -51,11 +51,16 @@ impl RandomCircuitConfig {
 /// assert_eq!(circuit.gate_count(), 105);
 /// ```
 pub fn random_circuit(config: &RandomCircuitConfig, rng: &mut impl Rng) -> Circuit {
-    assert!(config.num_qubits >= 3, "random circuits need at least 3 qubits");
+    assert!(
+        config.num_qubits >= 3,
+        "random circuits need at least 3 qubits"
+    );
     let mut circuit = Circuit::new(config.num_qubits);
     for _ in 0..config.num_gates {
         let gate = random_gate(config, rng);
-        circuit.push(gate).expect("randomly drawn gates are always valid");
+        circuit
+            .push(gate)
+            .expect("randomly drawn gates are always valid");
     }
     circuit
 }
@@ -70,9 +75,18 @@ pub fn random_gate(config: &RandomCircuitConfig, rng: &mut impl Rng) -> Gate {
         Gate::Z(a),
         Gate::S(a),
         Gate::T(a),
-        Gate::Cnot { control: a, target: b },
-        Gate::Cz { control: a, target: b },
-        Gate::Toffoli { controls: [a, b], target: c },
+        Gate::Cnot {
+            control: a,
+            target: b,
+        },
+        Gate::Cz {
+            control: a,
+            target: b,
+        },
+        Gate::Toffoli {
+            controls: [a, b],
+            target: c,
+        },
     ];
     if config.include_superposing_gates {
         pool.push(Gate::H(a));

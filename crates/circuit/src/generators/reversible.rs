@@ -40,14 +40,44 @@ pub fn ripple_carry_adder(n: u32) -> Circuit {
     let carry_out = 2 * n + 1;
 
     let maj = |circuit: &mut Circuit, c: u32, y: u32, x: u32| {
-        circuit.push(Gate::Cnot { control: x, target: y }).expect("valid gate");
-        circuit.push(Gate::Cnot { control: x, target: c }).expect("valid gate");
-        circuit.push(Gate::Toffoli { controls: [c, y], target: x }).expect("valid gate");
+        circuit
+            .push(Gate::Cnot {
+                control: x,
+                target: y,
+            })
+            .expect("valid gate");
+        circuit
+            .push(Gate::Cnot {
+                control: x,
+                target: c,
+            })
+            .expect("valid gate");
+        circuit
+            .push(Gate::Toffoli {
+                controls: [c, y],
+                target: x,
+            })
+            .expect("valid gate");
     };
     let uma = |circuit: &mut Circuit, c: u32, y: u32, x: u32| {
-        circuit.push(Gate::Toffoli { controls: [c, y], target: x }).expect("valid gate");
-        circuit.push(Gate::Cnot { control: x, target: c }).expect("valid gate");
-        circuit.push(Gate::Cnot { control: c, target: y }).expect("valid gate");
+        circuit
+            .push(Gate::Toffoli {
+                controls: [c, y],
+                target: x,
+            })
+            .expect("valid gate");
+        circuit
+            .push(Gate::Cnot {
+                control: x,
+                target: c,
+            })
+            .expect("valid gate");
+        circuit
+            .push(Gate::Cnot {
+                control: c,
+                target: y,
+            })
+            .expect("valid gate");
     };
 
     // MAJ cascade.
@@ -56,7 +86,12 @@ pub fn ripple_carry_adder(n: u32) -> Circuit {
         maj(&mut circuit, a(i - 1), b(i), a(i));
     }
     // Carry out.
-    circuit.push(Gate::Cnot { control: a(n - 1), target: carry_out }).expect("valid gate");
+    circuit
+        .push(Gate::Cnot {
+            control: a(n - 1),
+            target: carry_out,
+        })
+        .expect("valid gate");
     // UMA cascade (reverse order).
     for i in (1..n).rev() {
         uma(&mut circuit, a(i - 1), b(i), a(i));
@@ -87,7 +122,10 @@ pub fn gf2_multiplier(n: u32) -> Circuit {
     for i in 0..n {
         for j in 0..n {
             circuit
-                .push(Gate::Toffoli { controls: [a(i), b(j)], target: c(i + j) })
+                .push(Gate::Toffoli {
+                    controls: [a(i), b(j)],
+                    target: c(i + j),
+                })
                 .expect("valid gate");
         }
     }
@@ -143,17 +181,24 @@ pub fn carry_lookahead_like(num_qubits: u32, layers: u32) -> Circuit {
         for q in 0..num_qubits {
             let target = (q + stride) % num_qubits;
             if target != q {
-                circuit.push(Gate::Cnot { control: q, target }).expect("valid gate");
+                circuit
+                    .push(Gate::Cnot { control: q, target })
+                    .expect("valid gate");
             }
         }
         // A chain of Toffolis.
         for q in 0..num_qubits.saturating_sub(2) {
             circuit
-                .push(Gate::Toffoli { controls: [q, q + 1], target: q + 2 })
+                .push(Gate::Toffoli {
+                    controls: [q, q + 1],
+                    target: q + 2,
+                })
                 .expect("valid gate");
         }
         // A sprinkle of X gates to break symmetry.
-        circuit.push(Gate::X(layer % num_qubits)).expect("valid gate");
+        circuit
+            .push(Gate::X(layer % num_qubits))
+            .expect("valid gate");
     }
     circuit
 }
@@ -184,7 +229,10 @@ mod tests {
     fn multiplier_has_n_squared_toffolis() {
         let circuit = gf2_multiplier(6);
         assert_eq!(circuit.gate_count(), 36);
-        assert!(circuit.gates().iter().all(|g| matches!(g, Gate::Toffoli { .. })));
+        assert!(circuit
+            .gates()
+            .iter()
+            .all(|g| matches!(g, Gate::Toffoli { .. })));
     }
 
     #[test]

@@ -21,7 +21,11 @@ pub struct InjectedBug {
 
 impl std::fmt::Display for InjectedBug {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "injected `{}` at gate position {}", self.gate, self.position)
+        write!(
+            f,
+            "injected `{}` at gate position {}",
+            self.gate, self.position
+        )
     }
 }
 
@@ -45,7 +49,11 @@ impl std::fmt::Display for InjectedBug {
 /// assert_eq!(buggy.gate_count(), original.gate_count() + 1);
 /// assert_eq!(buggy.gates()[bug.position], bug.gate);
 /// ```
-pub fn inject_random_gate(circuit: &Circuit, superposing: bool, rng: &mut impl Rng) -> (Circuit, InjectedBug) {
+pub fn inject_random_gate(
+    circuit: &Circuit,
+    superposing: bool,
+    rng: &mut impl Rng,
+) -> (Circuit, InjectedBug) {
     let config = RandomCircuitConfig {
         num_qubits: circuit.num_qubits(),
         num_gates: 1,
@@ -65,7 +73,10 @@ pub fn inject_random_gate(circuit: &Circuit, superposing: bool, rng: &mut impl R
 /// Panics if `position > circuit.gate_count()` or the gate does not fit the
 /// circuit width.
 pub fn insert_gate(circuit: &Circuit, gate: Gate, position: usize) -> Circuit {
-    assert!(position <= circuit.gate_count(), "insertion position out of range");
+    assert!(
+        position <= circuit.gate_count(),
+        "insertion position out of range"
+    );
     let mut gates: Vec<Gate> = circuit.gates().to_vec();
     gates.insert(position, gate);
     Circuit::from_gates(circuit.num_qubits(), gates).expect("injected gate must fit the circuit")
@@ -81,8 +92,14 @@ mod tests {
             4,
             [
                 Gate::H(0),
-                Gate::Cnot { control: 0, target: 1 },
-                Gate::Toffoli { controls: [1, 2], target: 3 },
+                Gate::Cnot {
+                    control: 0,
+                    target: 1,
+                },
+                Gate::Toffoli {
+                    controls: [1, 2],
+                    target: 3,
+                },
             ],
         )
         .unwrap()
@@ -109,7 +126,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         for _ in 0..30 {
             let (_, bug) = inject_random_gate(&original, false, &mut rng);
-            assert!(!matches!(bug.gate, Gate::H(_) | Gate::RxPi2(_) | Gate::RyPi2(_)));
+            assert!(!matches!(
+                bug.gate,
+                Gate::H(_) | Gate::RxPi2(_) | Gate::RyPi2(_)
+            ));
         }
     }
 
@@ -130,7 +150,10 @@ mod tests {
 
     #[test]
     fn display_of_injected_bug_mentions_gate_and_position() {
-        let bug = InjectedBug { gate: Gate::X(1), position: 4 };
+        let bug = InjectedBug {
+            gate: Gate::X(1),
+            position: 4,
+        };
         assert_eq!(bug.to_string(), "injected `x q[1]` at gate position 4");
     }
 }

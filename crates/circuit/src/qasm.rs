@@ -25,7 +25,11 @@ pub struct QasmError {
 
 impl fmt::Display for QasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "QASM parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "QASM parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -83,13 +87,24 @@ pub fn parse_qasm(source: &str) -> Result<Circuit, QasmError> {
             if statement.is_empty() {
                 continue;
             }
-            parse_statement(statement, line_no, &mut num_qubits, &mut register_name, &mut gates)?;
+            parse_statement(
+                statement,
+                line_no,
+                &mut num_qubits,
+                &mut register_name,
+                &mut gates,
+            )?;
         }
     }
 
-    let width = num_qubits
-        .ok_or_else(|| QasmError { line: 0, message: "no qreg declaration found".to_string() })?;
-    Circuit::from_gates(width, gates).map_err(|e| QasmError { line: 0, message: e.to_string() })
+    let width = num_qubits.ok_or_else(|| QasmError {
+        line: 0,
+        message: "no qreg declaration found".to_string(),
+    })?;
+    Circuit::from_gates(width, gates).map_err(|e| QasmError {
+        line: 0,
+        message: e.to_string(),
+    })
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -108,15 +123,22 @@ fn parse_statement(
 ) -> Result<(), QasmError> {
     let err = |message: String| QasmError { line, message };
     let lower = statement.to_ascii_lowercase();
-    if lower.starts_with("openqasm") || lower.starts_with("include") || lower.starts_with("creg")
-        || lower.starts_with("barrier") || lower.starts_with("measure")
+    if lower.starts_with("openqasm")
+        || lower.starts_with("include")
+        || lower.starts_with("creg")
+        || lower.starts_with("barrier")
+        || lower.starts_with("measure")
     {
         return Ok(());
     }
     if let Some(rest) = lower.strip_prefix("qreg") {
         let rest = rest.trim();
-        let open = rest.find('[').ok_or_else(|| err("malformed qreg declaration".into()))?;
-        let close = rest.find(']').ok_or_else(|| err("malformed qreg declaration".into()))?;
+        let open = rest
+            .find('[')
+            .ok_or_else(|| err("malformed qreg declaration".into()))?;
+        let close = rest
+            .find(']')
+            .ok_or_else(|| err("malformed qreg declaration".into()))?;
         let name = rest[..open].trim().to_string();
         let size: u32 = rest[open + 1..close]
             .trim()
@@ -138,8 +160,13 @@ fn parse_statement(
     let head = head.to_ascii_lowercase();
     let (name, params) = match head.find('(') {
         Some(pos) => {
-            let close = head.rfind(')').ok_or_else(|| err("unbalanced parameter list".into()))?;
-            (head[..pos].to_string(), Some(head[pos + 1..close].to_string()))
+            let close = head
+                .rfind(')')
+                .ok_or_else(|| err("unbalanced parameter list".into()))?;
+            (
+                head[..pos].to_string(),
+                Some(head[pos + 1..close].to_string()),
+            )
         }
         None => (head.clone(), None),
     };
@@ -152,20 +179,50 @@ fn parse_statement(
     };
     let expect_len = |expected: usize| -> Result<(), QasmError> {
         if qubits.len() != expected {
-            Err(QasmError { line, message: format!("gate {name} expects {expected} qubits, got {}", qubits.len()) })
+            Err(QasmError {
+                line,
+                message: format!(
+                    "gate {name} expects {expected} qubits, got {}",
+                    qubits.len()
+                ),
+            })
         } else {
             Ok(())
         }
     };
     let gate = match name.as_str() {
-        "x" => { expect_len(1)?; Gate::X(one(0)?) }
-        "y" => { expect_len(1)?; Gate::Y(one(0)?) }
-        "z" => { expect_len(1)?; Gate::Z(one(0)?) }
-        "h" => { expect_len(1)?; Gate::H(one(0)?) }
-        "s" => { expect_len(1)?; Gate::S(one(0)?) }
-        "sdg" => { expect_len(1)?; Gate::Sdg(one(0)?) }
-        "t" => { expect_len(1)?; Gate::T(one(0)?) }
-        "tdg" => { expect_len(1)?; Gate::Tdg(one(0)?) }
+        "x" => {
+            expect_len(1)?;
+            Gate::X(one(0)?)
+        }
+        "y" => {
+            expect_len(1)?;
+            Gate::Y(one(0)?)
+        }
+        "z" => {
+            expect_len(1)?;
+            Gate::Z(one(0)?)
+        }
+        "h" => {
+            expect_len(1)?;
+            Gate::H(one(0)?)
+        }
+        "s" => {
+            expect_len(1)?;
+            Gate::S(one(0)?)
+        }
+        "sdg" => {
+            expect_len(1)?;
+            Gate::Sdg(one(0)?)
+        }
+        "t" => {
+            expect_len(1)?;
+            Gate::T(one(0)?)
+        }
+        "tdg" => {
+            expect_len(1)?;
+            Gate::Tdg(one(0)?)
+        }
         "rx" => {
             expect_len(1)?;
             check_half_pi_parameter(&params, line)?;
@@ -176,16 +233,37 @@ fn parse_statement(
             check_half_pi_parameter(&params, line)?;
             Gate::RyPi2(one(0)?)
         }
-        "cx" | "cnot" => { expect_len(2)?; Gate::Cnot { control: one(0)?, target: one(1)? } }
-        "cz" => { expect_len(2)?; Gate::Cz { control: one(0)?, target: one(1)? } }
-        "swap" => { expect_len(2)?; Gate::Swap(one(0)?, one(1)?) }
+        "cx" | "cnot" => {
+            expect_len(2)?;
+            Gate::Cnot {
+                control: one(0)?,
+                target: one(1)?,
+            }
+        }
+        "cz" => {
+            expect_len(2)?;
+            Gate::Cz {
+                control: one(0)?,
+                target: one(1)?,
+            }
+        }
+        "swap" => {
+            expect_len(2)?;
+            Gate::Swap(one(0)?, one(1)?)
+        }
         "ccx" | "toffoli" => {
             expect_len(3)?;
-            Gate::Toffoli { controls: [one(0)?, one(1)?], target: one(2)? }
+            Gate::Toffoli {
+                controls: [one(0)?, one(1)?],
+                target: one(2)?,
+            }
         }
         "cswap" | "fredkin" => {
             expect_len(3)?;
-            Gate::Fredkin { control: one(0)?, targets: [one(1)?, one(2)?] }
+            Gate::Fredkin {
+                control: one(0)?,
+                targets: [one(1)?, one(2)?],
+            }
         }
         other => return Err(err(format!("unsupported gate {other:?}"))),
     };
@@ -212,20 +290,28 @@ fn parse_qubit_list(args: &str, register: &str, line: usize) -> Result<Vec<u32>,
         if part.is_empty() {
             continue;
         }
-        let open = part
-            .find('[')
-            .ok_or_else(|| QasmError { line, message: format!("expected indexed qubit, got {part:?}") })?;
-        let close = part
-            .find(']')
-            .ok_or_else(|| QasmError { line, message: format!("expected indexed qubit, got {part:?}") })?;
+        let open = part.find('[').ok_or_else(|| QasmError {
+            line,
+            message: format!("expected indexed qubit, got {part:?}"),
+        })?;
+        let close = part.find(']').ok_or_else(|| QasmError {
+            line,
+            message: format!("expected indexed qubit, got {part:?}"),
+        })?;
         let name = part[..open].trim();
         if name != register {
-            return Err(QasmError { line, message: format!("unknown register {name:?}") });
+            return Err(QasmError {
+                line,
+                message: format!("unknown register {name:?}"),
+            });
         }
         let index: u32 = part[open + 1..close]
             .trim()
             .parse()
-            .map_err(|_| QasmError { line, message: format!("malformed qubit index in {part:?}") })?;
+            .map_err(|_| QasmError {
+                line,
+                message: format!("malformed qubit index in {part:?}"),
+            })?;
         qubits.push(index);
     }
     Ok(qubits)
@@ -244,11 +330,23 @@ mod tests {
                 Gate::T(1),
                 Gate::Tdg(2),
                 Gate::Sdg(3),
-                Gate::Cnot { control: 0, target: 1 },
-                Gate::Cz { control: 2, target: 3 },
-                Gate::Toffoli { controls: [0, 1], target: 2 },
+                Gate::Cnot {
+                    control: 0,
+                    target: 1,
+                },
+                Gate::Cz {
+                    control: 2,
+                    target: 3,
+                },
+                Gate::Toffoli {
+                    controls: [0, 1],
+                    target: 2,
+                },
                 Gate::Swap(1, 3),
-                Gate::Fredkin { control: 0, targets: [2, 3] },
+                Gate::Fredkin {
+                    control: 0,
+                    targets: [2, 3],
+                },
                 Gate::RxPi2(0),
                 Gate::RyPi2(1),
             ],
@@ -279,7 +377,16 @@ mod tests {
     #[test]
     fn parser_accepts_custom_register_names() {
         let circuit = parse_qasm("qreg reg[2]; x reg[1]; cx reg[0],reg[1];").unwrap();
-        assert_eq!(circuit.gates(), &[Gate::X(1), Gate::Cnot { control: 0, target: 1 }]);
+        assert_eq!(
+            circuit.gates(),
+            &[
+                Gate::X(1),
+                Gate::Cnot {
+                    control: 0,
+                    target: 1
+                }
+            ]
+        );
     }
 
     #[test]

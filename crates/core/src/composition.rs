@@ -52,7 +52,10 @@ pub fn evaluate(expr: &UpdateExpr, tagged_source: &TreeAutomaton) -> TreeAutomat
 pub fn tag(automaton: &TreeAutomaton) -> TreeAutomaton {
     let mut result = automaton.clone();
     for (index, transition) in result.internal.iter_mut().enumerate() {
-        transition.symbol = transition.symbol.untagged().with_tag(Tag::Single(index as u64 + 1));
+        transition.symbol = transition
+            .symbol
+            .untagged()
+            .with_tag(Tag::Single(index as u64 + 1));
     }
     result
 }
@@ -116,7 +119,11 @@ pub fn subtree_copy(automaton: &TreeAutomaton, qubit: u32, bit: bool) -> TreeAut
     let mut result = automaton.clone();
     for transition in result.internal.iter_mut() {
         if transition.symbol.var == qubit {
-            let copied = if bit { transition.right } else { transition.left };
+            let copied = if bit {
+                transition.right
+            } else {
+                transition.left
+            };
             transition.left = copied;
             transition.right = copied;
         }
@@ -319,10 +326,10 @@ pub fn binary_op(a1: &TreeAutomaton, a2: &TreeAutomaton, sign: CombineSign) -> T
     let mut worklist: Vec<(StateId, StateId)> = Vec::new();
 
     let get_state = |result: &mut TreeAutomaton,
-                         worklist: &mut Vec<(StateId, StateId)>,
-                         pair_state: &mut HashMap<(StateId, StateId), StateId>,
-                         q1: StateId,
-                         q2: StateId| {
+                     worklist: &mut Vec<(StateId, StateId)>,
+                     pair_state: &mut HashMap<(StateId, StateId), StateId>,
+                     q1: StateId,
+                     q2: StateId| {
         *pair_state.entry((q1, q2)).or_insert_with(|| {
             worklist.push((q1, q2));
             result.add_state()
@@ -357,9 +364,20 @@ pub fn binary_op(a1: &TreeAutomaton, a2: &TreeAutomaton, sign: CombineSign) -> T
                 if t1.symbol != t2.symbol {
                     continue;
                 }
-                let left = get_state(&mut result, &mut worklist, &mut pair_state, t1.left, t2.left);
-                let right =
-                    get_state(&mut result, &mut worklist, &mut pair_state, t1.right, t2.right);
+                let left = get_state(
+                    &mut result,
+                    &mut worklist,
+                    &mut pair_state,
+                    t1.left,
+                    t2.left,
+                );
+                let right = get_state(
+                    &mut result,
+                    &mut worklist,
+                    &mut pair_state,
+                    t1.right,
+                    t2.right,
+                );
                 result.add_internal(parent, t1.symbol, left, right);
             }
         }
@@ -389,14 +407,22 @@ mod tests {
     }
 
     fn state_of(automaton: &TreeAutomaton) -> Vec<std::collections::BTreeMap<u64, Algebraic>> {
-        automaton.enumerate(64).iter().map(Tree::to_amplitude_map).collect()
+        automaton
+            .enumerate(64)
+            .iter()
+            .map(Tree::to_amplitude_map)
+            .collect()
     }
 
     #[test]
     fn tagging_gives_unique_tags() {
         let automaton = TreeAutomaton::from_trees(
             2,
-            &[Tree::basis_state(2, 0), Tree::basis_state(2, 1), Tree::basis_state(2, 3)],
+            &[
+                Tree::basis_state(2, 0),
+                Tree::basis_state(2, 1),
+                Tree::basis_state(2, 3),
+            ],
         );
         let tagged = tag(&automaton);
         let mut tags: Vec<_> = tagged.internal.iter().map(|t| t.symbol.tag).collect();
@@ -435,7 +461,13 @@ mod tests {
     #[test]
     fn projection_at_the_bottom_layer() {
         // T on 1 qubit: T_{x_0} copies the |1⟩ amplitude everywhere.
-        let tree = Tree::from_fn(1, |b| if b == 0 { Algebraic::one() } else { Algebraic::i() });
+        let tree = Tree::from_fn(1, |b| {
+            if b == 0 {
+                Algebraic::one()
+            } else {
+                Algebraic::i()
+            }
+        });
         let tagged = tag(&singleton(&tree));
         let projected = project(&tagged, 0, true).untagged();
         let states = state_of(&projected);
@@ -478,13 +510,23 @@ mod tests {
 
     #[test]
     fn binary_op_adds_amplitudes_of_matching_trees() {
-        let tree = Tree::from_fn(1, |b| if b == 0 { Algebraic::one() } else { Algebraic::i() });
+        let tree = Tree::from_fn(1, |b| {
+            if b == 0 {
+                Algebraic::one()
+            } else {
+                Algebraic::i()
+            }
+        });
         let tagged = tag(&singleton(&tree));
-        let doubled = binary_op(&tagged, &tagged, CombineSign::Plus).untagged().reduce();
+        let doubled = binary_op(&tagged, &tagged, CombineSign::Plus)
+            .untagged()
+            .reduce();
         let states = state_of(&doubled);
         assert_eq!(states.len(), 1);
         assert_eq!(states[0][&0], Algebraic::from_int(2));
-        let cancelled = binary_op(&tagged, &tagged, CombineSign::Minus).untagged().reduce();
+        let cancelled = binary_op(&tagged, &tagged, CombineSign::Minus)
+            .untagged()
+            .reduce();
         assert!(state_of(&cancelled)[0].is_empty());
     }
 
@@ -493,13 +535,20 @@ mod tests {
         // Two different basis states in one automaton: the combination must
         // pair each tree with itself, not cross-combine (the paper's
         // motivation for tagging).
-        let automaton = TreeAutomaton::from_trees(2, &[Tree::basis_state(2, 0), Tree::basis_state(2, 3)]);
+        let automaton =
+            TreeAutomaton::from_trees(2, &[Tree::basis_state(2, 0), Tree::basis_state(2, 3)]);
         let tagged = tag(&automaton);
-        let doubled = binary_op(&tagged, &tagged, CombineSign::Plus).untagged().reduce();
+        let doubled = binary_op(&tagged, &tagged, CombineSign::Plus)
+            .untagged()
+            .reduce();
         let states = state_of(&doubled);
         assert_eq!(states.len(), 2);
         for map in states {
-            assert_eq!(map.len(), 1, "each combined tree keeps a single non-zero amplitude");
+            assert_eq!(
+                map.len(),
+                1,
+                "each combined tree keeps a single non-zero amplitude"
+            );
             assert_eq!(map.values().next().unwrap(), &Algebraic::from_int(2));
         }
     }
@@ -517,10 +566,18 @@ mod tests {
 
     #[test]
     fn cnot_formula_flips_conditionally_on_sets() {
-        let formula = update_formula(&Gate::Cnot { control: 0, target: 1 }).unwrap();
+        let formula = update_formula(&Gate::Cnot {
+            control: 0,
+            target: 1,
+        })
+        .unwrap();
         let automaton = TreeAutomaton::from_trees(
             2,
-            &[Tree::basis_state(2, 0b00), Tree::basis_state(2, 0b10), Tree::basis_state(2, 0b11)],
+            &[
+                Tree::basis_state(2, 0b00),
+                Tree::basis_state(2, 0b10),
+                Tree::basis_state(2, 0b11),
+            ],
         );
         let result = apply_formula(&automaton, &formula).reduce();
         assert!(result.accepts(&Tree::basis_state(2, 0b00)));

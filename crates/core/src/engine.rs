@@ -58,12 +58,18 @@ pub struct Engine {
 impl Engine {
     /// The `Hybrid` engine with the default reduction policy.
     pub fn hybrid() -> Self {
-        Engine { kind: EngineKind::Hybrid, reduction: ReductionPolicy::AfterEachGate }
+        Engine {
+            kind: EngineKind::Hybrid,
+            reduction: ReductionPolicy::AfterEachGate,
+        }
     }
 
     /// The `Composition` engine with the default reduction policy.
     pub fn composition() -> Self {
-        Engine { kind: EngineKind::Composition, reduction: ReductionPolicy::AfterEachGate }
+        Engine {
+            kind: EngineKind::Composition,
+            reduction: ReductionPolicy::AfterEachGate,
+        }
     }
 
     /// Returns a copy with the given reduction policy.
@@ -96,8 +102,8 @@ impl Engine {
         let result = if use_permutation {
             permutation::apply(automaton, gate)
         } else {
-            let formula = update_formula(gate)
-                .expect("primitive gates always have an update formula");
+            let formula =
+                update_formula(gate).expect("primitive gates always have an update formula");
             composition::apply_formula(automaton, &formula)
         };
         match self.reduction {
@@ -140,15 +146,31 @@ mod tests {
         for engine in [Engine::hybrid(), Engine::composition()] {
             let output = engine.apply_circuit(&input, circuit);
             let states = output.states(4);
-            assert_eq!(states.len(), 1, "singleton input must stay a singleton ({engine:?})");
-            assert_eq!(states[0], expected, "engine {engine:?} disagrees with the simulator");
+            assert_eq!(
+                states.len(),
+                1,
+                "singleton input must stay a singleton ({engine:?})"
+            );
+            assert_eq!(
+                states[0], expected,
+                "engine {engine:?} disagrees with the simulator"
+            );
         }
     }
 
     #[test]
     fn epr_circuit_constructs_the_bell_state() {
-        let circuit =
-            Circuit::from_gates(2, [Gate::H(0), Gate::Cnot { control: 0, target: 1 }]).unwrap();
+        let circuit = Circuit::from_gates(
+            2,
+            [
+                Gate::H(0),
+                Gate::Cnot {
+                    control: 0,
+                    target: 1,
+                },
+            ],
+        )
+        .unwrap();
         check_against_simulator(&circuit, 0b00);
         check_against_simulator(&circuit, 0b10);
     }
@@ -178,14 +200,35 @@ mod tests {
     #[test]
     fn every_multi_qubit_gate_matches_the_simulator() {
         let gates = [
-            Gate::Cnot { control: 0, target: 2 },
-            Gate::Cnot { control: 2, target: 0 },
-            Gate::Cz { control: 1, target: 2 },
-            Gate::Cz { control: 2, target: 1 },
+            Gate::Cnot {
+                control: 0,
+                target: 2,
+            },
+            Gate::Cnot {
+                control: 2,
+                target: 0,
+            },
+            Gate::Cz {
+                control: 1,
+                target: 2,
+            },
+            Gate::Cz {
+                control: 2,
+                target: 1,
+            },
             Gate::Swap(0, 2),
-            Gate::Toffoli { controls: [0, 1], target: 2 },
-            Gate::Toffoli { controls: [2, 1], target: 0 },
-            Gate::Fredkin { control: 0, targets: [1, 2] },
+            Gate::Toffoli {
+                controls: [0, 1],
+                target: 2,
+            },
+            Gate::Toffoli {
+                controls: [2, 1],
+                target: 0,
+            },
+            Gate::Fredkin {
+                control: 0,
+                targets: [1, 2],
+            },
         ];
         for gate in gates {
             for basis in 0..8u64 {
@@ -202,10 +245,16 @@ mod tests {
             [
                 Gate::H(0),
                 Gate::RyPi2(1),
-                Gate::Cnot { control: 1, target: 0 },
+                Gate::Cnot {
+                    control: 1,
+                    target: 0,
+                },
                 Gate::T(2),
                 Gate::RxPi2(2),
-                Gate::Toffoli { controls: [0, 2], target: 1 },
+                Gate::Toffoli {
+                    controls: [0, 2],
+                    target: 1,
+                },
                 Gate::H(2),
             ],
         )
@@ -243,7 +292,16 @@ mod tests {
     fn reduction_policy_controls_automaton_growth() {
         let circuit = Circuit::from_gates(
             2,
-            [Gate::H(0), Gate::T(0), Gate::H(1), Gate::Cnot { control: 0, target: 1 }, Gate::H(0)],
+            [
+                Gate::H(0),
+                Gate::T(0),
+                Gate::H(1),
+                Gate::Cnot {
+                    control: 0,
+                    target: 1,
+                },
+                Gate::H(0),
+            ],
         )
         .unwrap();
         let input = StateSet::basis_state(2, 0);
@@ -258,8 +316,17 @@ mod tests {
 
     #[test]
     fn bell_state_output_accepts_expected_tree() {
-        let circuit =
-            Circuit::from_gates(2, [Gate::H(0), Gate::Cnot { control: 0, target: 1 }]).unwrap();
+        let circuit = Circuit::from_gates(
+            2,
+            [
+                Gate::H(0),
+                Gate::Cnot {
+                    control: 0,
+                    target: 1,
+                },
+            ],
+        )
+        .unwrap();
         let output = Engine::hybrid().apply_circuit(&StateSet::basis_state(2, 0), &circuit);
         let bell = Tree::from_fn(2, |b| match b {
             0b00 | 0b11 => Algebraic::one_over_sqrt2(),

@@ -85,19 +85,34 @@ impl UpdateExpr {
     }
 
     fn restrict(qubit: u32, bit: bool, inner: UpdateExpr) -> Self {
-        UpdateExpr::Restrict { qubit, bit, inner: Box::new(inner) }
+        UpdateExpr::Restrict {
+            qubit,
+            bit,
+            inner: Box::new(inner),
+        }
     }
 
     fn scale(factor: ScaleFactor, inner: UpdateExpr) -> Self {
-        UpdateExpr::Scale { factor, inner: Box::new(inner) }
+        UpdateExpr::Scale {
+            factor,
+            inner: Box::new(inner),
+        }
     }
 
     fn add(lhs: UpdateExpr, rhs: UpdateExpr) -> Self {
-        UpdateExpr::Combine { sign: CombineSign::Plus, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        UpdateExpr::Combine {
+            sign: CombineSign::Plus,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     fn sub(lhs: UpdateExpr, rhs: UpdateExpr) -> Self {
-        UpdateExpr::Combine { sign: CombineSign::Minus, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        UpdateExpr::Combine {
+            sign: CombineSign::Minus,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// The qubits mentioned anywhere in the formula.
@@ -225,7 +240,10 @@ pub fn update_formula(gate: &Gate) -> Option<UpdateExpr> {
             E::restrict(control, true, z_formula(target)),
         ),
         // Toffoli^{c,c'}_t(T) = B̄_{x_c}·T + B_{x_c}·(B̄_{x_c'}·T + B_{x_c'}·(flip_t))
-        Gate::Toffoli { controls: [c1, c2], target } => E::add(
+        Gate::Toffoli {
+            controls: [c1, c2],
+            target,
+        } => E::add(
             E::restrict(c1, false, E::Source),
             E::restrict(
                 c1,
@@ -258,20 +276,40 @@ mod tests {
             Gate::Tdg(0),
             Gate::RxPi2(0),
             Gate::RyPi2(0),
-            Gate::Cnot { control: 0, target: 1 },
-            Gate::Cz { control: 0, target: 1 },
-            Gate::Toffoli { controls: [0, 1], target: 2 },
+            Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
+            Gate::Cz {
+                control: 0,
+                target: 1,
+            },
+            Gate::Toffoli {
+                controls: [0, 1],
+                target: 2,
+            },
         ];
         for gate in gates {
             let formula = update_formula(&gate).expect("missing formula");
-            assert_eq!(formula.qubits(), gate.qubits().into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect::<Vec<_>>());
+            assert_eq!(
+                formula.qubits(),
+                gate.qubits()
+                    .into_iter()
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .collect::<Vec<_>>()
+            );
         }
     }
 
     #[test]
     fn convenience_gates_have_no_formula() {
         assert!(update_formula(&Gate::Swap(0, 1)).is_none());
-        assert!(update_formula(&Gate::Fredkin { control: 0, targets: [1, 2] }).is_none());
+        assert!(update_formula(&Gate::Fredkin {
+            control: 0,
+            targets: [1, 2]
+        })
+        .is_none());
     }
 
     #[test]
@@ -283,10 +321,22 @@ mod tests {
 
     #[test]
     fn controlled_formulae_nest_the_target_formula() {
-        let cnot = update_formula(&Gate::Cnot { control: 1, target: 4 }).unwrap();
+        let cnot = update_formula(&Gate::Cnot {
+            control: 1,
+            target: 4,
+        })
+        .unwrap();
         match cnot {
-            UpdateExpr::Combine { sign: CombineSign::Plus, rhs, .. } => match *rhs {
-                UpdateExpr::Restrict { qubit: 1, bit: true, inner } => {
+            UpdateExpr::Combine {
+                sign: CombineSign::Plus,
+                rhs,
+                ..
+            } => match *rhs {
+                UpdateExpr::Restrict {
+                    qubit: 1,
+                    bit: true,
+                    inner,
+                } => {
                     assert_eq!(*inner, flip_formula(4));
                 }
                 other => panic!("unexpected rhs {other:?}"),

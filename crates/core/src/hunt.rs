@@ -27,7 +27,10 @@ pub struct BugHunter {
 
 impl Default for BugHunter {
     fn default() -> Self {
-        BugHunter { engine: Engine::hybrid(), max_iterations: u32::MAX }
+        BugHunter {
+            engine: Engine::hybrid(),
+            max_iterations: u32::MAX,
+        }
     }
 }
 
@@ -49,7 +52,10 @@ pub struct HuntReport {
 impl BugHunter {
     /// Creates a hunter with the given engine and no iteration bound.
     pub fn new(engine: Engine) -> Self {
-        BugHunter { engine, max_iterations: u32::MAX }
+        BugHunter {
+            engine,
+            max_iterations: u32::MAX,
+        }
     }
 
     /// Limits the number of iterations.
@@ -70,9 +76,17 @@ impl BugHunter {
     ///
     /// Panics if the circuits have different widths.
     pub fn hunt(&self, original: &Circuit, candidate: &Circuit, rng: &mut impl Rng) -> HuntReport {
-        assert_eq!(original.num_qubits(), candidate.num_qubits(), "circuit width mismatch");
+        assert_eq!(
+            original.num_qubits(),
+            candidate.num_qubits(),
+            "circuit width mismatch"
+        );
         let n = original.num_qubits();
-        let base: u64 = if n >= 64 { rng.gen() } else { rng.gen_range(0..(1u64 << n.min(63))) };
+        let base: u64 = if n >= 64 {
+            rng.gen()
+        } else {
+            rng.gen_range(0..(1u64 << n.min(63)))
+        };
 
         // Random order in which qubits become unconstrained.
         let mut order: Vec<u32> = (0..n).collect();
@@ -120,7 +134,9 @@ mod tests {
     fn identical_circuits_yield_no_bug() {
         let circuit = mc_toffoli(3);
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let report = BugHunter::default().with_max_iterations(3).hunt(&circuit, &circuit, &mut rng);
+        let report = BugHunter::default()
+            .with_max_iterations(3)
+            .hunt(&circuit, &circuit, &mut rng);
         assert!(!report.bug_found);
         assert!(report.witness.is_none());
         assert_eq!(report.iterations, 3);
@@ -145,7 +161,11 @@ mod tests {
     #[test]
     fn bugs_in_random_quantum_circuits_are_found() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-        let config = RandomCircuitConfig { num_qubits: 4, num_gates: 12, include_superposing_gates: true };
+        let config = RandomCircuitConfig {
+            num_qubits: 4,
+            num_gates: 12,
+            include_superposing_gates: true,
+        };
         let circuit = random_circuit(&config, &mut rng);
         let buggy = autoq_circuit::mutation::insert_gate(&circuit, Gate::Z(2), 5);
         // Z commutes with nothing here by luck of the draw? — if the outputs
@@ -160,7 +180,9 @@ mod tests {
     fn iteration_bound_is_respected() {
         let circuit = mc_toffoli(2);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let report = BugHunter::default().with_max_iterations(1).hunt(&circuit, &circuit, &mut rng);
+        let report = BugHunter::default()
+            .with_max_iterations(1)
+            .hunt(&circuit, &circuit, &mut rng);
         assert_eq!(report.iterations, 1);
         assert_eq!(report.final_input_size, 1);
     }

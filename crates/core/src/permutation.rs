@@ -37,7 +37,9 @@ pub fn supports(gate: &Gate) -> bool {
         // with the control above the target.
         Gate::Cz { .. } => true,
         Gate::Toffoli { controls, target } => controls[0] < target && controls[1] < target,
-        Gate::H(_) | Gate::RxPi2(_) | Gate::RyPi2(_) | Gate::Swap(..) | Gate::Fredkin { .. } => false,
+        Gate::H(_) | Gate::RxPi2(_) | Gate::RyPi2(_) | Gate::Swap(..) | Gate::Fredkin { .. } => {
+            false
+        }
     }
 }
 
@@ -47,7 +49,10 @@ pub fn supports(gate: &Gate) -> bool {
 ///
 /// Panics if [`supports`] returns `false` for the gate.
 pub fn apply(automaton: &TreeAutomaton, gate: &Gate) -> TreeAutomaton {
-    assert!(supports(gate), "gate {gate} is not supported by the permutation-based encoding");
+    assert!(
+        supports(gate),
+        "gate {gate} is not supported by the permutation-based encoding"
+    );
     match *gate {
         Gate::X(t) => swap_children(automaton, t),
         Gate::Z(t) => scale_children(automaton, t, &Algebraic::one(), &(-&Algebraic::one())),
@@ -150,18 +155,37 @@ mod tests {
     use autoq_treeaut::Tree;
 
     fn states_of(automaton: &TreeAutomaton) -> Vec<std::collections::BTreeMap<u64, Algebraic>> {
-        automaton.enumerate(64).iter().map(Tree::to_amplitude_map).collect()
+        automaton
+            .enumerate(64)
+            .iter()
+            .map(Tree::to_amplitude_map)
+            .collect()
     }
 
     #[test]
     fn support_classification_matches_the_paper() {
         assert!(supports(&Gate::X(0)));
         assert!(supports(&Gate::T(5)));
-        assert!(supports(&Gate::Cnot { control: 0, target: 3 }));
-        assert!(!supports(&Gate::Cnot { control: 3, target: 0 }));
-        assert!(supports(&Gate::Cz { control: 3, target: 0 }));
-        assert!(supports(&Gate::Toffoli { controls: [0, 1], target: 2 }));
-        assert!(!supports(&Gate::Toffoli { controls: [0, 3], target: 2 }));
+        assert!(supports(&Gate::Cnot {
+            control: 0,
+            target: 3
+        }));
+        assert!(!supports(&Gate::Cnot {
+            control: 3,
+            target: 0
+        }));
+        assert!(supports(&Gate::Cz {
+            control: 3,
+            target: 0
+        }));
+        assert!(supports(&Gate::Toffoli {
+            controls: [0, 1],
+            target: 2
+        }));
+        assert!(!supports(&Gate::Toffoli {
+            controls: [0, 3],
+            target: 2
+        }));
         assert!(!supports(&Gate::H(0)));
         assert!(!supports(&Gate::RxPi2(0)));
     }
@@ -216,11 +240,16 @@ mod tests {
 
     #[test]
     fn cnot_flips_target_only_when_control_is_one() {
-        let automaton = TreeAutomaton::from_trees(
-            2,
-            &[Tree::basis_state(2, 0b00), Tree::basis_state(2, 0b10)],
-        );
-        let result = apply(&automaton, &Gate::Cnot { control: 0, target: 1 }).reduce();
+        let automaton =
+            TreeAutomaton::from_trees(2, &[Tree::basis_state(2, 0b00), Tree::basis_state(2, 0b10)]);
+        let result = apply(
+            &automaton,
+            &Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
+        )
+        .reduce();
         assert!(result.accepts(&Tree::basis_state(2, 0b00)));
         assert!(result.accepts(&Tree::basis_state(2, 0b11)));
         assert!(!result.accepts(&Tree::basis_state(2, 0b10)));
@@ -234,10 +263,23 @@ mod tests {
             _ => Algebraic::zero(),
         });
         let automaton = TreeAutomaton::from_tree(&minus_both);
-        for gate in [Gate::Cz { control: 0, target: 1 }, Gate::Cz { control: 1, target: 0 }] {
+        for gate in [
+            Gate::Cz {
+                control: 0,
+                target: 1,
+            },
+            Gate::Cz {
+                control: 1,
+                target: 0,
+            },
+        ] {
             let result = apply(&automaton, &gate).reduce();
             let states = states_of(&result);
-            assert_eq!(states[0][&0b11], -&Algebraic::one(), "wrong result for {gate}");
+            assert_eq!(
+                states[0][&0b11],
+                -&Algebraic::one(),
+                "wrong result for {gate}"
+            );
         }
     }
 
@@ -245,7 +287,14 @@ mod tests {
     fn toffoli_requires_both_controls() {
         let inputs: Vec<Tree> = (0..8).map(|b| Tree::basis_state(3, b)).collect();
         let automaton = TreeAutomaton::from_trees(3, &inputs);
-        let result = apply(&automaton, &Gate::Toffoli { controls: [0, 1], target: 2 }).reduce();
+        let result = apply(
+            &automaton,
+            &Gate::Toffoli {
+                controls: [0, 1],
+                target: 2,
+            },
+        )
+        .reduce();
         // The set of all basis states is closed under Toffoli.
         assert_eq!(result.enumerate(16).len(), 8);
         for b in 0..8u64 {
@@ -253,7 +302,14 @@ mod tests {
         }
         // A single state is permuted: |110⟩ ↦ |111⟩.
         let single = TreeAutomaton::from_tree(&Tree::basis_state(3, 0b110));
-        let moved = apply(&single, &Gate::Toffoli { controls: [0, 1], target: 2 }).reduce();
+        let moved = apply(
+            &single,
+            &Gate::Toffoli {
+                controls: [0, 1],
+                target: 2,
+            },
+        )
+        .reduce();
         assert!(moved.accepts(&Tree::basis_state(3, 0b111)));
         assert_eq!(moved.enumerate(4).len(), 1);
     }

@@ -47,7 +47,10 @@ pub fn mc_toffoli_spec(circuit: &Circuit) -> Spec {
     let m = n / 2;
     let free: Vec<u32> = (0..m).chain(std::iter::once(n - 1)).collect();
     let set = StateSet::basis_pattern(n, 0, &free);
-    Spec { pre: set.clone(), post: set }
+    Spec {
+        pre: set.clone(),
+        post: set,
+    }
 }
 
 /// The Grover-Single pre-condition `{|0…0⟩}` (the post-condition depends on
@@ -100,7 +103,8 @@ mod tests {
         // Every state fixes the non-oracle qubits to zero.
         for state in pre.states(16) {
             let basis = *state.keys().next().unwrap();
-            let non_oracle_mask = (1u64 << (all_circuit.num_qubits() - all_layout.oracle.len() as u32)) - 1;
+            let non_oracle_mask =
+                (1u64 << (all_circuit.num_qubits() - all_layout.oracle.len() as u32)) - 1;
             assert_eq!(basis & non_oracle_mask, 0);
         }
     }

@@ -39,26 +39,56 @@ impl StateSet {
     pub fn from_automaton(num_qubits: u32, automaton: TreeAutomaton) -> Self {
         assert_eq!(automaton.num_vars, num_qubits, "automaton height mismatch");
         automaton.validate().expect("invalid automaton");
-        StateSet { num_qubits, automaton }
+        StateSet {
+            num_qubits,
+            automaton,
+        }
     }
 
     /// The singleton set `{|basis⟩}`.
+    ///
+    /// Built directly as the linear-size automaton (`2n + 1` states), never
+    /// via an explicit tree: materialising the full binary tree first would
+    /// cost `2^(n+1)` nodes and caps the construction at ~24 qubits, while
+    /// this construction scales to the 64-qubit pattern limit.
     ///
     /// ```
     /// # use autoq_core::StateSet;
     /// let set = StateSet::basis_state(3, 0b101);
     /// assert_eq!(set.states(10).len(), 1);
+    /// // 60 qubits: the automaton stays linear (membership tests via
+    /// // `contains_basis_state` still build an explicit tree, so they are
+    /// // only usable at small widths).
+    /// let wide = StateSet::basis_state(60, 1 << 59);
+    /// assert_eq!(wide.state_count(), 121);
     /// ```
     pub fn basis_state(num_qubits: u32, basis: u64) -> Self {
-        let tree = Tree::basis_state(num_qubits, basis);
-        StateSet { num_qubits, automaton: TreeAutomaton::from_tree(&tree) }
+        assert!(
+            num_qubits <= 64,
+            "basis_state supports at most 64 qubits (u64 basis indices)"
+        );
+        assert!(
+            num_qubits == 64 || basis < 1u64 << num_qubits,
+            "basis index {basis} outside the {num_qubits}-qubit space"
+        );
+        if num_qubits == 0 {
+            let tree = Tree::basis_state(num_qubits, basis);
+            return StateSet {
+                num_qubits,
+                automaton: TreeAutomaton::from_tree(&tree),
+            };
+        }
+        Self::basis_pattern(num_qubits, basis, &[])
     }
 
     /// The singleton set containing the state described by an amplitude
     /// function over basis indices (MSBF encoding).
     pub fn from_state_fn(num_qubits: u32, f: impl Fn(u64) -> Algebraic) -> Self {
         let tree = Tree::from_fn(num_qubits, f);
-        StateSet { num_qubits, automaton: TreeAutomaton::from_tree(&tree) }
+        StateSet {
+            num_qubits,
+            automaton: TreeAutomaton::from_tree(&tree),
+        }
     }
 
     /// A set given by explicit states, each described by a map from basis
@@ -72,7 +102,10 @@ impl StateSet {
                 })
             })
             .collect();
-        StateSet { num_qubits, automaton: TreeAutomaton::from_trees(num_qubits, &trees).reduce() }
+        StateSet {
+            num_qubits,
+            automaton: TreeAutomaton::from_trees(num_qubits, &trees).reduce(),
+        }
     }
 
     /// The set of **all** computational basis states `{|i⟩ : i ∈ {0,1}ⁿ}`,
@@ -124,7 +157,10 @@ impl StateSet {
         }
         automaton.add_root(one_state);
         let automaton = automaton.trim();
-        StateSet { num_qubits, automaton }
+        StateSet {
+            num_qubits,
+            automaton,
+        }
     }
 
     /// The union of two sets over the same number of qubits.
@@ -136,11 +172,19 @@ impl StateSet {
         assert_eq!(self.num_qubits, other.num_qubits, "qubit count mismatch");
         let mut automaton = self.automaton.clone();
         let offset = automaton.import_disjoint(&other.automaton);
-        let other_roots: Vec<_> = other.automaton.roots.iter().map(|r| r.offset(offset)).collect();
+        let other_roots: Vec<_> = other
+            .automaton
+            .roots
+            .iter()
+            .map(|r| r.offset(offset))
+            .collect();
         for root in other_roots {
             automaton.add_root(root);
         }
-        StateSet { num_qubits: self.num_qubits, automaton: automaton.reduce() }
+        StateSet {
+            num_qubits: self.num_qubits,
+            automaton: automaton.reduce(),
+        }
     }
 
     /// Number of qubits.
@@ -166,7 +210,11 @@ impl StateSet {
     /// Enumerates up to `limit` states of the set as maps from basis indices
     /// to non-zero amplitudes.
     pub fn states(&self, limit: usize) -> Vec<BTreeMap<u64, Algebraic>> {
-        self.automaton.enumerate(limit).iter().map(Tree::to_amplitude_map).collect()
+        self.automaton
+            .enumerate(limit)
+            .iter()
+            .map(Tree::to_amplitude_map)
+            .collect()
     }
 
     /// Returns `true` if the set contains the state described by `f`.
@@ -176,18 +224,25 @@ impl StateSet {
 
     /// Returns `true` if the set contains the computational basis state.
     pub fn contains_basis_state(&self, basis: u64) -> bool {
-        self.automaton.accepts(&Tree::basis_state(self.num_qubits, basis))
+        self.automaton
+            .accepts(&Tree::basis_state(self.num_qubits, basis))
     }
 
     /// Applies the automaton reduction (trimming + successor merging) and
     /// returns the reduced set.
     pub fn reduced(&self) -> StateSet {
-        StateSet { num_qubits: self.num_qubits, automaton: self.automaton.reduce() }
+        StateSet {
+            num_qubits: self.num_qubits,
+            automaton: self.automaton.reduce(),
+        }
     }
 
     /// Replaces the underlying automaton (used by the gate transformers).
     pub(crate) fn with_automaton(&self, automaton: TreeAutomaton) -> StateSet {
-        StateSet { num_qubits: self.num_qubits, automaton }
+        StateSet {
+            num_qubits: self.num_qubits,
+            automaton,
+        }
     }
 }
 
@@ -209,7 +264,11 @@ mod tests {
         for n in 1..8u32 {
             let set = StateSet::all_basis_states(n);
             assert_eq!(set.state_count(), 2 * n as usize + 1, "states for n = {n}");
-            assert_eq!(set.transition_count(), 3 * n as usize + 1, "transitions for n = {n}");
+            assert_eq!(
+                set.transition_count(),
+                3 * n as usize + 1,
+                "transitions for n = {n}"
+            );
             if n <= 5 {
                 assert_eq!(set.states(1 << n).len(), 1 << n);
             }
@@ -270,7 +329,11 @@ mod tests {
                 Algebraic::zero()
             }
         });
-        assert!(set.contains_state_fn(|b| if b == 1 { -&Algebraic::one() } else { Algebraic::zero() }));
+        assert!(set.contains_state_fn(|b| if b == 1 {
+            -&Algebraic::one()
+        } else {
+            Algebraic::zero()
+        }));
         assert!(!set.contains_basis_state(1));
     }
 

@@ -79,22 +79,29 @@ pub fn verify(
 }
 
 /// Compares an already-computed output set against the post-condition.
-pub fn compare_with_post(output: &StateSet, post: &StateSet, mode: SpecMode) -> VerificationOutcome {
+pub fn compare_with_post(
+    output: &StateSet,
+    post: &StateSet,
+    mode: SpecMode,
+) -> VerificationOutcome {
     match mode {
         SpecMode::Inclusion => match inclusion(output.automaton(), post.automaton()) {
             InclusionResult::Included => VerificationOutcome::Holds,
-            InclusionResult::Counterexample(witness) => {
-                VerificationOutcome::Violated { witness, reachable_but_forbidden: true }
-            }
+            InclusionResult::Counterexample(witness) => VerificationOutcome::Violated {
+                witness,
+                reachable_but_forbidden: true,
+            },
         },
         SpecMode::Equality => match equivalence(output.automaton(), post.automaton()) {
             EquivalenceResult::Equivalent => VerificationOutcome::Holds,
-            EquivalenceResult::OnlyInLeft(witness) => {
-                VerificationOutcome::Violated { witness, reachable_but_forbidden: true }
-            }
-            EquivalenceResult::OnlyInRight(witness) => {
-                VerificationOutcome::Violated { witness, reachable_but_forbidden: false }
-            }
+            EquivalenceResult::OnlyInLeft(witness) => VerificationOutcome::Violated {
+                witness,
+                reachable_but_forbidden: true,
+            },
+            EquivalenceResult::OnlyInRight(witness) => VerificationOutcome::Violated {
+                witness,
+                reachable_but_forbidden: false,
+            },
         },
     }
 }
@@ -132,14 +139,25 @@ pub fn check_circuit_equivalence(
 mod tests {
     use super::*;
     use autoq_amplitude::Algebraic;
-    use autoq_circuit::generators::{bernstein_vazirani, bernstein_vazirani_expected_output, mc_toffoli};
+    use autoq_circuit::generators::{
+        bernstein_vazirani, bernstein_vazirani_expected_output, mc_toffoli,
+    };
     use autoq_circuit::mutation::insert_gate;
     use autoq_circuit::Gate;
 
     #[test]
     fn bell_state_triple_holds_and_witnesses_are_produced() {
-        let epr =
-            Circuit::from_gates(2, [Gate::H(0), Gate::Cnot { control: 0, target: 1 }]).unwrap();
+        let epr = Circuit::from_gates(
+            2,
+            [
+                Gate::H(0),
+                Gate::Cnot {
+                    control: 0,
+                    target: 1,
+                },
+            ],
+        )
+        .unwrap();
         let pre = StateSet::basis_state(2, 0);
         let post = StateSet::from_state_fn(2, |b| match b {
             0 | 3 => Algebraic::one_over_sqrt2(),
@@ -150,7 +168,14 @@ mod tests {
         assert!(verify(&engine, &pre, &epr, &post, SpecMode::Inclusion).holds());
 
         // A buggy EPR circuit (missing the Hadamard) is caught with a witness.
-        let buggy = Circuit::from_gates(2, [Gate::Cnot { control: 0, target: 1 }]).unwrap();
+        let buggy = Circuit::from_gates(
+            2,
+            [Gate::Cnot {
+                control: 0,
+                target: 1,
+            }],
+        )
+        .unwrap();
         let outcome = verify(&engine, &pre, &buggy, &post, SpecMode::Equality);
         assert!(!outcome.holds());
         let witness = outcome.witness().unwrap();
@@ -167,8 +192,14 @@ mod tests {
         assert!(verify(&engine, &pre, &x, &post, SpecMode::Inclusion).holds());
         let equality = verify(&engine, &pre, &x, &post, SpecMode::Equality);
         match equality {
-            VerificationOutcome::Violated { reachable_but_forbidden, .. } => {
-                assert!(!reachable_but_forbidden, "the missing state is in the post-condition");
+            VerificationOutcome::Violated {
+                reachable_but_forbidden,
+                ..
+            } => {
+                assert!(
+                    !reachable_but_forbidden,
+                    "the missing state is in the post-condition"
+                );
             }
             VerificationOutcome::Holds => panic!("equality should fail"),
         }
@@ -182,7 +213,14 @@ mod tests {
         let pre = StateSet::basis_state(n, 0);
         let post = StateSet::basis_state(n, bernstein_vazirani_expected_output(&hidden));
         assert!(verify(&Engine::hybrid(), &pre, &circuit, &post, SpecMode::Equality).holds());
-        assert!(verify(&Engine::composition(), &pre, &circuit, &post, SpecMode::Equality).holds());
+        assert!(verify(
+            &Engine::composition(),
+            &pre,
+            &circuit,
+            &post,
+            SpecMode::Equality
+        )
+        .holds());
     }
 
     #[test]

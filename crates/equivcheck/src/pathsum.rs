@@ -50,12 +50,16 @@ impl BoolPoly {
 
     /// The constant-one polynomial.
     pub fn one() -> Self {
-        BoolPoly { monomials: [Monomial::new()].into_iter().collect() }
+        BoolPoly {
+            monomials: [Monomial::new()].into_iter().collect(),
+        }
     }
 
     /// The polynomial consisting of a single variable.
     pub fn variable(var: Var) -> Self {
-        BoolPoly { monomials: [[var].into_iter().collect()].into_iter().collect() }
+        BoolPoly {
+            monomials: [[var].into_iter().collect()].into_iter().collect(),
+        }
     }
 
     /// Returns `true` if the polynomial is zero.
@@ -92,7 +96,9 @@ impl BoolPoly {
             for b in &other.monomials {
                 let mut product = a.clone();
                 product.extend(b.iter().copied());
-                let single = BoolPoly { monomials: [product].into_iter().collect() };
+                let single = BoolPoly {
+                    monomials: [product].into_iter().collect(),
+                };
                 result = result.add(&single);
             }
         }
@@ -111,10 +117,14 @@ impl BoolPoly {
             if monomial.contains(&var) {
                 let mut rest = monomial.clone();
                 rest.remove(&var);
-                let rest_poly = BoolPoly { monomials: [rest].into_iter().collect() };
+                let rest_poly = BoolPoly {
+                    monomials: [rest].into_iter().collect(),
+                };
                 result = result.add(&rest_poly.mul(replacement));
             } else {
-                result = result.add(&BoolPoly { monomials: [monomial.clone()].into_iter().collect() });
+                result = result.add(&BoolPoly {
+                    monomials: [monomial.clone()].into_iter().collect(),
+                });
             }
         }
         result
@@ -193,7 +203,9 @@ impl PhasePoly {
                 // lift(replacement) · rest (both are 0/1-valued).
                 let mut rest = monomial.clone();
                 rest.remove(&var);
-                let mut rest_poly = BoolPoly { monomials: [rest.clone()].into_iter().collect() };
+                let mut rest_poly = BoolPoly {
+                    monomials: [rest.clone()].into_iter().collect(),
+                };
                 rest_poly = rest_poly.mul(replacement);
                 result.add_scaled_bool(&rest_poly, coeff);
             } else {
@@ -220,7 +232,9 @@ fn lift(poly: &BoolPoly) -> BTreeMap<Monomial, i8> {
         next.retain(|_, c| *c % 8 != 0);
         acc = next;
     }
-    acc.into_iter().map(|(m, c)| (m, (c.rem_euclid(8)) as i8)).collect()
+    acc.into_iter()
+        .map(|(m, c)| (m, (c.rem_euclid(8)) as i8))
+        .collect()
 }
 
 /// The path-sum of a circuit.
@@ -337,8 +351,7 @@ impl PathSum {
                 self.outputs[target as usize] = self.outputs[target as usize].add(&c);
             }
             Gate::Cz { control, target } => {
-                let product =
-                    self.outputs[control as usize].mul(&self.outputs[target as usize]);
+                let product = self.outputs[control as usize].mul(&self.outputs[target as usize]);
                 self.phase.add_scaled_bool(&product, 4);
             }
             Gate::Toffoli { controls, target } => {
@@ -439,7 +452,9 @@ impl PathSum {
                     }
                     let mut rest = monomial.clone();
                     rest.remove(&y);
-                    q = q.add(&BoolPoly { monomials: [rest].into_iter().collect() });
+                    q = q.add(&BoolPoly {
+                        monomials: [rest].into_iter().collect(),
+                    });
                 }
             }
             if !all_four {
@@ -449,13 +464,15 @@ impl PathSum {
             for monomial in &q.monomials {
                 if monomial.len() == 1 {
                     let y_prime = *monomial.iter().next().unwrap();
-                    if y_prime < self.num_qubits || y_prime == y || self.eliminated_vars.contains(&y_prime) {
+                    if y_prime < self.num_qubits
+                        || y_prime == y
+                        || self.eliminated_vars.contains(&y_prime)
+                    {
                         continue;
                     }
                     // Q = y' ⊕ Q' requires y' not to occur in any other
                     // monomial of Q.
-                    let occurrences =
-                        q.monomials.iter().filter(|m| m.contains(&y_prime)).count();
+                    let occurrences = q.monomials.iter().filter(|m| m.contains(&y_prime)).count();
                     if occurrences != 1 {
                         continue;
                     }
@@ -566,8 +583,18 @@ mod tests {
         let adder = ripple_carry_adder(4);
         let buggy = insert_gate(&adder, Gate::X(3), 5);
         assert_eq!(check_equivalence(&adder, &buggy), Verdict::NotEquivalent);
-        let buggy_cnot = insert_gate(&adder, Gate::Cnot { control: 2, target: 6 }, 10);
-        assert_eq!(check_equivalence(&adder, &buggy_cnot), Verdict::NotEquivalent);
+        let buggy_cnot = insert_gate(
+            &adder,
+            Gate::Cnot {
+                control: 2,
+                target: 6,
+            },
+            10,
+        );
+        assert_eq!(
+            check_equivalence(&adder, &buggy_cnot),
+            Verdict::NotEquivalent
+        );
         assert_eq!(check_equivalence(&adder, &adder), Verdict::Equivalent);
     }
 
@@ -583,10 +610,32 @@ mod tests {
     fn hard_instances_report_unknown_rather_than_guessing() {
         // A circuit whose miter keeps unresolvable path variables: the
         // reduced rule set cannot finish, so the checker must say Unknown.
-        let c1 = Circuit::from_gates(2, [Gate::H(0), Gate::T(0), Gate::Cnot { control: 0, target: 1 }, Gate::H(1)])
-            .unwrap();
-        let c2 = Circuit::from_gates(2, [Gate::H(0), Gate::Tdg(0), Gate::Cnot { control: 0, target: 1 }, Gate::H(1)])
-            .unwrap();
+        let c1 = Circuit::from_gates(
+            2,
+            [
+                Gate::H(0),
+                Gate::T(0),
+                Gate::Cnot {
+                    control: 0,
+                    target: 1,
+                },
+                Gate::H(1),
+            ],
+        )
+        .unwrap();
+        let c2 = Circuit::from_gates(
+            2,
+            [
+                Gate::H(0),
+                Gate::Tdg(0),
+                Gate::Cnot {
+                    control: 0,
+                    target: 1,
+                },
+                Gate::H(1),
+            ],
+        )
+        .unwrap();
         let verdict = check_equivalence(&c1, &c2);
         assert_ne!(verdict, Verdict::Equivalent);
     }

@@ -85,7 +85,11 @@ pub fn check_with_stimuli(
             };
         }
     }
-    StimuliReport { verdict: Verdict::Unknown, counterexample: None, samples_used }
+    StimuliReport {
+        verdict: Verdict::Unknown,
+        counterexample: None,
+        samples_used,
+    }
 }
 
 /// Draws a uniformly random `n`-qubit basis index.
@@ -131,7 +135,14 @@ mod tests {
         // are 1; with a single sample (|0…0⟩) the bug goes unnoticed —
         // exactly the false-negative mode of stimuli checking.
         let circuit = Circuit::new(6);
-        let buggy = insert_gate(&circuit, Gate::Toffoli { controls: [0, 1], target: 5 }, 0);
+        let buggy = insert_gate(
+            &circuit,
+            Gate::Toffoli {
+                controls: [0, 1],
+                target: 5,
+            },
+            0,
+        );
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let report = check_with_stimuli(&circuit, &buggy, &StimuliConfig { samples: 0 }, &mut rng);
         assert_eq!(report.verdict, Verdict::Unknown);
@@ -140,13 +151,21 @@ mod tests {
     #[test]
     fn quantum_bugs_are_caught_on_random_circuits() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let config = RandomCircuitConfig { num_qubits: 5, num_gates: 15, include_superposing_gates: true };
+        let config = RandomCircuitConfig {
+            num_qubits: 5,
+            num_gates: 15,
+            include_superposing_gates: true,
+        };
         let circuit = random_circuit(&config, &mut rng);
         let (buggy, bug) = inject_random_gate(&circuit, true, &mut rng);
         let report = check_with_stimuli(&circuit, &buggy, &StimuliConfig { samples: 32 }, &mut rng);
         // The verdict is either a definite non-equivalence or Unknown (the
         // injected gate may cancel on the sampled inputs); it must never
         // claim equivalence.
-        assert_ne!(report.verdict, Verdict::Equivalent, "stimuli cannot prove equivalence ({bug})");
+        assert_ne!(
+            report.verdict,
+            Verdict::Equivalent,
+            "stimuli cannot prove equivalence ({bug})"
+        );
     }
 }

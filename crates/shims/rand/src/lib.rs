@@ -1,0 +1,317 @@
+//! Offline API shim for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The AutoQ-rs build environment has no access to crates.io, so this crate
+//! re-implements exactly the `rand 0.8` API surface the workspace uses:
+//!
+//! * [`Rng`] with `gen`, `gen_range` (half-open and inclusive integer
+//!   ranges) and `gen_bool`,
+//! * [`SeedableRng::seed_from_u64`] and [`rngs::StdRng`],
+//! * [`seq::SliceRandom::choose`].
+//!
+//! `StdRng` here is a [SplitMix64](https://prng.di.unimi.it/splitmix64.c)
+//! generator — statistically strong enough for test-case generation and
+//! benchmark workloads, fully deterministic per seed, and *not* suitable for
+//! cryptography. Seeds produce different streams than the real `rand`, which
+//! only matters if exact test vectors are ported from elsewhere.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let d: u32 = rng.gen_range(1..=6);
+//! assert!((1..=6).contains(&d));
+//! let coin = rng.gen_bool(0.5);
+//! assert!(coin || !coin);
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] (mirroring `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the "standard" distribution
+    /// (uniform over all values for the integer types).
+    fn gen<T: distributions::Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open (`a..b`) or inclusive (`a..=b`)
+    /// integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool requires 0 <= p <= 1, got {p}"
+        );
+        // 53 uniform mantissa bits, exactly like rand's `standard` f64.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Sampling distributions and range support.
+pub mod distributions {
+    use super::{Range, RangeInclusive, RngCore};
+
+    /// Types sampleable uniformly over their whole domain (`rng.gen()`).
+    pub trait Standard: Sized {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),+) => {$(
+            impl Standard for $t {
+                fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Standard for u128 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    impl Standard for i128 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            u128::sample(rng) as i128
+        }
+    }
+
+    impl Standard for bool {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Range types usable with [`Rng::gen_range`](super::Rng::gen_range).
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Uniformly samples `offset ∈ [0, width)` for a nonzero `width`.
+    ///
+    /// Uses 128 random bits per draw; the modulo bias is at most
+    /// `width / 2^128`, which is far below anything observable here.
+    fn sample_offset<R: RngCore + ?Sized>(rng: &mut R, width: u128) -> u128 {
+        debug_assert!(width > 0);
+        let raw = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+        raw % width
+    }
+
+    macro_rules! impl_sample_range_int {
+        ($($t:ty),+) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "cannot sample from empty range {}..{}", self.start, self.end
+                    );
+                    let width = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                    ((self.start as i128) + sample_offset(rng, width) as i128) as $t
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(
+                        start <= end,
+                        "cannot sample from empty range {start}..={end}"
+                    );
+                    let width = (end as i128).wrapping_sub(start as i128) as u128 + 1;
+                    ((start as i128) + sample_offset(rng, width) as i128) as $t
+                }
+            }
+        )+};
+    }
+    // i128/u128 ranges would need wider intermediate arithmetic; nothing in
+    // the workspace samples them, so they are intentionally not implemented.
+    impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Sequence-related helpers (mirroring `rand::seq`).
+pub mod seq {
+    use super::Rng;
+
+    /// Extension trait adding random selection to slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Returns a uniformly random element, or `None` if the slice is
+        /// empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn std_rng_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..600 {
+            let v: u32 = rng.gen_range(1..=6);
+            assert!((1..=6).contains(&v));
+            seen[(v - 1) as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all faces of a d6 should appear in 600 rolls"
+        );
+
+        for _ in 0..100 {
+            let v: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let w: usize = rng.gen_range(0..=0);
+            assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_panics_on_empty() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _: u32 = rng.gen_range(3..3);
+    }
+
+    #[test]
+    fn gen_bool_respects_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..64 {
+            assert!(rng.gen_bool(1.0));
+            assert!(!rng.gen_bool(0.0));
+        }
+        let heads = (0..2000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!(
+            (800..1200).contains(&heads),
+            "p=0.5 gave {heads}/2000 heads"
+        );
+    }
+
+    #[test]
+    fn choose_covers_the_slice_and_handles_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pool = [10, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let v = *pool.choose(&mut rng).unwrap();
+            seen[(v / 10 - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn works_through_impl_rng_generics() {
+        fn roll(rng: &mut impl super::Rng) -> u32 {
+            rng.gen_range(0..10u32)
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(roll(&mut rng) < 10);
+    }
+}

@@ -39,12 +39,18 @@ impl DenseState {
     /// Panics if `num_qubits > 26` (the dense vector would not fit in memory)
     /// or the basis index is out of range.
     pub fn basis_state(num_qubits: u32, basis: u64) -> Self {
-        assert!(num_qubits <= 26, "dense simulation limited to 26 qubits; use SparseState");
+        assert!(
+            num_qubits <= 26,
+            "dense simulation limited to 26 qubits; use SparseState"
+        );
         let dim = 1usize << num_qubits;
         assert!((basis as usize) < dim, "basis state out of range");
         let mut amplitudes = vec![Algebraic::zero(); dim];
         amplitudes[basis as usize] = Algebraic::one();
-        DenseState { num_qubits, amplitudes }
+        DenseState {
+            num_qubits,
+            amplitudes,
+        }
     }
 
     /// Builds a state from explicit amplitudes (length must be `2ⁿ`).
@@ -54,8 +60,15 @@ impl DenseState {
     /// Panics if the vector length is not a power of two matching
     /// `num_qubits`.
     pub fn from_amplitudes(num_qubits: u32, amplitudes: Vec<Algebraic>) -> Self {
-        assert_eq!(amplitudes.len(), 1usize << num_qubits, "amplitude vector has wrong length");
-        DenseState { num_qubits, amplitudes }
+        assert_eq!(
+            amplitudes.len(),
+            1usize << num_qubits,
+            "amplitude vector has wrong length"
+        );
+        DenseState {
+            num_qubits,
+            amplitudes,
+        }
     }
 
     /// Number of qubits.
@@ -123,7 +136,10 @@ impl DenseState {
             Gate::Tdg(q) => self.map_pairs(q, |v0, v1| (v0, &v1 * &Algebraic::omega_pow(7))),
             Gate::RxPi2(q) => self.map_pairs(q, |v0, v1| {
                 let minus_i = -&Algebraic::i();
-                ((&v0 + &(&v1 * &minus_i)).div_sqrt2(), (&(&v0 * &minus_i) + &v1).div_sqrt2())
+                (
+                    (&v0 + &(&v1 * &minus_i)).div_sqrt2(),
+                    (&(&v0 * &minus_i) + &v1).div_sqrt2(),
+                )
             }),
             Gate::RyPi2(q) => self.map_pairs(q, |v0, v1| {
                 ((&v0 - &v1).div_sqrt2(), (&v0 + &v1).div_sqrt2())
@@ -179,7 +195,11 @@ impl DenseState {
     }
 
     /// Applies a single-qubit gate given as a closure on `(v0, v1)` pairs.
-    fn map_pairs(&mut self, qubit: u32, f: impl Fn(Algebraic, Algebraic) -> (Algebraic, Algebraic)) {
+    fn map_pairs(
+        &mut self,
+        qubit: u32,
+        f: impl Fn(Algebraic, Algebraic) -> (Algebraic, Algebraic),
+    ) {
         let mask = self.mask(qubit);
         for index in 0..self.amplitudes.len() {
             if index & mask == 0 {
@@ -198,7 +218,10 @@ impl DenseState {
     ///
     /// Panics if the circuit width exceeds the state width.
     pub fn apply_circuit(&mut self, circuit: &Circuit) {
-        assert!(circuit.num_qubits() <= self.num_qubits, "circuit wider than the state");
+        assert!(
+            circuit.num_qubits() <= self.num_qubits,
+            "circuit wider than the state"
+        );
         for gate in circuit.gates() {
             self.apply_gate(gate);
         }
@@ -259,8 +282,17 @@ mod tests {
 
     #[test]
     fn bell_state_preparation() {
-        let circuit =
-            Circuit::from_gates(2, [Gate::H(0), Gate::Cnot { control: 0, target: 1 }]).unwrap();
+        let circuit = Circuit::from_gates(
+            2,
+            [
+                Gate::H(0),
+                Gate::Cnot {
+                    control: 0,
+                    target: 1,
+                },
+            ],
+        )
+        .unwrap();
         let state = DenseState::run(&circuit, 0);
         assert_eq!(state.amplitude(0), Algebraic::one_over_sqrt2());
         assert_eq!(state.amplitude(3), Algebraic::one_over_sqrt2());
@@ -292,14 +324,29 @@ mod tests {
     fn swap_and_fredkin_permute_basis_states() {
         let mut state = DenseState::basis_state(3, 0b100);
         state.apply_gate(&Gate::Swap(0, 2));
-        assert_eq!(state.to_amplitude_map().keys().copied().collect::<Vec<_>>(), vec![0b001]);
+        assert_eq!(
+            state.to_amplitude_map().keys().copied().collect::<Vec<_>>(),
+            vec![0b001]
+        );
         let mut state = DenseState::basis_state(3, 0b110);
-        state.apply_gate(&Gate::Fredkin { control: 0, targets: [1, 2] });
-        assert_eq!(state.to_amplitude_map().keys().copied().collect::<Vec<_>>(), vec![0b101]);
+        state.apply_gate(&Gate::Fredkin {
+            control: 0,
+            targets: [1, 2],
+        });
+        assert_eq!(
+            state.to_amplitude_map().keys().copied().collect::<Vec<_>>(),
+            vec![0b101]
+        );
         // control off: nothing happens
         let mut state = DenseState::basis_state(3, 0b010);
-        state.apply_gate(&Gate::Fredkin { control: 0, targets: [1, 2] });
-        assert_eq!(state.to_amplitude_map().keys().copied().collect::<Vec<_>>(), vec![0b010]);
+        state.apply_gate(&Gate::Fredkin {
+            control: 0,
+            targets: [1, 2],
+        });
+        assert_eq!(
+            state.to_amplitude_map().keys().copied().collect::<Vec<_>>(),
+            vec![0b010]
+        );
     }
 
     #[test]

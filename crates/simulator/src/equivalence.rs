@@ -95,7 +95,15 @@ mod tests {
     fn dense_and_sparse_backends_agree() {
         let circuit = Circuit::from_gates(
             3,
-            [Gate::H(0), Gate::T(0), Gate::Cnot { control: 0, target: 2 }, Gate::RyPi2(1)],
+            [
+                Gate::H(0),
+                Gate::T(0),
+                Gate::Cnot {
+                    control: 0,
+                    target: 2,
+                },
+                Gate::RyPi2(1),
+            ],
         )
         .unwrap();
         let inputs: Vec<u64> = (0..8).collect();
@@ -117,6 +125,9 @@ mod tests {
     fn identical_circuits_agree_everywhere() {
         let circuit = autoq_circuit::generators::mc_toffoli(3);
         let inputs: Vec<u64> = (0..16).collect();
-        assert_eq!(states_equal(&circuit, &circuit, &inputs, SimulationBackend::Sparse), None);
+        assert_eq!(
+            states_equal(&circuit, &circuit, &inputs, SimulationBackend::Sparse),
+            None
+        );
     }
 }

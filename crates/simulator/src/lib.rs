@@ -33,5 +33,5 @@ mod equivalence;
 mod sparse;
 
 pub use dense::DenseState;
-pub use equivalence::{states_equal, simulate_on_inputs, SimulationBackend};
+pub use equivalence::{simulate_on_inputs, states_equal, SimulationBackend};
 pub use sparse::SparseState;

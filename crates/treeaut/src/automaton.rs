@@ -93,9 +93,24 @@ impl TreeAutomaton {
     }
 
     /// Adds an internal transition `parent → symbol(left, right)`.
-    pub fn add_internal(&mut self, parent: StateId, symbol: InternalSymbol, left: StateId, right: StateId) {
-        debug_assert!(parent.raw() < self.num_states && left.raw() < self.num_states && right.raw() < self.num_states);
-        self.internal.push(InternalTransition { parent, symbol, left, right });
+    pub fn add_internal(
+        &mut self,
+        parent: StateId,
+        symbol: InternalSymbol,
+        left: StateId,
+        right: StateId,
+    ) {
+        debug_assert!(
+            parent.raw() < self.num_states
+                && left.raw() < self.num_states
+                && right.raw() < self.num_states
+        );
+        self.internal.push(InternalTransition {
+            parent,
+            symbol,
+            left,
+            right,
+        });
     }
 
     /// Adds a leaf transition `parent → value()`.
@@ -118,7 +133,10 @@ impl TreeAutomaton {
 
     /// Returns the leaf value of `state` if it has a leaf transition.
     pub fn leaf_value(&self, state: StateId) -> Option<&Algebraic> {
-        self.leaves.iter().find(|t| t.parent == state).map(|t| &t.value)
+        self.leaves
+            .iter()
+            .find(|t| t.parent == state)
+            .map(|t| &t.value)
     }
 
     /// Returns an existing state carrying the given leaf value, or allocates
@@ -129,7 +147,10 @@ impl TreeAutomaton {
             return t.parent;
         }
         let state = self.add_state();
-        self.leaves.push(LeafTransition { parent: state, value: value.clone() });
+        self.leaves.push(LeafTransition {
+            parent: state,
+            value: value.clone(),
+        });
         state
     }
 
@@ -172,7 +193,11 @@ impl TreeAutomaton {
         self.insert_tree_rec(tree, &mut cache)
     }
 
-    fn insert_tree_rec(&mut self, tree: &Tree, cache: &mut HashMap<*const Tree, StateId>) -> StateId {
+    fn insert_tree_rec(
+        &mut self,
+        tree: &Tree,
+        cache: &mut HashMap<*const Tree, StateId>,
+    ) -> StateId {
         match tree {
             Tree::Leaf(value) => self.leaf_state(value),
             Tree::Node { var, left, right } => {
@@ -181,7 +206,9 @@ impl TreeAutomaton {
                 // Share states for structurally equal internal transitions
                 // created for *this* tree insertion.
                 if let Some(existing) = self.internal.iter().find(|t| {
-                    t.symbol == InternalSymbol::new(*var) && t.left == left_state && t.right == right_state
+                    t.symbol == InternalSymbol::new(*var)
+                        && t.left == left_state
+                        && t.right == right_state
                 }) {
                     let parent = existing.parent;
                     cache.insert(tree as *const Tree, parent);
@@ -197,7 +224,9 @@ impl TreeAutomaton {
 
     /// Returns `true` if the automaton accepts `tree` (tags are ignored).
     pub fn accepts(&self, tree: &Tree) -> bool {
-        self.run_states(tree).iter().any(|state| self.roots.contains(state))
+        self.run_states(tree)
+            .iter()
+            .any(|state| self.roots.contains(state))
     }
 
     /// Computes the set of states that can generate `tree` (bottom-up run).
@@ -265,8 +294,12 @@ impl TreeAutomaton {
         for t in self.leaves.iter().filter(|t| t.parent == state) {
             trees.push(Tree::Leaf(t.value.clone()));
         }
-        let transitions: Vec<InternalTransition> =
-            self.internal.iter().filter(|t| t.parent == state).cloned().collect();
+        let transitions: Vec<InternalTransition> = self
+            .internal
+            .iter()
+            .filter(|t| t.parent == state)
+            .cloned()
+            .collect();
         for t in transitions {
             let left_trees = self.language_of(t.left, limit, memo, visiting);
             let right_trees = self.language_of(t.right, limit, memo, visiting);
@@ -314,17 +347,23 @@ impl TreeAutomaton {
             });
         }
         for t in &other.leaves {
-            self.leaves.push(LeafTransition { parent: t.parent.offset(offset), value: t.value.clone() });
+            self.leaves.push(LeafTransition {
+                parent: t.parent.offset(offset),
+                value: t.value.clone(),
+            });
         }
         offset
     }
 
     /// Removes duplicate transitions.
     pub fn dedup_transitions(&mut self) {
-        let mut seen_internal: HashSet<(StateId, InternalSymbol, StateId, StateId)> = HashSet::new();
-        self.internal.retain(|t| seen_internal.insert((t.parent, t.symbol, t.left, t.right)));
+        let mut seen_internal: HashSet<(StateId, InternalSymbol, StateId, StateId)> =
+            HashSet::new();
+        self.internal
+            .retain(|t| seen_internal.insert((t.parent, t.symbol, t.left, t.right)));
         let mut seen_leaves: HashSet<(StateId, Algebraic)> = HashSet::new();
-        self.leaves.retain(|t| seen_leaves.insert((t.parent, t.value.clone())));
+        self.leaves
+            .retain(|t| seen_leaves.insert((t.parent, t.value.clone())));
     }
 
     /// Returns a copy with every tag stripped from the internal symbols and
@@ -354,7 +393,9 @@ impl TreeAutomaton {
         for t in &self.internal {
             for s in [t.parent, t.left, t.right] {
                 if s.raw() >= self.num_states {
-                    return Err(format!("internal transition refers to unallocated state {s}"));
+                    return Err(format!(
+                        "internal transition refers to unallocated state {s}"
+                    ));
                 }
             }
             if t.symbol.var >= self.num_vars {
@@ -364,11 +405,17 @@ impl TreeAutomaton {
         let mut leaf_values: HashMap<StateId, &Algebraic> = HashMap::new();
         for t in &self.leaves {
             if t.parent.raw() >= self.num_states {
-                return Err(format!("leaf transition refers to unallocated state {}", t.parent));
+                return Err(format!(
+                    "leaf transition refers to unallocated state {}",
+                    t.parent
+                ));
             }
             if let Some(existing) = leaf_values.insert(t.parent, &t.value) {
                 if existing != &t.value {
-                    return Err(format!("leaf parent {} carries two distinct values", t.parent));
+                    return Err(format!(
+                        "leaf parent {} carries two distinct values",
+                        t.parent
+                    ));
                 }
             }
         }
@@ -384,7 +431,11 @@ impl TreeAutomaton {
 impl fmt::Display for TreeAutomaton {
     /// Renders the automaton in a VATA/Timbuk-like textual format.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Automaton ({} vars, {} states)", self.num_vars, self.num_states)?;
+        writeln!(
+            f,
+            "Automaton ({} vars, {} states)",
+            self.num_vars, self.num_states
+        )?;
         write!(f, "Roots:")?;
         for root in &self.roots {
             write!(f, " {root}")?;
@@ -492,8 +543,18 @@ mod tests {
         let leaf1 = automaton.leaf_state(&Algebraic::one());
         let root = automaton.add_state();
         automaton.add_root(root);
-        automaton.add_internal(root, InternalSymbol::new(0).with_tag(Tag::Single(1)), leaf0, leaf1);
-        automaton.add_internal(root, InternalSymbol::new(0).with_tag(Tag::Single(2)), leaf0, leaf1);
+        automaton.add_internal(
+            root,
+            InternalSymbol::new(0).with_tag(Tag::Single(1)),
+            leaf0,
+            leaf1,
+        );
+        automaton.add_internal(
+            root,
+            InternalSymbol::new(0).with_tag(Tag::Single(2)),
+            leaf0,
+            leaf1,
+        );
         assert!(automaton.is_tagged());
         let untagged = automaton.untagged();
         assert!(!untagged.is_tagged());

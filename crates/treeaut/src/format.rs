@@ -39,7 +39,11 @@ pub struct FormatError {
 
 impl std::fmt::Display for FormatError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "automaton format error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "automaton format error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -131,12 +135,17 @@ pub fn from_text(text: &str) -> Result<TreeAutomaton, FormatError> {
                 internal_lines.push((line_no, line.to_string()));
             }
         } else {
-            return Err(FormatError { line: line_no, message: format!("unexpected line {line:?}") });
+            return Err(FormatError {
+                line: line_no,
+                message: format!("unexpected line {line:?}"),
+            });
         }
     }
 
-    let num_vars = num_vars
-        .ok_or(FormatError { line: 0, message: "missing Vars declaration".to_string() })?;
+    let num_vars = num_vars.ok_or(FormatError {
+        line: 0,
+        message: "missing Vars declaration".to_string(),
+    })?;
     let mut automaton = TreeAutomaton::new(num_vars);
     automaton.add_states(num_states);
     for root in roots {
@@ -176,7 +185,12 @@ pub fn from_text(text: &str) -> Result<TreeAutomaton, FormatError> {
         }
         let left = parse_state(children[0], line_no)?;
         let right = parse_state(children[1], line_no)?;
-        automaton.add_internal(parent_state(parent), symbol, StateId::new(left), StateId::new(right));
+        automaton.add_internal(
+            parent_state(parent),
+            symbol,
+            StateId::new(left),
+            StateId::new(right),
+        );
     }
     automaton
         .validate()
@@ -193,13 +207,17 @@ fn parse_state(token: &str, line: usize) -> Result<u32, FormatError> {
         .trim()
         .strip_prefix('q')
         .and_then(|rest| rest.parse().ok())
-        .ok_or(FormatError { line, message: format!("malformed state {token:?}") })
+        .ok_or(FormatError {
+            line,
+            message: format!("malformed state {token:?}"),
+        })
 }
 
 fn parse_symbol(token: &str, line: usize) -> Result<crate::InternalSymbol, FormatError> {
-    let rest = token
-        .strip_prefix('x')
-        .ok_or(FormatError { line, message: format!("malformed symbol {token:?}") })?;
+    let rest = token.strip_prefix('x').ok_or(FormatError {
+        line,
+        message: format!("malformed symbol {token:?}"),
+    })?;
     let (var_text, tag) = match rest.split_once('#') {
         None => (rest, Tag::None),
         Some((var_text, tag_text)) => {
@@ -209,16 +227,23 @@ fn parse_symbol(token: &str, line: usize) -> Result<crate::InternalSymbol, Forma
                     message: format!("malformed tag {tag_text:?}"),
                 })?),
                 Some((i, j)) => Tag::Pair(
-                    i.parse().map_err(|_| FormatError { line, message: format!("malformed tag {i:?}") })?,
-                    j.parse().map_err(|_| FormatError { line, message: format!("malformed tag {j:?}") })?,
+                    i.parse().map_err(|_| FormatError {
+                        line,
+                        message: format!("malformed tag {i:?}"),
+                    })?,
+                    j.parse().map_err(|_| FormatError {
+                        line,
+                        message: format!("malformed tag {j:?}"),
+                    })?,
                 ),
             };
             (var_text, tag)
         }
     };
-    let var: u32 = var_text
-        .parse()
-        .map_err(|_| FormatError { line, message: format!("malformed variable {var_text:?}") })?;
+    let var: u32 = var_text.parse().map_err(|_| FormatError {
+        line,
+        message: format!("malformed variable {var_text:?}"),
+    })?;
     Ok(crate::InternalSymbol::new(var).with_tag(tag))
 }
 
@@ -226,19 +251,34 @@ fn parse_amplitude(token: &str, line: usize) -> Result<Algebraic, FormatError> {
     let inner = token
         .strip_prefix('[')
         .and_then(|t| t.strip_suffix(']'))
-        .ok_or(FormatError { line, message: format!("malformed amplitude {token:?}") })?;
+        .ok_or(FormatError {
+            line,
+            message: format!("malformed amplitude {token:?}"),
+        })?;
     let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
     if parts.len() != 5 {
-        return Err(FormatError { line, message: "amplitudes are 5-tuples (a,b,c,d,k)".to_string() });
+        return Err(FormatError {
+            line,
+            message: "amplitudes are 5-tuples (a,b,c,d,k)".to_string(),
+        });
     }
     let parse_int = |text: &str| -> Result<BigInt, FormatError> {
-        BigInt::from_str(text)
-            .map_err(|_| FormatError { line, message: format!("malformed integer {text:?}") })
+        BigInt::from_str(text).map_err(|_| FormatError {
+            line,
+            message: format!("malformed integer {text:?}"),
+        })
     };
-    let k: u64 = parts[4]
-        .parse()
-        .map_err(|_| FormatError { line, message: format!("malformed exponent {:?}", parts[4]) })?;
-    Ok(Algebraic::new(parse_int(parts[0])?, parse_int(parts[1])?, parse_int(parts[2])?, parse_int(parts[3])?, k))
+    let k: u64 = parts[4].parse().map_err(|_| FormatError {
+        line,
+        message: format!("malformed exponent {:?}", parts[4]),
+    })?;
+    Ok(Algebraic::new(
+        parse_int(parts[0])?,
+        parse_int(parts[1])?,
+        parse_int(parts[2])?,
+        parse_int(parts[3])?,
+        k,
+    ))
 }
 
 #[cfg(test)]
@@ -249,7 +289,13 @@ mod tests {
     #[test]
     fn round_trip_preserves_the_language() {
         let trees = vec![
-            Tree::from_fn(3, |b| if b % 2 == 0 { Algebraic::one_over_sqrt2() } else { Algebraic::zero() }),
+            Tree::from_fn(3, |b| {
+                if b % 2 == 0 {
+                    Algebraic::one_over_sqrt2()
+                } else {
+                    Algebraic::zero()
+                }
+            }),
             Tree::basis_state(3, 5),
         ];
         let automaton = TreeAutomaton::from_trees(3, &trees);
@@ -274,10 +320,12 @@ mod tests {
     #[test]
     fn parse_errors_carry_line_numbers() {
         assert!(from_text("").is_err());
-        let err = from_text("Vars 1\nStates q0\nFinal States q0\nTransitions\nbroken\n").unwrap_err();
+        let err =
+            from_text("Vars 1\nStates q0\nFinal States q0\nTransitions\nbroken\n").unwrap_err();
         assert_eq!(err.line, 5);
-        let err = from_text("Vars 1\nStates q0 q1\nFinal States q1\nTransitions\n[1,0,0,0] -> q0\n")
-            .unwrap_err();
+        let err =
+            from_text("Vars 1\nStates q0 q1\nFinal States q1\nTransitions\n[1,0,0,0] -> q0\n")
+                .unwrap_err();
         assert!(err.message.contains("5-tuples"));
     }
 

@@ -112,7 +112,10 @@ pub fn inclusion(a: &TreeAutomaton, b: &TreeAutomaton) -> InclusionResult {
     }
     let mut b_internal_by_var: HashMap<u32, Vec<(StateId, StateId, StateId)>> = HashMap::new();
     for t in &b.internal {
-        b_internal_by_var.entry(t.symbol.var).or_default().push((t.parent, t.left, t.right));
+        b_internal_by_var
+            .entry(t.symbol.var)
+            .or_default()
+            .push((t.parent, t.left, t.right));
     }
     let b_roots: BTreeSet<StateId> = b.roots.iter().copied().collect();
 
@@ -120,11 +123,18 @@ pub fn inclusion(a: &TreeAutomaton, b: &TreeAutomaton) -> InclusionResult {
     let mut pairs: HashMap<StateId, Vec<SearchPair>> = HashMap::new();
 
     // Returns true when the pair is new (not subsumed by an existing pair).
-    fn insert_pair(pairs: &mut HashMap<StateId, Vec<SearchPair>>, q: StateId, new: SearchPair) -> bool {
+    fn insert_pair(
+        pairs: &mut HashMap<StateId, Vec<SearchPair>>,
+        q: StateId,
+        new: SearchPair,
+    ) -> bool {
         let entry = pairs.entry(q).or_default();
         // Subsumed: an existing pair with a subset of B-states witnesses at
         // least as much "escape" as the new one.
-        if entry.iter().any(|existing| existing.b_states.is_subset(&new.b_states)) {
+        if entry
+            .iter()
+            .any(|existing| existing.b_states.is_subset(&new.b_states))
+        {
             return false;
         }
         entry.retain(|existing| !new.b_states.is_subset(&existing.b_states));
@@ -132,14 +142,16 @@ pub fn inclusion(a: &TreeAutomaton, b: &TreeAutomaton) -> InclusionResult {
         true
     }
 
-    let failure = |pair: &SearchPair, roots: &BTreeSet<StateId>| -> bool {
-        pair.b_states.is_disjoint(roots)
-    };
+    let failure =
+        |pair: &SearchPair, roots: &BTreeSet<StateId>| -> bool { pair.b_states.is_disjoint(roots) };
 
     // Initialise with A's leaf transitions.
     for t in &a.leaves {
         let b_states = b_leaves.get(&t.value).cloned().unwrap_or_default();
-        let pair = SearchPair { b_states, witness: Rc::new(Witness::Leaf(t.value.clone())) };
+        let pair = SearchPair {
+            b_states,
+            witness: Rc::new(Witness::Leaf(t.value.clone())),
+        };
         if a.roots.contains(&t.parent) && failure(&pair, &b_roots) {
             return InclusionResult::Counterexample(pair.witness.to_tree());
         }
@@ -155,7 +167,10 @@ pub fn inclusion(a: &TreeAutomaton, b: &TreeAutomaton) -> InclusionResult {
             if left_pairs.is_empty() || right_pairs.is_empty() {
                 continue;
             }
-            let candidates = b_internal_by_var.get(&t.symbol.var).cloned().unwrap_or_default();
+            let candidates = b_internal_by_var
+                .get(&t.symbol.var)
+                .cloned()
+                .unwrap_or_default();
             for lp in &left_pairs {
                 for rp in &right_pairs {
                     let mut b_states = BTreeSet::new();
@@ -215,7 +230,10 @@ pub fn equivalence(a: &TreeAutomaton, b: &TreeAutomaton) -> EquivalenceResult {
 pub fn naive_equivalence(a: &TreeAutomaton, b: &TreeAutomaton, limit: usize) -> bool {
     let la = a.enumerate(limit + 1);
     let lb = b.enumerate(limit + 1);
-    assert!(la.len() <= limit && lb.len() <= limit, "language too large for naive check");
+    assert!(
+        la.len() <= limit && lb.len() <= limit,
+        "language too large for naive check"
+    );
     if la.len() != lb.len() {
         return false;
     }
@@ -286,7 +304,11 @@ mod tests {
         let a = all_basis(2);
         let three_of_four = TreeAutomaton::from_trees(
             2,
-            &[Tree::basis_state(2, 0), Tree::basis_state(2, 1), Tree::basis_state(2, 2)],
+            &[
+                Tree::basis_state(2, 0),
+                Tree::basis_state(2, 1),
+                Tree::basis_state(2, 2),
+            ],
         );
         match equivalence(&a, &three_of_four) {
             EquivalenceResult::OnlyInLeft(tree) => {
@@ -304,13 +326,17 @@ mod tests {
             let n = rng.gen_range(1..=3u32);
             let universe = 1u64 << n;
             let pick = |rng: &mut rand::rngs::StdRng| -> Vec<Tree> {
-                (0..universe).filter(|_| rng.gen_bool(0.5)).map(|b| Tree::basis_state(n, b)).collect()
+                (0..universe)
+                    .filter(|_| rng.gen_bool(0.5))
+                    .map(|b| Tree::basis_state(n, b))
+                    .collect()
             };
             let set_a = pick(&mut rng);
             let set_b = pick(&mut rng);
             let a = TreeAutomaton::from_trees(n, &set_a);
             let b = TreeAutomaton::from_trees(n, &set_b);
-            let expected = set_a.iter().all(|t| set_b.contains(t)) && set_b.iter().all(|t| set_a.contains(t));
+            let expected =
+                set_a.iter().all(|t| set_b.contains(t)) && set_b.iter().all(|t| set_a.contains(t));
             assert_eq!(equivalence(&a, &b).holds(), expected);
             assert_eq!(naive_equivalence(&a, &b, 64), expected);
         }

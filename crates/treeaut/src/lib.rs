@@ -39,7 +39,9 @@ mod symbol;
 mod tree;
 
 pub use automaton::{InternalTransition, LeafTransition, TreeAutomaton};
-pub use inclusion::{equivalence, inclusion, naive_equivalence, EquivalenceResult, InclusionResult};
+pub use inclusion::{
+    equivalence, inclusion, naive_equivalence, EquivalenceResult, InclusionResult,
+};
 pub use state::StateId;
 pub use symbol::{InternalSymbol, Tag};
 pub use tree::Tree;

@@ -36,8 +36,12 @@ impl TreeAutomaton {
         }
         // 2. Accessible states: from the roots downwards, only through
         //    transitions whose children are productive.
-        let mut accessible: HashSet<StateId> =
-            self.roots.iter().copied().filter(|root| productive.contains(root)).collect();
+        let mut accessible: HashSet<StateId> = self
+            .roots
+            .iter()
+            .copied()
+            .filter(|root| productive.contains(root))
+            .collect();
         let mut worklist: Vec<StateId> = accessible.iter().copied().collect();
         while let Some(state) = worklist.pop() {
             for t in self.internal.iter().filter(|t| t.parent == state) {
@@ -66,15 +70,25 @@ impl TreeAutomaton {
             }
         }
         for t in &self.internal {
-            if let (Some(&parent), Some(&left), Some(&right)) =
-                (mapping.get(&t.parent), mapping.get(&t.left), mapping.get(&t.right))
-            {
-                result.internal.push(InternalTransition { parent, symbol: t.symbol, left, right });
+            if let (Some(&parent), Some(&left), Some(&right)) = (
+                mapping.get(&t.parent),
+                mapping.get(&t.left),
+                mapping.get(&t.right),
+            ) {
+                result.internal.push(InternalTransition {
+                    parent,
+                    symbol: t.symbol,
+                    left,
+                    right,
+                });
             }
         }
         for t in &self.leaves {
             if let Some(&parent) = mapping.get(&t.parent) {
-                result.leaves.push(LeafTransition { parent, value: t.value.clone() });
+                result.leaves.push(LeafTransition {
+                    parent,
+                    value: t.value.clone(),
+                });
             }
         }
         result.dedup_transitions();
@@ -103,8 +117,12 @@ impl TreeAutomaton {
         // indexed by parent state in a single pass over the transitions.
         let mut internal_by_parent: Vec<Vec<String>> = vec![Vec::new(); self.num_states as usize];
         for t in &self.internal {
-            internal_by_parent[t.parent.index()]
-                .push(format!("{}({},{})", t.symbol, t.left.raw(), t.right.raw()));
+            internal_by_parent[t.parent.index()].push(format!(
+                "{}({},{})",
+                t.symbol,
+                t.left.raw(),
+                t.right.raw()
+            ));
         }
         let mut leaves_by_parent: Vec<Vec<String>> = vec![Vec::new(); self.num_states as usize];
         for t in &self.leaves {
@@ -149,7 +167,10 @@ impl TreeAutomaton {
             });
         }
         for t in &self.leaves {
-            result.leaves.push(LeafTransition { parent: remap(t.parent), value: t.value.clone() });
+            result.leaves.push(LeafTransition {
+                parent: remap(t.parent),
+                value: t.value.clone(),
+            });
         }
         result.dedup_transitions();
         (result.trim(), true)

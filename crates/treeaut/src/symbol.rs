@@ -62,7 +62,10 @@ pub struct InternalSymbol {
 impl InternalSymbol {
     /// Creates an untagged symbol for variable `var`.
     pub fn new(var: u32) -> Self {
-        InternalSymbol { var, tag: Tag::None }
+        InternalSymbol {
+            var,
+            tag: Tag::None,
+        }
     }
 
     /// Returns a copy of the symbol carrying `tag`.
@@ -72,7 +75,10 @@ impl InternalSymbol {
 
     /// Returns a copy of the symbol with the tag removed.
     pub fn untagged(self) -> Self {
-        InternalSymbol { var: self.var, tag: Tag::None }
+        InternalSymbol {
+            var: self.var,
+            tag: Tag::None,
+        }
     }
 }
 
@@ -109,7 +115,10 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(InternalSymbol::new(0).to_string(), "x0");
-        assert_eq!(InternalSymbol::new(1).with_tag(Tag::Pair(4, 7)).to_string(), "x1#4,7");
+        assert_eq!(
+            InternalSymbol::new(1).with_tag(Tag::Pair(4, 7)).to_string(),
+            "x1#4,7"
+        );
     }
 
     #[test]

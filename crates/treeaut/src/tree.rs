@@ -54,7 +54,10 @@ impl Tree {
     /// Panics if `num_qubits` is larger than 63 (the basis index would not
     /// fit in a `u64`).
     pub fn from_fn(num_qubits: u32, f: impl Fn(u64) -> Algebraic) -> Tree {
-        assert!(num_qubits < 64, "at most 63 qubits supported by Tree::from_fn");
+        assert!(
+            num_qubits < 64,
+            "at most 63 qubits supported by Tree::from_fn"
+        );
         Self::from_fn_rec(num_qubits, 0, 0, &f)
     }
 
@@ -80,7 +83,13 @@ impl Tree {
     /// assert_eq!(t.amplitude(0b100), Algebraic::zero());
     /// ```
     pub fn basis_state(num_qubits: u32, basis: u64) -> Tree {
-        Tree::from_fn(num_qubits, |b| if b == basis { Algebraic::one() } else { Algebraic::zero() })
+        Tree::from_fn(num_qubits, |b| {
+            if b == basis {
+                Algebraic::one()
+            } else {
+                Algebraic::zero()
+            }
+        })
     }
 
     /// Number of qubits (the height of the tree).
@@ -98,7 +107,9 @@ impl Tree {
             match tree {
                 Tree::Leaf(_) => depth == height,
                 Tree::Node { var, left, right } => {
-                    *var == depth && check(left, depth + 1, height) && check(right, depth + 1, height)
+                    *var == depth
+                        && check(left, depth + 1, height)
+                        && check(right, depth + 1, height)
                 }
             }
         }
@@ -219,7 +230,11 @@ mod tests {
         assert_eq!(map.len(), 1);
         assert_eq!(map[&0b010], Algebraic::one());
         for basis in 0..8u64 {
-            let expected = if basis == 0b010 { Algebraic::one() } else { Algebraic::zero() };
+            let expected = if basis == 0b010 {
+                Algebraic::one()
+            } else {
+                Algebraic::zero()
+            };
             assert_eq!(tree.amplitude(basis), expected);
         }
     }

@@ -3,7 +3,7 @@
 //! circuit is a single basis state, and the tree-automaton representation of
 //! the whole analysis stays linear in the number of qubits.
 //!
-//! Run with `cargo run --release -p autoq-examples --bin bv_demo [qubits]`.
+//! Run with `cargo run --release -p autoq-examples --example bv_demo [qubits]`.
 
 use autoq_circuit::generators::bernstein_vazirani;
 use autoq_core::presets::bv_spec;
@@ -11,13 +11,20 @@ use autoq_core::{verify, Engine, SpecMode};
 use std::time::Instant;
 
 fn main() {
-    let qubits: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(40);
+    let qubits: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(40);
     let hidden: Vec<bool> = (0..qubits).map(|i| i % 3 != 1).collect();
     let hidden_string: String = hidden.iter().map(|&b| if b { '1' } else { '0' }).collect();
     println!("Bernstein–Vazirani with a hidden string of {qubits} bits: {hidden_string}");
 
     let circuit = bernstein_vazirani(&hidden);
-    println!("circuit: {} qubits, {} gates", circuit.num_qubits(), circuit.gate_count());
+    println!(
+        "circuit: {} qubits, {} gates",
+        circuit.num_qubits(),
+        circuit.gate_count()
+    );
 
     let spec = bv_spec(&hidden);
     println!(
@@ -26,7 +33,10 @@ fn main() {
         spec.pre.transition_count()
     );
 
-    for (name, engine) in [("Hybrid", Engine::hybrid()), ("Composition", Engine::composition())] {
+    for (name, engine) in [
+        ("Hybrid", Engine::hybrid()),
+        ("Composition", Engine::composition()),
+    ] {
         let start = Instant::now();
         let outcome = verify(&engine, &spec.pre, &circuit, &spec.post, SpecMode::Equality);
         println!(

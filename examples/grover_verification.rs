@@ -2,7 +2,7 @@
 //! paper's `Grover-Sing` and `Grover-All` experiments (Table 2), including
 //! the amplitude check that the marked state was amplified.
 //!
-//! Run with `cargo run --release -p autoq-examples --bin grover_verification [m]`.
+//! Run with `cargo run --release -p autoq-examples --example grover_verification [m]`.
 
 use autoq_circuit::generators::{grover_all, grover_single};
 use autoq_core::presets::grover_all_pre;
@@ -11,7 +11,10 @@ use autoq_simulator::DenseState;
 use std::time::Instant;
 
 fn main() {
-    let m: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3);
+    let m: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
     let marked = (1u64 << m) - 2; // an arbitrary marked string
 
     // --- Grover with a single oracle ------------------------------------
@@ -46,7 +49,10 @@ fn main() {
         }
     }
     marked_index |= 1 << (circuit.num_qubits() - 1 - layout.phase);
-    println!("  P[search register = marked] = {:.4}", reference.probability_of(marked_index));
+    println!(
+        "  P[search register = marked] = {:.4}",
+        reference.probability_of(marked_index)
+    );
 
     // --- Grover over all oracles ----------------------------------------
     let (circuit, layout) = grover_all(m.min(3), Some(1));
@@ -58,10 +64,15 @@ fn main() {
         circuit.gate_count()
     );
     let pre = grover_all_pre(&layout, n);
-    let inputs: Vec<u64> =
-        pre.states(1 << layout.oracle.len()).iter().map(|s| *s.keys().next().unwrap()).collect();
-    let outputs: Vec<_> =
-        inputs.iter().map(|&b| DenseState::run(&circuit, b).to_amplitude_map()).collect();
+    let inputs: Vec<u64> = pre
+        .states(1 << layout.oracle.len())
+        .iter()
+        .map(|s| *s.keys().next().unwrap())
+        .collect();
+    let outputs: Vec<_> = inputs
+        .iter()
+        .map(|&b| DenseState::run(&circuit, b).to_amplitude_map())
+        .collect();
     let post = StateSet::from_state_maps(n, &outputs);
 
     let start = Instant::now();

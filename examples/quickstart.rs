@@ -1,7 +1,7 @@
 //! Quickstart: verify the Bell-state (EPR) circuit of the paper's overview
 //! (Fig. 1) and watch a witness appear when the circuit is buggy.
 //!
-//! Run with `cargo run -p autoq-examples --bin quickstart`.
+//! Run with `cargo run -p autoq-examples --example quickstart`.
 
 use autoq_amplitude::Algebraic;
 use autoq_circuit::{Circuit, Gate};
@@ -9,8 +9,17 @@ use autoq_core::{verify, Engine, SpecMode, StateSet, VerificationOutcome};
 
 fn main() {
     // The EPR circuit of Fig. 1(c): H on qubit 0, then CNOT(0 → 1).
-    let epr = Circuit::from_gates(2, [Gate::H(0), Gate::Cnot { control: 0, target: 1 }])
-        .expect("valid circuit");
+    let epr = Circuit::from_gates(
+        2,
+        [
+            Gate::H(0),
+            Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
+        ],
+    )
+    .expect("valid circuit");
     println!("EPR circuit:\n{epr}");
 
     // Pre-condition (Fig. 1a): the single basis state |00⟩.
@@ -32,14 +41,28 @@ fn main() {
     // Now break the circuit: forget the Hadamard.  The analysis produces a
     // witness quantum state explaining the failure, exactly like the paper's
     // tool does via VATA.
-    let buggy = Circuit::from_gates(2, [Gate::Cnot { control: 0, target: 1 }]).expect("valid circuit");
+    let buggy = Circuit::from_gates(
+        2,
+        [Gate::Cnot {
+            control: 0,
+            target: 1,
+        }],
+    )
+    .expect("valid circuit");
     match verify(&engine, &pre, &buggy, &post, SpecMode::Equality) {
         VerificationOutcome::Holds => println!("the buggy circuit unexpectedly verified"),
-        VerificationOutcome::Violated { witness, reachable_but_forbidden } => {
+        VerificationOutcome::Violated {
+            witness,
+            reachable_but_forbidden,
+        } => {
             println!("buggy EPR circuit rejected, as expected.");
             println!(
                 "  witness ({}): {}",
-                if reachable_but_forbidden { "reachable but not allowed" } else { "required but unreachable" },
+                if reachable_but_forbidden {
+                    "reachable but not allowed"
+                } else {
+                    "required but unreachable"
+                },
                 witness
             );
         }
@@ -54,8 +77,10 @@ fn main() {
         outputs.transition_count()
     );
     for state in outputs.states(8) {
-        let rendering: Vec<String> =
-            state.iter().map(|(basis, amp)| format!("({amp})|{basis:02b}⟩")).collect();
+        let rendering: Vec<String> = state
+            .iter()
+            .map(|(basis, amp)| format!("({amp})|{basis:02b}⟩"))
+            .collect();
         println!("  {}", rendering.join(" + "));
     }
 }

@@ -26,9 +26,8 @@ fn witness_is_real(original: &Circuit, mutant: &Circuit) -> bool {
     // The witness tree is an output state produced by exactly one circuit;
     // confirm a difference exists by scanning all basis inputs (small n).
     let n = original.num_qubits();
-    (0..(1u128 << n.min(16))).any(|basis| {
-        SparseState::run(original, basis) != SparseState::run(mutant, basis)
-    })
+    (0..(1u128 << n.min(16)))
+        .any(|basis| SparseState::run(original, basis) != SparseState::run(mutant, basis))
 }
 
 #[test]
@@ -66,19 +65,36 @@ fn injected_bugs_in_increment_circuits_are_found() {
 
 #[test]
 fn quantum_bug_hunt_on_random_circuits_agrees_with_direct_equivalence_check() {
-    let config = RandomCircuitConfig { num_qubits: 4, num_gates: 10, include_superposing_gates: true };
+    let config = RandomCircuitConfig {
+        num_qubits: 4,
+        num_gates: 10,
+        include_superposing_gates: true,
+    };
     let mut rng = rand::rngs::StdRng::seed_from_u64(23);
     let circuit = random_circuit(&config, &mut rng);
     let (buggy, _) = inject_random_gate(&circuit, true, &mut rng);
     // Full-input-set check (all basis states): definitive on this small size.
-    let inputs = StateSet::all_basis_states(4);
+    let inputs = StateSet::all_basis_states(circuit.num_qubits());
     let full = check_circuit_equivalence(&Engine::hybrid(), &inputs, &circuit, &buggy);
     let report = BugHunter::new(Engine::hybrid()).hunt(&circuit, &buggy, &mut rng);
     if report.bug_found {
-        assert!(!full.holds(), "hunter found a bug the full check denies");
+        // The hunter's set-of-outputs check is sound: a reported bug means
+        // the unitaries differ, which the exact simulator must confirm on
+        // some basis input.  (The *full* set check can still "hold" when the
+        // mutant merely permutes the output set — the incompleteness the
+        // paper acknowledges — so it cannot refute the hunter.)
+        let confirmed = (0..(1u128 << circuit.num_qubits()))
+            .any(|basis| SparseState::run(&circuit, basis) != SparseState::run(&buggy, basis));
+        assert!(
+            confirmed,
+            "hunter reported a bug but the circuits agree on every basis input"
+        );
     }
     if !full.holds() {
-        assert!(report.bug_found, "full check found a difference the hunter missed");
+        assert!(
+            report.bug_found,
+            "full check found a difference the hunter missed"
+        );
     }
 }
 
@@ -87,25 +103,42 @@ fn baselines_behave_like_table3() {
     // A bug that only fires when two specific qubits are 1 is invisible to a
     // |0…0⟩-only stimulus but still caught by AutoQ and the path-sum checker.
     let base = ripple_carry_adder(4);
-    let buggy = insert_gate(&base, Gate::Toffoli { controls: [1, 3], target: 6 }, 8);
+    let buggy = insert_gate(
+        &base,
+        Gate::Toffoli {
+            controls: [1, 3],
+            target: 6,
+        },
+        8,
+    );
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let autoq = BugHunter::new(Engine::hybrid()).hunt(&base, &buggy, &mut rng);
     assert!(autoq.bug_found, "AutoQ must find the bug");
 
-    assert_eq!(pathsum::check_equivalence(&base, &buggy), Verdict::NotEquivalent);
+    assert_eq!(
+        pathsum::check_equivalence(&base, &buggy),
+        Verdict::NotEquivalent
+    );
 
     let mut stim_rng = rand::rngs::StdRng::seed_from_u64(8);
     let stimuli_zero_only =
         check_with_stimuli(&base, &buggy, &StimuliConfig { samples: 0 }, &mut stim_rng);
-    assert_eq!(stimuli_zero_only.verdict, Verdict::Unknown, "the all-zero stimulus misses this bug");
+    assert_eq!(
+        stimuli_zero_only.verdict,
+        Verdict::Unknown,
+        "the all-zero stimulus misses this bug"
+    );
 }
 
 #[test]
 fn pathsum_and_stimuli_never_contradict_a_correct_equivalence() {
     // Circuit equal to itself: path-sum proves it, stimuli stays Unknown.
     let circuit = ripple_carry_adder(5);
-    assert_eq!(pathsum::check_equivalence(&circuit, &circuit), Verdict::Equivalent);
+    assert_eq!(
+        pathsum::check_equivalence(&circuit, &circuit),
+        Verdict::Equivalent
+    );
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
     let report = check_with_stimuli(&circuit, &circuit, &StimuliConfig::default(), &mut rng);
     assert_ne!(report.verdict, Verdict::NotEquivalent);

@@ -12,7 +12,13 @@ fn bernstein_vazirani_verifies_for_many_hidden_strings() {
         let hidden: Vec<bool> = (0..length).map(|i| (i as u64 * seed) % 3 != 0).collect();
         let circuit = bernstein_vazirani(&hidden);
         let spec = bv_spec(&hidden);
-        let outcome = verify(&Engine::hybrid(), &spec.pre, &circuit, &spec.post, SpecMode::Equality);
+        let outcome = verify(
+            &Engine::hybrid(),
+            &spec.pre,
+            &circuit,
+            &spec.post,
+            SpecMode::Equality,
+        );
         assert!(outcome.holds(), "BV failed for hidden string {hidden:?}");
     }
 }
@@ -24,7 +30,13 @@ fn bernstein_vazirani_with_wrong_postcondition_is_rejected_with_witness() {
     let spec = bv_spec(&hidden);
     // Wrong post-condition: claim the output is |0…0⟩.
     let wrong_post = StateSet::basis_state(circuit.num_qubits(), 0);
-    let outcome = verify(&Engine::hybrid(), &spec.pre, &circuit, &wrong_post, SpecMode::Equality);
+    let outcome = verify(
+        &Engine::hybrid(),
+        &spec.pre,
+        &circuit,
+        &wrong_post,
+        SpecMode::Equality,
+    );
     assert!(!outcome.holds());
     let witness = outcome.witness().expect("witness expected");
     // The witness is the actual output state; confirm with the simulator.
@@ -62,7 +74,10 @@ fn mc_toffoli_output_set_matches_per_state_simulation() {
     let out_states = outputs.states(1 << (m + 2));
     assert_eq!(out_states.len(), simulated.len());
     for output in &simulated {
-        assert!(out_states.contains(output), "missing simulated output {output:?}");
+        assert!(
+            out_states.contains(output),
+            "missing simulated output {output:?}"
+        );
     }
 }
 
@@ -74,7 +89,10 @@ fn grover_single_matches_reference_execution_and_amplifies() {
     let post = StateSet::from_state_maps(circuit.num_qubits(), &[reference.to_amplitude_map()]);
     let pre = StateSet::basis_state(circuit.num_qubits(), 0);
     let outcome = verify(&Engine::hybrid(), &pre, &circuit, &post, SpecMode::Equality);
-    assert!(outcome.holds(), "Grover output set must equal the reference output");
+    assert!(
+        outcome.holds(),
+        "Grover output set must equal the reference output"
+    );
 
     // The amplified amplitude belongs to the marked search string.
     let mut marked_index = 0u64;
@@ -94,6 +112,12 @@ fn inclusion_mode_verifies_weaker_specifications() {
     let circuit = mc_toffoli(3);
     let spec = mc_toffoli_spec(&circuit);
     let all = StateSet::all_basis_states(circuit.num_qubits());
-    let outcome = verify(&Engine::hybrid(), &spec.pre, &circuit, &all, SpecMode::Inclusion);
+    let outcome = verify(
+        &Engine::hybrid(),
+        &spec.pre,
+        &circuit,
+        &all,
+        SpecMode::Inclusion,
+    );
     assert!(outcome.holds());
 }

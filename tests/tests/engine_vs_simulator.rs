@@ -12,7 +12,11 @@ use rand::SeedableRng;
 /// the Composition engine, the dense simulator and the sparse simulator, and
 /// requires exact agreement.
 fn check_all_backends(num_qubits: u32, num_gates: usize, seed: u64, basis: u64) {
-    let config = RandomCircuitConfig { num_qubits, num_gates, include_superposing_gates: true };
+    let config = RandomCircuitConfig {
+        num_qubits,
+        num_gates,
+        include_superposing_gates: true,
+    };
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let circuit = random_circuit(&config, &mut rng);
 
@@ -22,14 +26,24 @@ fn check_all_backends(num_qubits: u32, num_gates: usize, seed: u64, basis: u64) 
         .iter()
         .map(|(&b, a)| (b as u64, a.clone()))
         .collect();
-    assert_eq!(dense, sparse, "dense and sparse simulators disagree (seed {seed})");
+    assert_eq!(
+        dense, sparse,
+        "dense and sparse simulators disagree (seed {seed})"
+    );
 
     let input = StateSet::basis_state(num_qubits, basis);
     for engine in [Engine::hybrid(), Engine::composition()] {
         let output = engine.apply_circuit(&input, &circuit);
         let states = output.states(4);
-        assert_eq!(states.len(), 1, "engine {engine:?} lost the singleton property (seed {seed})");
-        assert_eq!(states[0], dense, "engine {engine:?} disagrees with the simulator (seed {seed})");
+        assert_eq!(
+            states.len(),
+            1,
+            "engine {engine:?} lost the singleton property (seed {seed})"
+        );
+        assert_eq!(
+            states[0], dense,
+            "engine {engine:?} disagrees with the simulator (seed {seed})"
+        );
     }
 }
 

@@ -1,0 +1,85 @@
+//! Workspace smoke test: the Bell-state quickstart advertised in the
+//! `autoq_core` crate docs (and mirrored by `examples/quickstart.rs`) must
+//! keep working end-to-end — automaton construction, both gate-application
+//! engines, verification, and witness extraction on a buggy variant.
+
+use autoq_amplitude::Algebraic;
+use autoq_circuit::{Circuit, Gate};
+use autoq_core::{verify, Engine, SpecMode, StateSet, VerificationOutcome};
+
+fn epr_circuit() -> Circuit {
+    Circuit::from_gates(
+        2,
+        [
+            Gate::H(0),
+            Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
+        ],
+    )
+    .expect("valid circuit")
+}
+
+fn bell_post_condition() -> StateSet {
+    StateSet::from_state_fn(2, |basis| match basis {
+        0b00 | 0b11 => Algebraic::one_over_sqrt2(),
+        _ => Algebraic::zero(),
+    })
+}
+
+#[test]
+fn quickstart_bell_state_verifies_with_both_engines() {
+    let epr = epr_circuit();
+    let pre = StateSet::basis_state(2, 0b00);
+    let post = bell_post_condition();
+    for engine in [Engine::hybrid(), Engine::composition()] {
+        let outcome = verify(&engine, &pre, &epr, &post, SpecMode::Equality);
+        assert_eq!(
+            outcome,
+            VerificationOutcome::Holds,
+            "the quickstart triple must hold with engine {engine:?}"
+        );
+    }
+}
+
+#[test]
+fn quickstart_buggy_circuit_is_rejected_with_a_witness() {
+    // The quickstart's failure path: forgetting the Hadamard must yield a
+    // violation carrying a witness state.
+    let buggy = Circuit::from_gates(
+        2,
+        [Gate::Cnot {
+            control: 0,
+            target: 1,
+        }],
+    )
+    .expect("valid circuit");
+    let pre = StateSet::basis_state(2, 0b00);
+    let post = bell_post_condition();
+    match verify(&Engine::hybrid(), &pre, &buggy, &post, SpecMode::Equality) {
+        VerificationOutcome::Holds => panic!("the buggy circuit must not verify"),
+        VerificationOutcome::Violated { witness, .. } => {
+            let rendered = witness.to_string();
+            assert!(!rendered.is_empty(), "the witness must be printable");
+        }
+    }
+}
+
+#[test]
+fn quickstart_output_set_is_exactly_the_bell_state() {
+    let engine = Engine::hybrid();
+    let pre = StateSet::basis_state(2, 0b00);
+    let outputs = engine.apply_circuit(&pre, &epr_circuit());
+    let states = outputs.states(8);
+    assert_eq!(
+        states.len(),
+        1,
+        "the EPR circuit maps |00⟩ to a single state"
+    );
+    let bell = &states[0];
+    assert_eq!(bell.get(&0b00), Some(&Algebraic::one_over_sqrt2()));
+    assert_eq!(bell.get(&0b11), Some(&Algebraic::one_over_sqrt2()));
+    assert!(!bell.contains_key(&0b01));
+    assert!(!bell.contains_key(&0b10));
+}
