@@ -13,6 +13,10 @@
 //!
 //! [`Algebraic`] is the canonical-form implementation of that encoding.
 //!
+//! *Pipeline position*: bigint → **amplitude** → {treeaut, circuit} →
+//! simulator → {equivcheck, core} → bench — the leaf alphabet of the tree
+//! automata and the scalar type of both simulators.
+//!
 //! # Examples
 //!
 //! ```

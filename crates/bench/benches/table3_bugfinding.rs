@@ -14,9 +14,26 @@ use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_bug_finding_reversible(c: &mut Criterion) {
+    // The 34-qubit hunt needs DAG-shared witness trees (the boxed
+    // representation OOMed extracting the witness); only AutoQ runs at this
+    // width — the baselines get a tractable 18-qubit adder below.
     let mut group = c.benchmark_group("table3/adder16");
     group.sample_size(10);
     let circuit = ripple_carry_adder(16);
+    let mut rng = StdRng::seed_from_u64(9);
+    let (buggy, _) = inject_random_gate(&circuit, false, &mut rng);
+
+    group.bench_function("autoq-hunt", |b| {
+        b.iter(|| {
+            let mut hunt_rng = StdRng::seed_from_u64(5);
+            black_box(BugHunter::new(Engine::hybrid()).hunt(&circuit, &buggy, &mut hunt_rng))
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("table3/adder8");
+    group.sample_size(10);
+    let circuit = ripple_carry_adder(8);
     let mut rng = StdRng::seed_from_u64(9);
     let (buggy, _) = inject_random_gate(&circuit, false, &mut rng);
 
@@ -92,10 +109,38 @@ fn bench_bug_finding_multiplier(c: &mut Criterion) {
     group.finish();
 }
 
+/// Witness extraction at the paper's Table 3 scale (35–64 qubits).  With the
+/// old boxed trees these sizes were unreachable (a 35-qubit witness unfolds
+/// to `2^36` nodes ≈ hundreds of GiB); with DAG sharing each extraction is
+/// linear in the automaton size and runs in microseconds.
+fn bench_witness_extraction(c: &mut Criterion) {
+    use autoq_treeaut::{inclusion, InclusionResult, Tree, TreeAutomaton};
+
+    let mut group = c.benchmark_group("table3/witness-extraction");
+    group.sample_size(10);
+    for n in [35u32, 48, 64] {
+        let p = 1u64 << (n - 1);
+        let q = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let a = TreeAutomaton::from_trees(n, &[Tree::basis_state(n, p), Tree::basis_state(n, q)]);
+        let b = TreeAutomaton::from_tree(&Tree::basis_state(n, p));
+        group.bench_function(format!("{n}-qubits"), |bench| {
+            bench.iter(|| match inclusion(black_box(&a), black_box(&b)) {
+                InclusionResult::Counterexample(witness) => {
+                    assert!(witness.node_count() <= 2 * n as usize + 1);
+                    black_box(witness)
+                }
+                InclusionResult::Included => unreachable!("inclusion must fail"),
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_bug_finding_reversible,
     bench_bug_finding_random,
-    bench_bug_finding_multiplier
+    bench_bug_finding_multiplier,
+    bench_witness_extraction
 );
 criterion_main!(benches);

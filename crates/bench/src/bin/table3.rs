@@ -2,11 +2,15 @@
 //! scale: AutoQ's incremental bug hunting versus the path-sum (Feynman-style)
 //! and random-stimuli (QCEC-style) baselines.
 //!
-//! Usage: `cargo run --release -p autoq-bench --bin table3`
+//! Usage: `cargo run --release -p autoq-bench --bin table3 [--paper]`
+//!
+//! With `--paper`, the paper's 35-qubit regime is appended (AutoQ only: the
+//! baselines do not terminate at that scale — which is the point of Table 3).
 
-use autoq_bench::table3::{default_workload, run_row, Table3Row};
+use autoq_bench::table3::{default_workload, run_paper_scale_rows, run_row, Table3Row};
 
 fn main() {
+    let paper = std::env::args().any(|a| a == "--paper");
     println!("# Table 3 — bug finding on circuits with one injected gate");
     println!();
     println!("{}", Table3Row::markdown_header());
@@ -16,6 +20,12 @@ fn main() {
         let row = run_row(&name, &circuit, superposing, 42 + index as u64);
         println!("{}", row.to_markdown());
         rows.push(row);
+    }
+    if paper {
+        for row in run_paper_scale_rows() {
+            println!("{}", row.to_markdown());
+            rows.push(row);
+        }
     }
 
     println!();

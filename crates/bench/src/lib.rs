@@ -3,7 +3,13 @@
 //! The binaries `table2` and `table3` print Markdown tables mirroring the
 //! paper's Table 2 (verification against pre/post-conditions) and Table 3
 //! (bug finding); the Criterion benches reuse the same row runners on small
-//! parameters.
+//! parameters.  `table3 --paper` appends the paper's 35-qubit regime
+//! (AutoQ-only: the baselines do not terminate at that scale), where
+//! DAG-shared witness trees keep extraction and confirmation in seconds.
+//!
+//! *Pipeline position*: bigint → amplitude → {treeaut, circuit} →
+//! simulator → {equivcheck, core} → **bench** — the terminal evaluation
+//! stage exercising every crate below it.
 
 pub mod table2;
 pub mod table3;

@@ -8,6 +8,11 @@
 //! decimal formatting/parsing and division by machine-word divisors for I/O).
 //! General multi-word division is intentionally not implemented.
 //!
+//! *Pipeline position* (amplitudes → tree automata → gate semantics →
+//! verification/hunting): **bigint** → amplitude → {treeaut, circuit} →
+//! simulator → {equivcheck, core} → bench — the integer bedrock everything
+//! else computes on.
+//!
 //! # Examples
 //!
 //! ```

@@ -12,6 +12,10 @@
 //! * [`mutation`] — the bug-injection procedure of Section 7.2 (one extra
 //!   random gate at a random position).
 //!
+//! *Pipeline position*: bigint → amplitude → **circuit** → simulator →
+//! {equivcheck, core} → bench — the common circuit IR consumed by the
+//! simulators, the baselines and the automata engine alike.
+//!
 //! # Examples
 //!
 //! ```

@@ -13,9 +13,16 @@
 //!   *composition-based* encoding of Section 6 ([`composition`]), driven by
 //!   the symbolic update formulae of Table 1 ([`formula`]).
 //! * **Verification and bug hunting** — `{P} C {Q}` triple checking with
-//!   witness extraction ([`verify`]), circuit (non-)equivalence checking over
-//!   a set of inputs, and the incremental bug-hunting strategy of
-//!   Section 7.2 ([`hunt`]).
+//!   witness extraction ([`verify()`]), circuit (non-)equivalence checking
+//!   over a set of inputs, and the incremental bug-hunting strategy of
+//!   Section 7.2 ([`hunt`]).  Witnesses are DAG-shared
+//!   [`Tree`](autoq_treeaut::Tree)s, so extraction and simulator
+//!   confirmation ([`HuntReport::confirm_with_simulator`]) work at the
+//!   paper's 35-qubit Table 3 scale.
+//!
+//! *Pipeline position*: bigint → amplitude → {treeaut, circuit} →
+//! simulator → **core** → bench — the user-facing engine tying the automata
+//! substrate to circuits, specs and witness confirmation.
 //!
 //! # Quick start
 //!

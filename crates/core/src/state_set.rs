@@ -47,20 +47,20 @@ impl StateSet {
 
     /// The singleton set `{|basis⟩}`.
     ///
-    /// Built directly as the linear-size automaton (`2n + 1` states), never
-    /// via an explicit tree: materialising the full binary tree first would
-    /// cost `2^(n+1)` nodes and caps the construction at ~24 qubits, while
-    /// this construction scales to the 64-qubit pattern limit.
+    /// Built directly as the linear-size automaton (`2n + 1` states,
+    /// mirroring the DAG sharing of [`Tree::basis_state`] on the automaton
+    /// side), so the construction scales to the 64-qubit pattern limit.
     ///
     /// ```
     /// # use autoq_core::StateSet;
     /// let set = StateSet::basis_state(3, 0b101);
     /// assert_eq!(set.states(10).len(), 1);
-    /// // 60 qubits: the automaton stays linear (membership tests via
-    /// // `contains_basis_state` still build an explicit tree, so they are
-    /// // only usable at small widths).
+    /// // 60 qubits: the automaton stays linear, and membership tests stay
+    /// // linear too (DAG-shared trees + memoised runs).
     /// let wide = StateSet::basis_state(60, 1 << 59);
     /// assert_eq!(wide.state_count(), 121);
+    /// assert!(wide.contains_basis_state(1 << 59));
+    /// assert!(!wide.contains_basis_state(3));
     /// ```
     pub fn basis_state(num_qubits: u32, basis: u64) -> Self {
         assert!(
@@ -83,6 +83,11 @@ impl StateSet {
 
     /// The singleton set containing the state described by an amplitude
     /// function over basis indices (MSBF encoding).
+    ///
+    /// Evaluates `f` at all `2^num_qubits` indices (the automaton and the
+    /// intermediate tree stay small through hash-consing, but the time is
+    /// exponential) — intended for small, explicitly-specified states like
+    /// pre/post-conditions.
     pub fn from_state_fn(num_qubits: u32, f: impl Fn(u64) -> Algebraic) -> Self {
         let tree = Tree::from_fn(num_qubits, f);
         StateSet {
@@ -223,6 +228,10 @@ impl StateSet {
     }
 
     /// Returns `true` if the set contains the computational basis state.
+    ///
+    /// Linear in the automaton and qubit count: the query tree is a
+    /// DAG-shared [`Tree::basis_state`] and the membership run is memoised
+    /// on its nodes, so this works at the full 64-qubit pattern limit.
     pub fn contains_basis_state(&self, basis: u64) -> bool {
         self.automaton
             .accepts(&Tree::basis_state(self.num_qubits, basis))

@@ -12,6 +12,10 @@
 //!   that: simulate both circuits on random basis states with the exact
 //!   simulator and compare.
 //!
+//! *Pipeline position*: bigint → amplitude → {treeaut, circuit} →
+//! simulator → **equivcheck** → bench — the comparison points AutoQ's
+//! automata-based hunter is evaluated against in Table 3.
+//!
 //! # Examples
 //!
 //! ```

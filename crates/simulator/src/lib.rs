@@ -10,7 +10,13 @@
 //!   tests and small-to-medium circuits.
 //! * [`SparseState`] — a hash-map over non-zero amplitudes; adequate for
 //!   circuits that keep states sparse (reversible circuits, BV, …) even at
-//!   hundreds of qubits.
+//!   hundreds of qubits.  [`SparseState::from_tree`] converts a DAG-shared
+//!   witness tree straight into a sparse state, so the framework's bug
+//!   witnesses can be confirmed at 35+ qubits.
+//!
+//! *Pipeline position*: bigint → amplitude → {treeaut, circuit} →
+//! **simulator** → {equivcheck, core} → bench — the exact oracle for tests,
+//! the stimuli baseline, and witness confirmation.
 //!
 //! # Examples
 //!

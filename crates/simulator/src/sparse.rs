@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use autoq_amplitude::Algebraic;
 use autoq_circuit::{Circuit, Gate};
+use autoq_treeaut::Tree;
 
 /// A sparse quantum state: a map from basis indices to non-zero amplitudes.
 ///
@@ -37,6 +38,11 @@ pub struct SparseState {
 }
 
 impl SparseState {
+    /// Largest witness-tree support [`SparseState::from_tree`] will
+    /// materialise; larger trees make it panic, so callers wanting graceful
+    /// degradation must check `Tree::support_size` against this first.
+    pub const MAX_TREE_SUPPORT: u128 = 1 << 24;
+
     /// The computational basis state `|basis⟩` over `num_qubits ≤ 128` qubits.
     ///
     /// # Panics
@@ -78,6 +84,46 @@ impl SparseState {
             num_qubits,
             amplitudes,
         }
+    }
+
+    /// Builds a sparse state from a (DAG-shared) witness tree produced by
+    /// the automata framework, so AutoQ witnesses can be fed straight into
+    /// the exact simulator for confirmation — the role SliQSim plays in the
+    /// paper's evaluation.
+    ///
+    /// The conversion enumerates only the tree's non-zero amplitudes, so a
+    /// 35-qubit basis-state witness costs a handful of map entries, not
+    /// `2^35` leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the witness support exceeds
+    /// [`SparseState::MAX_TREE_SUPPORT`] non-zero amplitudes (materialising
+    /// it as a map would defeat the sparse representation); check
+    /// `tree.support_size()` against that constant first to degrade
+    /// gracefully instead.
+    ///
+    /// ```
+    /// use autoq_simulator::SparseState;
+    /// use autoq_treeaut::Tree;
+    ///
+    /// let witness = Tree::basis_state(40, 1 << 39);
+    /// let state = SparseState::from_tree(&witness);
+    /// assert_eq!(state.support_size(), 1);
+    /// assert_eq!(state.num_qubits(), 40);
+    /// ```
+    pub fn from_tree(tree: &Tree) -> Self {
+        let support = tree.support_size();
+        assert!(
+            support <= Self::MAX_TREE_SUPPORT,
+            "witness support {support} too large to materialise as a sparse state"
+        );
+        Self::from_amplitudes(
+            tree.num_qubits(),
+            tree.to_amplitude_map()
+                .into_iter()
+                .map(|(basis, amp)| (u128::from(basis), amp)),
+        )
     }
 
     /// Number of qubits.
@@ -253,6 +299,21 @@ impl SparseState {
     ///
     /// Panics if the circuit width exceeds the state width.
     pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        self.try_apply_circuit(circuit, usize::MAX);
+    }
+
+    /// Applies a circuit like [`SparseState::apply_circuit`] but gives up
+    /// (returning `false`) as soon as the live support exceeds
+    /// `max_support`, so callers probing a possibly-dense evolution — e.g.
+    /// witness confirmation pulling a state back through a superposing
+    /// circuit — degrade gracefully instead of exhausting memory.
+    ///
+    /// On `false` the state is left mid-circuit and is not meaningful.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is wider than the state.
+    pub fn try_apply_circuit(&mut self, circuit: &Circuit, max_support: usize) -> bool {
         assert!(
             circuit.num_qubits() <= self.num_qubits,
             "circuit wider than the state"
@@ -260,7 +321,11 @@ impl SparseState {
         let gates = circuit.gates();
         for index in interference_schedule(circuit) {
             self.apply_gate(&gates[index]);
+            if self.support_size() > max_support {
+                return false;
+            }
         }
+        true
     }
 
     /// Convenience: simulates `circuit` on the basis state `|basis⟩`.

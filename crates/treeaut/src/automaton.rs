@@ -2,9 +2,11 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
+use std::rc::Rc;
 
 use autoq_amplitude::Algebraic;
 
+use crate::tree::{self, Arena, NodeId, TreeNode};
 use crate::{InternalSymbol, StateId, Tag, Tree};
 
 /// An internal transition `parent → symbol(left, right)`.
@@ -187,39 +189,47 @@ impl TreeAutomaton {
     }
 
     /// Inserts the transitions generating `tree` and returns the state that
-    /// generates it (maximally sharing identical subtrees).
+    /// generates it.  The walk is memoised on the tree's hash-consed
+    /// [`NodeId`]s, so the automaton gains one state per *distinct* subtree
+    /// — linear in the DAG size, even when the unfolded tree is exponential
+    /// (e.g. re-inserting a 35-qubit witness during hunt confirmation).
     fn insert_tree(&mut self, tree: &Tree) -> StateId {
-        let mut cache: HashMap<*const Tree, StateId> = HashMap::new();
-        self.insert_tree_rec(tree, &mut cache)
+        let mut memo: HashMap<NodeId, StateId> = HashMap::new();
+        tree::with_arena(|arena| self.insert_node(arena, tree.id(), &mut memo))
     }
 
-    fn insert_tree_rec(
+    fn insert_node(
         &mut self,
-        tree: &Tree,
-        cache: &mut HashMap<*const Tree, StateId>,
+        arena: &Arena,
+        id: NodeId,
+        memo: &mut HashMap<NodeId, StateId>,
     ) -> StateId {
-        match tree {
-            Tree::Leaf(value) => self.leaf_state(value),
-            Tree::Node { var, left, right } => {
-                let left_state = self.insert_tree_rec(left, cache);
-                let right_state = self.insert_tree_rec(right, cache);
+        if let Some(&state) = memo.get(&id) {
+            return state;
+        }
+        let state = match arena.node(id) {
+            TreeNode::Leaf(value) => self.leaf_state(value),
+            TreeNode::Node { var, left, right } => {
+                let (var, left, right) = (*var, *left, *right);
+                let left_state = self.insert_node(arena, left, memo);
+                let right_state = self.insert_node(arena, right, memo);
                 // Share states for structurally equal internal transitions
-                // created for *this* tree insertion.
+                // created by earlier insertions into the same automaton.
                 if let Some(existing) = self.internal.iter().find(|t| {
-                    t.symbol == InternalSymbol::new(*var)
+                    t.symbol == InternalSymbol::new(var)
                         && t.left == left_state
                         && t.right == right_state
                 }) {
-                    let parent = existing.parent;
-                    cache.insert(tree as *const Tree, parent);
-                    return parent;
+                    existing.parent
+                } else {
+                    let parent = self.add_state();
+                    self.add_internal(parent, InternalSymbol::new(var), left_state, right_state);
+                    parent
                 }
-                let parent = self.add_state();
-                self.add_internal(parent, InternalSymbol::new(*var), left_state, right_state);
-                cache.insert(tree as *const Tree, parent);
-                parent
             }
-        }
+        };
+        memo.insert(id, state);
+        state
     }
 
     /// Returns `true` if the automaton accepts `tree` (tags are ignored).
@@ -230,28 +240,53 @@ impl TreeAutomaton {
     }
 
     /// Computes the set of states that can generate `tree` (bottom-up run).
+    ///
+    /// Memoised on the tree's hash-consed [`NodeId`]s: each distinct subtree
+    /// is run once, so membership tests on DAG-shared witnesses cost
+    /// O(|DAG| · |Δ|) rather than O(2ⁿ · |Δ|).
     pub fn run_states(&self, tree: &Tree) -> HashSet<StateId> {
-        match tree {
-            Tree::Leaf(value) => self
+        let mut memo: HashMap<NodeId, Rc<HashSet<StateId>>> = HashMap::new();
+        let states = tree::with_arena(|arena| self.run_node(arena, tree.id(), &mut memo));
+        // The memo still holds the root's other Rc clone; release it so the
+        // unwrap below moves the set out instead of deep-cloning it.
+        drop(memo);
+        Rc::try_unwrap(states).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    fn run_node(
+        &self,
+        arena: &Arena,
+        id: NodeId,
+        memo: &mut HashMap<NodeId, Rc<HashSet<StateId>>>,
+    ) -> Rc<HashSet<StateId>> {
+        if let Some(states) = memo.get(&id) {
+            return Rc::clone(states);
+        }
+        let states: HashSet<StateId> = match arena.node(id) {
+            TreeNode::Leaf(value) => self
                 .leaves
                 .iter()
                 .filter(|t| &t.value == value)
                 .map(|t| t.parent)
                 .collect(),
-            Tree::Node { var, left, right } => {
-                let left_states = self.run_states(left);
-                let right_states = self.run_states(right);
+            TreeNode::Node { var, left, right } => {
+                let (var, left, right) = (*var, *left, *right);
+                let left_states = self.run_node(arena, left, memo);
+                let right_states = self.run_node(arena, right, memo);
                 self.internal
                     .iter()
                     .filter(|t| {
-                        t.symbol.var == *var
+                        t.symbol.var == var
                             && left_states.contains(&t.left)
                             && right_states.contains(&t.right)
                     })
                     .map(|t| t.parent)
                     .collect()
             }
-        }
+        };
+        let states = Rc::new(states);
+        memo.insert(id, Rc::clone(&states));
+        states
     }
 
     /// Enumerates the accepted trees, returning at most `limit` of them.
@@ -292,7 +327,7 @@ impl TreeAutomaton {
         }
         let mut trees = Vec::new();
         for t in self.leaves.iter().filter(|t| t.parent == state) {
-            trees.push(Tree::Leaf(t.value.clone()));
+            trees.push(Tree::leaf(t.value.clone()));
         }
         let transitions: Vec<InternalTransition> = self
             .internal
@@ -308,11 +343,7 @@ impl TreeAutomaton {
                     if trees.len() >= limit {
                         break 'outer;
                     }
-                    trees.push(Tree::Node {
-                        var: t.symbol.var,
-                        left: Box::new(l.clone()),
-                        right: Box::new(r.clone()),
-                    });
+                    trees.push(Tree::node(t.symbol.var, l.clone(), r.clone()));
                 }
             }
         }

@@ -67,15 +67,36 @@ enum Witness {
 }
 
 impl Witness {
+    /// Converts the `Rc`-shared search witness into a hash-consed [`Tree`].
+    ///
+    /// The conversion is memoised on the `Rc` pointers, so each distinct
+    /// witness node is interned exactly once and the result is emitted as a
+    /// DAG: linear in the size of the search structure (itself bounded by
+    /// the antichain work), never in the `2^(n+1)` unfolded tree.  This is
+    /// what makes counterexample extraction possible at the paper's 35-qubit
+    /// Table 3 scale, where the unfolded witness would need `2^36` nodes.
     fn to_tree(&self) -> Tree {
-        match self {
-            Witness::Leaf(value) => Tree::Leaf(value.clone()),
-            Witness::Node(var, left, right) => Tree::Node {
-                var: *var,
-                left: Box::new(left.to_tree()),
-                right: Box::new(right.to_tree()),
-            },
+        fn convert(witness: &Witness, memo: &mut HashMap<*const Witness, Tree>) -> Tree {
+            match witness {
+                Witness::Leaf(value) => Tree::leaf(value.clone()),
+                Witness::Node(var, left, right) => {
+                    let subtree =
+                        |child: &Rc<Witness>, memo: &mut HashMap<*const Witness, Tree>| {
+                            let key = Rc::as_ptr(child);
+                            if let Some(tree) = memo.get(&key) {
+                                return tree.clone();
+                            }
+                            let tree = convert(child, memo);
+                            memo.insert(key, tree.clone());
+                            tree
+                        };
+                    let left = subtree(left, memo);
+                    let right = subtree(right, memo);
+                    Tree::node(*var, left, right)
+                }
+            }
         }
+        convert(self, &mut HashMap::new())
     }
 }
 

@@ -11,6 +11,16 @@
 //! construction) and constant leaf symbols (exact algebraic amplitudes),
 //! transitions `Δ`, and root states `R`.
 //!
+//! Individual trees ([`Tree`]) are stored as **hash-consed DAGs** with
+//! maximal subtree sharing, so inclusion counterexamples — the framework's
+//! bug witnesses — stay linear in the automaton size instead of exploding
+//! to `2^(n+1)` nodes, unlocking the paper's 35-qubit Table 3 hunts (see
+//! `docs/ARCHITECTURE.md` §2).
+//!
+//! *Pipeline position*: bigint → amplitude → **treeaut** → simulator →
+//! {equivcheck, core} → bench — the automata substrate `autoq-core` builds
+//! its gate transformers on.
+//!
 //! # Examples
 //!
 //! Build the automaton of Fig. 1(a) of the paper — the single tree encoding
@@ -44,4 +54,4 @@ pub use inclusion::{
 };
 pub use state::StateId;
 pub use symbol::{InternalSymbol, Tag};
-pub use tree::Tree;
+pub use tree::{NodeId, Tree};

@@ -1,18 +1,126 @@
-//! Full binary trees encoding individual quantum states.
+//! Full binary trees encoding individual quantum states, stored as
+//! hash-consed DAGs with maximal subtree sharing.
 //!
 //! A full binary tree of height `n` encodes a function `{0,1}ⁿ → amplitudes`
 //! (Section 3 of the AutoQ paper): following the left child of the layer-`t`
 //! node corresponds to qubit `t` being `0`, the right child to `1`, and the
 //! leaf at the end of a branch carries the amplitude of that computational
 //! basis state.
+//!
+//! # Representation
+//!
+//! A [`Tree`] is a [`NodeId`] handle into a process-wide arena of
+//! [`TreeNode`]s.  Nodes are *hash-consed*: interning a leaf or an internal
+//! node with the same (value) or (variable, left, right) as an existing node
+//! returns the existing [`NodeId`], so structurally equal subtrees are
+//! physically shared and structural equality is a single id comparison.
+//! This turns the `2^(n+1)`-node explicit binary tree of an `n`-qubit basis
+//! state into a DAG of `2n + 1` shared nodes, which is what lets witness
+//! extraction (see [`crate::inclusion`]) scale to the paper's 35-qubit
+//! Table 3 bug hunts instead of capping out near 24 qubits.
+//!
+//! The arena is append-only and lives for the whole process (interned nodes
+//! are never freed); it is guarded by a mutex, so `Tree` is `Send + Sync`
+//! and handles remain valid across threads.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use autoq_amplitude::Algebraic;
 
-/// A ground term over the binary/leaf alphabet: either a leaf carrying an
-/// exact amplitude, or an internal node labelled with a qubit variable.
+/// Handle to a hash-consed tree node in the process-wide arena.
+///
+/// Two `NodeId`s are equal **iff** the subtrees they denote are structurally
+/// equal — this is the invariant maintained by the interner and relied upon
+/// by [`Tree`]'s `PartialEq`/`Hash` implementations and by the memoised
+/// DAG walks in [`crate::TreeAutomaton`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(u32);
+
+/// A hash-consed node: either a leaf carrying an exact amplitude, or an
+/// internal node labelled with a qubit variable.
+pub(crate) enum TreeNode {
+    /// A leaf carrying an amplitude.
+    Leaf(Algebraic),
+    /// An internal node for qubit variable `var` (0-based, root = 0).
+    Node {
+        var: u32,
+        left: NodeId,
+        right: NodeId,
+    },
+}
+
+/// The append-only hash-consing arena.
+pub(crate) struct Arena {
+    nodes: Vec<TreeNode>,
+    leaf_ids: HashMap<Algebraic, NodeId>,
+    node_ids: HashMap<(u32, NodeId, NodeId), NodeId>,
+}
+
+impl Arena {
+    fn new() -> Self {
+        Arena {
+            nodes: Vec::new(),
+            leaf_ids: HashMap::new(),
+            node_ids: HashMap::new(),
+        }
+    }
+
+    /// The node behind a handle.
+    pub(crate) fn node(&self, id: NodeId) -> &TreeNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Interns a leaf, returning the canonical handle for its value.
+    pub(crate) fn intern_leaf(&mut self, value: &Algebraic) -> NodeId {
+        if let Some(&id) = self.leaf_ids.get(value) {
+            return id;
+        }
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("tree arena overflow"));
+        self.nodes.push(TreeNode::Leaf(value.clone()));
+        self.leaf_ids.insert(value.clone(), id);
+        id
+    }
+
+    /// Interns an internal node, returning the canonical handle for the
+    /// (variable, left, right) triple.
+    pub(crate) fn intern_node(&mut self, var: u32, left: NodeId, right: NodeId) -> NodeId {
+        if let Some(&id) = self.node_ids.get(&(var, left, right)) {
+            return id;
+        }
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("tree arena overflow"));
+        self.nodes.push(TreeNode::Node { var, left, right });
+        self.node_ids.insert((var, left, right), id);
+        id
+    }
+}
+
+static ARENA: OnceLock<Mutex<Arena>> = OnceLock::new();
+
+/// Locks the arena.  The arena is append-only and every interned node is
+/// fully initialised before the lock is released, so a poisoned lock (a
+/// panic elsewhere while holding it) leaves it in a consistent state and is
+/// deliberately ignored.
+fn arena() -> MutexGuard<'static, Arena> {
+    ARENA
+        .get_or_init(|| Mutex::new(Arena::new()))
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Runs `f` with shared access to the arena (crate-internal: used by the
+/// memoised DAG walks in `automaton.rs`).
+pub(crate) fn with_arena<R>(f: impl FnOnce(&Arena) -> R) -> R {
+    f(&arena())
+}
+
+/// A ground term over the binary/leaf alphabet, held as a handle into the
+/// process-wide hash-consing arena (see the crate docs for the
+/// representation).
+///
+/// Equality, hashing and cloning are O(1) id operations; structurally equal
+/// trees — however they were built — compare equal and share storage.
 ///
 /// # Examples
 ///
@@ -30,24 +138,64 @@ use autoq_amplitude::Algebraic;
 /// assert_eq!(bell.amplitude(0b01), Algebraic::zero());
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
-pub enum Tree {
-    /// A leaf carrying an amplitude.
-    Leaf(Algebraic),
-    /// An internal node for qubit variable `var` (0-based, root = 0).
-    Node {
-        /// Qubit variable index.
-        var: u32,
-        /// Subtree for the qubit value `0`.
-        left: Box<Tree>,
-        /// Subtree for the qubit value `1`.
-        right: Box<Tree>,
-    },
+pub struct Tree {
+    id: NodeId,
 }
 
 impl Tree {
+    /// A leaf carrying the amplitude `value`.
+    pub fn leaf(value: Algebraic) -> Tree {
+        Tree {
+            id: arena().intern_leaf(&value),
+        }
+    }
+
+    /// An internal node for qubit variable `var` with the given subtrees.
+    ///
+    /// No well-formedness is enforced (see [`Tree::is_well_formed`]): the
+    /// constructor accepts arbitrary variable labels and subtree heights, as
+    /// tests for malformed terms require.
+    pub fn node(var: u32, left: Tree, right: Tree) -> Tree {
+        Tree {
+            id: arena().intern_node(var, left.id, right.id),
+        }
+    }
+
+    /// The canonical arena handle of this tree.  Structurally equal trees
+    /// have equal handles; the handle of a shared subtree is the same no
+    /// matter which parent it is reached from.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The leaf amplitude, if this tree is a single leaf.
+    pub fn as_leaf(&self) -> Option<Algebraic> {
+        with_arena(|arena| match arena.node(self.id) {
+            TreeNode::Leaf(value) => Some(value.clone()),
+            TreeNode::Node { .. } => None,
+        })
+    }
+
+    /// The `(var, left, right)` decomposition, if this tree is an internal
+    /// node.
+    pub fn as_node(&self) -> Option<(u32, Tree, Tree)> {
+        with_arena(|arena| match arena.node(self.id) {
+            TreeNode::Leaf(_) => None,
+            TreeNode::Node { var, left, right } => {
+                Some((*var, Tree { id: *left }, Tree { id: *right }))
+            }
+        })
+    }
+
     /// Builds the full binary tree of height `num_qubits` whose leaf for the
     /// computational basis state `b` (MSBF encoding: qubit 0 is the most
     /// significant bit) is `f(b)`.
+    ///
+    /// `f` is evaluated at all `2^num_qubits` basis states, so the running
+    /// time is exponential in the qubit count; the *resulting* tree only
+    /// occupies space proportional to its number of distinct subtrees
+    /// (hash-consing shares the rest).  For single basis states use the
+    /// linear-time [`Tree::basis_state`] instead.
     ///
     /// # Panics
     ///
@@ -58,22 +206,37 @@ impl Tree {
             num_qubits < 64,
             "at most 63 qubits supported by Tree::from_fn"
         );
-        Self::from_fn_rec(num_qubits, 0, 0, &f)
-    }
-
-    fn from_fn_rec(num_qubits: u32, var: u32, prefix: u64, f: &impl Fn(u64) -> Algebraic) -> Tree {
-        if var == num_qubits {
-            Tree::Leaf(f(prefix))
-        } else {
-            Tree::Node {
-                var,
-                left: Box::new(Self::from_fn_rec(num_qubits, var + 1, prefix << 1, f)),
-                right: Box::new(Self::from_fn_rec(num_qubits, var + 1, (prefix << 1) | 1, f)),
-            }
+        // Evaluate the amplitude function *before* taking the arena lock, so
+        // that `f` may itself use the `Tree` API without deadlocking.  The
+        // interning below re-acquires the lock per bounded chunk rather than
+        // holding it across all 2^n operations, so concurrent threads are
+        // never stalled for the whole construction.
+        const CHUNK: usize = 4096;
+        let leaves: Vec<Algebraic> = (0..1u64 << num_qubits).map(f).collect();
+        let mut layer: Vec<NodeId> = Vec::with_capacity(leaves.len());
+        for chunk in leaves.chunks(CHUNK) {
+            let mut arena = arena();
+            layer.extend(chunk.iter().map(|value| arena.intern_leaf(value)));
         }
+        for var in (0..num_qubits).rev() {
+            let mut next = Vec::with_capacity(layer.len() / 2);
+            for chunk in layer.chunks(2 * CHUNK) {
+                let mut arena = arena();
+                next.extend(
+                    chunk
+                        .chunks(2)
+                        .map(|pair| arena.intern_node(var, pair[0], pair[1])),
+                );
+            }
+            layer = next;
+        }
+        Tree { id: layer[0] }
     }
 
-    /// Builds the tree of a single computational basis state `|basis⟩`.
+    /// Builds the tree of a single computational basis state `|basis⟩`
+    /// directly as a DAG of at most `2n + 1` shared nodes (the whole
+    /// all-zero fringe at each layer is one shared node), in O(n) time —
+    /// usable far beyond the `2^n` wall of [`Tree::from_fn`].
     ///
     /// ```
     /// # use autoq_treeaut::Tree;
@@ -81,72 +244,169 @@ impl Tree {
     /// let t = Tree::basis_state(3, 0b101);
     /// assert_eq!(t.amplitude(0b101), Algebraic::one());
     /// assert_eq!(t.amplitude(0b100), Algebraic::zero());
+    /// // Linear, not exponential, in the qubit count:
+    /// let wide = Tree::basis_state(60, 1 << 59);
+    /// assert_eq!(wide.node_count(), 2 * 60 + 1);
     /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > 64` or `basis` has bits above the tree
+    /// height.
     pub fn basis_state(num_qubits: u32, basis: u64) -> Tree {
-        Tree::from_fn(num_qubits, |b| {
-            if b == basis {
-                Algebraic::one()
+        assert!(
+            num_qubits <= 64,
+            "at most 64 qubits supported by Tree::basis_state"
+        );
+        assert!(
+            num_qubits == 64 || basis < 1u64 << num_qubits,
+            "basis state out of range"
+        );
+        let mut arena = arena();
+        let mut zero = arena.intern_leaf(&Algebraic::zero());
+        let mut path = arena.intern_leaf(&Algebraic::one());
+        for var in (0..num_qubits).rev() {
+            let bit = (basis >> (num_qubits - 1 - var)) & 1;
+            path = if bit == 0 {
+                arena.intern_node(var, path, zero)
             } else {
-                Algebraic::zero()
+                arena.intern_node(var, zero, path)
+            };
+            if var > 0 {
+                zero = arena.intern_node(var, zero, zero);
             }
-        })
+        }
+        Tree { id: path }
     }
 
     /// Number of qubits (the height of the tree).
     pub fn num_qubits(&self) -> u32 {
-        match self {
-            Tree::Leaf(_) => 0,
-            Tree::Node { left, .. } => 1 + left.num_qubits(),
-        }
+        with_arena(|arena| {
+            let mut id = self.id;
+            let mut height = 0;
+            loop {
+                match arena.node(id) {
+                    TreeNode::Leaf(_) => return height,
+                    TreeNode::Node { left, .. } => {
+                        height += 1;
+                        id = *left;
+                    }
+                }
+            }
+        })
+    }
+
+    /// Number of *distinct* DAG nodes reachable from the root — the actual
+    /// storage cost of the tree.  A full binary tree view of the same term
+    /// has `2^(n+1) − 1` positions; for shared trees this count is far
+    /// smaller (e.g. `2n + 1` for basis states).
+    pub fn node_count(&self) -> usize {
+        with_arena(|arena| {
+            let mut seen: HashSet<NodeId> = HashSet::new();
+            let mut stack = vec![self.id];
+            while let Some(id) = stack.pop() {
+                if !seen.insert(id) {
+                    continue;
+                }
+                if let TreeNode::Node { left, right, .. } = arena.node(id) {
+                    stack.push(*left);
+                    stack.push(*right);
+                }
+            }
+            seen.len()
+        })
     }
 
     /// Returns `true` if the tree is a full binary tree whose layer-`t`
     /// nodes are all labelled with variable `t`.
     pub fn is_well_formed(&self) -> bool {
-        fn check(tree: &Tree, depth: u32, height: u32) -> bool {
-            match tree {
-                Tree::Leaf(_) => depth == height,
-                Tree::Node { var, left, right } => {
-                    *var == depth
-                        && check(left, depth + 1, height)
-                        && check(right, depth + 1, height)
+        let height = self.num_qubits();
+        with_arena(|arena| {
+            let mut seen: HashSet<(NodeId, u32)> = HashSet::new();
+            let mut stack = vec![(self.id, 0u32)];
+            while let Some((id, depth)) = stack.pop() {
+                if !seen.insert((id, depth)) {
+                    continue;
+                }
+                match arena.node(id) {
+                    TreeNode::Leaf(_) => {
+                        if depth != height {
+                            return false;
+                        }
+                    }
+                    TreeNode::Node { var, left, right } => {
+                        if *var != depth || depth >= height {
+                            return false;
+                        }
+                        stack.push((*left, depth + 1));
+                        stack.push((*right, depth + 1));
+                    }
                 }
             }
-        }
-        let height = self.num_qubits();
-        check(self, 0, height)
+            true
+        })
     }
 
-    /// The amplitude of the computational basis state `basis`.
+    /// The amplitude of the computational basis state `basis`, read off by
+    /// walking one root-to-leaf path (O(n), independent of sharing).
     ///
     /// # Panics
     ///
     /// Panics if `basis` has bits above the tree height.
     pub fn amplitude(&self, basis: u64) -> Algebraic {
         let n = self.num_qubits();
-        assert!(n == 64 || basis < (1u64 << n), "basis state out of range");
-        let mut node = self;
-        for level in (0..n).rev() {
-            let bit = (basis >> level) & 1;
-            node = match node {
-                Tree::Node { left, right, .. } => {
-                    if bit == 0 {
-                        left
-                    } else {
-                        right
+        assert!(n >= 64 || basis < (1u64 << n), "basis state out of range");
+        with_arena(|arena| {
+            let mut id = self.id;
+            for level in (0..n).rev() {
+                let bit = (basis >> level) & 1;
+                id = match arena.node(id) {
+                    TreeNode::Node { left, right, .. } => {
+                        if bit == 0 {
+                            *left
+                        } else {
+                            *right
+                        }
                     }
+                    TreeNode::Leaf(_) => unreachable!("tree shallower than expected"),
+                };
+            }
+            match arena.node(id) {
+                TreeNode::Leaf(value) => value.clone(),
+                TreeNode::Node { .. } => panic!("tree deeper than expected"),
+            }
+        })
+    }
+
+    /// The number of basis states with a non-zero amplitude.
+    ///
+    /// Computed in time linear in the DAG size (not in `2^n`), so it is the
+    /// safe way to decide whether materialising [`Tree::to_amplitude_map`]
+    /// is affordable for a wide witness.
+    pub fn support_size(&self) -> u128 {
+        fn count(arena: &Arena, id: NodeId, memo: &mut HashMap<NodeId, u128>) -> u128 {
+            if let Some(&cached) = memo.get(&id) {
+                return cached;
+            }
+            let result = match arena.node(id) {
+                TreeNode::Leaf(value) => u128::from(!value.is_zero()),
+                TreeNode::Node { left, right, .. } => {
+                    let (left, right) = (*left, *right);
+                    count(arena, left, memo) + count(arena, right, memo)
                 }
-                Tree::Leaf(_) => unreachable!("tree shallower than expected"),
             };
+            memo.insert(id, result);
+            result
         }
-        match node {
-            Tree::Leaf(value) => value.clone(),
-            Tree::Node { .. } => panic!("tree deeper than expected"),
-        }
+        with_arena(|arena| count(arena, self.id, &mut HashMap::new()))
     }
 
     /// Converts the tree into an explicit map from basis states to non-zero
     /// amplitudes.
+    ///
+    /// All-zero subtrees are pruned without being traversed, so the cost is
+    /// proportional to the support (times the height), not to `2^n`; check
+    /// [`Tree::support_size`] first when the support itself might be huge.
     ///
     /// ```
     /// # use autoq_treeaut::Tree;
@@ -157,23 +417,44 @@ impl Tree {
     /// assert_eq!(map[&0b10], Algebraic::one());
     /// ```
     pub fn to_amplitude_map(&self) -> BTreeMap<u64, Algebraic> {
-        let mut map = BTreeMap::new();
-        self.collect_amplitudes(0, &mut map);
-        map
-    }
-
-    fn collect_amplitudes(&self, prefix: u64, map: &mut BTreeMap<u64, Algebraic>) {
-        match self {
-            Tree::Leaf(value) => {
-                if !value.is_zero() {
+        fn is_zero(arena: &Arena, id: NodeId, memo: &mut HashMap<NodeId, bool>) -> bool {
+            if let Some(&cached) = memo.get(&id) {
+                return cached;
+            }
+            let result = match arena.node(id) {
+                TreeNode::Leaf(value) => value.is_zero(),
+                TreeNode::Node { left, right, .. } => {
+                    let (left, right) = (*left, *right);
+                    is_zero(arena, left, memo) && is_zero(arena, right, memo)
+                }
+            };
+            memo.insert(id, result);
+            result
+        }
+        fn collect(
+            arena: &Arena,
+            id: NodeId,
+            prefix: u64,
+            memo: &mut HashMap<NodeId, bool>,
+            map: &mut BTreeMap<u64, Algebraic>,
+        ) {
+            if is_zero(arena, id, memo) {
+                return;
+            }
+            match arena.node(id) {
+                TreeNode::Leaf(value) => {
                     map.insert(prefix, value.clone());
                 }
-            }
-            Tree::Node { left, right, .. } => {
-                left.collect_amplitudes(prefix << 1, map);
-                right.collect_amplitudes((prefix << 1) | 1, map);
+                TreeNode::Node { left, right, .. } => {
+                    let (left, right) = (*left, *right);
+                    collect(arena, left, prefix << 1, memo, map);
+                    collect(arena, right, (prefix << 1) | 1, memo, map);
+                }
             }
         }
+        let mut map = BTreeMap::new();
+        with_arena(|arena| collect(arena, self.id, 0, &mut HashMap::new(), &mut map));
+        map
     }
 
     /// Converts the tree into a dense state vector of length `2^n`, indexed
@@ -203,10 +484,33 @@ impl Tree {
 }
 
 impl fmt::Debug for Tree {
+    /// Term-like rendering (`x0(0, 1)`) for small trees; wide trees — whose
+    /// unfolded term is exponentially larger than their DAG — are summarised
+    /// by height, node count and support instead.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Tree::Leaf(value) => write!(f, "{value}"),
-            Tree::Node { var, left, right } => write!(f, "x{var}({left:?}, {right:?})"),
+        const MAX_TERM_HEIGHT: u32 = 8;
+        fn term(arena: &Arena, id: NodeId, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match arena.node(id) {
+                TreeNode::Leaf(value) => write!(f, "{value}"),
+                TreeNode::Node { var, left, right } => {
+                    write!(f, "x{var}(")?;
+                    term(arena, *left, f)?;
+                    write!(f, ", ")?;
+                    term(arena, *right, f)?;
+                    write!(f, ")")
+                }
+            }
+        }
+        let height = self.num_qubits();
+        if height > MAX_TERM_HEIGHT {
+            write!(
+                f,
+                "Tree({height} qubits, {} shared nodes, support {})",
+                self.node_count(),
+                self.support_size()
+            )
+        } else {
+            with_arena(|arena| term(arena, self.id, f))
         }
     }
 }
@@ -243,17 +547,75 @@ mod tests {
     fn from_fn_matches_eq4_of_the_paper() {
         // Eq. (4): x1(x2(x3(1,0), x3(0,0)), x2(x3(0,0), x3(0,0))) encodes T(000)=1.
         let tree = Tree::basis_state(3, 0);
-        match &tree {
-            Tree::Node { var, left, .. } => {
-                assert_eq!(*var, 0);
-                match left.as_ref() {
-                    Tree::Node { var, .. } => assert_eq!(*var, 1),
-                    _ => panic!("expected internal node"),
-                }
-            }
-            _ => panic!("expected internal node"),
-        }
+        let (var, left, _) = tree.as_node().expect("expected internal node");
+        assert_eq!(var, 0);
+        let (var, _, _) = left.as_node().expect("expected internal node");
+        assert_eq!(var, 1);
         assert_eq!(tree.to_dirac(), "(1)|000⟩");
+    }
+
+    #[test]
+    fn basis_state_agrees_with_from_fn() {
+        for n in 0..6u32 {
+            for basis in 0..(1u64 << n) {
+                let direct = Tree::basis_state(n, basis);
+                let explicit = Tree::from_fn(n, |b| {
+                    if b == basis {
+                        Algebraic::one()
+                    } else {
+                        Algebraic::zero()
+                    }
+                });
+                assert_eq!(direct, explicit, "n = {n}, basis = {basis}");
+            }
+        }
+    }
+
+    #[test]
+    fn structurally_equal_trees_share_their_node_id() {
+        let a = Tree::from_fn(3, |b| {
+            if b % 2 == 0 {
+                Algebraic::one_over_sqrt2()
+            } else {
+                Algebraic::zero()
+            }
+        });
+        let b = Tree::from_fn(3, |b| {
+            if b % 2 == 0 {
+                Algebraic::one_over_sqrt2()
+            } else {
+                Algebraic::zero()
+            }
+        });
+        assert_eq!(a.id(), b.id());
+        // Subtrees are shared too: both children of the root of a basis-0
+        // sibling pattern repeat the same subtree object.
+        let (_, left, right) = Tree::from_fn(2, |_| Algebraic::one())
+            .as_node()
+            .expect("internal node");
+        assert_eq!(left.id(), right.id());
+    }
+
+    #[test]
+    fn basis_state_node_count_is_linear() {
+        for n in [1u32, 4, 16, 40, 64] {
+            let tree = Tree::basis_state(n, if n == 64 { u64::MAX } else { (1 << n) - 1 });
+            assert_eq!(tree.node_count(), 2 * n as usize + 1, "n = {n}");
+            assert_eq!(tree.support_size(), 1);
+        }
+    }
+
+    #[test]
+    fn wide_basis_states_are_cheap() {
+        // 2^61 explicit nodes before DAG sharing; instantaneous now.
+        let tree = Tree::basis_state(60, 0b1011 << 40);
+        assert!(tree.is_well_formed());
+        assert_eq!(tree.num_qubits(), 60);
+        assert_eq!(tree.amplitude(0b1011 << 40), Algebraic::one());
+        assert_eq!(tree.amplitude(0), Algebraic::zero());
+        let map = tree.to_amplitude_map();
+        assert_eq!(map.len(), 1);
+        assert_eq!(map[&(0b1011 << 40)], Algebraic::one());
     }
 
     #[test]
@@ -275,25 +637,26 @@ mod tests {
         assert_eq!(tree.num_qubits(), 0);
         assert!(tree.is_well_formed());
         assert_eq!(tree.amplitude(0), Algebraic::one());
+        assert_eq!(tree.as_leaf(), Some(Algebraic::one()));
     }
 
     #[test]
     fn ill_formed_trees_are_detected() {
-        let bad = Tree::Node {
-            var: 0,
-            left: Box::new(Tree::Leaf(Algebraic::zero())),
-            right: Box::new(Tree::Node {
-                var: 1,
-                left: Box::new(Tree::Leaf(Algebraic::zero())),
-                right: Box::new(Tree::Leaf(Algebraic::one())),
-            }),
-        };
+        let bad = Tree::node(
+            0,
+            Tree::leaf(Algebraic::zero()),
+            Tree::node(
+                1,
+                Tree::leaf(Algebraic::zero()),
+                Tree::leaf(Algebraic::one()),
+            ),
+        );
         assert!(!bad.is_well_formed());
-        let bad_var = Tree::Node {
-            var: 3,
-            left: Box::new(Tree::Leaf(Algebraic::zero())),
-            right: Box::new(Tree::Leaf(Algebraic::one())),
-        };
+        let bad_var = Tree::node(
+            3,
+            Tree::leaf(Algebraic::zero()),
+            Tree::leaf(Algebraic::one()),
+        );
         assert!(!bad_var.is_well_formed());
     }
 
@@ -315,5 +678,22 @@ mod tests {
     fn debug_rendering_is_term_like() {
         let tree = Tree::basis_state(1, 1);
         assert_eq!(format!("{tree:?}"), "x0(0, 1)");
+        // Wide trees are summarised rather than unfolded.
+        let wide = Tree::basis_state(40, 7);
+        let rendered = format!("{wide:?}");
+        assert!(rendered.contains("40 qubits"), "got {rendered}");
+    }
+
+    #[test]
+    fn support_size_counts_nonzero_leaves() {
+        let tree = Tree::from_fn(3, |b| {
+            if b < 3 {
+                Algebraic::one_over_sqrt2()
+            } else {
+                Algebraic::zero()
+            }
+        });
+        assert_eq!(tree.support_size(), 3);
+        assert_eq!(Tree::from_fn(2, |_| Algebraic::zero()).support_size(), 0);
     }
 }

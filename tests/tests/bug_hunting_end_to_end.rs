@@ -23,8 +23,13 @@ fn witness_is_real(original: &Circuit, mutant: &Circuit) -> bool {
     if !report.bug_found {
         return false;
     }
-    // The witness tree is an output state produced by exactly one circuit;
-    // confirm a difference exists by scanning all basis inputs (small n).
+    // Preferred: pull the witness back to a basis input through the inverse
+    // circuit (works at any width thanks to DAG-shared witnesses).
+    if report.confirm_with_simulator(original, mutant).is_some() {
+        return true;
+    }
+    // Fallback for witnesses without a basis-state preimage: confirm a
+    // difference exists by scanning all basis inputs (small n only).
     let n = original.num_qubits();
     (0..(1u128 << n.min(16)))
         .any(|basis| SparseState::run(original, basis) != SparseState::run(mutant, basis))
