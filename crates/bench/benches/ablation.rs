@@ -43,6 +43,17 @@ fn bench_reduction_policy(c: &mut Criterion) {
             )
         })
     });
+    for growth_factor in [2u32, 4] {
+        group.bench_function(format!("adaptive-{growth_factor}x"), |b| {
+            b.iter(|| {
+                black_box(
+                    Engine::hybrid()
+                        .with_reduction(ReductionPolicy::Adaptive { growth_factor })
+                        .apply_circuit(&spec.pre, &circuit),
+                )
+            })
+        });
+    }
     group.finish();
 }
 

@@ -1,0 +1,63 @@
+//! Micro-benchmarks for the automaton reduction/engine hot path: `reduce`
+//! on the duplicated-copies shape the primed-copy gate constructions
+//! produce, and `Engine::apply_gate` for one permutation-encoded and one
+//! composition-encoded gate.  The `bench_reduction` binary measures the same
+//! operations and writes the `BENCH_reduction.json` baseline in CI.
+
+use autoq_circuit::Gate;
+use autoq_core::{Engine, StateSet};
+use autoq_treeaut::TreeAutomaton;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// The redundancy shape reduction sees after every gate: two disjoint copies
+/// of the same automaton sharing the root set.
+fn duplicated_all_basis(n: u32) -> TreeAutomaton {
+    let base = StateSet::all_basis_states(n);
+    let mut duplicated = base.automaton().clone();
+    let offset = duplicated.import_disjoint(base.automaton());
+    let roots: Vec<_> = base
+        .automaton()
+        .roots
+        .iter()
+        .map(|r| r.offset(offset))
+        .collect();
+    for root in roots {
+        duplicated.add_root(root);
+    }
+    duplicated
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction/reduce");
+    group.sample_size(20);
+    let duplicated = duplicated_all_basis(12);
+    group.bench_function("duplicated-allbasis12", |b| {
+        b.iter(|| black_box(duplicated.reduce()))
+    });
+    group.bench_function("trim-allbasis12", |b| {
+        b.iter(|| black_box(duplicated.trim()))
+    });
+    group.finish();
+}
+
+fn bench_apply_gate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction/apply-gate");
+    group.sample_size(20);
+    let base = StateSet::all_basis_states(12);
+    let engine = Engine::hybrid();
+    let cnot = Gate::Cnot {
+        control: 0,
+        target: 11,
+    };
+    group.bench_function("cnot-permutation", |b| {
+        b.iter(|| black_box(engine.apply_gate(&base, &cnot)))
+    });
+    group.bench_function("hadamard-composition", |b| {
+        b.iter(|| black_box(engine.apply_gate(&base, &Gate::H(5))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduce, bench_apply_gate);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Hot-path micro/row benchmark for the automaton reduction engine.
+//!
+//! Usage: `cargo run --release -p autoq-bench --bin bench_reduction
+//! [--paper] [--out PATH]`
+//!
+//! Measures the reduction/engine hot path at three granularities and writes
+//! the results as JSON (default `BENCH_reduction.json`), so the CI
+//! bench-smoke job emits a comparable baseline on every run:
+//!
+//! * **micro** — `TreeAutomaton::reduce` on a duplicated-copies automaton
+//!   (the shape every primed-copy gate construction produces) and
+//!   `Engine::apply_gate` for one permutation (CNOT) and one composition
+//!   (H) gate on a 12-qubit all-basis set;
+//! * **rows** — the two previously slow Table 3 rows: the `increment8`
+//!   AutoQ hunt and the `cycle10` path-sum check;
+//! * **paper** (with `--paper`) — the 35-qubit superposing `random35` hunt
+//!   (paper ratio: `3n` gates including `H`/`Rx`/`Ry`).
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use autoq_bench::table3::{paper_scale_workload, run_paper_scale_row, run_row};
+use autoq_bench::timed;
+use autoq_circuit::generators::{carry_lookahead_like, increment_circuit};
+use autoq_circuit::mutation::inject_random_gate;
+use autoq_circuit::Gate;
+use autoq_core::{Engine, StateSet};
+use autoq_equivcheck::pathsum;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Median wall time of `runs` executions of `f`.
+fn median_time(runs: usize, mut f: impl FnMut()) -> Duration {
+    let mut samples: Vec<Duration> = (0..runs).map(|_| timed(&mut f).1).collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let paper = args.iter().any(|a| a == "--paper");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_reduction.json".to_string());
+
+    let mut entries: Vec<(String, String)> = Vec::new();
+    fn record_secs(entries: &mut Vec<(String, String)>, key: &str, duration: Duration) {
+        let value = format!("{:.6}", duration.as_secs_f64());
+        println!("{key}: {value}s");
+        entries.push((key.to_string(), value));
+    }
+
+    // Micro: reduce a duplicated all-basis automaton (the redundancy shape
+    // the primed-copy constructions produce).
+    let base = StateSet::all_basis_states(12);
+    let mut duplicated = base.automaton().clone();
+    let offset = duplicated.import_disjoint(base.automaton());
+    let roots: Vec<_> = base
+        .automaton()
+        .roots
+        .iter()
+        .map(|r| r.offset(offset))
+        .collect();
+    for root in roots {
+        duplicated.add_root(root);
+    }
+    let reduce_time = median_time(20, || {
+        let reduced = duplicated.reduce();
+        assert!(reduced.state_count() <= base.state_count());
+    });
+    record_secs(
+        &mut entries,
+        "micro.reduce_duplicated_allbasis12",
+        reduce_time,
+    );
+
+    // Micro: one permutation-encoded and one composition-encoded gate.
+    let engine = Engine::hybrid();
+    let cnot = Gate::Cnot {
+        control: 0,
+        target: 11,
+    };
+    record_secs(
+        &mut entries,
+        "micro.apply_gate_cnot_allbasis12",
+        median_time(20, || {
+            let _ = engine.apply_gate(&base, &cnot);
+        }),
+    );
+    record_secs(
+        &mut entries,
+        "micro.apply_gate_h_allbasis12",
+        median_time(20, || {
+            let _ = engine.apply_gate(&base, &Gate::H(5));
+        }),
+    );
+
+    // Rows: the previously slow Table 3 entries, with the canonical
+    // `table3` seeds so the numbers are directly comparable.
+    let increment8_row = run_row("increment8", &increment_circuit(8), false, 48);
+    record_secs(
+        &mut entries,
+        "row.increment8_autoq_hunt",
+        increment8_row.autoq_time,
+    );
+    entries.push((
+        "row.increment8_peak_states".to_string(),
+        increment8_row.peak_states.to_string(),
+    ));
+    assert!(increment8_row.autoq_found, "increment8 bug must be found");
+
+    let cycle10 = carry_lookahead_like(10, 5);
+    let mut rng = StdRng::seed_from_u64(49);
+    let (cycle10_buggy, _) = inject_random_gate(&cycle10, false, &mut rng);
+    let (verdict, cycle10_time) = timed(|| pathsum::check_equivalence(&cycle10, &cycle10_buggy));
+    record_secs(&mut entries, "row.cycle10_pathsum", cycle10_time);
+    entries.push((
+        "row.cycle10_pathsum_verdict".to_string(),
+        format!("{verdict:?}"),
+    ));
+
+    if paper {
+        // The 35-qubit superposing hunt (the tentpole acceptance row).
+        let (name, circuit, superposing) = paper_scale_workload()
+            .into_iter()
+            .nth(3)
+            .expect("random35 is the fourth paper-scale row");
+        assert_eq!(name, "random35");
+        let row = run_paper_scale_row(&name, &circuit, superposing, 4242 + 3);
+        record_secs(&mut entries, "paper.random35_autoq_hunt", row.autoq_time);
+        entries.push((
+            "paper.random35_peak_states".to_string(),
+            row.peak_states.to_string(),
+        ));
+        entries.push((
+            "paper.random35_bug_found".to_string(),
+            row.autoq_found.to_string(),
+        ));
+    }
+
+    let mut json = String::from("{\n");
+    for (i, (key, value)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        // Numeric values are emitted bare; everything else as a string.
+        if value.parse::<f64>().is_ok() {
+            let _ = writeln!(json, "  \"{key}\": {value}{comma}");
+        } else {
+            let _ = writeln!(json, "  \"{key}\": \"{value}\"{comma}");
+        }
+    }
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark baseline");
+    println!("wrote {out_path}");
+}

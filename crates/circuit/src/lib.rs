@@ -34,6 +34,7 @@ mod gate;
 pub mod generators;
 pub mod mutation;
 pub mod qasm;
+pub mod schedule;
 
 pub use circuit::{Circuit, CircuitError};
 pub use gate::Gate;

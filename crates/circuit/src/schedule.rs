@@ -1,0 +1,200 @@
+//! Interference-friendly commuting-gate scheduling.
+//!
+//! Two gates acting on disjoint qubit sets commute exactly, so any
+//! topological order of the dependency DAG "gate *i* → the next gate sharing
+//! a qubit with *i*" applies the same total operator as program order.  The
+//! scheduler below picks, among those orders, one that collapses
+//! superpositions early — e.g. each qubit's `H … oracle … H` pattern in
+//! Bernstein–Vazirani completes before further qubits branch.
+//!
+//! The schedule is shared by two consumers with the same problem shape: the
+//! sparse simulator (`autoq-simulator`), whose live support would otherwise
+//! grow exponentially mid-circuit, and the automata engine
+//! (`autoq-core::Engine`), whose intermediate tree automata blow up the same
+//! way when branching gates pile up before their interference resolves.
+
+use crate::{Circuit, Gate};
+
+/// Returns `true` if the gate can enlarge a state's superposition support;
+/// all other gates permute or phase basis states.
+pub fn branches(gate: &Gate) -> bool {
+    matches!(gate, Gate::H(_) | Gate::RxPi2(_) | Gate::RyPi2(_))
+}
+
+/// Computes an exact, interference-friendly application order for the gates
+/// of `circuit` (indices into `circuit.gates()`).
+///
+/// Only gates with disjoint qubit sets are ever reordered, which commutes
+/// exactly, so applying the gates in the returned order produces exactly the
+/// same final state as program order.  Among the valid orders, the scheduler
+/// greedily prefers
+///
+/// 1. gates that cannot grow the support (permutations and diagonal gates),
+/// 2. branching gates on a qubit that is already in superposition (these
+///    are the candidates for interference that shrinks the support), and
+/// 3. otherwise the branching gate with the longest chain of dependents
+///    (its completion unlocks the most downstream collapses — in
+///    Bernstein–Vazirani this schedules the oracle work qubit first).
+///
+/// For a 60-qubit Bernstein–Vazirani circuit this keeps the sparse
+/// simulator's live support at ≤ 4 basis states, where program order would
+/// visit all 2^61.
+pub fn interference_schedule(circuit: &Circuit) -> Vec<usize> {
+    let gates = circuit.gates();
+    let gate_count = gates.len();
+    // Without branching gates the support never grows, so program order is
+    // already optimal — skip the DAG construction entirely (this is the
+    // common case for the reversible Table 3 workloads).
+    if !gates.iter().any(branches) {
+        return (0..gate_count).collect();
+    }
+    // Gate::qubits() allocates a fresh Vec per call; compute each gate's
+    // qubit list once up front instead of per candidate in the pick loop.
+    let qubit_lists: Vec<Vec<u32>> = gates.iter().map(Gate::qubits).collect();
+
+    // Dependency DAG via per-qubit chains (an edge to the previous gate on
+    // each shared qubit is enough: chains make the relation transitive).
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); gate_count];
+    let mut pending: Vec<usize> = vec![0; gate_count];
+    let mut last_on_qubit: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for (index, qubits) in qubit_lists.iter().enumerate() {
+        for &qubit in qubits {
+            if let Some(&prev) = last_on_qubit.get(&qubit) {
+                // A gate sharing several qubits with the same predecessor
+                // would be appended twice; the only in-flight append is ours.
+                if successors[prev].last() != Some(&index) {
+                    successors[prev].push(index);
+                    pending[index] += 1;
+                }
+            }
+            last_on_qubit.insert(qubit, index);
+        }
+    }
+
+    // Critical-path height; edges point forward, so reverse program order is
+    // a reverse topological order.
+    let mut height = vec![1u64; gate_count];
+    for index in (0..gate_count).rev() {
+        for &succ in &successors[index] {
+            height[index] = height[index].max(1 + height[succ]);
+        }
+    }
+
+    let mut ready: std::collections::BTreeSet<usize> =
+        (0..gate_count).filter(|&i| pending[i] == 0).collect();
+    // Heuristically tracked set of qubits currently in superposition (only
+    // used for ordering; correctness never depends on it).
+    let mut superposed: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut order = Vec::with_capacity(gate_count);
+    while !ready.is_empty() {
+        let pick = ready
+            .iter()
+            .copied()
+            .find(|&i| !branches(&gates[i]))
+            .or_else(|| {
+                ready
+                    .iter()
+                    .copied()
+                    .find(|&i| qubit_lists[i].iter().any(|q| superposed.contains(q)))
+            })
+            .or_else(|| {
+                ready
+                    .iter()
+                    .copied()
+                    .max_by_key(|&i| (height[i], std::cmp::Reverse(i)))
+            })
+            .expect("ready set is nonempty");
+        ready.remove(&pick);
+        order.push(pick);
+        if branches(&gates[pick]) {
+            for &qubit in &qubit_lists[pick] {
+                if !superposed.remove(&qubit) {
+                    superposed.insert(qubit);
+                }
+            }
+        }
+        for &succ in &successors[pick] {
+            pending[succ] -= 1;
+            if pending[succ] == 0 {
+                ready.insert(succ);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), gate_count, "schedule must cover every gate");
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_a_valid_commuting_reorder() {
+        // A hand-built circuit mixing branching and permutation gates across
+        // overlapping qubit sets.
+        let circuit = Circuit::from_gates(
+            4,
+            [
+                Gate::H(0),
+                Gate::Cnot {
+                    control: 0,
+                    target: 1,
+                },
+                Gate::H(2),
+                Gate::X(3),
+                Gate::Toffoli {
+                    controls: [0, 2],
+                    target: 3,
+                },
+                Gate::H(0),
+                Gate::Cnot {
+                    control: 2,
+                    target: 3,
+                },
+            ],
+        )
+        .unwrap();
+        let order = interference_schedule(&circuit);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..circuit.gate_count()).collect::<Vec<_>>());
+        // Gates sharing a qubit must keep their program order.
+        let mut position = vec![0usize; circuit.gate_count()];
+        for (pos, &index) in order.iter().enumerate() {
+            position[index] = pos;
+        }
+        let gates = circuit.gates();
+        for a in 0..gates.len() {
+            let qubits_a = gates[a].qubits();
+            for b in (a + 1)..gates.len() {
+                if gates[b].qubits().iter().any(|q| qubits_a.contains(q)) {
+                    assert!(
+                        position[a] < position[b],
+                        "dependent gates {a} -> {b} were reordered"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reversible_circuits_keep_program_order() {
+        let circuit = crate::generators::ripple_carry_adder(4);
+        assert_eq!(
+            interference_schedule(&circuit),
+            (0..circuit.gate_count()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn branching_classification() {
+        assert!(branches(&Gate::H(0)));
+        assert!(branches(&Gate::RxPi2(1)));
+        assert!(branches(&Gate::RyPi2(2)));
+        assert!(!branches(&Gate::X(0)));
+        assert!(!branches(&Gate::Toffoli {
+            controls: [0, 1],
+            target: 2
+        }));
+    }
+}

@@ -25,9 +25,19 @@ use crate::formula::{CombineSign, ScaleFactor, UpdateExpr};
 /// This is the complete pipeline of Section 6.2: tag → per-term construction
 /// → binary combination → untag.
 pub fn apply_formula(automaton: &TreeAutomaton, formula: &UpdateExpr) -> TreeAutomaton {
-    let tagged = tag(automaton);
-    let result = evaluate(formula, &tagged);
-    result.untagged()
+    let mut working = automaton.clone();
+    apply_formula_in_place(&mut working, formula);
+    working
+}
+
+/// In-place variant of [`apply_formula`], used by the engine's working
+/// automaton so composition gates tag and untag without an extra
+/// whole-automaton copy per gate.
+pub fn apply_formula_in_place(automaton: &mut TreeAutomaton, formula: &UpdateExpr) {
+    tag_in_place(automaton);
+    let mut result = evaluate(formula, automaton);
+    result.untag_in_place();
+    *automaton = result;
 }
 
 /// Evaluates an update-formula term over a tagged source automaton.
@@ -36,9 +46,15 @@ pub fn evaluate(expr: &UpdateExpr, tagged_source: &TreeAutomaton) -> TreeAutomat
         UpdateExpr::Source => tagged_source.clone(),
         UpdateExpr::Proj { qubit, bit } => project(tagged_source, *qubit, *bit),
         UpdateExpr::Restrict { qubit, bit, inner } => {
-            restrict(&evaluate(inner, tagged_source), *qubit, *bit)
+            let mut automaton = evaluate(inner, tagged_source);
+            restrict_in_place(&mut automaton, *qubit, *bit);
+            automaton
         }
-        UpdateExpr::Scale { factor, inner } => multiply(&evaluate(inner, tagged_source), *factor),
+        UpdateExpr::Scale { factor, inner } => {
+            let mut automaton = evaluate(inner, tagged_source);
+            multiply_in_place(&mut automaton, *factor);
+            automaton
+        }
         UpdateExpr::Combine { sign, lhs, rhs } => binary_op(
             &evaluate(lhs, tagged_source),
             &evaluate(rhs, tagged_source),
@@ -51,25 +67,38 @@ pub fn evaluate(expr: &UpdateExpr, tagged_source: &TreeAutomaton) -> TreeAutomat
 /// unique tag so that every accepted tree has a unique "shape identity".
 pub fn tag(automaton: &TreeAutomaton) -> TreeAutomaton {
     let mut result = automaton.clone();
-    for (index, transition) in result.internal.iter_mut().enumerate() {
+    tag_in_place(&mut result);
+    result
+}
+
+/// In-place variant of [`tag`]: rewrites the symbols without copying the
+/// automaton (one full copy saved per composition-encoded gate).
+pub fn tag_in_place(automaton: &mut TreeAutomaton) {
+    for (index, transition) in automaton.internal.iter_mut().enumerate() {
         transition.symbol = transition
             .symbol
             .untagged()
             .with_tag(Tag::Single(index as u64 + 1));
     }
-    result
+    automaton.invalidate_index();
 }
 
 /// The restriction operation (Algorithm 4): `B_{x_t}·T` (`bit = true`) keeps
 /// the amplitudes on branches where qubit `t` is `1` and zeroes the others;
 /// `B̄_{x_t}·T` (`bit = false`) is symmetric.
 pub fn restrict(automaton: &TreeAutomaton, qubit: u32, bit: bool) -> TreeAutomaton {
+    let mut result = automaton.clone();
+    restrict_in_place(&mut result, qubit, bit);
+    result
+}
+
+/// In-place variant of [`restrict`].
+pub fn restrict_in_place(automaton: &mut TreeAutomaton, qubit: u32, bit: bool) {
     // Primed copy with all leaves zeroed; structure (and tags) identical.
     let zeroed = automaton.map_leaves(|_| Algebraic::zero());
-    let mut result = automaton.clone();
-    let offset = result.import_disjoint(&zeroed);
     let original_count = automaton.internal.len();
-    for transition in result.internal.iter_mut().take(original_count) {
+    let offset = automaton.import_disjoint(&zeroed);
+    for transition in automaton.internal.iter_mut().take(original_count) {
         if transition.symbol.var == qubit {
             if bit {
                 // keep x_t = 1, zero the left (x_t = 0) subtree
@@ -79,17 +108,24 @@ pub fn restrict(automaton: &TreeAutomaton, qubit: u32, bit: bool) -> TreeAutomat
             }
         }
     }
-    result
+    automaton.invalidate_index();
 }
 
 /// The multiplication operation (Algorithm 5, generalised to all scalar
 /// factors appearing in Table 1): rewrites every leaf value.
 pub fn multiply(automaton: &TreeAutomaton, factor: ScaleFactor) -> TreeAutomaton {
-    automaton.map_leaves(|value| match factor {
+    let mut result = automaton.clone();
+    multiply_in_place(&mut result, factor);
+    result
+}
+
+/// In-place variant of [`multiply`].
+pub fn multiply_in_place(automaton: &mut TreeAutomaton, factor: ScaleFactor) {
+    automaton.map_leaves_in_place(|value| match factor {
         ScaleFactor::OmegaPow(j) => value.mul_omega_pow(j as i64),
         ScaleFactor::Neg => -value,
         ScaleFactor::InvSqrt2 => value.div_sqrt2(),
-    })
+    });
 }
 
 /// The projection operation (Eq. (13)): `T_{x_t}` (`bit = true`) replaces
@@ -99,14 +135,16 @@ pub fn multiply(automaton: &TreeAutomaton, factor: ScaleFactor) -> TreeAutomaton
 pub fn project(automaton: &TreeAutomaton, qubit: u32, bit: bool) -> TreeAutomaton {
     let bottom = automaton.num_vars - 1;
     if qubit == bottom {
-        return subtree_copy(automaton, qubit, bit);
+        let mut result = automaton.clone();
+        subtree_copy_in_place(&mut result, qubit, bit);
+        return result;
     }
     let swaps = bottom - qubit;
-    let mut current = automaton.clone();
-    for _ in 0..swaps {
+    let mut current = forward_swap(automaton, qubit);
+    for _ in 1..swaps {
         current = forward_swap(&current, qubit);
     }
-    current = subtree_copy(&current, qubit, bit);
+    subtree_copy_in_place(&mut current, qubit, bit);
     for _ in 0..swaps {
         current = backward_swap(&current, qubit);
     }
@@ -117,7 +155,13 @@ pub fn project(automaton: &TreeAutomaton, qubit: u32, bit: bool) -> TreeAutomato
 /// above the leaves (Lemma 6.8).
 pub fn subtree_copy(automaton: &TreeAutomaton, qubit: u32, bit: bool) -> TreeAutomaton {
     let mut result = automaton.clone();
-    for transition in result.internal.iter_mut() {
+    subtree_copy_in_place(&mut result, qubit, bit);
+    result
+}
+
+/// In-place variant of [`subtree_copy`].
+pub fn subtree_copy_in_place(automaton: &mut TreeAutomaton, qubit: u32, bit: bool) {
+    for transition in automaton.internal.iter_mut() {
         if transition.symbol.var == qubit {
             let copied = if bit {
                 transition.right
@@ -128,7 +172,7 @@ pub fn subtree_copy(automaton: &TreeAutomaton, qubit: u32, bit: bool) -> TreeAut
             transition.right = copied;
         }
     }
-    result
+    automaton.invalidate_index();
 }
 
 /// The forward variable-order swapping procedure (Algorithm 7): pushes the
@@ -344,23 +388,17 @@ pub fn binary_op(a1: &TreeAutomaton, a2: &TreeAutomaton, sign: CombineSign) -> T
         }
     }
 
-    // Index transitions by parent.
-    let mut internal1: HashMap<StateId, Vec<usize>> = HashMap::new();
-    for (index, t) in a1.internal.iter().enumerate() {
-        internal1.entry(t.parent).or_default().push(index);
-    }
-    let mut internal2: HashMap<StateId, Vec<usize>> = HashMap::new();
-    for (index, t) in a2.internal.iter().enumerate() {
-        internal2.entry(t.parent).or_default().push(index);
-    }
+    // Adjacency (parent- and leaf-indexed) for both sides.
+    let index1 = a1.index();
+    let index2 = a2.index();
 
     while let Some((q1, q2)) = worklist.pop() {
         let parent = pair_state[&(q1, q2)];
         // Internal transitions with matching (tagged) symbols.
-        for &i1 in internal1.get(&q1).map(|v| v.as_slice()).unwrap_or(&[]) {
-            for &i2 in internal2.get(&q2).map(|v| v.as_slice()).unwrap_or(&[]) {
-                let t1 = &a1.internal[i1];
-                let t2 = &a2.internal[i2];
+        for &i1 in index1.internal_of(q1) {
+            for &i2 in index2.internal_of(q2) {
+                let t1 = &a1.internal[i1 as usize];
+                let t2 = &a2.internal[i2 as usize];
                 if t1.symbol != t2.symbol {
                     continue;
                 }
@@ -382,8 +420,14 @@ pub fn binary_op(a1: &TreeAutomaton, a2: &TreeAutomaton, sign: CombineSign) -> T
             }
         }
         // Leaf combination.
-        let v1 = a1.leaf_value(q1);
-        let v2 = a2.leaf_value(q2);
+        let v1 = index1
+            .leaves_of(q1)
+            .first()
+            .map(|&i| &a1.leaves[i as usize].value);
+        let v2 = index2
+            .leaves_of(q2)
+            .first()
+            .map(|&i| &a2.leaves[i as usize].value);
         if let (Some(v1), Some(v2)) = (v1, v2) {
             let value = match sign {
                 CombineSign::Plus => v1 + v2,

@@ -1,5 +1,6 @@
 //! The gate-application engine: Hybrid vs Composition settings.
 
+use autoq_circuit::schedule::interference_schedule;
 use autoq_circuit::{Circuit, Gate};
 use autoq_treeaut::TreeAutomaton;
 
@@ -23,13 +24,64 @@ pub enum EngineKind {
 /// When the automaton reduction (trimming + successor merging) runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum ReductionPolicy {
-    /// Reduce after every gate (the paper reduces after the cheap
+    /// Reduce after every user-level gate (the paper reduces after the cheap
     /// permutation-style gates; reducing after every gate keeps automata
-    /// small at a modest cost and is the default).
+    /// small at a modest cost and is the default).  Multi-primitive gates
+    /// (`SWAP`, Fredkin) reduce once per gate, not once per primitive.
     #[default]
     AfterEachGate,
     /// Never reduce (used by the ablation benchmarks).
     Never,
+    /// Reduce after every composition-encoded gate (those genuinely grow the
+    /// automaton), but after the cheap permutation-encoded gates only once
+    /// the automaton has grown past `growth_factor ×` the transition count
+    /// measured at the last reduction.  This matches the paper's policy of
+    /// reducing only around the permutation-style constructions when
+    /// worthwhile: a run of permutation gates at most doubles the automaton
+    /// each time, so skipping reduction under the threshold trades a little
+    /// peak size for far fewer reduction passes.
+    Adaptive {
+        /// Growth multiplier over the last post-reduction transition count
+        /// that triggers a reduction after a permutation-encoded gate.  `2`
+        /// is a good default (see the `ablation` bench); `1` reduces after
+        /// any permutation gate that grew the automaton at all (still
+        /// skipping the no-growth ones, e.g. `X`, which
+        /// [`ReductionPolicy::AfterEachGate`] would reduce after too).
+        growth_factor: u32,
+    },
+}
+
+/// Size statistics collected while applying gates — the peaks are what the
+/// reduction policy trades off, so `table3` prints them per row to make hot
+/// path regressions visible.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApplyStats {
+    /// Largest automaton state count observed after any primitive gate
+    /// (before the following reduction, so this is the true peak).
+    pub peak_states: usize,
+    /// Largest automaton transition count observed after any primitive gate.
+    pub peak_transitions: usize,
+    /// Number of reduction passes that actually ran.
+    pub reductions: usize,
+    /// Number of user-level gates applied.
+    pub gates_applied: usize,
+}
+
+impl ApplyStats {
+    fn observe(&mut self, automaton: &TreeAutomaton) {
+        self.peak_states = self.peak_states.max(automaton.state_count());
+        self.peak_transitions = self.peak_transitions.max(automaton.transition_count());
+    }
+
+    /// Combines the statistics of two runs (peaks max, counters summed).
+    pub fn merge(&self, other: &ApplyStats) -> ApplyStats {
+        ApplyStats {
+            peak_states: self.peak_states.max(other.peak_states),
+            peak_transitions: self.peak_transitions.max(other.peak_transitions),
+            reductions: self.reductions + other.reductions,
+            gates_applied: self.gates_applied + other.gates_applied,
+        }
+    }
 }
 
 /// A configured gate-application engine.
@@ -72,12 +124,29 @@ impl Engine {
         }
     }
 
+    /// The `Hybrid` engine with the adaptive reduction policy (reduce after
+    /// composition gates, and after permutation gates only past 2× growth).
+    pub fn adaptive() -> Self {
+        Engine {
+            kind: EngineKind::Hybrid,
+            reduction: ReductionPolicy::Adaptive { growth_factor: 2 },
+        }
+    }
+
     /// Returns a copy with the given reduction policy.
     pub fn with_reduction(self, reduction: ReductionPolicy) -> Self {
         Engine { reduction, ..self }
     }
 
     /// Applies a single gate to a set of states.
+    ///
+    /// Under [`ReductionPolicy::Adaptive`] this behaves like
+    /// [`ReductionPolicy::AfterEachGate`]: adaptivity needs the cross-gate
+    /// growth baseline that only [`Engine::apply_circuit`] maintains — on
+    /// the stateless single-gate API, a gate that exactly doubles the
+    /// automaton (every controlled graft does) would otherwise never
+    /// trigger the growth threshold and the automaton would double
+    /// unreduced on every call.
     ///
     /// # Panics
     ///
@@ -86,48 +155,106 @@ impl Engine {
         for q in gate.qubits() {
             assert!(q < set.num_qubits(), "gate qubit {q} out of range");
         }
+        let engine = match self.reduction {
+            ReductionPolicy::Adaptive { .. } => self.with_reduction(ReductionPolicy::AfterEachGate),
+            _ => *self,
+        };
         let mut automaton = set.automaton().clone();
-        for primitive in gate.decompose() {
-            automaton = self.apply_primitive(&automaton, &primitive);
-        }
+        let mut baseline = automaton.transition_count();
+        let mut stats = ApplyStats::default();
+        engine.apply_gate_in_place(&mut automaton, gate, &mut baseline, &mut stats);
         set.with_automaton(automaton)
     }
 
-    /// Applies a primitive (already decomposed) gate to a raw automaton.
-    fn apply_primitive(&self, automaton: &TreeAutomaton, gate: &Gate) -> TreeAutomaton {
+    /// Applies one user-level gate to the working automaton: every primitive
+    /// of its decomposition in place, then at most one reduction (never one
+    /// per primitive — a SWAP is one gate, not three).
+    fn apply_gate_in_place(
+        &self,
+        automaton: &mut TreeAutomaton,
+        gate: &Gate,
+        baseline: &mut usize,
+        stats: &mut ApplyStats,
+    ) {
+        let mut used_composition = false;
+        for primitive in gate.decompose() {
+            used_composition |= self.apply_primitive_in_place(automaton, &primitive);
+            stats.observe(automaton);
+        }
+        stats.gates_applied += 1;
+        let reduce = match self.reduction {
+            ReductionPolicy::AfterEachGate => true,
+            ReductionPolicy::Never => false,
+            ReductionPolicy::Adaptive { growth_factor } => {
+                used_composition
+                    || automaton.transition_count()
+                        > (growth_factor as usize).max(1) * (*baseline).max(1)
+            }
+        };
+        if reduce {
+            *automaton = automaton.reduce();
+            *baseline = automaton.transition_count();
+            stats.reductions += 1;
+        }
+    }
+
+    /// Applies a primitive (already decomposed) gate to the working
+    /// automaton; returns `true` if the composition-based encoding was used.
+    fn apply_primitive_in_place(&self, automaton: &mut TreeAutomaton, gate: &Gate) -> bool {
         let use_permutation = match self.kind {
             EngineKind::Hybrid => permutation::supports(gate),
             EngineKind::Composition => false,
         };
-        let result = if use_permutation {
-            permutation::apply(automaton, gate)
+        if use_permutation {
+            permutation::apply_in_place(automaton, gate);
+            false
         } else {
             let formula =
                 update_formula(gate).expect("primitive gates always have an update formula");
-            composition::apply_formula(automaton, &formula)
-        };
-        match self.reduction {
-            ReductionPolicy::AfterEachGate => result.reduce(),
-            ReductionPolicy::Never => result,
+            composition::apply_formula_in_place(automaton, &formula);
+            true
         }
     }
 
-    /// Applies every gate of a circuit in order, returning the set of output
-    /// states (the automaton `A` of the paper's workflow).
+    /// Applies every gate of a circuit, returning the set of output states
+    /// (the automaton `A` of the paper's workflow).
+    ///
+    /// Gates are applied in the interference-friendly commuting order of
+    /// [`autoq_circuit::schedule`] rather than strict program order: only
+    /// gates on disjoint qubit sets are reordered (which commutes exactly,
+    /// so the output set is identical), and branching gates whose
+    /// interference can collapse are scheduled before further branching —
+    /// the same scheduling that keeps the sparse simulator's support small,
+    /// lifted to the automata engine so intermediate automata stop blowing
+    /// up on superposing circuits.
     ///
     /// # Panics
     ///
     /// Panics if the circuit is wider than the state set.
     pub fn apply_circuit(&self, set: &StateSet, circuit: &Circuit) -> StateSet {
+        self.apply_circuit_with_stats(set, circuit).0
+    }
+
+    /// Like [`Engine::apply_circuit`] but also reports peak automaton sizes
+    /// and reduction counts (the `table3` per-row columns).
+    pub fn apply_circuit_with_stats(
+        &self,
+        set: &StateSet,
+        circuit: &Circuit,
+    ) -> (StateSet, ApplyStats) {
         assert!(
             circuit.num_qubits() <= set.num_qubits(),
             "circuit has more qubits than the state set"
         );
-        let mut current = set.clone();
-        for gate in circuit.gates() {
-            current = self.apply_gate(&current, gate);
+        let gates = circuit.gates();
+        let mut automaton = set.automaton().clone();
+        let mut baseline = automaton.transition_count();
+        let mut stats = ApplyStats::default();
+        stats.observe(&automaton);
+        for index in interference_schedule(circuit) {
+            self.apply_gate_in_place(&mut automaton, &gates[index], &mut baseline, &mut stats);
         }
-        current
+        (set.with_automaton(automaton), stats)
     }
 }
 
@@ -312,6 +439,108 @@ mod tests {
         assert!(reduced.state_count() <= unreduced.state_count());
         // Both represent the same single state.
         assert_eq!(reduced.states(4), unreduced.reduced().states(4));
+    }
+
+    #[test]
+    fn adaptive_policy_agrees_with_after_each_gate() {
+        // A mixed permutation/composition circuit: the adaptive policy may
+        // skip reductions mid-run but must compute the same output set.
+        let circuit = Circuit::from_gates(
+            3,
+            [
+                Gate::H(0),
+                Gate::T(1),
+                Gate::Cnot {
+                    control: 0,
+                    target: 2,
+                },
+                Gate::X(1),
+                Gate::Cz {
+                    control: 1,
+                    target: 2,
+                },
+                Gate::RyPi2(2),
+                Gate::Toffoli {
+                    controls: [0, 1],
+                    target: 2,
+                },
+                Gate::H(1),
+            ],
+        )
+        .unwrap();
+        for basis in [0u64, 0b101] {
+            let input = StateSet::basis_state(3, basis);
+            let (eager, eager_stats) = Engine::hybrid().apply_circuit_with_stats(&input, &circuit);
+            let (adaptive, adaptive_stats) =
+                Engine::adaptive().apply_circuit_with_stats(&input, &circuit);
+            assert!(
+                autoq_treeaut::equivalence(eager.automaton(), adaptive.automaton()).holds(),
+                "adaptive output set differs on |{basis:b}⟩"
+            );
+            assert!(
+                adaptive_stats.reductions <= eager_stats.reductions,
+                "adaptive must not reduce more often than after-each-gate"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_single_gate_api_keeps_automata_reduced() {
+        // The stateless apply_gate API has no cross-gate growth baseline, so
+        // Adaptive must fall back to reducing after each gate: a long run of
+        // controlled grafts (each doubling the automaton) must not compound.
+        let engine = Engine::adaptive();
+        let mut set = Engine::hybrid().apply_gate(&StateSet::basis_state(3, 0), &Gate::H(0));
+        for _ in 0..10 {
+            set = engine.apply_gate(
+                &set,
+                &Gate::Cnot {
+                    control: 0,
+                    target: 1,
+                },
+            );
+            assert!(
+                set.transition_count() < 100,
+                "automaton must stay reduced, got {} transitions",
+                set.transition_count()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_primitive_gates_reduce_once_per_gate() {
+        // A SWAP decomposes into three CNOTs but is one user-level gate: the
+        // default policy must run exactly one reduction for it.
+        let circuit = Circuit::from_gates(2, [Gate::Swap(0, 1)]).unwrap();
+        let input = StateSet::basis_state(2, 0b01);
+        let (output, stats) = Engine::hybrid().apply_circuit_with_stats(&input, &circuit);
+        assert_eq!(stats.gates_applied, 1);
+        assert_eq!(stats.reductions, 1);
+        assert!(output.contains_basis_state(0b10));
+        assert!(stats.peak_states >= output.state_count());
+    }
+
+    #[test]
+    fn stats_report_peaks_and_merge() {
+        let circuit = Circuit::from_gates(
+            2,
+            [
+                Gate::H(0),
+                Gate::Cnot {
+                    control: 0,
+                    target: 1,
+                },
+            ],
+        )
+        .unwrap();
+        let input = StateSet::basis_state(2, 0);
+        let (_, stats) = Engine::hybrid().apply_circuit_with_stats(&input, &circuit);
+        assert_eq!(stats.gates_applied, 2);
+        assert!(stats.peak_states > 0);
+        assert!(stats.peak_transitions > 0);
+        let doubled = stats.merge(&stats);
+        assert_eq!(doubled.gates_applied, 4);
+        assert_eq!(doubled.peak_states, stats.peak_states);
     }
 
     #[test]

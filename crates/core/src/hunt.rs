@@ -13,7 +13,7 @@ use autoq_simulator::SparseState;
 use autoq_treeaut::Tree;
 use rand::Rng;
 
-use crate::{check_circuit_equivalence, Engine, StateSet};
+use crate::{check_circuit_equivalence_with_stats, ApplyStats, Engine, StateSet};
 
 /// Configuration of the bug hunter.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,6 +48,10 @@ pub struct HuntReport {
     pub witness: Option<Tree>,
     /// The number of basis states in the final input set.
     pub final_input_size: u64,
+    /// Combined gate-application statistics over every iteration — the peak
+    /// automaton size reached anywhere in the hunt is the engine's hot-path
+    /// health metric (printed per row by `table3`).
+    pub stats: ApplyStats,
 }
 
 impl HuntReport {
@@ -159,17 +163,21 @@ impl BugHunter {
         }
 
         let mut iterations = 0;
+        let mut stats = ApplyStats::default();
         for free_count in 0..=n.min(self.max_iterations.saturating_sub(1)) {
             iterations += 1;
             let free = &order[..free_count as usize];
             let inputs = StateSet::basis_pattern(n, base, free);
-            let result = check_circuit_equivalence(&self.engine, &inputs, original, candidate);
+            let (result, iteration_stats) =
+                check_circuit_equivalence_with_stats(&self.engine, &inputs, original, candidate);
+            stats = stats.merge(&iteration_stats);
             if let Some(witness) = result.witness() {
                 return HuntReport {
                     bug_found: true,
                     iterations,
                     witness: Some(witness.clone()),
                     final_input_size: 1u64 << free_count,
+                    stats,
                 };
             }
             if iterations >= self.max_iterations {
@@ -181,6 +189,7 @@ impl BugHunter {
             iterations,
             witness: None,
             final_input_size: 1u64 << (iterations - 1).min(63),
+            stats,
         }
     }
 }

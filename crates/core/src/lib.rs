@@ -57,7 +57,10 @@ pub mod presets;
 mod state_set;
 pub mod verify;
 
-pub use engine::{Engine, EngineKind, ReductionPolicy};
+pub use engine::{ApplyStats, Engine, EngineKind, ReductionPolicy};
 pub use hunt::{BugHunter, HuntReport};
 pub use state_set::StateSet;
-pub use verify::{check_circuit_equivalence, verify, SpecMode, VerificationOutcome};
+pub use verify::{
+    check_circuit_equivalence, check_circuit_equivalence_with_stats, verify, SpecMode,
+    VerificationOutcome,
+};

@@ -49,37 +49,55 @@ pub fn supports(gate: &Gate) -> bool {
 ///
 /// Panics if [`supports`] returns `false` for the gate.
 pub fn apply(automaton: &TreeAutomaton, gate: &Gate) -> TreeAutomaton {
+    let mut result = automaton.clone();
+    apply_in_place(&mut result, gate);
+    result
+}
+
+/// In-place variant of [`apply`], used on the engine's working automaton so
+/// permutation gates skip the per-gate whole-automaton clone.
+///
+/// # Panics
+///
+/// Panics if [`supports`] returns `false` for the gate.
+pub fn apply_in_place(automaton: &mut TreeAutomaton, gate: &Gate) {
     assert!(
         supports(gate),
         "gate {gate} is not supported by the permutation-based encoding"
     );
     match *gate {
-        Gate::X(t) => swap_children(automaton, t),
-        Gate::Z(t) => scale_children(automaton, t, &Algebraic::one(), &(-&Algebraic::one())),
-        Gate::S(t) => scale_children(automaton, t, &Algebraic::one(), &Algebraic::i()),
-        Gate::Sdg(t) => scale_children(automaton, t, &Algebraic::one(), &Algebraic::omega_pow(6)),
-        Gate::T(t) => scale_children(automaton, t, &Algebraic::one(), &Algebraic::omega()),
-        Gate::Tdg(t) => scale_children(automaton, t, &Algebraic::one(), &Algebraic::omega_pow(7)),
+        Gate::X(t) => swap_children_in_place(automaton, t),
+        Gate::Z(t) => {
+            scale_children_in_place(automaton, t, &Algebraic::one(), &(-&Algebraic::one()))
+        }
+        Gate::S(t) => scale_children_in_place(automaton, t, &Algebraic::one(), &Algebraic::i()),
+        Gate::Sdg(t) => {
+            scale_children_in_place(automaton, t, &Algebraic::one(), &Algebraic::omega_pow(6))
+        }
+        Gate::T(t) => scale_children_in_place(automaton, t, &Algebraic::one(), &Algebraic::omega()),
+        Gate::Tdg(t) => {
+            scale_children_in_place(automaton, t, &Algebraic::one(), &Algebraic::omega_pow(7))
+        }
         Gate::Y(t) => {
             // Y: (v0, v1) ↦ (−ω²·v1, ω²·v0) — swap, then scale.
-            let swapped = swap_children(automaton, t);
-            scale_children(&swapped, t, &(-&Algebraic::i()), &Algebraic::i())
+            swap_children_in_place(automaton, t);
+            scale_children_in_place(automaton, t, &(-&Algebraic::i()), &Algebraic::i());
         }
         Gate::Cnot { control, target } => {
-            controlled_graft(automaton, control, |inner| swap_children(inner, target))
+            controlled_graft_in_place(automaton, control, |inner| swap_children(inner, target));
         }
         Gate::Cz { control, target } => {
             let (c, t) = (control.min(target), control.max(target));
-            controlled_graft(automaton, c, |inner| {
+            controlled_graft_in_place(automaton, c, |inner| {
                 scale_children(inner, t, &Algebraic::one(), &(-&Algebraic::one()))
-            })
+            });
         }
         Gate::Toffoli { controls, target } => {
             let c_low = controls[0].min(controls[1]);
             let c_high = controls[0].max(controls[1]);
-            controlled_graft(automaton, c_low, |inner| {
+            controlled_graft_in_place(automaton, c_low, |inner| {
                 controlled_graft(inner, c_high, |inner2| swap_children(inner2, target))
-            })
+            });
         }
         _ => unreachable!("supports() rejected the gate"),
     }
@@ -89,12 +107,18 @@ pub fn apply(automaton: &TreeAutomaton, gate: &Gate) -> TreeAutomaton {
 /// (the `X_t` construction of Theorem 5.1).
 pub fn swap_children(automaton: &TreeAutomaton, qubit: u32) -> TreeAutomaton {
     let mut result = automaton.clone();
-    for transition in result.internal.iter_mut() {
+    swap_children_in_place(&mut result, qubit);
+    result
+}
+
+/// In-place variant of [`swap_children`].
+pub fn swap_children_in_place(automaton: &mut TreeAutomaton, qubit: u32) {
+    for transition in automaton.internal.iter_mut() {
         if transition.symbol.var == qubit {
             std::mem::swap(&mut transition.left, &mut transition.right);
         }
     }
-    result
+    automaton.invalidate_index();
 }
 
 /// Scales the `0`-subtree of every `x_t` node by `scale_left` and the
@@ -105,25 +129,38 @@ pub fn scale_children(
     scale_left: &Algebraic,
     scale_right: &Algebraic,
 ) -> TreeAutomaton {
+    let mut result = automaton.clone();
+    scale_children_in_place(&mut result, qubit, scale_left, scale_right);
+    result
+}
+
+/// In-place variant of [`scale_children`].
+pub fn scale_children_in_place(
+    automaton: &mut TreeAutomaton,
+    qubit: u32,
+    scale_left: &Algebraic,
+    scale_right: &Algebraic,
+) {
     let one = Algebraic::one();
     if scale_left == &one && scale_right == &one {
-        return automaton.clone();
+        return;
     }
     if scale_left == scale_right {
-        return automaton.map_leaves(|value| value * scale_left);
+        automaton.map_leaves_in_place(|value| value * scale_left);
+        return;
     }
     // Primed copy with leaves scaled by `scale_right`.
     let primed = automaton.map_leaves(|value| value * scale_right);
-    // Original automaton with leaves scaled by `scale_left`.
-    let mut result = automaton.map_leaves(|value| value * scale_left);
-    let offset = result.import_disjoint(&primed);
+    // Working automaton with leaves scaled by `scale_left`.
+    automaton.map_leaves_in_place(|value| value * scale_left);
     let original_count = automaton.internal.len();
-    for transition in result.internal.iter_mut().take(original_count) {
+    let offset = automaton.import_disjoint(&primed);
+    for transition in automaton.internal.iter_mut().take(original_count) {
         if transition.symbol.var == qubit {
             transition.right = transition.right.offset(offset);
         }
     }
-    result
+    automaton.invalidate_index();
 }
 
 /// Grafts the transformed automaton under the `1`-branch of every `x_c`
@@ -137,16 +174,26 @@ pub fn controlled_graft(
     control: u32,
     inner: impl Fn(&TreeAutomaton) -> TreeAutomaton,
 ) -> TreeAutomaton {
-    let transformed = inner(automaton);
     let mut result = automaton.clone();
-    let offset = result.import_disjoint(&transformed);
+    controlled_graft_in_place(&mut result, control, inner);
+    result
+}
+
+/// In-place variant of [`controlled_graft`].
+pub fn controlled_graft_in_place(
+    automaton: &mut TreeAutomaton,
+    control: u32,
+    inner: impl Fn(&TreeAutomaton) -> TreeAutomaton,
+) {
+    let transformed = inner(automaton);
     let original_count = automaton.internal.len();
-    for transition in result.internal.iter_mut().take(original_count) {
+    let offset = automaton.import_disjoint(&transformed);
+    for transition in automaton.internal.iter_mut().take(original_count) {
         if transition.symbol.var == control {
             transition.right = transition.right.offset(offset);
         }
     }
-    result
+    automaton.invalidate_index();
 }
 
 #[cfg(test)]

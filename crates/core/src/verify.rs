@@ -130,9 +130,24 @@ pub fn check_circuit_equivalence(
     c1: &Circuit,
     c2: &Circuit,
 ) -> EquivalenceResult {
-    let out1 = engine.apply_circuit(inputs, c1);
-    let out2 = engine.apply_circuit(inputs, c2);
-    equivalence(out1.automaton(), out2.automaton())
+    check_circuit_equivalence_with_stats(engine, inputs, c1, c2).0
+}
+
+/// Like [`check_circuit_equivalence`] but also reports the combined
+/// gate-application statistics of the two runs (peak automaton sizes,
+/// reduction counts) — the per-row hot-path numbers printed by `table3`.
+pub fn check_circuit_equivalence_with_stats(
+    engine: &Engine,
+    inputs: &StateSet,
+    c1: &Circuit,
+    c2: &Circuit,
+) -> (EquivalenceResult, crate::ApplyStats) {
+    let (out1, stats1) = engine.apply_circuit_with_stats(inputs, c1);
+    let (out2, stats2) = engine.apply_circuit_with_stats(inputs, c2);
+    (
+        equivalence(out1.automaton(), out2.automaton()),
+        stats1.merge(&stats2),
+    )
 }
 
 #[cfg(test)]

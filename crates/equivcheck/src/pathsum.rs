@@ -78,31 +78,38 @@ impl BoolPoly {
         None
     }
 
+    /// Toggles one monomial in a characteristic-2 accumulator (the shared
+    /// inner step of [`BoolPoly::add`], [`BoolPoly::mul`] and
+    /// [`BoolPoly::substitute`]): present → removed, absent → inserted.
+    /// Accumulating through this instead of `result = result.add(...)`
+    /// avoids cloning the whole accumulator once per term, which was the
+    /// path-sum checker's dominant cost on Toffoli-heavy miters.
+    fn toggle(monomials: &mut BTreeSet<Monomial>, monomial: Monomial) {
+        if !monomials.remove(&monomial) {
+            monomials.insert(monomial);
+        }
+    }
+
     /// XOR (addition in characteristic 2).
     pub fn add(&self, other: &BoolPoly) -> BoolPoly {
         let mut monomials = self.monomials.clone();
         for m in &other.monomials {
-            if !monomials.remove(m) {
-                monomials.insert(m.clone());
-            }
+            Self::toggle(&mut monomials, m.clone());
         }
         BoolPoly { monomials }
     }
 
     /// Multiplication (AND), using `v² = v`.
     pub fn mul(&self, other: &BoolPoly) -> BoolPoly {
-        let mut result = BoolPoly::zero();
+        let mut monomials = BTreeSet::new();
         for a in &self.monomials {
             for b in &other.monomials {
                 let mut product = a.clone();
                 product.extend(b.iter().copied());
-                let single = BoolPoly {
-                    monomials: [product].into_iter().collect(),
-                };
-                result = result.add(&single);
+                Self::toggle(&mut monomials, product);
             }
         }
-        result
+        BoolPoly { monomials }
     }
 
     /// Returns `true` if the polynomial mentions `var`.
@@ -112,22 +119,21 @@ impl BoolPoly {
 
     /// Substitutes `var := replacement` and normalises.
     pub fn substitute(&self, var: Var, replacement: &BoolPoly) -> BoolPoly {
-        let mut result = BoolPoly::zero();
+        let mut monomials = BTreeSet::new();
         for monomial in &self.monomials {
             if monomial.contains(&var) {
                 let mut rest = monomial.clone();
                 rest.remove(&var);
-                let rest_poly = BoolPoly {
-                    monomials: [rest].into_iter().collect(),
-                };
-                result = result.add(&rest_poly.mul(replacement));
+                for b in &replacement.monomials {
+                    let mut product = rest.clone();
+                    product.extend(b.iter().copied());
+                    Self::toggle(&mut monomials, product);
+                }
             } else {
-                result = result.add(&BoolPoly {
-                    monomials: [monomial.clone()].into_iter().collect(),
-                });
+                Self::toggle(&mut monomials, monomial.clone());
             }
         }
-        result
+        BoolPoly { monomials }
     }
 
     /// Evaluates the polynomial under a variable assignment.
@@ -161,10 +167,22 @@ impl PhasePoly {
 
     /// Adds `coefficient · monomial` (mod 8).
     pub fn add_term(&mut self, monomial: Monomial, coefficient: u8) {
-        let entry = self.terms.entry(monomial).or_insert(0);
-        *entry = (*entry + coefficient) % 8;
-        if *entry == 0 {
-            self.terms.retain(|_, &mut c| c != 0);
+        use std::collections::btree_map::Entry;
+        match self.terms.entry(monomial) {
+            Entry::Occupied(mut entry) => {
+                let updated = (*entry.get() + coefficient) % 8;
+                if updated == 0 {
+                    entry.remove();
+                } else {
+                    *entry.get_mut() = updated;
+                }
+            }
+            Entry::Vacant(entry) => {
+                let coefficient = coefficient % 8;
+                if coefficient != 0 {
+                    entry.insert(coefficient);
+                }
+            }
         }
     }
 

@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use autoq_amplitude::Algebraic;
+use autoq_circuit::schedule::interference_schedule;
 use autoq_circuit::{Circuit, Gate};
 use autoq_treeaut::Tree;
 
@@ -334,115 +335,6 @@ impl SparseState {
         state.apply_circuit(circuit);
         state
     }
-}
-
-/// Returns `true` if the gate can enlarge the support of a sparse state
-/// (create superposition); all other gates permute or phase basis states.
-fn branches(gate: &Gate) -> bool {
-    matches!(gate, Gate::H(_) | Gate::RxPi2(_) | Gate::RyPi2(_))
-}
-
-/// Computes an exact, interference-friendly application order for the gates
-/// of `circuit` (indices into `circuit.gates()`).
-///
-/// Two gates with disjoint qubit sets commute, so any topological order of
-/// the dependency DAG "gate *i* → the next gate sharing a qubit with *i*"
-/// produces exactly the same final state as program order.  Among the valid
-/// orders, the scheduler greedily prefers
-///
-/// 1. gates that cannot grow the support (permutations and diagonal gates),
-/// 2. branching gates on a qubit that is already in superposition (these
-///    are the candidates for interference that shrinks the support), and
-/// 3. otherwise the branching gate with the longest chain of dependents
-///    (its completion unlocks the most downstream collapses — in
-///    Bernstein–Vazirani this schedules the oracle work qubit first).
-///
-/// For a 60-qubit Bernstein–Vazirani circuit this keeps the live support at
-/// ≤ 4 basis states, where program order would visit all 2^61.
-fn interference_schedule(circuit: &Circuit) -> Vec<usize> {
-    let gates = circuit.gates();
-    let gate_count = gates.len();
-    // Without branching gates the support never grows, so program order is
-    // already optimal — skip the DAG construction entirely (this is the
-    // common case for the reversible Table 3 workloads, simulated once per
-    // stimulus sample).
-    if !gates.iter().any(branches) {
-        return (0..gate_count).collect();
-    }
-    // Gate::qubits() allocates a fresh Vec per call; compute each gate's
-    // qubit list once up front instead of per candidate in the pick loop.
-    let qubit_lists: Vec<Vec<u32>> = gates.iter().map(Gate::qubits).collect();
-
-    // Dependency DAG via per-qubit chains (an edge to the previous gate on
-    // each shared qubit is enough: chains make the relation transitive).
-    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); gate_count];
-    let mut pending: Vec<usize> = vec![0; gate_count];
-    let mut last_on_qubit: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
-    for (index, qubits) in qubit_lists.iter().enumerate() {
-        for &qubit in qubits {
-            if let Some(&prev) = last_on_qubit.get(&qubit) {
-                // A gate sharing several qubits with the same predecessor
-                // would be appended twice; the only in-flight append is ours.
-                if successors[prev].last() != Some(&index) {
-                    successors[prev].push(index);
-                    pending[index] += 1;
-                }
-            }
-            last_on_qubit.insert(qubit, index);
-        }
-    }
-
-    // Critical-path height; edges point forward, so reverse program order is
-    // a reverse topological order.
-    let mut height = vec![1u64; gate_count];
-    for index in (0..gate_count).rev() {
-        for &succ in &successors[index] {
-            height[index] = height[index].max(1 + height[succ]);
-        }
-    }
-
-    let mut ready: std::collections::BTreeSet<usize> =
-        (0..gate_count).filter(|&i| pending[i] == 0).collect();
-    // Heuristically tracked set of qubits currently in superposition (only
-    // used for ordering; correctness never depends on it).
-    let mut superposed: std::collections::HashSet<u32> = std::collections::HashSet::new();
-    let mut order = Vec::with_capacity(gate_count);
-    while !ready.is_empty() {
-        let pick = ready
-            .iter()
-            .copied()
-            .find(|&i| !branches(&gates[i]))
-            .or_else(|| {
-                ready
-                    .iter()
-                    .copied()
-                    .find(|&i| qubit_lists[i].iter().any(|q| superposed.contains(q)))
-            })
-            .or_else(|| {
-                ready
-                    .iter()
-                    .copied()
-                    .max_by_key(|&i| (height[i], std::cmp::Reverse(i)))
-            })
-            .expect("ready set is nonempty");
-        ready.remove(&pick);
-        order.push(pick);
-        if branches(&gates[pick]) {
-            for &qubit in &qubit_lists[pick] {
-                if !superposed.remove(&qubit) {
-                    superposed.insert(qubit);
-                }
-            }
-        }
-        for &succ in &successors[pick] {
-            pending[succ] -= 1;
-            if pending[succ] == 0 {
-                ready.insert(succ);
-            }
-        }
-    }
-    debug_assert_eq!(order.len(), gate_count, "schedule must cover every gate");
-    order
 }
 
 /// Multiplies by `ω^power` if the masked bit is set.

@@ -3,9 +3,11 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use autoq_amplitude::Algebraic;
 
+use crate::index::TransitionIndex;
 use crate::tree::{self, Arena, NodeId, TreeNode};
 use crate::{InternalSymbol, StateId, Tag, Tree};
 
@@ -50,7 +52,7 @@ pub struct LeafTransition {
 /// assert!(set.accepts(&Tree::basis_state(1, 1)));
 /// assert_eq!(set.enumerate(16).len(), 2);
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Debug)]
 pub struct TreeAutomaton {
     /// Number of qubit variables (tree height).
     pub num_vars: u32,
@@ -62,7 +64,39 @@ pub struct TreeAutomaton {
     pub internal: Vec<InternalTransition>,
     /// Leaf transitions.
     pub leaves: Vec<LeafTransition>,
+    /// Lazily built adjacency index ([`TreeAutomaton::index`]).  Derived
+    /// data only: never part of the automaton's identity (equality, clones).
+    /// A `Mutex` (not `RefCell`) so `TreeAutomaton` stays `Send + Sync`;
+    /// the lock is uncontended and taken once per indexed operation.
+    index: Mutex<Option<Arc<TransitionIndex>>>,
 }
+
+impl Clone for TreeAutomaton {
+    /// Clones the automaton *without* the cached adjacency index, so a clone
+    /// can be mutated freely and rebuilds its own index on first use.
+    fn clone(&self) -> Self {
+        TreeAutomaton {
+            num_vars: self.num_vars,
+            num_states: self.num_states,
+            roots: self.roots.clone(),
+            internal: self.internal.clone(),
+            leaves: self.leaves.clone(),
+            index: Mutex::new(None),
+        }
+    }
+}
+
+impl PartialEq for TreeAutomaton {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_vars == other.num_vars
+            && self.num_states == other.num_states
+            && self.roots == other.roots
+            && self.internal == other.internal
+            && self.leaves == other.leaves
+    }
+}
+
+impl Eq for TreeAutomaton {}
 
 impl TreeAutomaton {
     /// Creates an empty automaton over `num_vars` qubit variables.
@@ -73,13 +107,39 @@ impl TreeAutomaton {
             roots: BTreeSet::new(),
             internal: Vec::new(),
             leaves: Vec::new(),
+            index: Mutex::new(None),
         }
+    }
+
+    /// Returns the (lazily built, cached) adjacency index over the current
+    /// transitions.
+    ///
+    /// The cache is dropped by every mutating method of this type; code that
+    /// mutates the public fields *directly* must call
+    /// [`TreeAutomaton::invalidate_index`] afterwards, or the next `index()`
+    /// call may observe a stale snapshot.
+    pub fn index(&self) -> Arc<TransitionIndex> {
+        let mut cache = self.index.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(index) = cache.as_ref() {
+            return Arc::clone(index);
+        }
+        let built = Arc::new(TransitionIndex::build(self));
+        *cache = Some(Arc::clone(&built));
+        built
+    }
+
+    /// Drops the cached adjacency index.  Required after mutating the public
+    /// transition/state fields directly (the methods of this type do it
+    /// themselves).
+    pub fn invalidate_index(&self) {
+        self.index.lock().unwrap_or_else(|e| e.into_inner()).take();
     }
 
     /// Allocates a fresh state.
     pub fn add_state(&mut self) -> StateId {
         let id = StateId::new(self.num_states);
         self.num_states += 1;
+        self.invalidate_index();
         id
     }
 
@@ -113,6 +173,7 @@ impl TreeAutomaton {
             left,
             right,
         });
+        self.invalidate_index();
     }
 
     /// Adds a leaf transition `parent → value()`.
@@ -131,6 +192,7 @@ impl TreeAutomaton {
             return;
         }
         self.leaves.push(LeafTransition { parent, value });
+        self.invalidate_index();
     }
 
     /// Returns the leaf value of `state` if it has a leaf transition.
@@ -153,6 +215,7 @@ impl TreeAutomaton {
             parent: state,
             value: value.clone(),
         });
+        self.invalidate_index();
         state
     }
 
@@ -180,29 +243,33 @@ impl TreeAutomaton {
     /// Panics if some tree has a different height than `num_vars`.
     pub fn from_trees(num_vars: u32, trees: &[Tree]) -> Self {
         let mut automaton = TreeAutomaton::new(num_vars);
+        // Shared across all insertions: `memo` keys on the arena-wide
+        // hash-consed node ids (so equal subtrees of *different* trees reuse
+        // the same state) and `interned` keeps transition insertion O(1)
+        // instead of a per-node rescan of `internal`.
+        let mut memo: HashMap<NodeId, StateId> = HashMap::new();
+        let mut interned: HashMap<(InternalSymbol, StateId, StateId), StateId> = HashMap::new();
         for tree in trees {
             assert_eq!(tree.num_qubits(), num_vars, "tree height mismatch");
-            let root = automaton.insert_tree(tree);
+            let root = tree::with_arena(|arena| {
+                automaton.insert_node(arena, tree.id(), &mut memo, &mut interned)
+            });
             automaton.add_root(root);
         }
         automaton
     }
 
-    /// Inserts the transitions generating `tree` and returns the state that
-    /// generates it.  The walk is memoised on the tree's hash-consed
+    /// Inserts the transitions generating the node `id` and returns the state
+    /// that generates it.  The walk is memoised on the tree's hash-consed
     /// [`NodeId`]s, so the automaton gains one state per *distinct* subtree
     /// — linear in the DAG size, even when the unfolded tree is exponential
     /// (e.g. re-inserting a 35-qubit witness during hunt confirmation).
-    fn insert_tree(&mut self, tree: &Tree) -> StateId {
-        let mut memo: HashMap<NodeId, StateId> = HashMap::new();
-        tree::with_arena(|arena| self.insert_node(arena, tree.id(), &mut memo))
-    }
-
     fn insert_node(
         &mut self,
         arena: &Arena,
         id: NodeId,
         memo: &mut HashMap<NodeId, StateId>,
+        interned: &mut HashMap<(InternalSymbol, StateId, StateId), StateId>,
     ) -> StateId {
         if let Some(&state) = memo.get(&id) {
             return state;
@@ -211,19 +278,17 @@ impl TreeAutomaton {
             TreeNode::Leaf(value) => self.leaf_state(value),
             TreeNode::Node { var, left, right } => {
                 let (var, left, right) = (*var, *left, *right);
-                let left_state = self.insert_node(arena, left, memo);
-                let right_state = self.insert_node(arena, right, memo);
+                let left_state = self.insert_node(arena, left, memo, interned);
+                let right_state = self.insert_node(arena, right, memo, interned);
                 // Share states for structurally equal internal transitions
                 // created by earlier insertions into the same automaton.
-                if let Some(existing) = self.internal.iter().find(|t| {
-                    t.symbol == InternalSymbol::new(var)
-                        && t.left == left_state
-                        && t.right == right_state
-                }) {
-                    existing.parent
+                let key = (InternalSymbol::new(var), left_state, right_state);
+                if let Some(&existing) = interned.get(&key) {
+                    existing
                 } else {
                     let parent = self.add_state();
                     self.add_internal(parent, InternalSymbol::new(var), left_state, right_state);
+                    interned.insert(key, parent);
                     parent
                 }
             }
@@ -245,8 +310,22 @@ impl TreeAutomaton {
     /// is run once, so membership tests on DAG-shared witnesses cost
     /// O(|DAG| · |Δ|) rather than O(2ⁿ · |Δ|).
     pub fn run_states(&self, tree: &Tree) -> HashSet<StateId> {
+        // Group the transitions by variable / leaf value once, so each
+        // distinct tree node only scans the transitions of its own layer.
+        let mut by_var: Vec<Vec<u32>> = vec![Vec::new(); self.num_vars as usize];
+        for (position, t) in self.internal.iter().enumerate() {
+            if let Some(bucket) = by_var.get_mut(t.symbol.var as usize) {
+                bucket.push(position as u32);
+            }
+        }
+        let mut leaves_by_value: HashMap<&Algebraic, Vec<StateId>> = HashMap::new();
+        for t in &self.leaves {
+            leaves_by_value.entry(&t.value).or_default().push(t.parent);
+        }
         let mut memo: HashMap<NodeId, Rc<HashSet<StateId>>> = HashMap::new();
-        let states = tree::with_arena(|arena| self.run_node(arena, tree.id(), &mut memo));
+        let states = tree::with_arena(|arena| {
+            self.run_node(arena, tree.id(), &by_var, &leaves_by_value, &mut memo)
+        });
         // The memo still holds the root's other Rc clone; release it so the
         // unwrap below moves the set out instead of deep-cloning it.
         drop(memo);
@@ -257,31 +336,35 @@ impl TreeAutomaton {
         &self,
         arena: &Arena,
         id: NodeId,
+        by_var: &[Vec<u32>],
+        leaves_by_value: &HashMap<&Algebraic, Vec<StateId>>,
         memo: &mut HashMap<NodeId, Rc<HashSet<StateId>>>,
     ) -> Rc<HashSet<StateId>> {
         if let Some(states) = memo.get(&id) {
             return Rc::clone(states);
         }
         let states: HashSet<StateId> = match arena.node(id) {
-            TreeNode::Leaf(value) => self
-                .leaves
-                .iter()
-                .filter(|t| &t.value == value)
-                .map(|t| t.parent)
-                .collect(),
+            TreeNode::Leaf(value) => leaves_by_value
+                .get(value)
+                .map(|states| states.iter().copied().collect())
+                .unwrap_or_default(),
             TreeNode::Node { var, left, right } => {
                 let (var, left, right) = (*var, *left, *right);
-                let left_states = self.run_node(arena, left, memo);
-                let right_states = self.run_node(arena, right, memo);
-                self.internal
-                    .iter()
-                    .filter(|t| {
-                        t.symbol.var == var
-                            && left_states.contains(&t.left)
-                            && right_states.contains(&t.right)
+                let left_states = self.run_node(arena, left, by_var, leaves_by_value, memo);
+                let right_states = self.run_node(arena, right, by_var, leaves_by_value, memo);
+                by_var
+                    .get(var as usize)
+                    .map(|bucket| {
+                        bucket
+                            .iter()
+                            .map(|&position| &self.internal[position as usize])
+                            .filter(|t| {
+                                left_states.contains(&t.left) && right_states.contains(&t.right)
+                            })
+                            .map(|t| t.parent)
+                            .collect()
                     })
-                    .map(|t| t.parent)
-                    .collect()
+                    .unwrap_or_default()
             }
         };
         let states = Rc::new(states);
@@ -295,12 +378,13 @@ impl TreeAutomaton {
     /// this crate and by `autoq-core` is); states on a cycle contribute no
     /// trees.
     pub fn enumerate(&self, limit: usize) -> Vec<Tree> {
+        let index = self.index();
         let mut memo: HashMap<StateId, Vec<Tree>> = HashMap::new();
         let mut visiting: HashSet<StateId> = HashSet::new();
         let mut result = Vec::new();
         let mut seen: HashSet<Tree> = HashSet::new();
         for &root in &self.roots {
-            for tree in self.language_of(root, limit, &mut memo, &mut visiting) {
+            for tree in self.language_of(root, limit, &index, &mut memo, &mut visiting) {
                 if result.len() >= limit {
                     return result;
                 }
@@ -316,6 +400,7 @@ impl TreeAutomaton {
         &self,
         state: StateId,
         limit: usize,
+        index: &TransitionIndex,
         memo: &mut HashMap<StateId, Vec<Tree>>,
         visiting: &mut HashSet<StateId>,
     ) -> Vec<Tree> {
@@ -326,18 +411,17 @@ impl TreeAutomaton {
             return Vec::new();
         }
         let mut trees = Vec::new();
-        for t in self.leaves.iter().filter(|t| t.parent == state) {
-            trees.push(Tree::leaf(t.value.clone()));
+        for &position in index.leaves_of(state) {
+            trees.push(Tree::leaf(self.leaves[position as usize].value.clone()));
         }
-        let transitions: Vec<InternalTransition> = self
-            .internal
+        let transitions: Vec<InternalTransition> = index
+            .internal_of(state)
             .iter()
-            .filter(|t| t.parent == state)
-            .cloned()
+            .map(|&position| self.internal[position as usize].clone())
             .collect();
         for t in transitions {
-            let left_trees = self.language_of(t.left, limit, memo, visiting);
-            let right_trees = self.language_of(t.right, limit, memo, visiting);
+            let left_trees = self.language_of(t.left, limit, index, memo, visiting);
+            let right_trees = self.language_of(t.right, limit, index, memo, visiting);
             'outer: for l in &left_trees {
                 for r in &right_trees {
                     if trees.len() >= limit {
@@ -357,10 +441,17 @@ impl TreeAutomaton {
     /// multiplication operation of Algorithm 5).
     pub fn map_leaves(&self, f: impl Fn(&Algebraic) -> Algebraic) -> Self {
         let mut result = self.clone();
-        for leaf in &mut result.leaves {
+        result.map_leaves_in_place(f);
+        result
+    }
+
+    /// In-place variant of [`TreeAutomaton::map_leaves`], used by the gate
+    /// transformers operating on the engine's working automaton.
+    pub fn map_leaves_in_place(&mut self, f: impl Fn(&Algebraic) -> Algebraic) {
+        for leaf in &mut self.leaves {
             leaf.value = f(&leaf.value);
         }
-        result
+        self.invalidate_index();
     }
 
     /// Imports all states and transitions of `other` with state ids shifted
@@ -383,6 +474,7 @@ impl TreeAutomaton {
                 value: t.value.clone(),
             });
         }
+        self.invalidate_index();
         offset
     }
 
@@ -395,17 +487,24 @@ impl TreeAutomaton {
         let mut seen_leaves: HashSet<(StateId, Algebraic)> = HashSet::new();
         self.leaves
             .retain(|t| seen_leaves.insert((t.parent, t.value.clone())));
+        self.invalidate_index();
     }
 
     /// Returns a copy with every tag stripped from the internal symbols and
     /// duplicate transitions removed (the paper's final "untagging" step).
     pub fn untagged(&self) -> Self {
         let mut result = self.clone();
-        for t in &mut result.internal {
+        result.untag_in_place();
+        result
+    }
+
+    /// In-place variant of [`TreeAutomaton::untagged`]: strips every tag and
+    /// removes the duplicates this creates, without copying the automaton.
+    pub fn untag_in_place(&mut self) {
+        for t in &mut self.internal {
             t.symbol = t.symbol.untagged();
         }
-        result.dedup_transitions();
-        result
+        self.dedup_transitions();
     }
 
     /// Returns `true` if any internal symbol carries a tag.
@@ -605,6 +704,14 @@ mod tests {
             right: q,
         });
         assert!(automaton.validate().is_err());
+    }
+
+    #[test]
+    fn automaton_stays_send_and_sync() {
+        // The lazily cached adjacency index must not strip the auto traits
+        // (callers parallelise independent hunts over whole automata).
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TreeAutomaton>();
     }
 
     #[test]

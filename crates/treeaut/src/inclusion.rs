@@ -101,7 +101,9 @@ impl Witness {
 }
 
 /// A pair of the antichain search: the set of `B`-states reachable by the
-/// witness tree, plus the witness itself.
+/// witness tree, plus the witness itself.  Shared via `Rc` so the per-state
+/// antichains and the worklist can hold the same pair without copying the
+/// state set.
 #[derive(Clone, Debug)]
 struct SearchPair {
     b_states: BTreeSet<StateId>,
@@ -139,17 +141,17 @@ pub fn inclusion(a: &TreeAutomaton, b: &TreeAutomaton) -> InclusionResult {
             .push((t.parent, t.left, t.right));
     }
     let b_roots: BTreeSet<StateId> = b.roots.iter().copied().collect();
+    // A's transitions indexed by child state, so each *new* pair combines
+    // only with the transitions it can actually extend (worklist saturation)
+    // instead of a fixpoint rescan over all of A's transitions.
+    let a_index = a.index();
 
     // pairs[q] = antichain (by ⊆ on b_states) of SearchPairs for A-state q.
-    let mut pairs: HashMap<StateId, Vec<SearchPair>> = HashMap::new();
+    let mut pairs: Vec<Vec<Rc<SearchPair>>> = vec![Vec::new(); a.num_states as usize];
 
     // Returns true when the pair is new (not subsumed by an existing pair).
-    fn insert_pair(
-        pairs: &mut HashMap<StateId, Vec<SearchPair>>,
-        q: StateId,
-        new: SearchPair,
-    ) -> bool {
-        let entry = pairs.entry(q).or_default();
+    fn insert_pair(pairs: &mut [Vec<Rc<SearchPair>>], q: StateId, new: &Rc<SearchPair>) -> bool {
+        let entry = &mut pairs[q.index()];
         // Subsumed: an existing pair with a subset of B-states witnesses at
         // least as much "escape" as the new one.
         if entry
@@ -159,68 +161,96 @@ pub fn inclusion(a: &TreeAutomaton, b: &TreeAutomaton) -> InclusionResult {
             return false;
         }
         entry.retain(|existing| !new.b_states.is_subset(&existing.b_states));
-        entry.push(new);
+        entry.push(Rc::clone(new));
         true
     }
 
     let failure =
         |pair: &SearchPair, roots: &BTreeSet<StateId>| -> bool { pair.b_states.is_disjoint(roots) };
 
+    // Worklist of newly inserted (A-state, pair) facts still to be combined
+    // upwards.  A pair later evicted from its antichain may still be
+    // processed; that is sound (its b_states set is exact for its witness)
+    // and merely redundant.
+    let mut worklist: Vec<(StateId, Rc<SearchPair>)> = Vec::new();
+
     // Initialise with A's leaf transitions.
     for t in &a.leaves {
         let b_states = b_leaves.get(&t.value).cloned().unwrap_or_default();
-        let pair = SearchPair {
+        let pair = Rc::new(SearchPair {
             b_states,
             witness: Rc::new(Witness::Leaf(t.value.clone())),
-        };
+        });
         if a.roots.contains(&t.parent) && failure(&pair, &b_roots) {
             return InclusionResult::Counterexample(pair.witness.to_tree());
         }
-        insert_pair(&mut pairs, t.parent, pair);
+        if insert_pair(&mut pairs, t.parent, &pair) {
+            worklist.push((t.parent, pair));
+        }
     }
 
-    // Saturate.
-    loop {
-        let mut changed = false;
-        for t in &a.internal {
-            let left_pairs: Vec<SearchPair> = pairs.get(&t.left).cloned().unwrap_or_default();
-            let right_pairs: Vec<SearchPair> = pairs.get(&t.right).cloned().unwrap_or_default();
-            if left_pairs.is_empty() || right_pairs.is_empty() {
+    // Saturate: combine each new pair through every transition where its
+    // state occurs as a child, against the current pairs of the sibling
+    // child (pairs added to the sibling later re-trigger the combination
+    // themselves when they are popped).
+    while let Some((q, pair)) = worklist.pop() {
+        // A transition with left == right == q occurs twice in the
+        // occurrence list, and the CSR build emits both slots consecutively,
+        // so skipping adjacent repeats visits each transition exactly once.
+        let mut previous: Option<u32> = None;
+        for &position in a_index.occurrences_as_child(q) {
+            if previous == Some(position) {
                 continue;
             }
+            previous = Some(position);
+            let t = &a.internal[position as usize];
             let candidates = b_internal_by_var
                 .get(&t.symbol.var)
-                .cloned()
-                .unwrap_or_default();
-            for lp in &left_pairs {
-                for rp in &right_pairs {
-                    let mut b_states = BTreeSet::new();
-                    for &(parent, left, right) in &candidates {
-                        if lp.b_states.contains(&left) && rp.b_states.contains(&right) {
-                            b_states.insert(parent);
-                        }
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            // The new pair can sit in the left slot, the right slot, or both
+            // (when t.left == t.right == q).
+            let mut combos: Vec<(Rc<SearchPair>, Rc<SearchPair>)> = Vec::new();
+            if t.left == q {
+                for rp in &pairs[t.right.index()] {
+                    combos.push((Rc::clone(&pair), Rc::clone(rp)));
+                }
+            }
+            if t.right == q {
+                for lp in &pairs[t.left.index()] {
+                    // Skip the (pair, pair) combo already produced by the
+                    // left-slot loop when both children are q.
+                    if t.left == q && Rc::ptr_eq(lp, &pair) {
+                        continue;
                     }
-                    let pair = SearchPair {
-                        b_states,
-                        witness: Rc::new(Witness::Node(
-                            t.symbol.var,
-                            Rc::clone(&lp.witness),
-                            Rc::clone(&rp.witness),
-                        )),
-                    };
-                    if a.roots.contains(&t.parent) && failure(&pair, &b_roots) {
-                        return InclusionResult::Counterexample(pair.witness.to_tree());
+                    combos.push((Rc::clone(lp), Rc::clone(&pair)));
+                }
+            }
+            for (lp, rp) in combos {
+                let mut b_states = BTreeSet::new();
+                for &(parent, left, right) in candidates {
+                    if lp.b_states.contains(&left) && rp.b_states.contains(&right) {
+                        b_states.insert(parent);
                     }
-                    if insert_pair(&mut pairs, t.parent, pair) {
-                        changed = true;
-                    }
+                }
+                let new_pair = Rc::new(SearchPair {
+                    b_states,
+                    witness: Rc::new(Witness::Node(
+                        t.symbol.var,
+                        Rc::clone(&lp.witness),
+                        Rc::clone(&rp.witness),
+                    )),
+                });
+                if a.roots.contains(&t.parent) && failure(&new_pair, &b_roots) {
+                    return InclusionResult::Counterexample(new_pair.witness.to_tree());
+                }
+                if insert_pair(&mut pairs, t.parent, &new_pair) {
+                    worklist.push((t.parent, new_pair));
                 }
             }
         }
-        if !changed {
-            return InclusionResult::Included;
-        }
     }
+    InclusionResult::Included
 }
 
 /// Decides `L(a) = L(b)`, producing a witness tree on failure.

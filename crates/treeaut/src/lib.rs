@@ -17,6 +17,12 @@
 //! to `2^(n+1)` nodes, unlocking the paper's 35-qubit Table 3 hunts (see
 //! `docs/ARCHITECTURE.md` §2).
 //!
+//! The per-gate hot path — `trim`, `reduce`, `inclusion`, `enumerate` —
+//! reads adjacency through a lazily cached CSR [`TransitionIndex`]
+//! ([`TreeAutomaton::index`]) instead of rescanning the transition vectors,
+//! and the reduction merges states via integer-signature partition
+//! refinement (see `docs/ARCHITECTURE.md` §3.1).
+//!
 //! *Pipeline position*: bigint → amplitude → **treeaut** → simulator →
 //! {equivcheck, core} → bench — the automata substrate `autoq-core` builds
 //! its gate transformers on.
@@ -43,6 +49,7 @@
 mod automaton;
 pub mod format;
 mod inclusion;
+mod index;
 mod reduce;
 mod state;
 mod symbol;
@@ -52,6 +59,7 @@ pub use automaton::{InternalTransition, LeafTransition, TreeAutomaton};
 pub use inclusion::{
     equivalence, inclusion, naive_equivalence, EquivalenceResult, InclusionResult,
 };
+pub use index::TransitionIndex;
 pub use state::StateId;
 pub use symbol::{InternalSymbol, Tag};
 pub use tree::{NodeId, Tree};

@@ -8,72 +8,116 @@
 //!   reduction (footnote 6): states with exactly the same outgoing
 //!   transitions generate the same tree language, so they can be merged; the
 //!   merge is iterated to a fixpoint.
+//!
+//! Both run after every gate of the engine's hot loop, so they are built for
+//! speed: trimming is a worklist pass over the adjacency index
+//! (O(states + transitions), no fixpoint-over-all-transitions), and merging
+//! is a partition-refinement loop over *integer* signatures — interned
+//! symbol/leaf-value ids hashed into a `u64` per state — that re-signatures
+//! only the states whose successors changed.  A deliberately naive
+//! implementation is retained as [`TreeAutomaton::reduce_reference`] and
+//! cross-validated against the fast path by property tests.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
-use crate::{InternalTransition, LeafTransition, StateId, TreeAutomaton};
+use autoq_amplitude::Algebraic;
+
+use crate::{InternalSymbol, InternalTransition, LeafTransition, StateId, TreeAutomaton};
+
+/// Finds the current representative of `q`, compressing paths as it goes.
+fn find(repr: &mut [u32], q: u32) -> u32 {
+    let mut q = q;
+    while repr[q as usize] != q {
+        let parent = repr[q as usize];
+        repr[q as usize] = repr[parent as usize];
+        q = repr[q as usize];
+    }
+    q
+}
+
+/// Hashes a state's canonical outgoing-transition signature (sorted interned
+/// integer tuples) into a `u64` group key.  Grouping verifies the exact
+/// tuples before merging, so hash collisions cost time, never soundness.
+fn signature_hash(tuples: &[(u32, u32, u32)], leaf_ids: &[u32]) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    tuples.hash(&mut hasher);
+    leaf_ids.hash(&mut hasher);
+    hasher.finish()
+}
 
 impl TreeAutomaton {
     /// Removes useless states and transitions (non-productive or
     /// inaccessible) and renumbers the remaining states densely.
     pub fn trim(&self) -> TreeAutomaton {
-        // 1. Productive states: fixed point from the leaves upwards.
-        let mut productive: HashSet<StateId> = self.leaves.iter().map(|t| t.parent).collect();
-        loop {
-            let mut changed = false;
-            for t in &self.internal {
-                if !productive.contains(&t.parent)
-                    && productive.contains(&t.left)
-                    && productive.contains(&t.right)
-                {
-                    productive.insert(t.parent);
-                    changed = true;
-                }
+        let index = self.index();
+        let n = self.num_states as usize;
+        // 1. Productive states: worklist from the leaves upwards.  `need`
+        //    counts the not-yet-productive child slots of each transition;
+        //    a transition fires (marks its parent productive) at zero.
+        let mut productive = vec![false; n];
+        let mut need: Vec<u8> = vec![2; self.internal.len()];
+        let mut worklist: Vec<StateId> = Vec::new();
+        for t in &self.leaves {
+            if !productive[t.parent.index()] {
+                productive[t.parent.index()] = true;
+                worklist.push(t.parent);
             }
-            if !changed {
-                break;
+        }
+        while let Some(state) = worklist.pop() {
+            for &position in index.occurrences_as_child(state) {
+                need[position as usize] -= 1;
+                if need[position as usize] == 0 {
+                    let parent = self.internal[position as usize].parent;
+                    if !productive[parent.index()] {
+                        productive[parent.index()] = true;
+                        worklist.push(parent);
+                    }
+                }
             }
         }
         // 2. Accessible states: from the roots downwards, only through
         //    transitions whose children are productive.
-        let mut accessible: HashSet<StateId> = self
-            .roots
-            .iter()
-            .copied()
-            .filter(|root| productive.contains(root))
-            .collect();
-        let mut worklist: Vec<StateId> = accessible.iter().copied().collect();
+        let mut accessible = vec![false; n];
+        let mut worklist: Vec<StateId> = Vec::new();
+        for &root in &self.roots {
+            if productive[root.index()] && !accessible[root.index()] {
+                accessible[root.index()] = true;
+                worklist.push(root);
+            }
+        }
         while let Some(state) = worklist.pop() {
-            for t in self.internal.iter().filter(|t| t.parent == state) {
-                if productive.contains(&t.left) && productive.contains(&t.right) {
+            for &position in index.internal_of(state) {
+                let t = &self.internal[position as usize];
+                if productive[t.left.index()] && productive[t.right.index()] {
                     for child in [t.left, t.right] {
-                        if accessible.insert(child) {
+                        if !accessible[child.index()] {
+                            accessible[child.index()] = true;
                             worklist.push(child);
                         }
                     }
                 }
             }
         }
-        let keep: HashSet<StateId> = productive.intersection(&accessible).copied().collect();
-        // 3. Renumber.
-        let mut mapping: HashMap<StateId, StateId> = HashMap::new();
+        // 3. Renumber (ascending ids, as before).
+        let mut mapping: Vec<Option<StateId>> = vec![None; n];
         let mut result = TreeAutomaton::new(self.num_vars);
-        let mut ordered: Vec<StateId> = keep.iter().copied().collect();
-        ordered.sort();
-        for state in ordered {
-            let new_id = result.add_state();
-            mapping.insert(state, new_id);
+        for (q, slot) in mapping.iter_mut().enumerate() {
+            if productive[q] && accessible[q] {
+                *slot = Some(result.add_state());
+            }
         }
         for &root in &self.roots {
-            if let Some(&mapped) = mapping.get(&root) {
+            if let Some(mapped) = mapping[root.index()] {
                 result.add_root(mapped);
             }
         }
         for t in &self.internal {
-            if let (Some(&parent), Some(&left), Some(&right)) = (
-                mapping.get(&t.parent),
-                mapping.get(&t.left),
-                mapping.get(&t.right),
+            if let (Some(parent), Some(left), Some(right)) = (
+                mapping[t.parent.index()],
+                mapping[t.left.index()],
+                mapping[t.right.index()],
             ) {
                 result.internal.push(InternalTransition {
                     parent,
@@ -84,7 +128,7 @@ impl TreeAutomaton {
             }
         }
         for t in &self.leaves {
-            if let Some(&parent) = mapping.get(&t.parent) {
+            if let Some(parent) = mapping[t.parent.index()] {
                 result.leaves.push(LeafTransition {
                     parent,
                     value: t.value.clone(),
@@ -110,33 +154,216 @@ impl TreeAutomaton {
         }
     }
 
-    /// Merges states with identical outgoing-transition signatures.
-    /// Returns the merged automaton and whether anything changed.
+    /// Merges states with identical outgoing-transition signatures, iterated
+    /// to the internal fixpoint in one call.  Returns the merged automaton
+    /// and whether anything changed.
+    ///
+    /// Partition refinement over integer signatures: symbols and leaf values
+    /// are interned to dense `u32` ids, each state's outgoing transitions
+    /// become a sorted list of `(symbol, left-class, right-class)` integer
+    /// tuples hashed into a `u64` group key, and after each merge round only
+    /// the parents of the merged *classes* (every state whose representative
+    /// changed, tracked via per-class member lists) recompute their tuple
+    /// lists; each round then re-hashes the surviving representatives — an
+    /// O(states) integer pass — to group them.  No strings, no per-state
+    /// rescans of the transition vector.
     fn merge_identical_states(&self) -> (TreeAutomaton, bool) {
-        // Signature: sorted outgoing internal transitions + sorted leaf values,
-        // indexed by parent state in a single pass over the transitions.
-        let mut internal_by_parent: Vec<Vec<String>> = vec![Vec::new(); self.num_states as usize];
-        for t in &self.internal {
-            internal_by_parent[t.parent.index()].push(format!(
-                "{}({},{})",
-                t.symbol,
-                t.left.raw(),
-                t.right.raw()
-            ));
+        let n = self.num_states as usize;
+        if n == 0 {
+            return (self.clone(), false);
         }
-        let mut leaves_by_parent: Vec<Vec<String>> = vec![Vec::new(); self.num_states as usize];
+        let index = self.index();
+
+        // Intern symbols and leaf values into dense integer ids.
+        let mut symbol_ids: HashMap<InternalSymbol, u32> = HashMap::new();
+        let transition_symbols: Vec<u32> = self
+            .internal
+            .iter()
+            .map(|t| {
+                let next = symbol_ids.len() as u32;
+                *symbol_ids.entry(t.symbol).or_insert(next)
+            })
+            .collect();
+        let mut value_ids: HashMap<&Algebraic, u32> = HashMap::new();
+        let mut leaf_sig: Vec<Vec<u32>> = vec![Vec::new(); n];
         for t in &self.leaves {
-            leaves_by_parent[t.parent.index()].push(format!("[{:?}]", t.value));
+            let next = value_ids.len() as u32;
+            let id = *value_ids.entry(&t.value).or_insert(next);
+            leaf_sig[t.parent.index()].push(id);
         }
-        let mut signatures: HashMap<String, Vec<StateId>> = HashMap::new();
+        for sig in &mut leaf_sig {
+            sig.sort_unstable();
+            sig.dedup();
+        }
+
+        let mut repr: Vec<u32> = (0..n as u32).collect();
+        let mut tuples: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); n];
+        // members[r] = states whose representative chain currently ends in
+        // r.  When r itself is merged away, the parents of *every* member
+        // see their canonical tuples change, so all of them must be
+        // re-signatured — tracking only the literally merged state would
+        // miss chained merges (A→B in one round, B→C in a later one).
+        let mut members: Vec<Vec<u32>> = (0..n as u32).map(|q| vec![q]).collect();
+        let mut changed_any = false;
+        // States whose canonical tuples must be (re)computed this round.
+        let mut dirty: Vec<u32> = (0..n as u32).collect();
+        loop {
+            dirty.sort_unstable();
+            dirty.dedup();
+            for &q in &dirty {
+                if repr[q as usize] != q {
+                    continue;
+                }
+                let mut canonical: Vec<(u32, u32, u32)> = index
+                    .internal_of(StateId::new(q))
+                    .iter()
+                    .map(|&position| {
+                        let t = &self.internal[position as usize];
+                        (
+                            transition_symbols[position as usize],
+                            find(&mut repr, t.left.raw()),
+                            find(&mut repr, t.right.raw()),
+                        )
+                    })
+                    .collect();
+                canonical.sort_unstable();
+                canonical.dedup();
+                tuples[q as usize] = canonical;
+            }
+            // Group the representatives by signature hash.
+            let mut groups: HashMap<u64, Vec<u32>> = HashMap::new();
+            for q in 0..n as u32 {
+                if repr[q as usize] != q {
+                    continue;
+                }
+                groups
+                    .entry(signature_hash(&tuples[q as usize], &leaf_sig[q as usize]))
+                    .or_default()
+                    .push(q);
+            }
+            let mut merged_this_round = false;
+            let mut newly_dirty: Vec<u32> = Vec::new();
+            for group in groups.values_mut() {
+                if group.len() < 2 {
+                    continue;
+                }
+                // Verify exact signatures within the hash group (collision
+                // safety), merging each run of equal signatures into its
+                // smallest member.
+                group.sort_unstable_by(|&a, &b| {
+                    tuples[a as usize]
+                        .cmp(&tuples[b as usize])
+                        .then_with(|| leaf_sig[a as usize].cmp(&leaf_sig[b as usize]))
+                        .then(a.cmp(&b))
+                });
+                let mut run_start = 0;
+                for i in 1..=group.len() {
+                    let same = i < group.len() && {
+                        let (a, b) = (group[run_start] as usize, group[i] as usize);
+                        tuples[a] == tuples[b] && leaf_sig[a] == leaf_sig[b]
+                    };
+                    if !same {
+                        let winner = group[run_start];
+                        for &other in &group[run_start + 1..i] {
+                            repr[other as usize] = winner;
+                            merged_this_round = true;
+                            // The tuples of every parent of every state in
+                            // `other`'s class change; collect them before
+                            // folding the class into the winner's.
+                            let moved = std::mem::take(&mut members[other as usize]);
+                            for &member in &moved {
+                                for &position in index.occurrences_as_child(StateId::new(member)) {
+                                    newly_dirty.push(self.internal[position as usize].parent.raw());
+                                }
+                            }
+                            members[winner as usize].extend(moved);
+                        }
+                        run_start = i;
+                    }
+                }
+            }
+            if !merged_this_round {
+                break;
+            }
+            changed_any = true;
+            dirty.clear();
+            for q in newly_dirty {
+                dirty.push(find(&mut repr, q));
+            }
+        }
+
+        if !changed_any {
+            return (self.clone(), false);
+        }
+        // Single rewrite pass under the final partition, then one trim to
+        // drop the absorbed states and renumber densely.
+        let mut result = TreeAutomaton::new(self.num_vars);
+        result.num_states = self.num_states;
+        let mut remap = |s: StateId| StateId::new(find(&mut repr, s.raw()));
+        for &root in &self.roots.clone() {
+            result.roots.insert(remap(root));
+        }
+        for t in &self.internal {
+            result.internal.push(InternalTransition {
+                parent: remap(t.parent),
+                symbol: t.symbol,
+                left: remap(t.left),
+                right: remap(t.right),
+            });
+        }
+        for t in &self.leaves {
+            result.leaves.push(LeafTransition {
+                parent: remap(t.parent),
+                value: t.value.clone(),
+            });
+        }
+        result.dedup_transitions();
+        (result.trim(), true)
+    }
+
+    /// A deliberately naive reduction kept as a cross-validation oracle for
+    /// [`TreeAutomaton::reduce`]: same trim-then-merge-to-fixpoint semantics,
+    /// but each merge round rebuilds every state's signature from scratch as
+    /// an explicit (sorted) list of outgoing transitions and compares them
+    /// structurally.  Quadratic and allocation-heavy — use only in tests.
+    #[doc(hidden)]
+    pub fn reduce_reference(&self) -> TreeAutomaton {
+        let mut current = self.trim();
+        loop {
+            let (merged, changed) = current.merge_identical_states_reference();
+            current = merged;
+            if !changed {
+                return current;
+            }
+        }
+    }
+
+    /// One naive merge round: group states by their exact outgoing
+    /// transitions, merge every group into its smallest member, rewrite.
+    fn merge_identical_states_reference(&self) -> (TreeAutomaton, bool) {
+        type Signature = (Vec<(InternalSymbol, StateId, StateId)>, Vec<Algebraic>);
+        let mut signatures: HashMap<Signature, Vec<StateId>> = HashMap::new();
         for state_index in 0..self.num_states {
             let state = StateId::new(state_index);
-            let mut internal_sig = internal_by_parent[state.index()].clone();
+            let mut internal_sig: Vec<(InternalSymbol, StateId, StateId)> = self
+                .internal
+                .iter()
+                .filter(|t| t.parent == state)
+                .map(|t| (t.symbol, t.left, t.right))
+                .collect();
             internal_sig.sort();
-            let mut leaf_sig = leaves_by_parent[state.index()].clone();
-            leaf_sig.sort();
-            let signature = format!("{internal_sig:?}|{leaf_sig:?}");
-            signatures.entry(signature).or_default().push(state);
+            internal_sig.dedup();
+            let mut leaf_sig: Vec<Algebraic> = self
+                .leaves
+                .iter()
+                .filter(|t| t.parent == state)
+                .map(|t| t.value.clone())
+                .collect();
+            leaf_sig.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            signatures
+                .entry((internal_sig, leaf_sig))
+                .or_default()
+                .push(state);
         }
         let mut mapping: HashMap<StateId, StateId> = HashMap::new();
         let mut changed = false;
@@ -243,6 +470,58 @@ mod tests {
         let twice = automaton.reduce();
         assert_eq!(automaton.state_count(), twice.state_count());
         assert_eq!(automaton.transition_count(), twice.transition_count());
+    }
+
+    #[test]
+    fn reduce_matches_the_reference_oracle_on_structured_automata() {
+        for automaton in [
+            all_basis(4),
+            TreeAutomaton::from_trees(
+                3,
+                &[
+                    Tree::basis_state(3, 1),
+                    Tree::basis_state(3, 5),
+                    Tree::from_fn(3, |b| Algebraic::from_int((b % 3) as i64)),
+                ],
+            ),
+        ] {
+            let fast = automaton.reduce();
+            let reference = automaton.reduce_reference();
+            assert_eq!(fast.state_count(), reference.state_count());
+            assert_eq!(fast.transition_count(), reference.transition_count());
+            assert!(crate::equivalence(&fast, &reference).holds());
+        }
+    }
+
+    #[test]
+    fn chained_merges_converge() {
+        // A three-deep merge chain: the duplicate leaf merges first, which
+        // makes B/A equal to C one round later, which makes P equal to Q a
+        // round after that.  The dirty-set propagation must follow the
+        // *classes* (B's class contains A by then), not just the literally
+        // merged state, or P never re-signatures.
+        let mut automaton = TreeAutomaton::new(2);
+        let d1 = automaton.add_state();
+        let d2 = automaton.add_state();
+        automaton.add_leaf(d1, Algebraic::one());
+        automaton.add_leaf(d2, Algebraic::one());
+        let c = automaton.add_state();
+        let b = automaton.add_state();
+        let a = automaton.add_state();
+        automaton.add_internal(c, InternalSymbol::new(1), d1, d1);
+        automaton.add_internal(b, InternalSymbol::new(1), d2, d2);
+        automaton.add_internal(a, InternalSymbol::new(1), d2, d2);
+        let p = automaton.add_state();
+        let q = automaton.add_state();
+        automaton.add_internal(p, InternalSymbol::new(0), a, a);
+        automaton.add_internal(q, InternalSymbol::new(0), c, c);
+        automaton.add_root(p);
+        automaton.add_root(q);
+        let fast = automaton.reduce();
+        let reference = automaton.reduce_reference();
+        assert_eq!(fast.state_count(), 3, "leaf, middle and root must merge");
+        assert_eq!(fast.state_count(), reference.state_count());
+        assert!(crate::equivalence(&fast, &automaton).holds());
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Cross-validation of the fast partition-refinement reduction against the
+//! retained naive reference implementation
+//! (`TreeAutomaton::reduce_reference`), plus regression properties:
+//!
+//! * on random small automata (with deliberately injected redundancy), the
+//!   fast `reduce` accepts exactly the same `enumerate(100)` set as the
+//!   reference, shrinks the automaton exactly as much, and preserves the
+//!   original language;
+//! * `reduce` is idempotent.
+
+use std::collections::HashSet;
+
+use autoq_amplitude::Algebraic;
+use autoq_treeaut::{equivalence, Tree, TreeAutomaton};
+use proptest::prelude::*;
+
+/// Builds a random small automaton: the basis states selected by `mask`
+/// plus one superposition tree derived from `seed`, optionally with a
+/// duplicated copy of itself unioned in (the redundancy shape the gate
+/// constructions create, which reduction must collapse).
+fn random_automaton(n: u32, mask: u64, seed: u32, duplicate: bool) -> TreeAutomaton {
+    let space = 1u64 << n;
+    let mut trees: Vec<Tree> = (0..space)
+        .filter(|b| mask & (1 << b) != 0)
+        .map(|b| Tree::basis_state(n, b))
+        .collect();
+    trees.push(Tree::from_fn(n, |b| {
+        Algebraic::from_int(((seed as u64 + b) % 4) as i64)
+    }));
+    let mut automaton = TreeAutomaton::from_trees(n, &trees);
+    if duplicate {
+        let copy = automaton.clone();
+        let offset = automaton.import_disjoint(&copy);
+        let copied_roots: Vec<_> = copy.roots.iter().map(|r| r.offset(offset)).collect();
+        for root in copied_roots {
+            automaton.add_root(root);
+        }
+    }
+    automaton
+}
+
+fn language(automaton: &TreeAutomaton) -> HashSet<Tree> {
+    automaton.enumerate(100).into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn reduce_matches_reference_on_random_automata(
+        n in 1u32..=3,
+        mask in 0u64..256,
+        seed in any::<u32>(),
+        duplicate in 0u8..2,
+    ) {
+        let automaton = random_automaton(n, mask, seed, duplicate == 1);
+        let fast = automaton.reduce();
+        let reference = automaton.reduce_reference();
+        // Same language, element for element.
+        prop_assert_eq!(language(&fast), language(&reference));
+        // Same reduction power: the partition-refinement loop must find
+        // every merge the naive fixpoint finds.
+        prop_assert_eq!(fast.state_count(), reference.state_count());
+        prop_assert_eq!(fast.transition_count(), reference.transition_count());
+        // And the language is exactly the original automaton's.
+        prop_assert!(equivalence(&fast, &automaton).holds());
+        fast.validate().unwrap();
+    }
+
+    #[test]
+    fn reduce_is_idempotent_on_random_automata(
+        n in 1u32..=3,
+        mask in 0u64..256,
+        seed in any::<u32>(),
+    ) {
+        let reduced = random_automaton(n, mask, seed, true).reduce();
+        let twice = reduced.reduce();
+        prop_assert_eq!(reduced.state_count(), twice.state_count());
+        prop_assert_eq!(reduced.transition_count(), twice.transition_count());
+        prop_assert_eq!(language(&reduced), language(&twice));
+    }
+}
+
+/// The duplicated-copy shape must collapse back to (at most) the original
+/// size — the core guarantee the per-gate reduction relies on.
+#[test]
+fn duplicated_automaton_collapses_to_single_copy() {
+    let single = random_automaton(3, 0b1010_0101, 7, false);
+    let doubled = random_automaton(3, 0b1010_0101, 7, true);
+    let reduced = doubled.reduce();
+    assert!(reduced.state_count() <= single.reduce().state_count());
+    assert!(equivalence(&reduced, &single).holds());
+}
