@@ -109,18 +109,19 @@ fn bench_bug_finding_multiplier(c: &mut Criterion) {
     group.finish();
 }
 
-/// Witness extraction at the paper's Table 3 scale (35–64 qubits).  With the
+/// Witness extraction at the paper's Table 3 scale (35–70 qubits).  With the
 /// old boxed trees these sizes were unreachable (a 35-qubit witness unfolds
 /// to `2^36` nodes ≈ hundreds of GiB); with DAG sharing each extraction is
-/// linear in the automaton size and runs in microseconds.
+/// linear in the automaton size and runs in microseconds — and with `u128`
+/// basis indices the 70-qubit `Random` width is just another size.
 fn bench_witness_extraction(c: &mut Criterion) {
-    use autoq_treeaut::{inclusion, InclusionResult, Tree, TreeAutomaton};
+    use autoq_treeaut::{basis, inclusion, InclusionResult, Tree, TreeAutomaton};
 
     let mut group = c.benchmark_group("table3/witness-extraction");
     group.sample_size(10);
-    for n in [35u32, 48, 64] {
-        let p = 1u64 << (n - 1);
-        let q = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    for n in [35u32, 48, 64, 70] {
+        let p = 1u128 << (n - 1);
+        let q = basis::index_mask(n);
         let a = TreeAutomaton::from_trees(n, &[Tree::basis_state(n, p), Tree::basis_state(n, q)]);
         let b = TreeAutomaton::from_tree(&Tree::basis_state(n, p));
         group.bench_function(format!("{n}-qubits"), |bench| {

@@ -121,14 +121,37 @@ fn main() {
         format!("{verdict:?}"),
     ));
 
+    // Reduction-policy sweep over the Table 2 verification workloads — the
+    // recorded evidence behind the `Engine::hybrid()` adaptive-reduction
+    // default (revert the default if any row regresses here).
+    for row in autoq_bench::table2::run_policy_sweep() {
+        assert!(
+            row.both_verified,
+            "{} must verify under both reduction policies",
+            row.name
+        );
+        record_secs(
+            &mut entries,
+            &format!("sweep.{}.after_each_gate", row.name),
+            row.after_each_gate,
+        );
+        record_secs(
+            &mut entries,
+            &format!("sweep.{}.adaptive", row.name),
+            row.adaptive,
+        );
+    }
+
     if paper {
-        // The 35-qubit superposing hunt (the tentpole acceptance row).
-        let (name, circuit, superposing) = paper_scale_workload()
+        // The 35-qubit superposing hunt (the reduction hot path's
+        // acceptance row; the 70-qubit rows run in the `table3 --paper`
+        // bin and the release tests, not here — this baseline stays fast).
+        let (name, circuit, superposing, seed) = paper_scale_workload()
             .into_iter()
             .nth(3)
             .expect("random35 is the fourth paper-scale row");
         assert_eq!(name, "random35");
-        let row = run_paper_scale_row(&name, &circuit, superposing, 4242 + 3);
+        let row = run_paper_scale_row(&name, &circuit, superposing, seed);
         record_secs(&mut entries, "paper.random35_autoq_hunt", row.autoq_time);
         entries.push((
             "paper.random35_peak_states".to_string(),

@@ -87,7 +87,7 @@ pub fn run_row(
     circuit: &Circuit,
     pre: &StateSet,
     post: &StateSet,
-    simulate_inputs: &[u64],
+    simulate_inputs: &[u128],
 ) -> Table2Row {
     let hybrid = Engine::hybrid();
     let composition = Engine::composition();
@@ -105,7 +105,7 @@ pub fn run_row(
     // Simulator baseline: run every pre-condition state through the dense
     // simulator (the paper accumulates per-state simulation times).
     let (_, simulator) = timed(|| {
-        let mut outputs: Vec<BTreeMap<u64, Algebraic>> = Vec::new();
+        let mut outputs: Vec<BTreeMap<u128, Algebraic>> = Vec::new();
         for &basis in simulate_inputs {
             outputs.push(DenseState::run(circuit, basis).to_amplitude_map());
         }
@@ -131,31 +131,59 @@ pub fn run_row(
     }
 }
 
-/// The Bernstein–Vazirani row for a hidden string of length `n`.
-pub fn bv_row(n: u32) -> Table2Row {
+/// A named verification workload: the circuit, its pre/post-conditions and
+/// the basis inputs the simulator baseline must cover.  Single source of
+/// truth for both the Table 2 rows and the reduction-policy sweep, so the
+/// sweep always measures exactly the workloads the table verifies.
+pub struct VerificationWorkload {
+    /// Family name plus parameter, e.g. `BV20`.
+    pub name: String,
+    /// The circuit under verification.
+    pub circuit: Circuit,
+    /// The pre-condition set `P`.
+    pub pre: StateSet,
+    /// The post-condition set `Q`.
+    pub post: StateSet,
+    /// Every basis input the simulator baseline runs.
+    pub simulate_inputs: Vec<u128>,
+}
+
+/// The Bernstein–Vazirani workload for a hidden string of length `n`.
+fn bv_workload(n: u32) -> VerificationWorkload {
     let hidden: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
     let circuit = bernstein_vazirani(&hidden);
     let spec = bv_spec(&hidden);
-    run_row("BV", n, &circuit, &spec.pre, &spec.post, &[0])
+    VerificationWorkload {
+        name: format!("BV{n}"),
+        circuit,
+        pre: spec.pre,
+        post: spec.post,
+        simulate_inputs: vec![0],
+    }
 }
 
-/// The `MCToffoli` row with `m` controls.
-pub fn mc_toffoli_row(m: u32) -> Table2Row {
+/// The `MCToffoli` workload with `m` controls.
+fn mc_toffoli_workload(m: u32) -> VerificationWorkload {
     let circuit = mc_toffoli(m);
     let spec = mc_toffoli_spec(&circuit);
     // The simulator baseline must cover every pre-condition state.
-    let inputs: Vec<u64> = spec
+    let simulate_inputs: Vec<u128> = spec
         .pre
         .states(1 << (m + 1))
         .iter()
         .map(|map| *map.keys().next().expect("basis state"))
         .collect();
-    run_row("MCToffoli", m, &circuit, &spec.pre, &spec.post, &inputs)
+    VerificationWorkload {
+        name: format!("MCToffoli{m}"),
+        circuit,
+        pre: spec.pre,
+        post: spec.post,
+        simulate_inputs,
+    }
 }
 
-/// The `Grover-Sing` row for an `m`-bit search with `iterations` Grover
-/// iterations (defaults to the textbook optimum).
-pub fn grover_single_row(m: u32, iterations: Option<u32>) -> Table2Row {
+/// The `Grover-Sing` workload for an `m`-bit search.
+fn grover_single_workload(m: u32, iterations: Option<u32>) -> VerificationWorkload {
     let marked = (1u64 << m) - 1;
     let (circuit, _layout) = grover_single(m, marked, iterations);
     let pre = StateSet::basis_state(circuit.num_qubits(), 0);
@@ -164,25 +192,154 @@ pub fn grover_single_row(m: u32, iterations: Option<u32>) -> Table2Row {
     // known closed form).
     let reference = DenseState::run(&circuit, 0).to_amplitude_map();
     let post = StateSet::from_state_maps(circuit.num_qubits(), &[reference]);
-    run_row("Grover-Sing", m, &circuit, &pre, &post, &[0])
+    VerificationWorkload {
+        name: format!("Grover-Sing{m}"),
+        circuit,
+        pre,
+        post,
+        simulate_inputs: vec![0],
+    }
 }
 
-/// The `Grover-All` row for an `m`-bit search over all `2^m` oracles.
-pub fn grover_all_row(m: u32, iterations: Option<u32>) -> Table2Row {
+/// The `Grover-All` workload for an `m`-bit search over all `2^m` oracles.
+fn grover_all_workload(m: u32, iterations: Option<u32>) -> VerificationWorkload {
     let (circuit, layout) = grover_all(m, iterations);
     let n = circuit.num_qubits();
     let pre = grover_all_pre(&layout, n);
-    let inputs: Vec<u64> = pre
+    let simulate_inputs: Vec<u128> = pre
         .states(1 << m)
         .iter()
         .map(|map| *map.keys().next().expect("basis state"))
         .collect();
-    let reference: Vec<BTreeMap<u64, Algebraic>> = inputs
+    let reference: Vec<BTreeMap<u128, Algebraic>> = simulate_inputs
         .iter()
         .map(|&basis| DenseState::run(&circuit, basis).to_amplitude_map())
         .collect();
     let post = StateSet::from_state_maps(n, &reference);
-    run_row("Grover-All", m, &circuit, &pre, &post, &inputs)
+    VerificationWorkload {
+        name: format!("Grover-All{m}"),
+        circuit,
+        pre,
+        post,
+        simulate_inputs,
+    }
+}
+
+/// The Bernstein–Vazirani row for a hidden string of length `n`.
+pub fn bv_row(n: u32) -> Table2Row {
+    let w = bv_workload(n);
+    run_row("BV", n, &w.circuit, &w.pre, &w.post, &w.simulate_inputs)
+}
+
+/// The `MCToffoli` row with `m` controls.
+pub fn mc_toffoli_row(m: u32) -> Table2Row {
+    let w = mc_toffoli_workload(m);
+    run_row(
+        "MCToffoli",
+        m,
+        &w.circuit,
+        &w.pre,
+        &w.post,
+        &w.simulate_inputs,
+    )
+}
+
+/// The `Grover-Sing` row for an `m`-bit search with `iterations` Grover
+/// iterations (defaults to the textbook optimum).
+pub fn grover_single_row(m: u32, iterations: Option<u32>) -> Table2Row {
+    let w = grover_single_workload(m, iterations);
+    run_row(
+        "Grover-Sing",
+        m,
+        &w.circuit,
+        &w.pre,
+        &w.post,
+        &w.simulate_inputs,
+    )
+}
+
+/// The `Grover-All` row for an `m`-bit search over all `2^m` oracles.
+pub fn grover_all_row(m: u32, iterations: Option<u32>) -> Table2Row {
+    let w = grover_all_workload(m, iterations);
+    run_row(
+        "Grover-All",
+        m,
+        &w.circuit,
+        &w.pre,
+        &w.post,
+        &w.simulate_inputs,
+    )
+}
+
+/// One row of the reduction-policy sweep: the same verification workload
+/// timed under `ReductionPolicy::AfterEachGate` and
+/// `ReductionPolicy::Adaptive { growth_factor: 2 }` on the Hybrid engine.
+#[derive(Clone, Debug)]
+pub struct PolicySweepRow {
+    /// Workload name (family + parameter).
+    pub name: String,
+    /// End-to-end verification time with `AfterEachGate`.
+    pub after_each_gate: Duration,
+    /// End-to-end verification time with `Adaptive { growth_factor: 2 }`.
+    pub adaptive: Duration,
+    /// Both policies must reach the `Holds` verdict.
+    pub both_verified: bool,
+}
+
+/// Runs the Table 2 verification workloads (the `table2` bin's default
+/// sizes, built by the same constructors as the table rows) under both
+/// reduction policies — the sweep the ROADMAP requires before flipping the
+/// `Engine::hybrid()` default to adaptive reduction.  `bench_reduction`
+/// records these rows in `BENCH_reduction.json`.
+///
+/// Each policy is timed over `SWEEP_ROUNDS` *interleaved* repetitions
+/// (eager, adaptive, eager, adaptive, …) and the per-policy **median** is
+/// reported, so one-off allocator/arena warm-up and scheduler noise do not
+/// bias the recorded comparison towards whichever policy happens to run
+/// second.
+pub fn run_policy_sweep() -> Vec<PolicySweepRow> {
+    use autoq_core::{verify, ReductionPolicy};
+
+    /// Interleaved repetitions per policy; the median is recorded.
+    const SWEEP_ROUNDS: usize = 3;
+
+    let mut workloads: Vec<VerificationWorkload> = Vec::new();
+    workloads.extend([8u32, 12, 16, 20].map(bv_workload));
+    workloads.extend([2u32, 3].map(|m| grover_single_workload(m, None)));
+    workloads.extend([3u32, 4, 5, 6].map(mc_toffoli_workload));
+    workloads.extend([2u32, 3].map(|m| grover_all_workload(m, None)));
+
+    let median = |mut samples: Vec<Duration>| -> Duration {
+        samples.sort();
+        samples[samples.len() / 2]
+    };
+
+    workloads
+        .into_iter()
+        .map(|w| {
+            let eager = Engine::hybrid().with_reduction(ReductionPolicy::AfterEachGate);
+            let adaptive =
+                Engine::hybrid().with_reduction(ReductionPolicy::Adaptive { growth_factor: 2 });
+            let mut eager_samples = Vec::with_capacity(SWEEP_ROUNDS);
+            let mut adaptive_samples = Vec::with_capacity(SWEEP_ROUNDS);
+            let mut both_verified = true;
+            for _ in 0..SWEEP_ROUNDS {
+                let (eager_outcome, eager_time) =
+                    timed(|| verify(&eager, &w.pre, &w.circuit, &w.post, SpecMode::Equality));
+                let (adaptive_outcome, adaptive_time) =
+                    timed(|| verify(&adaptive, &w.pre, &w.circuit, &w.post, SpecMode::Equality));
+                eager_samples.push(eager_time);
+                adaptive_samples.push(adaptive_time);
+                both_verified &= eager_outcome.holds() && adaptive_outcome.holds();
+            }
+            PolicySweepRow {
+                name: w.name,
+                after_each_gate: median(eager_samples),
+                adaptive: median(adaptive_samples),
+                both_verified,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

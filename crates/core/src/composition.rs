@@ -450,7 +450,7 @@ mod tests {
         TreeAutomaton::from_tree(tree)
     }
 
-    fn state_of(automaton: &TreeAutomaton) -> Vec<std::collections::BTreeMap<u64, Algebraic>> {
+    fn state_of(automaton: &TreeAutomaton) -> Vec<std::collections::BTreeMap<u128, Algebraic>> {
         automaton
             .enumerate(64)
             .iter()

@@ -10,6 +10,7 @@
 
 use autoq_circuit::Circuit;
 use autoq_simulator::SparseState;
+use autoq_treeaut::basis::{self, BasisIndex};
 use autoq_treeaut::Tree;
 use rand::Rng;
 
@@ -46,8 +47,10 @@ pub struct HuntReport {
     /// A quantum state produced by exactly one of the two circuits, if a bug
     /// was found.
     pub witness: Option<Tree>,
-    /// The number of basis states in the final input set.
-    pub final_input_size: u64,
+    /// The number of basis states in the final input set, saturating at
+    /// `u128::MAX` when all 128 qubits of a full-width register are freed
+    /// (the true count, `2^128`, is off by one from the saturated value).
+    pub final_input_size: u128,
     /// Combined gate-application statistics over every iteration — the peak
     /// automaton size reached anywhere in the hunt is the engine's hot-path
     /// health metric (printed per row by `table3`).
@@ -116,6 +119,16 @@ impl HuntReport {
     }
 }
 
+/// `2^free_count` basis states, saturating at `u128::MAX` when the whole
+/// 128-qubit index space is freed (see [`HuntReport::final_input_size`]).
+fn input_set_size(free_count: u32) -> u128 {
+    if free_count >= basis::MAX_QUBITS {
+        u128::MAX
+    } else {
+        basis::basis_count(free_count)
+    }
+}
+
 impl BugHunter {
     /// Creates a hunter with the given engine and no iteration bound.
     pub fn new(engine: Engine) -> Self {
@@ -149,11 +162,9 @@ impl BugHunter {
             "circuit width mismatch"
         );
         let n = original.num_qubits();
-        let base: u64 = if n >= 64 {
-            rng.gen()
-        } else {
-            rng.gen_range(0..(1u64 << n.min(63)))
-        };
+        // A uniformly random n-qubit base pattern (masking a full-width draw
+        // is uniform and total right up to the 128-qubit index width).
+        let base: BasisIndex = rng.gen::<u128>() & basis::index_mask(n);
 
         // Random order in which qubits become unconstrained.
         let mut order: Vec<u32> = (0..n).collect();
@@ -164,10 +175,16 @@ impl BugHunter {
 
         let mut iterations = 0;
         let mut stats = ApplyStats::default();
+        let mut free_mask: BasisIndex = 0;
         for free_count in 0..=n.min(self.max_iterations.saturating_sub(1)) {
             iterations += 1;
             let free = &order[..free_count as usize];
-            let inputs = StateSet::basis_pattern(n, base, free);
+            if free_count > 0 {
+                free_mask |= basis::qubit_bit(n, order[free_count as usize - 1]);
+            }
+            // Freed qubits range over both values, so their base bits are
+            // cleared (`basis_pattern` rejects overlapping fixed bits).
+            let inputs = StateSet::basis_pattern(n, base & !free_mask, free);
             let (result, iteration_stats) =
                 check_circuit_equivalence_with_stats(&self.engine, &inputs, original, candidate);
             stats = stats.merge(&iteration_stats);
@@ -176,7 +193,7 @@ impl BugHunter {
                     bug_found: true,
                     iterations,
                     witness: Some(witness.clone()),
-                    final_input_size: 1u64 << free_count,
+                    final_input_size: input_set_size(free_count),
                     stats,
                 };
             }
@@ -188,7 +205,7 @@ impl BugHunter {
             bug_found: false,
             iterations,
             witness: None,
-            final_input_size: 1u64 << (iterations - 1).min(63),
+            final_input_size: input_set_size(iterations - 1),
             stats,
         }
     }

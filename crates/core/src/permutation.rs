@@ -201,7 +201,7 @@ mod tests {
     use super::*;
     use autoq_treeaut::Tree;
 
-    fn states_of(automaton: &TreeAutomaton) -> Vec<std::collections::BTreeMap<u64, Algebraic>> {
+    fn states_of(automaton: &TreeAutomaton) -> Vec<std::collections::BTreeMap<u128, Algebraic>> {
         automaton
             .enumerate(64)
             .iter()
@@ -344,7 +344,7 @@ mod tests {
         .reduce();
         // The set of all basis states is closed under Toffoli.
         assert_eq!(result.enumerate(16).len(), 8);
-        for b in 0..8u64 {
+        for b in 0..8u128 {
             assert!(result.accepts(&Tree::basis_state(3, b)));
         }
         // A single state is permuted: |110⟩ ↦ |111⟩.

@@ -32,7 +32,7 @@ pub fn bv_spec(hidden: &[bool]) -> Spec {
     let n = hidden.len() as u32 + 1;
     Spec {
         pre: StateSet::basis_state(n, 0),
-        post: StateSet::basis_state(n, bernstein_vazirani_expected_output(hidden)),
+        post: StateSet::basis_state(n, bernstein_vazirani_expected_output(hidden).into()),
     }
 }
 
@@ -103,8 +103,9 @@ mod tests {
         // Every state fixes the non-oracle qubits to zero.
         for state in pre.states(16) {
             let basis = *state.keys().next().unwrap();
-            let non_oracle_mask =
-                (1u64 << (all_circuit.num_qubits() - all_layout.oracle.len() as u32)) - 1;
+            let non_oracle_mask = autoq_treeaut::basis::index_mask(
+                all_circuit.num_qubits() - all_layout.oracle.len() as u32,
+            );
             assert_eq!(basis & non_oracle_mask, 0);
         }
     }

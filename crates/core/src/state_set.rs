@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use autoq_amplitude::Algebraic;
+use autoq_treeaut::basis::{self, BasisIndex};
 use autoq_treeaut::{InternalSymbol, Tree, TreeAutomaton};
 
 /// A set of `n`-qubit quantum states, stored as a tree automaton over full
@@ -49,28 +50,27 @@ impl StateSet {
     ///
     /// Built directly as the linear-size automaton (`2n + 1` states,
     /// mirroring the DAG sharing of [`Tree::basis_state`] on the automaton
-    /// side), so the construction scales to the 64-qubit pattern limit.
+    /// side), so the construction scales to the full 128-bit index width —
+    /// past the paper's 70-qubit `Random` rows.
     ///
     /// ```
     /// # use autoq_core::StateSet;
     /// let set = StateSet::basis_state(3, 0b101);
     /// assert_eq!(set.states(10).len(), 1);
-    /// // 60 qubits: the automaton stays linear, and membership tests stay
+    /// // 70 qubits: the automaton stays linear, and membership tests stay
     /// // linear too (DAG-shared trees + memoised runs).
-    /// let wide = StateSet::basis_state(60, 1 << 59);
-    /// assert_eq!(wide.state_count(), 121);
-    /// assert!(wide.contains_basis_state(1 << 59));
+    /// let wide = StateSet::basis_state(70, 1 << 69);
+    /// assert_eq!(wide.state_count(), 141);
+    /// assert!(wide.contains_basis_state(1 << 69));
     /// assert!(!wide.contains_basis_state(3));
     /// ```
-    pub fn basis_state(num_qubits: u32, basis: u64) -> Self {
+    pub fn basis_state(num_qubits: u32, basis: BasisIndex) -> Self {
         assert!(
-            num_qubits <= 64,
-            "basis_state supports at most 64 qubits (u64 basis indices)"
+            num_qubits <= basis::MAX_QUBITS,
+            "basis_state supports at most {} qubits (u128 basis indices)",
+            basis::MAX_QUBITS
         );
-        assert!(
-            num_qubits == 64 || basis < 1u64 << num_qubits,
-            "basis index {basis} outside the {num_qubits}-qubit space"
-        );
+        basis::assert_in_range(num_qubits, basis);
         if num_qubits == 0 {
             let tree = Tree::basis_state(num_qubits, basis);
             return StateSet {
@@ -88,7 +88,7 @@ impl StateSet {
     /// intermediate tree stay small through hash-consing, but the time is
     /// exponential) — intended for small, explicitly-specified states like
     /// pre/post-conditions.
-    pub fn from_state_fn(num_qubits: u32, f: impl Fn(u64) -> Algebraic) -> Self {
+    pub fn from_state_fn(num_qubits: u32, f: impl Fn(BasisIndex) -> Algebraic) -> Self {
         let tree = Tree::from_fn(num_qubits, f);
         StateSet {
             num_qubits,
@@ -98,7 +98,7 @@ impl StateSet {
 
     /// A set given by explicit states, each described by a map from basis
     /// indices to amplitudes (absent entries are zero).
-    pub fn from_state_maps(num_qubits: u32, states: &[BTreeMap<u64, Algebraic>]) -> Self {
+    pub fn from_state_maps(num_qubits: u32, states: &[BTreeMap<BasisIndex, Algebraic>]) -> Self {
         let trees: Vec<Tree> = states
             .iter()
             .map(|map| {
@@ -135,8 +135,31 @@ impl StateSet {
     /// let set = StateSet::basis_pattern(3, 0b000, &[0, 2]);
     /// assert_eq!(set.states(10).len(), 4);
     /// ```
-    pub fn basis_pattern(num_qubits: u32, fixed: u64, free: &[u32]) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no qubits or more than [`basis::MAX_QUBITS`], if
+    /// `fixed` has bits outside the `num_qubits`-qubit space, if a `free`
+    /// position is out of range, or if `fixed` sets a bit at a `free`
+    /// position (the bit would be silently ignored — the caller's pattern
+    /// and the constructed set would disagree).
+    pub fn basis_pattern(num_qubits: u32, fixed: BasisIndex, free: &[u32]) -> Self {
         assert!(num_qubits > 0, "need at least one qubit");
+        assert!(
+            num_qubits <= basis::MAX_QUBITS,
+            "basis_pattern supports at most {} qubits (u128 basis indices)",
+            basis::MAX_QUBITS
+        );
+        basis::assert_in_range(num_qubits, fixed);
+        let mut free_mask: BasisIndex = 0;
+        for &q in free {
+            free_mask |= basis::qubit_bit(num_qubits, q);
+        }
+        assert!(
+            fixed & free_mask == 0,
+            "fixed bits {fixed:#b} overlap the free qubit positions {free:?}: \
+             a fixed value at a free position would be silently ignored"
+        );
         let mut automaton = TreeAutomaton::new(num_qubits);
         let leaf_zero = automaton.leaf_state(&Algebraic::zero());
         let leaf_one = automaton.leaf_state(&Algebraic::one());
@@ -150,7 +173,7 @@ impl StateSet {
             let new_one = automaton.add_state();
             automaton.add_internal(new_zero, InternalSymbol::new(var), zero_state, zero_state);
             let bit = (fixed >> (num_qubits - 1 - var)) & 1;
-            let is_free = free.contains(&var);
+            let is_free = free_mask & basis::qubit_bit(num_qubits, var) != 0;
             if is_free || bit == 0 {
                 automaton.add_internal(new_one, InternalSymbol::new(var), one_state, zero_state);
             }
@@ -214,7 +237,7 @@ impl StateSet {
 
     /// Enumerates up to `limit` states of the set as maps from basis indices
     /// to non-zero amplitudes.
-    pub fn states(&self, limit: usize) -> Vec<BTreeMap<u64, Algebraic>> {
+    pub fn states(&self, limit: usize) -> Vec<BTreeMap<BasisIndex, Algebraic>> {
         self.automaton
             .enumerate(limit)
             .iter()
@@ -223,7 +246,7 @@ impl StateSet {
     }
 
     /// Returns `true` if the set contains the state described by `f`.
-    pub fn contains_state_fn(&self, f: impl Fn(u64) -> Algebraic) -> bool {
+    pub fn contains_state_fn(&self, f: impl Fn(BasisIndex) -> Algebraic) -> bool {
         self.automaton.accepts(&Tree::from_fn(self.num_qubits, f))
     }
 
@@ -231,8 +254,8 @@ impl StateSet {
     ///
     /// Linear in the automaton and qubit count: the query tree is a
     /// DAG-shared [`Tree::basis_state`] and the membership run is memoised
-    /// on its nodes, so this works at the full 64-qubit pattern limit.
-    pub fn contains_basis_state(&self, basis: u64) -> bool {
+    /// on its nodes, so this works at the full 128-qubit index width.
+    pub fn contains_basis_state(&self, basis: BasisIndex) -> bool {
         self.automaton
             .accepts(&Tree::basis_state(self.num_qubits, basis))
     }
@@ -319,8 +342,8 @@ mod tests {
     #[test]
     fn from_state_maps_builds_superpositions() {
         let mut bell = BTreeMap::new();
-        bell.insert(0u64, Algebraic::one_over_sqrt2());
-        bell.insert(3u64, Algebraic::one_over_sqrt2());
+        bell.insert(0u128, Algebraic::one_over_sqrt2());
+        bell.insert(3u128, Algebraic::one_over_sqrt2());
         let set = StateSet::from_state_maps(2, &[bell.clone()]);
         assert!(set.contains_state_fn(|b| match b {
             0 | 3 => Algebraic::one_over_sqrt2(),

@@ -1,0 +1,92 @@
+//! `StateSet` behaviour at the old 64-qubit `u64` boundary and beyond:
+//! `u128` basis patterns at 63/64/65 qubits, the paper's 70-qubit width, and
+//! the `basis_pattern` argument validation (fixed bits must be in range and
+//! disjoint from the free positions — previously silently ignored,
+//! producing automata that disagreed with the caller's pattern).
+
+use autoq_core::StateSet;
+use autoq_treeaut::basis;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Singleton sets answer membership correctly at the boundary widths
+    /// with full-width `u128` indices.
+    #[test]
+    fn contains_basis_state_across_the_boundary(
+        raw in any::<u128>(),
+        probe in any::<u128>(),
+    ) {
+        for n in [63u32, 64, 65, 70] {
+            let index = raw & basis::index_mask(n);
+            let probe = probe & basis::index_mask(n);
+            let set = StateSet::basis_state(n, index);
+            prop_assert_eq!(set.state_count(), 2 * n as usize + 1);
+            prop_assert!(set.contains_basis_state(index));
+            if probe != index {
+                prop_assert!(!set.contains_basis_state(probe));
+            }
+        }
+    }
+
+    /// A pattern freeing two qubits of a wide register contains exactly the
+    /// four completions of its fixed part and nothing else.
+    #[test]
+    fn basis_pattern_membership_at_65_qubits(raw in any::<u128>()) {
+        let n = 65u32;
+        // Free the MSB (qubit 0, bit 64 — past the u64 width) and qubit 40.
+        let free = [0u32, 40];
+        let free_mask = basis::qubit_bit(n, 0) | basis::qubit_bit(n, 40);
+        let fixed = raw & basis::index_mask(n) & !free_mask;
+        let set = StateSet::basis_pattern(n, fixed, &free);
+        for completion in 0..4u128 {
+            let member = fixed
+                | if completion & 1 != 0 { basis::qubit_bit(n, 0) } else { 0 }
+                | if completion & 2 != 0 { basis::qubit_bit(n, 40) } else { 0 };
+            prop_assert!(set.contains_basis_state(member));
+        }
+        // Flipping any non-free bit leaves the set.
+        let outside = fixed ^ basis::qubit_bit(n, 64);
+        prop_assert!(!set.contains_basis_state(outside));
+    }
+}
+
+#[test]
+fn hunt_style_patterns_work_at_70_qubits() {
+    // The shape the bug hunter builds: a fixed base with a growing free set.
+    let n = 70u32;
+    let base = (1u128 << 69) | (1 << 64) | 0b1010;
+    let free = [5u32, 64];
+    let free_mask = basis::qubit_bit(n, 5) | basis::qubit_bit(n, 64);
+    let set = StateSet::basis_pattern(n, base & !free_mask, &free);
+    assert_eq!(set.states(10).len(), 4);
+    assert!(set.contains_basis_state(base & !free_mask));
+    assert!(set.contains_basis_state((base & !free_mask) | free_mask));
+}
+
+#[test]
+#[should_panic(expected = "outside the 64-qubit space")]
+fn basis_pattern_rejects_out_of_range_fixed_bits() {
+    let _ = StateSet::basis_pattern(64, 1u128 << 64, &[]);
+}
+
+#[test]
+#[should_panic(expected = "overlap the free qubit positions")]
+fn basis_pattern_rejects_fixed_bits_at_free_positions() {
+    // Qubit 1 of 4 (bit 2, MSBF) is both fixed to 1 and freed — previously
+    // the fixed bit was silently ignored.
+    let _ = StateSet::basis_pattern(4, 0b0100, &[1]);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn basis_pattern_rejects_free_positions_past_the_register() {
+    let _ = StateSet::basis_pattern(4, 0, &[4]);
+}
+
+#[test]
+#[should_panic(expected = "outside the 70-qubit space")]
+fn basis_state_rejects_indices_past_70_qubits() {
+    let _ = StateSet::basis_state(70, 1u128 << 70);
+}

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use autoq_amplitude::Algebraic;
 use autoq_circuit::{Circuit, Gate};
+use autoq_treeaut::basis::{self, BasisIndex};
 
 /// A dense `2ⁿ`-element state vector with exact algebraic amplitudes.
 ///
@@ -34,17 +35,21 @@ impl DenseState {
 
     /// The computational basis state `|basis⟩`.
     ///
+    /// Basis indices are [`BasisIndex`] (`u128`) for uniformity with the
+    /// automata stack and the sparse simulator, although the dense vector
+    /// itself caps at 26 qubits.
+    ///
     /// # Panics
     ///
     /// Panics if `num_qubits > 26` (the dense vector would not fit in memory)
     /// or the basis index is out of range.
-    pub fn basis_state(num_qubits: u32, basis: u64) -> Self {
+    pub fn basis_state(num_qubits: u32, basis: BasisIndex) -> Self {
         assert!(
             num_qubits <= 26,
             "dense simulation limited to 26 qubits; use SparseState"
         );
+        basis::assert_in_range(num_qubits, basis);
         let dim = 1usize << num_qubits;
-        assert!((basis as usize) < dim, "basis state out of range");
         let mut amplitudes = vec![Algebraic::zero(); dim];
         amplitudes[basis as usize] = Algebraic::one();
         DenseState {
@@ -77,8 +82,8 @@ impl DenseState {
     }
 
     /// The amplitude of `|basis⟩`.
-    pub fn amplitude(&self, basis: u64) -> Algebraic {
-        self.amplitudes[basis as usize].clone()
+    pub fn amplitude(&self, basis: BasisIndex) -> Algebraic {
+        self.amplitudes[usize::try_from(basis).expect("basis index out of range")].clone()
     }
 
     /// The full amplitude vector.
@@ -87,19 +92,19 @@ impl DenseState {
     }
 
     /// The non-zero amplitudes as a map.
-    pub fn to_amplitude_map(&self) -> BTreeMap<u64, Algebraic> {
+    pub fn to_amplitude_map(&self) -> BTreeMap<BasisIndex, Algebraic> {
         self.amplitudes
             .iter()
             .enumerate()
             .filter(|(_, a)| !a.is_zero())
-            .map(|(i, a)| (i as u64, a.clone()))
+            .map(|(i, a)| (i as BasisIndex, a.clone()))
             .collect()
     }
 
     /// The probability of measuring `|basis⟩` (floating-point, diagnostics
     /// only).
-    pub fn probability_of(&self, basis: u64) -> f64 {
-        self.amplitudes[basis as usize].norm_sqr()
+    pub fn probability_of(&self, basis: BasisIndex) -> f64 {
+        self.amplitudes[usize::try_from(basis).expect("basis index out of range")].norm_sqr()
     }
 
     /// The total squared norm (must be 1 for a valid quantum state).
@@ -228,7 +233,7 @@ impl DenseState {
     }
 
     /// Convenience: simulates `circuit` on the basis state `|basis⟩`.
-    pub fn run(circuit: &Circuit, basis: u64) -> DenseState {
+    pub fn run(circuit: &Circuit, basis: BasisIndex) -> DenseState {
         let mut state = DenseState::basis_state(circuit.num_qubits(), basis);
         state.apply_circuit(circuit);
         state
@@ -309,7 +314,7 @@ mod tests {
         let config = autoq_circuit::generators::RandomCircuitConfig::with_paper_ratio(n);
         for _ in 0..10 {
             let circuit = autoq_circuit::generators::random_circuit(&config, &mut rng);
-            let basis = rng.gen_range(0..(1u64 << n));
+            let basis = u128::from(rng.gen_range(0..(1u64 << n)));
             let mut fast = DenseState::basis_state(n, basis);
             let mut slow = DenseState::basis_state(n, basis);
             for gate in circuit.gates() {
@@ -374,7 +379,7 @@ mod tests {
         let hidden = [true, false, true, true];
         let circuit = bernstein_vazirani(&hidden);
         let state = DenseState::run(&circuit, 0);
-        let expected = bernstein_vazirani_expected_output(&hidden);
+        let expected = u128::from(bernstein_vazirani_expected_output(&hidden));
         assert_eq!(state.amplitude(expected), Algebraic::one());
         assert_eq!(state.to_amplitude_map().len(), 1);
     }
@@ -384,7 +389,7 @@ mod tests {
         let (circuit, layout) = autoq_circuit::generators::grover_single(3, 0b110, None);
         let state = DenseState::run(&circuit, 0);
         // The marked basis state (search register = 110, work = 0, phase = 1).
-        let mut marked_index = 0u64;
+        let mut marked_index = 0u128;
         for (i, &q) in layout.search.iter().enumerate() {
             if (0b110 >> (layout.search.len() - 1 - i)) & 1 == 1 {
                 marked_index |= 1 << (circuit.num_qubits() - 1 - q);
@@ -405,7 +410,7 @@ mod tests {
         let n = 3u32;
         let circuit = autoq_circuit::generators::ripple_carry_adder(n);
         for (a_value, b_value) in [(3u64, 5u64), (1, 2), (7, 7), (0, 6)] {
-            let mut basis = 0u64;
+            let mut basis = 0u128;
             // qubit layout: 0 = carry-in, 2i+1 = a_i (LSB first), 2i+2 = b_i, 2n+1 = carry-out
             for i in 0..n as u64 {
                 if (a_value >> i) & 1 == 1 {

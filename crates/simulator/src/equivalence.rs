@@ -6,6 +6,7 @@
 
 use autoq_amplitude::Algebraic;
 use autoq_circuit::Circuit;
+use autoq_treeaut::basis::BasisIndex;
 
 use crate::{DenseState, SparseState};
 
@@ -38,18 +39,14 @@ pub enum SimulationBackend {
 /// ```
 pub fn simulate_on_inputs(
     circuit: &Circuit,
-    inputs: &[u64],
+    inputs: &[BasisIndex],
     backend: SimulationBackend,
-) -> Vec<std::collections::BTreeMap<u64, Algebraic>> {
+) -> Vec<std::collections::BTreeMap<BasisIndex, Algebraic>> {
     inputs
         .iter()
         .map(|&basis| match backend {
             SimulationBackend::Dense => DenseState::run(circuit, basis).to_amplitude_map(),
-            SimulationBackend::Sparse => SparseState::run(circuit, basis as u128)
-                .to_amplitude_map()
-                .iter()
-                .map(|(&b, a)| (b as u64, a.clone()))
-                .collect(),
+            SimulationBackend::Sparse => SparseState::run(circuit, basis).into_amplitude_map(),
         })
         .collect()
 }
@@ -71,9 +68,9 @@ pub fn simulate_on_inputs(
 pub fn states_equal(
     c1: &Circuit,
     c2: &Circuit,
-    inputs: &[u64],
+    inputs: &[BasisIndex],
     backend: SimulationBackend,
-) -> Option<u64> {
+) -> Option<BasisIndex> {
     assert_eq!(c1.num_qubits(), c2.num_qubits(), "circuit width mismatch");
     for &basis in inputs {
         let out1 = simulate_on_inputs(c1, &[basis], backend);
@@ -106,7 +103,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let inputs: Vec<u64> = (0..8).collect();
+        let inputs: Vec<BasisIndex> = (0..8).collect();
         let dense = simulate_on_inputs(&circuit, &inputs, SimulationBackend::Dense);
         let sparse = simulate_on_inputs(&circuit, &inputs, SimulationBackend::Sparse);
         assert_eq!(dense, sparse);
@@ -116,7 +113,7 @@ mod tests {
     fn injected_bug_is_visible_on_some_input() {
         let circuit = autoq_circuit::generators::ripple_carry_adder(3);
         let buggy = insert_gate(&circuit, Gate::X(4), 7);
-        let inputs: Vec<u64> = (0..64).map(|i| i * 4).collect();
+        let inputs: Vec<BasisIndex> = (0..64).map(|i| i * 4).collect();
         let difference = states_equal(&circuit, &buggy, &inputs, SimulationBackend::Sparse);
         assert!(difference.is_some());
     }
@@ -124,7 +121,7 @@ mod tests {
     #[test]
     fn identical_circuits_agree_everywhere() {
         let circuit = autoq_circuit::generators::mc_toffoli(3);
-        let inputs: Vec<u64> = (0..16).collect();
+        let inputs: Vec<BasisIndex> = (0..16).collect();
         assert_eq!(
             states_equal(&circuit, &circuit, &inputs, SimulationBackend::Sparse),
             None

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use autoq_amplitude::Algebraic;
 use autoq_circuit::schedule::interference_schedule;
 use autoq_circuit::{Circuit, Gate};
+use autoq_treeaut::basis;
 use autoq_treeaut::Tree;
 
 /// A sparse quantum state: a map from basis indices to non-zero amplitudes.
@@ -50,7 +51,12 @@ impl SparseState {
     ///
     /// Panics if `num_qubits > 128`.
     pub fn basis_state(num_qubits: u32, basis: u128) -> Self {
-        assert!(num_qubits <= 128, "sparse simulation limited to 128 qubits");
+        assert!(
+            num_qubits <= basis::MAX_QUBITS,
+            "sparse simulation limited to {} qubits",
+            basis::MAX_QUBITS
+        );
+        basis::assert_in_range(num_qubits, basis);
         let mut amplitudes = BTreeMap::new();
         amplitudes.insert(basis, Algebraic::one());
         SparseState {
@@ -69,17 +75,15 @@ impl SparseState {
         num_qubits: u32,
         entries: impl IntoIterator<Item = (u128, Algebraic)>,
     ) -> Self {
-        assert!(num_qubits <= 128, "sparse simulation limited to 128 qubits");
+        assert!(
+            num_qubits <= basis::MAX_QUBITS,
+            "sparse simulation limited to {} qubits",
+            basis::MAX_QUBITS
+        );
         let amplitudes: BTreeMap<u128, Algebraic> =
             entries.into_iter().filter(|(_, a)| !a.is_zero()).collect();
-        if num_qubits < 128 {
-            let limit = 1u128 << num_qubits;
-            for &basis in amplitudes.keys() {
-                assert!(
-                    basis < limit,
-                    "basis index {basis} outside the {num_qubits}-qubit space"
-                );
-            }
+        for &basis in amplitudes.keys() {
+            basis::assert_in_range(num_qubits, basis);
         }
         SparseState {
             num_qubits,
@@ -119,12 +123,9 @@ impl SparseState {
             support <= Self::MAX_TREE_SUPPORT,
             "witness support {support} too large to materialise as a sparse state"
         );
-        Self::from_amplitudes(
-            tree.num_qubits(),
-            tree.to_amplitude_map()
-                .into_iter()
-                .map(|(basis, amp)| (u128::from(basis), amp)),
-        )
+        // Witness trees and sparse states now share the `u128` basis-index
+        // type end to end, so the map moves across without conversion.
+        Self::from_amplitudes(tree.num_qubits(), tree.to_amplitude_map())
     }
 
     /// Number of qubits.
@@ -148,6 +149,12 @@ impl SparseState {
     /// The non-zero amplitudes.
     pub fn to_amplitude_map(&self) -> &BTreeMap<u128, Algebraic> {
         &self.amplitudes
+    }
+
+    /// Consumes the state and returns its non-zero amplitudes without
+    /// copying (for callers that only need the final map).
+    pub fn into_amplitude_map(self) -> BTreeMap<u128, Algebraic> {
+        self.amplitudes
     }
 
     /// Total squared norm (should be 1).
@@ -362,11 +369,7 @@ mod tests {
             let dense = DenseState::run(&circuit, 5);
             let sparse = SparseState::run(&circuit, 5);
             for (basis, amp) in dense.to_amplitude_map() {
-                assert_eq!(
-                    sparse.amplitude(basis as u128),
-                    amp,
-                    "mismatch at |{basis:b}⟩"
-                );
+                assert_eq!(sparse.amplitude(basis), amp, "mismatch at |{basis:b}⟩");
             }
             assert_eq!(dense.to_amplitude_map().len(), sparse.support_size());
         }
@@ -374,13 +377,13 @@ mod tests {
 
     #[test]
     fn y_gate_phases_match_dense() {
-        for basis in 0..2u64 {
+        for basis in 0..2u128 {
             let mut dense = DenseState::basis_state(1, basis);
-            let mut sparse = SparseState::basis_state(1, basis as u128);
+            let mut sparse = SparseState::basis_state(1, basis);
             dense.apply_gate(&Gate::Y(0));
             sparse.apply_gate(&Gate::Y(0));
-            for b in 0..2u64 {
-                assert_eq!(dense.amplitude(b), sparse.amplitude(b as u128));
+            for b in 0..2u128 {
+                assert_eq!(dense.amplitude(b), sparse.amplitude(b));
             }
         }
     }

@@ -586,7 +586,7 @@ impl fmt::Display for TreeAutomaton {
 mod tests {
     use super::*;
 
-    fn basis(n: u32, b: u64) -> Tree {
+    fn basis(n: u32, b: u128) -> Tree {
         Tree::basis_state(n, b)
     }
 
@@ -751,7 +751,7 @@ mod tests {
         assert_eq!(automaton.transition_count(), 3 * n as usize + 1);
         let language = automaton.enumerate(100);
         assert_eq!(language.len(), 8);
-        for b in 0..8u64 {
+        for b in 0..8u128 {
             assert!(automaton.accepts(&basis(3, b)), "missing |{b:03b}⟩");
         }
     }

@@ -1,0 +1,151 @@
+//! Checked basis-index arithmetic shared by every layer of the stack.
+//!
+//! A computational basis state of an `n`-qubit register is identified by an
+//! index in `{0, …, 2ⁿ − 1}` (MSBF encoding: qubit 0 is the most significant
+//! bit).  Indices are [`BasisIndex`] (`u128`) throughout the automata stack,
+//! matching the sparse simulator, so the framework covers the paper's
+//! 70-qubit `Random` rows — and anything up to [`MAX_QUBITS`] qubits —
+//! without per-call-site boundary special cases.
+//!
+//! Every width/range computation goes through the helpers here instead of
+//! raw `1 << n` shifts: a shift by the full index width is undefined
+//! overflow in Rust (it panics in debug builds and wraps in release), which
+//! is exactly the class of bug that used to live at the old 64-qubit
+//! boundary.  [`in_range`]/[`index_mask`] are total over `0 ..= MAX_QUBITS`
+//! and [`basis_count`] fails loudly where `2ⁿ` is genuinely unrepresentable.
+
+/// A computational basis-state index (MSBF: qubit 0 is the most significant
+/// bit of the register).
+pub type BasisIndex = u128;
+
+/// The widest register representable by [`BasisIndex`]: 128 qubits, the same
+/// ceiling as the sparse simulator.
+pub const MAX_QUBITS: u32 = 128;
+
+/// The number of basis states of an `n`-qubit register, `2ⁿ`.
+///
+/// Only callable where the count itself is representable; code that merely
+/// needs to *validate* an index should use [`in_range`] (total up to
+/// [`MAX_QUBITS`]) instead of comparing against a count.
+///
+/// # Panics
+///
+/// Panics if `num_qubits >= 128` (the count `2ⁿ` would not fit in a
+/// [`BasisIndex`]).
+pub fn basis_count(num_qubits: u32) -> BasisIndex {
+    assert!(
+        num_qubits < MAX_QUBITS,
+        "2^{num_qubits} basis states do not fit in a u128 index"
+    );
+    1u128 << num_qubits
+}
+
+/// Returns `true` iff `basis` is a valid index of an `num_qubits`-qubit
+/// register.  Total for every width up to [`MAX_QUBITS`]: at 128 qubits all
+/// `u128` values are valid, with no overflowing shift anywhere.
+pub fn in_range(num_qubits: u32, basis: BasisIndex) -> bool {
+    num_qubits >= MAX_QUBITS || basis < (1u128 << num_qubits)
+}
+
+/// Asserts [`in_range`] with the uniform out-of-range message used across
+/// the stack.
+///
+/// # Panics
+///
+/// Panics if `basis` has bits above the `num_qubits`-qubit space.
+pub fn assert_in_range(num_qubits: u32, basis: BasisIndex) {
+    assert!(
+        in_range(num_qubits, basis),
+        "basis index {basis} outside the {num_qubits}-qubit space"
+    );
+}
+
+/// The mask with every valid `num_qubits`-bit index bit set
+/// (`basis_count(n) − 1`, but total at `n = 128` too).
+pub fn index_mask(num_qubits: u32) -> BasisIndex {
+    if num_qubits >= MAX_QUBITS {
+        u128::MAX
+    } else {
+        (1u128 << num_qubits) - 1
+    }
+}
+
+/// The single-bit mask selecting `qubit` (MSBF) inside an
+/// `num_qubits`-qubit index.
+///
+/// # Panics
+///
+/// Panics if `qubit >= num_qubits`.
+pub fn qubit_bit(num_qubits: u32, qubit: u32) -> BasisIndex {
+    assert!(
+        qubit < num_qubits,
+        "qubit {qubit} out of range for {num_qubits} qubits"
+    );
+    1u128 << (num_qubits - 1 - qubit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_count_is_exact_up_to_127() {
+        assert_eq!(basis_count(0), 1);
+        assert_eq!(basis_count(1), 2);
+        assert_eq!(basis_count(64), 1u128 << 64);
+        assert_eq!(basis_count(127), 1u128 << 127);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit")]
+    fn basis_count_panics_at_128() {
+        let _ = basis_count(128);
+    }
+
+    #[test]
+    fn in_range_is_total_at_every_boundary() {
+        for n in [63u32, 64, 65, 70, 127, 128] {
+            assert!(in_range(n, 0));
+            assert!(in_range(n, index_mask(n)));
+            if n < 128 {
+                assert!(!in_range(n, index_mask(n) + 1));
+            }
+        }
+        assert!(in_range(128, u128::MAX));
+        assert!(!in_range(0, 1));
+    }
+
+    #[test]
+    fn index_mask_matches_basis_count() {
+        for n in [0u32, 1, 63, 64, 65, 127] {
+            assert_eq!(index_mask(n), basis_count(n) - 1);
+        }
+        assert_eq!(index_mask(128), u128::MAX);
+    }
+
+    #[test]
+    fn qubit_bit_is_msbf() {
+        assert_eq!(qubit_bit(3, 0), 0b100);
+        assert_eq!(qubit_bit(3, 2), 0b001);
+        assert_eq!(qubit_bit(128, 0), 1u128 << 127);
+        assert_eq!(qubit_bit(65, 0), 1u128 << 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn qubit_bit_rejects_out_of_range_qubits() {
+        let _ = qubit_bit(4, 4);
+    }
+
+    #[test]
+    fn assert_in_range_accepts_the_full_width() {
+        assert_in_range(64, u64::MAX as BasisIndex);
+        assert_in_range(65, 1u128 << 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the 64-qubit space")]
+    fn assert_in_range_rejects_wide_indices() {
+        assert_in_range(64, 1u128 << 64);
+    }
+}

@@ -297,7 +297,9 @@ mod tests {
     use autoq_amplitude::Algebraic;
 
     fn all_basis(n: u32) -> TreeAutomaton {
-        let trees: Vec<Tree> = (0..(1u64 << n)).map(|b| Tree::basis_state(n, b)).collect();
+        let trees: Vec<Tree> = (0..crate::basis::basis_count(n))
+            .map(|b| Tree::basis_state(n, b))
+            .collect();
         TreeAutomaton::from_trees(n, &trees)
     }
 
@@ -375,7 +377,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         for _ in 0..30 {
             let n = rng.gen_range(1..=3u32);
-            let universe = 1u64 << n;
+            let universe = crate::basis::basis_count(n);
             let pick = |rng: &mut rand::rngs::StdRng| -> Vec<Tree> {
                 (0..universe)
                     .filter(|_| rng.gen_bool(0.5))

@@ -47,6 +47,7 @@
 //! ```
 
 mod automaton;
+pub mod basis;
 pub mod format;
 mod inclusion;
 mod index;
@@ -56,6 +57,7 @@ mod symbol;
 mod tree;
 
 pub use automaton::{InternalTransition, LeafTransition, TreeAutomaton};
+pub use basis::BasisIndex;
 pub use inclusion::{
     equivalence, inclusion, naive_equivalence, EquivalenceResult, InclusionResult,
 };

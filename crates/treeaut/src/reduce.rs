@@ -411,7 +411,9 @@ mod tests {
     use crate::{InternalSymbol, Tree, TreeAutomaton};
 
     fn all_basis(n: u32) -> TreeAutomaton {
-        let trees: Vec<Tree> = (0..(1u64 << n)).map(|b| Tree::basis_state(n, b)).collect();
+        let trees: Vec<Tree> = (0..crate::basis::basis_count(n))
+            .map(|b| Tree::basis_state(n, b))
+            .collect();
         TreeAutomaton::from_trees(n, &trees)
     }
 
@@ -458,7 +460,7 @@ mod tests {
         assert!(reduced.state_count() <= automaton.state_count());
         assert!(reduced.state_count() < redundant.state_count());
         assert_eq!(reduced.enumerate(100).len(), 16);
-        for b in 0..16u64 {
+        for b in 0..16u128 {
             assert!(reduced.accepts(&Tree::basis_state(4, b)));
         }
         reduced.validate().unwrap();

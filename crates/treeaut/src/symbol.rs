@@ -17,6 +17,11 @@ use std::fmt;
 /// assert_eq!(Tag::Single(3).to_string(), "#3");
 /// assert_eq!(Tag::Pair(3, 5).to_string(), "#3,5");
 /// ```
+/// Tag values are *transition indices* (the tagging procedure numbers the
+/// internal transitions `1..=|Δ|`), never basis-state indices, so they stay
+/// `u64` even though basis indices are `u128` ([`crate::BasisIndex`]):
+/// transition counts are bounded by memory, and keeping the tag narrow keeps
+/// every [`crate::InternalTransition`] small on the reduction hot path.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub enum Tag {
     /// Untagged symbol (the normal state outside gate application).

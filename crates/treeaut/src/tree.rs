@@ -29,6 +29,8 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use autoq_amplitude::Algebraic;
 
+use crate::basis::{self, BasisIndex};
+
 /// Handle to a hash-consed tree node in the process-wide arena.
 ///
 /// Two `NodeId`s are equal **iff** the subtrees they denote are structurally
@@ -199,20 +201,20 @@ impl Tree {
     ///
     /// # Panics
     ///
-    /// Panics if `num_qubits` is larger than 63 (the basis index would not
-    /// fit in a `u64`).
-    pub fn from_fn(num_qubits: u32, f: impl Fn(u64) -> Algebraic) -> Tree {
-        assert!(
-            num_qubits < 64,
-            "at most 63 qubits supported by Tree::from_fn"
-        );
+    /// Panics if `2^num_qubits` exceeds [`crate::basis::MAX_QUBITS`] bits or
+    /// the leaf table of `2^num_qubits` entries exceeds addressable memory
+    /// (the construction is explicitly exponential; wide registers should
+    /// use [`Tree::basis_state`] or automaton-level constructors).
+    pub fn from_fn(num_qubits: u32, f: impl Fn(BasisIndex) -> Algebraic) -> Tree {
+        let count = usize::try_from(basis::basis_count(num_qubits))
+            .expect("2^num_qubits leaf evaluations exceed addressable memory");
         // Evaluate the amplitude function *before* taking the arena lock, so
         // that `f` may itself use the `Tree` API without deadlocking.  The
         // interning below re-acquires the lock per bounded chunk rather than
         // holding it across all 2^n operations, so concurrent threads are
         // never stalled for the whole construction.
         const CHUNK: usize = 4096;
-        let leaves: Vec<Algebraic> = (0..1u64 << num_qubits).map(f).collect();
+        let leaves: Vec<Algebraic> = (0..count).map(|b| f(b as BasisIndex)).collect();
         let mut layer: Vec<NodeId> = Vec::with_capacity(leaves.len());
         for chunk in leaves.chunks(CHUNK) {
             let mut arena = arena();
@@ -244,24 +246,23 @@ impl Tree {
     /// let t = Tree::basis_state(3, 0b101);
     /// assert_eq!(t.amplitude(0b101), Algebraic::one());
     /// assert_eq!(t.amplitude(0b100), Algebraic::zero());
-    /// // Linear, not exponential, in the qubit count:
-    /// let wide = Tree::basis_state(60, 1 << 59);
-    /// assert_eq!(wide.node_count(), 2 * 60 + 1);
+    /// // Linear, not exponential, in the qubit count — works past the old
+    /// // 64-qubit boundary:
+    /// let wide = Tree::basis_state(70, 1 << 69);
+    /// assert_eq!(wide.node_count(), 2 * 70 + 1);
     /// ```
     ///
     /// # Panics
     ///
-    /// Panics if `num_qubits > 64` or `basis` has bits above the tree
-    /// height.
-    pub fn basis_state(num_qubits: u32, basis: u64) -> Tree {
+    /// Panics if `num_qubits` exceeds [`crate::basis::MAX_QUBITS`] or
+    /// `basis` has bits above the tree height.
+    pub fn basis_state(num_qubits: u32, basis: BasisIndex) -> Tree {
         assert!(
-            num_qubits <= 64,
-            "at most 64 qubits supported by Tree::basis_state"
+            num_qubits <= basis::MAX_QUBITS,
+            "at most {} qubits supported by Tree::basis_state",
+            basis::MAX_QUBITS
         );
-        assert!(
-            num_qubits == 64 || basis < 1u64 << num_qubits,
-            "basis state out of range"
-        );
+        basis::assert_in_range(num_qubits, basis);
         let mut arena = arena();
         let mut zero = arena.intern_leaf(&Algebraic::zero());
         let mut path = arena.intern_leaf(&Algebraic::one());
@@ -353,9 +354,9 @@ impl Tree {
     /// # Panics
     ///
     /// Panics if `basis` has bits above the tree height.
-    pub fn amplitude(&self, basis: u64) -> Algebraic {
+    pub fn amplitude(&self, basis: BasisIndex) -> Algebraic {
         let n = self.num_qubits();
-        assert!(n >= 64 || basis < (1u64 << n), "basis state out of range");
+        basis::assert_in_range(n, basis);
         with_arena(|arena| {
             let mut id = self.id;
             for level in (0..n).rev() {
@@ -416,7 +417,7 @@ impl Tree {
     /// assert_eq!(map.len(), 1);
     /// assert_eq!(map[&0b10], Algebraic::one());
     /// ```
-    pub fn to_amplitude_map(&self) -> BTreeMap<u64, Algebraic> {
+    pub fn to_amplitude_map(&self) -> BTreeMap<BasisIndex, Algebraic> {
         fn is_zero(arena: &Arena, id: NodeId, memo: &mut HashMap<NodeId, bool>) -> bool {
             if let Some(&cached) = memo.get(&id) {
                 return cached;
@@ -434,9 +435,9 @@ impl Tree {
         fn collect(
             arena: &Arena,
             id: NodeId,
-            prefix: u64,
+            prefix: BasisIndex,
             memo: &mut HashMap<NodeId, bool>,
-            map: &mut BTreeMap<u64, Algebraic>,
+            map: &mut BTreeMap<BasisIndex, Algebraic>,
         ) {
             if is_zero(arena, id, memo) {
                 return;
@@ -459,9 +460,16 @@ impl Tree {
 
     /// Converts the tree into a dense state vector of length `2^n`, indexed
     /// by basis state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `2^n`-entry vector exceeds addressable memory (the
+    /// representation is explicitly dense).
     pub fn to_state_vector(&self) -> Vec<Algebraic> {
         let n = self.num_qubits();
-        let mut vector = vec![Algebraic::zero(); 1usize << n];
+        let dim = usize::try_from(basis::basis_count(n))
+            .expect("2^n dense state vector exceeds addressable memory");
+        let mut vector = vec![Algebraic::zero(); dim];
         for (basis, amp) in self.to_amplitude_map() {
             vector[basis as usize] = amp;
         }
@@ -533,7 +541,7 @@ mod tests {
         let map = tree.to_amplitude_map();
         assert_eq!(map.len(), 1);
         assert_eq!(map[&0b010], Algebraic::one());
-        for basis in 0..8u64 {
+        for basis in 0..8u128 {
             let expected = if basis == 0b010 {
                 Algebraic::one()
             } else {
@@ -557,7 +565,7 @@ mod tests {
     #[test]
     fn basis_state_agrees_with_from_fn() {
         for n in 0..6u32 {
-            for basis in 0..(1u64 << n) {
+            for basis in 0..basis::basis_count(n) {
                 let direct = Tree::basis_state(n, basis);
                 let explicit = Tree::from_fn(n, |b| {
                     if b == basis {
@@ -598,8 +606,10 @@ mod tests {
 
     #[test]
     fn basis_state_node_count_is_linear() {
-        for n in [1u32, 4, 16, 40, 64] {
-            let tree = Tree::basis_state(n, if n == 64 { u64::MAX } else { (1 << n) - 1 });
+        // Straddles the old 64-qubit `u64` boundary and runs to the full
+        // 128-qubit index width.
+        for n in [1u32, 4, 16, 40, 63, 64, 65, 70, 128] {
+            let tree = Tree::basis_state(n, basis::index_mask(n));
             assert_eq!(tree.node_count(), 2 * n as usize + 1, "n = {n}");
             assert_eq!(tree.support_size(), 1);
         }

@@ -1,0 +1,134 @@
+//! Boundary behaviour of the `u128` basis indices at the old 64-qubit `u64`
+//! cap: 63/64/65-qubit round-trips, checked range guards at every width, and
+//! witness extraction at the paper's 70-qubit `Random` width.
+//!
+//! These are the regression tests for the family of bugs that lived at
+//! `num_qubits == 64` — `1u64 << 64` overflow panics (debug) or silent
+//! wrap-around (release) — now replaced by the total helpers in
+//! `autoq_treeaut::basis`.
+
+use autoq_amplitude::Algebraic;
+use autoq_treeaut::basis::{self, BasisIndex};
+use autoq_treeaut::{inclusion, InclusionResult, Tree, TreeAutomaton};
+use proptest::prelude::*;
+
+/// The boundary widths: one below, exactly at, and one above the old cap,
+/// plus the paper's 70-qubit `Random` width and the 128-bit ceiling.
+const BOUNDARY_WIDTHS: [u32; 5] = [63, 64, 65, 70, 128];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `basis_state` → `amplitude` round-trips at every boundary width: the
+    /// constructed tree carries amplitude 1 exactly at its defining index
+    /// and 0 at any other probe index.
+    #[test]
+    fn basis_state_amplitude_round_trip_across_the_boundary(
+        raw in any::<u128>(),
+        probe in any::<u128>(),
+    ) {
+        for n in BOUNDARY_WIDTHS {
+            let index = raw & basis::index_mask(n);
+            let probe = probe & basis::index_mask(n);
+            let tree = Tree::basis_state(n, index);
+            prop_assert_eq!(tree.num_qubits(), n);
+            prop_assert_eq!(tree.node_count(), 2 * n as usize + 1);
+            prop_assert_eq!(tree.amplitude(index), Algebraic::one());
+            if probe != index {
+                prop_assert_eq!(tree.amplitude(probe), Algebraic::zero());
+            }
+            // The amplitude map is the singleton {index ↦ 1}.
+            let map = tree.to_amplitude_map();
+            prop_assert_eq!(map.len(), 1);
+            prop_assert_eq!(map.get(&index), Some(&Algebraic::one()));
+        }
+    }
+
+    /// Automaton membership agrees with tree identity at the boundary: the
+    /// singleton automaton accepts exactly its own basis state.
+    #[test]
+    fn automaton_membership_round_trips_across_the_boundary(
+        raw in any::<u128>(),
+        other in any::<u128>(),
+    ) {
+        for n in [63u32, 64, 65] {
+            let index = raw & basis::index_mask(n);
+            let other = other & basis::index_mask(n);
+            let automaton = TreeAutomaton::from_tree(&Tree::basis_state(n, index));
+            prop_assert!(automaton.accepts(&Tree::basis_state(n, index)));
+            if other != index {
+                prop_assert!(!automaton.accepts(&Tree::basis_state(n, other)));
+            }
+        }
+    }
+
+    /// `from_fn` → `amplitude` round-trips with `u128` indices (exponential
+    /// construction, so only small widths — the boundary aspect is the index
+    /// type, exercised by offsetting the function's support pattern).
+    #[test]
+    fn from_fn_amplitude_round_trip_with_u128_indices(
+        n in 0u32..7,
+        seed in any::<u64>(),
+    ) {
+        let f = |b: BasisIndex| {
+            if (b ^ u128::from(seed)) % 3 == 0 {
+                Algebraic::one_over_sqrt2()
+            } else {
+                Algebraic::zero()
+            }
+        };
+        let tree = Tree::from_fn(n, f);
+        for b in 0..basis::basis_count(n) {
+            prop_assert_eq!(tree.amplitude(b), f(b));
+        }
+    }
+}
+
+/// Witness extraction at the paper's 70-qubit width: an inclusion
+/// counterexample straddling bit 64 is produced, stays linear, and re-checks
+/// against both automata.
+#[test]
+fn witness_extraction_at_70_qubits() {
+    let n = 70u32;
+    let p: BasisIndex = (1u128 << 69) | (1 << 64) | 0b1001;
+    let q: BasisIndex = 1u128 << 64;
+    let a = TreeAutomaton::from_trees(n, &[Tree::basis_state(n, p), Tree::basis_state(n, q)]);
+    let b = TreeAutomaton::from_tree(&Tree::basis_state(n, p));
+    match inclusion(&a, &b) {
+        InclusionResult::Counterexample(witness) => {
+            assert_eq!(witness.num_qubits(), n);
+            assert!(witness.node_count() <= 2 * n as usize + 1);
+            assert_eq!(witness.amplitude(q), Algebraic::one());
+            assert!(a.accepts(&witness));
+            assert!(!b.accepts(&witness));
+        }
+        InclusionResult::Included => panic!("inclusion must fail"),
+    }
+    assert!(inclusion(&b, &a).holds());
+}
+
+/// The exact boundary indices round-trip: the all-ones 64-bit index (the
+/// value whose range check used to overflow) and its 65-bit neighbours.
+#[test]
+fn exact_u64_boundary_indices_round_trip() {
+    let tree64 = Tree::basis_state(64, u64::MAX.into());
+    assert_eq!(tree64.amplitude(u64::MAX.into()), Algebraic::one());
+    assert_eq!(tree64.amplitude(0), Algebraic::zero());
+
+    let just_past = 1u128 << 64;
+    let tree65 = Tree::basis_state(65, just_past);
+    assert_eq!(tree65.amplitude(just_past), Algebraic::one());
+    assert_eq!(tree65.amplitude(just_past - 1), Algebraic::zero());
+}
+
+#[test]
+#[should_panic(expected = "outside the 64-qubit space")]
+fn basis_state_rejects_indices_past_the_64_qubit_space() {
+    let _ = Tree::basis_state(64, 1u128 << 64);
+}
+
+#[test]
+#[should_panic(expected = "outside the 65-qubit space")]
+fn amplitude_rejects_indices_past_the_tree_height() {
+    let _ = Tree::basis_state(65, 0).amplitude(1u128 << 65);
+}

@@ -42,13 +42,9 @@ fn equal_subtrees_share_node_ids_inside_one_tree() {
 }
 
 #[test]
-fn basis_state_node_counts_stay_linear_up_to_64_qubits() {
-    for n in 1..=64u32 {
-        let basis = if n == 64 {
-            u64::MAX / 3
-        } else {
-            (1u64 << n) - 1
-        };
+fn basis_state_node_counts_stay_linear_up_to_128_qubits() {
+    for n in 1..=128u32 {
+        let basis = autoq_treeaut::basis::index_mask(n) / 3;
         let tree = Tree::basis_state(n, basis);
         assert_eq!(tree.node_count(), 2 * n as usize + 1, "n = {n}");
     }
@@ -61,8 +57,8 @@ fn witness_extraction_at_40_qubits_is_linear_not_exponential() {
     // 2^41 nodes (an out-of-memory, ~32 TiB).  The DAG-shared witness has
     // 2·40 + 1 nodes and is extracted in well under a second.
     let n = 40u32;
-    let p = 0b1010u64 << 30;
-    let q = (1u64 << n) - 1;
+    let p = 0b1010u128 << 30;
+    let q = (1u128 << n) - 1;
     let a = TreeAutomaton::from_trees(n, &[Tree::basis_state(n, p), Tree::basis_state(n, q)]);
     let b = TreeAutomaton::from_tree(&Tree::basis_state(n, p));
     match inclusion(&a, &b) {
@@ -88,10 +84,10 @@ proptest! {
     /// implementation, now over shared nodes.
     #[test]
     fn from_fn_amplitude_round_trip(n in 0u32..6, seed in any::<u64>()) {
-        let f = |basis: u64| {
+        let f = |basis: u128| {
             // A deterministic pseudo-random amplitude with plenty of zeros,
             // so sharing actually occurs.
-            let h = basis.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(seed);
+            let h = (basis as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(seed);
             match h % 4 {
                 0 => Algebraic::zero(),
                 1 => Algebraic::one(),
@@ -103,7 +99,7 @@ proptest! {
         prop_assert!(tree.is_well_formed());
         prop_assert_eq!(tree.num_qubits(), n);
         let mut support = 0u128;
-        for basis in 0..(1u64 << n) {
+        for basis in 0..(1u128 << n) {
             prop_assert_eq!(tree.amplitude(basis), f(basis));
             if !f(basis).is_zero() {
                 support += 1;
@@ -122,7 +118,7 @@ proptest! {
     /// automaton membership agrees with structural equality.
     #[test]
     fn structural_equality_is_id_equality(n in 1u32..5, basis in any::<u64>()) {
-        let basis = basis % (1u64 << n);
+        let basis = u128::from(basis) % (1u128 << n);
         let direct = Tree::basis_state(n, basis);
         let explicit = Tree::from_fn(n, |b| if b == basis { Algebraic::one() } else { Algebraic::zero() });
         prop_assert_eq!(direct.id(), explicit.id());

@@ -19,13 +19,13 @@ use proptest::prelude::*;
 /// duplicated copy of itself unioned in (the redundancy shape the gate
 /// constructions create, which reduction must collapse).
 fn random_automaton(n: u32, mask: u64, seed: u32, duplicate: bool) -> TreeAutomaton {
-    let space = 1u64 << n;
+    let space = autoq_treeaut::basis::basis_count(n);
     let mut trees: Vec<Tree> = (0..space)
         .filter(|b| mask & (1 << b) != 0)
         .map(|b| Tree::basis_state(n, b))
         .collect();
     trees.push(Tree::from_fn(n, |b| {
-        Algebraic::from_int(((seed as u64 + b) % 4) as i64)
+        Algebraic::from_int(((seed as u128 + b) % 4) as i64)
     }));
     let mut automaton = TreeAutomaton::from_trees(n, &trees);
     if duplicate {

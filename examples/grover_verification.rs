@@ -42,7 +42,7 @@ fn main() {
     );
 
     // Probability that the search register reads the marked string.
-    let mut marked_index = 0u64;
+    let mut marked_index = 0u128;
     for (i, &q) in layout.search.iter().enumerate() {
         if (marked >> (layout.search.len() - 1 - i)) & 1 == 1 {
             marked_index |= 1 << (circuit.num_qubits() - 1 - q);
@@ -64,7 +64,7 @@ fn main() {
         circuit.gate_count()
     );
     let pre = grover_all_pre(&layout, n);
-    let inputs: Vec<u64> = pre
+    let inputs: Vec<u128> = pre
         .states(1 << layout.oracle.len())
         .iter()
         .map(|s| *s.keys().next().unwrap())

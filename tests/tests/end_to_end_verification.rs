@@ -95,7 +95,7 @@ fn grover_single_matches_reference_execution_and_amplifies() {
     );
 
     // The amplified amplitude belongs to the marked search string.
-    let mut marked_index = 0u64;
+    let mut marked_index = 0u128;
     for (i, &q) in layout.search.iter().enumerate() {
         if (0b101 >> (layout.search.len() - 1 - i)) & 1 == 1 {
             marked_index |= 1 << (circuit.num_qubits() - 1 - q);

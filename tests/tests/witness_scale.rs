@@ -103,17 +103,83 @@ fn adder_hunt_at_36_qubits_end_to_end() {
     assert!(report.confirm_with_simulator(&circuit, &buggy).is_some());
 }
 
-/// `Tree::basis_state` and witness sizes stay linear right up to the
-/// 64-qubit pattern limit, so even the paper's 70-qubit `Random` family is
-/// within reach of the representation (the automata engine's 64-qubit
-/// `u64` basis-index limit is the remaining gate).
+/// The paper's 70-qubit `Random` width, end to end: a 70-qubit reversible
+/// cascade with one injected bug is hunted, the witness extracted (linear,
+/// straddling bit 64), and confirmed by the sparse simulator — the workload
+/// class the `u64` → `u128` basis-index widening unlocked.
+///
+/// Seconds in release but minutes unoptimised, so it is ignored in the debug
+/// test run; CI executes it in release in the bench-smoke job via
+/// `cargo test --release -p autoq-tests --test witness_scale -- --include-ignored`.
 #[test]
-fn witness_representation_scales_to_64_qubits() {
-    let tree = Tree::basis_state(64, u64::MAX - 12345);
-    assert_eq!(tree.num_qubits(), 64);
-    assert_eq!(tree.node_count(), 2 * 64 + 1);
-    assert_eq!(
-        tree.amplitude(u64::MAX - 12345),
-        autoq_amplitude::Algebraic::one()
+#[ignore = "exact-arithmetic heavy: run in release (--include-ignored)"]
+fn hunt_at_70_qubits_produces_and_confirms_a_witness() {
+    let n = 70u32;
+    let mut circuit = Circuit::new(n);
+    for q in 0..n - 1 {
+        circuit
+            .push(Gate::Cnot {
+                control: q,
+                target: q + 1,
+            })
+            .unwrap();
+    }
+    for q in (0..n).step_by(7) {
+        circuit.push(Gate::X(q)).unwrap();
+    }
+    let buggy = autoq_circuit::mutation::insert_gate(&circuit, Gate::X(65), 40);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(70);
+    let report = BugHunter::new(Engine::hybrid()).hunt(&circuit, &buggy, &mut rng);
+    assert!(report.bug_found, "the injected X must be found");
+    let witness = report.witness.as_ref().expect("witness tree");
+    assert_eq!(witness.num_qubits(), n);
+    assert!(
+        witness.node_count() <= 2 * n as usize + 1,
+        "witness must stay linear, got {} nodes",
+        witness.node_count()
     );
+    assert_eq!(witness.support_size(), 1);
+
+    let basis = report
+        .confirm_with_simulator(&circuit, &buggy)
+        .expect("witness must have a basis-state preimage");
+    assert_ne!(
+        SparseState::run(&circuit, basis),
+        SparseState::run(&buggy, basis)
+    );
+}
+
+/// `Tree::basis_state` and witness sizes stay linear right up to the
+/// 128-qubit `u128` index width — the old 64-qubit `u64` boundary (where
+/// `1u64 << 64` used to overflow) is now just another width.
+#[test]
+fn witness_representation_scales_to_128_qubits() {
+    for n in [64u32, 65, 70, 128] {
+        let basis = autoq_treeaut::basis::index_mask(n) - 12345;
+        let tree = Tree::basis_state(n, basis);
+        assert_eq!(tree.num_qubits(), n);
+        assert_eq!(tree.node_count(), 2 * n as usize + 1);
+        assert_eq!(tree.amplitude(basis), autoq_amplitude::Algebraic::one());
+    }
+}
+
+/// Direct witness extraction at the paper's 70-qubit `Random` width: the
+/// automata stack produces and re-checks counterexample trees past the old
+/// 64-qubit basis-index cap.
+#[test]
+fn equivalence_counterexamples_at_70_qubits() {
+    let n = 70u32;
+    let a = StateSet::basis_state(n, (1u128 << 69) | 0b1011);
+    let b = StateSet::basis_state(n, 0b1011);
+    let result = equivalence(a.automaton(), b.automaton());
+    assert!(!result.holds());
+    let witness = result.witness().expect("witness tree");
+    assert_eq!(witness.num_qubits(), n);
+    assert!(witness.node_count() <= 2 * n as usize + 1);
+    assert!(a.automaton().accepts(witness) != b.automaton().accepts(witness));
+    // The witness converts losslessly into the sparse simulator.
+    let state = SparseState::from_tree(witness);
+    assert_eq!(state.support_size(), 1);
+    assert_eq!(state.num_qubits(), n);
 }
