@@ -12,9 +12,12 @@
 //!   `Engine::apply_gate` for one permutation (CNOT) and one composition
 //!   (H) gate on a 12-qubit all-basis set;
 //! * **rows** — the two previously slow Table 3 rows: the `increment8`
-//!   AutoQ hunt and the `cycle10` path-sum check;
-//! * **paper** (with `--paper`) — the 35-qubit superposing `random35` hunt
-//!   (paper ratio: `3n` gates including `H`/`Rx`/`Ry`).
+//!   AutoQ hunt and the `cycle10` path-sum check — plus the 1-vs-N
+//!   thread sweep of the composition term evaluator (`sweep.threads.*`);
+//! * **paper** (with `--paper`) — the superposing `random35`/`random70`
+//!   hunts (paper ratio: `3n` gates including `H`/`Rx`/`Ry`) and the
+//!   permutation-pool `random70p` row, all through the fused composition
+//!   ladder.
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -121,6 +124,36 @@ fn main() {
         format!("{verdict:?}"),
     ));
 
+    // Thread-count sensitivity of the composition term evaluator (1 vs N
+    // scoped threads for independent formula terms): a short superposing
+    // circuit at 20 qubits, all composition-encoded — four deep fused
+    // ladders per run on a basis-state input (wide input sets like the
+    // all-basis automaton are the tagged encoding's exponential worst case
+    // and would benchmark the encoding, not the threads).  The default
+    // budget is `autoq_core::default_eval_threads()` (available parallelism
+    // capped at 8), recorded alongside so the entries stay interpretable on
+    // machines with different core counts.
+    let superposing_input = StateSet::basis_state(20, 0);
+    let superposing_circuit = autoq_circuit::Circuit::from_gates(
+        20,
+        [Gate::H(0), Gate::RyPi2(1), Gate::RxPi2(2), Gate::H(3)],
+    )
+    .expect("well-formed circuit");
+    for threads in [1usize, 4] {
+        let threaded = Engine::composition().with_eval_threads(threads);
+        record_secs(
+            &mut entries,
+            &format!("sweep.threads.{threads}"),
+            median_time(5, || {
+                let _ = threaded.apply_circuit(&superposing_input, &superposing_circuit);
+            }),
+        );
+    }
+    entries.push((
+        "sweep.threads.default".to_string(),
+        autoq_core::default_eval_threads().to_string(),
+    ));
+
     // Reduction-policy sweep over the Table 2 verification workloads — the
     // recorded evidence behind the `Engine::hybrid()` adaptive-reduction
     // default (revert the default if any row regresses here).
@@ -143,24 +176,30 @@ fn main() {
     }
 
     if paper {
-        // The 35-qubit superposing hunt (the reduction hot path's
-        // acceptance row; the 70-qubit rows run in the `table3 --paper`
-        // bin and the release tests, not here — this baseline stays fast).
-        let (name, circuit, superposing, seed) = paper_scale_workload()
+        // The superposing `Random` rows at both paper widths (35 and 70
+        // qubits) plus the permutation-pool 70-qubit row: the composition
+        // hot path's acceptance rows, recorded so the fused-ladder numbers
+        // are regenerated with the baseline on every CI run.
+        for (name, circuit, superposing, seed) in paper_scale_workload()
             .into_iter()
-            .nth(3)
-            .expect("random35 is the fourth paper-scale row");
-        assert_eq!(name, "random35");
-        let row = run_paper_scale_row(&name, &circuit, superposing, seed);
-        record_secs(&mut entries, "paper.random35_autoq_hunt", row.autoq_time);
-        entries.push((
-            "paper.random35_peak_states".to_string(),
-            row.peak_states.to_string(),
-        ));
-        entries.push((
-            "paper.random35_bug_found".to_string(),
-            row.autoq_found.to_string(),
-        ));
+            .filter(|(name, ..)| name.starts_with("random"))
+        {
+            let row = run_paper_scale_row(&name, &circuit, superposing, seed);
+            record_secs(
+                &mut entries,
+                &format!("paper.{name}_autoq_hunt"),
+                row.autoq_time,
+            );
+            entries.push((
+                format!("paper.{name}_peak_states"),
+                row.peak_states.to_string(),
+            ));
+            entries.push((
+                format!("paper.{name}_bug_found"),
+                row.autoq_found.to_string(),
+            ));
+            assert!(row.autoq_found, "{name}: bug must be found");
+        }
     }
 
     let mut json = String::from("{\n");

@@ -11,13 +11,163 @@
 //! The composition approach supports every gate of Table 1 — including the
 //! Hadamard and π/2 rotations, which the permutation-based approach of
 //! Section 5 cannot express — at the price of more expensive constructions.
+//!
+//! # The fused swap ladder
+//!
+//! Projecting qubit `t` of an `n`-qubit automaton runs `n − 1 − t` forward
+//! swap passes, one subtree copy, and `n − 1 − t` backward passes — up to
+//! `2(n − 1)` whole-automaton rebuilds for a single term at the paper's
+//! 70-qubit width.  [`project_with`] therefore drives the ladder through a
+//! fused pipeline ([`CompositionOptions`]):
+//!
+//! * the working automaton is kept *bucketed by variable layer*
+//!   (`LadderState`): a swap pass rewrites exactly two layers — the moving
+//!   qubit layer and the one it swaps past — so each pass costs O(active
+//!   layers) instead of O(automaton), with matching pairs found by hash
+//!   join on `(parent, symbol)` rather than a quadratic child scan, and no
+//!   per-pass [`TreeAutomaton::dedup_transitions`] (internal transitions
+//!   are deduped with an integer-key set as they are emitted; leaves are
+//!   never touched, skipping the bigint-cloning leaf dedup entirely);
+//! * `(symbol, left, right)` singleton states are interned per pass (a
+//!   whole-ladder interner was implemented and proven inert: each pass's
+//!   probe keys are disjoint from every entry an earlier pass could have
+//!   left behind — see `intern_pass_state`), and a gate's two projections
+//!   of the same qubit share one forward ladder through the evaluation
+//!   context;
+//! * between passes the intermediate automaton is *reduced in-ladder*
+//!   (tag-preservingly: tags live in the symbols, so states only merge when
+//!   their signatures agree on tags) whenever it grows past
+//!   `ladder_growth_factor ×` the size at the last reduction — the safety
+//!   valve bounding intermediate blowup.
+//!
+//! Independent terms of a `Combine` formula are evaluated on scoped threads
+//! ([`CompositionOptions::eval_threads`]); the unfused single-threaded
+//! ladder is retained as [`project_reference`] and cross-validated by the
+//! `composition_equivalence` property tests.
 
-use std::collections::HashMap;
+use std::borrow::Cow;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use autoq_amplitude::Algebraic;
-use autoq_treeaut::{InternalSymbol, StateId, Tag, TreeAutomaton};
+use autoq_treeaut::{
+    InternalSymbol, InternalTransition, LeafTransition, StateId, Tag, TreeAutomaton,
+};
 
 use crate::formula::{CombineSign, ScaleFactor, UpdateExpr};
+
+/// Tuning knobs of the composition-encoded gate pipeline (the fused swap
+/// ladder and the term evaluator).  The engine derives the effective options
+/// from its reduction policy via `Engine::composition_options`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompositionOptions {
+    /// In-ladder reduction: between swap passes, reduce the intermediate
+    /// automaton once its transition count exceeds this factor times the
+    /// count at the ladder entry (or at the previous in-ladder reduction).
+    /// `None` disables in-ladder reduction (the `ReductionPolicy::Never`
+    /// ablation setting).
+    pub ladder_growth_factor: Option<u32>,
+    /// Maximum number of OS threads used to evaluate independent
+    /// update-formula terms (`1` = fully sequential).  The default is
+    /// [`default_eval_threads`]; the `sweep.threads.*` entries of
+    /// `BENCH_reduction.json` record the measured 1-vs-N sensitivity.
+    pub eval_threads: usize,
+}
+
+impl Default for CompositionOptions {
+    fn default() -> Self {
+        CompositionOptions {
+            ladder_growth_factor: Some(2),
+            eval_threads: default_eval_threads(),
+        }
+    }
+}
+
+/// The default term-evaluation thread budget: the machine's available
+/// parallelism, capped at 8 — an update formula has at most a handful of
+/// independent projection-carrying terms, so more threads cannot be used.
+pub fn default_eval_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
+}
+
+/// Peak automaton sizes observed inside one composition-encoded gate
+/// (swap ladders and binary combinations included); merged into the
+/// engine's `ApplyStats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FormulaPeak {
+    /// Largest *live* state count (binary-operation products and
+    /// post-reduction ladder snapshots — mid-pass allocation counts would
+    /// also include states the next trim drops).
+    pub states: usize,
+    /// Largest transition count anywhere, including between swap passes.
+    pub transitions: usize,
+}
+
+/// Shared state of one formula evaluation: the options, the spare-thread
+/// budget, the peak-size watermarks (all threads update them, so the
+/// engine's `ApplyStats` stays honest about in-ladder peaks), and the
+/// per-qubit forward-ladder cache shared by a gate's two projections.
+struct EvalCtx<'a> {
+    opts: &'a CompositionOptions,
+    spare_threads: &'a AtomicUsize,
+    peak_states: &'a AtomicUsize,
+    peak_transitions: &'a AtomicUsize,
+    /// `T_{x_t}` and `T_{x̄_t}` of the same formula run the same forward
+    /// ladder and differ only in the subtree copy and the way back, so the
+    /// forward-laddered automaton is computed once per qubit and shared.
+    forward_cache: &'a Mutex<HashMap<u32, Arc<LadderState>>>,
+}
+
+impl EvalCtx<'_> {
+    fn observe_states(&self, states: usize) {
+        self.peak_states.fetch_max(states, Ordering::Relaxed);
+    }
+
+    fn observe_transitions(&self, transitions: usize) {
+        self.peak_transitions
+            .fetch_max(transitions, Ordering::Relaxed);
+    }
+}
+
+/// Owning storage behind an [`EvalCtx`]: one per top-level evaluation
+/// entry point, borrowed by every term (and every scoped thread) below it.
+struct EvalScope {
+    spare_threads: AtomicUsize,
+    peak_states: AtomicUsize,
+    peak_transitions: AtomicUsize,
+    forward_cache: Mutex<HashMap<u32, Arc<LadderState>>>,
+}
+
+impl EvalScope {
+    fn new(opts: &CompositionOptions) -> Self {
+        EvalScope {
+            spare_threads: AtomicUsize::new(opts.eval_threads.saturating_sub(1)),
+            peak_states: AtomicUsize::new(0),
+            peak_transitions: AtomicUsize::new(0),
+            forward_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn ctx<'a>(&'a self, opts: &'a CompositionOptions) -> EvalCtx<'a> {
+        EvalCtx {
+            opts,
+            spare_threads: &self.spare_threads,
+            peak_states: &self.peak_states,
+            peak_transitions: &self.peak_transitions,
+            forward_cache: &self.forward_cache,
+        }
+    }
+
+    fn peak(&self) -> FormulaPeak {
+        FormulaPeak {
+            states: self.peak_states.load(Ordering::Relaxed),
+            transitions: self.peak_transitions.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// Applies a gate's update formula to an (untagged) automaton and returns the
 /// untagged result (not yet reduced).
@@ -34,32 +184,124 @@ pub fn apply_formula(automaton: &TreeAutomaton, formula: &UpdateExpr) -> TreeAut
 /// automaton so composition gates tag and untag without an extra
 /// whole-automaton copy per gate.
 pub fn apply_formula_in_place(automaton: &mut TreeAutomaton, formula: &UpdateExpr) {
+    apply_formula_in_place_with(automaton, formula, &CompositionOptions::default());
+}
+
+/// Like [`apply_formula_in_place`] but with explicit [`CompositionOptions`];
+/// returns the peak automaton sizes observed anywhere inside the gate
+/// (swap ladders and binary combinations included), which the engine merges
+/// into its `ApplyStats`.
+pub fn apply_formula_in_place_with(
+    automaton: &mut TreeAutomaton,
+    formula: &UpdateExpr,
+    opts: &CompositionOptions,
+) -> FormulaPeak {
     tag_in_place(automaton);
-    let mut result = evaluate(formula, automaton);
+    // Warm the adjacency index once before helper threads could race to
+    // build their own copies of it.
+    let _ = automaton.index();
+    let scope = EvalScope::new(opts);
+    let mut result = evaluate_term(formula, automaton, &scope.ctx(opts)).into_owned();
     result.untag_in_place();
     *automaton = result;
+    scope.peak()
+}
+
+/// Evaluates an update-formula term over a tagged source automaton with the
+/// default [`CompositionOptions`].
+pub fn evaluate(expr: &UpdateExpr, tagged_source: &TreeAutomaton) -> TreeAutomaton {
+    evaluate_with(expr, tagged_source, &CompositionOptions::default())
 }
 
 /// Evaluates an update-formula term over a tagged source automaton.
-pub fn evaluate(expr: &UpdateExpr, tagged_source: &TreeAutomaton) -> TreeAutomaton {
+pub fn evaluate_with(
+    expr: &UpdateExpr,
+    tagged_source: &TreeAutomaton,
+    opts: &CompositionOptions,
+) -> TreeAutomaton {
+    let scope = EvalScope::new(opts);
+    evaluate_term(expr, tagged_source, &scope.ctx(opts)).into_owned()
+}
+
+/// Evaluates one term, borrowing the source automaton for `Source` leaves so
+/// `Combine` feeds [`binary_op`] borrowed operands end to end — no
+/// whole-automaton clone for the `T` operand of e.g. the `H` and `Rx(π/2)`
+/// formulae.
+fn evaluate_term<'a>(
+    expr: &UpdateExpr,
+    tagged_source: &'a TreeAutomaton,
+    ctx: &EvalCtx<'_>,
+) -> Cow<'a, TreeAutomaton> {
     match expr {
-        UpdateExpr::Source => tagged_source.clone(),
-        UpdateExpr::Proj { qubit, bit } => project(tagged_source, *qubit, *bit),
+        UpdateExpr::Source => Cow::Borrowed(tagged_source),
+        UpdateExpr::Proj { qubit, bit } => {
+            Cow::Owned(project_in_ctx(tagged_source, *qubit, *bit, ctx))
+        }
         UpdateExpr::Restrict { qubit, bit, inner } => {
-            let mut automaton = evaluate(inner, tagged_source);
+            let mut automaton = evaluate_term(inner, tagged_source, ctx).into_owned();
             restrict_in_place(&mut automaton, *qubit, *bit);
-            automaton
+            Cow::Owned(automaton)
         }
         UpdateExpr::Scale { factor, inner } => {
-            let mut automaton = evaluate(inner, tagged_source);
+            let mut automaton = evaluate_term(inner, tagged_source, ctx).into_owned();
             multiply_in_place(&mut automaton, *factor);
-            automaton
+            Cow::Owned(automaton)
         }
-        UpdateExpr::Combine { sign, lhs, rhs } => binary_op(
-            &evaluate(lhs, tagged_source),
-            &evaluate(rhs, tagged_source),
-            *sign,
-        ),
+        UpdateExpr::Combine { sign, lhs, rhs } => {
+            let (a, b) = evaluate_pair(lhs, rhs, tagged_source, ctx);
+            let combined = binary_op(&a, &b, *sign);
+            ctx.observe_states(combined.state_count());
+            ctx.observe_transitions(combined.transition_count());
+            Cow::Owned(combined)
+        }
+    }
+}
+
+/// Evaluates the two operands of a `Combine`, on two scoped threads when
+/// both carry real ladder work and the thread budget has a spare slot.
+fn evaluate_pair<'a>(
+    lhs: &UpdateExpr,
+    rhs: &UpdateExpr,
+    tagged_source: &'a TreeAutomaton,
+    ctx: &EvalCtx<'_>,
+) -> (Cow<'a, TreeAutomaton>, Cow<'a, TreeAutomaton>) {
+    let parallel = has_ladder_work(lhs)
+        && has_ladder_work(rhs)
+        && ctx
+            .spare_threads
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |spare| {
+                spare.checked_sub(1)
+            })
+            .is_ok();
+    if !parallel {
+        return (
+            evaluate_term(lhs, tagged_source, ctx),
+            evaluate_term(rhs, tagged_source, ctx),
+        );
+    }
+    let pair = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| evaluate_term(lhs, tagged_source, ctx));
+        let b = evaluate_term(rhs, tagged_source, ctx);
+        let a = match handle.join() {
+            Ok(a) => a,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+        (a, b)
+    });
+    ctx.spare_threads.fetch_add(1, Ordering::Relaxed);
+    pair
+}
+
+/// `true` if the term contains a projection (the only operation expensive
+/// enough to be worth a thread: restriction/scaling are single passes).
+fn has_ladder_work(expr: &UpdateExpr) -> bool {
+    match expr {
+        UpdateExpr::Source => false,
+        UpdateExpr::Proj { .. } => true,
+        UpdateExpr::Restrict { inner, .. } | UpdateExpr::Scale { inner, .. } => {
+            has_ladder_work(inner)
+        }
+        UpdateExpr::Combine { lhs, rhs, .. } => has_ladder_work(lhs) || has_ladder_work(rhs),
     }
 }
 
@@ -93,18 +335,118 @@ pub fn restrict(automaton: &TreeAutomaton, qubit: u32, bit: bool) -> TreeAutomat
 }
 
 /// In-place variant of [`restrict`].
+///
+/// Only the states actually reachable from the redirected children are
+/// imported as the primed zeroed copy (structure and tags identical on that
+/// region), and all zeroed *leaf* states collapse into one — the old
+/// whole-automaton import left the unreachable majority of the copy behind
+/// as dead weight that every later pass still iterated.
 pub fn restrict_in_place(automaton: &mut TreeAutomaton, qubit: u32, bit: bool) {
-    // Primed copy with all leaves zeroed; structure (and tags) identical.
-    let zeroed = automaton.map_leaves(|_| Algebraic::zero());
+    // The children that will be redirected into the zeroed copy.  When no
+    // transition branches on `qubit` the restriction is the identity; skip
+    // the import (and the index invalidation it would force) entirely.
+    let seeds: Vec<StateId> = automaton
+        .internal
+        .iter()
+        .filter(|t| t.symbol.var == qubit)
+        .map(|t| if bit { t.left } else { t.right })
+        .collect();
+    if seeds.is_empty() {
+        return;
+    }
+    let index = automaton.index();
+    let n = automaton.num_states as usize;
+    // Downward closure of the seeds: the only part of the zeroed copy the
+    // redirected transitions can reach.
+    let mut needed = vec![false; n];
+    let mut worklist: Vec<StateId> = Vec::new();
+    for seed in seeds {
+        if !needed[seed.index()] {
+            needed[seed.index()] = true;
+            worklist.push(seed);
+        }
+    }
+    while let Some(state) = worklist.pop() {
+        for &position in index.internal_of(state) {
+            let t = &automaton.internal[position as usize];
+            for child in [t.left, t.right] {
+                if !needed[child.index()] {
+                    needed[child.index()] = true;
+                    worklist.push(child);
+                }
+            }
+        }
+    }
+    // Allocate the zeroed region: leaf-only states all carry the same
+    // zeroed value, so they share a single state; states with internal
+    // transitions (and dead states, which must stay dead) map individually.
+    let mut mapping: Vec<Option<StateId>> = vec![None; n];
+    let mut next_state = automaton.num_states;
+    let mut zero_state: Option<StateId> = None;
+    for q in 0..n {
+        if !needed[q] {
+            continue;
+        }
+        let state = StateId::new(q as u32);
+        let leaf_only = index.internal_of(state).is_empty() && !index.leaves_of(state).is_empty();
+        if leaf_only {
+            if zero_state.is_none() {
+                zero_state = Some(StateId::new(next_state));
+                next_state += 1;
+            }
+            mapping[q] = zero_state;
+        } else {
+            mapping[q] = Some(StateId::new(next_state));
+            next_state += 1;
+        }
+    }
+    // Emit the zeroed region's transitions.
+    let mut new_internal: Vec<InternalTransition> = Vec::new();
+    let mut new_leaves: Vec<LeafTransition> = Vec::new();
+    if let Some(zero) = zero_state {
+        new_leaves.push(LeafTransition {
+            parent: zero,
+            value: Algebraic::zero(),
+        });
+    }
+    for q in 0..n {
+        if !needed[q] {
+            continue;
+        }
+        let state = StateId::new(q as u32);
+        let mapped = mapping[q].expect("needed states are mapped");
+        for &position in index.internal_of(state) {
+            let t = &automaton.internal[position as usize];
+            new_internal.push(InternalTransition {
+                parent: mapped,
+                symbol: t.symbol,
+                left: mapping[t.left.index()].expect("children of needed states are needed"),
+                right: mapping[t.right.index()].expect("children of needed states are needed"),
+            });
+        }
+        // A state with internal transitions *and* a leaf keeps a zeroed
+        // leaf of its own (leaf-only states were collapsed above).
+        if Some(mapped) != zero_state && !index.leaves_of(state).is_empty() {
+            new_leaves.push(LeafTransition {
+                parent: mapped,
+                value: Algebraic::zero(),
+            });
+        }
+    }
+    // Splice the region in and redirect the restricted branch.
     let original_count = automaton.internal.len();
-    let offset = automaton.import_disjoint(&zeroed);
+    automaton.num_states = next_state;
+    automaton.internal.extend(new_internal);
+    automaton.leaves.extend(new_leaves);
     for transition in automaton.internal.iter_mut().take(original_count) {
         if transition.symbol.var == qubit {
             if bit {
                 // keep x_t = 1, zero the left (x_t = 0) subtree
-                transition.left = transition.left.offset(offset);
+                transition.left =
+                    mapping[transition.left.index()].expect("redirected child is a seed");
             } else {
-                transition.right = transition.right.offset(offset);
+                transition.right =
+                    mapping[transition.right.index()].expect("redirected child is a seed");
             }
         }
     }
@@ -128,11 +470,117 @@ pub fn multiply_in_place(automaton: &mut TreeAutomaton, factor: ScaleFactor) {
     });
 }
 
-/// The projection operation (Eq. (13)): `T_{x_t}` (`bit = true`) replaces
-/// both subtrees of every `x_t` node by its `1`-subtree; `T_{x̄_t}` is
-/// symmetric.  For qubits above the leaf layer the variable is first moved
-/// to the bottom with forward swaps, copied there, and moved back.
+/// The projection operation (Eq. (13)) with the default
+/// [`CompositionOptions`]: `T_{x_t}` (`bit = true`) replaces both subtrees
+/// of every `x_t` node by its `1`-subtree; `T_{x̄_t}` is symmetric.  For
+/// qubits above the leaf layer the variable is first moved to the bottom
+/// with forward swaps, copied there, and moved back.
 pub fn project(automaton: &TreeAutomaton, qubit: u32, bit: bool) -> TreeAutomaton {
+    project_with(automaton, qubit, bit, &CompositionOptions::default())
+}
+
+/// [`project`] through the fused swap ladder: indexed swap passes with
+/// ladder-wide state interning and in-ladder reduction (see the module
+/// docs).  Cross-validated against [`project_reference`] by the
+/// `composition_equivalence` property tests.
+pub fn project_with(
+    automaton: &TreeAutomaton,
+    qubit: u32,
+    bit: bool,
+    opts: &CompositionOptions,
+) -> TreeAutomaton {
+    let scope = EvalScope::new(opts);
+    project_in_ctx(automaton, qubit, bit, &scope.ctx(opts))
+}
+
+fn project_in_ctx(
+    automaton: &TreeAutomaton,
+    qubit: u32,
+    bit: bool,
+    ctx: &EvalCtx<'_>,
+) -> TreeAutomaton {
+    let bottom = automaton.num_vars - 1;
+    if qubit == bottom {
+        let mut result = automaton.clone();
+        subtree_copy_in_place(&mut result, qubit, bit);
+        return result;
+    }
+    let swaps = bottom - qubit;
+    // Both projections of the same formula (`T_{x_t}` and `T_{x̄_t}`) run
+    // an identical forward ladder — compute it once per qubit and share.
+    // The lock is held across the computation on purpose: a second thread
+    // asking for the same qubit should wait for the shared result, not
+    // redo the ladder.
+    let forward = {
+        let mut cache = ctx.forward_cache.lock().unwrap_or_else(|e| e.into_inner());
+        match cache.get(&qubit) {
+            Some(shared) => Arc::clone(shared),
+            None => {
+                let computed = Arc::new(forward_ladder(automaton, qubit, swaps, ctx));
+                cache.insert(qubit, Arc::clone(&computed));
+                computed
+            }
+        }
+    };
+    let mut state = LadderState::clone(&forward);
+    state.subtree_copy(qubit, bit);
+    let mut ladder = Ladder::new(ctx.opts, state.transition_count());
+    // Backward pass `k` restores the displaced layer sitting directly
+    // above the qubit's current position: variable `bottom`, then
+    // `bottom − 1`, …, down to `qubit + 1`.
+    for k in 1..=swaps {
+        if ladder.maybe_reduce(&mut state) {
+            ctx.observe_states(state.num_states as usize);
+        }
+        ladder.backward_pass(&mut state, qubit, bottom - k + 1);
+        ctx.observe_transitions(state.transition_count());
+    }
+    // One final check so the binary combination downstream works on a
+    // reduced operand rather than the last pass's raw output.  The states
+    // watermark is only recorded at post-reduction snapshots, where the
+    // allocation count is the *live* count — between passes it also
+    // includes states the swaps orphaned (the next trim drops them), which
+    // would overstate the peak the states column reports.
+    if ladder.maybe_reduce(&mut state) {
+        ctx.observe_states(state.num_states as usize);
+    }
+    state.into_automaton()
+}
+
+/// Runs the complete forward half of a projection ladder (shared between
+/// the two projections of one formula via the evaluation context's cache).
+fn forward_ladder(
+    automaton: &TreeAutomaton,
+    qubit: u32,
+    swaps: u32,
+    ctx: &EvalCtx<'_>,
+) -> LadderState {
+    let mut state = LadderState::from_automaton(automaton);
+    let mut ladder = Ladder::new(ctx.opts, state.transition_count());
+    // Forward pass `k` swaps the qubit layer below the layer at variable
+    // `qubit + k`.
+    for k in 1..=swaps {
+        if k > 1 && ladder.maybe_reduce(&mut state) {
+            ctx.observe_states(state.num_states as usize);
+        }
+        ladder.forward_pass(&mut state, qubit, qubit + k);
+        ctx.observe_transitions(state.transition_count());
+    }
+    // Reduce the shared result once if it outgrew the ladder, instead of
+    // letting both consumers clone the raw output.
+    if ladder.maybe_reduce(&mut state) {
+        ctx.observe_states(state.num_states as usize);
+    }
+    state
+}
+
+/// Reference implementation of [`project`]: the unfused ladder of
+/// per-pass-deduped [`forward_swap`]/[`backward_swap`] rebuilds, with no
+/// in-ladder reduction and no cross-pass interning.  Retained as the oracle
+/// the property tests compare the fused pipeline against; not used on the
+/// hot path.
+#[doc(hidden)]
+pub fn project_reference(automaton: &TreeAutomaton, qubit: u32, bit: bool) -> TreeAutomaton {
     let bottom = automaton.num_vars - 1;
     if qubit == bottom {
         let mut result = automaton.clone();
@@ -175,9 +623,369 @@ pub fn subtree_copy_in_place(automaton: &mut TreeAutomaton, qubit: u32, bit: boo
     automaton.invalidate_index();
 }
 
+/// Per-pass singleton-state interner: maps a `(symbol, left, right)` key
+/// to a state whose *only* outgoing transition is `symbol(left, right)`,
+/// allocating a fresh state (and queueing its defining transition) on a
+/// miss.
+///
+/// One interner lives exactly as long as one swap pass.  A whole-ladder
+/// interner was implemented and proven inert for this pass structure:
+/// every forward-pass probe uses the moving qubit's variable, and each
+/// surviving entry with that variable is the parent of a qubit-layer
+/// transition the next pass rewrites (so it would have to be invalidated
+/// anyway); every backward-pass probe uses the restored layer's variable,
+/// which strictly decreases across the ladder and never matches an
+/// earlier pass's insertions.  Per-pass interning is therefore
+/// behaviourally identical and carries no invalidation machinery.
+fn intern_pass_state(
+    interned: &mut HashMap<(InternalSymbol, StateId, StateId), StateId>,
+    next_state: &mut u32,
+    symbol: InternalSymbol,
+    left: StateId,
+    right: StateId,
+    new_transitions: &mut Vec<InternalTransition>,
+) -> StateId {
+    let key = (symbol, left, right);
+    if let Some(&state) = interned.get(&key) {
+        return state;
+    }
+    let state = StateId::new(*next_state);
+    *next_state += 1;
+    interned.insert(key, state);
+    new_transitions.push(InternalTransition {
+        parent: state,
+        symbol,
+        left,
+        right,
+    });
+    state
+}
+
+/// The working automaton of one projection ladder, bucketed by variable.
+///
+/// A swap pass only rewrites two layers — the moving qubit layer and the
+/// fixed layer it swaps past — while every other layer is carried verbatim.
+/// Keeping the transitions bucketed by `symbol.var` turns each pass from
+/// O(whole automaton) into O(active layers): untouched buckets are never
+/// scanned, hashed or copied.  Every automaton in the pipeline is layered
+/// by construction (full binary trees of uniform height), which is what
+/// makes the bucketing lossless.
+#[derive(Clone)]
+struct LadderState {
+    num_vars: u32,
+    num_states: u32,
+    roots: std::collections::BTreeSet<StateId>,
+    /// Internal transitions, bucketed by `symbol.var`.
+    layers: Vec<Vec<InternalTransition>>,
+    /// Leaf transitions; swap passes never touch them.
+    leaves: Vec<LeafTransition>,
+}
+
+impl LadderState {
+    fn from_automaton(automaton: &TreeAutomaton) -> Self {
+        let mut layers = vec![Vec::new(); automaton.num_vars as usize];
+        for t in &automaton.internal {
+            layers[t.symbol.var as usize].push(t.clone());
+        }
+        LadderState {
+            num_vars: automaton.num_vars,
+            num_states: automaton.num_states,
+            roots: automaton.roots.clone(),
+            layers,
+            leaves: automaton.leaves.clone(),
+        }
+    }
+
+    fn into_automaton(self) -> TreeAutomaton {
+        let mut result = TreeAutomaton::new(self.num_vars);
+        result.num_states = self.num_states;
+        result.roots = self.roots;
+        result.leaves = self.leaves;
+        result.internal = self.layers.into_iter().flatten().collect();
+        result
+    }
+
+    fn transition_count(&self) -> usize {
+        self.layers.iter().map(Vec::len).sum::<usize>() + self.leaves.len()
+    }
+
+    /// [`subtree_copy_in_place`] on the bucketed representation: only the
+    /// qubit layer is visited.
+    fn subtree_copy(&mut self, qubit: u32, bit: bool) {
+        for transition in &mut self.layers[qubit as usize] {
+            let copied = if bit {
+                transition.right
+            } else {
+                transition.left
+            };
+            transition.left = copied;
+            transition.right = copied;
+        }
+    }
+}
+
+/// One projection's fused swap ladder: the in-ladder reduction policy and
+/// its growth baseline.
+struct Ladder<'o> {
+    opts: &'o CompositionOptions,
+    /// Transition count at the ladder entry, updated to the reduced count
+    /// after every in-ladder reduction.
+    baseline: usize,
+}
+
+impl<'o> Ladder<'o> {
+    fn new(opts: &'o CompositionOptions, entry_transitions: usize) -> Self {
+        Ladder {
+            opts,
+            baseline: entry_transitions.max(1),
+        }
+    }
+
+    /// Reduces the working automaton (trim + tag-preserving successor
+    /// merging — tags live in the symbols, so states only merge when their
+    /// signatures agree on tags) if it outgrew the configured factor over
+    /// the baseline.  Returns `true` when a reduction actually ran, so
+    /// callers can record the post-reduction live size.
+    fn maybe_reduce(&mut self, state: &mut LadderState) -> bool {
+        let Some(factor) = self.opts.ladder_growth_factor else {
+            return false;
+        };
+        if state.transition_count() <= (factor as usize).max(1) * self.baseline {
+            return false;
+        }
+        let placeholder = LadderState {
+            num_vars: 0,
+            num_states: 0,
+            roots: std::collections::BTreeSet::new(),
+            layers: Vec::new(),
+            leaves: Vec::new(),
+        };
+        let flat = std::mem::replace(state, placeholder).into_automaton();
+        let reduced = flat.reduce();
+        *state = LadderState::from_automaton(&reduced);
+        self.baseline = state.transition_count().max(1);
+        true
+    }
+
+    /// One forward variable-order swap pass (Algorithm 7): pushes the
+    /// `x_qubit` layer below the `child_var` layer, remembering the
+    /// displaced layer's tags in a [`Tag::Pair`].  Touches exactly the two
+    /// active buckets.
+    fn forward_pass(&mut self, state: &mut LadderState, qubit: u32, child_var: u32) {
+        let uppers = std::mem::take(&mut state.layers[qubit as usize]);
+        let children = std::mem::take(&mut state.layers[child_var as usize]);
+        let mut interned: HashMap<(InternalSymbol, StateId, StateId), StateId> = HashMap::new();
+
+        // Child adjacency within the active child layer.
+        let mut by_parent: HashMap<StateId, Vec<u32>> = HashMap::with_capacity(children.len());
+        for (position, t) in children.iter().enumerate() {
+            by_parent.entry(t.parent).or_default().push(position as u32);
+        }
+
+        let mut removed_child = vec![false; children.len()];
+        let mut new_qubit: Vec<InternalTransition> = Vec::new();
+        let mut new_pairs: Vec<InternalTransition> = Vec::new();
+        let mut kept_uppers: Vec<InternalTransition> = Vec::new();
+
+        for upper in uppers {
+            let (Some(left_children), Some(right_children)) =
+                (by_parent.get(&upper.left), by_parent.get(&upper.right))
+            else {
+                kept_uppers.push(upper);
+                continue;
+            };
+            for &li in left_children {
+                for &ri in right_children {
+                    let left_t = &children[li as usize];
+                    let right_t = &children[ri as usize];
+                    removed_child[li as usize] = true;
+                    removed_child[ri as usize] = true;
+                    let tag_left = single_tag(left_t.symbol.tag);
+                    let tag_right = single_tag(right_t.symbol.tag);
+                    let new_upper_symbol = InternalSymbol::new(left_t.symbol.var)
+                        .with_tag(Tag::Pair(tag_left, tag_right));
+                    // q'_0 generates x_t^h(q00, q10); q'_1 generates
+                    // x_t^h(q01, q11).
+                    let lower_symbol = upper.symbol;
+                    let q0 = intern_pass_state(
+                        &mut interned,
+                        &mut state.num_states,
+                        lower_symbol,
+                        left_t.left,
+                        right_t.left,
+                        &mut new_qubit,
+                    );
+                    let q1 = intern_pass_state(
+                        &mut interned,
+                        &mut state.num_states,
+                        lower_symbol,
+                        left_t.right,
+                        right_t.right,
+                        &mut new_qubit,
+                    );
+                    new_pairs.push(InternalTransition {
+                        parent: upper.parent,
+                        symbol: new_upper_symbol,
+                        left: q0,
+                        right: q1,
+                    });
+                }
+            }
+        }
+
+        assemble_layer(
+            &mut state.layers[qubit as usize],
+            kept_uppers,
+            None,
+            new_qubit,
+        );
+        assemble_layer(
+            &mut state.layers[child_var as usize],
+            children,
+            Some(&removed_child),
+            new_pairs,
+        );
+    }
+
+    /// One backward variable-order swap pass (Algorithm 8): restores the
+    /// displaced `upper_var` layer (remembered in [`Tag::Pair`] tags)
+    /// sitting directly above the qubit\u2019s current position.
+    fn backward_pass(&mut self, state: &mut LadderState, qubit: u32, upper_var: u32) {
+        let uppers = std::mem::take(&mut state.layers[upper_var as usize]);
+        let children = std::mem::take(&mut state.layers[qubit as usize]);
+        let mut interned: HashMap<(InternalSymbol, StateId, StateId), StateId> = HashMap::new();
+
+        // A matching pair needs the left and right child transitions to
+        // carry the *same* tagged symbol, so pairs are found by hash join
+        // on (parent, symbol) instead of a quadratic |left| × |right| scan.
+        let mut by_parent: HashMap<StateId, Vec<u32>> = HashMap::with_capacity(children.len());
+        let mut by_parent_symbol: HashMap<(StateId, InternalSymbol), Vec<u32>> =
+            HashMap::with_capacity(children.len());
+        for (position, t) in children.iter().enumerate() {
+            by_parent.entry(t.parent).or_default().push(position as u32);
+            by_parent_symbol
+                .entry((t.parent, t.symbol))
+                .or_default()
+                .push(position as u32);
+        }
+
+        let mut removed_child = vec![false; children.len()];
+        let mut new_restored: Vec<InternalTransition> = Vec::new();
+        let mut new_lower: Vec<InternalTransition> = Vec::new();
+        let mut kept_uppers: Vec<InternalTransition> = Vec::new();
+
+        for upper in uppers {
+            // Only rewrite the Pair-tagged transitions; restored (Single)
+            // transitions of this variable are carried.
+            let (tag_left, tag_right) = match upper.symbol.tag {
+                Tag::Pair(i, j) => (i, j),
+                _ => {
+                    kept_uppers.push(upper);
+                    continue;
+                }
+            };
+            let mut handled = false;
+            if let Some(left_children) = by_parent.get(&upper.left) {
+                for &li in left_children {
+                    let left_t = &children[li as usize];
+                    let Some(right_matches) = by_parent_symbol.get(&(upper.right, left_t.symbol))
+                    else {
+                        continue;
+                    };
+                    for &ri in right_matches {
+                        let left_t = &children[li as usize];
+                        let right_t = &children[ri as usize];
+                        handled = true;
+                        removed_child[li as usize] = true;
+                        removed_child[ri as usize] = true;
+                        let restored_left_symbol =
+                            InternalSymbol::new(upper.symbol.var).with_tag(Tag::Single(tag_left));
+                        let restored_right_symbol =
+                            InternalSymbol::new(upper.symbol.var).with_tag(Tag::Single(tag_right));
+                        let lower_symbol = left_t.symbol;
+                        // q''_0 generates x_l^i(q00, q01); q''_1 generates
+                        // x_l^j(q10, q11).
+                        let q0 = intern_pass_state(
+                            &mut interned,
+                            &mut state.num_states,
+                            restored_left_symbol,
+                            left_t.left,
+                            right_t.left,
+                            &mut new_restored,
+                        );
+                        let q1 = intern_pass_state(
+                            &mut interned,
+                            &mut state.num_states,
+                            restored_right_symbol,
+                            left_t.right,
+                            right_t.right,
+                            &mut new_restored,
+                        );
+                        new_lower.push(InternalTransition {
+                            parent: upper.parent,
+                            symbol: lower_symbol,
+                            left: q0,
+                            right: q1,
+                        });
+                    }
+                }
+            }
+            if !handled {
+                kept_uppers.push(upper);
+            }
+        }
+
+        assemble_layer(
+            &mut state.layers[upper_var as usize],
+            kept_uppers,
+            None,
+            new_restored,
+        );
+        assemble_layer(
+            &mut state.layers[qubit as usize],
+            children,
+            Some(&removed_child),
+            new_lower,
+        );
+    }
+}
+
+/// Rebuilds one active layer bucket from its carried transitions (minus the
+/// removed ones) plus the pass's new transitions, deduped with an
+/// integer-key set as they are emitted.  Untouched buckets are never
+/// rebuilt, and leaves are never visited — the bigint-cloning leaf dedup of
+/// [`TreeAutomaton::dedup_transitions`] is skipped entirely.
+fn assemble_layer(
+    bucket: &mut Vec<InternalTransition>,
+    carried: Vec<InternalTransition>,
+    removed: Option<&[bool]>,
+    new_transitions: Vec<InternalTransition>,
+) {
+    let mut seen: HashSet<(StateId, InternalSymbol, StateId, StateId)> =
+        HashSet::with_capacity(carried.len() + new_transitions.len());
+    bucket.reserve(carried.len() + new_transitions.len());
+    for (position, t) in carried.into_iter().enumerate() {
+        if removed.is_some_and(|flags| flags[position]) {
+            continue;
+        }
+        if seen.insert((t.parent, t.symbol, t.left, t.right)) {
+            bucket.push(t);
+        }
+    }
+    for t in new_transitions {
+        if seen.insert((t.parent, t.symbol, t.left, t.right)) {
+            bucket.push(t);
+        }
+    }
+}
+
 /// The forward variable-order swapping procedure (Algorithm 7): pushes the
 /// `x_t` layer one level down, remembering the tags of the displaced layer
 /// in a [`Tag::Pair`] so that [`backward_swap`] can restore them.
+///
+/// This is the *reference* single-pass implementation ([`project_reference`]
+/// chains it); the hot path runs the fused equivalent inside
+/// [`project_with`].
 pub fn forward_swap(automaton: &TreeAutomaton, qubit: u32) -> TreeAutomaton {
     let mut result = TreeAutomaton::new(automaton.num_vars);
     result.num_states = automaton.num_states;
@@ -255,6 +1063,8 @@ pub fn forward_swap(automaton: &TreeAutomaton, qubit: u32) -> TreeAutomaton {
 
 /// The backward variable-order swapping procedure (Algorithm 8): restores a
 /// layer displaced by [`forward_swap`], using the remembered tag pair.
+///
+/// Reference implementation, like [`forward_swap`].
 pub fn backward_swap(automaton: &TreeAutomaton, qubit: u32) -> TreeAutomaton {
     let mut result = TreeAutomaton::new(automaton.num_vars);
     result.num_states = automaton.num_states;
@@ -490,6 +1300,23 @@ mod tests {
     }
 
     #[test]
+    fn restriction_on_an_unmentioned_qubit_is_the_identity() {
+        // An automaton with no transition on qubit 1 (empty language after
+        // trimming): restriction must leave it untouched instead of
+        // importing a zeroed copy.
+        let mut automaton = TreeAutomaton::new(2);
+        let leaf = automaton.leaf_state(&Algebraic::one());
+        let root = automaton.add_state();
+        automaton.add_root(root);
+        automaton.add_internal(root, InternalSymbol::new(0), leaf, leaf);
+        let states_before = automaton.state_count();
+        let transitions_before = automaton.transition_count();
+        restrict_in_place(&mut automaton, 1, true);
+        assert_eq!(automaton.state_count(), states_before);
+        assert_eq!(automaton.transition_count(), transitions_before);
+    }
+
+    #[test]
     fn multiplication_rewrites_leaves() {
         let tree = Tree::basis_state(1, 1);
         let tagged = tag(&singleton(&tree));
@@ -538,6 +1365,32 @@ mod tests {
         let states = state_of(&projected);
         assert_eq!(states[0][&0b00], Algebraic::from_int(3));
         assert_eq!(states[0][&0b01], Algebraic::from_int(4));
+    }
+
+    #[test]
+    fn fused_projection_matches_the_reference_ladder() {
+        // Multi-tree tagged automaton, every qubit/bit at 3 qubits, with the
+        // in-ladder reduction forced on every pass (growth factor 1).
+        let trees = vec![
+            Tree::from_fn(3, |b| Algebraic::from_int((b % 3) as i64)),
+            Tree::basis_state(3, 5),
+            Tree::basis_state(3, 2),
+        ];
+        let tagged = tag(&TreeAutomaton::from_trees(3, &trees));
+        let opts = CompositionOptions {
+            ladder_growth_factor: Some(1),
+            eval_threads: 1,
+        };
+        for qubit in 0..3 {
+            for bit in [false, true] {
+                let fused = project_with(&tagged, qubit, bit, &opts);
+                let reference = project_reference(&tagged, qubit, bit);
+                assert!(
+                    equivalence(&fused, &reference).holds(),
+                    "fused projection diverged at qubit {qubit}, bit {bit}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -606,6 +1459,36 @@ mod tests {
         assert_eq!(states.len(), 1);
         assert_eq!(states[0][&0], Algebraic::one_over_sqrt2());
         assert_eq!(states[0][&1], Algebraic::one_over_sqrt2());
+    }
+
+    #[test]
+    fn parallel_and_sequential_evaluation_agree() {
+        // The same H application with a 1-thread and a 4-thread budget must
+        // produce identical automata (term evaluation is deterministic; the
+        // threads only change *where* terms are computed).
+        let formula = update_formula(&Gate::H(0)).unwrap();
+        let automaton = TreeAutomaton::from_trees(
+            3,
+            &[Tree::basis_state(3, 0b000), Tree::basis_state(3, 0b101)],
+        );
+        let mut sequential = automaton.clone();
+        let mut parallel = automaton.clone();
+        let seq_opts = CompositionOptions {
+            eval_threads: 1,
+            ..CompositionOptions::default()
+        };
+        let par_opts = CompositionOptions {
+            eval_threads: 4,
+            ..CompositionOptions::default()
+        };
+        let seq_peak = apply_formula_in_place_with(&mut sequential, &formula, &seq_opts);
+        let par_peak = apply_formula_in_place_with(&mut parallel, &formula, &par_opts);
+        assert_eq!(sequential, parallel);
+        assert_eq!(seq_peak, par_peak);
+        assert!(
+            seq_peak.states > 0 && seq_peak.transitions > 0,
+            "formula evaluation must observe a peak"
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@ use autoq_circuit::schedule::interference_schedule;
 use autoq_circuit::{Circuit, Gate};
 use autoq_treeaut::TreeAutomaton;
 
+use crate::composition::CompositionOptions;
 use crate::formula::update_formula;
 use crate::{composition, permutation, StateSet};
 
@@ -57,9 +58,14 @@ pub enum ReductionPolicy {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ApplyStats {
     /// Largest automaton state count observed after any primitive gate
-    /// (before the following reduction, so this is the true peak).
+    /// (before the following reduction) *or* inside a composition gate's
+    /// swap ladder — with in-ladder reduction the intermediate automata can
+    /// peak higher than any post-gate snapshot, so the ladder reports its
+    /// own watermark.
     pub peak_states: usize,
-    /// Largest automaton transition count observed after any primitive gate.
+    /// Largest automaton transition count observed after any primitive gate
+    /// *or* between the swap passes of a composition gate's ladder (the
+    /// same in-gate watermark as [`ApplyStats::peak_states`]).
     pub peak_transitions: usize,
     /// Number of reduction passes that actually ran.
     pub reductions: usize,
@@ -105,6 +111,9 @@ pub struct Engine {
     pub kind: EngineKind,
     /// When to reduce intermediate automata.
     pub reduction: ReductionPolicy,
+    /// Tuning of the composition-encoded pipeline (the fused swap ladder's
+    /// in-ladder reduction factor and the term-evaluation thread budget).
+    pub composition: CompositionOptions,
 }
 
 impl Engine {
@@ -124,6 +133,7 @@ impl Engine {
         Engine {
             kind: EngineKind::Hybrid,
             reduction: ReductionPolicy::AfterEachGate,
+            composition: CompositionOptions::default(),
         }
     }
 
@@ -132,6 +142,7 @@ impl Engine {
         Engine {
             kind: EngineKind::Composition,
             reduction: ReductionPolicy::AfterEachGate,
+            composition: CompositionOptions::default(),
         }
     }
 
@@ -141,12 +152,47 @@ impl Engine {
         Engine {
             kind: EngineKind::Hybrid,
             reduction: ReductionPolicy::Adaptive { growth_factor: 2 },
+            composition: CompositionOptions::default(),
         }
     }
 
     /// Returns a copy with the given reduction policy.
     pub fn with_reduction(self, reduction: ReductionPolicy) -> Self {
         Engine { reduction, ..self }
+    }
+
+    /// Returns a copy with the given composition-pipeline options.
+    pub fn with_composition(self, composition: CompositionOptions) -> Self {
+        Engine {
+            composition,
+            ..self
+        }
+    }
+
+    /// Returns a copy whose composition term evaluator uses at most
+    /// `eval_threads` OS threads (`1` = fully sequential).
+    pub fn with_eval_threads(self, eval_threads: usize) -> Self {
+        Engine {
+            composition: CompositionOptions {
+                eval_threads: eval_threads.max(1),
+                ..self.composition
+            },
+            ..self
+        }
+    }
+
+    /// The effective composition-pipeline options under this engine's
+    /// reduction policy: [`ReductionPolicy::Never`] also disables the
+    /// in-ladder reduction (the ablation benchmarks measure the unreduced
+    /// pipeline), every other policy keeps the configured options.
+    pub fn composition_options(&self) -> CompositionOptions {
+        match self.reduction {
+            ReductionPolicy::Never => CompositionOptions {
+                ladder_growth_factor: None,
+                ..self.composition
+            },
+            _ => self.composition,
+        }
     }
 
     /// Applies a single gate to a set of states.
@@ -189,7 +235,7 @@ impl Engine {
     ) {
         let mut used_composition = false;
         for primitive in gate.decompose() {
-            used_composition |= self.apply_primitive_in_place(automaton, &primitive);
+            used_composition |= self.apply_primitive_in_place(automaton, &primitive, stats);
             stats.observe(automaton);
         }
         stats.gates_applied += 1;
@@ -211,7 +257,15 @@ impl Engine {
 
     /// Applies a primitive (already decomposed) gate to the working
     /// automaton; returns `true` if the composition-based encoding was used.
-    fn apply_primitive_in_place(&self, automaton: &mut TreeAutomaton, gate: &Gate) -> bool {
+    /// Composition gates also report the peak automaton size reached
+    /// *inside* their swap ladders into `stats` — with in-ladder reduction
+    /// the post-gate automaton no longer witnesses the true peak.
+    fn apply_primitive_in_place(
+        &self,
+        automaton: &mut TreeAutomaton,
+        gate: &Gate,
+        stats: &mut ApplyStats,
+    ) -> bool {
         let use_permutation = match self.kind {
             EngineKind::Hybrid => permutation::supports(gate),
             EngineKind::Composition => false,
@@ -222,7 +276,13 @@ impl Engine {
         } else {
             let formula =
                 update_formula(gate).expect("primitive gates always have an update formula");
-            composition::apply_formula_in_place(automaton, &formula);
+            let in_gate_peak = composition::apply_formula_in_place_with(
+                automaton,
+                &formula,
+                &self.composition_options(),
+            );
+            stats.peak_states = stats.peak_states.max(in_gate_peak.states);
+            stats.peak_transitions = stats.peak_transitions.max(in_gate_peak.transitions);
             true
         }
     }

@@ -57,6 +57,7 @@ pub mod presets;
 mod state_set;
 pub mod verify;
 
+pub use composition::{default_eval_threads, CompositionOptions};
 pub use engine::{ApplyStats, Engine, EngineKind, ReductionPolicy};
 pub use hunt::{BugHunter, HuntReport};
 pub use state_set::StateSet;

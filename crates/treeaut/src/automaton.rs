@@ -481,12 +481,25 @@ impl TreeAutomaton {
     /// Removes duplicate transitions.
     pub fn dedup_transitions(&mut self) {
         let mut seen_internal: HashSet<(StateId, InternalSymbol, StateId, StateId)> =
-            HashSet::new();
+            HashSet::with_capacity(self.internal.len());
         self.internal
             .retain(|t| seen_internal.insert((t.parent, t.symbol, t.left, t.right)));
-        let mut seen_leaves: HashSet<(StateId, Algebraic)> = HashSet::new();
-        self.leaves
-            .retain(|t| seen_leaves.insert((t.parent, t.value.clone())));
+        // Leaf keys are hashed by reference: this runs once per
+        // composition-encoded gate (untagging) on the hot path, and cloning
+        // every bigint-backed amplitude just to probe a set was measurable.
+        let keep: Vec<bool> = {
+            let mut seen_leaves: HashSet<(StateId, &Algebraic)> =
+                HashSet::with_capacity(self.leaves.len());
+            self.leaves
+                .iter()
+                .map(|t| seen_leaves.insert((t.parent, &t.value)))
+                .collect()
+        };
+        if keep.iter().any(|&kept| !kept) {
+            let mut kept = keep.iter();
+            self.leaves
+                .retain(|_| *kept.next().expect("one flag per leaf"));
+        }
         self.invalidate_index();
     }
 
