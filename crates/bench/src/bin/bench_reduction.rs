@@ -27,7 +27,7 @@ use autoq_bench::timed;
 use autoq_circuit::generators::{carry_lookahead_like, increment_circuit};
 use autoq_circuit::mutation::inject_random_gate;
 use autoq_circuit::Gate;
-use autoq_core::{Engine, StateSet};
+use autoq_core::{Engine, HuntJob, HuntPool, StateSet};
 use autoq_equivcheck::pathsum;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -153,6 +153,38 @@ fn main() {
         "sweep.threads.default".to_string(),
         autoq_core::default_eval_threads().to_string(),
     ));
+
+    // Portfolio hunt scaling: the same 8-job portfolio (self-equivalent
+    // hunts with a pinned iteration bound, so every worker does the full,
+    // deterministic amount of work — no early-exit variance) on 1/2/4/8
+    // `HuntPool` workers.  On a multi-core machine the sharded arena lets
+    // these scale; on a 1-core CI runner the four entries are expected to
+    // be flat (plus scheduling overhead), which is itself the baseline
+    // worth recording.
+    let portfolio_circuit = increment_circuit(6);
+    let hunt_jobs: Vec<HuntJob> = (0..8)
+        .map(|i| HuntJob {
+            label: format!("inc6-self-{i}"),
+            original: portfolio_circuit.clone(),
+            candidate: portfolio_circuit.clone(),
+            seed: 0x7AB1E3 + i as u64,
+        })
+        .collect();
+    let bounded =
+        autoq_core::BugHunter::new(Engine::hybrid().with_eval_threads(1)).with_max_iterations(4);
+    for threads in [1usize, 2, 4, 8] {
+        let pool = HuntPool::new(Engine::hybrid().with_eval_threads(1))
+            .with_hunter(bounded)
+            .with_threads(threads);
+        record_secs(
+            &mut entries,
+            &format!("sweep.hunt_threads.{threads}"),
+            median_time(3, || {
+                let outcome = pool.run(&hunt_jobs);
+                assert_eq!(outcome.hunts_completed, hunt_jobs.len());
+            }),
+        );
+    }
 
     // Reduction-policy sweep over the Table 2 verification workloads — the
     // recorded evidence behind the `Engine::hybrid()` adaptive-reduction

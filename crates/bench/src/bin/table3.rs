@@ -2,15 +2,28 @@
 //! scale: AutoQ's incremental bug hunting versus the path-sum (Feynman-style)
 //! and random-stimuli (QCEC-style) baselines.
 //!
-//! Usage: `cargo run --release -p autoq-bench --bin table3 [--paper]`
+//! Usage: `cargo run --release -p autoq-bench --bin table3 [--paper] [--threads N]`
 //!
 //! With `--paper`, the paper's 35-qubit regime is appended (AutoQ only: the
 //! baselines do not terminate at that scale — which is the point of Table 3).
+//! `--threads N` runs the paper-scale rows as a portfolio on `N` worker
+//! threads (row seeds are pinned, so the table itself is identical for every
+//! thread count; see `docs/CONCURRENCY.md` §portfolio hunting).
 
-use autoq_bench::table3::{default_workload, run_paper_scale_rows, run_row, Table3Row};
+use autoq_bench::table3::{default_workload, run_paper_scale_rows_threaded, run_row, Table3Row};
+
+fn parse_threads(args: &[String]) -> usize {
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
 
 fn main() {
-    let paper = std::env::args().any(|a| a == "--paper");
+    let args: Vec<String> = std::env::args().collect();
+    let paper = args.iter().any(|a| a == "--paper");
+    let threads = parse_threads(&args);
     println!("# Table 3 — bug finding on circuits with one injected gate");
     println!();
     println!("{}", Table3Row::markdown_header());
@@ -22,10 +35,18 @@ fn main() {
         rows.push(row);
     }
     if paper {
-        for row in run_paper_scale_rows() {
+        let start = std::time::Instant::now();
+        let paper_rows = run_paper_scale_rows_threaded(threads);
+        let elapsed = start.elapsed();
+        for row in paper_rows {
             println!("{}", row.to_markdown());
             rows.push(row);
         }
+        println!();
+        println!(
+            "Paper-scale rows: {:.3}s wall clock on {threads} thread(s)",
+            elapsed.as_secs_f64()
+        );
     }
 
     println!();

@@ -13,6 +13,8 @@
 //! * the stimuli checker — `T` when a distinguishing stimulus is found, `F`
 //!   otherwise (it can only ever miss bugs, never prove equivalence).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use autoq_circuit::generators::{
@@ -116,7 +118,7 @@ impl Table3Row {
 /// Runs one bug-finding row: injects a random gate into `circuit` and asks
 /// all three checkers.
 pub fn run_row(name: &str, circuit: &Circuit, superposing: bool, seed: u64) -> Table3Row {
-    run_row_inner(name, circuit, superposing, seed, true)
+    run_row_inner(name, circuit, superposing, seed, true, Engine::hybrid())
 }
 
 /// Runs one *paper-scale* AutoQ-only bug-finding row: the path-sum and
@@ -131,7 +133,7 @@ pub fn run_paper_scale_row(
     superposing: bool,
     seed: u64,
 ) -> Table3Row {
-    run_row_inner(name, circuit, superposing, seed, false)
+    run_row_inner(name, circuit, superposing, seed, false, Engine::hybrid())
 }
 
 fn run_row_inner(
@@ -140,12 +142,12 @@ fn run_row_inner(
     superposing: bool,
     seed: u64,
     run_baselines: bool,
+    engine: Engine,
 ) -> Table3Row {
     let mut rng = StdRng::seed_from_u64(seed);
     let (buggy, _bug) = inject_random_gate(circuit, superposing, &mut rng);
 
-    let hunter =
-        BugHunter::new(Engine::hybrid()).with_max_iterations(circuit.num_qubits().min(10) + 1);
+    let hunter = BugHunter::new(engine).with_max_iterations(circuit.num_qubits().min(10) + 1);
     let mut hunt_rng = StdRng::seed_from_u64(seed ^ 0xabcd);
     let (report, autoq_time) = timed(|| hunter.hunt(circuit, &buggy, &mut hunt_rng));
 
@@ -186,10 +188,50 @@ fn run_row_inner(
 /// the single source of truth for both the `table3 --paper` binary and the
 /// CI-exercised release test.
 pub fn run_paper_scale_rows() -> Vec<Table3Row> {
-    paper_scale_workload()
+    run_paper_scale_rows_threaded(1)
+}
+
+/// Runs the paper-scale workload with rows drawn from a shared queue by
+/// `threads` worker threads — the `table3 --paper --threads N` path.
+///
+/// Rows are independent hunts, so row-level parallelism is the natural
+/// portfolio axis at this scale; it *replaces* the per-term evaluation
+/// threads inside the composition engine (workers run with
+/// `with_eval_threads(1)`) instead of multiplying with them.  The per-row
+/// seeds are pinned, so the resulting table is identical — rows included —
+/// for every thread count; only the wall-clock changes.
+pub fn run_paper_scale_rows_threaded(threads: usize) -> Vec<Table3Row> {
+    let workload = paper_scale_workload();
+    let threads = threads.max(1).min(workload.len());
+    if threads == 1 {
+        return workload
+            .into_iter()
+            .map(|(name, circuit, superposing, seed)| {
+                run_paper_scale_row(&name, &circuit, superposing, seed)
+            })
+            .collect();
+    }
+    let engine = Engine::hybrid().with_eval_threads(1);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Table3Row>>> = workload.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::SeqCst);
+                let Some((name, circuit, superposing, seed)) = workload.get(index) else {
+                    break;
+                };
+                let row = run_row_inner(name, circuit, *superposing, *seed, false, engine);
+                *slots[index].lock().expect("row slot poisoned") = Some(row);
+            });
+        }
+    });
+    slots
         .into_iter()
-        .map(|(name, circuit, superposing, seed)| {
-            run_paper_scale_row(&name, &circuit, superposing, seed)
+        .map(|slot| {
+            slot.into_inner()
+                .expect("row slot poisoned")
+                .expect("every row computed")
         })
         .collect()
 }

@@ -1,5 +1,8 @@
 //! The gate-application engine: Hybrid vs Composition settings.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use autoq_circuit::schedule::interference_schedule;
 use autoq_circuit::{Circuit, Gate};
 use autoq_treeaut::TreeAutomaton;
@@ -7,6 +10,46 @@ use autoq_treeaut::TreeAutomaton;
 use crate::composition::CompositionOptions;
 use crate::formula::update_formula;
 use crate::{composition, permutation, StateSet};
+
+/// A shared, clonable cancellation flag checked by the engine **between
+/// gates** (and by [`BugHunter`](crate::BugHunter) between hunt iterations).
+///
+/// The portfolio hunter ([`crate::pool::HuntPool`]) raises the flag as soon
+/// as one worker's witness is simulator-confirmed, so the other workers
+/// abandon their runs at the next gate boundary instead of finishing a
+/// now-pointless analysis.  Cancellation is cooperative and monotone: once
+/// raised, the flag stays raised.
+///
+/// # Examples
+///
+/// ```
+/// use autoq_core::CancelFlag;
+///
+/// let flag = CancelFlag::new();
+/// let observer = flag.clone(); // shares the same flag
+/// assert!(!observer.is_cancelled());
+/// flag.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, unraised flag.
+    pub fn new() -> Self {
+        CancelFlag::default()
+    }
+
+    /// Raises the flag.  All clones observe the cancellation.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Returns `true` once any clone has raised the flag.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
 
 /// Which gate encoding the engine prefers (the two settings evaluated in the
 /// paper's Section 7).
@@ -23,13 +66,12 @@ pub enum EngineKind {
 }
 
 /// When the automaton reduction (trimming + successor merging) runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReductionPolicy {
     /// Reduce after every user-level gate (the paper reduces after the cheap
     /// permutation-style gates; reducing after every gate keeps automata
-    /// small at a modest cost and is the default).  Multi-primitive gates
-    /// (`SWAP`, Fredkin) reduce once per gate, not once per primitive.
-    #[default]
+    /// small at a modest cost).  Multi-primitive gates (`SWAP`, Fredkin)
+    /// reduce once per gate, not once per primitive.
     AfterEachGate,
     /// Never reduce (used by the ablation benchmarks).
     Never,
@@ -50,6 +92,15 @@ pub enum ReductionPolicy {
         /// [`ReductionPolicy::AfterEachGate`] would reduce after too).
         growth_factor: u32,
     },
+}
+
+impl Default for ReductionPolicy {
+    /// `Adaptive { growth_factor: 2 }` — the sweep-backed default of
+    /// [`Engine::hybrid`], kept in sync so `Engine::default()` and
+    /// `Engine::hybrid()` agree.
+    fn default() -> Self {
+        ReductionPolicy::Adaptive { growth_factor: 2 }
+    }
 }
 
 /// Size statistics collected while applying gates — the peaks are what the
@@ -119,20 +170,23 @@ pub struct Engine {
 impl Engine {
     /// The `Hybrid` engine with the default reduction policy.
     ///
-    /// The default stays [`ReductionPolicy::AfterEachGate`]: the Table 2
+    /// The default is [`ReductionPolicy::Adaptive`]`{ growth_factor: 2 }`
+    /// (making this identical to [`Engine::adaptive`]): the Table 2
     /// reduction-policy sweep (the `sweep.*` entries of
     /// `BENCH_reduction.json`, regenerated by `bench_reduction` as the
     /// median of interleaved runs) shows `Adaptive { growth_factor: 2 }`
-    /// roughly even on the MCToffoli and Grover families but reproducibly
-    /// *slower* on the BV family (~20% at BV16) — skipped reductions after
-    /// the permutation-encoded CNOT runs make each following
-    /// composition-encoded `H` work on a larger automaton.  Flip this only
-    /// if a future sweep shows no regressing row; callers that know their
-    /// workload benefits can opt in via [`Engine::adaptive`].
+    /// at-or-faster than [`ReductionPolicy::AfterEachGate`] on **every**
+    /// row — including the BV family, where an earlier (pre-fused-ladder)
+    /// sweep had it ~20% slower at BV16 and kept the eager default.  With
+    /// the fused composition ladder doing its own in-ladder reduction, the
+    /// post-`H` automata the adaptive policy leaves unreduced no longer
+    /// snowball, and the saved reduction passes win on every family.
+    /// Revert to `AfterEachGate` only if a future sweep shows a regressing
+    /// row; callers can always pin a policy via [`Engine::with_reduction`].
     pub fn hybrid() -> Self {
         Engine {
             kind: EngineKind::Hybrid,
-            reduction: ReductionPolicy::AfterEachGate,
+            reduction: ReductionPolicy::Adaptive { growth_factor: 2 },
             composition: CompositionOptions::default(),
         }
     }
@@ -313,6 +367,30 @@ impl Engine {
         set: &StateSet,
         circuit: &Circuit,
     ) -> (StateSet, ApplyStats) {
+        self.apply_circuit_inner(set, circuit, None)
+            .expect("apply_circuit without a cancel flag cannot be cancelled")
+    }
+
+    /// Like [`Engine::apply_circuit_with_stats`], but checks `cancel`
+    /// between gates and returns `None` as soon as it observes the flag
+    /// raised — the cooperative cancellation point used by the portfolio
+    /// hunter's losing workers.  The partially applied automaton is
+    /// discarded; no output set is produced for a cancelled run.
+    pub fn apply_circuit_cancellable(
+        &self,
+        set: &StateSet,
+        circuit: &Circuit,
+        cancel: &CancelFlag,
+    ) -> Option<(StateSet, ApplyStats)> {
+        self.apply_circuit_inner(set, circuit, Some(cancel))
+    }
+
+    fn apply_circuit_inner(
+        &self,
+        set: &StateSet,
+        circuit: &Circuit,
+        cancel: Option<&CancelFlag>,
+    ) -> Option<(StateSet, ApplyStats)> {
         assert!(
             circuit.num_qubits() <= set.num_qubits(),
             "circuit has more qubits than the state set"
@@ -323,9 +401,12 @@ impl Engine {
         let mut stats = ApplyStats::default();
         stats.observe(&automaton);
         for index in interference_schedule(circuit) {
+            if cancel.is_some_and(CancelFlag::is_cancelled) {
+                return None;
+            }
             self.apply_gate_in_place(&mut automaton, &gates[index], &mut baseline, &mut stats);
         }
-        (set.with_automaton(automaton), stats)
+        Some((set.with_automaton(automaton), stats))
     }
 }
 

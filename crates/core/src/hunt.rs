@@ -14,7 +14,8 @@ use autoq_treeaut::basis::{self, BasisIndex};
 use autoq_treeaut::Tree;
 use rand::Rng;
 
-use crate::{check_circuit_equivalence_with_stats, ApplyStats, Engine, StateSet};
+use crate::verify::check_circuit_equivalence_cancellable;
+use crate::{check_circuit_equivalence_with_stats, ApplyStats, CancelFlag, Engine, StateSet};
 
 /// Configuration of the bug hunter.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -156,6 +157,32 @@ impl BugHunter {
     ///
     /// Panics if the circuits have different widths.
     pub fn hunt(&self, original: &Circuit, candidate: &Circuit, rng: &mut impl Rng) -> HuntReport {
+        self.hunt_inner(original, candidate, rng, None)
+            .expect("hunt without a cancel flag cannot be cancelled")
+    }
+
+    /// Like [`BugHunter::hunt`], but cooperatively cancellable: the flag is
+    /// checked between gates of every circuit application, and `None` is
+    /// returned as soon as it is observed raised.  This is the entry point
+    /// used by [`crate::HuntPool`] workers so a confirmed witness on one
+    /// thread stops the others mid-hunt.
+    pub fn hunt_cancellable(
+        &self,
+        original: &Circuit,
+        candidate: &Circuit,
+        rng: &mut impl Rng,
+        cancel: &CancelFlag,
+    ) -> Option<HuntReport> {
+        self.hunt_inner(original, candidate, rng, Some(cancel))
+    }
+
+    fn hunt_inner(
+        &self,
+        original: &Circuit,
+        candidate: &Circuit,
+        rng: &mut impl Rng,
+        cancel: Option<&CancelFlag>,
+    ) -> Option<HuntReport> {
         assert_eq!(
             original.num_qubits(),
             candidate.num_qubits(),
@@ -185,29 +212,39 @@ impl BugHunter {
             // Freed qubits range over both values, so their base bits are
             // cleared (`basis_pattern` rejects overlapping fixed bits).
             let inputs = StateSet::basis_pattern(n, base & !free_mask, free);
-            let (result, iteration_stats) =
-                check_circuit_equivalence_with_stats(&self.engine, &inputs, original, candidate);
+            let (result, iteration_stats) = match cancel {
+                Some(flag) => check_circuit_equivalence_cancellable(
+                    &self.engine,
+                    &inputs,
+                    original,
+                    candidate,
+                    flag,
+                )?,
+                None => {
+                    check_circuit_equivalence_with_stats(&self.engine, &inputs, original, candidate)
+                }
+            };
             stats = stats.merge(&iteration_stats);
             if let Some(witness) = result.witness() {
-                return HuntReport {
+                return Some(HuntReport {
                     bug_found: true,
                     iterations,
                     witness: Some(witness.clone()),
                     final_input_size: input_set_size(free_count),
                     stats,
-                };
+                });
             }
             if iterations >= self.max_iterations {
                 break;
             }
         }
-        HuntReport {
+        Some(HuntReport {
             bug_found: false,
             iterations,
             witness: None,
             final_input_size: input_set_size(iterations - 1),
             stats,
-        }
+        })
     }
 }
 

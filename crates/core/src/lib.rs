@@ -18,7 +18,11 @@
 //!   Section 7.2 ([`hunt`]).  Witnesses are DAG-shared
 //!   [`Tree`](autoq_treeaut::Tree)s, so extraction and simulator
 //!   confirmation ([`HuntReport::confirm_with_simulator`]) work at the
-//!   paper's 35-qubit Table 3 scale.
+//!   paper's 35-qubit Table 3 scale.  Hunts compose into a parallel
+//!   portfolio ([`HuntPool`]): worker threads drain a job queue over the
+//!   sharded tree arena, the first simulator-confirmed witness cancels the
+//!   rest ([`CancelFlag`]), and completed campaigns can reclaim their
+//!   arena nodes (see `docs/CONCURRENCY.md`).
 //!
 //! *Pipeline position*: bigint → amplitude → {treeaut, circuit} →
 //! simulator → **core** → bench — the user-facing engine tying the automata
@@ -53,15 +57,17 @@ pub mod engine;
 pub mod formula;
 pub mod hunt;
 pub mod permutation;
+pub mod pool;
 pub mod presets;
 mod state_set;
 pub mod verify;
 
 pub use composition::{default_eval_threads, CompositionOptions};
-pub use engine::{ApplyStats, Engine, EngineKind, ReductionPolicy};
+pub use engine::{ApplyStats, CancelFlag, Engine, EngineKind, ReductionPolicy};
 pub use hunt::{BugHunter, HuntReport};
+pub use pool::{HuntJob, HuntPool, PortfolioOutcome, PortfolioWin};
 pub use state_set::StateSet;
 pub use verify::{
-    check_circuit_equivalence, check_circuit_equivalence_with_stats, verify, SpecMode,
-    VerificationOutcome,
+    check_circuit_equivalence, check_circuit_equivalence_cancellable,
+    check_circuit_equivalence_with_stats, verify, SpecMode, VerificationOutcome,
 };

@@ -1,0 +1,345 @@
+//! Parallel **portfolio bug hunting**: a pool of worker threads drains a
+//! queue of hunt jobs, and the first simulator-confirmed witness wins.
+//!
+//! The paper's Table 3 experiments hunt for bugs one mutated circuit at a
+//! time.  With the sharded hash-cons arena (`autoq_treeaut::arena`) the tree
+//! substrate no longer serialises concurrent interning on a single lock, so
+//! independent hunts can genuinely run in parallel: [`HuntPool`] spawns `W`
+//! workers over a shared job queue, each worker runs
+//! [`BugHunter::hunt_cancellable`] on its claimed job, and as soon as one
+//! worker's witness is confirmed by the exact simulator
+//! ([`HuntReport::confirm_with_simulator`]) it raises the shared
+//! [`CancelFlag`] — the other workers observe the flag between gates and
+//! abandon their hunts mid-circuit.
+//!
+//! Workers that find a bug the simulator *cannot* confirm (superposition
+//! witnesses with no basis-state preimage) do not cancel the pool; the
+//! lowest-indexed such report is kept as a fallback answer in case no
+//! confirmed winner appears.
+//!
+//! **Arena reclamation** is opt-in ([`HuntPool::with_reclaim`]): when
+//! enabled, the pool captures the arena generation before hunting, pins the
+//! epoch while workers run, and afterwards sweeps every tree node the hunts
+//! interned except those of the returned witness.  This is what keeps a
+//! 1000-hunt soak at a flat arena profile.  It is off by default because
+//! reclamation is process-wide: only enable it when no *other* thread is
+//! concurrently building trees it expects to keep (see
+//! `docs/CONCURRENCY.md`).
+//!
+//! # Examples
+//!
+//! Hunt over a small portfolio of mutated circuits on two workers:
+//!
+//! ```
+//! use autoq_circuit::generators::mc_toffoli;
+//! use autoq_circuit::mutation::insert_gate;
+//! use autoq_circuit::Gate;
+//! use autoq_core::{Engine, HuntJob, HuntPool};
+//!
+//! let original = mc_toffoli(3);
+//! let jobs: Vec<HuntJob> = (0..2)
+//!     .map(|i| HuntJob {
+//!         label: format!("mutant-{i}"),
+//!         original: original.clone(),
+//!         candidate: insert_gate(&original, Gate::X(4), 2 + i),
+//!         seed: 0xC0FFEE + i as u64,
+//!     })
+//!     .collect();
+//! let outcome = HuntPool::new(Engine::hybrid()).with_threads(2).run(&jobs);
+//! let win = outcome.win.expect("an injected X gate is observable");
+//! assert!(win.report.bug_found);
+//! assert!(win.confirmed_input.is_some());
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use autoq_circuit::Circuit;
+use autoq_treeaut::arena;
+use rand::SeedableRng;
+
+use crate::{ApplyStats, BugHunter, CancelFlag, Engine, HuntReport};
+
+/// One unit of portfolio work: a pair of circuits to distinguish, plus the
+/// RNG seed driving the hunt's input-set schedule (pinned per job so a
+/// portfolio run is reproducible regardless of which worker claims it).
+#[derive(Clone, Debug)]
+pub struct HuntJob {
+    /// Human-readable job name, reported back in [`PortfolioWin::label`].
+    pub label: String,
+    /// The reference circuit.
+    pub original: Circuit,
+    /// The allegedly equivalent candidate (e.g. a mutated optimisation).
+    pub candidate: Circuit,
+    /// Seed for the hunt's random input-set schedule.
+    pub seed: u64,
+}
+
+/// The winning job of a portfolio run.
+#[derive(Clone, Debug)]
+pub struct PortfolioWin {
+    /// Index of the winning job in the slice passed to [`HuntPool::run`].
+    pub job_index: usize,
+    /// The winning job's label.
+    pub label: String,
+    /// The hunt report, including the witness tree.
+    pub report: HuntReport,
+    /// The simulator-confirmed distinguishing basis input, when confirmation
+    /// succeeded (`None` for an unconfirmed fallback win).
+    pub confirmed_input: Option<u128>,
+}
+
+/// The aggregate result of a portfolio run.
+#[derive(Clone, Debug)]
+pub struct PortfolioOutcome {
+    /// The winning bug report, if any job found one.  A simulator-confirmed
+    /// win beats any unconfirmed one; among unconfirmed reports the lowest
+    /// job index wins.
+    pub win: Option<PortfolioWin>,
+    /// Jobs whose hunts ran to completion (bug found or input space
+    /// exhausted).
+    pub hunts_completed: usize,
+    /// Jobs abandoned mid-hunt when the cancel flag went up (or never
+    /// claimed because the pool was already cancelled).
+    pub hunts_cancelled: usize,
+    /// Gate-application statistics merged across every worker.
+    pub stats: ApplyStats,
+    /// What the post-run arena sweep reclaimed, when
+    /// [`HuntPool::with_reclaim`] was enabled and no foreign epoch pin
+    /// blocked it.
+    pub reclaim: Option<arena::ReclaimStats>,
+}
+
+/// A fixed-width pool of portfolio hunt workers.  See the module docs for
+/// the winner and reclamation policies.
+#[derive(Clone, Debug)]
+pub struct HuntPool {
+    hunter: BugHunter,
+    threads: usize,
+    reclaim: bool,
+}
+
+impl HuntPool {
+    /// Creates a single-threaded pool hunting with `engine` and the default
+    /// iteration bound.  Use [`with_threads`](HuntPool::with_threads) to
+    /// widen it and [`with_hunter`](HuntPool::with_hunter) to bound
+    /// iterations.
+    pub fn new(engine: Engine) -> Self {
+        HuntPool {
+            hunter: BugHunter::new(engine),
+            threads: 1,
+            reclaim: false,
+        }
+    }
+
+    /// Replaces the underlying [`BugHunter`] (engine + iteration bound).
+    pub fn with_hunter(mut self, hunter: BugHunter) -> Self {
+        self.hunter = hunter;
+        self
+    }
+
+    /// Sets the number of worker threads (clamped to at least 1).  Jobs are
+    /// claimed from a shared queue, so any `threads ≤ jobs.len()` keeps all
+    /// workers busy until the queue drains or a winner cancels the pool.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables the post-run arena sweep: tree nodes interned during the run
+    /// are reclaimed, keeping only the returned witness.  **Process-wide**
+    /// — enable only when no concurrent thread outside this pool is building
+    /// trees it intends to keep (see `docs/CONCURRENCY.md`).
+    pub fn with_reclaim(mut self, reclaim: bool) -> Self {
+        self.reclaim = reclaim;
+        self
+    }
+
+    /// Runs every job on the pool's workers and returns the aggregate
+    /// outcome.  Blocks until all workers have stopped (drained the queue or
+    /// acknowledged cancellation).
+    pub fn run(&self, jobs: &[HuntJob]) -> PortfolioOutcome {
+        let floor = arena::generation();
+        let (mut outcome, winner, fallback) = {
+            // The pin keeps a concurrent reclaimer (another pool with
+            // reclamation enabled) from sweeping this run's fresh nodes.
+            let _pin = arena::pin();
+            self.run_pinned(jobs)
+        };
+        outcome.win = winner.or(fallback);
+        if self.reclaim {
+            let keep: Vec<arena::NodeId> = outcome
+                .win
+                .iter()
+                .filter_map(|w| w.report.witness.as_ref())
+                .map(|t| t.id())
+                .collect();
+            outcome.reclaim = arena::try_reclaim(floor, &keep).ok();
+        }
+        outcome
+    }
+
+    fn run_pinned(
+        &self,
+        jobs: &[HuntJob],
+    ) -> (PortfolioOutcome, Option<PortfolioWin>, Option<PortfolioWin>) {
+        let cancel = CancelFlag::new();
+        let next_job = AtomicUsize::new(0);
+        // First confirmed witness wins and cancels the pool; unconfirmed
+        // reports compete by lowest job index without cancelling.
+        let winner: Mutex<Option<PortfolioWin>> = Mutex::new(None);
+        let fallback: Mutex<Option<PortfolioWin>> = Mutex::new(None);
+
+        let worker = || -> (usize, usize, ApplyStats) {
+            let mut completed = 0;
+            let mut cancelled = 0;
+            let mut stats = ApplyStats::default();
+            loop {
+                let index = next_job.fetch_add(1, Ordering::SeqCst);
+                if index >= jobs.len() {
+                    break;
+                }
+                if cancel.is_cancelled() {
+                    cancelled += jobs.len() - index;
+                    break;
+                }
+                let job = &jobs[index];
+                let mut rng = rand::rngs::StdRng::seed_from_u64(job.seed);
+                let Some(report) =
+                    self.hunter
+                        .hunt_cancellable(&job.original, &job.candidate, &mut rng, &cancel)
+                else {
+                    cancelled += 1;
+                    continue;
+                };
+                completed += 1;
+                stats = stats.merge(&report.stats);
+                if !report.bug_found {
+                    continue;
+                }
+                let confirmed_input = report.confirm_with_simulator(&job.original, &job.candidate);
+                let win = PortfolioWin {
+                    job_index: index,
+                    label: job.label.clone(),
+                    report,
+                    confirmed_input,
+                };
+                if win.confirmed_input.is_some() {
+                    let mut slot = winner.lock().unwrap_or_else(|p| p.into_inner());
+                    if slot.is_none() {
+                        *slot = Some(win);
+                        cancel.cancel();
+                    }
+                } else {
+                    let mut slot = fallback.lock().unwrap_or_else(|p| p.into_inner());
+                    if slot.as_ref().map_or(true, |held| held.job_index > index) {
+                        *slot = Some(win);
+                    }
+                }
+            }
+            (completed, cancelled, stats)
+        };
+
+        let results: Vec<(usize, usize, ApplyStats)> = if self.threads == 1 {
+            vec![worker()]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.threads).map(|_| scope.spawn(worker)).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("hunt worker panicked"))
+                    .collect()
+            })
+        };
+
+        let mut outcome = PortfolioOutcome {
+            win: None,
+            hunts_completed: 0,
+            hunts_cancelled: 0,
+            stats: ApplyStats::default(),
+            reclaim: None,
+        };
+        for (completed, cancelled, stats) in results {
+            outcome.hunts_completed += completed;
+            outcome.hunts_cancelled += cancelled;
+            outcome.stats = outcome.stats.merge(&stats);
+        }
+        let winner = winner.into_inner().unwrap_or_else(|p| p.into_inner());
+        let fallback = fallback.into_inner().unwrap_or_else(|p| p.into_inner());
+        (outcome, winner, fallback)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoq_circuit::generators::mc_toffoli;
+    use autoq_circuit::mutation::insert_gate;
+    use autoq_circuit::Gate;
+
+    fn mutant_jobs(count: usize) -> (Circuit, Vec<HuntJob>) {
+        let original = mc_toffoli(3);
+        let jobs = (0..count)
+            .map(|i| HuntJob {
+                label: format!("mutant-{i}"),
+                original: original.clone(),
+                candidate: insert_gate(&original, Gate::X(4), 1 + i),
+                seed: 0x5EED_0000 + i as u64,
+            })
+            .collect();
+        (original, jobs)
+    }
+
+    #[test]
+    fn portfolio_finds_and_confirms_a_bug() {
+        let (_, jobs) = mutant_jobs(3);
+        for threads in [1, 4] {
+            let outcome = HuntPool::new(Engine::hybrid())
+                .with_threads(threads)
+                .run(&jobs);
+            let win = outcome.win.as_ref().expect("injected bug must be found");
+            assert!(win.report.bug_found);
+            assert!(win.confirmed_input.is_some());
+            assert!(outcome.hunts_completed >= 1);
+            assert!(outcome.stats.gates_applied > 0);
+        }
+    }
+
+    #[test]
+    fn equivalent_portfolio_completes_every_job() {
+        let original = mc_toffoli(2);
+        let jobs: Vec<HuntJob> = (0..3)
+            .map(|i| HuntJob {
+                label: format!("self-{i}"),
+                original: original.clone(),
+                candidate: original.clone(),
+                seed: i as u64,
+            })
+            .collect();
+        let outcome = HuntPool::new(Engine::hybrid())
+            .with_hunter(BugHunter::new(Engine::hybrid()).with_max_iterations(2))
+            .with_threads(2)
+            .run(&jobs);
+        assert!(outcome.win.is_none());
+        assert_eq!(outcome.hunts_completed, 3);
+        assert_eq!(outcome.hunts_cancelled, 0);
+    }
+
+    #[test]
+    fn single_and_multi_threaded_runs_agree_on_the_confirmed_input() {
+        // With one job the winner is deterministic, so thread count must not
+        // change the confirmed distinguishing input.
+        let (_, jobs) = mutant_jobs(1);
+        let confirmed: Vec<Option<u128>> = [1usize, 2, 8]
+            .into_iter()
+            .map(|threads| {
+                let outcome = HuntPool::new(Engine::hybrid())
+                    .with_threads(threads)
+                    .run(&jobs);
+                outcome.win.expect("bug must be found").confirmed_input
+            })
+            .collect();
+        assert!(confirmed[0].is_some());
+        assert!(confirmed.iter().all(|c| *c == confirmed[0]));
+    }
+}

@@ -150,6 +150,25 @@ pub fn check_circuit_equivalence_with_stats(
     )
 }
 
+/// Like [`check_circuit_equivalence_with_stats`], but checks the cancel
+/// flag between gates of both runs and returns `None` as soon as it is
+/// observed raised (the equivalence decision itself is not interrupted —
+/// both circuit applications, the dominant cost, are).
+pub fn check_circuit_equivalence_cancellable(
+    engine: &Engine,
+    inputs: &StateSet,
+    c1: &Circuit,
+    c2: &Circuit,
+    cancel: &crate::CancelFlag,
+) -> Option<(EquivalenceResult, crate::ApplyStats)> {
+    let (out1, stats1) = engine.apply_circuit_cancellable(inputs, c1, cancel)?;
+    let (out2, stats2) = engine.apply_circuit_cancellable(inputs, c2, cancel)?;
+    Some((
+        equivalence(out1.automaton(), out2.automaton()),
+        stats1.merge(&stats2),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,94 @@
+//! The 1000-hunt arena soak: a long portfolio campaign must not grow the
+//! process-wide tree arena without bound, and releasing the campaign's epoch
+//! must return `arena::live_node_count` **exactly** to its pre-campaign
+//! baseline — the failure mode being guarded against is the old grow-only
+//! `Mutex<Arena>`, where every extracted witness stayed interned forever.
+//!
+//! The campaign varies the hunt seed every round, so rounds extract
+//! *distinct* witness trees (hash-consing alone would hide growth if every
+//! round produced the identical witness).  Each round's [`HuntPool`] sweep
+//! reclaims that round's scratch while keeping its winner; the final
+//! [`arena::try_reclaim`] against the campaign-wide floor then releases the
+//! accumulated winners too.
+//!
+//! This lives in its own integration-test binary **on purpose**: arena
+//! reclamation is process-wide, and sharing a binary with concurrently
+//! running tests would either sweep their fresh trees mid-use or let their
+//! epoch pins block our reclaim.  Do not add unrelated tests here; see
+//! `docs/CONCURRENCY.md` §"Reclamation protocol".
+//!
+//! Exact-arithmetic heavy — run in release, as CI does:
+//! `cargo test --release -p autoq-core --test hunt_soak -- --include-ignored`
+
+use autoq_circuit::generators::mc_toffoli;
+use autoq_circuit::mutation::insert_gate;
+use autoq_circuit::Gate;
+use autoq_core::{Engine, HuntJob, HuntPool};
+use autoq_treeaut::arena;
+
+#[test]
+#[ignore = "1000-hunt soak: run in release (--include-ignored)"]
+fn thousand_hunt_soak_keeps_the_arena_flat() {
+    let original = mc_toffoli(3);
+    let make_jobs = |round: u64| -> Vec<HuntJob> {
+        (0..4)
+            .map(|i| HuntJob {
+                label: format!("round-{round}-mutant-{i}"),
+                original: original.clone(),
+                candidate: insert_gate(&original, Gate::X(4), 1 + i),
+                // Fresh seed every round: fresh input patterns, fresh
+                // witnesses, fresh interned nodes.
+                seed: round * 16 + i as u64,
+            })
+            .collect()
+    };
+    let pool = HuntPool::new(Engine::hybrid())
+        .with_threads(4)
+        .with_reclaim(true);
+
+    // Campaign-wide epoch floor: everything interned after this point must
+    // be reclaimable once the campaign's results are dropped.
+    let floor = arena::generation();
+    let baseline = arena::live_node_count();
+
+    let mut hunts = 0usize;
+    let mut kept_nodes = 0usize;
+    let mut peak_live = baseline;
+    for round in 0..250u64 {
+        let outcome = pool.run(&make_jobs(round));
+        hunts += outcome.hunts_completed + outcome.hunts_cancelled;
+        let win = outcome.win.as_ref().expect("injected X gate is observable");
+        assert!(win.report.bug_found, "round {round}");
+        let reclaim = outcome
+            .reclaim
+            .expect("reclaim must not be blocked — this binary owns the arena");
+        kept_nodes += reclaim.kept;
+        peak_live = peak_live.max(arena::live_node_count());
+        // Per-round growth is bounded by the kept winner witness (everything
+        // else the round interned was swept on the spot).
+        assert!(
+            arena::live_node_count() <= baseline + kept_nodes,
+            "round {round}: live nodes exceed baseline + kept witnesses"
+        );
+    }
+    assert!(hunts >= 1000, "soak ran only {hunts} hunts");
+
+    // Witnesses vary across rounds, so the campaign really did accumulate
+    // kept nodes — the thing the final release must now give back.
+    let live_before_release = arena::live_node_count();
+    assert!(
+        live_before_release > baseline,
+        "seed-varied rounds must keep distinct witnesses"
+    );
+
+    // Drop every handle from the campaign and release its epoch: the arena
+    // returns exactly to the pre-campaign baseline.  Any slack here is a
+    // leak that compounds across real campaigns.
+    let stats = arena::try_reclaim(floor, &[]).expect("no pins are active");
+    assert!(stats.swept > 0, "the release must sweep the kept witnesses");
+    assert_eq!(
+        arena::live_node_count(),
+        baseline,
+        "arena did not return to baseline (peak {peak_live}, pre-release {live_before_release})"
+    );
+}

@@ -7,8 +7,9 @@ use std::sync::{Arc, Mutex};
 
 use autoq_amplitude::Algebraic;
 
+use crate::arena::{self, TreeNode};
 use crate::index::TransitionIndex;
-use crate::tree::{self, Arena, NodeId, TreeNode};
+use crate::tree::NodeId;
 use crate::{InternalSymbol, StateId, Tag, Tree};
 
 /// An internal transition `parent → symbol(left, right)`.
@@ -251,9 +252,7 @@ impl TreeAutomaton {
         let mut interned: HashMap<(InternalSymbol, StateId, StateId), StateId> = HashMap::new();
         for tree in trees {
             assert_eq!(tree.num_qubits(), num_vars, "tree height mismatch");
-            let root = tree::with_arena(|arena| {
-                automaton.insert_node(arena, tree.id(), &mut memo, &mut interned)
-            });
+            let root = automaton.insert_node(tree.id(), &mut memo, &mut interned);
             automaton.add_root(root);
         }
         automaton
@@ -266,7 +265,6 @@ impl TreeAutomaton {
     /// (e.g. re-inserting a 35-qubit witness during hunt confirmation).
     fn insert_node(
         &mut self,
-        arena: &Arena,
         id: NodeId,
         memo: &mut HashMap<NodeId, StateId>,
         interned: &mut HashMap<(InternalSymbol, StateId, StateId), StateId>,
@@ -274,12 +272,11 @@ impl TreeAutomaton {
         if let Some(&state) = memo.get(&id) {
             return state;
         }
-        let state = match arena.node(id) {
-            TreeNode::Leaf(value) => self.leaf_state(value),
+        let state = match arena::read(id) {
+            TreeNode::Leaf(value) => self.leaf_state(&value),
             TreeNode::Node { var, left, right } => {
-                let (var, left, right) = (*var, *left, *right);
-                let left_state = self.insert_node(arena, left, memo, interned);
-                let right_state = self.insert_node(arena, right, memo, interned);
+                let left_state = self.insert_node(left, memo, interned);
+                let right_state = self.insert_node(right, memo, interned);
                 // Share states for structurally equal internal transitions
                 // created by earlier insertions into the same automaton.
                 let key = (InternalSymbol::new(var), left_state, right_state);
@@ -323,9 +320,7 @@ impl TreeAutomaton {
             leaves_by_value.entry(&t.value).or_default().push(t.parent);
         }
         let mut memo: HashMap<NodeId, Rc<HashSet<StateId>>> = HashMap::new();
-        let states = tree::with_arena(|arena| {
-            self.run_node(arena, tree.id(), &by_var, &leaves_by_value, &mut memo)
-        });
+        let states = self.run_node(tree.id(), &by_var, &leaves_by_value, &mut memo);
         // The memo still holds the root's other Rc clone; release it so the
         // unwrap below moves the set out instead of deep-cloning it.
         drop(memo);
@@ -334,7 +329,6 @@ impl TreeAutomaton {
 
     fn run_node(
         &self,
-        arena: &Arena,
         id: NodeId,
         by_var: &[Vec<u32>],
         leaves_by_value: &HashMap<&Algebraic, Vec<StateId>>,
@@ -343,15 +337,14 @@ impl TreeAutomaton {
         if let Some(states) = memo.get(&id) {
             return Rc::clone(states);
         }
-        let states: HashSet<StateId> = match arena.node(id) {
+        let states: HashSet<StateId> = match arena::read(id) {
             TreeNode::Leaf(value) => leaves_by_value
-                .get(value)
+                .get(&value)
                 .map(|states| states.iter().copied().collect())
                 .unwrap_or_default(),
             TreeNode::Node { var, left, right } => {
-                let (var, left, right) = (*var, *left, *right);
-                let left_states = self.run_node(arena, left, by_var, leaves_by_value, memo);
-                let right_states = self.run_node(arena, right, by_var, leaves_by_value, memo);
+                let left_states = self.run_node(left, by_var, leaves_by_value, memo);
+                let right_states = self.run_node(right, by_var, leaves_by_value, memo);
                 by_var
                     .get(var as usize)
                     .map(|bucket| {

@@ -46,6 +46,7 @@
 //! assert_eq!(automaton.enumerate(10).len(), 1);
 //! ```
 
+pub mod arena;
 mod automaton;
 pub mod basis;
 pub mod format;

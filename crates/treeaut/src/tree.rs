@@ -9,113 +9,33 @@
 //!
 //! # Representation
 //!
-//! A [`Tree`] is a [`NodeId`] handle into a process-wide arena of
-//! [`TreeNode`]s.  Nodes are *hash-consed*: interning a leaf or an internal
-//! node with the same (value) or (variable, left, right) as an existing node
-//! returns the existing [`NodeId`], so structurally equal subtrees are
-//! physically shared and structural equality is a single id comparison.
-//! This turns the `2^(n+1)`-node explicit binary tree of an `n`-qubit basis
-//! state into a DAG of `2n + 1` shared nodes, which is what lets witness
-//! extraction (see [`crate::inclusion`]) scale to the paper's 35-qubit
-//! Table 3 bug hunts instead of capping out near 24 qubits.
+//! A [`Tree`] is a [`NodeId`] handle into the process-wide **sharded**
+//! hash-consing arena of [`crate::arena`].  Nodes are *hash-consed*:
+//! interning a leaf or an internal node with the same (value) or
+//! (variable, left, right) as an existing node returns the existing
+//! [`NodeId`], so structurally equal subtrees are physically shared and
+//! structural equality is a single id comparison.  This turns the
+//! `2^(n+1)`-node explicit binary tree of an `n`-qubit basis state into a
+//! DAG of `2n + 1` shared nodes, which is what lets witness extraction (see
+//! [`crate::inclusion`]) scale to the paper's 35-qubit Table 3 bug hunts
+//! instead of capping out near 24 qubits.
 //!
-//! The arena is append-only and lives for the whole process (interned nodes
-//! are never freed); it is guarded by a mutex, so `Tree` is `Send + Sync`
-//! and handles remain valid across threads.
+//! The arena is sharded across independent locks (so concurrent hunt
+//! workers intern in parallel instead of serialising on one mutex) and
+//! supports epoch-based reclamation (so a completed hunt can release its
+//! nodes); `Tree` is `Send + Sync` and handles remain valid across threads.
+//! See [`crate::arena`] and `docs/CONCURRENCY.md` for the concurrency model
+//! and the invariants reclamation callers must uphold.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
-use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use autoq_amplitude::Algebraic;
 
+use crate::arena::{self, TreeNode};
 use crate::basis::{self, BasisIndex};
 
-/// Handle to a hash-consed tree node in the process-wide arena.
-///
-/// Two `NodeId`s are equal **iff** the subtrees they denote are structurally
-/// equal — this is the invariant maintained by the interner and relied upon
-/// by [`Tree`]'s `PartialEq`/`Hash` implementations and by the memoised
-/// DAG walks in [`crate::TreeAutomaton`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
-pub struct NodeId(u32);
-
-/// A hash-consed node: either a leaf carrying an exact amplitude, or an
-/// internal node labelled with a qubit variable.
-pub(crate) enum TreeNode {
-    /// A leaf carrying an amplitude.
-    Leaf(Algebraic),
-    /// An internal node for qubit variable `var` (0-based, root = 0).
-    Node {
-        var: u32,
-        left: NodeId,
-        right: NodeId,
-    },
-}
-
-/// The append-only hash-consing arena.
-pub(crate) struct Arena {
-    nodes: Vec<TreeNode>,
-    leaf_ids: HashMap<Algebraic, NodeId>,
-    node_ids: HashMap<(u32, NodeId, NodeId), NodeId>,
-}
-
-impl Arena {
-    fn new() -> Self {
-        Arena {
-            nodes: Vec::new(),
-            leaf_ids: HashMap::new(),
-            node_ids: HashMap::new(),
-        }
-    }
-
-    /// The node behind a handle.
-    pub(crate) fn node(&self, id: NodeId) -> &TreeNode {
-        &self.nodes[id.0 as usize]
-    }
-
-    /// Interns a leaf, returning the canonical handle for its value.
-    pub(crate) fn intern_leaf(&mut self, value: &Algebraic) -> NodeId {
-        if let Some(&id) = self.leaf_ids.get(value) {
-            return id;
-        }
-        let id = NodeId(u32::try_from(self.nodes.len()).expect("tree arena overflow"));
-        self.nodes.push(TreeNode::Leaf(value.clone()));
-        self.leaf_ids.insert(value.clone(), id);
-        id
-    }
-
-    /// Interns an internal node, returning the canonical handle for the
-    /// (variable, left, right) triple.
-    pub(crate) fn intern_node(&mut self, var: u32, left: NodeId, right: NodeId) -> NodeId {
-        if let Some(&id) = self.node_ids.get(&(var, left, right)) {
-            return id;
-        }
-        let id = NodeId(u32::try_from(self.nodes.len()).expect("tree arena overflow"));
-        self.nodes.push(TreeNode::Node { var, left, right });
-        self.node_ids.insert((var, left, right), id);
-        id
-    }
-}
-
-static ARENA: OnceLock<Mutex<Arena>> = OnceLock::new();
-
-/// Locks the arena.  The arena is append-only and every interned node is
-/// fully initialised before the lock is released, so a poisoned lock (a
-/// panic elsewhere while holding it) leaves it in a consistent state and is
-/// deliberately ignored.
-fn arena() -> MutexGuard<'static, Arena> {
-    ARENA
-        .get_or_init(|| Mutex::new(Arena::new()))
-        .lock()
-        .unwrap_or_else(|poison| poison.into_inner())
-}
-
-/// Runs `f` with shared access to the arena (crate-internal: used by the
-/// memoised DAG walks in `automaton.rs`).
-pub(crate) fn with_arena<R>(f: impl FnOnce(&Arena) -> R) -> R {
-    f(&arena())
-}
+pub use crate::arena::NodeId;
 
 /// A ground term over the binary/leaf alphabet, held as a handle into the
 /// process-wide hash-consing arena (see the crate docs for the
@@ -148,7 +68,7 @@ impl Tree {
     /// A leaf carrying the amplitude `value`.
     pub fn leaf(value: Algebraic) -> Tree {
         Tree {
-            id: arena().intern_leaf(&value),
+            id: arena::intern_leaf(&value),
         }
     }
 
@@ -159,7 +79,7 @@ impl Tree {
     /// tests for malformed terms require.
     pub fn node(var: u32, left: Tree, right: Tree) -> Tree {
         Tree {
-            id: arena().intern_node(var, left.id, right.id),
+            id: arena::intern_node(var, left.id, right.id),
         }
     }
 
@@ -172,21 +92,21 @@ impl Tree {
 
     /// The leaf amplitude, if this tree is a single leaf.
     pub fn as_leaf(&self) -> Option<Algebraic> {
-        with_arena(|arena| match arena.node(self.id) {
-            TreeNode::Leaf(value) => Some(value.clone()),
+        match arena::read(self.id) {
+            TreeNode::Leaf(value) => Some(value),
             TreeNode::Node { .. } => None,
-        })
+        }
     }
 
     /// The `(var, left, right)` decomposition, if this tree is an internal
     /// node.
     pub fn as_node(&self) -> Option<(u32, Tree, Tree)> {
-        with_arena(|arena| match arena.node(self.id) {
+        match arena::read(self.id) {
             TreeNode::Leaf(_) => None,
             TreeNode::Node { var, left, right } => {
-                Some((*var, Tree { id: *left }, Tree { id: *right }))
+                Some((var, Tree { id: left }, Tree { id: right }))
             }
-        })
+        }
     }
 
     /// Builds the full binary tree of height `num_qubits` whose leaf for the
@@ -208,29 +128,17 @@ impl Tree {
     pub fn from_fn(num_qubits: u32, f: impl Fn(BasisIndex) -> Algebraic) -> Tree {
         let count = usize::try_from(basis::basis_count(num_qubits))
             .expect("2^num_qubits leaf evaluations exceed addressable memory");
-        // Evaluate the amplitude function *before* taking the arena lock, so
-        // that `f` may itself use the `Tree` API without deadlocking.  The
-        // interning below re-acquires the lock per bounded chunk rather than
-        // holding it across all 2^n operations, so concurrent threads are
-        // never stalled for the whole construction.
-        const CHUNK: usize = 4096;
-        let leaves: Vec<Algebraic> = (0..count).map(|b| f(b as BasisIndex)).collect();
-        let mut layer: Vec<NodeId> = Vec::with_capacity(leaves.len());
-        for chunk in leaves.chunks(CHUNK) {
-            let mut arena = arena();
-            layer.extend(chunk.iter().map(|value| arena.intern_leaf(value)));
-        }
+        // Each intern call locks only its own shard and returns before the
+        // next, so `f` may itself use the `Tree` API and concurrent threads
+        // are never stalled for the whole construction.
+        let mut layer: Vec<NodeId> = (0..count)
+            .map(|b| arena::intern_leaf(&f(b as BasisIndex)))
+            .collect();
         for var in (0..num_qubits).rev() {
-            let mut next = Vec::with_capacity(layer.len() / 2);
-            for chunk in layer.chunks(2 * CHUNK) {
-                let mut arena = arena();
-                next.extend(
-                    chunk
-                        .chunks(2)
-                        .map(|pair| arena.intern_node(var, pair[0], pair[1])),
-                );
-            }
-            layer = next;
+            layer = layer
+                .chunks(2)
+                .map(|pair| arena::intern_node(var, pair[0], pair[1]))
+                .collect();
         }
         Tree { id: layer[0] }
     }
@@ -263,18 +171,17 @@ impl Tree {
             basis::MAX_QUBITS
         );
         basis::assert_in_range(num_qubits, basis);
-        let mut arena = arena();
-        let mut zero = arena.intern_leaf(&Algebraic::zero());
-        let mut path = arena.intern_leaf(&Algebraic::one());
+        let mut zero = arena::intern_leaf(&Algebraic::zero());
+        let mut path = arena::intern_leaf(&Algebraic::one());
         for var in (0..num_qubits).rev() {
             let bit = (basis >> (num_qubits - 1 - var)) & 1;
             path = if bit == 0 {
-                arena.intern_node(var, path, zero)
+                arena::intern_node(var, path, zero)
             } else {
-                arena.intern_node(var, zero, path)
+                arena::intern_node(var, zero, path)
             };
             if var > 0 {
-                zero = arena.intern_node(var, zero, zero);
+                zero = arena::intern_node(var, zero, zero);
             }
         }
         Tree { id: path }
@@ -282,19 +189,17 @@ impl Tree {
 
     /// Number of qubits (the height of the tree).
     pub fn num_qubits(&self) -> u32 {
-        with_arena(|arena| {
-            let mut id = self.id;
-            let mut height = 0;
-            loop {
-                match arena.node(id) {
-                    TreeNode::Leaf(_) => return height,
-                    TreeNode::Node { left, .. } => {
-                        height += 1;
-                        id = *left;
-                    }
+        let mut id = self.id;
+        let mut height = 0;
+        loop {
+            match arena::read(id) {
+                TreeNode::Leaf(_) => return height,
+                TreeNode::Node { left, .. } => {
+                    height += 1;
+                    id = left;
                 }
             }
-        })
+        }
     }
 
     /// Number of *distinct* DAG nodes reachable from the root — the actual
@@ -302,50 +207,46 @@ impl Tree {
     /// has `2^(n+1) − 1` positions; for shared trees this count is far
     /// smaller (e.g. `2n + 1` for basis states).
     pub fn node_count(&self) -> usize {
-        with_arena(|arena| {
-            let mut seen: HashSet<NodeId> = HashSet::new();
-            let mut stack = vec![self.id];
-            while let Some(id) = stack.pop() {
-                if !seen.insert(id) {
-                    continue;
-                }
-                if let TreeNode::Node { left, right, .. } = arena.node(id) {
-                    stack.push(*left);
-                    stack.push(*right);
-                }
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut stack = vec![self.id];
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
             }
-            seen.len()
-        })
+            if let TreeNode::Node { left, right, .. } = arena::read(id) {
+                stack.push(left);
+                stack.push(right);
+            }
+        }
+        seen.len()
     }
 
     /// Returns `true` if the tree is a full binary tree whose layer-`t`
     /// nodes are all labelled with variable `t`.
     pub fn is_well_formed(&self) -> bool {
         let height = self.num_qubits();
-        with_arena(|arena| {
-            let mut seen: HashSet<(NodeId, u32)> = HashSet::new();
-            let mut stack = vec![(self.id, 0u32)];
-            while let Some((id, depth)) = stack.pop() {
-                if !seen.insert((id, depth)) {
-                    continue;
+        let mut seen: HashSet<(NodeId, u32)> = HashSet::new();
+        let mut stack = vec![(self.id, 0u32)];
+        while let Some((id, depth)) = stack.pop() {
+            if !seen.insert((id, depth)) {
+                continue;
+            }
+            match arena::read(id) {
+                TreeNode::Leaf(_) => {
+                    if depth != height {
+                        return false;
+                    }
                 }
-                match arena.node(id) {
-                    TreeNode::Leaf(_) => {
-                        if depth != height {
-                            return false;
-                        }
+                TreeNode::Node { var, left, right } => {
+                    if var != depth || depth >= height {
+                        return false;
                     }
-                    TreeNode::Node { var, left, right } => {
-                        if *var != depth || depth >= height {
-                            return false;
-                        }
-                        stack.push((*left, depth + 1));
-                        stack.push((*right, depth + 1));
-                    }
+                    stack.push((left, depth + 1));
+                    stack.push((right, depth + 1));
                 }
             }
-            true
-        })
+        }
+        true
     }
 
     /// The amplitude of the computational basis state `basis`, read off by
@@ -357,26 +258,24 @@ impl Tree {
     pub fn amplitude(&self, basis: BasisIndex) -> Algebraic {
         let n = self.num_qubits();
         basis::assert_in_range(n, basis);
-        with_arena(|arena| {
-            let mut id = self.id;
-            for level in (0..n).rev() {
-                let bit = (basis >> level) & 1;
-                id = match arena.node(id) {
-                    TreeNode::Node { left, right, .. } => {
-                        if bit == 0 {
-                            *left
-                        } else {
-                            *right
-                        }
+        let mut id = self.id;
+        for level in (0..n).rev() {
+            let bit = (basis >> level) & 1;
+            id = match arena::read(id) {
+                TreeNode::Node { left, right, .. } => {
+                    if bit == 0 {
+                        left
+                    } else {
+                        right
                     }
-                    TreeNode::Leaf(_) => unreachable!("tree shallower than expected"),
-                };
-            }
-            match arena.node(id) {
-                TreeNode::Leaf(value) => value.clone(),
-                TreeNode::Node { .. } => panic!("tree deeper than expected"),
-            }
-        })
+                }
+                TreeNode::Leaf(_) => unreachable!("tree shallower than expected"),
+            };
+        }
+        match arena::read(id) {
+            TreeNode::Leaf(value) => value,
+            TreeNode::Node { .. } => panic!("tree deeper than expected"),
+        }
     }
 
     /// The number of basis states with a non-zero amplitude.
@@ -385,21 +284,18 @@ impl Tree {
     /// safe way to decide whether materialising [`Tree::to_amplitude_map`]
     /// is affordable for a wide witness.
     pub fn support_size(&self) -> u128 {
-        fn count(arena: &Arena, id: NodeId, memo: &mut HashMap<NodeId, u128>) -> u128 {
+        fn count(id: NodeId, memo: &mut HashMap<NodeId, u128>) -> u128 {
             if let Some(&cached) = memo.get(&id) {
                 return cached;
             }
-            let result = match arena.node(id) {
+            let result = match arena::read(id) {
                 TreeNode::Leaf(value) => u128::from(!value.is_zero()),
-                TreeNode::Node { left, right, .. } => {
-                    let (left, right) = (*left, *right);
-                    count(arena, left, memo) + count(arena, right, memo)
-                }
+                TreeNode::Node { left, right, .. } => count(left, memo) + count(right, memo),
             };
             memo.insert(id, result);
             result
         }
-        with_arena(|arena| count(arena, self.id, &mut HashMap::new()))
+        count(self.id, &mut HashMap::new())
     }
 
     /// Converts the tree into an explicit map from basis states to non-zero
@@ -418,43 +314,38 @@ impl Tree {
     /// assert_eq!(map[&0b10], Algebraic::one());
     /// ```
     pub fn to_amplitude_map(&self) -> BTreeMap<BasisIndex, Algebraic> {
-        fn is_zero(arena: &Arena, id: NodeId, memo: &mut HashMap<NodeId, bool>) -> bool {
+        fn is_zero(id: NodeId, memo: &mut HashMap<NodeId, bool>) -> bool {
             if let Some(&cached) = memo.get(&id) {
                 return cached;
             }
-            let result = match arena.node(id) {
+            let result = match arena::read(id) {
                 TreeNode::Leaf(value) => value.is_zero(),
-                TreeNode::Node { left, right, .. } => {
-                    let (left, right) = (*left, *right);
-                    is_zero(arena, left, memo) && is_zero(arena, right, memo)
-                }
+                TreeNode::Node { left, right, .. } => is_zero(left, memo) && is_zero(right, memo),
             };
             memo.insert(id, result);
             result
         }
         fn collect(
-            arena: &Arena,
             id: NodeId,
             prefix: BasisIndex,
             memo: &mut HashMap<NodeId, bool>,
             map: &mut BTreeMap<BasisIndex, Algebraic>,
         ) {
-            if is_zero(arena, id, memo) {
+            if is_zero(id, memo) {
                 return;
             }
-            match arena.node(id) {
+            match arena::read(id) {
                 TreeNode::Leaf(value) => {
-                    map.insert(prefix, value.clone());
+                    map.insert(prefix, value);
                 }
                 TreeNode::Node { left, right, .. } => {
-                    let (left, right) = (*left, *right);
-                    collect(arena, left, prefix << 1, memo, map);
-                    collect(arena, right, (prefix << 1) | 1, memo, map);
+                    collect(left, prefix << 1, memo, map);
+                    collect(right, (prefix << 1) | 1, memo, map);
                 }
             }
         }
         let mut map = BTreeMap::new();
-        with_arena(|arena| collect(arena, self.id, 0, &mut HashMap::new(), &mut map));
+        collect(self.id, 0, &mut HashMap::new(), &mut map);
         map
     }
 
@@ -497,14 +388,14 @@ impl fmt::Debug for Tree {
     /// by height, node count and support instead.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         const MAX_TERM_HEIGHT: u32 = 8;
-        fn term(arena: &Arena, id: NodeId, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            match arena.node(id) {
+        fn term(id: NodeId, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match arena::read(id) {
                 TreeNode::Leaf(value) => write!(f, "{value}"),
                 TreeNode::Node { var, left, right } => {
                     write!(f, "x{var}(")?;
-                    term(arena, *left, f)?;
+                    term(left, f)?;
                     write!(f, ", ")?;
-                    term(arena, *right, f)?;
+                    term(right, f)?;
                     write!(f, ")")
                 }
             }
@@ -518,7 +409,7 @@ impl fmt::Debug for Tree {
                 self.support_size()
             )
         } else {
-            with_arena(|arena| term(arena, self.id, f))
+            term(self.id, f)
         }
     }
 }

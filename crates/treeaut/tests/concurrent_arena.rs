@@ -1,0 +1,122 @@
+//! Concurrency invariants of the sharded hash-consing arena
+//! (`docs/CONCURRENCY.md`):
+//!
+//! * interning the same structure from many threads at once yields the
+//!   *identical* `NodeId` on every thread (hash-consing survives races),
+//! * concurrent interning of *distinct* structures keeps them distinct,
+//! * an `EpochPin` held by any thread blocks reclamation.
+
+use std::sync::Barrier;
+
+use autoq_amplitude::Algebraic;
+use autoq_treeaut::{arena, Tree};
+use proptest::prelude::*;
+
+const THREADS: usize = 8;
+
+/// Builds the deterministic test tree for `(qubits, basis, phase)`: a basis
+/// state scaled by one of a few exact amplitudes, so distinct parameters give
+/// structurally distinct trees.
+fn build_tree(qubits: u32, basis: u128, phase: u8) -> Tree {
+    let amplitude = match phase % 3 {
+        0 => Algebraic::one(),
+        1 => Algebraic::one_over_sqrt2(),
+        _ => Algebraic::one_over_sqrt2().scale_int(-1),
+    };
+    Tree::from_fn(qubits, |b| {
+        if b == basis {
+            amplitude.clone()
+        } else {
+            Algebraic::zero()
+        }
+    })
+}
+
+/// Races all `THREADS` threads through a barrier into the same construction
+/// and returns each thread's resulting root id.
+fn race(build: impl Fn() -> Tree + Sync) -> Vec<arena::NodeId> {
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                scope.spawn(|| {
+                    barrier.wait();
+                    build().id()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("interning thread panicked"))
+            .collect()
+    })
+}
+
+#[test]
+fn eight_threads_interning_one_structure_agree_on_the_id() {
+    let ids = race(|| build_tree(10, 0b1011001, 1));
+    assert!(
+        ids.windows(2).all(|w| w[0] == w[1]),
+        "ids diverged: {ids:?}"
+    );
+    // And the id is the one a later sequential construction gets, too.
+    assert_eq!(ids[0], build_tree(10, 0b1011001, 1).id());
+}
+
+#[test]
+fn concurrent_distinct_structures_stay_distinct() {
+    // Every thread builds its own basis state; the ids must be pairwise
+    // different and each must match a sequential re-construction.
+    let ids: Vec<(u128, arena::NodeId)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS as u128)
+            .map(|basis| scope.spawn(move || (basis, Tree::basis_state(8, basis).id())))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("interning thread panicked"))
+            .collect()
+    });
+    for (i, (basis, id)) in ids.iter().enumerate() {
+        assert_eq!(*id, Tree::basis_state(8, *basis).id());
+        for (other_basis, other_id) in &ids[i + 1..] {
+            assert_ne!(id, other_id, "|{basis}⟩ and |{other_basis}⟩ collided");
+        }
+    }
+}
+
+#[test]
+fn a_pin_on_another_thread_blocks_reclamation() {
+    let floor = arena::generation();
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let _pin = arena::pin();
+            ready_tx.send(()).expect("main thread alive");
+            release_rx.recv().expect("main thread alive");
+        });
+        ready_rx.recv().expect("pinning thread alive");
+        let blocked = arena::try_reclaim(floor, &[]).expect_err("pin must block reclaim");
+        assert!(blocked.active_pins >= 1);
+        release_tx.send(()).expect("pinning thread alive");
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Hash-consing is race-free: for an arbitrary (qubits, basis, phase)
+    /// triple, 8 threads interning the structure concurrently all observe
+    /// the same canonical `NodeId`.
+    #[test]
+    fn concurrent_interning_is_deterministic(
+        qubits in 1u32..9,
+        basis_seed in any::<u128>(),
+        phase in 0u8..3,
+    ) {
+        let basis = basis_seed & ((1u128 << qubits) - 1);
+        let ids = race(|| build_tree(qubits, basis, phase));
+        prop_assert!(ids.windows(2).all(|w| w[0] == w[1]), "ids diverged: {ids:?}");
+        prop_assert_eq!(ids[0], build_tree(qubits, basis, phase).id());
+    }
+}
