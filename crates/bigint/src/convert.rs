@@ -102,6 +102,55 @@ impl BigInt {
             }
         }
     }
+
+    /// The magnitude as little-endian bytes with no trailing zero bytes
+    /// (empty iff the value is zero).  Together with [`BigInt::sign`] this is
+    /// a canonical binary encoding; [`BigInt::from_sign_magnitude_le_bytes`]
+    /// is the inverse.
+    ///
+    /// ```
+    /// # use autoq_bigint::BigInt;
+    /// assert_eq!(BigInt::from(-0x1_02i64).magnitude_le_bytes(), vec![0x02, 0x01]);
+    /// assert!(BigInt::zero().magnitude_le_bytes().is_empty());
+    /// ```
+    pub fn magnitude_le_bytes(&self) -> Vec<u8> {
+        let mut bytes: Vec<u8> = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in &self.limbs {
+            bytes.extend_from_slice(&limb.to_le_bytes());
+        }
+        while bytes.last() == Some(&0) {
+            bytes.pop();
+        }
+        bytes
+    }
+
+    /// Rebuilds an integer from a sign and little-endian magnitude bytes
+    /// (the encoding of [`BigInt::magnitude_le_bytes`]).  Non-canonical
+    /// inputs are normalised: trailing zero bytes are ignored and a zero
+    /// magnitude yields zero regardless of `sign`.
+    ///
+    /// ```
+    /// # use autoq_bigint::{BigInt, Sign};
+    /// let x = BigInt::from(-123456789i64);
+    /// let back = BigInt::from_sign_magnitude_le_bytes(x.sign(), &x.magnitude_le_bytes());
+    /// assert_eq!(back, x);
+    /// ```
+    pub fn from_sign_magnitude_le_bytes(sign: Sign, bytes: &[u8]) -> BigInt {
+        let mut limbs: Vec<u64> = Vec::with_capacity(bytes.len().div_ceil(8));
+        for chunk in bytes.chunks(8) {
+            let mut limb = [0u8; 8];
+            limb[..chunk.len()].copy_from_slice(chunk);
+            limbs.push(u64::from_le_bytes(limb));
+        }
+        let sign = if limbs.iter().all(|&l| l == 0) {
+            Sign::Zero
+        } else if sign == Sign::Zero {
+            Sign::Positive
+        } else {
+            sign
+        };
+        BigInt::from_sign_limbs(sign, limbs)
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +186,36 @@ mod tests {
         ] {
             assert_eq!(BigInt::from(v).to_i128(), Some(v), "{v}");
         }
+    }
+
+    #[test]
+    fn byte_round_trip_is_canonical() {
+        for v in [
+            0i128,
+            1,
+            -1,
+            255,
+            256,
+            -65_536,
+            i64::MAX as i128,
+            i128::MAX,
+            i128::MIN,
+        ] {
+            let x = BigInt::from(v);
+            let bytes = x.magnitude_le_bytes();
+            assert!(bytes.last() != Some(&0), "canonical encoding for {v}");
+            assert_eq!(BigInt::from_sign_magnitude_le_bytes(x.sign(), &bytes), x);
+        }
+        // Huge values survive too.
+        let huge = BigInt::from(u128::MAX).pow(3);
+        let back = BigInt::from_sign_magnitude_le_bytes(huge.sign(), &huge.magnitude_le_bytes());
+        assert_eq!(back, huge);
+        // Non-canonical inputs normalise instead of corrupting.
+        assert!(BigInt::from_sign_magnitude_le_bytes(Sign::Positive, &[0, 0, 0]).is_zero());
+        assert_eq!(
+            BigInt::from_sign_magnitude_le_bytes(Sign::Zero, &[7]),
+            BigInt::from(7u64)
+        );
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! Content digests for circuits and specifications.
+//!
+//! The verification daemon keys its verdict cache on
+//! `(circuit digest, spec digest)` pairs, so digests must be *canonical*
+//! (formatting-insensitive for circuits) and collision-resistant enough that
+//! distinct jobs never alias.  The build environment has no crates.io
+//! access, so this module carries a self-contained SHA-256 implementation
+//! (FIPS 180-4) — ~40 lines of compression function, verified against the
+//! standard test vectors below.
+
+use std::fmt;
+
+use crate::Circuit;
+
+/// A 256-bit content digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// Lower-case hex rendering (the conventional fingerprint form).
+    pub fn to_hex(&self) -> String {
+        let mut out = String::with_capacity(64);
+        for byte in self.0 {
+            use std::fmt::Write as _;
+            let _ = write!(out, "{byte:02x}");
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Incremental SHA-256 hasher.
+///
+/// ```
+/// use autoq_circuit::digest::Sha256;
+/// let mut h = Sha256::new();
+/// h.update(b"abc");
+/// assert_eq!(
+///     h.finish().to_hex(),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+/// ```
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    length: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buffer: [0; 64],
+            buffered: 0,
+            length: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.length = self.length.wrapping_add(data.len() as u64);
+        let mut data = data;
+        if self.buffered > 0 {
+            let take = (64 - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered < 64 {
+                return; // data exhausted, block still partial
+            }
+            let block = self.buffer;
+            self.compress(&block);
+            self.buffered = 0;
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            self.compress(block.try_into().expect("64-byte block"));
+            data = rest;
+        }
+        self.buffer[..data.len()].copy_from_slice(data);
+        self.buffered = data.len();
+    }
+
+    /// Appends a length-prefixed chunk, so consecutive `update_framed` calls
+    /// never alias across chunk boundaries (`["ab","c"] ≠ ["a","bc"]`).
+    pub fn update_framed(&mut self, data: &[u8]) {
+        self.update(&(data.len() as u64).to_le_bytes());
+        self.update(data);
+    }
+
+    /// Finalises the digest.
+    pub fn finish(mut self) -> Digest {
+        let bit_length = self.length.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buffered != 56 {
+            self.update(&[0]);
+        }
+        self.length = 0; // padding bytes no longer count
+        let mut block = self.buffer;
+        block[56..].copy_from_slice(&bit_length.to_be_bytes());
+        self.compress(&block);
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte word"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (slot, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *slot = slot.wrapping_add(v);
+        }
+    }
+}
+
+/// One-shot SHA-256 of a byte string.
+pub fn sha256(data: &[u8]) -> Digest {
+    let mut hasher = Sha256::new();
+    hasher.update(data);
+    hasher.finish()
+}
+
+/// Canonical content digest of a circuit: hashes the gate *structure*
+/// (width, gate kinds, qubit operands), so two circuits digest equally iff
+/// they are [`PartialEq`]-equal — independent of QASM formatting, comments
+/// or register naming.
+///
+/// ```
+/// use autoq_circuit::digest::circuit_digest;
+/// use autoq_circuit::qasm::parse_qasm;
+/// let a = parse_qasm("qreg q[2]; h q[0]; cx q[0],q[1];").unwrap();
+/// let b = parse_qasm("OPENQASM 2.0;\nqreg r[2];\nh r[0]; // comment\ncx r[0], r[1];").unwrap();
+/// assert_eq!(circuit_digest(&a), circuit_digest(&b));
+/// ```
+pub fn circuit_digest(circuit: &Circuit) -> Digest {
+    let mut hasher = Sha256::new();
+    hasher.update(b"autoq-circuit-v1");
+    hasher.update(&circuit.num_qubits().to_le_bytes());
+    hasher.update(&(circuit.gate_count() as u64).to_le_bytes());
+    for gate in circuit.gates() {
+        // Gate names are unique per kind and qubit lists have fixed arity
+        // per kind, so (name, qubits) is an injective encoding.
+        hasher.update_framed(gate.name().as_bytes());
+        for qubit in gate.qubits() {
+            hasher.update(&qubit.to_le_bytes());
+        }
+    }
+    hasher.finish()
+}
+
+/// Digest of an arbitrary list of labelled byte chunks — the daemon hashes
+/// specification payloads with this so that chunk boundaries are part of the
+/// hash (no concatenation aliasing between pre- and post-condition bytes).
+pub fn chunks_digest(label: &str, chunks: &[&[u8]]) -> Digest {
+    let mut hasher = Sha256::new();
+    hasher.update_framed(label.as_bytes());
+    for chunk in chunks {
+        hasher.update_framed(chunk);
+    }
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qasm::parse_qasm;
+
+    /// FIPS 180-4 / NIST test vectors.
+    #[test]
+    fn sha256_standard_vectors() {
+        assert_eq!(
+            sha256(b"").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha256(b"abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // One million 'a's: exercises multi-block buffering.
+        let mut hasher = Sha256::new();
+        for _ in 0..1_000 {
+            hasher.update(&[b'a'; 1_000]);
+        }
+        assert_eq!(
+            hasher.finish().to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_updates_agree_with_one_shot() {
+        let data: Vec<u8> = (0..1_000u32).map(|i| (i % 251) as u8).collect();
+        for split in [0, 1, 63, 64, 65, 127, 999, 1_000] {
+            let mut hasher = Sha256::new();
+            hasher.update(&data[..split]);
+            hasher.update(&data[split..]);
+            assert_eq!(hasher.finish(), sha256(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn framed_updates_do_not_alias() {
+        let mut ab_c = Sha256::new();
+        ab_c.update_framed(b"ab");
+        ab_c.update_framed(b"c");
+        let mut a_bc = Sha256::new();
+        a_bc.update_framed(b"a");
+        a_bc.update_framed(b"bc");
+        assert_ne!(ab_c.finish(), a_bc.finish());
+    }
+
+    #[test]
+    fn circuit_digest_is_formatting_insensitive_but_structure_sensitive() {
+        let a = parse_qasm("qreg q[2]; h q[0]; cx q[0],q[1];").unwrap();
+        let b = parse_qasm("qreg other[2];\n  H other[0];\ncx other[0] , other[1];").unwrap();
+        assert_eq!(circuit_digest(&a), circuit_digest(&b));
+
+        let reordered = parse_qasm("qreg q[2]; cx q[0],q[1]; h q[0];").unwrap();
+        assert_ne!(circuit_digest(&a), circuit_digest(&reordered));
+        let wider = parse_qasm("qreg q[3]; h q[0]; cx q[0],q[1];").unwrap();
+        assert_ne!(circuit_digest(&a), circuit_digest(&wider));
+        let other_qubit = parse_qasm("qreg q[2]; h q[1]; cx q[0],q[1];").unwrap();
+        assert_ne!(circuit_digest(&a), circuit_digest(&other_qubit));
+    }
+
+    #[test]
+    fn chunk_digests_separate_labels_and_boundaries() {
+        let d1 = chunks_digest("pre", &[b"ab", b"c"]);
+        let d2 = chunks_digest("pre", &[b"a", b"bc"]);
+        let d3 = chunks_digest("post", &[b"ab", b"c"]);
+        assert_ne!(d1, d2);
+        assert_ne!(d1, d3);
+        assert_eq!(d1, chunks_digest("pre", &[b"ab", b"c"]));
+    }
+}

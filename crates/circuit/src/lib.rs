@@ -10,7 +10,9 @@
 //!   (Bernstein–Vazirani, Grover, multi-controlled Toffoli, random circuits,
 //!   and RevLib-style reversible arithmetic), and
 //! * [`mutation`] — the bug-injection procedure of Section 7.2 (one extra
-//!   random gate at a random position).
+//!   random gate at a random position), and
+//! * [`digest`] — canonical SHA-256 content digests of circuits, the
+//!   cache-keying primitive of the verification daemon.
 //!
 //! *Pipeline position*: bigint → amplitude → **circuit** → simulator →
 //! {equivcheck, core} → bench — the common circuit IR consumed by the
@@ -30,6 +32,7 @@
 //! ```
 
 mod circuit;
+pub mod digest;
 mod gate;
 pub mod generators;
 pub mod mutation;

@@ -367,7 +367,7 @@ impl Engine {
         set: &StateSet,
         circuit: &Circuit,
     ) -> (StateSet, ApplyStats) {
-        self.apply_circuit_inner(set, circuit, None)
+        self.apply_circuit_inner(set, circuit, None, None)
             .expect("apply_circuit without a cancel flag cannot be cancelled")
     }
 
@@ -382,7 +382,21 @@ impl Engine {
         circuit: &Circuit,
         cancel: &CancelFlag,
     ) -> Option<(StateSet, ApplyStats)> {
-        self.apply_circuit_inner(set, circuit, Some(cancel))
+        self.apply_circuit_inner(set, circuit, Some(cancel), None)
+    }
+
+    /// Like [`Engine::apply_circuit_cancellable`], but additionally calls
+    /// `observer(applied, total)` after each applied gate — the progress
+    /// hook the verification daemon uses to stream progress frames while a
+    /// job runs.  The observer must be cheap; it runs on the hot path.
+    pub fn apply_circuit_observed(
+        &self,
+        set: &StateSet,
+        circuit: &Circuit,
+        cancel: &CancelFlag,
+        observer: &mut dyn FnMut(usize, usize),
+    ) -> Option<(StateSet, ApplyStats)> {
+        self.apply_circuit_inner(set, circuit, Some(cancel), Some(observer))
     }
 
     fn apply_circuit_inner(
@@ -390,21 +404,26 @@ impl Engine {
         set: &StateSet,
         circuit: &Circuit,
         cancel: Option<&CancelFlag>,
+        mut observer: Option<&mut dyn FnMut(usize, usize)>,
     ) -> Option<(StateSet, ApplyStats)> {
         assert!(
             circuit.num_qubits() <= set.num_qubits(),
             "circuit has more qubits than the state set"
         );
         let gates = circuit.gates();
+        let total = gates.len();
         let mut automaton = set.automaton().clone();
         let mut baseline = automaton.transition_count();
         let mut stats = ApplyStats::default();
         stats.observe(&automaton);
-        for index in interference_schedule(circuit) {
+        for (applied, index) in interference_schedule(circuit).into_iter().enumerate() {
             if cancel.is_some_and(CancelFlag::is_cancelled) {
                 return None;
             }
             self.apply_gate_in_place(&mut automaton, &gates[index], &mut baseline, &mut stats);
+            if let Some(observer) = observer.as_deref_mut() {
+                observer(applied + 1, total);
+            }
         }
         Some((set.with_automaton(automaton), stats))
     }

@@ -69,5 +69,6 @@ pub use pool::{HuntJob, HuntPool, PortfolioOutcome, PortfolioWin};
 pub use state_set::StateSet;
 pub use verify::{
     check_circuit_equivalence, check_circuit_equivalence_cancellable,
-    check_circuit_equivalence_with_stats, verify, SpecMode, VerificationOutcome,
+    check_circuit_equivalence_with_stats, verify, verify_cancellable, verify_observed, SpecMode,
+    VerificationOutcome,
 };

@@ -106,6 +106,39 @@ pub fn compare_with_post(
     }
 }
 
+/// Like [`verify`] but checks `cancel` between gates and returns `None` as
+/// soon as the flag is observed raised — the cooperative-cancellation entry
+/// point used by the verification daemon when a client disconnects or
+/// cancels mid-job.  The post-condition comparison itself is not
+/// interrupted; the circuit application, the dominant cost, is.
+pub fn verify_cancellable(
+    engine: &Engine,
+    pre: &StateSet,
+    circuit: &Circuit,
+    post: &StateSet,
+    mode: SpecMode,
+    cancel: &crate::CancelFlag,
+) -> Option<VerificationOutcome> {
+    let (output, _) = engine.apply_circuit_cancellable(pre, circuit, cancel)?;
+    Some(compare_with_post(&output, post, mode))
+}
+
+/// Like [`verify_cancellable`], but also reports gate-application statistics
+/// and calls `observer(applied, total)` after every applied gate — the
+/// daemon's progress-streaming hook.
+pub fn verify_observed(
+    engine: &Engine,
+    pre: &StateSet,
+    circuit: &Circuit,
+    post: &StateSet,
+    mode: SpecMode,
+    cancel: &crate::CancelFlag,
+    observer: &mut dyn FnMut(usize, usize),
+) -> Option<(VerificationOutcome, crate::ApplyStats)> {
+    let (output, stats) = engine.apply_circuit_observed(pre, circuit, cancel, observer)?;
+    Some((compare_with_post(&output, post, mode), stats))
+}
+
 /// Runs two circuits on the same set of input states and compares the sets
 /// of output states — the paper's non-equivalence check for validating
 /// circuit optimisations.

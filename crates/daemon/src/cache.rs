@@ -1,0 +1,308 @@
+//! The content-addressed verdict cache.
+//!
+//! Verdicts are keyed on the pair *(circuit digest, spec digest)*:
+//!
+//! * the **circuit digest** is [`autoq_circuit::digest::circuit_digest`]
+//!   over the *parsed* gate list, so QASM sources that differ only in
+//!   formatting, comments or register names hit the same entry;
+//! * the **spec digest** hashes the canonical wire encodings of the pre-
+//!   and post-conditions plus the mode and witness flag, so any semantic
+//!   field change misses.
+//!
+//! The cache is an in-memory map with a binary snapshot format
+//! (magic `AQVC`) for disk persistence through a
+//! [`VerdictStore`](crate::store::VerdictStore).  A corrupt or truncated
+//! snapshot is *rejected as a whole* — the daemon then starts with an
+//! empty cache rather than trusting partial data.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use autoq_circuit::digest::{chunks_digest, Digest};
+
+use crate::proto::{JobRequest, SpecMode};
+use crate::wire::{Decoder, Encoder, WireError};
+
+/// Snapshot magic: **A**uto**Q** **V**erdict **C**ache.
+pub const SNAPSHOT_MAGIC: &[u8; 4] = b"AQVC";
+
+/// Snapshot format version.
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+/// A cache key: circuit digest + spec digest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VerdictKey {
+    /// Digest of the parsed circuit.
+    pub circuit: Digest,
+    /// Digest of the canonical spec encoding (pre, post, mode, witness
+    /// flag).
+    pub spec: Digest,
+}
+
+/// Digest of everything about a job *except* the circuit: pre, post, mode
+/// and the witness flag, over their canonical wire encodings.
+pub fn spec_digest(job: &JobRequest) -> Digest {
+    let pre = job.pre.canonical_bytes();
+    let post = job.post.canonical_bytes();
+    let mode: &[u8] = match job.mode {
+        SpecMode::Equality => b"eq",
+        SpecMode::Inclusion => b"incl",
+    };
+    let witness: &[u8] = if job.want_witness { b"w1" } else { b"w0" };
+    chunks_digest("autoq-spec-v1", &[&pre, &post, mode, witness])
+}
+
+/// A cached verdict: the engine's answer with the witness already in its
+/// serialised binary-DAG form, ready to be framed to any client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CachedVerdict {
+    /// Whether the triple holds.
+    pub holds: bool,
+    /// Violation direction.
+    pub reachable_but_forbidden: bool,
+    /// Serialised witness ([`autoq_treeaut::format::tree_to_binary`]).
+    pub witness: Option<Vec<u8>>,
+}
+
+/// The in-memory verdict cache with hit/miss counters.
+#[derive(Default)]
+pub struct VerdictCache {
+    entries: Mutex<HashMap<VerdictKey, CachedVerdict>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl VerdictCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        VerdictCache::default()
+    }
+
+    /// Looks up a verdict, counting a hit or a miss.
+    pub fn lookup(&self, key: &VerdictKey) -> Option<CachedVerdict> {
+        let entries = self.entries.lock().unwrap();
+        match entries.get(key) {
+            Some(verdict) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(verdict.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or overwrites) a verdict.
+    pub fn insert(&self, key: VerdictKey, verdict: CachedVerdict) {
+        self.entries.lock().unwrap().insert(key, verdict);
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Serialises the cache into its binary snapshot format.
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        let entries = self.entries.lock().unwrap();
+        let mut enc = Encoder::default();
+        enc.put_u8(SNAPSHOT_MAGIC[0]);
+        enc.put_u8(SNAPSHOT_MAGIC[1]);
+        enc.put_u8(SNAPSHOT_MAGIC[2]);
+        enc.put_u8(SNAPSHOT_MAGIC[3]);
+        enc.put_u8(SNAPSHOT_VERSION);
+        enc.put_varint(entries.len() as u64);
+        // Sort keys so equal caches snapshot to identical bytes.
+        let mut keys: Vec<&VerdictKey> = entries.keys().collect();
+        keys.sort_by_key(|k| (k.circuit, k.spec));
+        for key in keys {
+            let verdict = &entries[key];
+            enc.put_bytes(&key.circuit.0);
+            enc.put_bytes(&key.spec.0);
+            let mut flags = 0u8;
+            if verdict.holds {
+                flags |= 1;
+            }
+            if verdict.reachable_but_forbidden {
+                flags |= 2;
+            }
+            if verdict.witness.is_some() {
+                flags |= 4;
+            }
+            enc.put_u8(flags);
+            if let Some(witness) = &verdict.witness {
+                enc.put_bytes(witness);
+            }
+        }
+        enc.finish()
+    }
+
+    /// Restores a cache from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Any structural problem — wrong magic, unknown version, truncation,
+    /// trailing bytes — rejects the whole snapshot.
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut dec = Decoder::new(bytes);
+        for expected in SNAPSHOT_MAGIC {
+            if dec.get_u8()? != *expected {
+                return Err(WireError::malformed(0, "bad cache snapshot magic"));
+            }
+        }
+        let version = dec.get_u8()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(WireError::malformed(
+                4,
+                format!("unsupported cache snapshot version {version}"),
+            ));
+        }
+        let count = dec.get_varint()?;
+        if count > dec.remaining() as u64 {
+            return Err(WireError::malformed(5, "snapshot entry count too large"));
+        }
+        let mut entries = HashMap::with_capacity(count as usize);
+        let digest = |dec: &mut Decoder<'_>| -> Result<Digest, WireError> {
+            let bytes = dec.get_bytes()?;
+            let arr: [u8; 32] = bytes
+                .as_slice()
+                .try_into()
+                .map_err(|_| WireError::malformed(0, "digest must be 32 bytes"))?;
+            Ok(Digest(arr))
+        };
+        for _ in 0..count {
+            let circuit = digest(&mut dec)?;
+            let spec = digest(&mut dec)?;
+            let flags = dec.get_u8()?;
+            if flags & !0x07 != 0 {
+                return Err(WireError::malformed(
+                    0,
+                    format!("unknown snapshot entry flags {flags:#04x}"),
+                ));
+            }
+            let witness = if flags & 4 != 0 {
+                Some(dec.get_bytes()?)
+            } else {
+                None
+            };
+            entries.insert(
+                VerdictKey { circuit, spec },
+                CachedVerdict {
+                    holds: flags & 1 != 0,
+                    reachable_but_forbidden: flags & 2 != 0,
+                    witness,
+                },
+            );
+        }
+        dec.expect_end()?;
+        Ok(VerdictCache {
+            entries: Mutex::new(entries),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoq_circuit::digest::sha256;
+
+    fn key(tag: u8) -> VerdictKey {
+        VerdictKey {
+            circuit: sha256(&[tag]),
+            spec: sha256(&[tag, tag]),
+        }
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let cache = VerdictCache::new();
+        assert!(cache.lookup(&key(1)).is_none());
+        cache.insert(
+            key(1),
+            CachedVerdict {
+                holds: true,
+                reachable_but_forbidden: false,
+                witness: None,
+            },
+        );
+        assert!(cache.lookup(&key(1)).is_some());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_is_deterministic() {
+        let cache = VerdictCache::new();
+        cache.insert(
+            key(1),
+            CachedVerdict {
+                holds: true,
+                reachable_but_forbidden: false,
+                witness: None,
+            },
+        );
+        cache.insert(
+            key(2),
+            CachedVerdict {
+                holds: false,
+                reachable_but_forbidden: true,
+                witness: Some(vec![1, 2, 3]),
+            },
+        );
+        let snap = cache.to_snapshot();
+        let restored = VerdictCache::from_snapshot(&snap).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(
+            restored.lookup(&key(2)).unwrap().witness,
+            Some(vec![1, 2, 3])
+        );
+        assert_eq!(restored.to_snapshot(), snap);
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected_wholesale() {
+        let cache = VerdictCache::new();
+        cache.insert(
+            key(7),
+            CachedVerdict {
+                holds: true,
+                reachable_but_forbidden: false,
+                witness: None,
+            },
+        );
+        let snap = cache.to_snapshot();
+        // Truncation at every prefix fails cleanly.
+        for cut in 0..snap.len() {
+            assert!(
+                VerdictCache::from_snapshot(&snap[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        // Wrong magic.
+        let mut bad = snap.clone();
+        bad[0] ^= 0xff;
+        assert!(VerdictCache::from_snapshot(&bad).is_err());
+        // Trailing garbage.
+        let mut long = snap;
+        long.push(0);
+        assert!(VerdictCache::from_snapshot(&long).is_err());
+    }
+}

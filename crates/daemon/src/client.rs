@@ -1,0 +1,196 @@
+//! A blocking client for the verification daemon.
+//!
+//! [`Client::connect`] performs the handshake; [`Client::verify`] is the
+//! high-level one-job call that submits, consumes progress frames and
+//! returns the final [`JobOutcome`].  The lower-level
+//! [`send`](Client::send)/[`recv`](Client::recv)/[`send_raw`](Client::send_raw)
+//! methods exist for the protocol and fault-injection test suites, which
+//! need to speak the protocol wrongly on purpose.
+
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::proto::{DaemonStats, JobRequest, Request, Response, Verdict, MAGIC, PROTOCOL_VERSION};
+use crate::wire::{read_frame, write_frame, WireError};
+
+/// The final fate of a submitted job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// A verdict arrived.
+    Verdict {
+        /// The verdict.
+        verdict: Verdict,
+        /// Whether the daemon served it from the cache.
+        cached: bool,
+    },
+    /// The daemon rejected the submission for backpressure.
+    Rejected {
+        /// Suggested retry delay in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The job failed (parse error, bad spec, cancellation).
+    Failed {
+        /// Daemon-provided description.
+        message: String,
+    },
+}
+
+/// A connected, handshaken daemon client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_job: u64,
+}
+
+impl Client {
+    /// Connects and handshakes at [`PROTOCOL_VERSION`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, WireError> {
+        Self::connect_with_hello(addr, MAGIC, PROTOCOL_VERSION)
+    }
+
+    /// Connects and handshakes with arbitrary magic/version — the
+    /// version-mismatch tests' entry point.  The handshake response (ack
+    /// or error) is returned alongside the client.
+    pub fn connect_with_hello(
+        addr: impl ToSocketAddrs,
+        magic: u32,
+        version: u32,
+    ) -> Result<Client, WireError> {
+        let mut client = Self::connect_raw(addr)?;
+        client.send(&Request::Hello { magic, version })?;
+        match client.recv()? {
+            Response::HelloAck { .. } => Ok(client),
+            Response::Error { code, message } => Err(WireError::malformed(
+                0,
+                format!("handshake refused ({code:?}): {message}"),
+            )),
+            other => Err(WireError::malformed(
+                0,
+                format!("unexpected handshake response {other:?}"),
+            )),
+        }
+    }
+
+    /// Connects without handshaking — for tests that need to misbehave
+    /// from the first byte.
+    pub fn connect_raw(addr: impl ToSocketAddrs) -> Result<Client, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+            next_job: 0,
+        })
+    }
+
+    /// Sets a read timeout so tests can assert "no response" without
+    /// hanging.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    /// Sends one request frame.
+    pub fn send(&mut self, request: &Request) -> Result<(), WireError> {
+        write_frame(&mut self.writer, &request.encode())
+    }
+
+    /// Writes raw bytes straight to the socket (no framing) — for
+    /// injecting garbage and truncated frames.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        self.writer.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Receives one response frame.
+    pub fn recv(&mut self) -> Result<Response, WireError> {
+        Response::decode(&read_frame(&mut self.reader)?)
+    }
+
+    /// Submits a job under a fresh id, returning the id.
+    pub fn submit(&mut self, job: JobRequest) -> Result<u64, WireError> {
+        self.next_job += 1;
+        let client_job = self.next_job;
+        self.send(&Request::Submit { client_job, job })?;
+        Ok(client_job)
+    }
+
+    /// Submits a job and blocks until its outcome, skipping progress
+    /// frames (the last observed progress is returned alongside).
+    pub fn verify(&mut self, job: JobRequest) -> Result<JobOutcome, WireError> {
+        let client_job = self.submit(job)?;
+        loop {
+            match self.recv()? {
+                Response::Accepted { client_job: id } if id == client_job => {}
+                Response::Progress { client_job: id, .. } if id == client_job => {}
+                Response::Rejected {
+                    client_job: id,
+                    retry_after_ms,
+                } if id == client_job => return Ok(JobOutcome::Rejected { retry_after_ms }),
+                Response::Verdict {
+                    client_job: id,
+                    cached,
+                    verdict,
+                } if id == client_job => return Ok(JobOutcome::Verdict { verdict, cached }),
+                Response::JobError {
+                    client_job: id,
+                    message,
+                } if id == client_job => return Ok(JobOutcome::Failed { message }),
+                Response::Error { code, message } => {
+                    return Err(WireError::malformed(
+                        0,
+                        format!("protocol error ({code:?}): {message}"),
+                    ))
+                }
+                other => {
+                    return Err(WireError::malformed(
+                        0,
+                        format!("unexpected response {other:?}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Requests daemon statistics.
+    pub fn stats(&mut self) -> Result<DaemonStats, WireError> {
+        self.send(&Request::Stats)?;
+        match self.recv()? {
+            Response::StatsReport(stats) => Ok(stats),
+            other => Err(WireError::malformed(
+                0,
+                format!("unexpected stats response {other:?}"),
+            )),
+        }
+    }
+
+    /// Round-trips a ping.
+    pub fn ping(&mut self) -> Result<(), WireError> {
+        self.send(&Request::Ping)?;
+        match self.recv()? {
+            Response::Pong => Ok(()),
+            other => Err(WireError::malformed(
+                0,
+                format!("unexpected ping response {other:?}"),
+            )),
+        }
+    }
+
+    /// Asks the daemon to persist its cache and exit.
+    pub fn shutdown(&mut self) -> Result<(), WireError> {
+        self.send(&Request::Shutdown)?;
+        match self.recv()? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(WireError::malformed(
+                0,
+                format!("unexpected shutdown response {other:?}"),
+            )),
+        }
+    }
+
+    /// Cancels a previously submitted job.
+    pub fn cancel(&mut self, client_job: u64) -> Result<(), WireError> {
+        self.send(&Request::Cancel { client_job })
+    }
+}

@@ -1,0 +1,152 @@
+//! Byte-level fault injection for protocol and persistence tests.
+//!
+//! [`FaultPlan`] describes a deterministic corruption — truncate the byte
+//! stream at an offset, and/or flip a byte at an offset — and
+//! [`FaultyWriter`] applies it to any [`Write`] transport.  The fault
+//! tests drive a real daemon connection through a `FaultyWriter` to
+//! produce truncated and garbage frames at *every* interesting byte
+//! offset, and [`FailStore`](crate::store::FailStore) applies the same
+//! plans to cache snapshots to prove corrupt persistence is rejected
+//! wholesale.
+
+use std::io::{self, Write};
+
+/// A deterministic byte-stream corruption.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPlan {
+    /// Drop everything from this stream offset on; subsequent writes fail
+    /// with [`io::ErrorKind::BrokenPipe`].
+    pub truncate_at: Option<usize>,
+    /// XOR the byte at this stream offset with the mask.
+    pub corrupt: Option<(usize, u8)>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn clean() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Truncate the stream at `offset`.
+    pub fn truncate_at(offset: usize) -> Self {
+        FaultPlan {
+            truncate_at: Some(offset),
+            corrupt: None,
+        }
+    }
+
+    /// XOR the byte at `offset` with `mask`.
+    pub fn corrupt_at(offset: usize, mask: u8) -> Self {
+        FaultPlan {
+            truncate_at: None,
+            corrupt: Some((offset, mask)),
+        }
+    }
+
+    /// Applies the plan to a complete byte buffer (the store-level variant
+    /// of [`FaultyWriter`]).
+    pub fn apply(&self, bytes: &[u8]) -> Vec<u8> {
+        let mut out = bytes.to_vec();
+        if let Some((offset, mask)) = self.corrupt {
+            if let Some(byte) = out.get_mut(offset) {
+                *byte ^= mask;
+            }
+        }
+        if let Some(limit) = self.truncate_at {
+            out.truncate(limit);
+        }
+        out
+    }
+}
+
+/// A [`Write`] wrapper that applies a [`FaultPlan`] at exact byte offsets
+/// of the written stream.
+pub struct FaultyWriter<W> {
+    inner: W,
+    plan: FaultPlan,
+    written: usize,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wraps `inner`, injecting the given plan.
+    pub fn new(inner: W, plan: FaultPlan) -> Self {
+        FaultyWriter {
+            inner,
+            plan,
+            written: 0,
+        }
+    }
+
+    /// Total bytes offered to the writer so far (pre-fault offsets).
+    pub fn offset(&self) -> usize {
+        self.written
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut chunk = buf.to_vec();
+        if let Some((offset, mask)) = self.plan.corrupt {
+            if offset >= self.written && offset < self.written + chunk.len() {
+                chunk[offset - self.written] ^= mask;
+            }
+        }
+        if let Some(limit) = self.plan.truncate_at {
+            if self.written >= limit {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "fault injection: stream truncated",
+                ));
+            }
+            let allowed = limit - self.written;
+            if chunk.len() > allowed {
+                self.inner.write_all(&chunk[..allowed])?;
+                self.inner.flush()?;
+                self.written += allowed;
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "fault injection: stream truncated",
+                ));
+            }
+        }
+        self.inner.write_all(&chunk)?;
+        self.written += chunk.len();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_cuts_at_the_exact_offset() {
+        let mut sink = Vec::new();
+        let mut writer = FaultyWriter::new(&mut sink, FaultPlan::truncate_at(3));
+        assert!(writer.write_all(b"ab").is_ok());
+        assert!(writer.write_all(b"cdef").is_err());
+        assert_eq!(sink, b"abc");
+    }
+
+    #[test]
+    fn corruption_flips_one_byte() {
+        let mut sink = Vec::new();
+        let mut writer = FaultyWriter::new(&mut sink, FaultPlan::corrupt_at(2, 0xff));
+        writer.write_all(b"ab").unwrap();
+        writer.write_all(b"cd").unwrap();
+        assert_eq!(sink, [b'a', b'b', b'c' ^ 0xff, b'd']);
+    }
+
+    #[test]
+    fn buffer_plans_match_writer_plans() {
+        let data = b"framing bytes".to_vec();
+        assert_eq!(FaultPlan::truncate_at(4).apply(&data), b"fram");
+        let corrupted = FaultPlan::corrupt_at(0, 0x20).apply(&data);
+        assert_eq!(corrupted[0], b'F');
+        assert_eq!(FaultPlan::clean().apply(&data), data);
+    }
+}

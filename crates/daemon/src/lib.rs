@@ -1,0 +1,87 @@
+//! A long-running verification daemon for the AutoQ engine.
+//!
+//! The daemon accepts verification jobs — an OpenQASM circuit plus
+//! pre/post specifications — over a versioned, length-prefixed TCP
+//! protocol, schedules them on a bounded worker pool, streams progress
+//! back, and memoises verdicts in a **content-addressed cache** keyed on
+//! *(circuit digest, spec digest)*.  The cache persists across restarts
+//! through a pluggable [`VerdictStore`], with
+//! witnesses stored in the compact binary DAG codec of
+//! [`autoq_treeaut::format`].
+//!
+//! *Pipeline position*: bigint → amplitude → {treeaut, circuit} →
+//! simulator → core → **daemon** — the serving layer over the
+//! [`autoq_core`] engine.
+//!
+//! Module map:
+//!
+//! * [`wire`] — framing, varints, bounds-checked encode/decode;
+//! * [`proto`] — the request/response message set and its encoding;
+//! * [`engine`] — the [`VerifyEngine`] trait with
+//!   the production [`RealEngine`] and the scripted
+//!   [`MockEngine`];
+//! * [`cache`] — the content-addressed verdict cache and its snapshot
+//!   format;
+//! * [`store`] — snapshot persistence ([`FileStore`],
+//!   [`MemStore`]) and the fault-injecting
+//!   [`FailStore`];
+//! * [`fault`] — byte-offset fault plans and the fault-injecting writer;
+//! * [`server`] — the daemon itself ([`serve`]);
+//! * [`client`] — the blocking client.
+//!
+//! See `docs/DAEMON.md` for the wire format and the operational model.
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use autoq_daemon::engine::RealEngine;
+//! use autoq_daemon::proto::{JobRequest, Spec, SpecMode};
+//! use autoq_daemon::server::{serve, DaemonConfig};
+//! use autoq_daemon::client::{Client, JobOutcome};
+//!
+//! let daemon = serve(
+//!     "127.0.0.1:0",
+//!     DaemonConfig::default(),
+//!     Arc::new(RealEngine::default()),
+//!     None,
+//! )
+//! .unwrap();
+//!
+//! let mut client = Client::connect(daemon.addr()).unwrap();
+//! let outcome = client
+//!     .verify(JobRequest {
+//!         qasm: "OPENQASM 2.0;\nqreg q[1];\nx q[0];\n".into(),
+//!         pre: Spec::Basis { num_qubits: 1, basis: 0 },
+//!         post: Spec::Basis { num_qubits: 1, basis: 1 },
+//!         mode: SpecMode::Equality,
+//!         want_witness: true,
+//!     })
+//!     .unwrap();
+//! match outcome {
+//!     JobOutcome::Verdict { verdict, .. } => assert!(verdict.holds),
+//!     other => panic!("unexpected outcome {other:?}"),
+//! }
+//! client.shutdown().unwrap();
+//! daemon.join();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod fault;
+pub mod proto;
+pub mod server;
+pub mod store;
+pub mod wire;
+
+pub use cache::{CachedVerdict, VerdictCache, VerdictKey};
+pub use client::{Client, JobOutcome};
+pub use engine::{MockBehavior, MockEngine, RealEngine, VerifyEngine};
+pub use proto::{
+    DaemonStats, ErrorCode, JobRequest, Request, Response, Spec, SpecMode, Verdict, MAGIC,
+    PROTOCOL_VERSION,
+};
+pub use server::{serve, DaemonConfig, DaemonHandle};
+pub use store::{FailMode, FailStore, FileStore, MemStore, VerdictStore};
+pub use wire::{WireError, MAX_FRAME_LEN};

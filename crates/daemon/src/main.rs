@@ -1,0 +1,78 @@
+//! The `autoq-daemon` binary: serve verification jobs over TCP.
+//!
+//! ```text
+//! autoq-daemon [--addr HOST:PORT] [--workers N] [--queue N] [--cache-file PATH]
+//! ```
+//!
+//! Defaults: `127.0.0.1:7411`, 2 workers, queue of 16, no persistence.
+//! With `--cache-file` the verdict cache is loaded at startup and written
+//! back after every computed verdict and at shutdown, so a restarted
+//! daemon re-serves known verdicts without re-running the engine.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use autoq_daemon::engine::RealEngine;
+use autoq_daemon::server::{serve, DaemonConfig};
+use autoq_daemon::store::{FileStore, VerdictStore};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: autoq-daemon [--addr HOST:PORT] [--workers N] [--queue N] [--cache-file PATH]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7411".to_string();
+    let mut config = DaemonConfig::default();
+    let mut store: Option<Arc<dyn VerdictStore>> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else {
+            eprintln!("autoq-daemon: {flag} needs a value");
+            return usage();
+        };
+        match flag.as_str() {
+            "--addr" => addr = value,
+            "--workers" => match value.parse::<usize>() {
+                Ok(n) if n > 0 => config.workers = n,
+                _ => {
+                    eprintln!("autoq-daemon: --workers needs a positive integer");
+                    return usage();
+                }
+            },
+            "--queue" => match value.parse::<usize>() {
+                Ok(n) if n > 0 => config.queue_capacity = n,
+                _ => {
+                    eprintln!("autoq-daemon: --queue needs a positive integer");
+                    return usage();
+                }
+            },
+            "--cache-file" => store = Some(Arc::new(FileStore::new(value))),
+            other => {
+                eprintln!("autoq-daemon: unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+
+    let daemon = match serve(&addr, config, Arc::new(RealEngine::default()), store) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("autoq-daemon: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "autoq-daemon listening on {} ({} workers, queue {})",
+        daemon.addr(),
+        config.workers,
+        config.queue_capacity
+    );
+    // The daemon runs until a client sends Shutdown.
+    daemon.join();
+    println!("autoq-daemon: shut down");
+    ExitCode::SUCCESS
+}

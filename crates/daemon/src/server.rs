@@ -1,0 +1,621 @@
+//! The verification daemon: TCP accept loop, bounded job queue, worker
+//! pool, verdict cache.
+//!
+//! # Threading model
+//!
+//! One *accept* thread takes connections and spawns a *connection* thread
+//! per client.  Connection threads run the protocol: handshake first, then
+//! a request loop.  Cache hits are answered inline on the connection
+//! thread — the hot path is parse + digest + hash-map lookup, no automata
+//! work — while misses are pushed onto a bounded queue drained by a fixed
+//! pool of *worker* threads that run the engine.  When the queue is full a
+//! submission is rejected with a retry hint instead of blocking the
+//! connection (explicit backpressure).
+//!
+//! Workers stream [`Response::Progress`] frames back over the submitting
+//! connection (time-throttled) and publish verdicts both to the client and
+//! to the cache.  Every running job carries a [`CancelFlag`]; an explicit
+//! cancel request, a client disconnect, or a failed progress write raises
+//! it, and the engine abandons the job at the next gate boundary.
+//!
+//! Shutdown — via [`DaemonHandle::shutdown`] or a client
+//! [`Request::Shutdown`] — drains nothing: queued jobs are dropped, running
+//! jobs are cancelled, the verdict cache is snapshotted to the configured
+//! [`VerdictStore`], and all sockets are shut down.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use autoq_circuit::digest::circuit_digest;
+use autoq_circuit::qasm::parse_qasm;
+use autoq_core::CancelFlag;
+use autoq_treeaut::format::tree_to_binary;
+
+use crate::cache::{spec_digest, CachedVerdict, VerdictCache, VerdictKey};
+use crate::engine::{materialize, JobInputs, VerifyEngine};
+use crate::proto::{DaemonStats, ErrorCode, Request, Response, Verdict, MAGIC, PROTOCOL_VERSION};
+use crate::store::VerdictStore;
+use crate::wire::{read_frame, WireError, MAX_FRAME_LEN};
+
+/// Daemon tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonConfig {
+    /// Worker threads running the engine.
+    pub workers: usize,
+    /// Maximum queued (accepted but not yet running) jobs before
+    /// submissions are rejected.
+    pub queue_capacity: usize,
+    /// Retry hint attached to backpressure rejections.
+    pub retry_after_ms: u32,
+    /// Minimum interval between progress frames for one job.
+    pub progress_interval: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            workers: 2,
+            queue_capacity: 16,
+            retry_after_ms: 100,
+            progress_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// One frame-writer per connection, shared between the connection thread
+/// and any workers running its jobs.  Frames are written atomically
+/// (single `write_all` of prefix + payload) under the lock.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    fn send(&self, response: &Response) -> Result<(), WireError> {
+        let payload = response.encode();
+        assert!(payload.len() <= MAX_FRAME_LEN, "outgoing frame too large");
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let mut stream = self.stream.lock().unwrap();
+        stream.write_all(&frame)?;
+        Ok(())
+    }
+}
+
+/// A job accepted onto the queue.
+struct QueuedJob {
+    key: VerdictKey,
+    inputs: JobInputs,
+    client_job: u64,
+    cancel: CancelFlag,
+    writer: Arc<ConnWriter>,
+    jobs: Arc<Mutex<HashMap<u64, CancelFlag>>>,
+}
+
+struct Shared {
+    config: DaemonConfig,
+    engine: Arc<dyn VerifyEngine>,
+    store: Option<Arc<dyn VerdictStore>>,
+    cache: VerdictCache,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    queue_signal: Condvar,
+    shutting_down: AtomicBool,
+    jobs_completed: AtomicU64,
+    rejected: AtomicU64,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+impl Shared {
+    fn stats(&self) -> DaemonStats {
+        DaemonStats {
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_depth: self.queue.lock().unwrap().len() as u32,
+            workers: self.config.workers as u32,
+            cache_entries: self.cache.len() as u64,
+        }
+    }
+
+    fn persist(&self) {
+        if let Some(store) = &self.store {
+            if let Err(e) = store.save(&self.cache.to_snapshot()) {
+                eprintln!("autoq-daemon: failed to persist verdict cache: {e}");
+            }
+        }
+    }
+
+    /// Raises the shutdown flag, wakes every worker, cancels every
+    /// in-flight job and unblocks every connection read.
+    fn begin_shutdown(&self, addr: SocketAddr) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.persist();
+        {
+            let mut queue = self.queue.lock().unwrap();
+            for job in queue.drain(..) {
+                job.cancel.cancel();
+            }
+        }
+        self.queue_signal.notify_all();
+        for (_, stream) in self.conns.lock().unwrap().iter() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+/// A running daemon: address, shutdown trigger, join.
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl DaemonHandle {
+    /// The bound address (use with port 0 to let the OS pick).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Triggers shutdown: persists the cache, cancels jobs, closes
+    /// sockets.  Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown(self.addr);
+    }
+
+    /// Whether shutdown has been triggered.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Waits for every daemon thread to exit (call after
+    /// [`shutdown`](Self::shutdown)).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let handles: Vec<_> = self.conn_threads.lock().unwrap().drain(..).collect();
+        for conn in handles {
+            let _ = conn.join();
+        }
+    }
+}
+
+/// Starts the daemon on `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+///
+/// `store`, when given, seeds the verdict cache from its last snapshot —
+/// a corrupt or unreadable snapshot is discarded and the daemon starts
+/// empty — and receives a fresh snapshot on shutdown and after every
+/// computed verdict.
+pub fn serve(
+    addr: &str,
+    config: DaemonConfig,
+    engine: Arc<dyn VerifyEngine>,
+    store: Option<Arc<dyn VerdictStore>>,
+) -> std::io::Result<DaemonHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+
+    let cache = match store.as_ref().map(|s| s.load()) {
+        Some(Ok(Some(bytes))) => match VerdictCache::from_snapshot(&bytes) {
+            Ok(cache) => cache,
+            Err(e) => {
+                eprintln!("autoq-daemon: discarding corrupt verdict cache snapshot: {e}");
+                VerdictCache::new()
+            }
+        },
+        Some(Err(e)) => {
+            eprintln!("autoq-daemon: verdict store unreadable, starting empty: {e}");
+            VerdictCache::new()
+        }
+        _ => VerdictCache::new(),
+    };
+
+    let shared = Arc::new(Shared {
+        config,
+        engine,
+        store,
+        cache,
+        queue: Mutex::new(VecDeque::new()),
+        queue_signal: Condvar::new(),
+        shutting_down: AtomicBool::new(false),
+        jobs_completed: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        conns: Mutex::new(HashMap::new()),
+        next_conn: AtomicU64::new(0),
+    });
+
+    let mut workers = Vec::with_capacity(config.workers);
+    for index in 0..config.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("autoq-worker-{index}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker"),
+        );
+    }
+
+    let conn_threads = Arc::new(Mutex::new(Vec::new()));
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let conn_threads = Arc::clone(&conn_threads);
+        std::thread::Builder::new()
+            .name("autoq-accept".into())
+            .spawn(move || accept_loop(listener, shared, conn_threads))
+            .expect("spawn accept loop")
+    };
+
+    Ok(DaemonHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        workers,
+        conn_threads,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => break,
+        };
+        let _ = stream.set_nodelay(true);
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().unwrap().insert(conn_id, clone);
+        }
+        // Register *before* checking the flag: either this thread sees the
+        // flag here, or `begin_shutdown` sees the registered socket — a
+        // connection can't slip through un-closeable in either order.
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            shared.conns.lock().unwrap().remove(&conn_id);
+            break;
+        }
+        let shared_conn = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("autoq-conn-{conn_id}"))
+            .spawn(move || {
+                connection_loop(stream, conn_id, &shared_conn);
+                shared_conn.conns.lock().unwrap().remove(&conn_id);
+            })
+            .expect("spawn connection thread");
+        conn_threads.lock().unwrap().push(handle);
+    }
+}
+
+/// Runs the protocol on one connection until it closes or errors.
+fn connection_loop(stream: TcpStream, _conn_id: u64, shared: &Shared) {
+    let reader_stream = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let writer = Arc::new(ConnWriter {
+        stream: Mutex::new(stream),
+    });
+    // Cancel flags of this connection's queued/running jobs; a disconnect
+    // raises them all.
+    let jobs: Arc<Mutex<HashMap<u64, CancelFlag>>> = Arc::new(Mutex::new(HashMap::new()));
+
+    let fatal = |code: ErrorCode, message: String| {
+        let _ = writer.send(&Response::Error { code, message });
+    };
+
+    // Handshake: the first frame must be a valid Hello.
+    match read_frame(&mut reader).and_then(|payload| Request::decode(&payload)) {
+        Ok(Request::Hello { magic, version }) => {
+            if magic != MAGIC {
+                fatal(ErrorCode::BadMagic, format!("bad magic {magic:#010x}"));
+                return;
+            }
+            if version != PROTOCOL_VERSION {
+                fatal(
+                    ErrorCode::VersionMismatch,
+                    format!("daemon speaks protocol {PROTOCOL_VERSION}, client sent {version}"),
+                );
+                return;
+            }
+            if writer
+                .send(&Response::HelloAck {
+                    version: PROTOCOL_VERSION,
+                })
+                .is_err()
+            {
+                return;
+            }
+        }
+        Ok(_) => {
+            fatal(
+                ErrorCode::MalformedFrame,
+                "first frame must be Hello".into(),
+            );
+            return;
+        }
+        Err(WireError::Closed) | Err(WireError::Truncated) | Err(WireError::Io(_)) => return,
+        Err(e) => {
+            fatal(ErrorCode::MalformedFrame, e.to_string());
+            return;
+        }
+    }
+
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(payload) => payload,
+            Err(WireError::Closed) | Err(WireError::Truncated) | Err(WireError::Io(_)) => break,
+            Err(e) => {
+                // Oversized or structurally bad framing: report and close —
+                // the byte stream can no longer be trusted.
+                fatal(ErrorCode::MalformedFrame, e.to_string());
+                break;
+            }
+        };
+        let request = match Request::decode(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                // The frame boundary is intact, so the error is scoped to
+                // this one message; still, an unknown opcode may mean a
+                // newer client, so close rather than guess.
+                let code = if matches!(&e, WireError::Malformed { message, .. }
+                    if message.starts_with("unknown request opcode"))
+                {
+                    ErrorCode::UnknownOpcode
+                } else {
+                    ErrorCode::MalformedFrame
+                };
+                fatal(code, e.to_string());
+                break;
+            }
+        };
+        match request {
+            Request::Hello { .. } => {
+                fatal(ErrorCode::MalformedFrame, "duplicate Hello".into());
+                break;
+            }
+            Request::Submit { client_job, job } => {
+                if !handle_submit(shared, &writer, &jobs, client_job, job) {
+                    break;
+                }
+            }
+            Request::Cancel { client_job } => {
+                if let Some(cancel) = jobs.lock().unwrap().get(&client_job) {
+                    cancel.cancel();
+                }
+            }
+            Request::Stats => {
+                if writer.send(&Response::StatsReport(shared.stats())).is_err() {
+                    break;
+                }
+            }
+            Request::Ping => {
+                if writer.send(&Response::Pong).is_err() {
+                    break;
+                }
+            }
+            Request::Shutdown => {
+                let _ = writer.send(&Response::ShuttingDown);
+                // The local address doubles as the accept-unblock target.
+                let addr = writer
+                    .stream
+                    .lock()
+                    .unwrap()
+                    .local_addr()
+                    .expect("local addr");
+                shared.begin_shutdown(addr);
+                break;
+            }
+        }
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+
+    // Disconnect (or shutdown): abandon everything this client was waiting
+    // for.
+    for (_, cancel) in jobs.lock().unwrap().iter() {
+        cancel.cancel();
+    }
+}
+
+/// Handles one submission; returns `false` if the connection died.
+fn handle_submit(
+    shared: &Shared,
+    writer: &Arc<ConnWriter>,
+    jobs: &Arc<Mutex<HashMap<u64, CancelFlag>>>,
+    client_job: u64,
+    job: crate::proto::JobRequest,
+) -> bool {
+    let job_error = |message: String| {
+        writer
+            .send(&Response::JobError {
+                client_job,
+                message,
+            })
+            .is_ok()
+    };
+
+    // Hot path: parse + digest + cache lookup, no automata construction.
+    let circuit = match parse_qasm(&job.qasm) {
+        Ok(circuit) => circuit,
+        Err(e) => return job_error(e.to_string()),
+    };
+    let key = VerdictKey {
+        circuit: circuit_digest(&circuit),
+        spec: spec_digest(&job),
+    };
+    if let Some(cached) = shared.cache.lookup(&key) {
+        return writer
+            .send(&Response::Verdict {
+                client_job,
+                cached: true,
+                verdict: Verdict {
+                    holds: cached.holds,
+                    reachable_but_forbidden: cached.reachable_but_forbidden,
+                    witness: cached.witness,
+                },
+            })
+            .is_ok();
+    }
+
+    // Miss: materialise the state sets and queue for a worker.
+    let inputs = match materialize(circuit, &job) {
+        Ok(inputs) => inputs,
+        Err(message) => return job_error(message),
+    };
+    let rejected = Response::Rejected {
+        client_job,
+        retry_after_ms: shared.config.retry_after_ms,
+    };
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        return writer.send(&rejected).is_ok();
+    }
+    let cancel = CancelFlag::new();
+    {
+        let mut queue = shared.queue.lock().unwrap();
+        if queue.len() >= shared.config.queue_capacity {
+            drop(queue);
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return writer.send(&rejected).is_ok();
+        }
+        jobs.lock().unwrap().insert(client_job, cancel.clone());
+        // Ack *before* the job becomes visible to workers (the push below),
+        // so the client always sees Accepted before any Progress/Verdict.
+        if writer.send(&Response::Accepted { client_job }).is_err() {
+            jobs.lock().unwrap().remove(&client_job);
+            return false;
+        }
+        queue.push_back(QueuedJob {
+            key,
+            inputs,
+            client_job,
+            cancel,
+            writer: Arc::clone(writer),
+            jobs: Arc::clone(jobs),
+        });
+    }
+    shared.queue_signal.notify_one();
+    true
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.queue_signal.wait(queue).unwrap();
+            }
+        };
+        run_job(shared, job);
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn run_job(shared: &Shared, job: QueuedJob) {
+    let QueuedJob {
+        key,
+        inputs,
+        client_job,
+        cancel,
+        writer,
+        jobs,
+    } = job;
+
+    let finish = |response: &Response| {
+        jobs.lock().unwrap().remove(&client_job);
+        let _ = writer.send(response);
+    };
+
+    if cancel.is_cancelled() {
+        finish(&Response::JobError {
+            client_job,
+            message: "job cancelled".into(),
+        });
+        return;
+    }
+
+    // Throttled progress streaming; a failed write means the client is
+    // gone, which cancels the job at the next gate boundary.
+    let interval = shared.config.progress_interval;
+    let mut last_sent: Option<Instant> = None;
+    let mut progress = |applied: u32, total: u32| {
+        let due = applied == total
+            || match last_sent {
+                None => true,
+                Some(at) => at.elapsed() >= interval,
+            };
+        if !due {
+            return;
+        }
+        last_sent = Some(Instant::now());
+        if writer
+            .send(&Response::Progress {
+                client_job,
+                applied,
+                total,
+            })
+            .is_err()
+        {
+            cancel.cancel();
+        }
+    };
+
+    match shared.engine.verify(&inputs, &cancel, &mut progress) {
+        None => finish(&Response::JobError {
+            client_job,
+            message: "job cancelled".into(),
+        }),
+        Some(verdict) => {
+            let witness = match &verdict.witness {
+                Some(tree) if inputs.want_witness => Some(tree_to_binary(tree)),
+                _ => None,
+            };
+            let cached = CachedVerdict {
+                holds: verdict.holds,
+                reachable_but_forbidden: verdict.reachable_but_forbidden,
+                witness: witness.clone(),
+            };
+            shared.cache.insert(key, cached);
+            shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            shared.persist();
+            finish(&Response::Verdict {
+                client_job,
+                cached: false,
+                verdict: Verdict {
+                    holds: verdict.holds,
+                    reachable_but_forbidden: verdict.reachable_but_forbidden,
+                    witness,
+                },
+            });
+        }
+    }
+}

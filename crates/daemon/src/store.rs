@@ -1,0 +1,180 @@
+//! Persistence backends for the verdict cache.
+//!
+//! The daemon only ever persists *whole snapshots* (see
+//! [`VerdictCache`](crate::cache::VerdictCache)), so the store interface is
+//! deliberately tiny: load all bytes, save all bytes.  [`FileStore`] is the
+//! production backend with atomic write-then-rename; [`MemStore`] backs
+//! restart tests without a filesystem; [`FailStore`] wraps another store
+//! and corrupts traffic through it with a [`FaultPlan`], which is how the
+//! tests prove a daemon facing a bad disk starts empty instead of serving
+//! half a cache.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use crate::fault::FaultPlan;
+
+/// Whole-snapshot persistence for the verdict cache.
+pub trait VerdictStore: Send + Sync {
+    /// Loads the last saved snapshot, `None` if nothing was ever saved.
+    fn load(&self) -> io::Result<Option<Vec<u8>>>;
+    /// Replaces the saved snapshot.
+    fn save(&self, bytes: &[u8]) -> io::Result<()>;
+}
+
+/// File-backed store with atomic replace (write to `<path>.tmp`, rename).
+pub struct FileStore {
+    path: PathBuf,
+}
+
+impl FileStore {
+    /// Persists to the given path.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        FileStore { path: path.into() }
+    }
+}
+
+impl VerdictStore for FileStore {
+    fn load(&self) -> io::Result<Option<Vec<u8>>> {
+        match std::fs::read(&self.path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn save(&self, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.path.with_extension("tmp");
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, &self.path)
+    }
+}
+
+/// In-memory store for restart tests: survives a daemon "restart" because
+/// the test holds the `Arc`.
+#[derive(Default)]
+pub struct MemStore {
+    bytes: Mutex<Option<Vec<u8>>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+
+    /// The currently saved snapshot, if any.
+    pub fn snapshot(&self) -> Option<Vec<u8>> {
+        self.bytes.lock().unwrap().clone()
+    }
+}
+
+impl VerdictStore for MemStore {
+    fn load(&self) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.bytes.lock().unwrap().clone())
+    }
+
+    fn save(&self, bytes: &[u8]) -> io::Result<()> {
+        *self.bytes.lock().unwrap() = Some(bytes.to_vec());
+        Ok(())
+    }
+}
+
+/// How a [`FailStore`] misbehaves.
+#[derive(Clone, Copy, Debug)]
+pub enum FailMode {
+    /// `load` and `save` both fail with an I/O error.
+    Unavailable,
+    /// `save` succeeds but the stored bytes pass through a [`FaultPlan`]
+    /// first (truncation / bit-flips), so the *next* load sees a corrupt
+    /// snapshot.
+    CorruptOnSave(FaultPlan),
+    /// `load` corrupts the bytes on the way out; `save` stores faithfully.
+    CorruptOnLoad(FaultPlan),
+}
+
+/// A store wrapper that injects disk-level faults.
+pub struct FailStore<S> {
+    inner: S,
+    mode: FailMode,
+}
+
+impl<S: VerdictStore> FailStore<S> {
+    /// Wraps `inner` with the given failure mode.
+    pub fn new(inner: S, mode: FailMode) -> Self {
+        FailStore { inner, mode }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: VerdictStore> VerdictStore for FailStore<S> {
+    fn load(&self) -> io::Result<Option<Vec<u8>>> {
+        match self.mode {
+            FailMode::Unavailable => Err(io::Error::other("fault injection: store unavailable")),
+            FailMode::CorruptOnLoad(plan) => Ok(self.inner.load()?.map(|bytes| plan.apply(&bytes))),
+            FailMode::CorruptOnSave(_) => self.inner.load(),
+        }
+    }
+
+    fn save(&self, bytes: &[u8]) -> io::Result<()> {
+        match self.mode {
+            FailMode::Unavailable => Err(io::Error::other("fault injection: store unavailable")),
+            FailMode::CorruptOnSave(plan) => self.inner.save(&plan.apply(bytes)),
+            FailMode::CorruptOnLoad(_) => self.inner.save(bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_store_round_trips() {
+        let store = MemStore::new();
+        assert_eq!(store.load().unwrap(), None);
+        store.save(b"snapshot").unwrap();
+        assert_eq!(store.load().unwrap(), Some(b"snapshot".to_vec()));
+    }
+
+    #[test]
+    fn file_store_round_trips_and_replaces_atomically() {
+        let dir = std::env::temp_dir().join("autoq-daemon-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.bin");
+        let _ = std::fs::remove_file(&path);
+        let store = FileStore::new(&path);
+        assert_eq!(store.load().unwrap(), None);
+        store.save(b"one").unwrap();
+        store.save(b"two").unwrap();
+        assert_eq!(store.load().unwrap(), Some(b"two".to_vec()));
+        assert!(!path.with_extension("tmp").exists());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fail_store_corrupts_snapshots() {
+        let store = FailStore::new(
+            MemStore::new(),
+            FailMode::CorruptOnSave(FaultPlan::truncate_at(2)),
+        );
+        store.save(b"snapshot").unwrap();
+        assert_eq!(store.load().unwrap(), Some(b"sn".to_vec()));
+
+        let store = FailStore::new(
+            MemStore::new(),
+            FailMode::CorruptOnLoad(FaultPlan::corrupt_at(0, 0xff)),
+        );
+        store.save(b"abc").unwrap();
+        assert_eq!(store.load().unwrap(), Some(vec![b'a' ^ 0xff, b'b', b'c']));
+
+        let store = FailStore::new(MemStore::new(), FailMode::Unavailable);
+        assert!(store.save(b"x").is_err());
+        assert!(store.load().is_err());
+    }
+}

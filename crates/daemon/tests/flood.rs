@@ -1,0 +1,181 @@
+//! Release-mode daemon smoke: a cached-verdict flood must sustain at least
+//! 10 000 verdicts per second over loopback TCP, and an engine overload
+//! must degrade gracefully (rejections, no hangs) while cached reads keep
+//! being served.
+//!
+//! Ignored by default — the CI bench-smoke job runs it in release via
+//! `cargo test --release -p autoq-daemon --test flood -- --include-ignored`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use autoq_daemon::client::{Client, JobOutcome};
+use autoq_daemon::engine::{MockBehavior, MockEngine};
+use autoq_daemon::proto::{JobRequest, Request, Response, Spec, SpecMode};
+use autoq_daemon::server::{serve, DaemonConfig};
+
+fn flood_job() -> JobRequest {
+    JobRequest {
+        qasm: "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0], q[1];\n".into(),
+        pre: Spec::Basis {
+            num_qubits: 2,
+            basis: 0,
+        },
+        post: Spec::AllBasis { num_qubits: 2 },
+        mode: SpecMode::Inclusion,
+        want_witness: false,
+    }
+}
+
+#[test]
+#[ignore = "release-mode throughput smoke; run with --include-ignored"]
+fn cached_verdict_flood_sustains_10k_per_second() {
+    let daemon = serve(
+        "127.0.0.1:0",
+        DaemonConfig::default(),
+        Arc::new(MockEngine::holding()),
+        None,
+    )
+    .unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+
+    // Warm the cache with the one verdict the flood will hit.
+    assert!(matches!(
+        client.verify(flood_job()).unwrap(),
+        JobOutcome::Verdict { cached: false, .. }
+    ));
+
+    // Pipelined flood: batches of submissions, then their verdicts.  Every
+    // response must be a cache hit (parse + digest + lookup on the hot
+    // path, no automata work).
+    const BATCH: u64 = 500;
+    const BATCHES: u64 = 60;
+    let total = BATCH * BATCHES;
+    let start = Instant::now();
+    let mut next_id = 1000u64;
+    for _ in 0..BATCHES {
+        let first = next_id;
+        for _ in 0..BATCH {
+            client
+                .send(&Request::Submit {
+                    client_job: next_id,
+                    job: flood_job(),
+                })
+                .unwrap();
+            next_id += 1;
+        }
+        for expected in first..next_id {
+            match client.recv().unwrap() {
+                Response::Verdict {
+                    client_job,
+                    cached,
+                    verdict,
+                } => {
+                    assert_eq!(client_job, expected);
+                    assert!(cached, "flood response was not a cache hit");
+                    assert!(verdict.holds);
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    let rate = total as f64 / elapsed.as_secs_f64();
+    println!("cached flood: {total} verdicts in {elapsed:?} ({rate:.0}/s)");
+    assert!(
+        rate >= 10_000.0,
+        "cached verdict rate {rate:.0}/s is below the 10k/s floor"
+    );
+
+    let mut probe = Client::connect(daemon.addr()).unwrap();
+    let stats = probe.stats().unwrap();
+    assert!(stats.cache_hits >= total);
+
+    daemon.shutdown();
+    daemon.join();
+}
+
+#[test]
+#[ignore = "release-mode overload smoke; run with --include-ignored"]
+fn overload_degrades_gracefully_while_cached_reads_flow() {
+    // One slow worker, tiny queue: uncached submissions overload quickly,
+    // but cached responses must keep flowing at full speed throughout.
+    let engine = Arc::new(MockEngine::holding().with_behavior(MockBehavior::Slow {
+        steps: 1,
+        step: Duration::from_millis(40),
+    }));
+    let config = DaemonConfig {
+        workers: 1,
+        queue_capacity: 2,
+        ..DaemonConfig::default()
+    };
+    let daemon = serve("127.0.0.1:0", config, engine, None).unwrap();
+
+    // Warm one cache entry (waits through the slow engine once).
+    let mut warm = Client::connect(daemon.addr()).unwrap();
+    assert!(matches!(
+        warm.verify(flood_job()).unwrap(),
+        JobOutcome::Verdict { cached: false, .. }
+    ));
+
+    // Overload with *distinct* uncached jobs (unique QASM bodies digest
+    // differently) while reading cached verdicts on another connection.
+    let mut attacker = Client::connect(daemon.addr()).unwrap();
+    let mut rejected = 0u32;
+    let mut accepted = 0u32;
+    let mut resolved = 0u32;
+    for index in 0..40u32 {
+        let mut job = flood_job();
+        job.qasm = format!(
+            "OPENQASM 2.0;\nqreg q[2];\nh q[0];\n{}cx q[0], q[1];\n",
+            "x q[1];\n".repeat(index as usize + 1)
+        );
+        attacker
+            .send(&Request::Submit {
+                client_job: u64::from(index),
+                job,
+            })
+            .unwrap();
+        // Verdicts of earlier accepted jobs interleave with this
+        // submission's accept/reject decision.
+        loop {
+            match attacker.recv().unwrap() {
+                Response::Rejected { client_job, .. } if client_job == u64::from(index) => {
+                    rejected += 1;
+                    break;
+                }
+                Response::Accepted { client_job } if client_job == u64::from(index) => {
+                    accepted += 1;
+                    break;
+                }
+                Response::Verdict { .. } | Response::JobError { .. } => resolved += 1,
+                Response::Progress { .. } => {}
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        // Cached reads stay fast during the overload.
+        let t0 = Instant::now();
+        assert!(matches!(
+            warm.verify(flood_job()).unwrap(),
+            JobOutcome::Verdict { cached: true, .. }
+        ));
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "cached read stalled during overload"
+        );
+    }
+    assert!(rejected > 0, "overload never rejected");
+    assert!(accepted > 0, "overload never accepted");
+
+    // Drain: every accepted job eventually resolves (verdict or error).
+    while resolved < accepted {
+        match attacker.recv().unwrap() {
+            Response::Verdict { .. } | Response::JobError { .. } => resolved += 1,
+            Response::Progress { .. } => {}
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    daemon.shutdown();
+    daemon.join();
+}

@@ -1,0 +1,333 @@
+//! Protocol round-trip suite: every request/response variant survives
+//! `decode(encode(x)) == x`, a full client/server exchange against the
+//! [`MockEngine`] drives every protocol state, and property tests feed the
+//! decoders random frame payloads to prove they never panic.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use autoq_daemon::client::{Client, JobOutcome};
+use autoq_daemon::engine::{MockBehavior, MockEngine};
+use autoq_daemon::proto::{
+    DaemonStats, ErrorCode, JobRequest, Request, Response, Spec, SpecMode, Verdict, MAGIC,
+    PROTOCOL_VERSION,
+};
+use autoq_daemon::server::{serve, DaemonConfig};
+use proptest::prelude::*;
+
+fn sample_job() -> JobRequest {
+    JobRequest {
+        qasm: "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0], q[1];\n".into(),
+        pre: Spec::Basis {
+            num_qubits: 2,
+            basis: 0,
+        },
+        post: Spec::Pattern {
+            num_qubits: 2,
+            fixed: 0,
+            free: vec![0, 1],
+        },
+        mode: SpecMode::Inclusion,
+        want_witness: true,
+    }
+}
+
+#[test]
+fn every_request_variant_round_trips() {
+    let requests = vec![
+        Request::Hello {
+            magic: MAGIC,
+            version: PROTOCOL_VERSION,
+        },
+        Request::Submit {
+            client_job: u64::MAX,
+            job: sample_job(),
+        },
+        Request::Submit {
+            client_job: 0,
+            job: JobRequest {
+                qasm: String::new(),
+                pre: Spec::AllBasis { num_qubits: 70 },
+                post: Spec::Automaton {
+                    num_qubits: 70,
+                    bytes: vec![0xAB; 300],
+                },
+                mode: SpecMode::Equality,
+                want_witness: false,
+            },
+        },
+        Request::Cancel { client_job: 42 },
+        Request::Stats,
+        Request::Ping,
+        Request::Shutdown,
+    ];
+    for request in requests {
+        let decoded = Request::decode(&request.encode()).unwrap();
+        assert_eq!(decoded, request);
+    }
+}
+
+#[test]
+fn every_response_variant_round_trips() {
+    let responses = vec![
+        Response::HelloAck {
+            version: PROTOCOL_VERSION,
+        },
+        Response::Accepted { client_job: 7 },
+        Response::Rejected {
+            client_job: 7,
+            retry_after_ms: 250,
+        },
+        Response::Progress {
+            client_job: 7,
+            applied: 12,
+            total: 90,
+        },
+        Response::Verdict {
+            client_job: 7,
+            cached: true,
+            verdict: Verdict {
+                holds: true,
+                reachable_but_forbidden: false,
+                witness: None,
+            },
+        },
+        Response::Verdict {
+            client_job: 8,
+            cached: false,
+            verdict: Verdict {
+                holds: false,
+                reachable_but_forbidden: true,
+                witness: Some(vec![1, 2, 3, 4]),
+            },
+        },
+        Response::JobError {
+            client_job: 9,
+            message: "QASM parse error: line 3".into(),
+        },
+        Response::StatsReport(DaemonStats {
+            jobs_completed: 10,
+            cache_hits: 20,
+            cache_misses: 30,
+            rejected: 1,
+            queue_depth: 2,
+            workers: 4,
+            cache_entries: 9,
+        }),
+        Response::Pong,
+        Response::ShuttingDown,
+        Response::Error {
+            code: ErrorCode::VersionMismatch,
+            message: "daemon speaks protocol 1".into(),
+        },
+    ];
+    for response in responses {
+        let decoded = Response::decode(&response.encode()).unwrap();
+        assert_eq!(decoded, response);
+    }
+}
+
+#[test]
+fn truncated_payloads_error_at_every_cut() {
+    let payloads = [
+        Request::Submit {
+            client_job: 3,
+            job: sample_job(),
+        }
+        .encode(),
+        Response::Verdict {
+            client_job: 3,
+            cached: false,
+            verdict: Verdict {
+                holds: false,
+                reachable_but_forbidden: true,
+                witness: Some(vec![9; 17]),
+            },
+        }
+        .encode(),
+    ];
+    for payload in payloads {
+        for cut in 0..payload.len() {
+            assert!(
+                Request::decode(&payload[..cut]).is_err(),
+                "request cut {cut}"
+            );
+            assert!(
+                Response::decode(&payload[..cut]).is_err(),
+                "response cut {cut}"
+            );
+        }
+    }
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let mut payload = Request::Ping.encode();
+    payload.push(0);
+    assert!(Request::decode(&payload).is_err());
+    let mut payload = Response::Pong.encode();
+    payload.push(0);
+    assert!(Response::decode(&payload).is_err());
+}
+
+/// One connection exercising the full happy-path state machine against a
+/// mock engine: handshake, ping, stats, miss (accepted → progress →
+/// verdict), hit (cached verdict), cancel, shutdown.
+#[test]
+fn full_protocol_exchange_against_the_mock_engine() {
+    let engine = Arc::new(MockEngine::holding().with_behavior(MockBehavior::Slow {
+        steps: 3,
+        step: Duration::from_millis(1),
+    }));
+    let daemon = serve("127.0.0.1:0", DaemonConfig::default(), engine.clone(), None).unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+
+    client.ping().unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.jobs_completed, 0);
+    assert_eq!(stats.workers, DaemonConfig::default().workers as u32);
+
+    // Cold miss: runs on the engine.
+    let outcome = client.verify(sample_job()).unwrap();
+    match outcome {
+        JobOutcome::Verdict { verdict, cached } => {
+            assert!(verdict.holds);
+            assert!(!cached);
+        }
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    assert_eq!(engine.calls(), 1);
+
+    // Warm hit: answered from the cache, engine untouched.
+    let outcome = client.verify(sample_job()).unwrap();
+    match outcome {
+        JobOutcome::Verdict { cached, .. } => assert!(cached),
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    assert_eq!(engine.calls(), 1, "cache hit must not reach the engine");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.jobs_completed, 1);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_entries, 1);
+
+    client.shutdown().unwrap();
+    daemon.join();
+}
+
+/// A submission whose verdict streams progress frames: the mock engine
+/// emits one per step and the daemon forwards at least the final one.
+#[test]
+fn progress_frames_reach_the_client() {
+    let engine = Arc::new(MockEngine::holding().with_behavior(MockBehavior::Slow {
+        steps: 4,
+        step: Duration::from_millis(2),
+    }));
+    let config = DaemonConfig {
+        progress_interval: Duration::from_millis(0),
+        ..DaemonConfig::default()
+    };
+    let daemon = serve("127.0.0.1:0", config, engine, None).unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    let job_id = client.submit(sample_job()).unwrap();
+
+    let mut saw_progress = false;
+    loop {
+        match client.recv().unwrap() {
+            Response::Accepted { client_job } => assert_eq!(client_job, job_id),
+            Response::Progress {
+                client_job,
+                applied,
+                total,
+            } => {
+                assert_eq!(client_job, job_id);
+                assert!(applied <= total);
+                saw_progress = true;
+            }
+            Response::Verdict { client_job, .. } => {
+                assert_eq!(client_job, job_id);
+                break;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(saw_progress, "no progress frame observed");
+    daemon.shutdown();
+    daemon.join();
+}
+
+/// Two jobs pipelined on one connection: responses interleave but every
+/// frame carries the right id.
+#[test]
+fn pipelined_jobs_are_correlated_by_client_job_id() {
+    let engine = Arc::new(MockEngine::holding());
+    let daemon = serve("127.0.0.1:0", DaemonConfig::default(), engine, None).unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    let first = client.submit(sample_job()).unwrap();
+    let mut second_job = sample_job();
+    second_job.want_witness = false; // different spec digest → second miss
+    let second = client.submit(second_job).unwrap();
+    assert_ne!(first, second);
+
+    let mut verdicts = 0;
+    while verdicts < 2 {
+        match client.recv().unwrap() {
+            Response::Accepted { client_job } | Response::Progress { client_job, .. } => {
+                assert!(client_job == first || client_job == second);
+            }
+            Response::Verdict { client_job, .. } => {
+                assert!(client_job == first || client_job == second);
+                verdicts += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    daemon.shutdown();
+    daemon.join();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random frame payloads never panic either decoder.
+    #[test]
+    fn decoding_random_payloads_never_panics(len in 0usize..64, seed in any::<u64>()) {
+        let mut bytes = Vec::with_capacity(len);
+        let mut state = seed | 1;
+        for _ in 0..len {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            bytes.push((state >> 56) as u8);
+        }
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    /// Structured fuzz: random but plausible Submit payloads round-trip.
+    #[test]
+    fn random_submits_round_trip(
+        client_job in any::<u64>(),
+        num_qubits in 1u32..128,
+        basis_seed in any::<u64>(),
+        mode in 0u8..2,
+        want_witness in 0u8..2,
+    ) {
+        let basis = (basis_seed as u128).wrapping_mul(0x1234_5678_9abc_def1)
+            & ((1u128 << num_qubits.min(127)) - 1);
+        let request = Request::Submit {
+            client_job,
+            job: JobRequest {
+                qasm: format!("OPENQASM 2.0;\nqreg q[{num_qubits}];\n"),
+                pre: Spec::Basis { num_qubits, basis },
+                post: Spec::Pattern {
+                    num_qubits,
+                    fixed: 0,
+                    free: (0..num_qubits.min(8)).collect(),
+                },
+                mode: if mode == 0 { SpecMode::Equality } else { SpecMode::Inclusion },
+                want_witness: want_witness == 1,
+            },
+        };
+        let decoded = Request::decode(&request.encode()).unwrap();
+        prop_assert_eq!(decoded, request);
+    }
+}
