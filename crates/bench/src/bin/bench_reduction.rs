@@ -13,7 +13,9 @@
 //!   (H) gate on a 12-qubit all-basis set;
 //! * **rows** — the two previously slow Table 3 rows: the `increment8`
 //!   AutoQ hunt and the `cycle10` path-sum check — plus the 1-vs-N
-//!   thread sweep of the composition term evaluator (`sweep.threads.*`);
+//!   thread sweep of the composition term evaluator (`sweep.threads.*`)
+//!   and the `Interrupt` governance overhead / budget-trip stop latencies
+//!   (`exhaustion.*`);
 //! * **paper** (with `--paper`) — the superposing `random35`/`random70`
 //!   hunts (paper ratio: `3n` gates including `H`/`Rx`/`Ry`) and the
 //!   permutation-pool `random70p` row, all through the fused composition
@@ -27,7 +29,7 @@ use autoq_bench::timed;
 use autoq_circuit::generators::{carry_lookahead_like, increment_circuit};
 use autoq_circuit::mutation::inject_random_gate;
 use autoq_circuit::Gate;
-use autoq_core::{Engine, HuntJob, HuntPool, StateSet};
+use autoq_core::{Engine, HuntJob, HuntPool, Interrupt, Resource, StateSet, StopReason};
 use autoq_equivcheck::pathsum;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -153,6 +155,73 @@ fn main() {
         "sweep.threads.default".to_string(),
         autoq_core::default_eval_threads().to_string(),
     ));
+
+    // Resource governance: what an `Interrupt` costs when it never trips
+    // (checkpoint overhead on the same superposing run, governed under
+    // generous budgets vs ungoverned) and how fast a tripped budget stops
+    // the run (the "within one gate boundary" latency, measured).  The
+    // stop latencies bound the daemon's graceful-degradation answer time
+    // for blowing-up jobs.
+    record_secs(
+        &mut entries,
+        "exhaustion.ungoverned_baseline",
+        median_time(5, || {
+            let _ = engine.apply_circuit(&superposing_input, &superposing_circuit);
+        }),
+    );
+    let generous = Interrupt::new()
+        .with_deadline(Duration::from_secs(600))
+        .with_max_states(u64::MAX);
+    record_secs(
+        &mut entries,
+        "exhaustion.governed_overhead",
+        median_time(5, || {
+            let applied = engine.apply_circuit_interruptible(
+                &superposing_input,
+                &superposing_circuit,
+                &generous,
+            );
+            assert!(applied.is_ok(), "generous budgets must never trip");
+        }),
+    );
+    let tiny_states = Interrupt::new().with_max_states(1);
+    record_secs(
+        &mut entries,
+        "exhaustion.states_stop_latency",
+        median_time(5, || {
+            let stopped = engine
+                .apply_circuit_interruptible(&superposing_input, &superposing_circuit, &tiny_states)
+                .expect_err("a 1-state budget must trip on a superposing run");
+            assert!(matches!(
+                stopped.reason,
+                StopReason::Exhausted {
+                    resource: Resource::States,
+                    ..
+                }
+            ));
+        }),
+    );
+    let elapsed_deadline = Interrupt::new().with_deadline(Duration::ZERO);
+    record_secs(
+        &mut entries,
+        "exhaustion.deadline_stop_latency",
+        median_time(5, || {
+            let stopped = engine
+                .apply_circuit_interruptible(
+                    &superposing_input,
+                    &superposing_circuit,
+                    &elapsed_deadline,
+                )
+                .expect_err("an already-elapsed deadline must trip");
+            assert!(matches!(
+                stopped.reason,
+                StopReason::Exhausted {
+                    resource: Resource::WallClock,
+                    ..
+                }
+            ));
+        }),
+    );
 
     // Portfolio hunt scaling: the same 8-job portfolio (self-equivalent
     // hunts with a pinned iteration bound, so every worker does the full,

@@ -47,7 +47,7 @@
 
 use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use autoq_amplitude::Algebraic;
@@ -56,6 +56,7 @@ use autoq_treeaut::{
 };
 
 use crate::formula::{CombineSign, ScaleFactor, UpdateExpr};
+use crate::interrupt::{Interrupt, StopReason};
 
 /// Tuning knobs of the composition-encoded gate pipeline (the fused swap
 /// ladder and the term evaluator).  The engine derives the effective options
@@ -119,6 +120,15 @@ struct EvalCtx<'a> {
     /// ladder and differ only in the subtree copy and the way back, so the
     /// forward-laddered automaton is computed once per qubit and shared.
     forward_cache: &'a Mutex<HashMap<u32, Arc<LadderState>>>,
+    /// The caller's interrupt, checked between swap-ladder passes so even a
+    /// single blowing-up gate stops near its budget (`None` for the
+    /// non-interruptible entry points).
+    interrupt: Option<&'a Interrupt>,
+    /// Set once any thread's checkpoint trips; every loop polls this cheap
+    /// flag and unwinds with a partial (discarded) result.
+    stopped: &'a AtomicBool,
+    /// The first recorded stop reason (the one reported to the caller).
+    stop_reason: &'a Mutex<Option<StopReason>>,
 }
 
 impl EvalCtx<'_> {
@@ -130,24 +140,63 @@ impl EvalCtx<'_> {
         self.peak_transitions
             .fetch_max(transitions, Ordering::Relaxed);
     }
+
+    /// Whether some checkpoint already tripped (cheap, lock-free).
+    fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::Relaxed)
+    }
+
+    /// Checks the interrupt against the current in-ladder sizes; returns
+    /// `true` when the evaluation should unwind.  The first tripping thread
+    /// records the reason; later checkpoints only observe the flag.
+    fn checkpoint(&self, states: usize, transitions: usize) -> bool {
+        if self.is_stopped() {
+            return true;
+        }
+        let Some(interrupt) = self.interrupt else {
+            return false;
+        };
+        match interrupt.check_sizes(states, transitions) {
+            Ok(()) => false,
+            Err(reason) => {
+                let mut slot = self
+                    .stop_reason
+                    .lock()
+                    .unwrap_or_else(|poison| poison.into_inner());
+                slot.get_or_insert(reason);
+                self.stopped.store(true, Ordering::Relaxed);
+                true
+            }
+        }
+    }
 }
 
 /// Owning storage behind an [`EvalCtx`]: one per top-level evaluation
 /// entry point, borrowed by every term (and every scoped thread) below it.
-struct EvalScope {
+struct EvalScope<'i> {
     spare_threads: AtomicUsize,
     peak_states: AtomicUsize,
     peak_transitions: AtomicUsize,
     forward_cache: Mutex<HashMap<u32, Arc<LadderState>>>,
+    interrupt: Option<&'i Interrupt>,
+    stopped: AtomicBool,
+    stop_reason: Mutex<Option<StopReason>>,
 }
 
-impl EvalScope {
+impl<'i> EvalScope<'i> {
     fn new(opts: &CompositionOptions) -> Self {
+        EvalScope::with_interrupt(opts, None)
+    }
+
+    fn with_interrupt(opts: &CompositionOptions, interrupt: Option<&'i Interrupt>) -> Self {
         EvalScope {
             spare_threads: AtomicUsize::new(opts.eval_threads.saturating_sub(1)),
             peak_states: AtomicUsize::new(0),
             peak_transitions: AtomicUsize::new(0),
             forward_cache: Mutex::new(HashMap::new()),
+            interrupt,
+            stopped: AtomicBool::new(false),
+            stop_reason: Mutex::new(None),
         }
     }
 
@@ -158,6 +207,9 @@ impl EvalScope {
             peak_states: &self.peak_states,
             peak_transitions: &self.peak_transitions,
             forward_cache: &self.forward_cache,
+            interrupt: self.interrupt,
+            stopped: &self.stopped,
+            stop_reason: &self.stop_reason,
         }
     }
 
@@ -166,6 +218,15 @@ impl EvalScope {
             states: self.peak_states.load(Ordering::Relaxed),
             transitions: self.peak_transitions.load(Ordering::Relaxed),
         }
+    }
+
+    /// The first stop reason recorded by any checkpoint, if the evaluation
+    /// was interrupted.
+    fn stop_reason(&self) -> Option<StopReason> {
+        *self
+            .stop_reason
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
     }
 }
 
@@ -196,15 +257,37 @@ pub fn apply_formula_in_place_with(
     formula: &UpdateExpr,
     opts: &CompositionOptions,
 ) -> FormulaPeak {
+    apply_formula_in_place_interruptible(automaton, formula, opts, None)
+        .expect("formula application without an interrupt cannot stop early")
+}
+
+/// Like [`apply_formula_in_place_with`], but checks `interrupt` between the
+/// swap-ladder passes of every projection (and before every binary
+/// combination), so even a single blowing-up composition gate stops near
+/// its budget instead of finishing an arbitrarily large construction.
+///
+/// On `Err` the automaton is left in an unspecified partial (tagged) state
+/// and must be discarded — the engine throws away its whole working
+/// automaton when a gate is interrupted, so nothing downstream observes it.
+pub fn apply_formula_in_place_interruptible(
+    automaton: &mut TreeAutomaton,
+    formula: &UpdateExpr,
+    opts: &CompositionOptions,
+    interrupt: Option<&Interrupt>,
+) -> Result<FormulaPeak, StopReason> {
     tag_in_place(automaton);
     // Warm the adjacency index once before helper threads could race to
     // build their own copies of it.
     let _ = automaton.index();
-    let scope = EvalScope::new(opts);
-    let mut result = evaluate_term(formula, automaton, &scope.ctx(opts)).into_owned();
+    let scope = EvalScope::with_interrupt(opts, interrupt);
+    let result = evaluate_term(formula, automaton, &scope.ctx(opts));
+    if let Some(reason) = scope.stop_reason() {
+        return Err(reason);
+    }
+    let mut result = result.into_owned();
     result.untag_in_place();
     *automaton = result;
-    scope.peak()
+    Ok(scope.peak())
 }
 
 /// Evaluates an update-formula term over a tagged source automaton with the
@@ -249,6 +332,12 @@ fn evaluate_term<'a>(
         }
         UpdateExpr::Combine { sign, lhs, rhs } => {
             let (a, b) = evaluate_pair(lhs, rhs, tagged_source, ctx);
+            // An interrupted evaluation skips the (product-sized) binary
+            // combination: the result is discarded anyway, so hand back the
+            // source unchanged instead of paying for a doomed product.
+            if ctx.is_stopped() {
+                return Cow::Borrowed(tagged_source);
+            }
             let combined = binary_op(&a, &b, *sign);
             ctx.observe_states(combined.state_count());
             ctx.observe_transitions(combined.transition_count());
@@ -529,6 +618,12 @@ fn project_in_ctx(
     // above the qubit's current position: variable `bottom`, then
     // `bottom − 1`, …, down to `qubit + 1`.
     for k in 1..=swaps {
+        // Between passes is the in-gate interrupt checkpoint: a ladder that
+        // outgrows its budget abandons the remaining passes (the partial
+        // state is discarded by the interrupted caller).
+        if ctx.checkpoint(state.num_states as usize, state.transition_count()) {
+            return state.into_automaton();
+        }
         if ladder.maybe_reduce(&mut state) {
             ctx.observe_states(state.num_states as usize);
         }
@@ -560,6 +655,10 @@ fn forward_ladder(
     // Forward pass `k` swaps the qubit layer below the layer at variable
     // `qubit + k`.
     for k in 1..=swaps {
+        // Same per-pass interrupt checkpoint as the backward ladder.
+        if ctx.checkpoint(state.num_states as usize, state.transition_count()) {
+            return state;
+        }
         if k > 1 && ladder.maybe_reduce(&mut state) {
             ctx.observe_states(state.num_states as usize);
         }

@@ -9,6 +9,7 @@ use autoq_treeaut::TreeAutomaton;
 
 use crate::composition::CompositionOptions;
 use crate::formula::update_formula;
+use crate::interrupt::{Interrupt, Interrupted, StopReason};
 use crate::{composition, permutation, StateSet};
 
 /// A shared, clonable cancellation flag checked by the engine **between
@@ -273,24 +274,33 @@ impl Engine {
         let mut automaton = set.automaton().clone();
         let mut baseline = automaton.transition_count();
         let mut stats = ApplyStats::default();
-        engine.apply_gate_in_place(&mut automaton, gate, &mut baseline, &mut stats);
+        engine
+            .apply_gate_in_place(&mut automaton, gate, &mut baseline, &mut stats, None)
+            .expect("apply_gate without an interrupt cannot stop early");
         set.with_automaton(automaton)
     }
 
     /// Applies one user-level gate to the working automaton: every primitive
     /// of its decomposition in place, then at most one reduction (never one
-    /// per primitive — a SWAP is one gate, not three).
+    /// per primitive — a SWAP is one gate, not three).  On `Err` the
+    /// automaton is left in an unspecified partial state and must be
+    /// discarded by the caller.
     fn apply_gate_in_place(
         &self,
         automaton: &mut TreeAutomaton,
         gate: &Gate,
         baseline: &mut usize,
         stats: &mut ApplyStats,
-    ) {
+        interrupt: Option<&Interrupt>,
+    ) -> Result<(), StopReason> {
         let mut used_composition = false;
         for primitive in gate.decompose() {
-            used_composition |= self.apply_primitive_in_place(automaton, &primitive, stats);
+            used_composition |=
+                self.apply_primitive_in_place(automaton, &primitive, stats, interrupt)?;
             stats.observe(automaton);
+            if let Some(interrupt) = interrupt {
+                interrupt.check(stats)?;
+            }
         }
         stats.gates_applied += 1;
         let reduce = match self.reduction {
@@ -307,37 +317,42 @@ impl Engine {
             *baseline = automaton.transition_count();
             stats.reductions += 1;
         }
+        Ok(())
     }
 
     /// Applies a primitive (already decomposed) gate to the working
     /// automaton; returns `true` if the composition-based encoding was used.
     /// Composition gates also report the peak automaton size reached
     /// *inside* their swap ladders into `stats` — with in-ladder reduction
-    /// the post-gate automaton no longer witnesses the true peak.
+    /// the post-gate automaton no longer witnesses the true peak — and
+    /// check the interrupt between ladder passes, so even a single
+    /// blowing-up gate stops near its budget.
     fn apply_primitive_in_place(
         &self,
         automaton: &mut TreeAutomaton,
         gate: &Gate,
         stats: &mut ApplyStats,
-    ) -> bool {
+        interrupt: Option<&Interrupt>,
+    ) -> Result<bool, StopReason> {
         let use_permutation = match self.kind {
             EngineKind::Hybrid => permutation::supports(gate),
             EngineKind::Composition => false,
         };
         if use_permutation {
             permutation::apply_in_place(automaton, gate);
-            false
+            Ok(false)
         } else {
             let formula =
                 update_formula(gate).expect("primitive gates always have an update formula");
-            let in_gate_peak = composition::apply_formula_in_place_with(
+            let in_gate_peak = composition::apply_formula_in_place_interruptible(
                 automaton,
                 &formula,
                 &self.composition_options(),
-            );
+                interrupt,
+            )?;
             stats.peak_states = stats.peak_states.max(in_gate_peak.states);
             stats.peak_transitions = stats.peak_transitions.max(in_gate_peak.transitions);
-            true
+            Ok(true)
         }
     }
 
@@ -368,7 +383,7 @@ impl Engine {
         circuit: &Circuit,
     ) -> (StateSet, ApplyStats) {
         self.apply_circuit_inner(set, circuit, None, None)
-            .expect("apply_circuit without a cancel flag cannot be cancelled")
+            .expect("apply_circuit without an interrupt cannot stop early")
     }
 
     /// Like [`Engine::apply_circuit_with_stats`], but checks `cancel`
@@ -382,7 +397,9 @@ impl Engine {
         circuit: &Circuit,
         cancel: &CancelFlag,
     ) -> Option<(StateSet, ApplyStats)> {
-        self.apply_circuit_inner(set, circuit, Some(cancel), None)
+        let interrupt = Interrupt::from_flag(cancel.clone());
+        self.apply_circuit_inner(set, circuit, Some(&interrupt), None)
+            .ok()
     }
 
     /// Like [`Engine::apply_circuit_cancellable`], but additionally calls
@@ -396,16 +413,45 @@ impl Engine {
         cancel: &CancelFlag,
         observer: &mut dyn FnMut(usize, usize),
     ) -> Option<(StateSet, ApplyStats)> {
-        self.apply_circuit_inner(set, circuit, Some(cancel), Some(observer))
+        let interrupt = Interrupt::from_flag(cancel.clone());
+        self.apply_circuit_inner(set, circuit, Some(&interrupt), Some(observer))
+            .ok()
+    }
+
+    /// Like [`Engine::apply_circuit_with_stats`], but governed by an
+    /// [`Interrupt`]: cancellation, the wall-clock deadline and the
+    /// peak-size budgets are all checked between gates (and inside
+    /// composition swap ladders), so a run that would blow up stops within
+    /// one gate boundary of its limit and reports a typed [`Interrupted`]
+    /// with the statistics gathered so far.
+    pub fn apply_circuit_interruptible(
+        &self,
+        set: &StateSet,
+        circuit: &Circuit,
+        interrupt: &Interrupt,
+    ) -> Result<(StateSet, ApplyStats), Interrupted> {
+        self.apply_circuit_inner(set, circuit, Some(interrupt), None)
+    }
+
+    /// [`Engine::apply_circuit_interruptible`] with the daemon's
+    /// progress-observer hook.
+    pub fn apply_circuit_interruptible_observed(
+        &self,
+        set: &StateSet,
+        circuit: &Circuit,
+        interrupt: &Interrupt,
+        observer: &mut dyn FnMut(usize, usize),
+    ) -> Result<(StateSet, ApplyStats), Interrupted> {
+        self.apply_circuit_inner(set, circuit, Some(interrupt), Some(observer))
     }
 
     fn apply_circuit_inner(
         &self,
         set: &StateSet,
         circuit: &Circuit,
-        cancel: Option<&CancelFlag>,
+        interrupt: Option<&Interrupt>,
         mut observer: Option<&mut dyn FnMut(usize, usize)>,
-    ) -> Option<(StateSet, ApplyStats)> {
+    ) -> Result<(StateSet, ApplyStats), Interrupted> {
         assert!(
             circuit.num_qubits() <= set.num_qubits(),
             "circuit has more qubits than the state set"
@@ -417,15 +463,31 @@ impl Engine {
         let mut stats = ApplyStats::default();
         stats.observe(&automaton);
         for (applied, index) in interference_schedule(circuit).into_iter().enumerate() {
-            if cancel.is_some_and(CancelFlag::is_cancelled) {
-                return None;
+            if let Some(interrupt) = interrupt {
+                if let Err(reason) = interrupt.check(&stats) {
+                    return Err(Interrupted {
+                        reason,
+                        partial_stats: stats,
+                    });
+                }
             }
-            self.apply_gate_in_place(&mut automaton, &gates[index], &mut baseline, &mut stats);
+            if let Err(reason) = self.apply_gate_in_place(
+                &mut automaton,
+                &gates[index],
+                &mut baseline,
+                &mut stats,
+                interrupt,
+            ) {
+                return Err(Interrupted {
+                    reason,
+                    partial_stats: stats,
+                });
+            }
             if let Some(observer) = observer.as_deref_mut() {
                 observer(applied + 1, total);
             }
         }
-        Some((set.with_automaton(automaton), stats))
+        Ok((set.with_automaton(automaton), stats))
     }
 }
 

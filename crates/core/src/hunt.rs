@@ -14,8 +14,11 @@ use autoq_treeaut::basis::{self, BasisIndex};
 use autoq_treeaut::Tree;
 use rand::Rng;
 
-use crate::verify::check_circuit_equivalence_cancellable;
-use crate::{check_circuit_equivalence_with_stats, ApplyStats, CancelFlag, Engine, StateSet};
+use crate::verify::check_circuit_equivalence_interruptible;
+use crate::{
+    check_circuit_equivalence_with_stats, ApplyStats, CancelFlag, Engine, Interrupt, Interrupted,
+    StateSet,
+};
 
 /// Configuration of the bug hunter.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -158,7 +161,7 @@ impl BugHunter {
     /// Panics if the circuits have different widths.
     pub fn hunt(&self, original: &Circuit, candidate: &Circuit, rng: &mut impl Rng) -> HuntReport {
         self.hunt_inner(original, candidate, rng, None)
-            .expect("hunt without a cancel flag cannot be cancelled")
+            .expect("hunt without an interrupt cannot stop early")
     }
 
     /// Like [`BugHunter::hunt`], but cooperatively cancellable: the flag is
@@ -173,7 +176,24 @@ impl BugHunter {
         rng: &mut impl Rng,
         cancel: &CancelFlag,
     ) -> Option<HuntReport> {
-        self.hunt_inner(original, candidate, rng, Some(cancel))
+        let interrupt = Interrupt::from_flag(cancel.clone());
+        self.hunt_inner(original, candidate, rng, Some(&interrupt))
+            .ok()
+    }
+
+    /// Like [`BugHunter::hunt`], but governed by an [`Interrupt`]: the
+    /// deadline and the peak-size budgets are checked between gates and at
+    /// every iteration boundary.  An interrupted hunt reports its reason
+    /// and the statistics merged across *all* iterations performed, not
+    /// just the interrupted one.
+    pub fn hunt_interruptible(
+        &self,
+        original: &Circuit,
+        candidate: &Circuit,
+        rng: &mut impl Rng,
+        interrupt: &Interrupt,
+    ) -> Result<HuntReport, Interrupted> {
+        self.hunt_inner(original, candidate, rng, Some(interrupt))
     }
 
     fn hunt_inner(
@@ -181,8 +201,8 @@ impl BugHunter {
         original: &Circuit,
         candidate: &Circuit,
         rng: &mut impl Rng,
-        cancel: Option<&CancelFlag>,
-    ) -> Option<HuntReport> {
+        interrupt: Option<&Interrupt>,
+    ) -> Result<HuntReport, Interrupted> {
         assert_eq!(
             original.num_qubits(),
             candidate.num_qubits(),
@@ -212,21 +232,22 @@ impl BugHunter {
             // Freed qubits range over both values, so their base bits are
             // cleared (`basis_pattern` rejects overlapping fixed bits).
             let inputs = StateSet::basis_pattern(n, base & !free_mask, free);
-            let (result, iteration_stats) = match cancel {
-                Some(flag) => check_circuit_equivalence_cancellable(
+            let (result, iteration_stats) = match interrupt {
+                Some(interrupt) => check_circuit_equivalence_interruptible(
                     &self.engine,
                     &inputs,
                     original,
                     candidate,
-                    flag,
-                )?,
+                    interrupt,
+                )
+                .map_err(|interrupted| interrupted.merge_stats(&stats))?,
                 None => {
                     check_circuit_equivalence_with_stats(&self.engine, &inputs, original, candidate)
                 }
             };
             stats = stats.merge(&iteration_stats);
             if let Some(witness) = result.witness() {
-                return Some(HuntReport {
+                return Ok(HuntReport {
                     bug_found: true,
                     iterations,
                     witness: Some(witness.clone()),
@@ -238,7 +259,7 @@ impl BugHunter {
                 break;
             }
         }
-        Some(HuntReport {
+        Ok(HuntReport {
             bug_found: false,
             iterations,
             witness: None,

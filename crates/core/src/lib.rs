@@ -56,6 +56,7 @@ pub mod composition;
 pub mod engine;
 pub mod formula;
 pub mod hunt;
+pub mod interrupt;
 pub mod permutation;
 pub mod pool;
 pub mod presets;
@@ -65,10 +66,12 @@ pub mod verify;
 pub use composition::{default_eval_threads, CompositionOptions};
 pub use engine::{ApplyStats, CancelFlag, Engine, EngineKind, ReductionPolicy};
 pub use hunt::{BugHunter, HuntReport};
+pub use interrupt::{Interrupt, Interrupted, Resource, StopReason};
 pub use pool::{HuntJob, HuntPool, PortfolioOutcome, PortfolioWin};
 pub use state_set::StateSet;
 pub use verify::{
     check_circuit_equivalence, check_circuit_equivalence_cancellable,
-    check_circuit_equivalence_with_stats, verify, verify_cancellable, verify_observed, SpecMode,
-    VerificationOutcome,
+    check_circuit_equivalence_interruptible, check_circuit_equivalence_with_stats, verify,
+    verify_cancellable, verify_interruptible, verify_interruptible_observed, verify_observed,
+    SpecMode, VerificationOutcome,
 };

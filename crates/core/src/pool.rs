@@ -58,7 +58,7 @@ use autoq_circuit::Circuit;
 use autoq_treeaut::arena;
 use rand::SeedableRng;
 
-use crate::{ApplyStats, BugHunter, CancelFlag, Engine, HuntReport};
+use crate::{ApplyStats, BugHunter, CancelFlag, Engine, HuntReport, Interrupt, StopReason};
 
 /// One unit of portfolio work: a pair of circuits to distinguish, plus the
 /// RNG seed driving the hunt's input-set schedule (pinned per job so a
@@ -108,6 +108,12 @@ pub struct PortfolioOutcome {
     /// [`HuntPool::with_reclaim`] was enabled and no foreign epoch pin
     /// blocked it.
     pub reclaim: Option<arena::ReclaimStats>,
+    /// Why the run stopped early, when it did: the first budget/deadline
+    /// exhaustion any worker observed (which cancels the rest of the
+    /// portfolio), or [`StopReason::Cancelled`] when the caller's exterior
+    /// interrupt was cancelled mid-run.  `None` for a portfolio that ran to
+    /// completion or was stopped by its own confirmed winner.
+    pub stopped: Option<StopReason>,
 }
 
 /// A fixed-width pool of portfolio hunt workers.  See the module docs for
@@ -159,12 +165,23 @@ impl HuntPool {
     /// outcome.  Blocks until all workers have stopped (drained the queue or
     /// acknowledged cancellation).
     pub fn run(&self, jobs: &[HuntJob]) -> PortfolioOutcome {
+        self.run_with_interrupt(jobs, &Interrupt::new())
+    }
+
+    /// Like [`HuntPool::run`], but governed by an exterior [`Interrupt`]:
+    /// its deadline and peak-size budgets apply to every worker's hunts,
+    /// and its cancel flag is polled at job-claim boundaries.  The first
+    /// exhaustion any worker observes stops the whole portfolio (the
+    /// remaining jobs count as cancelled) and is reported in
+    /// [`PortfolioOutcome::stopped`] — the pool degrades to "best answer
+    /// within budget" instead of hanging on a blowing-up mutant.
+    pub fn run_with_interrupt(&self, jobs: &[HuntJob], exterior: &Interrupt) -> PortfolioOutcome {
         let floor = arena::generation();
         let (mut outcome, winner, fallback) = {
             // The pin keeps a concurrent reclaimer (another pool with
             // reclamation enabled) from sweeping this run's fresh nodes.
             let _pin = arena::pin();
-            self.run_pinned(jobs)
+            self.run_pinned(jobs, exterior)
         };
         outcome.win = winner.or(fallback);
         if self.reclaim {
@@ -182,13 +199,26 @@ impl HuntPool {
     fn run_pinned(
         &self,
         jobs: &[HuntJob],
+        exterior: &Interrupt,
     ) -> (PortfolioOutcome, Option<PortfolioWin>, Option<PortfolioWin>) {
         let cancel = CancelFlag::new();
+        // Workers hunt under the exterior limits but the pool's own flag, so
+        // a confirmed winner cancels siblings without touching the caller's
+        // flag; the exterior flag itself is polled at claim boundaries.
+        let job_interrupt = exterior.clone().with_flag(cancel.clone());
         let next_job = AtomicUsize::new(0);
         // First confirmed witness wins and cancels the pool; unconfirmed
         // reports compete by lowest job index without cancelling.
         let winner: Mutex<Option<PortfolioWin>> = Mutex::new(None);
         let fallback: Mutex<Option<PortfolioWin>> = Mutex::new(None);
+        // First budget/deadline exhaustion (or exterior cancellation)
+        // observed by any worker.
+        let stopped: Mutex<Option<StopReason>> = Mutex::new(None);
+        let record_stop = |reason: StopReason| {
+            let mut slot = stopped.lock().unwrap_or_else(|p| p.into_inner());
+            slot.get_or_insert(reason);
+            cancel.cancel();
+        };
 
         let worker = || -> (usize, usize, ApplyStats) {
             let mut completed = 0;
@@ -199,18 +229,39 @@ impl HuntPool {
                 if index >= jobs.len() {
                     break;
                 }
+                if exterior.is_cancelled() {
+                    record_stop(StopReason::Cancelled);
+                }
                 if cancel.is_cancelled() {
-                    cancelled += jobs.len() - index;
-                    break;
+                    // Count only the job just claimed and keep draining the
+                    // queue: each index is claimed exactly once, so the
+                    // cancelled tally stays exact even when several workers
+                    // observe the flag at the same time (a bulk
+                    // `jobs.len() - index` here double-counts under races).
+                    cancelled += 1;
+                    continue;
                 }
                 let job = &jobs[index];
                 let mut rng = rand::rngs::StdRng::seed_from_u64(job.seed);
-                let Some(report) =
-                    self.hunter
-                        .hunt_cancellable(&job.original, &job.candidate, &mut rng, &cancel)
-                else {
-                    cancelled += 1;
-                    continue;
+                let report = match self.hunter.hunt_interruptible(
+                    &job.original,
+                    &job.candidate,
+                    &mut rng,
+                    &job_interrupt,
+                ) {
+                    Ok(report) => report,
+                    Err(interrupted) => {
+                        // Exhaustion stops the whole portfolio: the budget
+                        // belongs to the run, not to one mutant.  A bare
+                        // cancellation is the winner-found path and stops
+                        // quietly.
+                        if let StopReason::Exhausted { .. } = interrupted.reason {
+                            record_stop(interrupted.reason);
+                        }
+                        stats = stats.merge(&interrupted.partial_stats);
+                        cancelled += 1;
+                        continue;
+                    }
                 };
                 completed += 1;
                 stats = stats.merge(&report.stats);
@@ -258,12 +309,14 @@ impl HuntPool {
             hunts_cancelled: 0,
             stats: ApplyStats::default(),
             reclaim: None,
+            stopped: None,
         };
         for (completed, cancelled, stats) in results {
             outcome.hunts_completed += completed;
             outcome.hunts_cancelled += cancelled;
             outcome.stats = outcome.stats.merge(&stats);
         }
+        outcome.stopped = stopped.into_inner().unwrap_or_else(|p| p.into_inner());
         let winner = winner.into_inner().unwrap_or_else(|p| p.into_inner());
         let fallback = fallback.into_inner().unwrap_or_else(|p| p.into_inner());
         (outcome, winner, fallback)

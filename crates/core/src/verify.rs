@@ -139,6 +139,40 @@ pub fn verify_observed(
     Some((compare_with_post(&output, post, mode), stats))
 }
 
+/// Like [`verify`] but governed by an [`Interrupt`](crate::Interrupt):
+/// cancellation, the wall-clock deadline and the peak-size budgets are
+/// checked between gates, so a verification that would blow up returns a
+/// typed [`Interrupted`](crate::Interrupted) (with the statistics gathered
+/// so far) within one gate boundary of its limit — no hang, no OOM.  The
+/// post-condition comparison itself is not interrupted; the circuit
+/// application, the dominant cost, is.
+pub fn verify_interruptible(
+    engine: &Engine,
+    pre: &StateSet,
+    circuit: &Circuit,
+    post: &StateSet,
+    mode: SpecMode,
+    interrupt: &crate::Interrupt,
+) -> Result<(VerificationOutcome, crate::ApplyStats), crate::Interrupted> {
+    let (output, stats) = engine.apply_circuit_interruptible(pre, circuit, interrupt)?;
+    Ok((compare_with_post(&output, post, mode), stats))
+}
+
+/// [`verify_interruptible`] with the daemon's progress-observer hook.
+pub fn verify_interruptible_observed(
+    engine: &Engine,
+    pre: &StateSet,
+    circuit: &Circuit,
+    post: &StateSet,
+    mode: SpecMode,
+    interrupt: &crate::Interrupt,
+    observer: &mut dyn FnMut(usize, usize),
+) -> Result<(VerificationOutcome, crate::ApplyStats), crate::Interrupted> {
+    let (output, stats) =
+        engine.apply_circuit_interruptible_observed(pre, circuit, interrupt, observer)?;
+    Ok((compare_with_post(&output, post, mode), stats))
+}
+
 /// Runs two circuits on the same set of input states and compares the sets
 /// of output states — the paper's non-equivalence check for validating
 /// circuit optimisations.
@@ -194,9 +228,28 @@ pub fn check_circuit_equivalence_cancellable(
     c2: &Circuit,
     cancel: &crate::CancelFlag,
 ) -> Option<(EquivalenceResult, crate::ApplyStats)> {
-    let (out1, stats1) = engine.apply_circuit_cancellable(inputs, c1, cancel)?;
-    let (out2, stats2) = engine.apply_circuit_cancellable(inputs, c2, cancel)?;
-    Some((
+    let interrupt = crate::Interrupt::from_flag(cancel.clone());
+    check_circuit_equivalence_interruptible(engine, inputs, c1, c2, &interrupt).ok()
+}
+
+/// Like [`check_circuit_equivalence_with_stats`], but governed by an
+/// [`Interrupt`](crate::Interrupt) checked between gates of both runs: the
+/// first run to trip the flag, the deadline or a size budget stops the
+/// whole check with a typed [`Interrupted`](crate::Interrupted) whose
+/// partial statistics cover everything applied so far (including a
+/// completed first circuit when the second one trips).
+pub fn check_circuit_equivalence_interruptible(
+    engine: &Engine,
+    inputs: &StateSet,
+    c1: &Circuit,
+    c2: &Circuit,
+    interrupt: &crate::Interrupt,
+) -> Result<(EquivalenceResult, crate::ApplyStats), crate::Interrupted> {
+    let (out1, stats1) = engine.apply_circuit_interruptible(inputs, c1, interrupt)?;
+    let (out2, stats2) = engine
+        .apply_circuit_interruptible(inputs, c2, interrupt)
+        .map_err(|interrupted| interrupted.merge_stats(&stats1))?;
+    Ok((
         equivalence(out1.automaton(), out2.automaton()),
         stats1.merge(&stats2),
     ))

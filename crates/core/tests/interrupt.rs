@@ -1,0 +1,251 @@
+//! End-to-end behaviour of the unified interrupt/budget layer: deadlines
+//! and size budgets stop verification, hunts and portfolio runs with typed
+//! outcomes instead of hangs or unbounded growth.
+
+use std::time::{Duration, Instant};
+
+use autoq_circuit::generators::{
+    bernstein_vazirani, mc_toffoli, random_circuit, RandomCircuitConfig,
+};
+use autoq_circuit::mutation::insert_gate;
+use autoq_circuit::Gate;
+use autoq_core::{
+    verify_interruptible, BugHunter, Engine, HuntJob, HuntPool, Interrupt, Resource, SpecMode,
+    StateSet, StopReason,
+};
+use rand::SeedableRng;
+
+fn superposing_circuit(qubits: u32, gates: usize, seed: u64) -> autoq_circuit::Circuit {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    random_circuit(
+        &RandomCircuitConfig {
+            num_qubits: qubits,
+            num_gates: gates,
+            include_superposing_gates: true,
+        },
+        &mut rng,
+    )
+}
+
+#[test]
+fn unlimited_interrupt_matches_the_plain_run() {
+    let circuit = bernstein_vazirani(&[true, false, true]);
+    let n = circuit.num_qubits();
+    let input = StateSet::basis_state(n, 0);
+    let engine = Engine::hybrid();
+    let (plain, plain_stats) = engine.apply_circuit_with_stats(&input, &circuit);
+    let (governed, governed_stats) = engine
+        .apply_circuit_interruptible(&input, &circuit, &Interrupt::new())
+        .expect("an unlimited interrupt must not stop the run");
+    assert!(autoq_treeaut::equivalence(plain.automaton(), governed.automaton()).holds());
+    assert_eq!(plain_stats, governed_stats);
+}
+
+#[test]
+fn expired_deadline_stops_before_the_first_gate() {
+    let circuit = superposing_circuit(12, 40, 3);
+    let input = StateSet::basis_state(circuit.num_qubits(), 0);
+    let interrupt = Interrupt::new().with_deadline(Duration::ZERO);
+    let started = Instant::now();
+    let err = Engine::hybrid()
+        .apply_circuit_interruptible(&input, &circuit, &interrupt)
+        .expect_err("a zero deadline must stop the run");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "an expired deadline must stop promptly"
+    );
+    match err.reason {
+        StopReason::Exhausted {
+            resource: Resource::WallClock,
+            ..
+        } => {}
+        other => panic!("expected a wall-clock stop, got {other:?}"),
+    }
+    assert_eq!(
+        err.partial_stats.gates_applied, 0,
+        "the pre-gate checkpoint fires before any gate is applied"
+    );
+}
+
+#[test]
+fn state_budget_stops_a_superposing_run_within_one_gate() {
+    let circuit = superposing_circuit(10, 60, 7);
+    let input = StateSet::basis_state(circuit.num_qubits(), 0);
+    let engine = Engine::hybrid();
+    // Establish the run's true peak, then rerun with a budget below it.
+    let (_, stats) = engine.apply_circuit_with_stats(&input, &circuit);
+    assert!(stats.peak_states > 4, "need a circuit that actually grows");
+    let cap = (stats.peak_states / 2).max(2) as u64;
+    let interrupt = Interrupt::new().with_max_states(cap);
+    let err = engine
+        .apply_circuit_interruptible(&input, &circuit, &interrupt)
+        .expect_err("a budget below the peak must stop the run");
+    match err.reason {
+        StopReason::Exhausted {
+            resource: Resource::States,
+            limit,
+            observed,
+        } => {
+            assert_eq!(limit, cap);
+            assert!(observed > cap, "observed {observed} must exceed cap {cap}");
+        }
+        other => panic!("expected a states stop, got {other:?}"),
+    }
+    assert!(
+        err.partial_stats.gates_applied < stats.gates_applied,
+        "the run must stop before finishing the circuit"
+    );
+    // Within one gate boundary of the limit: the recorded watermark is the
+    // one that tripped the check, so it is the partial run's peak.
+    assert_eq!(
+        err.partial_stats.peak_states,
+        match err.reason {
+            StopReason::Exhausted { observed, .. } => observed as usize,
+            _ => unreachable!(),
+        }
+    );
+}
+
+#[test]
+fn transition_budget_stops_the_run_with_a_typed_reason() {
+    let circuit = superposing_circuit(10, 60, 11);
+    let input = StateSet::basis_state(circuit.num_qubits(), 0);
+    let engine = Engine::hybrid();
+    let (_, stats) = engine.apply_circuit_with_stats(&input, &circuit);
+    let cap = (stats.peak_transitions / 2).max(2) as u64;
+    let err = engine
+        .apply_circuit_interruptible(
+            &input,
+            &circuit,
+            &Interrupt::new().with_max_transitions(cap),
+        )
+        .expect_err("a transition budget below the peak must stop the run");
+    assert!(matches!(
+        err.reason,
+        StopReason::Exhausted {
+            resource: Resource::Transitions,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn composition_engine_checks_inside_single_gates() {
+    // The composition encoding grows automata inside a single gate's swap
+    // ladder; the in-ladder checkpoints must trip even when the budget is
+    // exhausted mid-gate.
+    let circuit = superposing_circuit(8, 30, 5);
+    let input = StateSet::basis_state(circuit.num_qubits(), 0);
+    let engine = Engine::composition();
+    let err = engine
+        .apply_circuit_interruptible(&input, &circuit, &Interrupt::new().with_max_states(1))
+        .expect_err("a one-state budget must stop a composition run");
+    assert!(matches!(err.reason, StopReason::Exhausted { .. }));
+}
+
+#[test]
+fn verify_interruptible_reports_partial_stats() {
+    let circuit = superposing_circuit(10, 50, 13);
+    let n = circuit.num_qubits();
+    let pre = StateSet::basis_state(n, 0);
+    let post = StateSet::all_basis_states(n);
+    let engine = Engine::hybrid();
+    let err = verify_interruptible(
+        &engine,
+        &pre,
+        &circuit,
+        &post,
+        SpecMode::Inclusion,
+        &Interrupt::new().with_max_states(2),
+    )
+    .expect_err("a two-state budget must stop the verification");
+    assert!(matches!(err.reason, StopReason::Exhausted { .. }));
+    assert!(err.partial_stats.peak_states >= 2);
+}
+
+#[test]
+fn cancellation_still_wins_over_budgets() {
+    let circuit = superposing_circuit(10, 50, 17);
+    let input = StateSet::basis_state(circuit.num_qubits(), 0);
+    let interrupt = Interrupt::new().with_max_states(1);
+    interrupt.cancel();
+    let err = Engine::hybrid()
+        .apply_circuit_interruptible(&input, &circuit, &interrupt)
+        .expect_err("a cancelled interrupt must stop the run");
+    assert_eq!(err.reason, StopReason::Cancelled);
+}
+
+#[test]
+fn interrupted_hunt_merges_stats_across_iterations() {
+    let circuit = mc_toffoli(3);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+    // Identical circuits: the hunt would run all iterations; a sub-peak
+    // budget interrupts it somewhere past the first.
+    let full = BugHunter::default().hunt(&circuit, &circuit, &mut rng);
+    let cap = (full.stats.peak_states.saturating_sub(1)).max(1) as u64;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+    match BugHunter::default().hunt_interruptible(
+        &circuit,
+        &circuit,
+        &mut rng,
+        &Interrupt::new().with_max_states(cap),
+    ) {
+        Err(interrupted) => {
+            assert!(matches!(interrupted.reason, StopReason::Exhausted { .. }));
+            assert!(interrupted.partial_stats.gates_applied > 0);
+        }
+        // The budget can land exactly on the peak of the last iteration; a
+        // completed hunt is then also sound.
+        Ok(report) => assert!(!report.bug_found),
+    }
+}
+
+#[test]
+fn portfolio_with_expired_deadline_degrades_gracefully() {
+    let original = mc_toffoli(3);
+    let jobs: Vec<HuntJob> = (0..3)
+        .map(|i| HuntJob {
+            label: format!("mutant-{i}"),
+            original: original.clone(),
+            candidate: insert_gate(&original, Gate::X(4), 1 + i),
+            seed: 0xDEAD + i as u64,
+        })
+        .collect();
+    let exterior = Interrupt::new().with_deadline(Duration::ZERO);
+    let started = Instant::now();
+    let outcome = HuntPool::new(Engine::hybrid())
+        .with_threads(2)
+        .run_with_interrupt(&jobs, &exterior);
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "an expired deadline must stop the portfolio promptly"
+    );
+    assert!(matches!(
+        outcome.stopped,
+        Some(StopReason::Exhausted {
+            resource: Resource::WallClock,
+            ..
+        })
+    ));
+    assert_eq!(outcome.hunts_completed, 0);
+    assert_eq!(outcome.hunts_cancelled, jobs.len());
+}
+
+#[test]
+fn portfolio_without_limits_reports_no_stop() {
+    let original = mc_toffoli(3);
+    let jobs: Vec<HuntJob> = (0..2)
+        .map(|i| HuntJob {
+            label: format!("mutant-{i}"),
+            original: original.clone(),
+            candidate: insert_gate(&original, Gate::X(4), 2 + i),
+            seed: 0xBEEF + i as u64,
+        })
+        .collect();
+    let outcome = HuntPool::new(Engine::hybrid()).with_threads(2).run(&jobs);
+    assert!(outcome.win.is_some());
+    assert!(
+        outcome.stopped.is_none(),
+        "a winner-cancelled portfolio is not an exhausted one"
+    );
+}

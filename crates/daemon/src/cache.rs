@@ -9,11 +9,18 @@
 //!   and post-conditions plus the mode and witness flag, so any semantic
 //!   field change misses.
 //!
-//! The cache is an in-memory map with a binary snapshot format
-//! (magic `AQVC`) for disk persistence through a
-//! [`VerdictStore`](crate::store::VerdictStore).  A corrupt or truncated
-//! snapshot is *rejected as a whole* — the daemon then starts with an
-//! empty cache rather than trusting partial data.
+//! The cache is an in-memory map with two persistence formats, both served
+//! through a [`VerdictStore`](crate::store::VerdictStore):
+//!
+//! * the **snapshot** (magic `AQVC`) — the whole map in one blob.  A
+//!   corrupt or truncated snapshot is *rejected as a whole*: the daemon
+//!   then starts with an empty cache rather than trusting partial data.
+//! * the **journal** (record tag `AQVJ` semantics) — an append-only
+//!   sequence of length-prefixed, FNV-1a-checksummed single-entry records
+//!   written after each fresh verdict, so persistence cost per verdict is
+//!   O(entry), not O(cache).  Replay applies the journal's intact prefix
+//!   and silently drops a torn tail — exactly what a crash mid-append
+//!   leaves behind.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -21,6 +28,7 @@ use std::sync::Mutex;
 
 use autoq_circuit::digest::{chunks_digest, Digest};
 
+use crate::lock;
 use crate::proto::{JobRequest, SpecMode};
 use crate::wire::{Decoder, Encoder, WireError};
 
@@ -29,6 +37,19 @@ pub const SNAPSHOT_MAGIC: &[u8; 4] = b"AQVC";
 
 /// Snapshot format version.
 pub const SNAPSHOT_VERSION: u8 = 1;
+
+/// Journal record framing: `[payload len: u32 LE][fnv1a32(payload): u32 LE]`
+/// followed by the payload (one snapshot-format entry).
+pub const JOURNAL_HEADER_LEN: usize = 8;
+
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &byte in bytes {
+        hash ^= u32::from(byte);
+        hash = hash.wrapping_mul(16_777_619);
+    }
+    hash
+}
 
 /// A cache key: circuit digest + spec digest.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -65,6 +86,74 @@ pub struct CachedVerdict {
     pub witness: Option<Vec<u8>>,
 }
 
+/// Encodes one `(key, verdict)` entry — the unit shared by the snapshot
+/// body and the journal payload.
+fn encode_entry(enc: &mut Encoder, key: &VerdictKey, verdict: &CachedVerdict) {
+    enc.put_bytes(&key.circuit.0);
+    enc.put_bytes(&key.spec.0);
+    let mut flags = 0u8;
+    if verdict.holds {
+        flags |= 1;
+    }
+    if verdict.reachable_but_forbidden {
+        flags |= 2;
+    }
+    if verdict.witness.is_some() {
+        flags |= 4;
+    }
+    enc.put_u8(flags);
+    if let Some(witness) = &verdict.witness {
+        enc.put_bytes(witness);
+    }
+}
+
+/// Decodes one `(key, verdict)` entry (inverse of [`encode_entry`]).
+fn decode_entry(dec: &mut Decoder<'_>) -> Result<(VerdictKey, CachedVerdict), WireError> {
+    let digest = |dec: &mut Decoder<'_>| -> Result<Digest, WireError> {
+        let bytes = dec.get_bytes()?;
+        let arr: [u8; 32] = bytes
+            .as_slice()
+            .try_into()
+            .map_err(|_| WireError::malformed(0, "digest must be 32 bytes"))?;
+        Ok(Digest(arr))
+    };
+    let circuit = digest(dec)?;
+    let spec = digest(dec)?;
+    let flags = dec.get_u8()?;
+    if flags & !0x07 != 0 {
+        return Err(WireError::malformed(
+            0,
+            format!("unknown snapshot entry flags {flags:#04x}"),
+        ));
+    }
+    let witness = if flags & 4 != 0 {
+        Some(dec.get_bytes()?)
+    } else {
+        None
+    };
+    Ok((
+        VerdictKey { circuit, spec },
+        CachedVerdict {
+            holds: flags & 1 != 0,
+            reachable_but_forbidden: flags & 2 != 0,
+            witness,
+        },
+    ))
+}
+
+/// Frames one cache entry as a self-delimiting journal record:
+/// length-prefixed and checksummed so replay can detect a torn tail.
+pub fn journal_record(key: &VerdictKey, verdict: &CachedVerdict) -> Vec<u8> {
+    let mut enc = Encoder::default();
+    encode_entry(&mut enc, key, verdict);
+    let payload = enc.finish();
+    let mut record = Vec::with_capacity(JOURNAL_HEADER_LEN + payload.len());
+    record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    record.extend_from_slice(&fnv1a32(&payload).to_le_bytes());
+    record.extend_from_slice(&payload);
+    record
+}
+
 /// The in-memory verdict cache with hit/miss counters.
 #[derive(Default)]
 pub struct VerdictCache {
@@ -81,7 +170,7 @@ impl VerdictCache {
 
     /// Looks up a verdict, counting a hit or a miss.
     pub fn lookup(&self, key: &VerdictKey) -> Option<CachedVerdict> {
-        let entries = self.entries.lock().unwrap();
+        let entries = lock(&self.entries);
         match entries.get(key) {
             Some(verdict) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -96,12 +185,12 @@ impl VerdictCache {
 
     /// Inserts (or overwrites) a verdict.
     pub fn insert(&self, key: VerdictKey, verdict: CachedVerdict) {
-        self.entries.lock().unwrap().insert(key, verdict);
+        lock(&self.entries).insert(key, verdict);
     }
 
     /// Number of cached verdicts.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        lock(&self.entries).len()
     }
 
     /// Whether the cache is empty.
@@ -121,7 +210,7 @@ impl VerdictCache {
 
     /// Serialises the cache into its binary snapshot format.
     pub fn to_snapshot(&self) -> Vec<u8> {
-        let entries = self.entries.lock().unwrap();
+        let entries = lock(&self.entries);
         let mut enc = Encoder::default();
         enc.put_u8(SNAPSHOT_MAGIC[0]);
         enc.put_u8(SNAPSHOT_MAGIC[1]);
@@ -133,23 +222,7 @@ impl VerdictCache {
         let mut keys: Vec<&VerdictKey> = entries.keys().collect();
         keys.sort_by_key(|k| (k.circuit, k.spec));
         for key in keys {
-            let verdict = &entries[key];
-            enc.put_bytes(&key.circuit.0);
-            enc.put_bytes(&key.spec.0);
-            let mut flags = 0u8;
-            if verdict.holds {
-                flags |= 1;
-            }
-            if verdict.reachable_but_forbidden {
-                flags |= 2;
-            }
-            if verdict.witness.is_some() {
-                flags |= 4;
-            }
-            enc.put_u8(flags);
-            if let Some(witness) = &verdict.witness {
-                enc.put_bytes(witness);
-            }
+            encode_entry(&mut enc, key, &entries[key]);
         }
         enc.finish()
     }
@@ -179,37 +252,9 @@ impl VerdictCache {
             return Err(WireError::malformed(5, "snapshot entry count too large"));
         }
         let mut entries = HashMap::with_capacity(count as usize);
-        let digest = |dec: &mut Decoder<'_>| -> Result<Digest, WireError> {
-            let bytes = dec.get_bytes()?;
-            let arr: [u8; 32] = bytes
-                .as_slice()
-                .try_into()
-                .map_err(|_| WireError::malformed(0, "digest must be 32 bytes"))?;
-            Ok(Digest(arr))
-        };
         for _ in 0..count {
-            let circuit = digest(&mut dec)?;
-            let spec = digest(&mut dec)?;
-            let flags = dec.get_u8()?;
-            if flags & !0x07 != 0 {
-                return Err(WireError::malformed(
-                    0,
-                    format!("unknown snapshot entry flags {flags:#04x}"),
-                ));
-            }
-            let witness = if flags & 4 != 0 {
-                Some(dec.get_bytes()?)
-            } else {
-                None
-            };
-            entries.insert(
-                VerdictKey { circuit, spec },
-                CachedVerdict {
-                    holds: flags & 1 != 0,
-                    reachable_but_forbidden: flags & 2 != 0,
-                    witness,
-                },
-            );
+            let (key, verdict) = decode_entry(&mut dec)?;
+            entries.insert(key, verdict);
         }
         dec.expect_end()?;
         Ok(VerdictCache {
@@ -217,6 +262,41 @@ impl VerdictCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         })
+    }
+
+    /// Replays a journal on top of this cache, applying every intact
+    /// record and returning how many were applied.
+    ///
+    /// The journal is an append-only crash artifact: a record whose length
+    /// prefix overruns the buffer, whose checksum mismatches, or whose
+    /// payload fails to decode marks the torn tail — it and everything
+    /// after it are dropped without error.  Records *before* the tear are
+    /// still applied, so a crash mid-append loses at most the entry being
+    /// written.
+    pub fn replay_journal(&self, journal: &[u8]) -> usize {
+        let mut applied = 0;
+        let mut rest = journal;
+        while rest.len() >= JOURNAL_HEADER_LEN {
+            let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+            let checksum = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+            let Some(payload) = rest[JOURNAL_HEADER_LEN..].get(..len) else {
+                break; // torn tail: length overruns the journal
+            };
+            if fnv1a32(payload) != checksum {
+                break; // torn or corrupt record
+            }
+            let mut dec = Decoder::new(payload);
+            let Ok((key, verdict)) = decode_entry(&mut dec) else {
+                break;
+            };
+            if dec.expect_end().is_err() {
+                break;
+            }
+            self.insert(key, verdict);
+            applied += 1;
+            rest = &rest[JOURNAL_HEADER_LEN + len..];
+        }
+        applied
     }
 }
 
@@ -275,6 +355,61 @@ mod tests {
             Some(vec![1, 2, 3])
         );
         assert_eq!(restored.to_snapshot(), snap);
+    }
+
+    #[test]
+    fn journal_records_replay_in_order() {
+        let cache = VerdictCache::new();
+        let first = CachedVerdict {
+            holds: true,
+            reachable_but_forbidden: false,
+            witness: None,
+        };
+        let second = CachedVerdict {
+            holds: false,
+            reachable_but_forbidden: true,
+            witness: Some(vec![9, 8, 7]),
+        };
+        let mut journal = journal_record(&key(1), &first);
+        journal.extend_from_slice(&journal_record(&key(2), &second));
+        // A later record for the same key overwrites the earlier one.
+        journal.extend_from_slice(&journal_record(&key(1), &second));
+        assert_eq!(cache.replay_journal(&journal), 3);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(&key(1)).unwrap(), second);
+    }
+
+    #[test]
+    fn torn_journal_tails_replay_the_intact_prefix() {
+        let verdict = CachedVerdict {
+            holds: false,
+            reachable_but_forbidden: true,
+            witness: Some(vec![1, 2, 3, 4]),
+        };
+        let first = journal_record(&key(1), &verdict);
+        let mut journal = first.clone();
+        journal.extend_from_slice(&journal_record(&key(2), &verdict));
+        for cut in 0..journal.len() {
+            let cache = VerdictCache::new();
+            let applied = cache.replay_journal(&journal[..cut]);
+            let expect = if cut >= journal.len() {
+                2
+            } else if cut >= first.len() {
+                1
+            } else {
+                0
+            };
+            assert_eq!(applied, expect, "cut {cut}");
+            assert_eq!(cache.len(), expect, "cut {cut}");
+        }
+        // A bit-flip anywhere in the first record's payload drops both
+        // records (replay stops at the corruption).
+        for flip in JOURNAL_HEADER_LEN..first.len() {
+            let mut bad = journal.clone();
+            bad[flip] ^= 0x40;
+            let cache = VerdictCache::new();
+            assert_eq!(cache.replay_journal(&bad), 0, "flip {flip}");
+        }
     }
 
     #[test]

@@ -2,18 +2,19 @@
 //! protocol surface is testable without ever touching the real automata
 //! engine.
 //!
-//! [`RealEngine`] wraps [`autoq_core::Engine`] via the cancellable,
-//! progress-observed entry point [`autoq_core::verify_observed`].
+//! [`RealEngine`] wraps [`autoq_core::Engine`] via the interrupt-governed,
+//! progress-observed entry point [`autoq_core::verify_interruptible_observed`].
 //! [`MockEngine`] produces scripted verdicts with configurable timing
-//! (instant, slow, or blocked-until-cancelled) and counts its invocations,
-//! which is how the test suites prove cache hits never reach the engine and
-//! that disconnects cancel running jobs.
+//! (instant, slow, blocked-until-cancelled, or panicking) and counts its
+//! invocations, which is how the test suites prove cache hits never reach
+//! the engine, that disconnects cancel running jobs, and that a panicking
+//! job cannot take a worker down.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Duration;
 
 use autoq_circuit::Circuit;
-use autoq_core::{CancelFlag, Engine, StateSet, VerificationOutcome};
+use autoq_core::{ApplyStats, Engine, Interrupt, Interrupted, StateSet, VerificationOutcome};
 use autoq_treeaut::{basis, format, Tree};
 
 use crate::proto::{JobRequest, Spec, SpecMode};
@@ -137,19 +138,21 @@ pub struct EngineVerdict {
 
 /// The engine abstraction the daemon schedules jobs onto.
 pub trait VerifyEngine: Send + Sync {
-    /// Runs the job to a verdict, or returns `None` if `cancel` was raised
-    /// first.  Implementations call `progress(applied, total)` as the
-    /// circuit advances.
+    /// Runs the job to a verdict under `interrupt` — cancellation, the
+    /// wall-clock deadline and the peak-size budgets are all checked
+    /// cooperatively — or returns the typed
+    /// [`Interrupted`] stop.  Implementations call
+    /// `progress(applied, total)` as the circuit advances.
     fn verify(
         &self,
         inputs: &JobInputs,
-        cancel: &CancelFlag,
+        interrupt: &Interrupt,
         progress: &mut dyn FnMut(u32, u32),
-    ) -> Option<EngineVerdict>;
+    ) -> Result<EngineVerdict, Interrupted>;
 }
 
-/// The production engine: [`autoq_core::verify_observed`] on a configurable
-/// [`Engine`].
+/// The production engine: [`autoq_core::verify_interruptible_observed`] on
+/// a configurable [`Engine`].
 pub struct RealEngine {
     engine: Engine,
 }
@@ -172,25 +175,25 @@ impl VerifyEngine for RealEngine {
     fn verify(
         &self,
         inputs: &JobInputs,
-        cancel: &CancelFlag,
+        interrupt: &Interrupt,
         progress: &mut dyn FnMut(u32, u32),
-    ) -> Option<EngineVerdict> {
+    ) -> Result<EngineVerdict, Interrupted> {
         let mut observer = |applied: usize, total: usize| {
             progress(
                 applied.min(u32::MAX as usize) as u32,
                 total.min(u32::MAX as usize) as u32,
             );
         };
-        let (outcome, _stats) = autoq_core::verify_observed(
+        let (outcome, _stats) = autoq_core::verify_interruptible_observed(
             &self.engine,
             &inputs.pre,
             &inputs.circuit,
             &inputs.post,
             inputs.mode,
-            cancel,
+            interrupt,
             &mut observer,
         )?;
-        Some(match outcome {
+        Ok(match outcome {
             VerificationOutcome::Holds => EngineVerdict {
                 holds: true,
                 reachable_but_forbidden: false,
@@ -223,6 +226,8 @@ pub enum MockBehavior {
     },
     /// Never answer; spin (with short sleeps) until cancelled.
     BlockUntilCancelled,
+    /// Panic mid-run — the worker's `catch_unwind` must contain it.
+    Panic,
 }
 
 /// A scripted engine for protocol tests: fixed verdict, configurable
@@ -279,39 +284,49 @@ impl MockEngine {
     }
 }
 
+impl MockEngine {
+    fn stop(&self, reason: autoq_core::StopReason) -> Interrupted {
+        if reason == autoq_core::StopReason::Cancelled {
+            self.observed_cancel.store(true, Ordering::SeqCst);
+        }
+        Interrupted {
+            reason,
+            partial_stats: ApplyStats::default(),
+        }
+    }
+}
+
 impl VerifyEngine for MockEngine {
     fn verify(
         &self,
         _inputs: &JobInputs,
-        cancel: &CancelFlag,
+        interrupt: &Interrupt,
         progress: &mut dyn FnMut(u32, u32),
-    ) -> Option<EngineVerdict> {
+    ) -> Result<EngineVerdict, Interrupted> {
         self.calls.fetch_add(1, Ordering::SeqCst);
         match self.behavior {
             MockBehavior::Instant => {}
             MockBehavior::Slow { steps, step } => {
                 for applied in 1..=steps {
-                    if cancel.is_cancelled() {
-                        self.observed_cancel.store(true, Ordering::SeqCst);
-                        return None;
+                    if let Err(reason) = interrupt.check_sizes(0, 0) {
+                        return Err(self.stop(reason));
                     }
                     std::thread::sleep(step);
                     progress(applied, steps);
                 }
             }
             MockBehavior::BlockUntilCancelled => loop {
-                if cancel.is_cancelled() {
-                    self.observed_cancel.store(true, Ordering::SeqCst);
-                    return None;
+                if let Err(reason) = interrupt.check_sizes(0, 0) {
+                    return Err(self.stop(reason));
                 }
                 std::thread::sleep(Duration::from_millis(1));
             },
+            MockBehavior::Panic => panic!("mock engine panic (scripted)"),
         }
-        if cancel.is_cancelled() {
-            self.observed_cancel.store(true, Ordering::SeqCst);
-            return None;
+        if let Err(reason) = interrupt.check_sizes(0, 0) {
+            return Err(self.stop(reason));
         }
-        Some(EngineVerdict {
+        Ok(EngineVerdict {
             holds: self.holds,
             reachable_but_forbidden: self.reachable_but_forbidden,
             witness: self.witness.clone(),

@@ -31,6 +31,23 @@
 //!
 //! See `docs/DAEMON.md` for the wire format and the operational model.
 //!
+//! # Robustness model
+//!
+//! The daemon is built to degrade, not die:
+//!
+//! * every job runs under an [`autoq_core::Interrupt`] combining the
+//!   client's requested limits (deadline, peak-state budget) with the
+//!   server's configured ceilings — an exhausted job returns a typed
+//!   [`Response::Exhausted`] within one gate boundary;
+//! * a panicking engine run is contained by `catch_unwind`: the job
+//!   answers `JobError`, the worker survives, and
+//!   [`DaemonStats::jobs_panicked`] counts it;
+//! * a watchdog thread hard-cancels jobs that overstay their deadline
+//!   even if the engine stops polling;
+//! * verdicts persist through an append-only, checksummed journal between
+//!   periodic snapshots, so a crash loses at most the entry being written
+//!   and per-verdict persistence cost is O(entry), not O(cache).
+//!
 //! # Quick start
 //!
 //! ```
@@ -56,6 +73,7 @@
 //!         post: Spec::Basis { num_qubits: 1, basis: 1 },
 //!         mode: SpecMode::Equality,
 //!         want_witness: true,
+//!         limits: Default::default(),
 //!     })
 //!     .unwrap();
 //! match outcome {
@@ -66,6 +84,13 @@
 //! daemon.join();
 //! ```
 
+// The daemon must keep serving through poisoned locks, bad disks and
+// panicking jobs; a stray `.unwrap()` on any of those paths is a daemon
+// crash, so unwraps are banned outside tests (use `crate::lock` and
+// explicit error paths instead).
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod cache;
 pub mod client;
 pub mod engine;
@@ -75,12 +100,22 @@ pub mod server;
 pub mod store;
 pub mod wire;
 
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks a mutex, recovering from poisoning instead of propagating the
+/// panic: the protected state is plain data (maps, counters, queues) that
+/// stays internally consistent even if a holder panicked mid-update, and a
+/// serving daemon must not die because one worker did.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
 pub use cache::{CachedVerdict, VerdictCache, VerdictKey};
-pub use client::{Client, JobOutcome};
+pub use client::{Client, JobOutcome, RetryPolicy};
 pub use engine::{MockBehavior, MockEngine, RealEngine, VerifyEngine};
 pub use proto::{
-    DaemonStats, ErrorCode, JobRequest, Request, Response, Spec, SpecMode, Verdict, MAGIC,
-    PROTOCOL_VERSION,
+    DaemonStats, ErrorCode, JobLimits, JobRequest, Request, Response, Spec, SpecMode, Verdict,
+    MAGIC, PROTOCOL_VERSION,
 };
 pub use server::{serve, DaemonConfig, DaemonHandle};
 pub use store::{FailMode, FailStore, FileStore, MemStore, VerdictStore};

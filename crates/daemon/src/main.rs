@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! autoq-daemon [--addr HOST:PORT] [--workers N] [--queue N] [--cache-file PATH]
+//!              [--deadline-ceiling-ms N] [--max-states-ceiling N] [--snapshot-every N]
 //! ```
 //!
-//! Defaults: `127.0.0.1:7411`, 2 workers, queue of 16, no persistence.
-//! With `--cache-file` the verdict cache is loaded at startup and written
-//! back after every computed verdict and at shutdown, so a restarted
-//! daemon re-serves known verdicts without re-running the engine.
+//! Defaults: `127.0.0.1:7411`, 2 workers, queue of 16, no persistence, no
+//! resource ceilings, a snapshot every 256 verdicts.  With `--cache-file`
+//! the verdict cache is recovered at startup (snapshot plus journal
+//! replay), journaled after every computed verdict and snapshotted
+//! periodically and at shutdown, so a restarted — or crashed — daemon
+//! re-serves known verdicts without re-running the engine.  The ceilings
+//! clamp every job's deadline/peak-state budget, including jobs that
+//! request none.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -18,7 +23,8 @@ use autoq_daemon::store::{FileStore, VerdictStore};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: autoq-daemon [--addr HOST:PORT] [--workers N] [--queue N] [--cache-file PATH]"
+        "usage: autoq-daemon [--addr HOST:PORT] [--workers N] [--queue N] [--cache-file PATH]\n\
+         \x20                 [--deadline-ceiling-ms N] [--max-states-ceiling N] [--snapshot-every N]"
     );
     ExitCode::FAILURE
 }
@@ -51,6 +57,29 @@ fn main() -> ExitCode {
                 }
             },
             "--cache-file" => store = Some(Arc::new(FileStore::new(value))),
+            "--deadline-ceiling-ms" => match value.parse::<u64>() {
+                Ok(n) if n > 0 => {
+                    config.deadline_ceiling = Some(std::time::Duration::from_millis(n))
+                }
+                _ => {
+                    eprintln!("autoq-daemon: --deadline-ceiling-ms needs a positive integer");
+                    return usage();
+                }
+            },
+            "--max-states-ceiling" => match value.parse::<u64>() {
+                Ok(n) if n > 0 => config.max_states_ceiling = Some(n),
+                _ => {
+                    eprintln!("autoq-daemon: --max-states-ceiling needs a positive integer");
+                    return usage();
+                }
+            },
+            "--snapshot-every" => match value.parse::<u64>() {
+                Ok(n) if n > 0 => config.snapshot_every = n,
+                _ => {
+                    eprintln!("autoq-daemon: --snapshot-every needs a positive integer");
+                    return usage();
+                }
+            },
             other => {
                 eprintln!("autoq-daemon: unknown flag {other}");
                 return usage();

@@ -14,6 +14,8 @@
 //! panics — and round-trip exactly (`decode(encode(x)) == x`), which the
 //! protocol test suite checks frame type by frame type.
 
+use autoq_core::Resource;
+
 use crate::wire::{Decoder, Encoder, WireError};
 
 /// Protocol magic, sent in [`Request::Hello`] ("AQVD": AutoQ Verification
@@ -160,6 +162,60 @@ pub enum SpecMode {
     Inclusion,
 }
 
+/// Optional per-job resource limits, carried by the versioned Submit frame.
+///
+/// The server clamps every field to its configured ceilings
+/// ([`DaemonConfig`](crate::server::DaemonConfig)), so a client can only
+/// tighten the budget, never widen it.  Limits deliberately do **not**
+/// enter the spec digest: the verdict of `{P} C {Q}` is independent of how
+/// long the run was allowed to take, so a job with a deadline shares its
+/// cache entry with the same job without one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobLimits {
+    /// Wall-clock deadline for the engine run, in milliseconds.
+    pub deadline_ms: Option<u32>,
+    /// Cap on the peak automaton state count.
+    pub max_states: Option<u64>,
+}
+
+impl JobLimits {
+    /// `true` when no limit is set (the job encodes as a plain v1 Submit).
+    pub fn is_unlimited(&self) -> bool {
+        *self == JobLimits::default()
+    }
+
+    fn encode_into(&self, enc: &mut Encoder) {
+        let mut flags = 0u8;
+        if self.deadline_ms.is_some() {
+            flags |= 1;
+        }
+        if self.max_states.is_some() {
+            flags |= 2;
+        }
+        enc.put_u8(flags);
+        if let Some(deadline_ms) = self.deadline_ms {
+            enc.put_u32(deadline_ms);
+        }
+        if let Some(max_states) = self.max_states {
+            enc.put_varint(max_states);
+        }
+    }
+
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<JobLimits, WireError> {
+        let flags = dec.get_u8()?;
+        if flags & !0x03 != 0 {
+            return Err(WireError::malformed(
+                0,
+                format!("unknown job-limit flags {flags:#04x}"),
+            ));
+        }
+        Ok(JobLimits {
+            deadline_ms: (flags & 1 != 0).then(|| dec.get_u32()).transpose()?,
+            max_states: (flags & 2 != 0).then(|| dec.get_varint()).transpose()?,
+        })
+    }
+}
+
 /// One verification job: `{pre} circuit {post}` with the circuit as
 /// OpenQASM source.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -174,6 +230,10 @@ pub struct JobRequest {
     pub mode: SpecMode,
     /// Whether a violation verdict should carry the witness DAG.
     pub want_witness: bool,
+    /// Per-job resource limits (default: unlimited, clamped by the server's
+    /// ceilings).  Unlimited jobs encode as the v1 Submit frame, so old
+    /// servers and clients interoperate unchanged.
+    pub limits: JobLimits,
 }
 
 /// The verdict of a job.
@@ -207,6 +267,12 @@ pub struct DaemonStats {
     pub workers: u32,
     /// Entries in the verdict cache.
     pub cache_entries: u64,
+    /// Jobs stopped by a budget or deadline (answered
+    /// [`Response::Exhausted`] or, for v1 submissions, a job error).
+    pub jobs_exhausted: u64,
+    /// Jobs whose engine run panicked (answered [`Response::JobError`];
+    /// the worker survives).
+    pub jobs_panicked: u64,
 }
 
 /// Fatal protocol error classes (the connection closes after one).
@@ -288,6 +354,13 @@ const OP_CANCEL: u8 = 0x03;
 const OP_STATS: u8 = 0x04;
 const OP_PING: u8 = 0x05;
 const OP_SHUTDOWN: u8 = 0x06;
+/// Versioned Submit carrying a [`JobLimits`] block after the v1 body.  A
+/// separate opcode (rather than a version bump) keeps the protocol
+/// v1-compatible: unlimited jobs still encode as [`OP_SUBMIT`], and servers
+/// answer limit-carrying jobs with the richer [`Response::Exhausted`]
+/// frame only when the client proved (by using this opcode) it can decode
+/// it.
+const OP_SUBMIT_V2: u8 = 0x07;
 
 impl Request {
     /// Encodes the request as a frame payload.
@@ -300,7 +373,14 @@ impl Request {
                 enc.finish()
             }
             Request::Submit { client_job, job } => {
-                let mut enc = Encoder::with_opcode(OP_SUBMIT);
+                // Unlimited jobs stay on the v1 opcode so the encoding (and
+                // any v1 peer) is unchanged; limits ride the v2 opcode.
+                let opcode = if job.limits.is_unlimited() {
+                    OP_SUBMIT
+                } else {
+                    OP_SUBMIT_V2
+                };
+                let mut enc = Encoder::with_opcode(opcode);
                 enc.put_varint(*client_job);
                 enc.put_str(&job.qasm);
                 job.pre.encode_into(&mut enc);
@@ -310,6 +390,9 @@ impl Request {
                     SpecMode::Inclusion => 1,
                 });
                 enc.put_u8(u8::from(job.want_witness));
+                if opcode == OP_SUBMIT_V2 {
+                    job.limits.encode_into(&mut enc);
+                }
                 enc.finish()
             }
             Request::Cancel { client_job } => {
@@ -336,7 +419,7 @@ impl Request {
                 magic: dec.get_u32()?,
                 version: dec.get_u32()?,
             },
-            OP_SUBMIT => {
+            opcode @ (OP_SUBMIT | OP_SUBMIT_V2) => {
                 let client_job = dec.get_varint()?;
                 let qasm = dec.get_str()?;
                 let pre = Spec::decode_from(&mut dec)?;
@@ -356,6 +439,11 @@ impl Request {
                         ))
                     }
                 };
+                let limits = if opcode == OP_SUBMIT_V2 {
+                    JobLimits::decode_from(&mut dec)?
+                } else {
+                    JobLimits::default()
+                };
                 Request::Submit {
                     client_job,
                     job: JobRequest {
@@ -364,6 +452,7 @@ impl Request {
                         post,
                         mode,
                         want_witness,
+                        limits,
                     },
                 }
             }
@@ -433,6 +522,22 @@ pub enum Response {
         /// Human-readable description.
         message: String,
     },
+    /// The job stopped on a resource budget or deadline — a typed
+    /// degradation outcome, only sent for jobs submitted with the versioned
+    /// (limit-carrying) Submit frame; v1 submissions get a
+    /// [`Response::JobError`] instead.  Job-scoped: the connection stays
+    /// usable.
+    Exhausted {
+        /// Echo of the submission id.
+        client_job: u64,
+        /// Which budget tripped.
+        resource: Resource,
+        /// The effective (clamped) limit: milliseconds for the wall clock,
+        /// counts for the size budgets.
+        limit: u64,
+        /// The observed value that exceeded it.
+        observed: u64,
+    },
     /// Answer to [`Request::Stats`].
     StatsReport(DaemonStats),
     /// Answer to [`Request::Ping`].
@@ -460,6 +565,29 @@ const OP_STATS_REPORT: u8 = 0x87;
 const OP_PONG: u8 = 0x88;
 const OP_SHUTTING_DOWN: u8 = 0x89;
 const OP_ERROR: u8 = 0x8A;
+const OP_EXHAUSTED: u8 = 0x8B;
+
+fn resource_to_u8(resource: Resource) -> u8 {
+    match resource {
+        Resource::WallClock => 0,
+        Resource::States => 1,
+        Resource::Transitions => 2,
+    }
+}
+
+fn resource_from_u8(value: u8) -> Result<Resource, WireError> {
+    Ok(match value {
+        0 => Resource::WallClock,
+        1 => Resource::States,
+        2 => Resource::Transitions,
+        other => {
+            return Err(WireError::malformed(
+                0,
+                format!("unknown resource kind {other}"),
+            ))
+        }
+    })
+}
 
 impl Response {
     /// Encodes the response as a frame payload.
@@ -530,6 +658,19 @@ impl Response {
                 enc.put_str(message);
                 enc.finish()
             }
+            Response::Exhausted {
+                client_job,
+                resource,
+                limit,
+                observed,
+            } => {
+                let mut enc = Encoder::with_opcode(OP_EXHAUSTED);
+                enc.put_varint(*client_job);
+                enc.put_u8(resource_to_u8(*resource));
+                enc.put_varint(*limit);
+                enc.put_varint(*observed);
+                enc.finish()
+            }
             Response::StatsReport(stats) => {
                 let mut enc = Encoder::with_opcode(OP_STATS_REPORT);
                 enc.put_varint(stats.jobs_completed);
@@ -539,6 +680,8 @@ impl Response {
                 enc.put_u32(stats.queue_depth);
                 enc.put_u32(stats.workers);
                 enc.put_varint(stats.cache_entries);
+                enc.put_varint(stats.jobs_exhausted);
+                enc.put_varint(stats.jobs_panicked);
                 enc.finish()
             }
             Response::Pong => Encoder::with_opcode(OP_PONG).finish(),
@@ -604,15 +747,33 @@ impl Response {
                 client_job: dec.get_varint()?,
                 message: dec.get_str()?,
             },
-            OP_STATS_REPORT => Response::StatsReport(DaemonStats {
-                jobs_completed: dec.get_varint()?,
-                cache_hits: dec.get_varint()?,
-                cache_misses: dec.get_varint()?,
-                rejected: dec.get_varint()?,
-                queue_depth: dec.get_u32()?,
-                workers: dec.get_u32()?,
-                cache_entries: dec.get_varint()?,
-            }),
+            OP_EXHAUSTED => Response::Exhausted {
+                client_job: dec.get_varint()?,
+                resource: resource_from_u8(dec.get_u8()?)?,
+                limit: dec.get_varint()?,
+                observed: dec.get_varint()?,
+            },
+            OP_STATS_REPORT => {
+                let mut stats = DaemonStats {
+                    jobs_completed: dec.get_varint()?,
+                    cache_hits: dec.get_varint()?,
+                    cache_misses: dec.get_varint()?,
+                    rejected: dec.get_varint()?,
+                    queue_depth: dec.get_u32()?,
+                    workers: dec.get_u32()?,
+                    cache_entries: dec.get_varint()?,
+                    jobs_exhausted: 0,
+                    jobs_panicked: 0,
+                };
+                // The degradation counters were appended later; a report
+                // from an older daemon simply ends here, and both default
+                // to zero.
+                if dec.remaining() > 0 {
+                    stats.jobs_exhausted = dec.get_varint()?;
+                    stats.jobs_panicked = dec.get_varint()?;
+                }
+                Response::StatsReport(stats)
+            }
             OP_PONG => Response::Pong,
             OP_SHUTTING_DOWN => Response::ShuttingDown,
             OP_ERROR => Response::Error {

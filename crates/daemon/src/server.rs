@@ -14,18 +14,49 @@
 //!
 //! Workers stream [`Response::Progress`] frames back over the submitting
 //! connection (time-throttled) and publish verdicts both to the client and
-//! to the cache.  Every running job carries a [`CancelFlag`]; an explicit
-//! cancel request, a client disconnect, or a failed progress write raises
-//! it, and the engine abandons the job at the next gate boundary.
+//! to the cache.
+//!
+//! # Resource governance and failure containment
+//!
+//! Every job runs under an [`Interrupt`] combining the client's requested
+//! limits (see [`JobLimits`]) with the server's configured ceilings
+//! ([`DaemonConfig::deadline_ceiling`],
+//! [`DaemonConfig::max_states_ceiling`]): the effective limit is the
+//! minimum of the two, and a ceiling applies even when the job requests
+//! nothing.  An exhausted job answers [`Response::Exhausted`] (or a
+//! [`Response::JobError`] for v1 submissions that could not decode it) and
+//! counts in [`DaemonStats::jobs_exhausted`].  An explicit cancel request,
+//! a client disconnect, or a failed progress write raises the job's cancel
+//! flag, and the engine abandons the job at the next gate boundary.
+//!
+//! Engine runs execute inside `catch_unwind`: a panicking job answers
+//! `JobError`, the worker thread survives, and
+//! [`DaemonStats::jobs_panicked`] counts it.  A *watchdog* thread scans
+//! running jobs and hard-cancels any that overstay their deadline by more
+//! than [`DaemonConfig::watchdog_grace`] — the backstop for engines that
+//! check cancellation but not the deadline.  (A run that polls neither
+//! cannot be stopped short of killing the process; the watchdog narrows
+//! the unrecoverable set to exactly those.)
+//!
+//! # Persistence
+//!
+//! Fresh verdicts are appended to a checksummed journal (O(entry) per
+//! verdict) through the configured [`VerdictStore`]; every
+//! [`DaemonConfig::snapshot_every`] journaled verdicts the whole cache is
+//! snapshotted and the journal cleared.  Startup loads the snapshot,
+//! replays the journal's intact prefix (a torn tail from a crash is
+//! dropped silently) and writes a fresh compacting snapshot.
 //!
 //! Shutdown — via [`DaemonHandle::shutdown`] or a client
 //! [`Request::Shutdown`] — drains nothing: queued jobs are dropped, running
-//! jobs are cancelled, the verdict cache is snapshotted to the configured
-//! [`VerdictStore`], and all sockets are shut down.
+//! jobs are cancelled, the verdict cache is snapshotted, and all sockets
+//! are shut down.  Internal locks use poison recovery throughout: a panic
+//! on one thread never wedges the rest of the daemon.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -33,12 +64,15 @@ use std::time::{Duration, Instant};
 
 use autoq_circuit::digest::circuit_digest;
 use autoq_circuit::qasm::parse_qasm;
-use autoq_core::CancelFlag;
+use autoq_core::{CancelFlag, Interrupt, Resource, StopReason};
 use autoq_treeaut::format::tree_to_binary;
 
-use crate::cache::{spec_digest, CachedVerdict, VerdictCache, VerdictKey};
+use crate::cache::{journal_record, spec_digest, CachedVerdict, VerdictCache, VerdictKey};
 use crate::engine::{materialize, JobInputs, VerifyEngine};
-use crate::proto::{DaemonStats, ErrorCode, Request, Response, Verdict, MAGIC, PROTOCOL_VERSION};
+use crate::lock;
+use crate::proto::{
+    DaemonStats, ErrorCode, JobLimits, Request, Response, Verdict, MAGIC, PROTOCOL_VERSION,
+};
 use crate::store::VerdictStore;
 use crate::wire::{read_frame, WireError, MAX_FRAME_LEN};
 
@@ -54,6 +88,17 @@ pub struct DaemonConfig {
     pub retry_after_ms: u32,
     /// Minimum interval between progress frames for one job.
     pub progress_interval: Duration,
+    /// Ceiling on any job's wall-clock deadline.  Applies even to jobs
+    /// that request no deadline; `None` lets unlimited jobs run forever.
+    pub deadline_ceiling: Option<Duration>,
+    /// Ceiling on any job's peak-state budget (same clamping rule).
+    pub max_states_ceiling: Option<u64>,
+    /// Journaled verdicts between full cache snapshots.
+    pub snapshot_every: u64,
+    /// How often the watchdog scans running jobs.
+    pub watchdog_interval: Duration,
+    /// Grace past a job's deadline before the watchdog hard-cancels it.
+    pub watchdog_grace: Duration,
 }
 
 impl Default for DaemonConfig {
@@ -63,8 +108,33 @@ impl Default for DaemonConfig {
             queue_capacity: 16,
             retry_after_ms: 100,
             progress_interval: Duration::from_millis(25),
+            deadline_ceiling: None,
+            max_states_ceiling: None,
+            snapshot_every: 256,
+            watchdog_interval: Duration::from_millis(20),
+            watchdog_grace: Duration::from_millis(100),
         }
     }
+}
+
+/// Clamps a job's requested limits against the server ceilings: the
+/// effective limit is the minimum of the two, and a ceiling applies even
+/// when the job requests nothing.
+fn effective_limits(config: &DaemonConfig, limits: &JobLimits) -> (Option<Duration>, Option<u64>) {
+    let requested = limits
+        .deadline_ms
+        .map(|ms| Duration::from_millis(u64::from(ms)));
+    let deadline = match (requested, config.deadline_ceiling) {
+        (Some(job), Some(ceiling)) => Some(job.min(ceiling)),
+        (Some(job), None) => Some(job),
+        (None, ceiling) => ceiling,
+    };
+    let max_states = match (limits.max_states, config.max_states_ceiling) {
+        (Some(job), Some(ceiling)) => Some(job.min(ceiling)),
+        (Some(job), None) => Some(job),
+        (None, ceiling) => ceiling,
+    };
+    (deadline, max_states)
 }
 
 /// One frame-writer per connection, shared between the connection thread
@@ -81,7 +151,7 @@ impl ConnWriter {
         let mut frame = Vec::with_capacity(4 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&payload);
-        let mut stream = self.stream.lock().unwrap();
+        let mut stream = lock(&self.stream);
         stream.write_all(&frame)?;
         Ok(())
     }
@@ -93,19 +163,46 @@ struct QueuedJob {
     inputs: JobInputs,
     client_job: u64,
     cancel: CancelFlag,
+    /// Effective (ceiling-clamped) wall-clock budget; the clock starts
+    /// when a worker picks the job up, not while it queues.
+    deadline: Option<Duration>,
+    /// Effective (ceiling-clamped) peak-state budget.
+    max_states: Option<u64>,
+    /// Whether the client used the limit-carrying Submit frame and can
+    /// therefore decode a typed [`Response::Exhausted`].
+    limited: bool,
     writer: Arc<ConnWriter>,
     jobs: Arc<Mutex<HashMap<u64, CancelFlag>>>,
 }
 
+/// A watchdog registry entry: when to hard-cancel, and how.
+struct WatchEntry {
+    kill_at: Instant,
+    cancel: CancelFlag,
+}
+
+/// Journal bookkeeping, under one lock so concurrent workers cannot
+/// interleave a snapshot with a journal append.
+struct PersistState {
+    journaled_since_snapshot: u64,
+}
+
 struct Shared {
     config: DaemonConfig,
+    addr: SocketAddr,
     engine: Arc<dyn VerifyEngine>,
     store: Option<Arc<dyn VerdictStore>>,
     cache: VerdictCache,
+    persist_state: Mutex<PersistState>,
     queue: Mutex<VecDeque<QueuedJob>>,
     queue_signal: Condvar,
+    watchdog: Mutex<HashMap<u64, WatchEntry>>,
+    watchdog_signal: Condvar,
+    next_watch_token: AtomicU64,
     shutting_down: AtomicBool,
     jobs_completed: AtomicU64,
+    jobs_exhausted: AtomicU64,
+    jobs_panicked: AtomicU64,
     rejected: AtomicU64,
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn: AtomicU64,
@@ -118,39 +215,81 @@ impl Shared {
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             rejected: self.rejected.load(Ordering::Relaxed),
-            queue_depth: self.queue.lock().unwrap().len() as u32,
+            queue_depth: lock(&self.queue).len() as u32,
             workers: self.config.workers as u32,
             cache_entries: self.cache.len() as u64,
+            jobs_exhausted: self.jobs_exhausted.load(Ordering::Relaxed),
+            jobs_panicked: self.jobs_panicked.load(Ordering::Relaxed),
         }
     }
 
-    fn persist(&self) {
-        if let Some(store) = &self.store {
-            if let Err(e) = store.save(&self.cache.to_snapshot()) {
-                eprintln!("autoq-daemon: failed to persist verdict cache: {e}");
+    /// Snapshots the whole cache and clears the journal.  Caller holds the
+    /// persist lock.
+    fn snapshot_locked(&self, store: &Arc<dyn VerdictStore>, state: &mut PersistState) {
+        match store.save(&self.cache.to_snapshot()) {
+            Ok(()) => {
+                // A failed clear only means the next recovery replays
+                // records the snapshot already contains — replay is
+                // idempotent, so stale journal bytes are harmless.
+                let _ = store.clear_journal();
+                state.journaled_since_snapshot = 0;
+            }
+            Err(e) => eprintln!("autoq-daemon: failed to persist verdict cache: {e}"),
+        }
+    }
+
+    /// Publishes a fresh verdict: into the cache, then (cheaply) into the
+    /// journal, with a periodic full snapshot every
+    /// [`DaemonConfig::snapshot_every`] verdicts.  A journal-append failure
+    /// falls back to an immediate snapshot so the verdict still persists.
+    fn record_verdict(&self, key: VerdictKey, verdict: CachedVerdict) {
+        self.cache.insert(key, verdict.clone());
+        let Some(store) = &self.store else {
+            return;
+        };
+        let mut state = lock(&self.persist_state);
+        match store.append_journal(&journal_record(&key, &verdict)) {
+            Ok(()) => {
+                state.journaled_since_snapshot += 1;
+                if state.journaled_since_snapshot >= self.config.snapshot_every.max(1) {
+                    self.snapshot_locked(store, &mut state);
+                }
+            }
+            Err(e) => {
+                eprintln!("autoq-daemon: journal append failed ({e}), snapshotting instead");
+                self.snapshot_locked(store, &mut state);
             }
         }
     }
 
-    /// Raises the shutdown flag, wakes every worker, cancels every
-    /// in-flight job and unblocks every connection read.
-    fn begin_shutdown(&self, addr: SocketAddr) {
+    /// Final persistence on shutdown: one full snapshot.
+    fn persist_final(&self) {
+        if let Some(store) = &self.store {
+            let mut state = lock(&self.persist_state);
+            self.snapshot_locked(store, &mut state);
+        }
+    }
+
+    /// Raises the shutdown flag, wakes every worker and the watchdog,
+    /// cancels every in-flight job and unblocks every connection read.
+    fn begin_shutdown(&self) {
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
-        self.persist();
+        self.persist_final();
         {
-            let mut queue = self.queue.lock().unwrap();
+            let mut queue = lock(&self.queue);
             for job in queue.drain(..) {
                 job.cancel.cancel();
             }
         }
         self.queue_signal.notify_all();
-        for (_, stream) in self.conns.lock().unwrap().iter() {
+        self.watchdog_signal.notify_all();
+        for (_, stream) in lock(&self.conns).iter() {
             let _ = stream.shutdown(std::net::Shutdown::Both);
         }
         // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(addr);
+        let _ = TcpStream::connect(self.addr);
     }
 }
 
@@ -159,6 +298,7 @@ pub struct DaemonHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
@@ -172,7 +312,7 @@ impl DaemonHandle {
     /// Triggers shutdown: persists the cache, cancels jobs, closes
     /// sockets.  Idempotent.
     pub fn shutdown(&self) {
-        self.shared.begin_shutdown(self.addr);
+        self.shared.begin_shutdown();
     }
 
     /// Whether shutdown has been triggered.
@@ -186,10 +326,13 @@ impl DaemonHandle {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        if let Some(watchdog) = self.watchdog.take() {
+            let _ = watchdog.join();
+        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        let handles: Vec<_> = self.conn_threads.lock().unwrap().drain(..).collect();
+        let handles: Vec<_> = lock(&self.conn_threads).drain(..).collect();
         for conn in handles {
             let _ = conn.join();
         }
@@ -198,10 +341,12 @@ impl DaemonHandle {
 
 /// Starts the daemon on `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
 ///
-/// `store`, when given, seeds the verdict cache from its last snapshot —
-/// a corrupt or unreadable snapshot is discarded and the daemon starts
-/// empty — and receives a fresh snapshot on shutdown and after every
-/// computed verdict.
+/// `store`, when given, seeds the verdict cache from its last snapshot
+/// plus the intact prefix of the write-ahead journal — a corrupt or
+/// unreadable snapshot is discarded wholesale, a torn journal tail is
+/// dropped record-by-record — and the recovered state is immediately
+/// compacted into a fresh snapshot.  Fresh verdicts are journaled as they
+/// arrive and snapshotted periodically and on shutdown.
 pub fn serve(
     addr: &str,
     config: DaemonConfig,
@@ -226,15 +371,42 @@ pub fn serve(
         _ => VerdictCache::new(),
     };
 
+    // Crash recovery: replay the journal's intact prefix on top of the
+    // snapshot, then compact so replay cost never accumulates across
+    // restarts.
+    if let Some(store) = store.as_ref() {
+        match store.load_journal() {
+            Ok(journal) if !journal.is_empty() => {
+                cache.replay_journal(&journal);
+                if store.save(&cache.to_snapshot()).is_ok() {
+                    let _ = store.clear_journal();
+                }
+            }
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("autoq-daemon: journal unreadable, continuing from snapshot alone: {e}");
+            }
+        }
+    }
+
     let shared = Arc::new(Shared {
         config,
+        addr,
         engine,
         store,
         cache,
+        persist_state: Mutex::new(PersistState {
+            journaled_since_snapshot: 0,
+        }),
         queue: Mutex::new(VecDeque::new()),
         queue_signal: Condvar::new(),
+        watchdog: Mutex::new(HashMap::new()),
+        watchdog_signal: Condvar::new(),
+        next_watch_token: AtomicU64::new(0),
         shutting_down: AtomicBool::new(false),
         jobs_completed: AtomicU64::new(0),
+        jobs_exhausted: AtomicU64::new(0),
+        jobs_panicked: AtomicU64::new(0),
         rejected: AtomicU64::new(0),
         conns: Mutex::new(HashMap::new()),
         next_conn: AtomicU64::new(0),
@@ -251,6 +423,14 @@ pub fn serve(
         );
     }
 
+    let watchdog = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("autoq-watchdog".into())
+            .spawn(move || watchdog_loop(&shared))
+            .expect("spawn watchdog")
+    };
+
     let conn_threads = Arc::new(Mutex::new(Vec::new()));
     let accept = {
         let shared = Arc::clone(&shared);
@@ -265,9 +445,34 @@ pub fn serve(
         addr,
         shared,
         accept: Some(accept),
+        watchdog: Some(watchdog),
         workers,
         conn_threads,
     })
+}
+
+/// Scans running jobs and hard-cancels any past its deadline plus the
+/// configured grace.  This is the backstop for engine runs that poll
+/// cancellation but not the clock; it turns "deadline ignored" into
+/// "cancelled at the next gate boundary".
+fn watchdog_loop(shared: &Shared) {
+    let mut registry = lock(&shared.watchdog);
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = Instant::now();
+        for entry in registry.values() {
+            if now >= entry.kill_at {
+                entry.cancel.cancel();
+            }
+        }
+        registry = shared
+            .watchdog_signal
+            .wait_timeout(registry, shared.config.watchdog_interval)
+            .unwrap_or_else(|poison| poison.into_inner())
+            .0;
+    }
 }
 
 fn accept_loop(
@@ -283,14 +488,14 @@ fn accept_loop(
         let _ = stream.set_nodelay(true);
         let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().unwrap().insert(conn_id, clone);
+            lock(&shared.conns).insert(conn_id, clone);
         }
         // Register *before* checking the flag: either this thread sees the
         // flag here, or `begin_shutdown` sees the registered socket — a
         // connection can't slip through un-closeable in either order.
         if shared.shutting_down.load(Ordering::SeqCst) {
             let _ = stream.shutdown(std::net::Shutdown::Both);
-            shared.conns.lock().unwrap().remove(&conn_id);
+            lock(&shared.conns).remove(&conn_id);
             break;
         }
         let shared_conn = Arc::clone(&shared);
@@ -298,10 +503,10 @@ fn accept_loop(
             .name(format!("autoq-conn-{conn_id}"))
             .spawn(move || {
                 connection_loop(stream, conn_id, &shared_conn);
-                shared_conn.conns.lock().unwrap().remove(&conn_id);
+                lock(&shared_conn.conns).remove(&conn_id);
             })
             .expect("spawn connection thread");
-        conn_threads.lock().unwrap().push(handle);
+        lock(&conn_threads).push(handle);
     }
 }
 
@@ -399,7 +604,7 @@ fn connection_loop(stream: TcpStream, _conn_id: u64, shared: &Shared) {
                 }
             }
             Request::Cancel { client_job } => {
-                if let Some(cancel) = jobs.lock().unwrap().get(&client_job) {
+                if let Some(cancel) = lock(&jobs).get(&client_job) {
                     cancel.cancel();
                 }
             }
@@ -415,14 +620,7 @@ fn connection_loop(stream: TcpStream, _conn_id: u64, shared: &Shared) {
             }
             Request::Shutdown => {
                 let _ = writer.send(&Response::ShuttingDown);
-                // The local address doubles as the accept-unblock target.
-                let addr = writer
-                    .stream
-                    .lock()
-                    .unwrap()
-                    .local_addr()
-                    .expect("local addr");
-                shared.begin_shutdown(addr);
+                shared.begin_shutdown();
                 break;
             }
         }
@@ -433,7 +631,7 @@ fn connection_loop(stream: TcpStream, _conn_id: u64, shared: &Shared) {
 
     // Disconnect (or shutdown): abandon everything this client was waiting
     // for.
-    for (_, cancel) in jobs.lock().unwrap().iter() {
+    for (_, cancel) in lock(&jobs).iter() {
         cancel.cancel();
     }
 }
@@ -483,6 +681,7 @@ fn handle_submit(
         Ok(inputs) => inputs,
         Err(message) => return job_error(message),
     };
+    let (deadline, max_states) = effective_limits(&shared.config, &job.limits);
     let rejected = Response::Rejected {
         client_job,
         retry_after_ms: shared.config.retry_after_ms,
@@ -493,17 +692,17 @@ fn handle_submit(
     }
     let cancel = CancelFlag::new();
     {
-        let mut queue = shared.queue.lock().unwrap();
+        let mut queue = lock(&shared.queue);
         if queue.len() >= shared.config.queue_capacity {
             drop(queue);
             shared.rejected.fetch_add(1, Ordering::Relaxed);
             return writer.send(&rejected).is_ok();
         }
-        jobs.lock().unwrap().insert(client_job, cancel.clone());
+        lock(jobs).insert(client_job, cancel.clone());
         // Ack *before* the job becomes visible to workers (the push below),
         // so the client always sees Accepted before any Progress/Verdict.
         if writer.send(&Response::Accepted { client_job }).is_err() {
-            jobs.lock().unwrap().remove(&client_job);
+            lock(jobs).remove(&client_job);
             return false;
         }
         queue.push_back(QueuedJob {
@@ -511,6 +710,9 @@ fn handle_submit(
             inputs,
             client_job,
             cancel,
+            deadline,
+            max_states,
+            limited: !job.limits.is_unlimited(),
             writer: Arc::clone(writer),
             jobs: Arc::clone(jobs),
         });
@@ -522,7 +724,7 @@ fn handle_submit(
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = lock(&shared.queue);
             loop {
                 if let Some(job) = queue.pop_front() {
                     break job;
@@ -530,7 +732,10 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutting_down.load(Ordering::SeqCst) {
                     return;
                 }
-                queue = shared.queue_signal.wait(queue).unwrap();
+                queue = shared
+                    .queue_signal
+                    .wait(queue)
+                    .unwrap_or_else(|poison| poison.into_inner());
             }
         };
         run_job(shared, job);
@@ -540,18 +745,33 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Renders a panic payload for the job error (the common `&str`/`String`
+/// payloads verbatim, anything else opaquely).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).into()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "opaque panic payload".into()
+    }
+}
+
 fn run_job(shared: &Shared, job: QueuedJob) {
     let QueuedJob {
         key,
         inputs,
         client_job,
         cancel,
+        deadline,
+        max_states,
+        limited,
         writer,
         jobs,
     } = job;
 
     let finish = |response: &Response| {
-        jobs.lock().unwrap().remove(&client_job);
+        lock(&jobs).remove(&client_job);
         let _ = writer.send(response);
     };
 
@@ -562,6 +782,28 @@ fn run_job(shared: &Shared, job: QueuedJob) {
         });
         return;
     }
+
+    // The budget clock starts here, not at submission: queue wait is the
+    // daemon's fault, not the job's.
+    let started = Instant::now();
+    let mut interrupt = Interrupt::from_flag(cancel.clone());
+    if let Some(budget) = deadline {
+        interrupt = interrupt.with_deadline(budget);
+    }
+    if let Some(budget) = max_states {
+        interrupt = interrupt.with_max_states(budget);
+    }
+    let watch_token = deadline.map(|budget| {
+        let token = shared.next_watch_token.fetch_add(1, Ordering::Relaxed);
+        lock(&shared.watchdog).insert(
+            token,
+            WatchEntry {
+                kill_at: started + budget + shared.config.watchdog_grace,
+                cancel: cancel.clone(),
+            },
+        );
+        token
+    });
 
     // Throttled progress streaming; a failed write means the client is
     // gone, which cancels the job at the next gate boundary.
@@ -589,12 +831,73 @@ fn run_job(shared: &Shared, job: QueuedJob) {
         }
     };
 
-    match shared.engine.verify(&inputs, &cancel, &mut progress) {
-        None => finish(&Response::JobError {
-            client_job,
-            message: "job cancelled".into(),
-        }),
-        Some(verdict) => {
+    // The engine runs inside `catch_unwind`: a panicking job must cost the
+    // daemon one answer, not one worker.  `AssertUnwindSafe` is sound here
+    // because everything the closure can leave half-updated is either
+    // job-local (discarded below) or behind poison-recovering locks.
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        shared.engine.verify(&inputs, &interrupt, &mut progress)
+    }));
+
+    if let Some(token) = watch_token {
+        lock(&shared.watchdog).remove(&token);
+    }
+
+    match result {
+        Err(payload) => {
+            shared.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+            let message = panic_message(payload.as_ref());
+            eprintln!("autoq-daemon: job panicked (worker recovered): {message}");
+            finish(&Response::JobError {
+                client_job,
+                message: format!("job panicked: {message}"),
+            });
+        }
+        Ok(Err(interrupted)) => {
+            // A watchdog hard-cancel surfaces as `Cancelled` even though
+            // the real cause was the deadline; attribute it correctly.
+            let reason = match (interrupted.reason, deadline) {
+                (StopReason::Cancelled, Some(budget)) if interrupt.deadline_elapsed() => {
+                    StopReason::Exhausted {
+                        resource: Resource::WallClock,
+                        limit: budget.as_millis() as u64,
+                        observed: started.elapsed().as_millis() as u64,
+                    }
+                }
+                (reason, _) => reason,
+            };
+            match reason {
+                StopReason::Cancelled => finish(&Response::JobError {
+                    client_job,
+                    message: "job cancelled".into(),
+                }),
+                StopReason::Exhausted {
+                    resource,
+                    limit,
+                    observed,
+                } => {
+                    shared.jobs_exhausted.fetch_add(1, Ordering::Relaxed);
+                    if limited {
+                        finish(&Response::Exhausted {
+                            client_job,
+                            resource,
+                            limit,
+                            observed,
+                        });
+                    } else {
+                        // The client spoke v1; it cannot decode Exhausted.
+                        finish(&Response::JobError {
+                            client_job,
+                            message: format!(
+                                "job exhausted its {resource} budget \
+                                 (limit {limit}, observed {observed})"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(Ok(verdict)) => {
             let witness = match &verdict.witness {
                 Some(tree) if inputs.want_witness => Some(tree_to_binary(tree)),
                 _ => None,
@@ -604,9 +907,8 @@ fn run_job(shared: &Shared, job: QueuedJob) {
                 reachable_but_forbidden: verdict.reachable_but_forbidden,
                 witness: witness.clone(),
             };
-            shared.cache.insert(key, cached);
+            shared.record_verdict(key, cached);
             shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
-            shared.persist();
             finish(&Response::Verdict {
                 client_job,
                 cached: false,

@@ -1,26 +1,36 @@
 //! Persistence backends for the verdict cache.
 //!
-//! The daemon only ever persists *whole snapshots* (see
-//! [`VerdictCache`](crate::cache::VerdictCache)), so the store interface is
-//! deliberately tiny: load all bytes, save all bytes.  [`FileStore`] is the
-//! production backend with atomic write-then-rename; [`MemStore`] backs
-//! restart tests without a filesystem; [`FailStore`] wraps another store
-//! and corrupts traffic through it with a [`FaultPlan`], which is how the
-//! tests prove a daemon facing a bad disk starts empty instead of serving
-//! half a cache.
+//! The store interface has two channels: the *snapshot* (the whole cache,
+//! see [`VerdictCache`](crate::cache::VerdictCache)) and the *journal* (an
+//! append-only sequence of checksummed per-verdict records written between
+//! snapshots).  Recovery loads the snapshot, then replays the journal's
+//! intact prefix — a torn tail from a crash mid-append is dropped, not
+//! fatal.  [`FileStore`] is the production backend with atomic
+//! write-then-rename snapshots and an `O_APPEND` journal file; [`MemStore`]
+//! backs restart tests without a filesystem; [`FailStore`] wraps another
+//! store and corrupts traffic through it with a [`FaultPlan`], which is how
+//! the tests prove a daemon facing a bad disk starts empty instead of
+//! serving half a cache.
 
 use std::io;
 use std::path::PathBuf;
 use std::sync::Mutex;
 
 use crate::fault::FaultPlan;
+use crate::lock;
 
-/// Whole-snapshot persistence for the verdict cache.
+/// Snapshot + journal persistence for the verdict cache.
 pub trait VerdictStore: Send + Sync {
     /// Loads the last saved snapshot, `None` if nothing was ever saved.
     fn load(&self) -> io::Result<Option<Vec<u8>>>;
     /// Replaces the saved snapshot.
     fn save(&self, bytes: &[u8]) -> io::Result<()>;
+    /// Appends one record to the journal.
+    fn append_journal(&self, record: &[u8]) -> io::Result<()>;
+    /// Loads the whole journal; empty if nothing was ever appended.
+    fn load_journal(&self) -> io::Result<Vec<u8>>;
+    /// Truncates the journal (called right after a successful snapshot).
+    fn clear_journal(&self) -> io::Result<()>;
 }
 
 /// File-backed store with atomic replace (write to `<path>.tmp`, rename).
@@ -29,9 +39,14 @@ pub struct FileStore {
 }
 
 impl FileStore {
-    /// Persists to the given path.
+    /// Persists to the given path (the journal rides next to it with a
+    /// `.journal` extension).
     pub fn new(path: impl Into<PathBuf>) -> Self {
         FileStore { path: path.into() }
+    }
+
+    fn journal_path(&self) -> PathBuf {
+        self.path.with_extension("journal")
     }
 }
 
@@ -49,6 +64,31 @@ impl VerdictStore for FileStore {
         std::fs::write(&tmp, bytes)?;
         std::fs::rename(&tmp, &self.path)
     }
+
+    fn append_journal(&self, record: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.journal_path())?;
+        file.write_all(record)
+    }
+
+    fn load_journal(&self) -> io::Result<Vec<u8>> {
+        match std::fs::read(self.journal_path()) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn clear_journal(&self) -> io::Result<()> {
+        match std::fs::remove_file(self.journal_path()) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
 }
 
 /// In-memory store for restart tests: survives a daemon "restart" because
@@ -56,6 +96,7 @@ impl VerdictStore for FileStore {
 #[derive(Default)]
 pub struct MemStore {
     bytes: Mutex<Option<Vec<u8>>>,
+    journal: Mutex<Vec<u8>>,
 }
 
 impl MemStore {
@@ -66,17 +107,42 @@ impl MemStore {
 
     /// The currently saved snapshot, if any.
     pub fn snapshot(&self) -> Option<Vec<u8>> {
-        self.bytes.lock().unwrap().clone()
+        lock(&self.bytes).clone()
+    }
+
+    /// The current journal bytes (for tests inspecting growth).
+    pub fn journal_bytes(&self) -> Vec<u8> {
+        lock(&self.journal).clone()
+    }
+
+    /// Overwrites the journal wholesale — how the torn-tail tests plant a
+    /// journal truncated at an arbitrary byte offset.
+    pub fn set_journal(&self, bytes: Vec<u8>) {
+        *lock(&self.journal) = bytes;
     }
 }
 
 impl VerdictStore for MemStore {
     fn load(&self) -> io::Result<Option<Vec<u8>>> {
-        Ok(self.bytes.lock().unwrap().clone())
+        Ok(lock(&self.bytes).clone())
     }
 
     fn save(&self, bytes: &[u8]) -> io::Result<()> {
-        *self.bytes.lock().unwrap() = Some(bytes.to_vec());
+        *lock(&self.bytes) = Some(bytes.to_vec());
+        Ok(())
+    }
+
+    fn append_journal(&self, record: &[u8]) -> io::Result<()> {
+        lock(&self.journal).extend_from_slice(record);
+        Ok(())
+    }
+
+    fn load_journal(&self) -> io::Result<Vec<u8>> {
+        Ok(lock(&self.journal).clone())
+    }
+
+    fn clear_journal(&self) -> io::Result<()> {
+        lock(&self.journal).clear();
         Ok(())
     }
 }
@@ -128,6 +194,29 @@ impl<S: VerdictStore> VerdictStore for FailStore<S> {
             FailMode::CorruptOnLoad(_) => self.inner.save(bytes),
         }
     }
+
+    fn append_journal(&self, record: &[u8]) -> io::Result<()> {
+        match self.mode {
+            FailMode::Unavailable => Err(io::Error::other("fault injection: store unavailable")),
+            FailMode::CorruptOnSave(plan) => self.inner.append_journal(&plan.apply(record)),
+            FailMode::CorruptOnLoad(_) => self.inner.append_journal(record),
+        }
+    }
+
+    fn load_journal(&self) -> io::Result<Vec<u8>> {
+        match self.mode {
+            FailMode::Unavailable => Err(io::Error::other("fault injection: store unavailable")),
+            FailMode::CorruptOnLoad(plan) => Ok(plan.apply(&self.inner.load_journal()?)),
+            FailMode::CorruptOnSave(_) => self.inner.load_journal(),
+        }
+    }
+
+    fn clear_journal(&self) -> io::Result<()> {
+        match self.mode {
+            FailMode::Unavailable => Err(io::Error::other("fault injection: store unavailable")),
+            _ => self.inner.clear_journal(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +229,34 @@ mod tests {
         assert_eq!(store.load().unwrap(), None);
         store.save(b"snapshot").unwrap();
         assert_eq!(store.load().unwrap(), Some(b"snapshot".to_vec()));
+    }
+
+    #[test]
+    fn mem_store_journal_appends_and_clears() {
+        let store = MemStore::new();
+        assert!(store.load_journal().unwrap().is_empty());
+        store.append_journal(b"ab").unwrap();
+        store.append_journal(b"cd").unwrap();
+        assert_eq!(store.load_journal().unwrap(), b"abcd".to_vec());
+        store.clear_journal().unwrap();
+        assert!(store.load_journal().unwrap().is_empty());
+    }
+
+    #[test]
+    fn file_store_journal_appends_and_clears() {
+        let dir = std::env::temp_dir().join("autoq-daemon-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.bin");
+        let store = FileStore::new(&path);
+        store.clear_journal().unwrap();
+        assert!(store.load_journal().unwrap().is_empty());
+        store.append_journal(b"one").unwrap();
+        store.append_journal(b"two").unwrap();
+        assert_eq!(store.load_journal().unwrap(), b"onetwo".to_vec());
+        store.clear_journal().unwrap();
+        assert!(store.load_journal().unwrap().is_empty());
+        // Clearing an already-absent journal is not an error.
+        store.clear_journal().unwrap();
     }
 
     #[test]

@@ -60,6 +60,7 @@ fn check_against_direct(
             post,
             mode,
             want_witness: true,
+            limits: Default::default(),
         })
         .unwrap();
     let JobOutcome::Verdict { verdict, cached } = outcome else {
@@ -253,6 +254,7 @@ fn second_submission_hits_the_cache_with_the_same_verdict() {
         },
         mode: SpecMode::Equality,
         want_witness: true,
+        limits: Default::default(),
     };
     let JobOutcome::Verdict {
         verdict: cold,
@@ -290,6 +292,7 @@ fn restart_re_serves_persisted_verdicts_without_the_engine() {
         post: Spec::AllBasis { num_qubits: 6 },
         mode: SpecMode::Inclusion,
         want_witness: true,
+        limits: Default::default(),
     };
 
     // First life: a violating mock engine computes one verdict, which the
@@ -367,6 +370,7 @@ fn job_errors_are_scoped_and_descriptive() {
         },
         mode: SpecMode::Equality,
         want_witness: false,
+        limits: Default::default(),
     };
     let JobOutcome::Failed { message } = client.verify(job.clone()).unwrap() else {
         panic!("expected a job error");

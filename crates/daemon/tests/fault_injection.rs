@@ -33,6 +33,7 @@ fn tiny_job() -> JobRequest {
         },
         mode: SpecMode::Equality,
         want_witness: false,
+        limits: Default::default(),
     }
 }
 

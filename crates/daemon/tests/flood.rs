@@ -1,7 +1,7 @@
 //! Release-mode daemon smoke: a cached-verdict flood must sustain at least
-//! 10 000 verdicts per second over loopback TCP, and an engine overload
-//! must degrade gracefully (rejections, no hangs) while cached reads keep
-//! being served.
+//! 10 000 verdicts per second over loopback TCP — on a daemon that already
+//! survived a panicking job — and an engine overload must degrade
+//! gracefully (rejections, no hangs) while cached reads keep being served.
 //!
 //! Ignored by default — the CI bench-smoke job runs it in release via
 //! `cargo test --release -p autoq-daemon --test flood -- --include-ignored`.
@@ -9,10 +9,31 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use autoq_core::{Interrupt, Interrupted};
 use autoq_daemon::client::{Client, JobOutcome};
-use autoq_daemon::engine::{MockBehavior, MockEngine};
+use autoq_daemon::engine::{EngineVerdict, JobInputs, MockBehavior, MockEngine, VerifyEngine};
 use autoq_daemon::proto::{JobRequest, Request, Response, Spec, SpecMode};
 use autoq_daemon::server::{serve, DaemonConfig};
+
+/// Delegates to a [`MockEngine`] except for 5-qubit circuits, which panic —
+/// the flood's proof that a crashed job doesn't cost throughput.
+struct PanicOnFiveQubits {
+    inner: MockEngine,
+}
+
+impl VerifyEngine for PanicOnFiveQubits {
+    fn verify(
+        &self,
+        inputs: &JobInputs,
+        interrupt: &Interrupt,
+        progress: &mut dyn FnMut(u32, u32),
+    ) -> Result<EngineVerdict, Interrupted> {
+        if inputs.circuit.num_qubits() == 5 {
+            panic!("scripted panic (flood)");
+        }
+        self.inner.verify(inputs, interrupt, progress)
+    }
+}
 
 fn flood_job() -> JobRequest {
     JobRequest {
@@ -24,6 +45,7 @@ fn flood_job() -> JobRequest {
         post: Spec::AllBasis { num_qubits: 2 },
         mode: SpecMode::Inclusion,
         want_witness: false,
+        limits: Default::default(),
     }
 }
 
@@ -33,11 +55,27 @@ fn cached_verdict_flood_sustains_10k_per_second() {
     let daemon = serve(
         "127.0.0.1:0",
         DaemonConfig::default(),
-        Arc::new(MockEngine::holding()),
+        Arc::new(PanicOnFiveQubits {
+            inner: MockEngine::holding(),
+        }),
         None,
     )
     .unwrap();
     let mut client = Client::connect(daemon.addr()).unwrap();
+
+    // Crash one job first: the flood floor below must hold on a daemon
+    // whose worker already survived a panic.
+    let mut panic_job = flood_job();
+    panic_job.qasm = "OPENQASM 2.0;\nqreg q[5];\nx q[0];\n".into();
+    panic_job.pre = Spec::Basis {
+        num_qubits: 5,
+        basis: 0,
+    };
+    panic_job.post = Spec::AllBasis { num_qubits: 5 };
+    match client.verify(panic_job).unwrap() {
+        JobOutcome::Failed { message } => assert!(message.contains("panicked"), "{message}"),
+        other => panic!("unexpected outcome {other:?}"),
+    }
 
     // Warm the cache with the one verdict the flood will hit.
     assert!(matches!(
@@ -90,6 +128,7 @@ fn cached_verdict_flood_sustains_10k_per_second() {
     let mut probe = Client::connect(daemon.addr()).unwrap();
     let stats = probe.stats().unwrap();
     assert!(stats.cache_hits >= total);
+    assert_eq!(stats.jobs_panicked, 1);
 
     daemon.shutdown();
     daemon.join();

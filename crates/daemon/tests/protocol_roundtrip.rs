@@ -6,11 +6,12 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use autoq_core::Resource;
 use autoq_daemon::client::{Client, JobOutcome};
 use autoq_daemon::engine::{MockBehavior, MockEngine};
 use autoq_daemon::proto::{
-    DaemonStats, ErrorCode, JobRequest, Request, Response, Spec, SpecMode, Verdict, MAGIC,
-    PROTOCOL_VERSION,
+    DaemonStats, ErrorCode, JobLimits, JobRequest, Request, Response, Spec, SpecMode, Verdict,
+    MAGIC, PROTOCOL_VERSION,
 };
 use autoq_daemon::server::{serve, DaemonConfig};
 use proptest::prelude::*;
@@ -29,6 +30,7 @@ fn sample_job() -> JobRequest {
         },
         mode: SpecMode::Inclusion,
         want_witness: true,
+        limits: Default::default(),
     }
 }
 
@@ -54,6 +56,37 @@ fn every_request_variant_round_trips() {
                 },
                 mode: SpecMode::Equality,
                 want_witness: false,
+                limits: Default::default(),
+            },
+        },
+        Request::Submit {
+            client_job: 11,
+            job: JobRequest {
+                limits: JobLimits {
+                    deadline_ms: Some(5_000),
+                    max_states: None,
+                },
+                ..sample_job()
+            },
+        },
+        Request::Submit {
+            client_job: 12,
+            job: JobRequest {
+                limits: JobLimits {
+                    deadline_ms: Some(1),
+                    max_states: Some(u64::MAX),
+                },
+                ..sample_job()
+            },
+        },
+        Request::Submit {
+            client_job: 13,
+            job: JobRequest {
+                limits: JobLimits {
+                    deadline_ms: None,
+                    max_states: Some(1),
+                },
+                ..sample_job()
             },
         },
         Request::Cancel { client_job: 42 },
@@ -105,6 +138,24 @@ fn every_response_variant_round_trips() {
             client_job: 9,
             message: "QASM parse error: line 3".into(),
         },
+        Response::Exhausted {
+            client_job: 11,
+            resource: Resource::WallClock,
+            limit: 5_000,
+            observed: 5_103,
+        },
+        Response::Exhausted {
+            client_job: 12,
+            resource: Resource::States,
+            limit: 1 << 20,
+            observed: (1 << 20) + 17,
+        },
+        Response::Exhausted {
+            client_job: 13,
+            resource: Resource::Transitions,
+            limit: 3,
+            observed: u64::MAX,
+        },
         Response::StatsReport(DaemonStats {
             jobs_completed: 10,
             cache_hits: 20,
@@ -113,6 +164,8 @@ fn every_response_variant_round_trips() {
             queue_depth: 2,
             workers: 4,
             cache_entries: 9,
+            jobs_exhausted: 5,
+            jobs_panicked: 2,
         }),
         Response::Pong,
         Response::ShuttingDown,
@@ -125,6 +178,55 @@ fn every_response_variant_round_trips() {
         let decoded = Response::decode(&response.encode()).unwrap();
         assert_eq!(decoded, response);
     }
+}
+
+#[test]
+fn stats_report_from_an_older_daemon_decodes_with_zero_degradation_counters() {
+    // A v1-era StatsReport ends after cache_entries; the degradation
+    // counters were appended later.  Encoding zeros appends exactly two
+    // zero varint bytes, so stripping them reconstructs the old frame.
+    let stats = DaemonStats {
+        jobs_completed: 4,
+        cache_hits: 3,
+        cache_misses: 2,
+        rejected: 1,
+        queue_depth: 5,
+        workers: 2,
+        cache_entries: 6,
+        jobs_exhausted: 0,
+        jobs_panicked: 0,
+    };
+    let full = Response::StatsReport(stats.clone()).encode();
+    let old = &full[..full.len() - 2];
+    match Response::decode(old).unwrap() {
+        Response::StatsReport(decoded) => assert_eq!(decoded, stats),
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+#[test]
+fn unlimited_jobs_encode_as_v1_submit_frames() {
+    // Byte-for-byte v1 compatibility: a job with no limits must produce
+    // the exact same frame as before limits existed (opcode 0x02, no
+    // limits block), so old servers keep accepting new clients.
+    let submit = Request::Submit {
+        client_job: 3,
+        job: sample_job(),
+    };
+    let frame = submit.encode();
+    assert_eq!(frame[0], 0x02, "unlimited Submit must keep the v1 opcode");
+    // And a limit-carrying job must NOT use the v1 opcode.
+    let limited = Request::Submit {
+        client_job: 3,
+        job: JobRequest {
+            limits: JobLimits {
+                deadline_ms: Some(10),
+                max_states: None,
+            },
+            ..sample_job()
+        },
+    };
+    assert_eq!(limited.encode()[0], 0x07, "limits ride the v2 opcode");
 }
 
 #[test]
@@ -325,6 +427,7 @@ proptest! {
                 },
                 mode: if mode == 0 { SpecMode::Equality } else { SpecMode::Inclusion },
                 want_witness: want_witness == 1,
+                limits: Default::default(),
             },
         };
         let decoded = Request::decode(&request.encode()).unwrap();
