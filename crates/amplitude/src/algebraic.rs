@@ -351,6 +351,37 @@ impl Default for Algebraic {
     }
 }
 
+impl PartialOrd for Algebraic {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Algebraic {
+    /// Total **structural** order on canonical forms: by the `(1/√2)`
+    /// exponent `k`, then the coefficients `a, b, c, d` lexicographically.
+    ///
+    /// Because the canonical representation of a value is unique, this is a
+    /// genuine total order consistent with `Eq` — exactly what deterministic
+    /// leaf orderings (e.g. sorting the leaves of an enumerated tree) need.
+    /// It is *not* an order on complex values (ℂ has none).
+    ///
+    /// ```
+    /// # use autoq_amplitude::Algebraic;
+    /// let mut leaves = vec![Algebraic::one(), Algebraic::zero(), Algebraic::omega()];
+    /// leaves.sort();
+    /// assert_eq!(leaves[0], Algebraic::zero());
+    /// ```
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.k
+            .cmp(&other.k)
+            .then_with(|| self.a.cmp(&other.a))
+            .then_with(|| self.b.cmp(&other.b))
+            .then_with(|| self.c.cmp(&other.c))
+            .then_with(|| self.d.cmp(&other.d))
+    }
+}
+
 impl fmt::Display for Algebraic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_zero() {

@@ -34,9 +34,11 @@
 //! ```
 
 mod algebraic;
+pub mod intern;
 mod ops;
 
 pub use algebraic::{Algebraic, ComplexF64};
+pub use intern::{intern, resolve, AmpId};
 
 #[cfg(test)]
 mod tests {

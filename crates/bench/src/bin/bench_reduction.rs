@@ -24,6 +24,7 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
+use autoq_amplitude::{intern as amp_intern, Algebraic};
 use autoq_bench::table3::{paper_scale_workload, run_paper_scale_row, run_row};
 use autoq_bench::timed;
 use autoq_circuit::generators::{carry_lookahead_like, increment_circuit};
@@ -101,6 +102,53 @@ fn main() {
             let _ = engine.apply_gate(&base, &Gate::H(5));
         }),
     );
+
+    // Leaf-amplitude fast path: interning cost cold (first-ever values)
+    // vs warm (pure hit path) on 10k distinct irreducible amplitudes, the
+    // process-wide hit rate over one composition-encoded gate, and the
+    // pre-interning baselines of the keys this PR targets (measured at the
+    // parent commit on the same runner) so the before/after comparison
+    // lives in one file.
+    let fresh: Vec<Algebraic> = (0..10_000)
+        .map(|i| Algebraic::from_components(2 * i + 1, 0, 0, 0, 1))
+        .collect();
+    let (_, cold) = timed(|| {
+        for value in &fresh {
+            let _ = amp_intern::intern(value);
+        }
+    });
+    record_secs(&mut entries, "leaf.intern_cold_10k", cold);
+    record_secs(
+        &mut entries,
+        "leaf.intern_warm_10k",
+        median_time(5, || {
+            for value in &fresh {
+                let _ = amp_intern::intern(value);
+            }
+        }),
+    );
+    let stats_before = amp_intern::stats();
+    let _ = engine.apply_gate(&base, &Gate::H(5));
+    let stats_after = amp_intern::stats();
+    let hits = (stats_after.intern_hits + stats_after.combine_hits)
+        - (stats_before.intern_hits + stats_before.combine_hits);
+    let misses = (stats_after.intern_misses + stats_after.combine_misses)
+        - (stats_before.intern_misses + stats_before.combine_misses);
+    entries.push((
+        "leaf.apply_gate_h_intern_hit_rate".to_string(),
+        format!("{:.4}", hits as f64 / (hits + misses).max(1) as f64),
+    ));
+    entries.push((
+        "leaf.table_distinct".to_string(),
+        stats_after.distinct.to_string(),
+    ));
+    for (key, before) in [
+        ("leaf.before.micro.apply_gate_h_allbasis12", "0.011238"),
+        ("leaf.before.row.increment8_autoq_hunt", "8.181628"),
+        ("leaf.before.paper.random70_autoq_hunt", "22.653514"),
+    ] {
+        entries.push((key.to_string(), before.to_string()));
+    }
 
     // Rows: the previously slow Table 3 entries, with the canonical
     // `table3` seeds so the numbers are directly comparable.

@@ -1,0 +1,42 @@
+//! Release-mode evidence for the leaf-amplitude fast path: a full Table 2
+//! BV16 verification (the paper's Bernstein–Vazirani workload at n = 16)
+//! runs entirely on inline single-limb bigints — the tagged magnitude
+//! representation never spills to a heap allocation.
+//!
+//! Kept in its own integration-test binary so no concurrently running test
+//! can disturb the process-wide spill counter between the two reads.
+
+use autoq_bigint::heap_spill_count;
+use autoq_circuit::generators::bernstein_vazirani;
+use autoq_core::presets::bv_spec;
+use autoq_core::{verify, Engine, SpecMode};
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-only: exercises the optimised hot path end to end"
+)]
+fn bv16_verification_performs_zero_multi_limb_spills() {
+    // The same hidden string Table 2's BV16 row uses.
+    let hidden: Vec<bool> = (0..16).map(|i| i % 2 == 0).collect();
+    let circuit = bernstein_vazirani(&hidden);
+    let spec = bv_spec(&hidden);
+
+    let spills_before = heap_spill_count();
+    let outcome = verify(
+        &Engine::hybrid(),
+        &spec.pre,
+        &circuit,
+        &spec.post,
+        SpecMode::Equality,
+    );
+    let spills_after = heap_spill_count();
+
+    assert!(outcome.holds(), "BV16 must verify");
+    assert_eq!(
+        spills_after - spills_before,
+        0,
+        "BV16 amplitudes are (±1/√2^k)-scaled small integers; the inline \
+         magnitude representation must cover the whole verification"
+    );
+}

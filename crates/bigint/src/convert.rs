@@ -1,6 +1,6 @@
 //! Conversions between [`BigInt`] and primitive integer types.
 
-use crate::{BigInt, Sign};
+use crate::{BigInt, Magnitude, Sign};
 
 impl From<u64> for BigInt {
     fn from(value: u64) -> Self {
@@ -9,7 +9,7 @@ impl From<u64> for BigInt {
         } else {
             BigInt {
                 sign: Sign::Positive,
-                limbs: vec![value],
+                mag: Magnitude::single(value),
             }
         }
     }
@@ -23,14 +23,14 @@ impl From<u32> for BigInt {
 
 impl From<u128> for BigInt {
     fn from(value: u128) -> Self {
-        BigInt::from_sign_limbs(
-            if value == 0 {
-                Sign::Zero
-            } else {
-                Sign::Positive
-            },
-            vec![value as u64, (value >> 64) as u64],
-        )
+        if value == 0 {
+            BigInt::zero()
+        } else {
+            BigInt {
+                sign: Sign::Positive,
+                mag: Magnitude::from_u128(value),
+            }
+        }
     }
 }
 
@@ -50,20 +50,14 @@ impl From<i128> for BigInt {
     fn from(value: i128) -> Self {
         match value {
             0 => BigInt::zero(),
-            v if v > 0 => {
-                let unsigned = v as u128;
-                BigInt::from_sign_limbs(
-                    Sign::Positive,
-                    vec![unsigned as u64, (unsigned >> 64) as u64],
-                )
-            }
-            v => {
-                let unsigned = v.unsigned_abs();
-                BigInt::from_sign_limbs(
-                    Sign::Negative,
-                    vec![unsigned as u64, (unsigned >> 64) as u64],
-                )
-            }
+            v if v > 0 => BigInt {
+                sign: Sign::Positive,
+                mag: Magnitude::from_u128(v as u128),
+            },
+            v => BigInt {
+                sign: Sign::Negative,
+                mag: Magnitude::from_u128(v.unsigned_abs()),
+            },
         }
     }
 }
@@ -78,11 +72,12 @@ impl BigInt {
     /// assert_eq!(huge.to_i128(), None);
     /// ```
     pub fn to_i128(&self) -> Option<i128> {
-        if self.limbs.len() > 2 {
+        let limbs = self.limbs();
+        if limbs.len() > 2 {
             return None;
         }
-        let lo = self.limbs.first().copied().unwrap_or(0) as u128;
-        let hi = self.limbs.get(1).copied().unwrap_or(0) as u128;
+        let lo = limbs.first().copied().unwrap_or(0) as u128;
+        let hi = limbs.get(1).copied().unwrap_or(0) as u128;
         let magnitude = (hi << 64) | lo;
         match self.sign {
             Sign::Zero => Some(0),
@@ -114,8 +109,9 @@ impl BigInt {
     /// assert!(BigInt::zero().magnitude_le_bytes().is_empty());
     /// ```
     pub fn magnitude_le_bytes(&self) -> Vec<u8> {
-        let mut bytes: Vec<u8> = Vec::with_capacity(self.limbs.len() * 8);
-        for limb in &self.limbs {
+        let limbs = self.limbs();
+        let mut bytes: Vec<u8> = Vec::with_capacity(limbs.len() * 8);
+        for limb in limbs {
             bytes.extend_from_slice(&limb.to_le_bytes());
         }
         while bytes.last() == Some(&0) {

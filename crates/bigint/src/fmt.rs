@@ -3,7 +3,7 @@
 use std::fmt;
 use std::str::FromStr;
 
-use crate::{mag, BigInt, Sign};
+use crate::{BigInt, Sign};
 
 /// 10^19, the largest power of ten that fits in a `u64` limb.
 const DECIMAL_CHUNK: u64 = 10_000_000_000_000_000_000;
@@ -15,9 +15,9 @@ impl fmt::Display for BigInt {
             return f.pad_integral(true, "", "0");
         }
         let mut chunks = Vec::new();
-        let mut magnitude = self.limbs.clone();
-        while !magnitude.is_empty() {
-            let (quotient, remainder) = mag::divmod_small(&magnitude, DECIMAL_CHUNK);
+        let mut magnitude = self.mag.clone();
+        while !magnitude.is_zero() {
+            let (quotient, remainder) = magnitude.divmod_small(DECIMAL_CHUNK);
             chunks.push(remainder);
             magnitude = quotient;
         }
@@ -87,7 +87,7 @@ impl FromStr for BigInt {
             let digit = ch.to_digit(10).ok_or(ParseBigIntError {
                 kind: ParseErrorKind::InvalidDigit(ch),
             })?;
-            mag::mul_small_add(&mut limbs, 10, digit as u64);
+            crate::magnitude::mul_small_add(&mut limbs, 10, digit as u64);
         }
         let sign = if limbs.is_empty() {
             Sign::Zero

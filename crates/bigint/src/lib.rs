@@ -8,6 +8,13 @@
 //! decimal formatting/parsing and division by machine-word divisors for I/O).
 //! General multi-word division is intentionally not implemented.
 //!
+//! The magnitude is a tagged inline/heap representation
+//! (`magnitude::Magnitude`): values up to `u64::MAX` live in a single inline
+//! limb with **no heap allocation**, and only genuinely multi-limb results
+//! spill to a heap vector.  Benchmark-circuit amplitude coefficients always
+//! fit one limb, so the amplitude hot paths never touch the allocator —
+//! [`heap_spill_count`] counts the spills so tests can prove it.
+//!
 //! *Pipeline position* (amplitudes → tree automata → gate semantics →
 //! verification/hunting): **bigint** → amplitude → {treeaut, circuit} →
 //! simulator → {equivcheck, core} → bench — the integer bedrock everything
@@ -33,15 +40,28 @@ mod ops;
 mod sign;
 
 pub use fmt::ParseBigIntError;
+pub use magnitude::heap_spill_count;
 pub use sign::Sign;
 
-pub(crate) use magnitude as mag;
+pub(crate) use magnitude::Magnitude;
+
+/// The raw little-endian limb-slice kernels behind [`BigInt`], re-exported
+/// for cross-validation: the inline fast paths of the tagged magnitude are
+/// property-tested against these reference implementations on the 1-limb/
+/// 2-limb spill boundary (`crates/bigint/tests/inline_spill.rs`).
+///
+/// Not part of the supported API surface.
+#[doc(hidden)]
+pub mod reference {
+    pub use crate::magnitude::{add, bits, cmp, divmod_small, mul, normalize, shl, shr, sub};
+}
 
 /// An arbitrary-precision signed integer.
 ///
-/// The representation is a [`Sign`] together with a little-endian sequence of
-/// `u64` limbs with no trailing zero limbs.  The invariant `sign == Sign::Zero
-/// ⇔ limbs.is_empty()` always holds.
+/// The representation is a [`Sign`] together with a canonical magnitude: a
+/// single `u64` limb stored inline, spilling to a little-endian heap vector
+/// (no trailing zero limbs) only for values above `u64::MAX`.  The invariant
+/// `sign == Sign::Zero ⇔ magnitude == 0` always holds.
 ///
 /// # Examples
 ///
@@ -54,8 +74,8 @@ pub(crate) use magnitude as mag;
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BigInt {
     pub(crate) sign: Sign,
-    /// Little-endian limbs; canonical (no trailing zeros).
-    pub(crate) limbs: Vec<u64>,
+    /// Canonical magnitude (inline single limb or ≥ 2 heap limbs).
+    pub(crate) mag: Magnitude,
 }
 
 impl BigInt {
@@ -68,7 +88,7 @@ impl BigInt {
     pub fn zero() -> Self {
         BigInt {
             sign: Sign::Zero,
-            limbs: Vec::new(),
+            mag: Magnitude::ZERO,
         }
     }
 
@@ -81,22 +101,31 @@ impl BigInt {
     pub fn one() -> Self {
         BigInt {
             sign: Sign::Positive,
-            limbs: vec![1],
+            mag: Magnitude::single(1),
         }
     }
 
     /// Constructs a `BigInt` from a sign and little-endian limbs, normalising
     /// trailing zeros and the zero sign.
-    pub(crate) fn from_sign_limbs(sign: Sign, mut limbs: Vec<u64>) -> Self {
-        while limbs.last() == Some(&0) {
-            limbs.pop();
-        }
-        if limbs.is_empty() {
+    pub(crate) fn from_sign_limbs(sign: Sign, limbs: Vec<u64>) -> Self {
+        BigInt::from_sign_mag(sign, Magnitude::from_limbs(limbs))
+    }
+
+    /// Constructs a `BigInt` from a sign and a canonical magnitude,
+    /// normalising the zero sign.
+    pub(crate) fn from_sign_mag(sign: Sign, mag: Magnitude) -> Self {
+        if mag.is_zero() {
             BigInt::zero()
         } else {
             debug_assert!(sign != Sign::Zero);
-            BigInt { sign, limbs }
+            BigInt { sign, mag }
         }
+    }
+
+    /// The canonical little-endian limb view of the magnitude (empty iff the
+    /// value is zero).
+    pub(crate) fn limbs(&self) -> &[u64] {
+        self.mag.limbs()
     }
 
     /// Returns `true` if the value is zero.
@@ -123,7 +152,7 @@ impl BigInt {
     /// assert!(BigInt::zero().is_even());
     /// ```
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.mag.is_even()
     }
 
     /// Returns `true` if the value is odd.
@@ -146,7 +175,7 @@ impl BigInt {
         match self.sign {
             Sign::Negative => BigInt {
                 sign: Sign::Positive,
-                limbs: self.limbs.clone(),
+                mag: self.mag.clone(),
             },
             _ => self.clone(),
         }
@@ -186,7 +215,7 @@ impl BigInt {
     /// assert_eq!(BigInt::zero().bits(), 0);
     /// ```
     pub fn bits(&self) -> u64 {
-        mag::bits(&self.limbs)
+        self.mag.bits()
     }
 
     /// Approximates the value as an `f64` (may lose precision or overflow to
@@ -198,7 +227,7 @@ impl BigInt {
     /// ```
     pub fn to_f64(&self) -> f64 {
         let mut value = 0.0_f64;
-        for &limb in self.limbs.iter().rev() {
+        for &limb in self.limbs().iter().rev() {
             value = value * 18446744073709551616.0 + limb as f64;
         }
         match self.sign {
@@ -215,17 +244,14 @@ impl BigInt {
     /// assert_eq!((&BigInt::from(i64::MAX) + &BigInt::one()).to_i64(), None);
     /// ```
     pub fn to_i64(&self) -> Option<i64> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => {
-                let limb = self.limbs[0];
-                match self.sign {
-                    Sign::Positive if limb <= i64::MAX as u64 => Some(limb as i64),
-                    Sign::Negative if limb <= i64::MAX as u64 + 1 => Some((-(limb as i128)) as i64),
-                    _ => None,
-                }
-            }
-            _ => None,
+        match self.mag {
+            Magnitude::Inline(0) => Some(0),
+            Magnitude::Inline(limb) => match self.sign {
+                Sign::Positive if limb <= i64::MAX as u64 => Some(limb as i64),
+                Sign::Negative if limb <= i64::MAX as u64 + 1 => Some((-(limb as i128)) as i64),
+                _ => None,
+            },
+            Magnitude::Heap(_) => None,
         }
     }
 
@@ -266,7 +292,7 @@ mod tests {
     fn zero_is_canonical() {
         let z = BigInt::zero();
         assert!(z.is_zero());
-        assert!(z.limbs.is_empty());
+        assert!(z.limbs().is_empty());
         assert_eq!(z.sign(), Sign::Zero);
         assert!(z.is_even());
         assert!(!z.is_negative());
@@ -276,9 +302,26 @@ mod tests {
     #[test]
     fn normalisation_strips_trailing_zero_limbs() {
         let v = BigInt::from_sign_limbs(Sign::Positive, vec![5, 0, 0]);
-        assert_eq!(v.limbs, vec![5]);
+        assert_eq!(v.limbs(), &[5]);
+        assert!(matches!(v.mag, Magnitude::Inline(5)));
         let z = BigInt::from_sign_limbs(Sign::Positive, vec![0, 0]);
         assert!(z.is_zero());
+    }
+
+    #[test]
+    fn small_values_stay_inline() {
+        for v in [1_i64, -1, 42, i64::MAX, i64::MIN] {
+            assert!(
+                matches!(BigInt::from(v).mag, Magnitude::Inline(_)),
+                "{v} must not allocate"
+            );
+        }
+        let wide = &BigInt::from(u64::MAX) + &BigInt::one();
+        assert!(matches!(wide.mag, Magnitude::Heap(_)));
+        // Arithmetic that shrinks back below the limb boundary re-normalises
+        // to the inline representation.
+        let back = &wide - &BigInt::one();
+        assert!(matches!(back.mag, Magnitude::Inline(u64::MAX)));
     }
 
     #[test]

@@ -1,19 +1,203 @@
-//! Unsigned magnitude arithmetic on little-endian `u64` limb slices.
+//! Unsigned magnitude arithmetic: the inline/heap [`Magnitude`] representation
+//! and the little-endian `u64` limb-slice kernels it falls back to.
 //!
-//! All functions operate on canonical magnitudes (no trailing zero limbs);
-//! the functions that produce magnitudes always return canonical vectors.
+//! A [`Magnitude`] stores a single limb **inline** (no allocation) and spills
+//! to a heap `Vec<u64>` only when a result genuinely needs a second limb.
+//! Every Table 2/3 workload keeps its amplitude coefficients within one limb,
+//! so on the benchmark circuits `BigInt` arithmetic never touches the
+//! allocator; [`heap_spill_count`] counts the spills so tests can prove it.
+//!
+//! The slice kernels (`add`, `sub`, `mul`, `shl`, `shr`, `divmod_small`,
+//! `mul_small_add`, `bits`, `cmp`) operate on canonical magnitudes (no
+//! trailing zero limbs) and always return canonical vectors.  They are the
+//! multi-limb fallback of the inline fast paths *and* the reference oracle
+//! the spill-boundary proptests cross-validate against (re-exported as
+//! `autoq_bigint::reference`).
 
 use std::cmp::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// Process-wide count of multi-limb heap spills (see [`heap_spill_count`]).
+static HEAP_SPILLS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of times any magnitude has spilled to a multi-limb heap vector
+/// since process start.
+///
+/// The counter only ever increases and is incremented exactly when a
+/// magnitude with two or more limbs is materialised (by arithmetic, shifting,
+/// conversion or parsing).  Single-limb fast paths never touch it, so a
+/// workload that performs zero spills provably never left the inline
+/// representation — the release test backing the "benchmark circuits never
+/// allocate" claim asserts exactly that across a BV16 verify.
+pub fn heap_spill_count() -> u64 {
+    HEAP_SPILLS.load(AtomicOrdering::Relaxed)
+}
+
+fn record_spill() {
+    HEAP_SPILLS.fetch_add(1, AtomicOrdering::Relaxed);
+}
+
+/// An unsigned magnitude: one limb stored inline, or a canonical (≥ 2 limbs,
+/// no trailing zeros) heap vector.
+///
+/// The representation is unique — `Inline` covers exactly the values `0..=
+/// u64::MAX` and `Heap` everything larger — so the derived `PartialEq`/`Hash`
+/// agree with numeric equality.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum Magnitude {
+    /// `0..=u64::MAX` without allocation (`Inline(0)` is the canonical zero).
+    Inline(u64),
+    /// `> u64::MAX`: little-endian limbs, `len() >= 2`, no trailing zeros.
+    Heap(Vec<u64>),
+}
+
+impl Magnitude {
+    pub(crate) const ZERO: Magnitude = Magnitude::Inline(0);
+
+    /// A single-limb magnitude (never spills).
+    pub(crate) fn single(limb: u64) -> Magnitude {
+        Magnitude::Inline(limb)
+    }
+
+    /// Builds from a 128-bit double limb, spilling only if the high limb is
+    /// non-zero.
+    pub(crate) fn from_u128(value: u128) -> Magnitude {
+        Magnitude::two(value as u64, (value >> 64) as u64)
+    }
+
+    /// Builds from `lo + (hi << 64)`.
+    fn two(lo: u64, hi: u64) -> Magnitude {
+        if hi == 0 {
+            Magnitude::Inline(lo)
+        } else {
+            record_spill();
+            Magnitude::Heap(vec![lo, hi])
+        }
+    }
+
+    /// Canonicalises a limb vector into the tagged representation.
+    pub(crate) fn from_limbs(mut limbs: Vec<u64>) -> Magnitude {
+        normalize(&mut limbs);
+        match limbs.len() {
+            0 => Magnitude::ZERO,
+            1 => Magnitude::Inline(limbs[0]),
+            _ => {
+                record_spill();
+                Magnitude::Heap(limbs)
+            }
+        }
+    }
+
+    /// The canonical limb view: empty for zero, one limb for `Inline`, the
+    /// vector for `Heap`.
+    pub(crate) fn limbs(&self) -> &[u64] {
+        match self {
+            Magnitude::Inline(0) => &[],
+            Magnitude::Inline(limb) => std::slice::from_ref(limb),
+            Magnitude::Heap(limbs) => limbs,
+        }
+    }
+
+    pub(crate) fn is_zero(&self) -> bool {
+        matches!(self, Magnitude::Inline(0))
+    }
+
+    pub(crate) fn is_even(&self) -> bool {
+        match self {
+            Magnitude::Inline(limb) => limb & 1 == 0,
+            Magnitude::Heap(limbs) => limbs[0] & 1 == 0,
+        }
+    }
+
+    pub(crate) fn cmp_mag(&self, other: &Magnitude) -> Ordering {
+        match (self, other) {
+            (Magnitude::Inline(a), Magnitude::Inline(b)) => a.cmp(b),
+            (Magnitude::Inline(_), Magnitude::Heap(_)) => Ordering::Less,
+            (Magnitude::Heap(_), Magnitude::Inline(_)) => Ordering::Greater,
+            (Magnitude::Heap(a), Magnitude::Heap(b)) => cmp(a, b),
+        }
+    }
+
+    pub(crate) fn add(&self, other: &Magnitude) -> Magnitude {
+        match (self, other) {
+            (Magnitude::Inline(a), Magnitude::Inline(b)) => {
+                let (lo, carry) = a.overflowing_add(*b);
+                Magnitude::two(lo, carry as u64)
+            }
+            _ => Magnitude::from_limbs(add(self.limbs(), other.limbs())),
+        }
+    }
+
+    /// Subtracts `other` from `self`; callers must ensure `self >= other`.
+    pub(crate) fn sub(&self, other: &Magnitude) -> Magnitude {
+        match (self, other) {
+            (Magnitude::Inline(a), Magnitude::Inline(b)) => {
+                debug_assert!(a >= b, "magnitude subtraction underflow");
+                Magnitude::Inline(a.wrapping_sub(*b))
+            }
+            _ => Magnitude::from_limbs(sub(self.limbs(), other.limbs())),
+        }
+    }
+
+    pub(crate) fn mul(&self, other: &Magnitude) -> Magnitude {
+        match (self, other) {
+            (Magnitude::Inline(a), Magnitude::Inline(b)) => {
+                Magnitude::from_u128((*a as u128) * (*b as u128))
+            }
+            _ => Magnitude::from_limbs(mul(self.limbs(), other.limbs())),
+        }
+    }
+
+    pub(crate) fn shl(&self, bits: usize) -> Magnitude {
+        match self {
+            Magnitude::Inline(0) => Magnitude::ZERO,
+            Magnitude::Inline(limb) if bits < 64 => Magnitude::from_u128((*limb as u128) << bits),
+            _ => Magnitude::from_limbs(shl(self.limbs(), bits)),
+        }
+    }
+
+    pub(crate) fn shr(&self, bits: usize) -> Magnitude {
+        match self {
+            Magnitude::Inline(limb) => {
+                if bits >= 64 {
+                    Magnitude::ZERO
+                } else {
+                    Magnitude::Inline(limb >> bits)
+                }
+            }
+            Magnitude::Heap(limbs) => Magnitude::from_limbs(shr(limbs, bits)),
+        }
+    }
+
+    /// Divides by a single non-zero limb, returning `(quotient, remainder)`.
+    pub(crate) fn divmod_small(&self, divisor: u64) -> (Magnitude, u64) {
+        assert!(divisor != 0, "division by zero");
+        match self {
+            Magnitude::Inline(limb) => (Magnitude::Inline(limb / divisor), limb % divisor),
+            Magnitude::Heap(limbs) => {
+                let (quotient, remainder) = divmod_small(limbs, divisor);
+                (Magnitude::from_limbs(quotient), remainder)
+            }
+        }
+    }
+
+    pub(crate) fn bits(&self) -> u64 {
+        match self {
+            Magnitude::Inline(limb) => 64 - limb.leading_zeros() as u64,
+            Magnitude::Heap(limbs) => bits(limbs),
+        }
+    }
+}
 
 /// Removes trailing zero limbs in place.
-pub(crate) fn normalize(limbs: &mut Vec<u64>) {
+pub fn normalize(limbs: &mut Vec<u64>) {
     while limbs.last() == Some(&0) {
         limbs.pop();
     }
 }
 
 /// Compares two canonical magnitudes.
-pub(crate) fn cmp(a: &[u64], b: &[u64]) -> Ordering {
+pub fn cmp(a: &[u64], b: &[u64]) -> Ordering {
     match a.len().cmp(&b.len()) {
         Ordering::Equal => {
             for (x, y) in a.iter().rev().zip(b.iter().rev()) {
@@ -29,7 +213,7 @@ pub(crate) fn cmp(a: &[u64], b: &[u64]) -> Ordering {
 }
 
 /// Adds two magnitudes.
-pub(crate) fn add(a: &[u64], b: &[u64]) -> Vec<u64> {
+pub fn add(a: &[u64], b: &[u64]) -> Vec<u64> {
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut result = Vec::with_capacity(long.len() + 1);
     let mut carry = 0u64;
@@ -51,7 +235,7 @@ pub(crate) fn add(a: &[u64], b: &[u64]) -> Vec<u64> {
 /// # Panics
 ///
 /// Panics (in debug builds) if `a < b`; callers must ensure `a >= b`.
-pub(crate) fn sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+pub fn sub(a: &[u64], b: &[u64]) -> Vec<u64> {
     debug_assert!(
         cmp(a, b) != Ordering::Less,
         "magnitude subtraction underflow"
@@ -71,7 +255,7 @@ pub(crate) fn sub(a: &[u64], b: &[u64]) -> Vec<u64> {
 }
 
 /// Multiplies two magnitudes (schoolbook algorithm).
-pub(crate) fn mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+pub fn mul(a: &[u64], b: &[u64]) -> Vec<u64> {
     if a.is_empty() || b.is_empty() {
         return Vec::new();
     }
@@ -99,7 +283,7 @@ pub(crate) fn mul(a: &[u64], b: &[u64]) -> Vec<u64> {
 }
 
 /// Shifts a magnitude left by `bits` bits.
-pub(crate) fn shl(a: &[u64], bits: usize) -> Vec<u64> {
+pub fn shl(a: &[u64], bits: usize) -> Vec<u64> {
     if a.is_empty() {
         return Vec::new();
     }
@@ -123,7 +307,7 @@ pub(crate) fn shl(a: &[u64], bits: usize) -> Vec<u64> {
 }
 
 /// Shifts a magnitude right by `bits` bits (dropping shifted-out bits).
-pub(crate) fn shr(a: &[u64], bits: usize) -> Vec<u64> {
+pub fn shr(a: &[u64], bits: usize) -> Vec<u64> {
     let limb_shift = bits / 64;
     if limb_shift >= a.len() {
         return Vec::new();
@@ -145,7 +329,7 @@ pub(crate) fn shr(a: &[u64], bits: usize) -> Vec<u64> {
 }
 
 /// Divides a magnitude by a single non-zero limb, returning `(quotient, remainder)`.
-pub(crate) fn divmod_small(a: &[u64], divisor: u64) -> (Vec<u64>, u64) {
+pub fn divmod_small(a: &[u64], divisor: u64) -> (Vec<u64>, u64) {
     assert!(divisor != 0, "division by zero");
     let mut quotient = vec![0u64; a.len()];
     let mut remainder = 0u128;
@@ -160,7 +344,7 @@ pub(crate) fn divmod_small(a: &[u64], divisor: u64) -> (Vec<u64>, u64) {
 
 /// Multiplies a magnitude in place by a small factor and adds a small addend.
 /// Used by decimal parsing.
-pub(crate) fn mul_small_add(a: &mut Vec<u64>, factor: u64, addend: u64) {
+pub fn mul_small_add(a: &mut Vec<u64>, factor: u64, addend: u64) {
     let mut carry = addend as u128;
     for limb in a.iter_mut() {
         let cur = (*limb as u128) * (factor as u128) + carry;
@@ -175,7 +359,7 @@ pub(crate) fn mul_small_add(a: &mut Vec<u64>, factor: u64, addend: u64) {
 }
 
 /// Number of significant bits in a canonical magnitude.
-pub(crate) fn bits(a: &[u64]) -> u64 {
+pub fn bits(a: &[u64]) -> u64 {
     match a.last() {
         None => 0,
         Some(&top) => (a.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
@@ -268,5 +452,50 @@ mod tests {
         assert_eq!(bits(&[1]), 1);
         assert_eq!(bits(&[u64::MAX]), 64);
         assert_eq!(bits(&[0, 1]), 65);
+    }
+
+    #[test]
+    fn inline_representation_is_canonical() {
+        assert!(Magnitude::ZERO.is_zero());
+        assert!(Magnitude::from_limbs(vec![0, 0]).is_zero());
+        assert_eq!(Magnitude::from_limbs(vec![7, 0]), Magnitude::Inline(7));
+        assert!(matches!(
+            Magnitude::from_limbs(vec![7, 1]),
+            Magnitude::Heap(_)
+        ));
+        assert_eq!(Magnitude::ZERO.limbs(), &[] as &[u64]);
+        assert_eq!(Magnitude::single(9).limbs(), &[9]);
+    }
+
+    #[test]
+    fn inline_fast_paths_match_slice_kernels() {
+        let values: [u64; 6] = [0, 1, 2, u64::MAX / 2, u64::MAX - 1, u64::MAX];
+        for &a in &values {
+            for &b in &values {
+                let (x, y) = (Magnitude::single(a), Magnitude::single(b));
+                assert_eq!(x.add(&y).limbs(), add(x.limbs(), y.limbs()));
+                assert_eq!(x.mul(&y).limbs(), mul(x.limbs(), y.limbs()));
+                if a >= b {
+                    assert_eq!(x.sub(&y).limbs(), sub(x.limbs(), y.limbs()));
+                }
+                assert_eq!(x.cmp_mag(&y), cmp(x.limbs(), y.limbs()));
+            }
+            for shift in [0usize, 1, 13, 63, 64, 65, 130] {
+                let x = Magnitude::single(a);
+                assert_eq!(x.shl(shift).limbs(), shl(x.limbs(), shift));
+                assert_eq!(x.shr(shift).limbs(), shr(x.limbs(), shift));
+            }
+        }
+    }
+
+    #[test]
+    fn spill_counter_moves_only_on_heap_results() {
+        let before = heap_spill_count();
+        let small = Magnitude::single(u64::MAX).add(&Magnitude::single(0));
+        assert!(matches!(small, Magnitude::Inline(_)));
+        assert_eq!(heap_spill_count(), before);
+        let spilled = Magnitude::single(u64::MAX).add(&Magnitude::single(1));
+        assert!(matches!(spilled, Magnitude::Heap(_)));
+        assert!(heap_spill_count() > before);
     }
 }

@@ -3,7 +3,7 @@
 use std::cmp::Ordering;
 use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Shl, Shr, Sub, SubAssign};
 
-use crate::{mag, BigInt, Sign};
+use crate::{BigInt, Sign};
 
 impl PartialOrd for BigInt {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
@@ -16,8 +16,8 @@ impl Ord for BigInt {
         match self.sign.cmp(&other.sign) {
             Ordering::Equal => match self.sign {
                 Sign::Zero => Ordering::Equal,
-                Sign::Positive => mag::cmp(&self.limbs, &other.limbs),
-                Sign::Negative => mag::cmp(&other.limbs, &self.limbs),
+                Sign::Positive => self.mag.cmp_mag(&other.mag),
+                Sign::Negative => other.mag.cmp_mag(&self.mag),
             },
             non_eq => non_eq,
         }
@@ -33,12 +33,23 @@ fn signed_add(a: &BigInt, b: &BigInt) -> BigInt {
         return a.clone();
     }
     if a.sign == b.sign {
-        BigInt::from_sign_limbs(a.sign, mag::add(&a.limbs, &b.limbs))
+        BigInt {
+            sign: a.sign,
+            mag: a.mag.add(&b.mag),
+        }
     } else {
-        match mag::cmp(&a.limbs, &b.limbs) {
+        match a.mag.cmp_mag(&b.mag) {
             Ordering::Equal => BigInt::zero(),
-            Ordering::Greater => BigInt::from_sign_limbs(a.sign, mag::sub(&a.limbs, &b.limbs)),
-            Ordering::Less => BigInt::from_sign_limbs(b.sign, mag::sub(&b.limbs, &a.limbs)),
+            // Strict inequality of the magnitudes makes the difference
+            // non-zero, so the sign/zero invariant holds by construction.
+            Ordering::Greater => BigInt {
+                sign: a.sign,
+                mag: a.mag.sub(&b.mag),
+            },
+            Ordering::Less => BigInt {
+                sign: b.sign,
+                mag: b.mag.sub(&a.mag),
+            },
         }
     }
 }
@@ -107,7 +118,10 @@ impl Mul for &BigInt {
         if sign == Sign::Zero {
             return BigInt::zero();
         }
-        BigInt::from_sign_limbs(sign, mag::mul(&self.limbs, &rhs.limbs))
+        BigInt {
+            sign,
+            mag: self.mag.mul(&rhs.mag),
+        }
     }
 }
 
@@ -145,7 +159,7 @@ impl Neg for &BigInt {
     fn neg(self) -> BigInt {
         BigInt {
             sign: -self.sign,
-            limbs: self.limbs.clone(),
+            mag: self.mag.clone(),
         }
     }
 }
@@ -166,7 +180,10 @@ impl Shl<usize> for &BigInt {
         if self.is_zero() {
             return BigInt::zero();
         }
-        BigInt::from_sign_limbs(self.sign, mag::shl(&self.limbs, bits))
+        BigInt {
+            sign: self.sign,
+            mag: self.mag.shl(bits),
+        }
     }
 }
 
@@ -188,12 +205,7 @@ impl Shr<usize> for &BigInt {
         if self.is_zero() {
             return BigInt::zero();
         }
-        let limbs = mag::shr(&self.limbs, bits);
-        if limbs.is_empty() {
-            BigInt::zero()
-        } else {
-            BigInt::from_sign_limbs(self.sign, limbs)
-        }
+        BigInt::from_sign_mag(self.sign, self.mag.shr(bits))
     }
 }
 

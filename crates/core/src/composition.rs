@@ -50,7 +50,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use autoq_amplitude::Algebraic;
+use autoq_amplitude::intern;
 use autoq_treeaut::{
     InternalSymbol, InternalTransition, LeafTransition, StateId, Tag, TreeAutomaton,
 };
@@ -495,7 +495,7 @@ pub fn restrict_in_place(automaton: &mut TreeAutomaton, qubit: u32, bit: bool) {
     if let Some(zero) = zero_state {
         new_leaves.push(LeafTransition {
             parent: zero,
-            value: Algebraic::zero(),
+            amp: intern::zero_id(),
         });
     }
     for q in 0..n {
@@ -518,7 +518,7 @@ pub fn restrict_in_place(automaton: &mut TreeAutomaton, qubit: u32, bit: bool) {
         if Some(mapped) != zero_state && !index.leaves_of(state).is_empty() {
             new_leaves.push(LeafTransition {
                 parent: mapped,
-                value: Algebraic::zero(),
+                amp: intern::zero_id(),
             });
         }
     }
@@ -1328,21 +1328,24 @@ pub fn binary_op(a1: &TreeAutomaton, a2: &TreeAutomaton, sign: CombineSign) -> T
                 result.add_internal(parent, t1.symbol, left, right);
             }
         }
-        // Leaf combination.
+        // Leaf combination — pure id arithmetic: the sum/difference of two
+        // interned amplitudes is memoised process-wide, so repeated leaf
+        // products across gates of the same circuit never redo the bigint
+        // work (or clone a single coefficient).
         let v1 = index1
             .leaves_of(q1)
             .first()
-            .map(|&i| &a1.leaves[i as usize].value);
+            .map(|&i| a1.leaves[i as usize].amp);
         let v2 = index2
             .leaves_of(q2)
             .first()
-            .map(|&i| &a2.leaves[i as usize].value);
+            .map(|&i| a2.leaves[i as usize].amp);
         if let (Some(v1), Some(v2)) = (v1, v2) {
-            let value = match sign {
-                CombineSign::Plus => v1 + v2,
-                CombineSign::Minus => v1 - v2,
+            let op = match sign {
+                CombineSign::Plus => intern::LeafOp::Add,
+                CombineSign::Minus => intern::LeafOp::Sub,
             };
-            result.add_leaf(parent, value);
+            result.add_leaf_id(parent, intern::combine(op, v1, v2));
         }
     }
     result
@@ -1352,6 +1355,7 @@ pub fn binary_op(a1: &TreeAutomaton, a2: &TreeAutomaton, sign: CombineSign) -> T
 mod tests {
     use super::*;
     use crate::formula::update_formula;
+    use autoq_amplitude::Algebraic;
     use autoq_circuit::Gate;
     use autoq_treeaut::{equivalence, Tree};
 

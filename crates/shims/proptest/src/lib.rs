@@ -9,6 +9,8 @@
 //! * [`Strategy`] for integer ranges, tuples of strategies and
 //!   [`Strategy::prop_map`],
 //! * [`any`] for the primitive integer types,
+//! * [`Just`] and the [`prop_oneof!`] union macro (optionally weighted,
+//!   `weight => strategy` with literal weights),
 //! * [`prop_assert!`]/[`prop_assert_eq!`] and [`ProptestConfig`].
 //!
 //! Semantics differ from real proptest in two deliberate ways: test cases
@@ -176,6 +178,87 @@ impl_tuple_strategy! {
     (A.0, B.1, C.2, D.3, E.4, F.5)
 }
 
+/// Strategy that always produces a clone of one value (mirrors
+/// `proptest::strategy::Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate<R: RngCore + ?Sized>(&self, _rng: &mut R) -> T {
+        self.0.clone()
+    }
+}
+
+/// A boxed generator arm of [`OneOf`] together with its weight.
+pub type WeightedArm<T> = (u32, Box<dyn Fn(&mut dyn RngCore) -> T>);
+
+/// Weighted union of strategies over a common value type; built by the
+/// [`prop_oneof!`] macro (mirrors `proptest::strategy::Union`).
+pub struct OneOf<T> {
+    arms: Vec<WeightedArm<T>>,
+    total_weight: u64,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        let mut pick = rng.next_u64() % self.total_weight;
+        for (weight, arm) in &self.arms {
+            if pick < u64::from(*weight) {
+                // `&mut R` is `Sized` and itself implements `RngCore`, so it
+                // unsizes to the `&mut dyn RngCore` the boxed arm expects.
+                let mut rng = rng;
+                return arm(&mut rng);
+            }
+            pick -= u64::from(*weight);
+        }
+        unreachable!("weights sum to total_weight")
+    }
+}
+
+/// Builds a [`OneOf`] from weighted arms; use [`prop_oneof!`] instead.
+pub fn one_of<T>(arms: Vec<WeightedArm<T>>) -> OneOf<T> {
+    let total_weight: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+    assert!(
+        total_weight > 0,
+        "prop_oneof! needs a positive total weight"
+    );
+    OneOf { arms, total_weight }
+}
+
+/// Wraps one strategy as a boxed [`OneOf`] arm; use [`prop_oneof!`] instead.
+pub fn one_of_arm<T, S>(weight: u32, strategy: S) -> WeightedArm<T>
+where
+    S: Strategy<Value = T> + 'static,
+{
+    (weight, Box::new(move |rng| strategy.generate(rng)))
+}
+
+/// Shim of `proptest::prop_oneof!`: picks one of several strategies per
+/// case, uniformly or by `weight => strategy` arms (weights must be
+/// integer literals).
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// let strategy = prop_oneof![3 => Just(0u64), 1 => 10u64..20];
+/// let mut rng = proptest::case_rng("doc", 0);
+/// let v = strategy.generate(&mut rng);
+/// assert!(v == 0 || (10..20).contains(&v));
+/// ```
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::one_of_arm($weight, $strat)),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::one_of_arm(1, $strat)),+])
+    };
+}
+
 /// Types with a canonical "any value" strategy (mirrors
 /// `proptest::arbitrary::Arbitrary`).
 pub trait Arbitrary: Sized {
@@ -318,8 +401,8 @@ macro_rules! prop_assert_ne {
 /// The usual glob-import surface (mirrors `proptest::prelude`).
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
-        Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
     };
 }
 
@@ -365,6 +448,28 @@ mod tests {
             crate::case_rng("x", 3).next_u64(),
             crate::case_rng("x", 4).next_u64()
         );
+    }
+
+    #[test]
+    fn oneof_respects_weights_and_just_is_constant() {
+        let strategy = prop_oneof![9 => Just(1u64), 1 => Just(1000u64)];
+        let mut rng = crate::case_rng("oneof", 0);
+        let mut hits = [0u32; 2];
+        for _ in 0..400 {
+            match strategy.generate(&mut rng) {
+                1 => hits[0] += 1,
+                1000 => hits[1] += 1,
+                other => panic!("unexpected value {other}"),
+            }
+        }
+        assert!(hits[0] > hits[1], "9:1 weighting should dominate: {hits:?}");
+        assert!(hits[1] > 0, "light arm must still fire over 400 cases");
+
+        let uniform = prop_oneof![Just(7i32), 0i32..1];
+        for _ in 0..50 {
+            let v = uniform.generate(&mut rng);
+            assert!(v == 7 || v == 0);
+        }
     }
 
     proptest! {

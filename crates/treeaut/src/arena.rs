@@ -34,7 +34,7 @@
 //! Reclaim the nodes of a completed unit of work while keeping its result:
 //!
 //! ```
-//! use autoq_amplitude::Algebraic;
+//! use autoq_amplitude::{intern as amplitude, Algebraic, AmpId};
 //! use autoq_treeaut::{arena, Tree};
 //!
 //! let floor = arena::generation();
@@ -56,7 +56,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
-use autoq_amplitude::Algebraic;
+use autoq_amplitude::{intern as amplitude, Algebraic, AmpId};
 
 /// Number of bits of a [`NodeId`] that select the shard.
 pub const SHARD_BITS: u32 = 4;
@@ -103,14 +103,14 @@ impl NodeId {
     }
 }
 
-/// A hash-consed node: either a leaf carrying an exact amplitude, or an
-/// internal node labelled with a qubit variable.  Also used as the owned
-/// snapshot returned by [`read`] (internal nodes are three words; leaf reads
-/// clone the amplitude).
-#[derive(Clone)]
+/// A hash-consed node: either a leaf carrying an interned amplitude id, or
+/// an internal node labelled with a qubit variable.  Also used as the
+/// snapshot returned by [`read`] — all variants are a few plain words, so
+/// reads are `Copy` and never touch the allocator.
+#[derive(Clone, Copy)]
 pub(crate) enum TreeNode {
-    /// A leaf carrying an amplitude.
-    Leaf(Algebraic),
+    /// A leaf carrying the id of its amplitude in the process-wide table.
+    Leaf(AmpId),
     /// An internal node for qubit variable `var` (0-based, root = 0).
     Node {
         var: u32,
@@ -136,7 +136,7 @@ enum Slot {
 #[derive(Default)]
 struct Shard {
     slots: Vec<Slot>,
-    leaf_ids: HashMap<Algebraic, NodeId>,
+    leaf_ids: HashMap<AmpId, NodeId>,
     node_ids: HashMap<(u32, NodeId, NodeId), NodeId>,
     /// Reclaimed slot indices available for reuse.
     free: Vec<u32>,
@@ -180,16 +180,23 @@ fn shard_of<K: Hash>(key: &K) -> usize {
     (hasher.finish() as usize) & (NUM_SHARDS - 1)
 }
 
-/// Interns a leaf, returning the canonical handle for its value.
+/// Interns a leaf by value, returning the canonical handle.  The value is
+/// first interned into the process-wide amplitude table, so equal values
+/// always funnel into the same [`AmpId`] key.
 pub(crate) fn intern_leaf(value: &Algebraic) -> NodeId {
-    let shard_index = shard_of(value);
+    intern_leaf_id(amplitude::intern(value))
+}
+
+/// Interns a leaf by its already-interned amplitude id — the allocation-free
+/// fast path used when the amplitude id is already in hand.
+pub(crate) fn intern_leaf_id(amp: AmpId) -> NodeId {
+    let shard_index = shard_of(&amp);
     let mut shard = lock_shard(shard_index);
-    if let Some(&id) = shard.leaf_ids.get(value) {
+    if let Some(&id) = shard.leaf_ids.get(&amp) {
         return id;
     }
-    let node = TreeNode::Leaf(value.clone());
-    let id = occupy(&mut shard, shard_index, node);
-    shard.leaf_ids.insert(value.clone(), id);
+    let id = occupy(&mut shard, shard_index, TreeNode::Leaf(amp));
+    shard.leaf_ids.insert(amp, id);
     id
 }
 
@@ -223,9 +230,9 @@ fn occupy(shard: &mut Shard, shard_index: usize, node: TreeNode) -> NodeId {
     }
 }
 
-/// Reads the node behind a handle as an owned snapshot (internal nodes are
-/// copied, leaf amplitudes cloned).  Locks only the owning shard, and only
-/// for the duration of the copy.
+/// Reads the node behind a handle as a `Copy` snapshot (three words at
+/// most; leaf amplitudes stay behind their interned id).  Locks only the
+/// owning shard, and only for the duration of the copy.
 ///
 /// # Panics
 ///
@@ -235,7 +242,7 @@ fn occupy(shard: &mut Shard, shard_index: usize, node: TreeNode) -> NodeId {
 pub(crate) fn read(id: NodeId) -> TreeNode {
     let shard = lock_shard(id.shard());
     match &shard.slots[id.index()] {
-        Slot::Occupied { node, .. } => node.clone(),
+        Slot::Occupied { node, .. } => *node,
         Slot::Free => panic!(
             "tree node {id:?} read after reclamation: a Tree handle was held across \
              arena::try_reclaim without being passed in `keep`"
@@ -392,8 +399,8 @@ pub fn try_reclaim(floor: u64, keep: &[NodeId]) -> Result<ReclaimStats, ReclaimB
                 let slot = std::mem::replace(&mut shard.slots[index], Slot::Free);
                 if let Slot::Occupied { node, .. } = slot {
                     match node {
-                        TreeNode::Leaf(value) => {
-                            shard.leaf_ids.remove(&value);
+                        TreeNode::Leaf(amp) => {
+                            shard.leaf_ids.remove(&amp);
                         }
                         TreeNode::Node { var, left, right } => {
                             shard.node_ids.remove(&(var, left, right));

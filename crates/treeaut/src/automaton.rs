@@ -5,7 +5,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 
-use autoq_amplitude::Algebraic;
+use autoq_amplitude::{intern, Algebraic, AmpId};
 
 use crate::arena::{self, TreeNode};
 use crate::index::TransitionIndex;
@@ -26,12 +26,18 @@ pub struct InternalTransition {
 }
 
 /// A leaf transition `parent → amplitude()`.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// The amplitude is held by its process-wide interned id (see
+/// [`mod@autoq_amplitude::intern`]), so leaf transitions are `Copy` and leaf
+/// equality everywhere downstream is an integer compare.  Use
+/// [`autoq_amplitude::resolve`] (or [`TreeAutomaton::leaf_value`]) where the
+/// actual value is needed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct LeafTransition {
     /// The parent state.
     pub parent: StateId,
-    /// The exact amplitude carried by the leaf.
-    pub value: Algebraic,
+    /// The interned id of the exact amplitude carried by the leaf.
+    pub amp: AmpId,
 }
 
 /// A nondeterministic finite tree automaton over full binary trees whose
@@ -44,7 +50,7 @@ pub struct LeafTransition {
 /// # Examples
 ///
 /// ```
-/// use autoq_amplitude::Algebraic;
+/// use autoq_amplitude::{intern, AmpId, Algebraic};
 /// use autoq_treeaut::{Tree, TreeAutomaton};
 ///
 /// // The set {|0⟩, |1⟩} of one-qubit basis states.
@@ -184,38 +190,56 @@ impl TreeAutomaton {
     /// Panics if `parent` already has a leaf transition with a *different*
     /// value: the paper requires leaf parents to determine their symbol.
     pub fn add_leaf(&mut self, parent: StateId, value: Algebraic) {
+        self.add_leaf_id(parent, intern(&value));
+    }
+
+    /// Adds a leaf transition by its interned amplitude id (the
+    /// allocation-free fast path of [`TreeAutomaton::add_leaf`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` already has a leaf transition with a different
+    /// amplitude.
+    pub fn add_leaf_id(&mut self, parent: StateId, amp: AmpId) {
         debug_assert!(parent.raw() < self.num_states);
-        if let Some(existing) = self.leaf_value(parent) {
+        if let Some(existing) = self.leaf_amp(parent) {
             assert!(
-                existing == &value,
+                existing == amp,
                 "state {parent} already carries a different leaf value"
             );
             return;
         }
-        self.leaves.push(LeafTransition { parent, value });
+        self.leaves.push(LeafTransition { parent, amp });
         self.invalidate_index();
     }
 
     /// Returns the leaf value of `state` if it has a leaf transition.
-    pub fn leaf_value(&self, state: StateId) -> Option<&Algebraic> {
+    pub fn leaf_value(&self, state: StateId) -> Option<Algebraic> {
+        self.leaf_amp(state).map(autoq_amplitude::resolve)
+    }
+
+    /// Returns the interned leaf amplitude id of `state`, if any.
+    pub fn leaf_amp(&self, state: StateId) -> Option<AmpId> {
         self.leaves
             .iter()
             .find(|t| t.parent == state)
-            .map(|t| &t.value)
+            .map(|t| t.amp)
     }
 
     /// Returns an existing state carrying the given leaf value, or allocates
     /// one.  Keeps the "one leaf state per amplitude" canonical shape used by
     /// the constructors.
     pub fn leaf_state(&mut self, value: &Algebraic) -> StateId {
-        if let Some(t) = self.leaves.iter().find(|t| &t.value == value) {
+        self.leaf_state_id(intern(value))
+    }
+
+    /// Id-keyed variant of [`TreeAutomaton::leaf_state`].
+    pub fn leaf_state_id(&mut self, amp: AmpId) -> StateId {
+        if let Some(t) = self.leaves.iter().find(|t| t.amp == amp) {
             return t.parent;
         }
         let state = self.add_state();
-        self.leaves.push(LeafTransition {
-            parent: state,
-            value: value.clone(),
-        });
+        self.leaves.push(LeafTransition { parent: state, amp });
         self.invalidate_index();
         state
     }
@@ -273,7 +297,7 @@ impl TreeAutomaton {
             return state;
         }
         let state = match arena::read(id) {
-            TreeNode::Leaf(value) => self.leaf_state(&value),
+            TreeNode::Leaf(amp) => self.leaf_state_id(amp),
             TreeNode::Node { var, left, right } => {
                 let left_state = self.insert_node(left, memo, interned);
                 let right_state = self.insert_node(right, memo, interned);
@@ -315,9 +339,9 @@ impl TreeAutomaton {
                 bucket.push(position as u32);
             }
         }
-        let mut leaves_by_value: HashMap<&Algebraic, Vec<StateId>> = HashMap::new();
+        let mut leaves_by_value: HashMap<AmpId, Vec<StateId>> = HashMap::new();
         for t in &self.leaves {
-            leaves_by_value.entry(&t.value).or_default().push(t.parent);
+            leaves_by_value.entry(t.amp).or_default().push(t.parent);
         }
         let mut memo: HashMap<NodeId, Rc<HashSet<StateId>>> = HashMap::new();
         let states = self.run_node(tree.id(), &by_var, &leaves_by_value, &mut memo);
@@ -331,15 +355,15 @@ impl TreeAutomaton {
         &self,
         id: NodeId,
         by_var: &[Vec<u32>],
-        leaves_by_value: &HashMap<&Algebraic, Vec<StateId>>,
+        leaves_by_value: &HashMap<AmpId, Vec<StateId>>,
         memo: &mut HashMap<NodeId, Rc<HashSet<StateId>>>,
     ) -> Rc<HashSet<StateId>> {
         if let Some(states) = memo.get(&id) {
             return Rc::clone(states);
         }
         let states: HashSet<StateId> = match arena::read(id) {
-            TreeNode::Leaf(value) => leaves_by_value
-                .get(&value)
+            TreeNode::Leaf(amp) => leaves_by_value
+                .get(&amp)
                 .map(|states| states.iter().copied().collect())
                 .unwrap_or_default(),
             TreeNode::Node { var, left, right } => {
@@ -405,7 +429,7 @@ impl TreeAutomaton {
         }
         let mut trees = Vec::new();
         for &position in index.leaves_of(state) {
-            trees.push(Tree::leaf(self.leaves[position as usize].value.clone()));
+            trees.push(Tree::interned_leaf(self.leaves[position as usize].amp));
         }
         let transitions: Vec<InternalTransition> = index
             .internal_of(state)
@@ -440,9 +464,17 @@ impl TreeAutomaton {
 
     /// In-place variant of [`TreeAutomaton::map_leaves`], used by the gate
     /// transformers operating on the engine's working automaton.
+    ///
+    /// `f` is evaluated once per *distinct* amplitude id in the automaton
+    /// (memoised per call), not once per leaf transition — an automaton with
+    /// thousands of leaves over a handful of amplitudes resolves and maps
+    /// each value a single time.
     pub fn map_leaves_in_place(&mut self, f: impl Fn(&Algebraic) -> Algebraic) {
+        let mut memo: HashMap<AmpId, AmpId> = HashMap::new();
         for leaf in &mut self.leaves {
-            leaf.value = f(&leaf.value);
+            leaf.amp = *memo
+                .entry(leaf.amp)
+                .or_insert_with(|| intern(&f(&autoq_amplitude::resolve(leaf.amp))));
         }
         self.invalidate_index();
     }
@@ -464,7 +496,7 @@ impl TreeAutomaton {
         for t in &other.leaves {
             self.leaves.push(LeafTransition {
                 parent: t.parent.offset(offset),
-                value: t.value.clone(),
+                amp: t.amp,
             });
         }
         self.invalidate_index();
@@ -477,22 +509,9 @@ impl TreeAutomaton {
             HashSet::with_capacity(self.internal.len());
         self.internal
             .retain(|t| seen_internal.insert((t.parent, t.symbol, t.left, t.right)));
-        // Leaf keys are hashed by reference: this runs once per
-        // composition-encoded gate (untagging) on the hot path, and cloning
-        // every bigint-backed amplitude just to probe a set was measurable.
-        let keep: Vec<bool> = {
-            let mut seen_leaves: HashSet<(StateId, &Algebraic)> =
-                HashSet::with_capacity(self.leaves.len());
-            self.leaves
-                .iter()
-                .map(|t| seen_leaves.insert((t.parent, &t.value)))
-                .collect()
-        };
-        if keep.iter().any(|&kept| !kept) {
-            let mut kept = keep.iter();
-            self.leaves
-                .retain(|_| *kept.next().expect("one flag per leaf"));
-        }
+        let mut seen_leaves: HashSet<(StateId, AmpId)> = HashSet::with_capacity(self.leaves.len());
+        self.leaves
+            .retain(|t| seen_leaves.insert((t.parent, t.amp)));
         self.invalidate_index();
     }
 
@@ -538,7 +557,7 @@ impl TreeAutomaton {
                 return Err(format!("symbol variable x{} out of range", t.symbol.var));
             }
         }
-        let mut leaf_values: HashMap<StateId, &Algebraic> = HashMap::new();
+        let mut leaf_values: HashMap<StateId, AmpId> = HashMap::new();
         for t in &self.leaves {
             if t.parent.raw() >= self.num_states {
                 return Err(format!(
@@ -546,8 +565,8 @@ impl TreeAutomaton {
                     t.parent
                 ));
             }
-            if let Some(existing) = leaf_values.insert(t.parent, &t.value) {
-                if existing != &t.value {
+            if let Some(existing) = leaf_values.insert(t.parent, t.amp) {
+                if existing != t.amp {
                     return Err(format!(
                         "leaf parent {} carries two distinct values",
                         t.parent
@@ -582,7 +601,7 @@ impl fmt::Display for TreeAutomaton {
             writeln!(f, "  {} -> {}({}, {})", t.parent, t.symbol, t.left, t.right)?;
         }
         for t in &self.leaves {
-            writeln!(f, "  {} -> [{}]", t.parent, t.value)?;
+            writeln!(f, "  {} -> [{}]", t.parent, autoq_amplitude::resolve(t.amp))?;
         }
         Ok(())
     }
@@ -636,7 +655,7 @@ mod tests {
         let q1 = automaton.leaf_state(&Algebraic::one());
         assert_eq!(q0, q0_again);
         assert_ne!(q0, q1);
-        assert_eq!(automaton.leaf_value(q1), Some(&Algebraic::one()));
+        assert_eq!(automaton.leaf_value(q1), Some(Algebraic::one()));
         assert_eq!(automaton.leaf_value(StateId::new(99)), None);
     }
 

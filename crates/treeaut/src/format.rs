@@ -28,12 +28,18 @@
 //! forms are what the verification daemon persists in its verdict cache and
 //! streams over the wire; decoding never panics on malformed input — every
 //! error is reported as a [`BinaryFormatError`] with a byte offset.
+//!
+//! Since codec version 2 both binary forms carry a per-message **amplitude
+//! table**: each distinct leaf amplitude is encoded once (in first-use
+//! order) and leaf transitions / leaf nodes reference it by dense varint
+//! index, so an automaton with thousands of leaves over a handful of
+//! amplitudes pays for each bigint tuple exactly once.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::str::FromStr;
 
-use autoq_amplitude::Algebraic;
+use autoq_amplitude::{intern, resolve, Algebraic, AmpId};
 use autoq_bigint::{BigInt, Sign};
 
 use crate::{InternalSymbol, StateId, Tag, Tree, TreeAutomaton};
@@ -84,7 +90,8 @@ pub fn to_text(automaton: &TreeAutomaton) -> String {
     let _ = writeln!(out);
     let _ = writeln!(out, "Transitions");
     for t in &automaton.leaves {
-        let (a, b, c, d, k) = t.value.components();
+        let value = resolve(t.amp);
+        let (a, b, c, d, k) = value.components();
         let _ = writeln!(out, "[{a},{b},{c},{d},{k}] -> q{}", t.parent.raw());
     }
     for t in &automaton.internal {
@@ -314,7 +321,12 @@ impl std::error::Error for BinaryFormatError {}
 
 const AUTOMATON_MAGIC: [u8; 4] = *b"AQBA";
 const TREE_MAGIC: [u8; 4] = *b"AQTD";
-const BINARY_VERSION: u8 = 1;
+// Version 2: leaf amplitudes moved out of the transition/node streams into
+// a per-message deduplicated table (first-use order), referenced by dense
+// varint index.  Process-local `AmpId`s are never written to the wire — the
+// table indices are self-contained, so encodings are stable across
+// processes and across restarts of the interner.
+const BINARY_VERSION: u8 = 2;
 
 fn put_varint(buf: &mut Vec<u8>, mut value: u64) {
     loop {
@@ -345,6 +357,34 @@ fn put_algebraic(buf: &mut Vec<u8>, value: &Algebraic) {
         put_bigint(buf, part);
     }
     put_varint(buf, k);
+}
+
+/// Builds the per-message amplitude table: distinct amplitude ids in first-use
+/// order plus the reverse map to their dense table indices.  The dense indices
+/// are what goes on the wire — raw [`AmpId`]s are process-local and must never
+/// be serialised.
+fn amplitude_table(amps: impl Iterator<Item = AmpId>) -> (Vec<AmpId>, HashMap<AmpId, u64>) {
+    let mut table: Vec<AmpId> = Vec::new();
+    let mut index: HashMap<AmpId, u64> = HashMap::new();
+    for amp in amps {
+        index.entry(amp).or_insert_with(|| {
+            table.push(amp);
+            (table.len() - 1) as u64
+        });
+    }
+    (table, index)
+}
+
+/// Decodes the amplitude table of a v2 message, interning each value.
+fn get_amplitude_table(cursor: &mut Cursor<'_>) -> Result<Vec<AmpId>, BinaryFormatError> {
+    // Minimum encoded amplitude: four (sign byte + length varint) bigints
+    // plus the exponent varint = 9 bytes.
+    let count = cursor.get_count(9)?;
+    let mut table = Vec::with_capacity(count);
+    for _ in 0..count {
+        table.push(intern(&cursor.get_algebraic()?));
+    }
+    Ok(table)
 }
 
 /// A bounds-checked cursor over an untrusted byte buffer.
@@ -491,10 +531,15 @@ pub fn to_binary(automaton: &TreeAutomaton) -> Vec<u8> {
     for root in &automaton.roots {
         put_varint(&mut buf, u64::from(root.raw()));
     }
+    let (amp_table, amp_index) = amplitude_table(automaton.leaves.iter().map(|t| t.amp));
+    put_varint(&mut buf, amp_table.len() as u64);
+    for &amp in &amp_table {
+        put_algebraic(&mut buf, &resolve(amp));
+    }
     put_varint(&mut buf, automaton.leaves.len() as u64);
     for t in &automaton.leaves {
         put_varint(&mut buf, u64::from(t.parent.raw()));
-        put_algebraic(&mut buf, &t.value);
+        put_varint(&mut buf, amp_index[&t.amp]);
     }
     put_varint(&mut buf, automaton.internal.len() as u64);
     for t in &automaton.internal {
@@ -548,20 +593,23 @@ pub fn from_binary(bytes: &[u8]) -> Result<TreeAutomaton, BinaryFormatError> {
         let root = state(&mut cursor)?;
         automaton.roots.insert(root);
     }
-    let leaf_count = cursor.get_count(7)?;
-    let mut leaf_values: HashMap<StateId, Algebraic> = HashMap::with_capacity(leaf_count);
+    let amp_ids = get_amplitude_table(&mut cursor)?;
+    // Minimum leaf transition: parent varint + table-index varint.
+    let leaf_count = cursor.get_count(2)?;
+    let mut leaf_values: HashMap<StateId, AmpId> = HashMap::with_capacity(leaf_count);
     for _ in 0..leaf_count {
         let parent = state(&mut cursor)?;
-        let value = cursor.get_algebraic()?;
-        if let Some(existing) = leaf_values.get(&parent) {
-            if existing != &value {
+        let index = cursor.get_varint()? as usize;
+        let amp = *amp_ids
+            .get(index)
+            .ok_or_else(|| cursor.error(format!("amplitude index {index} out of table")))?;
+        if let Some(&existing) = leaf_values.get(&parent) {
+            if existing != amp {
                 return Err(cursor.error(format!("leaf parent q{parent} carries two values")));
             }
         }
-        leaf_values.insert(parent, value.clone());
-        automaton
-            .leaves
-            .push(crate::LeafTransition { parent, value });
+        leaf_values.insert(parent, amp);
+        automaton.leaves.push(crate::LeafTransition { parent, amp });
     }
     // Minimum internal transition: parent + var + tag kind + left + right,
     // one byte each when every varint fits seven bits.
@@ -620,6 +668,8 @@ pub fn tree_to_binary(tree: &Tree) -> Vec<u8> {
     let mut nodes: Vec<u8> = Vec::new();
     let mut indices: HashMap<crate::NodeId, u64> = HashMap::new();
     let mut emitted: u64 = 0;
+    let mut amp_table: Vec<AmpId> = Vec::new();
+    let mut amp_index: HashMap<AmpId, u64> = HashMap::new();
     // Explicit two-phase stack so deeply shared chains do not recurse.
     enum Walk {
         Visit(Tree),
@@ -646,8 +696,13 @@ pub fn tree_to_binary(tree: &Tree) -> Vec<u8> {
                 }
                 match t.as_node() {
                     None => {
+                        let amp = t.as_leaf_id().expect("leaf");
+                        let table_index = *amp_index.entry(amp).or_insert_with(|| {
+                            amp_table.push(amp);
+                            (amp_table.len() - 1) as u64
+                        });
                         nodes.push(0);
-                        put_algebraic(&mut nodes, &t.as_leaf().expect("leaf"));
+                        put_varint(&mut nodes, table_index);
                     }
                     Some((var, left, right)) => {
                         nodes.push(1);
@@ -660,6 +715,10 @@ pub fn tree_to_binary(tree: &Tree) -> Vec<u8> {
                 emitted += 1;
             }
         }
+    }
+    put_varint(&mut buf, amp_table.len() as u64);
+    for &amp in &amp_table {
+        put_algebraic(&mut buf, &resolve(amp));
     }
     put_varint(&mut buf, emitted);
     buf.extend_from_slice(&nodes);
@@ -688,6 +747,7 @@ pub fn tree_from_binary(bytes: &[u8]) -> Result<Tree, BinaryFormatError> {
             crate::basis::MAX_QUBITS
         )));
     }
+    let amp_ids = get_amplitude_table(&mut cursor)?;
     let node_count = cursor.get_count(2)?;
     if node_count == 0 {
         return Err(cursor.error("a tree encoding needs at least one node"));
@@ -700,7 +760,11 @@ pub fn tree_from_binary(bytes: &[u8]) -> Result<Tree, BinaryFormatError> {
     for _ in 0..node_count {
         match cursor.get_u8()? {
             0 => {
-                trees.push(Tree::leaf(cursor.get_algebraic()?));
+                let index = cursor.get_varint()? as usize;
+                let amp = *amp_ids
+                    .get(index)
+                    .ok_or_else(|| cursor.error(format!("amplitude index {index} out of table")))?;
+                trees.push(Tree::interned_leaf(amp));
                 top.push(num_qubits);
             }
             1 => {

@@ -11,7 +11,7 @@
 use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
 
-use autoq_amplitude::Algebraic;
+use autoq_amplitude::AmpId;
 
 use crate::{StateId, Tree, TreeAutomaton};
 
@@ -62,7 +62,7 @@ impl EquivalenceResult {
 /// for materialising full binary trees during the search.
 #[derive(Clone, Debug)]
 enum Witness {
-    Leaf(Algebraic),
+    Leaf(AmpId),
     Node(u32, Rc<Witness>, Rc<Witness>),
 }
 
@@ -78,7 +78,7 @@ impl Witness {
     fn to_tree(&self) -> Tree {
         fn convert(witness: &Witness, memo: &mut HashMap<*const Witness, Tree>) -> Tree {
             match witness {
-                Witness::Leaf(value) => Tree::leaf(value.clone()),
+                Witness::Leaf(amp) => Tree::interned_leaf(*amp),
                 Witness::Node(var, left, right) => {
                     let subtree =
                         |child: &Rc<Witness>, memo: &mut HashMap<*const Witness, Tree>| {
@@ -128,10 +128,11 @@ struct SearchPair {
 /// assert!(!inclusion(&big, &small).holds());
 /// ```
 pub fn inclusion(a: &TreeAutomaton, b: &TreeAutomaton) -> InclusionResult {
-    // Group B's leaf transitions by value and internal transitions by var.
-    let mut b_leaves: HashMap<&Algebraic, BTreeSet<StateId>> = HashMap::new();
+    // Group B's leaf transitions by interned amplitude id and internal
+    // transitions by var.
+    let mut b_leaves: HashMap<AmpId, BTreeSet<StateId>> = HashMap::new();
     for t in &b.leaves {
-        b_leaves.entry(&t.value).or_default().insert(t.parent);
+        b_leaves.entry(t.amp).or_default().insert(t.parent);
     }
     let mut b_internal_by_var: HashMap<u32, Vec<(StateId, StateId, StateId)>> = HashMap::new();
     for t in &b.internal {
@@ -176,10 +177,10 @@ pub fn inclusion(a: &TreeAutomaton, b: &TreeAutomaton) -> InclusionResult {
 
     // Initialise with A's leaf transitions.
     for t in &a.leaves {
-        let b_states = b_leaves.get(&t.value).cloned().unwrap_or_default();
+        let b_states = b_leaves.get(&t.amp).cloned().unwrap_or_default();
         let pair = Rc::new(SearchPair {
             b_states,
-            witness: Rc::new(Witness::Leaf(t.value.clone())),
+            witness: Rc::new(Witness::Leaf(t.amp)),
         });
         if a.roots.contains(&t.parent) && failure(&pair, &b_roots) {
             return InclusionResult::Counterexample(pair.witness.to_tree());

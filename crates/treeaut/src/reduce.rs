@@ -22,7 +22,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
-use autoq_amplitude::Algebraic;
+use autoq_amplitude::{resolve, Algebraic};
 
 use crate::{InternalSymbol, InternalTransition, LeafTransition, StateId, TreeAutomaton};
 
@@ -129,10 +129,7 @@ impl TreeAutomaton {
         }
         for t in &self.leaves {
             if let Some(parent) = mapping[t.parent.index()] {
-                result.leaves.push(LeafTransition {
-                    parent,
-                    value: t.value.clone(),
-                });
+                result.leaves.push(LeafTransition { parent, amp: t.amp });
             }
         }
         result.dedup_transitions();
@@ -184,12 +181,11 @@ impl TreeAutomaton {
                 *symbol_ids.entry(t.symbol).or_insert(next)
             })
             .collect();
-        let mut value_ids: HashMap<&Algebraic, u32> = HashMap::new();
+        // Leaf values arrive already interned process-wide: the `AmpId` raw
+        // integer *is* the dense signature id, so no per-call interning map.
         let mut leaf_sig: Vec<Vec<u32>> = vec![Vec::new(); n];
         for t in &self.leaves {
-            let next = value_ids.len() as u32;
-            let id = *value_ids.entry(&t.value).or_insert(next);
-            leaf_sig[t.parent.index()].push(id);
+            leaf_sig[t.parent.index()].push(t.amp.raw());
         }
         for sig in &mut leaf_sig {
             sig.sort_unstable();
@@ -314,7 +310,7 @@ impl TreeAutomaton {
         for t in &self.leaves {
             result.leaves.push(LeafTransition {
                 parent: remap(t.parent),
-                value: t.value.clone(),
+                amp: t.amp,
             });
         }
         result.dedup_transitions();
@@ -324,8 +320,8 @@ impl TreeAutomaton {
     /// A deliberately naive reduction kept as a cross-validation oracle for
     /// [`TreeAutomaton::reduce`]: same trim-then-merge-to-fixpoint semantics,
     /// but each merge round rebuilds every state's signature from scratch as
-    /// an explicit (sorted) list of outgoing transitions and compares them
-    /// structurally.  Quadratic and allocation-heavy — use only in tests.
+    /// an explicit (sorted, via the structural `Ord` on `Algebraic`) list of
+    /// outgoing transitions and compares them structurally.  Quadratic and allocation-heavy — use only in tests.
     #[doc(hidden)]
     pub fn reduce_reference(&self) -> TreeAutomaton {
         let mut current = self.trim();
@@ -357,9 +353,9 @@ impl TreeAutomaton {
                 .leaves
                 .iter()
                 .filter(|t| t.parent == state)
-                .map(|t| t.value.clone())
+                .map(|t| resolve(t.amp))
                 .collect();
-            leaf_sig.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            leaf_sig.sort();
             signatures
                 .entry((internal_sig, leaf_sig))
                 .or_default()
@@ -396,7 +392,7 @@ impl TreeAutomaton {
         for t in &self.leaves {
             result.leaves.push(LeafTransition {
                 parent: remap(t.parent),
-                value: t.value.clone(),
+                amp: t.amp,
             });
         }
         result.dedup_transitions();

@@ -30,7 +30,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
-use autoq_amplitude::Algebraic;
+use autoq_amplitude::{intern, Algebraic, AmpId};
 
 use crate::arena::{self, TreeNode};
 use crate::basis::{self, BasisIndex};
@@ -47,7 +47,7 @@ pub use crate::arena::NodeId;
 /// # Examples
 ///
 /// ```
-/// use autoq_amplitude::Algebraic;
+/// use autoq_amplitude::{intern, Algebraic, AmpId};
 /// use autoq_treeaut::Tree;
 ///
 /// // The Bell state (|00⟩ + |11⟩)/√2 over two qubits.
@@ -72,6 +72,15 @@ impl Tree {
         }
     }
 
+    /// A leaf carrying an already-interned amplitude id — the
+    /// allocation-free constructor used on hot paths that already hold an
+    /// [`AmpId`] (witness extraction, codecs, automaton enumeration).
+    pub fn interned_leaf(amp: AmpId) -> Tree {
+        Tree {
+            id: arena::intern_leaf_id(amp),
+        }
+    }
+
     /// An internal node for qubit variable `var` with the given subtrees.
     ///
     /// No well-formedness is enforced (see [`Tree::is_well_formed`]): the
@@ -92,8 +101,13 @@ impl Tree {
 
     /// The leaf amplitude, if this tree is a single leaf.
     pub fn as_leaf(&self) -> Option<Algebraic> {
+        self.as_leaf_id().map(intern::resolve)
+    }
+
+    /// The interned amplitude id, if this tree is a single leaf.
+    pub fn as_leaf_id(&self) -> Option<AmpId> {
         match arena::read(self.id) {
-            TreeNode::Leaf(value) => Some(value),
+            TreeNode::Leaf(amp) => Some(amp),
             TreeNode::Node { .. } => None,
         }
     }
@@ -150,7 +164,7 @@ impl Tree {
     ///
     /// ```
     /// # use autoq_treeaut::Tree;
-    /// # use autoq_amplitude::Algebraic;
+    /// # use autoq_amplitude::{intern, Algebraic, AmpId};
     /// let t = Tree::basis_state(3, 0b101);
     /// assert_eq!(t.amplitude(0b101), Algebraic::one());
     /// assert_eq!(t.amplitude(0b100), Algebraic::zero());
@@ -273,7 +287,7 @@ impl Tree {
             };
         }
         match arena::read(id) {
-            TreeNode::Leaf(value) => value,
+            TreeNode::Leaf(amp) => intern::resolve(amp),
             TreeNode::Node { .. } => panic!("tree deeper than expected"),
         }
     }
@@ -289,7 +303,9 @@ impl Tree {
                 return cached;
             }
             let result = match arena::read(id) {
-                TreeNode::Leaf(value) => u128::from(!value.is_zero()),
+                // Canonical zero is unique, so the id comparison decides
+                // zero-ness without resolving the value.
+                TreeNode::Leaf(amp) => u128::from(amp != intern::zero_id()),
                 TreeNode::Node { left, right, .. } => count(left, memo) + count(right, memo),
             };
             memo.insert(id, result);
@@ -307,7 +323,7 @@ impl Tree {
     ///
     /// ```
     /// # use autoq_treeaut::Tree;
-    /// # use autoq_amplitude::Algebraic;
+    /// # use autoq_amplitude::{intern, Algebraic, AmpId};
     /// let t = Tree::basis_state(2, 0b10);
     /// let map = t.to_amplitude_map();
     /// assert_eq!(map.len(), 1);
@@ -319,7 +335,7 @@ impl Tree {
                 return cached;
             }
             let result = match arena::read(id) {
-                TreeNode::Leaf(value) => value.is_zero(),
+                TreeNode::Leaf(amp) => amp == intern::zero_id(),
                 TreeNode::Node { left, right, .. } => is_zero(left, memo) && is_zero(right, memo),
             };
             memo.insert(id, result);
@@ -335,8 +351,8 @@ impl Tree {
                 return;
             }
             match arena::read(id) {
-                TreeNode::Leaf(value) => {
-                    map.insert(prefix, value);
+                TreeNode::Leaf(amp) => {
+                    map.insert(prefix, intern::resolve(amp));
                 }
                 TreeNode::Node { left, right, .. } => {
                     collect(left, prefix << 1, memo, map);
@@ -390,7 +406,7 @@ impl fmt::Debug for Tree {
         const MAX_TERM_HEIGHT: u32 = 8;
         fn term(id: NodeId, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             match arena::read(id) {
-                TreeNode::Leaf(value) => write!(f, "{value}"),
+                TreeNode::Leaf(amp) => write!(f, "{}", intern::resolve(amp)),
                 TreeNode::Node { var, left, right } => {
                     write!(f, "x{var}(")?;
                     term(left, f)?;

@@ -189,6 +189,81 @@ fn single_byte_corruptions_never_panic() {
 }
 
 #[test]
+fn version_one_encodings_are_rejected_with_a_version_error() {
+    // Version 2 moved leaf amplitudes into a per-message table; a v1 body
+    // is not decodable as v2, so the version byte must be checked first.
+    for magic in [b"AQBA", b"AQTD"] {
+        let mut bytes = magic.to_vec();
+        bytes.push(1);
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        let message = match magic {
+            b"AQBA" => from_binary(&bytes).unwrap_err().message,
+            _ => tree_from_binary(&bytes).unwrap_err().message,
+        };
+        assert!(message.contains("version 1"), "got: {message}");
+    }
+}
+
+/// Satellite check for the interned-amplitude codec: amplitudes whose
+/// coefficients exceed one 64-bit limb (heap-spilled bigints) survive both
+/// binary codecs exactly, and the per-message amplitude table deduplicates
+/// them — each distinct multi-limb tuple is encoded once no matter how many
+/// leaves reference it.
+#[test]
+fn multi_limb_amplitudes_round_trip_both_codecs() {
+    // (i64::MAX)^2 ≈ 2^126 needs two limbs; cubing pushes to three.
+    let wide = Algebraic::from_int(i64::MAX);
+    let two_limb = &wide * &wide;
+    let three_limb = &two_limb * &wide;
+    let mixed = &two_limb - &Algebraic::one();
+    assert!(two_limb != three_limb && three_limb != mixed);
+
+    // Tree codec (AQTD): a DAG whose leaves carry the wide amplitudes.
+    let tree = Tree::from_fn(4, |b| match b % 4 {
+        0 => two_limb.clone(),
+        1 => three_limb.clone(),
+        2 => mixed.clone(),
+        _ => Algebraic::zero(),
+    });
+    let bytes = tree_to_binary(&tree);
+    let decoded = tree_from_binary(&bytes).unwrap();
+    assert_eq!(decoded.id(), tree.id());
+    assert_eq!(decoded.to_amplitude_map(), tree.to_amplitude_map());
+
+    // Automaton codec (AQBA): exact structural round-trip of the automaton
+    // built from the same tree, plus text-codec agreement.
+    let automaton = TreeAutomaton::from_tree(&tree);
+    let bytes = to_binary(&automaton);
+    let decoded = from_binary(&bytes).unwrap();
+    assert_eq!(decoded, automaton);
+    assert_eq!(to_binary(&decoded), bytes);
+    assert_eq!(from_text(&to_text(&automaton)).unwrap(), automaton);
+}
+
+/// The amplitude table makes repeated wide amplitudes nearly free: a
+/// 10-qubit uniform tree over one multi-limb amplitude must encode the
+/// 48-byte bigint tuple once, not once per leaf transition.
+#[test]
+fn amplitude_table_deduplicates_wide_leaves() {
+    let wide = Algebraic::from_int(i64::MAX);
+    let huge = &(&wide * &wide) * &wide;
+    let tree = Tree::from_fn(10, |_| huge.clone());
+    let automaton = TreeAutomaton::from_tree(&tree);
+    let leaf_count = automaton.leaves.len();
+    assert!(leaf_count >= 1);
+    let bytes = to_binary(&automaton);
+    // One table entry (~3 limbs × 8 bytes + overhead) plus two varints per
+    // leaf; if the tuple were inlined per-leaf this would blow well past
+    // the bound.
+    assert!(
+        bytes.len() < 120 + 16 * leaf_count + 10 * automaton.internal.len(),
+        "encoded {} leaves to {} bytes",
+        leaf_count,
+        bytes.len()
+    );
+}
+
+#[test]
 fn garbage_and_wrong_magic_are_rejected() {
     assert!(from_binary(&[]).is_err());
     assert!(tree_from_binary(&[]).is_err());
@@ -206,7 +281,7 @@ fn hostile_counts_do_not_allocate() {
     // A header announcing u64::MAX states/nodes with no bytes behind it
     // must fail fast instead of attempting a huge allocation.
     let mut bytes = b"AQBA".to_vec();
-    bytes.push(1); // version
+    bytes.push(2); // version
     bytes.extend_from_slice(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01]);
     assert!(from_binary(&bytes).is_err());
 }
