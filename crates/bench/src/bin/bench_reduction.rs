@@ -324,6 +324,38 @@ fn main() {
         );
     }
 
+    // Certification overhead over the same Table 2 workloads: end-to-end
+    // verification time vs the cost of building the AQIC certificate
+    // bundle and re-checking it with the independent checker.  The
+    // per-row guard (build + check within 15% of verify, 1 ms floor) is
+    // the PR's acceptance bound for self-certifying verdicts.
+    for row in autoq_bench::table2::run_certify_sweep() {
+        assert!(
+            row.overhead_acceptable(),
+            "{}: certification overhead exceeds the 15% guard \
+             (verify {:?}, build {:?}, check {:?})",
+            row.name,
+            row.verify,
+            row.build,
+            row.check,
+        );
+        record_secs(
+            &mut entries,
+            &format!("certify.{}.verify", row.name),
+            row.verify,
+        );
+        record_secs(
+            &mut entries,
+            &format!("certify.{}.build", row.name),
+            row.build,
+        );
+        record_secs(
+            &mut entries,
+            &format!("certify.{}.check", row.name),
+            row.check,
+        );
+    }
+
     if paper {
         // The superposing `Random` rows at both paper widths (35 and 70
         // qubits) plus the permutation-pool 70-qubit row: the composition

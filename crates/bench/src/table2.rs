@@ -342,6 +342,103 @@ pub fn run_policy_sweep() -> Vec<PolicySweepRow> {
         .collect()
 }
 
+/// One row of the certification-overhead sweep: the same verification
+/// workload timed end-to-end, then the cost of building the inclusion
+/// certificates (both equality directions, worklist search plus `AQIC`
+/// encoding) and of the independent checker pass (decode plus
+/// `autoq_certify::check_inclusion` on both directions).
+#[derive(Clone, Debug)]
+pub struct CertifySweepRow {
+    /// Workload name (family + parameter).
+    pub name: String,
+    /// End-to-end uncertified verification time (analysis + check).
+    pub verify: Duration,
+    /// Certificate construction time: both inclusion directions re-run
+    /// with recording, plus `AQIC` serialisation.
+    pub build: Duration,
+    /// Independent checker time: `AQIC` decode plus the linear local
+    /// soundness pass on both directions.
+    pub check: Duration,
+}
+
+impl CertifySweepRow {
+    /// The PR's acceptance guard: certification (build + check) must cost
+    /// under 15% of the verification time per row, with a 1 ms absolute
+    /// floor so sub-millisecond rows don't fail on timer noise.
+    pub fn overhead_acceptable(&self) -> bool {
+        self.build + self.check <= self.verify.mul_f64(0.15) + Duration::from_millis(1)
+    }
+}
+
+/// Runs every Table 2 verification workload with certification: verifies
+/// the equality spec, builds the `AQIC` certificate bundle for both
+/// directions, round-trips it through the codec and re-checks it with the
+/// independent `autoq-certify` checker, timing each stage.
+///
+/// Panics if any row fails to verify, fails to certify, or fails the
+/// independent checker — this is the "Table 2 certify-everything" pass, so
+/// a failure here is a soundness bug, not a benchmark artifact.
+pub fn run_certify_sweep() -> Vec<CertifySweepRow> {
+    use autoq_treeaut::format::{certificates_from_binary, certificates_to_binary};
+    use autoq_treeaut::{inclusion_with_certificate, CertifiedInclusionResult};
+
+    let mut workloads: Vec<VerificationWorkload> = Vec::new();
+    workloads.extend([8u32, 12, 16, 20].map(bv_workload));
+    workloads.extend([2u32, 3].map(|m| grover_single_workload(m, None)));
+    workloads.extend([3u32, 4, 5, 6].map(mc_toffoli_workload));
+    workloads.extend([2u32, 3].map(|m| grover_all_workload(m, None)));
+
+    let engine = Engine::hybrid();
+    workloads
+        .into_iter()
+        .map(|w| {
+            let (outcome, verify) = timed(|| {
+                autoq_core::verify(&engine, &w.pre, &w.circuit, &w.post, SpecMode::Equality)
+            });
+            assert!(outcome.holds(), "{}: Table 2 row must verify", w.name);
+
+            // Certificate construction re-runs the inclusion searches with
+            // recording (the output automaton is shared, not re-derived:
+            // applying the circuit is the verification's job, certifying
+            // the comparison is ours).
+            let output = engine.apply_circuit(&w.pre, &w.circuit);
+            let (bundle, build) = timed(|| {
+                let certs: Vec<_> = [
+                    (output.automaton(), w.post.automaton()),
+                    (w.post.automaton(), output.automaton()),
+                ]
+                .into_iter()
+                .map(|(a, b)| {
+                    match inclusion_with_certificate(a, b).expect("certificate must build") {
+                        CertifiedInclusionResult::Included(cert) => cert,
+                        CertifiedInclusionResult::Counterexample(_) => {
+                            panic!("{}: held verdict must certify", w.name)
+                        }
+                    }
+                })
+                .collect();
+                certificates_to_binary(&certs)
+            });
+
+            let (_, check) = timed(|| {
+                let certs = certificates_from_binary(&bundle).expect("bundle must round-trip");
+                assert_eq!(certs.len(), 2);
+                autoq_certify::check_inclusion(output.automaton(), w.post.automaton(), &certs[0])
+                    .expect("forward certificate must check");
+                autoq_certify::check_inclusion(w.post.automaton(), output.automaton(), &certs[1])
+                    .expect("backward certificate must check");
+            });
+
+            CertifySweepRow {
+                name: w.name,
+                verify,
+                build,
+                check,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,6 +468,29 @@ mod tests {
         let row = grover_all_row(2, Some(1));
         assert!(row.verified);
         assert_eq!(row.qubits, 6);
+    }
+
+    /// The Table 2 certify-everything pass: every "holds" row certifies,
+    /// round-trips `AQIC`, passes the independent checker, and stays under
+    /// the 15% certification-overhead guard.  Ignored by default (it runs
+    /// every Table 2 workload); the CI bench-smoke job runs it in release
+    /// via `--include-ignored`.
+    #[test]
+    #[ignore = "runs every Table 2 workload; CI bench-smoke runs it in release"]
+    fn every_table2_row_certifies_under_the_overhead_guard() {
+        let rows = run_certify_sweep();
+        assert_eq!(rows.len(), 12);
+        for row in rows {
+            assert!(
+                row.overhead_acceptable(),
+                "{}: certification overhead too high \
+                 (verify {:?}, build {:?}, check {:?})",
+                row.name,
+                row.verify,
+                row.build,
+                row.check,
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! Independent checker for inclusion proof certificates.
+//!
+//! The optimized antichain inclusion in `autoq-treeaut` can emit an
+//! [`InclusionCertificate`] justifying a positive verdict `L(A) ⊆ L(B)`
+//! (see `autoq_treeaut::certificate` for the data model and the soundness
+//! argument).  This crate is the *trusted* side of that split: a
+//! deliberately naive checker that re-validates the certificate against the
+//! raw transition vectors of the two automata in one linear pass.
+//!
+//! # Trust boundary
+//!
+//! The checker assumes **nothing** about how the certificate was produced —
+//! it may come from the instrumented search, from disk, or from an
+//! adversary.  It reads only the public fields of [`TreeAutomaton`]
+//! (`roots`, `internal`, `leaves`, `num_states`) and compares leaf
+//! amplitudes *by resolved value*, never by interned [`AmpId`] — so a
+//! corrupted interner cannot make two different amplitudes look equal.  It
+//! shares no code with the optimized inclusion: no CSR index, no
+//! subsumption, no worklist.  Its own lookup structures are plain sorted
+//! vectors with binary search.
+//!
+//! What the checker does *not* establish: that the certificate is the one
+//! the search actually discovered (any locally sound certificate proves the
+//! inclusion), and that `A`/`B` themselves encode the intended state sets —
+//! garbage automata with a sound certificate yield a sound but useless
+//! verdict about garbage.
+//!
+//! Failure is always a typed [`CheckError`]; malformed certificates are
+//! rejected, never ignored and never a panic.
+//!
+//! [`AmpId`]: autoq_amplitude::AmpId
+//!
+//! # Examples
+//!
+//! ```
+//! use autoq_certify::check_inclusion;
+//! use autoq_treeaut::{inclusion_with_certificate, CertifiedInclusionResult, Tree, TreeAutomaton};
+//!
+//! let a = TreeAutomaton::from_tree(&Tree::basis_state(2, 3));
+//! let b = TreeAutomaton::from_trees(2, &[Tree::basis_state(2, 0), Tree::basis_state(2, 3)]);
+//! let CertifiedInclusionResult::Included(cert) = inclusion_with_certificate(&a, &b)
+//!     .expect("certificate builds")
+//! else {
+//!     unreachable!()
+//! };
+//! assert!(check_inclusion(&a, &b, &cert).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used)]
+
+use std::collections::HashSet;
+
+use autoq_amplitude::{resolve, Algebraic};
+use autoq_treeaut::{InclusionCertificate, StateId, TreeAutomaton};
+
+/// Rejection of a certificate, with the violated condition spelled out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckError {
+    /// Human-readable description of the first violated condition.
+    pub message: String,
+}
+
+impl CheckError {
+    fn new(message: impl Into<String>) -> Self {
+        CheckError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "certificate rejected: {}", self.message)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Verifies that `cert` proves `L(a) ⊆ L(b)`.
+///
+/// The three conditions checked — leaf coverage, step coverage for every
+/// recorded set combination, and root acceptance — are exactly the local
+/// soundness conditions of `autoq_treeaut::certificate`; together they
+/// imply the inclusion by induction on trees.  The checker is strict
+/// beyond soundness so that a certificate has one canonical shape: leaf
+/// justifications must appear in `a.leaves` order, step justifications must
+/// not repeat a `(transition, left set, right set)` key, and set members
+/// must be strictly sorted.  Strictness is what lets the mutation sweep in
+/// this crate's tests demand 100% rejection of corrupted bytes.
+pub fn check_inclusion(
+    a: &TreeAutomaton,
+    b: &TreeAutomaton,
+    cert: &InclusionCertificate,
+) -> Result<(), CheckError> {
+    if cert.num_a_states != a.num_states {
+        return Err(CheckError::new(format!(
+            "certificate is for {} A-states, automaton has {}",
+            cert.num_a_states, a.num_states
+        )));
+    }
+
+    // Structural pass over the recorded sets: states in range, members
+    // strictly sorted.  Everything later indexes into `cert.sets`, so all
+    // range errors surface here first.
+    for (index, set) in cert.sets.iter().enumerate() {
+        if set.a_state.raw() >= a.num_states {
+            return Err(CheckError::new(format!(
+                "set {index} names A-state {} out of range",
+                set.a_state
+            )));
+        }
+        for window in set.b_states.windows(2) {
+            if window[0] >= window[1] {
+                return Err(CheckError::new(format!(
+                    "set {index} members are not strictly increasing"
+                )));
+            }
+        }
+        if let Some(state) = set.b_states.iter().find(|s| s.raw() >= b.num_states) {
+            return Err(CheckError::new(format!(
+                "set {index} names B-state {state} out of range"
+            )));
+        }
+    }
+    let mut sets_by_state: Vec<Vec<u32>> = vec![Vec::new(); a.num_states as usize];
+    for (index, set) in cert.sets.iter().enumerate() {
+        sets_by_state[set.a_state.index()].push(index as u32);
+    }
+
+    // B's leaf amplitudes resolved to values, sorted by parent state for
+    // range scans.  Resolving here (instead of comparing AmpIds) is the
+    // value-equality guarantee of the trust boundary.
+    let mut b_leaf_values: Vec<(StateId, Algebraic)> = b
+        .leaves
+        .iter()
+        .map(|t| (t.parent, resolve(t.amp)))
+        .collect();
+    b_leaf_values.sort_by_key(|(parent, _)| *parent);
+    let has_b_leaf = |state: StateId, value: &Algebraic| -> bool {
+        let start = b_leaf_values.partition_point(|(parent, _)| *parent < state);
+        b_leaf_values[start..]
+            .iter()
+            .take_while(|(parent, _)| *parent == state)
+            .any(|(_, leaf_value)| leaf_value == value)
+    };
+
+    // Condition 1: one justification per A-leaf transition, in order.
+    if cert.leaf_just.len() != a.leaves.len() {
+        return Err(CheckError::new(format!(
+            "{} leaf justifications for {} A-leaf transitions",
+            cert.leaf_just.len(),
+            a.leaves.len()
+        )));
+    }
+    for (i, just) in cert.leaf_just.iter().enumerate() {
+        if just.leaf as usize != i {
+            return Err(CheckError::new(format!(
+                "leaf justification {i} names leaf {}, must follow a.leaves order",
+                just.leaf
+            )));
+        }
+        let leaf = &a.leaves[i];
+        let set = cert
+            .sets
+            .get(just.set as usize)
+            .ok_or_else(|| CheckError::new(format!("leaf justification {i} set out of range")))?;
+        if set.a_state != leaf.parent {
+            return Err(CheckError::new(format!(
+                "leaf justification {i} points at a set for {}, leaf parent is {}",
+                set.a_state, leaf.parent
+            )));
+        }
+        let value = resolve(leaf.amp);
+        if let Some(state) = set.b_states.iter().find(|p| !has_b_leaf(**p, &value)) {
+            return Err(CheckError::new(format!(
+                "leaf justification {i}: B-state {state} has no leaf of the same value"
+            )));
+        }
+    }
+
+    // B's internal transitions as a sorted key set, tags dropped: the
+    // witness lookup of condition 2.
+    let mut b_internal_keys: Vec<(StateId, u32, StateId, StateId)> = b
+        .internal
+        .iter()
+        .map(|t| (t.parent, t.symbol.var, t.left, t.right))
+        .collect();
+    b_internal_keys.sort_unstable();
+    b_internal_keys.dedup();
+
+    // Condition 2, validation half: every step justification is internally
+    // correct and keys are unique.
+    let mut justified: HashSet<(u32, u32, u32)> = HashSet::with_capacity(cert.step_just.len());
+    for (j, just) in cert.step_just.iter().enumerate() {
+        let transition = a
+            .internal
+            .get(just.transition as usize)
+            .ok_or_else(|| CheckError::new(format!("step {j} transition out of range")))?;
+        let set_for = |index: u32, slot: &str, expected: StateId| {
+            let set = cert
+                .sets
+                .get(index as usize)
+                .ok_or_else(|| CheckError::new(format!("step {j} {slot} set out of range")))?;
+            if set.a_state != expected {
+                return Err(CheckError::new(format!(
+                    "step {j} {slot} set is for {}, transition expects {expected}",
+                    set.a_state
+                )));
+            }
+            Ok(set)
+        };
+        let left_set = set_for(just.left_set, "left", transition.left)?;
+        let right_set = set_for(just.right_set, "right", transition.right)?;
+        let result_set = set_for(just.result_set, "result", transition.parent)?;
+        if just.witnesses.len() != result_set.b_states.len() {
+            return Err(CheckError::new(format!(
+                "step {j} has {} witnesses for a result set of {} states",
+                just.witnesses.len(),
+                result_set.b_states.len()
+            )));
+        }
+        for (p, (left, right)) in result_set.b_states.iter().zip(&just.witnesses) {
+            if left_set.b_states.binary_search(left).is_err() {
+                return Err(CheckError::new(format!(
+                    "step {j} witness left state {left} is not in the left set"
+                )));
+            }
+            if right_set.b_states.binary_search(right).is_err() {
+                return Err(CheckError::new(format!(
+                    "step {j} witness right state {right} is not in the right set"
+                )));
+            }
+            let key = (*p, transition.symbol.var, *left, *right);
+            if b_internal_keys.binary_search(&key).is_err() {
+                return Err(CheckError::new(format!(
+                    "step {j}: B has no transition {p} -> x{}({left}, {right})",
+                    transition.symbol.var
+                )));
+            }
+        }
+        if !justified.insert((just.transition, just.left_set, just.right_set)) {
+            return Err(CheckError::new(format!(
+                "step {j} duplicates a (transition, left set, right set) key"
+            )));
+        }
+    }
+
+    // Condition 2, coverage half: every combination of recorded sets over
+    // every A-transition must have been justified above.
+    for (ti, transition) in a.internal.iter().enumerate() {
+        for left in &sets_by_state[transition.left.index()] {
+            for right in &sets_by_state[transition.right.index()] {
+                if !justified.contains(&(ti as u32, *left, *right)) {
+                    return Err(CheckError::new(format!(
+                        "A-transition {ti} has no justification for sets ({left}, {right})"
+                    )));
+                }
+            }
+        }
+    }
+
+    // Condition 3: every recorded set at a root of A intersects B's roots.
+    for root in &a.roots {
+        for index in &sets_by_state[root.index()] {
+            let set = &cert.sets[*index as usize];
+            if !set.b_states.iter().any(|p| b.roots.contains(p)) {
+                return Err(CheckError::new(format!(
+                    "set {index} at root {root} misses every B-root"
+                )));
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoq_treeaut::{inclusion_with_certificate, CertifiedInclusionResult, StateId, Tree};
+
+    fn certificate(a: &TreeAutomaton, b: &TreeAutomaton) -> InclusionCertificate {
+        match inclusion_with_certificate(a, b).expect("post-pass succeeds") {
+            CertifiedInclusionResult::Included(cert) => cert,
+            CertifiedInclusionResult::Counterexample(tree) => {
+                panic!("inclusion unexpectedly failed: {tree:?}")
+            }
+        }
+    }
+
+    #[test]
+    fn accepts_a_genuine_certificate() {
+        let a = TreeAutomaton::from_tree(&Tree::basis_state(3, 5));
+        let trees: Vec<Tree> = (0..8).map(|i| Tree::basis_state(3, i)).collect();
+        let b = TreeAutomaton::from_trees(3, &trees);
+        let cert = certificate(&a, &b);
+        assert!(check_inclusion(&a, &b, &cert).is_ok());
+    }
+
+    #[test]
+    fn rejects_certificate_for_a_different_pair() {
+        let a = TreeAutomaton::from_tree(&Tree::basis_state(2, 1));
+        let b = TreeAutomaton::from_trees(2, &[Tree::basis_state(2, 0), Tree::basis_state(2, 1)]);
+        let cert = certificate(&a, &b);
+        // Same state counts, different language: swap the two automata.
+        let other = TreeAutomaton::from_tree(&Tree::basis_state(2, 0));
+        assert!(check_inclusion(&other, &b, &cert).is_err() || other.num_states != a.num_states);
+        // Tampered root set: drop every recorded B-state.
+        let mut tampered = cert.clone();
+        for set in &mut tampered.sets {
+            set.b_states.clear();
+        }
+        assert!(check_inclusion(&a, &b, &tampered).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_unsorted_sets() {
+        let a = TreeAutomaton::from_tree(&Tree::basis_state(1, 0));
+        let b = TreeAutomaton::from_tree(&Tree::basis_state(1, 0));
+        let cert = certificate(&a, &b);
+        let mut wrong_count = cert.clone();
+        wrong_count.num_a_states += 1;
+        assert!(check_inclusion(&a, &b, &wrong_count).is_err());
+        let mut out_of_range = cert.clone();
+        out_of_range.sets[0].b_states = vec![StateId::new(b.num_states)];
+        assert!(check_inclusion(&a, &b, &out_of_range).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Byte-level mutation sweep over valid `AQIC` certificates.
+//!
+//! The checker's contract under corruption is absolute: for *every*
+//! single-bit flip and *every* truncation of a valid certificate bundle,
+//! the decode-and-check pipeline must reject — no panic, no silent accept.
+//! 100% rejection is achievable because the checker is strict beyond
+//! soundness (canonical leaf order, unique step keys, derived witness
+//! counts) and because the automaton pairs below are *tight*: every
+//! antichain set is a singleton, so every justification field has exactly
+//! one valid value and any surviving decode must trip a semantic check.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use autoq_certify::check_inclusion;
+use autoq_treeaut::format::{certificates_from_binary, certificates_to_binary};
+use autoq_treeaut::{
+    inclusion_with_certificate, CertifiedInclusionResult, InclusionCertificate, Tree, TreeAutomaton,
+};
+
+fn certificate(a: &TreeAutomaton, b: &TreeAutomaton) -> InclusionCertificate {
+    match inclusion_with_certificate(a, b).expect("post-pass succeeds") {
+        CertifiedInclusionResult::Included(cert) => cert,
+        CertifiedInclusionResult::Counterexample(tree) => {
+            panic!("inclusion unexpectedly failed: {tree:?}")
+        }
+    }
+}
+
+/// Decodes and checks a (possibly corrupted) bundle; `Ok(())` only when the
+/// bundle decodes to the expected certificate count and every certificate
+/// passes the independent checker.
+fn pipeline(bytes: &[u8], pairs: &[(&TreeAutomaton, &TreeAutomaton)]) -> Result<(), String> {
+    let certs = certificates_from_binary(bytes).map_err(|e| e.to_string())?;
+    if certs.len() != pairs.len() {
+        return Err(format!(
+            "expected {} certificates, got {}",
+            pairs.len(),
+            certs.len()
+        ));
+    }
+    for (cert, (a, b)) in certs.iter().zip(pairs) {
+        check_inclusion(a, b, cert).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Asserts the pipeline rejects every single-bit flip and every truncation
+/// of `bytes`, without ever panicking.
+fn sweep(bytes: &[u8], pairs: &[(&TreeAutomaton, &TreeAutomaton)]) {
+    assert!(
+        pipeline(bytes, pairs).is_ok(),
+        "unmutated bundle must check"
+    );
+    for position in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut mutated = bytes.to_vec();
+            mutated[position] ^= 1 << bit;
+            let outcome = catch_unwind(AssertUnwindSafe(|| pipeline(&mutated, pairs)));
+            match outcome {
+                Ok(Ok(())) => panic!("flip of bit {bit} at byte {position} was accepted"),
+                Ok(Err(_)) => {}
+                Err(_) => panic!("flip of bit {bit} at byte {position} panicked"),
+            }
+        }
+    }
+    for length in 0..bytes.len() {
+        let truncated = &bytes[..length];
+        let outcome = catch_unwind(AssertUnwindSafe(|| pipeline(truncated, pairs)));
+        match outcome {
+            Ok(Ok(())) => panic!("truncation to {length} bytes was accepted"),
+            Ok(Err(_)) => {}
+            Err(_) => panic!("truncation to {length} bytes panicked"),
+        }
+    }
+}
+
+#[test]
+fn every_mutation_of_a_singleton_certificate_is_rejected() {
+    // A = B = one basis state: a deterministic automaton pair where every
+    // recorded set is a singleton and every witness is forced.
+    let a = TreeAutomaton::from_tree(&Tree::basis_state(2, 1));
+    let b = TreeAutomaton::from_tree(&Tree::basis_state(2, 1));
+    let cert = certificate(&a, &b);
+    let bytes = certificates_to_binary(std::slice::from_ref(&cert));
+    sweep(&bytes, &[(&a, &b)]);
+}
+
+#[test]
+fn every_mutation_of_a_proper_inclusion_certificate_is_rejected() {
+    // A strictly inside a two-tree union; subtree hash-consing keeps the
+    // reachable B-sets singletons, so justifications stay forced.
+    let a = TreeAutomaton::from_tree(&Tree::basis_state(2, 1));
+    let b = TreeAutomaton::from_trees(2, &[Tree::basis_state(2, 0), Tree::basis_state(2, 1)]);
+    let cert = certificate(&a, &b);
+    let bytes = certificates_to_binary(std::slice::from_ref(&cert));
+    sweep(&bytes, &[(&a, &b)]);
+}
+
+#[test]
+fn every_mutation_of_an_equality_bundle_is_rejected() {
+    // The two-certificate bundle shape a daemon equality verdict ships:
+    // [out ⊆ post, post ⊆ out].
+    let a = TreeAutomaton::from_tree(&Tree::basis_state(2, 3));
+    let b = TreeAutomaton::from_tree(&Tree::basis_state(2, 3));
+    let forward = certificate(&a, &b);
+    let backward = certificate(&b, &a);
+    let bytes = certificates_to_binary(&[forward, backward]);
+    sweep(&bytes, &[(&a, &b), (&b, &a)]);
+}

@@ -1,0 +1,75 @@
+//! Property tests for the certificate pipeline.
+//!
+//! Two directions: certificates produced for genuinely included random
+//! automaton pairs always round-trip the `AQIC` codec and pass the
+//! independent checker; certificates transplanted onto a pair where the
+//! inclusion does *not* hold (a deliberately unsound relation) are always
+//! rejected.
+
+use autoq_certify::check_inclusion;
+use autoq_treeaut::format::{certificates_from_binary, certificates_to_binary};
+use autoq_treeaut::{
+    basis, inclusion, inclusion_with_certificate, CertifiedInclusionResult, Tree, TreeAutomaton,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn basis_subset(n: u32, members: &[u128]) -> TreeAutomaton {
+    let trees: Vec<Tree> = members.iter().map(|b| Tree::basis_state(n, *b)).collect();
+    TreeAutomaton::from_trees(n, &trees)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn included_pairs_always_certify(n in 1u32..=3, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let universe = basis::basis_count(n);
+        // Draw B, then A as a subset of B's trees: inclusion holds by
+        // construction.
+        let b_members: Vec<u128> = (0..universe).filter(|_| rng.gen_bool(0.6)).collect();
+        let a_members: Vec<u128> = b_members.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
+        let a = basis_subset(n, &a_members);
+        let b = basis_subset(n, &b_members);
+        let result = inclusion_with_certificate(&a, &b).expect("post-pass succeeds");
+        let CertifiedInclusionResult::Included(cert) = result else {
+            panic!("inclusion of a subset must hold");
+        };
+        prop_assert!(check_inclusion(&a, &b, &cert).is_ok());
+        let bytes = certificates_to_binary(std::slice::from_ref(&cert));
+        let decoded = certificates_from_binary(&bytes).expect("round-trip decodes");
+        prop_assert_eq!(decoded, vec![cert]);
+    }
+
+    #[test]
+    fn unsound_relations_never_certify(n in 1u32..=3, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let universe = basis::basis_count(n);
+        // A contains a tree B lacks, so L(A) ⊆ L(B) is false; a certificate
+        // built against the full-universe automaton is locally sound there
+        // but must never check against B.
+        let missing = u128::from(rng.gen_range(0..universe as u64));
+        let b_members: Vec<u128> = (0..universe)
+            .filter(|m| *m != missing && rng.gen_bool(0.5))
+            .collect();
+        let mut a_members: Vec<u128> = b_members
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(0.5))
+            .collect();
+        a_members.push(missing);
+        let a = basis_subset(n, &a_members);
+        let b = basis_subset(n, &b_members);
+        let full = basis_subset(n, &(0..universe).collect::<Vec<u128>>());
+        prop_assert!(!inclusion(&a, &b).holds());
+        let CertifiedInclusionResult::Included(forged) =
+            inclusion_with_certificate(&a, &full).expect("post-pass succeeds")
+        else {
+            panic!("inclusion in the full universe must hold");
+        };
+        prop_assert!(check_inclusion(&a, &full, &forged).is_ok());
+        prop_assert!(check_inclusion(&a, &b, &forged).is_err());
+    }
+}

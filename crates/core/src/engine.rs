@@ -123,6 +123,12 @@ pub struct ApplyStats {
     pub reductions: usize,
     /// Number of user-level gates applied.
     pub gates_applied: usize,
+    /// Certification record of the final verdict, when a
+    /// [`CertifyPolicy`](crate::CertifyPolicy) other than `Off` produced
+    /// one: the verdict polarity, the digest of the `AQIC` certificate
+    /// bundle and the independent checker's outcome.  `None` when
+    /// certification was off or nothing was certifiable.
+    pub certified: Option<crate::CertifiedVerdict>,
 }
 
 impl ApplyStats {
@@ -131,13 +137,16 @@ impl ApplyStats {
         self.peak_transitions = self.peak_transitions.max(automaton.transition_count());
     }
 
-    /// Combines the statistics of two runs (peaks max, counters summed).
+    /// Combines the statistics of two runs (peaks max, counters summed; the
+    /// later certification record wins, since the merged run has one final
+    /// verdict).
     pub fn merge(&self, other: &ApplyStats) -> ApplyStats {
         ApplyStats {
             peak_states: self.peak_states.max(other.peak_states),
             peak_transitions: self.peak_transitions.max(other.peak_transitions),
             reductions: self.reductions + other.reductions,
             gates_applied: self.gates_applied + other.gates_applied,
+            certified: other.certified.or(self.certified),
         }
     }
 }

@@ -356,6 +356,7 @@ mod tests {
                 peak_transitions: 30,
                 reductions: 1,
                 gates_applied: 2,
+                certified: None,
             },
         };
         let outer = ApplyStats {
@@ -363,6 +364,7 @@ mod tests {
             peak_transitions: 99,
             reductions: 4,
             gates_applied: 7,
+            certified: None,
         };
         let merged = interrupted.merge_stats(&outer);
         assert_eq!(merged.partial_stats.peak_states, 12);

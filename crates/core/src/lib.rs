@@ -71,7 +71,9 @@ pub use pool::{HuntJob, HuntPool, PortfolioOutcome, PortfolioWin};
 pub use state_set::StateSet;
 pub use verify::{
     check_circuit_equivalence, check_circuit_equivalence_cancellable,
-    check_circuit_equivalence_interruptible, check_circuit_equivalence_with_stats, verify,
-    verify_cancellable, verify_interruptible, verify_interruptible_observed, verify_observed,
-    SpecMode, VerificationOutcome,
+    check_circuit_equivalence_interruptible, check_circuit_equivalence_with_stats,
+    compare_with_post, compare_with_post_certified, verify, verify_cancellable,
+    verify_interruptible, verify_interruptible_certified, verify_interruptible_observed,
+    verify_observed, CertifiedComparison, CertifiedOutcome, CertifiedVerdict, CertifyPolicy,
+    SoundnessViolation, SpecMode, VerificationOutcome, VerifyError,
 };

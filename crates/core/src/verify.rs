@@ -1,7 +1,19 @@
 //! `{P} C {Q}` verification and circuit (non-)equivalence checking.
+//!
+//! With a [`CertifyPolicy`] other than [`CertifyPolicy::Off`], positive
+//! verdicts are *self-certifying*: the inclusion search emits an `AQIC`
+//! proof certificate which the independent `autoq-certify` checker
+//! validates before the verdict is returned.  A checker rejection is a
+//! typed [`SoundnessViolation`] — never a silent pass-through (see
+//! `docs/CERTIFICATES.md`).
 
+use autoq_circuit::digest::{sha256, Digest};
 use autoq_circuit::Circuit;
-use autoq_treeaut::{equivalence, inclusion, EquivalenceResult, InclusionResult, Tree};
+use autoq_treeaut::format::certificates_to_binary;
+use autoq_treeaut::{
+    equivalence, inclusion, inclusion_with_certificate, CertifiedInclusionResult,
+    EquivalenceResult, InclusionCertificate, InclusionResult, Tree,
+};
 
 use crate::{Engine, StateSet};
 
@@ -45,6 +57,109 @@ impl VerificationOutcome {
             VerificationOutcome::Violated { witness, .. } => Some(witness),
         }
     }
+}
+
+/// When to build and check proof certificates for verdicts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CertifyPolicy {
+    /// Never certify (the pre-existing fast path).
+    #[default]
+    Off,
+    /// Certify positive verdicts: when the comparison holds, every
+    /// underlying inclusion is re-run through the certificate-producing
+    /// search and the resulting bundle is checked before the verdict is
+    /// returned.
+    OnHolds,
+    /// Certify every inclusion that reports `Included`, even when the
+    /// overall verdict is violated (e.g. the forward direction of a failed
+    /// equality) — the exhaustive-audit mode.
+    Always,
+}
+
+impl CertifyPolicy {
+    /// Returns `true` when certificates should be produced for a verdict of
+    /// the given polarity.
+    fn applies(self, holds: bool) -> bool {
+        match self {
+            CertifyPolicy::Off => false,
+            CertifyPolicy::OnHolds => holds,
+            CertifyPolicy::Always => true,
+        }
+    }
+}
+
+/// The certification record of one verdict: what was certified, the
+/// content digest of its `AQIC` bundle, and the independent checker's
+/// outcome.  Since a checker rejection aborts the query with a
+/// [`SoundnessViolation`] instead of returning, any record that reaches the
+/// caller has `checker_passed == true`; the field exists so the record is
+/// self-describing when persisted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CertifiedVerdict {
+    /// Whether the certified verdict was positive.
+    pub holds: bool,
+    /// SHA-256 digest of the `AQIC` certificate bundle.
+    pub digest: Digest,
+    /// Outcome of the independent checker run on the bundle.
+    pub checker_passed: bool,
+}
+
+/// The optimized search produced a verdict its own certificate cannot
+/// justify: either the certificate builder failed or the independent
+/// checker rejected the bundle.  Both are evidence of a soundness bug in
+/// the verification stack, so this error is hard — callers must fail the
+/// query, never downgrade to an uncertified verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SoundnessViolation {
+    /// Digest of the rejected bundle, when one was built.
+    pub digest: Option<Digest>,
+    /// What the builder or checker rejected.
+    pub message: String,
+}
+
+impl std::fmt::Display for SoundnessViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.digest {
+            Some(digest) => write!(f, "soundness violation ({digest}): {}", self.message),
+            None => write!(f, "soundness violation: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for SoundnessViolation {}
+
+/// Failure modes of a certified, interruptible verification.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VerifyError {
+    /// The run tripped a cancellation flag, deadline or size budget.
+    Interrupted(crate::Interrupted),
+    /// Certification failed — see [`SoundnessViolation`].
+    Soundness(SoundnessViolation),
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Interrupted(interrupted) => interrupted.fmt(f),
+            VerifyError::Soundness(violation) => violation.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// The result of a certified verification: the outcome, the statistics
+/// (with [`ApplyStats::certified`](crate::ApplyStats) filled in when a
+/// certificate was produced), and the serialized `AQIC` bundle for callers
+/// that forward certificates — the daemon ships these bytes to clients.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CertifiedOutcome {
+    /// The verification verdict.
+    pub outcome: VerificationOutcome,
+    /// Gate-application statistics, including the certification record.
+    pub stats: crate::ApplyStats,
+    /// The checked `AQIC` certificate bundle, when the policy produced one.
+    pub certificate: Option<Vec<u8>>,
 }
 
 /// Checks the triple `{pre} circuit {post}`: runs the circuit on the set of
@@ -106,6 +221,104 @@ pub fn compare_with_post(
     }
 }
 
+/// A verdict plus, when the policy produced one, its certification record
+/// and the serialized `AQIC` bundle bytes.
+pub type CertifiedComparison = (VerificationOutcome, Option<(CertifiedVerdict, Vec<u8>)>);
+
+/// Like [`compare_with_post`], but governed by a [`CertifyPolicy`]: when
+/// the policy applies to the computed verdict, every underlying inclusion
+/// is re-run through the certificate-producing search, the resulting `AQIC`
+/// bundle is digested and validated by the independent `autoq-certify`
+/// checker, and only then is the verdict released together with the
+/// [`CertifiedVerdict`] record and the bundle bytes.
+///
+/// Bundle shape: one certificate for [`SpecMode::Inclusion`]; for
+/// [`SpecMode::Equality`] the directions `[output ⊆ post, post ⊆ output]`
+/// in that order (under [`CertifyPolicy::Always`] a violated equality may
+/// carry just the forward certificate when only that direction held).
+///
+/// Any certificate the builder cannot produce or the checker rejects is a
+/// [`SoundnessViolation`]; the uncertified verdict is deliberately
+/// unrecoverable from this path.
+pub fn compare_with_post_certified(
+    output: &StateSet,
+    post: &StateSet,
+    mode: SpecMode,
+    certify: CertifyPolicy,
+) -> Result<CertifiedComparison, SoundnessViolation> {
+    if certify == CertifyPolicy::Off {
+        return Ok((compare_with_post(output, post, mode), None));
+    }
+    let certified_inclusion =
+        |a: &StateSet, b: &StateSet| -> Result<CertifiedInclusionResult, SoundnessViolation> {
+            inclusion_with_certificate(a.automaton(), b.automaton()).map_err(|error| {
+                SoundnessViolation {
+                    digest: None,
+                    message: error.to_string(),
+                }
+            })
+        };
+    let mut certs: Vec<InclusionCertificate> = Vec::new();
+    let outcome = match mode {
+        SpecMode::Inclusion => match certified_inclusion(output, post)? {
+            CertifiedInclusionResult::Included(cert) => {
+                certs.push(cert);
+                VerificationOutcome::Holds
+            }
+            CertifiedInclusionResult::Counterexample(witness) => VerificationOutcome::Violated {
+                witness,
+                reachable_but_forbidden: true,
+            },
+        },
+        SpecMode::Equality => match certified_inclusion(output, post)? {
+            CertifiedInclusionResult::Counterexample(witness) => VerificationOutcome::Violated {
+                witness,
+                reachable_but_forbidden: true,
+            },
+            CertifiedInclusionResult::Included(forward) => {
+                certs.push(forward);
+                match certified_inclusion(post, output)? {
+                    CertifiedInclusionResult::Counterexample(witness) => {
+                        VerificationOutcome::Violated {
+                            witness,
+                            reachable_but_forbidden: false,
+                        }
+                    }
+                    CertifiedInclusionResult::Included(backward) => {
+                        certs.push(backward);
+                        VerificationOutcome::Holds
+                    }
+                }
+            }
+        },
+    };
+    if certs.is_empty() || !certify.applies(outcome.holds()) {
+        return Ok((outcome, None));
+    }
+    let bytes = certificates_to_binary(&certs);
+    let digest = sha256(&bytes);
+    for (index, cert) in certs.iter().enumerate() {
+        // Direction order matches the bundle contract documented above.
+        let (a, b) = if index == 0 {
+            (output, post)
+        } else {
+            (post, output)
+        };
+        autoq_certify::check_inclusion(a.automaton(), b.automaton(), cert).map_err(|error| {
+            SoundnessViolation {
+                digest: Some(digest),
+                message: error.to_string(),
+            }
+        })?;
+    }
+    let record = CertifiedVerdict {
+        holds: outcome.holds(),
+        digest,
+        checker_passed: true,
+    };
+    Ok((outcome, Some((record, bytes))))
+}
+
 /// Like [`verify`] but checks `cancel` between gates and returns `None` as
 /// soon as the flag is observed raised — the cooperative-cancellation entry
 /// point used by the verification daemon when a client disconnects or
@@ -126,17 +339,33 @@ pub fn verify_cancellable(
 /// Like [`verify_cancellable`], but also reports gate-application statistics
 /// and calls `observer(applied, total)` after every applied gate — the
 /// daemon's progress-streaming hook.
+///
+/// `certify` governs verdict certification: with a policy other than
+/// [`CertifyPolicy::Off`], applicable verdicts are only released after
+/// their proof certificate passes the independent checker, and the
+/// [`CertifiedVerdict`] record lands in the returned statistics.  `Ok(None)`
+/// means cancelled; a certification failure is a hard
+/// [`SoundnessViolation`].
+#[allow(clippy::too_many_arguments)]
 pub fn verify_observed(
     engine: &Engine,
     pre: &StateSet,
     circuit: &Circuit,
     post: &StateSet,
     mode: SpecMode,
+    certify: CertifyPolicy,
     cancel: &crate::CancelFlag,
     observer: &mut dyn FnMut(usize, usize),
-) -> Option<(VerificationOutcome, crate::ApplyStats)> {
-    let (output, stats) = engine.apply_circuit_observed(pre, circuit, cancel, observer)?;
-    Some((compare_with_post(&output, post, mode), stats))
+) -> Result<Option<(VerificationOutcome, crate::ApplyStats)>, SoundnessViolation> {
+    let Some((output, mut stats)) = engine.apply_circuit_observed(pre, circuit, cancel, observer)
+    else {
+        return Ok(None);
+    };
+    let (outcome, certified) = compare_with_post_certified(&output, post, mode, certify)?;
+    if let Some((record, _bundle)) = certified {
+        stats.certified = Some(record);
+    }
+    Ok(Some((outcome, stats)))
 }
 
 /// Like [`verify`] but governed by an [`Interrupt`](crate::Interrupt):
@@ -171,6 +400,40 @@ pub fn verify_interruptible_observed(
     let (output, stats) =
         engine.apply_circuit_interruptible_observed(pre, circuit, interrupt, observer)?;
     Ok((compare_with_post(&output, post, mode), stats))
+}
+
+/// The most general verification entry point: interruptible, observed, and
+/// certified — the daemon's path when a client sets `want_certificate`.
+///
+/// On success the [`CertifiedOutcome`] carries the serialized `AQIC` bundle
+/// (when the policy produced one) so callers can forward or persist it; the
+/// certification record is also in `stats.certified`.  Failure separates
+/// resource interruption from certification failure via [`VerifyError`].
+#[allow(clippy::too_many_arguments)]
+pub fn verify_interruptible_certified(
+    engine: &Engine,
+    pre: &StateSet,
+    circuit: &Circuit,
+    post: &StateSet,
+    mode: SpecMode,
+    certify: CertifyPolicy,
+    interrupt: &crate::Interrupt,
+    observer: &mut dyn FnMut(usize, usize),
+) -> Result<CertifiedOutcome, VerifyError> {
+    let (output, mut stats) = engine
+        .apply_circuit_interruptible_observed(pre, circuit, interrupt, observer)
+        .map_err(VerifyError::Interrupted)?;
+    let (outcome, certified) = compare_with_post_certified(&output, post, mode, certify)
+        .map_err(VerifyError::Soundness)?;
+    let certificate = certified.map(|(record, bundle)| {
+        stats.certified = Some(record);
+        bundle
+    });
+    Ok(CertifiedOutcome {
+        outcome,
+        stats,
+        certificate,
+    })
 }
 
 /// Runs two circuits on the same set of input states and compares the sets
@@ -300,6 +563,80 @@ mod tests {
         assert!(!outcome.holds());
         let witness = outcome.witness().unwrap();
         assert_eq!(witness.to_amplitude_map().len(), 1);
+    }
+
+    #[test]
+    fn certified_verdicts_carry_checked_certificates() {
+        let epr = Circuit::from_gates(
+            2,
+            [
+                Gate::H(0),
+                Gate::Cnot {
+                    control: 0,
+                    target: 1,
+                },
+            ],
+        )
+        .unwrap();
+        let pre = StateSet::basis_state(2, 0);
+        let post = StateSet::from_state_fn(2, |b| match b {
+            0 | 3 => Algebraic::one_over_sqrt2(),
+            _ => Algebraic::zero(),
+        });
+        let engine = Engine::hybrid();
+        let result = verify_interruptible_certified(
+            &engine,
+            &pre,
+            &epr,
+            &post,
+            SpecMode::Equality,
+            CertifyPolicy::OnHolds,
+            &crate::Interrupt::new(),
+            &mut |_, _| {},
+        )
+        .expect("certification must succeed");
+        assert!(result.outcome.holds());
+        let bundle = result.certificate.expect("OnHolds emits a bundle");
+        let record = result.stats.certified.expect("record lands in stats");
+        assert!(record.holds && record.checker_passed);
+        assert_eq!(record.digest, sha256(&bundle));
+        // An equality verdict ships both directions.
+        let certs = autoq_treeaut::format::certificates_from_binary(&bundle).unwrap();
+        assert_eq!(certs.len(), 2);
+
+        // A violated verdict under OnHolds yields no certificate, while the
+        // verdict itself is unchanged.
+        let wrong_post = StateSet::basis_state(2, 0);
+        let (outcome, certified) = compare_with_post_certified(
+            &StateSet::basis_state(2, 3),
+            &wrong_post,
+            SpecMode::Equality,
+            CertifyPolicy::OnHolds,
+        )
+        .unwrap();
+        assert!(!outcome.holds());
+        assert!(certified.is_none());
+    }
+
+    #[test]
+    fn certify_always_covers_held_directions_of_violated_verdicts() {
+        // {|0⟩} ⊂ {|0⟩, |1⟩}: equality is violated (only the forward
+        // direction holds), so Always certifies exactly one direction.
+        let small = StateSet::basis_state(1, 0);
+        let big = StateSet::all_basis_states(1);
+        let (outcome, certified) =
+            compare_with_post_certified(&small, &big, SpecMode::Equality, CertifyPolicy::Always)
+                .unwrap();
+        assert!(!outcome.holds());
+        let (record, bundle) = certified.expect("forward direction held");
+        assert!(!record.holds && record.checker_passed);
+        let certs = autoq_treeaut::format::certificates_from_binary(&bundle).unwrap();
+        assert_eq!(certs.len(), 1);
+        // And under OnHolds the same comparison stays uncertified.
+        let (_, none) =
+            compare_with_post_certified(&small, &big, SpecMode::Equality, CertifyPolicy::OnHolds)
+                .unwrap();
+        assert!(none.is_none());
     }
 
     #[test]

@@ -63,6 +63,11 @@ pub struct VerdictKey {
 
 /// Digest of everything about a job *except* the circuit: pre, post, mode
 /// and the witness flag, over their canonical wire encodings.
+///
+/// `want_certificate` deliberately stays out of the digest: the verdict of
+/// `{P} C {Q}` is the same either way, so certificate-requesting jobs share
+/// their cache entry with plain ones.  [`VerdictCache::lookup`] handles the
+/// one asymmetry (a plain entry cannot answer a certificate request).
 pub fn spec_digest(job: &JobRequest) -> Digest {
     let pre = job.pre.canonical_bytes();
     let post = job.post.canonical_bytes();
@@ -84,6 +89,10 @@ pub struct CachedVerdict {
     pub reachable_but_forbidden: bool,
     /// Serialised witness ([`autoq_treeaut::format::tree_to_binary`]).
     pub witness: Option<Vec<u8>>,
+    /// Serialised inclusion-certificate bundle
+    /// ([`autoq_treeaut::format::certificates_to_binary`]), present when
+    /// the verdict was computed for a certificate-requesting job.
+    pub certificate: Option<Vec<u8>>,
 }
 
 /// Encodes one `(key, verdict)` entry — the unit shared by the snapshot
@@ -101,9 +110,15 @@ fn encode_entry(enc: &mut Encoder, key: &VerdictKey, verdict: &CachedVerdict) {
     if verdict.witness.is_some() {
         flags |= 4;
     }
+    if verdict.certificate.is_some() {
+        flags |= 8;
+    }
     enc.put_u8(flags);
     if let Some(witness) = &verdict.witness {
         enc.put_bytes(witness);
+    }
+    if let Some(certificate) = &verdict.certificate {
+        enc.put_bytes(certificate);
     }
 }
 
@@ -120,7 +135,7 @@ fn decode_entry(dec: &mut Decoder<'_>) -> Result<(VerdictKey, CachedVerdict), Wi
     let circuit = digest(dec)?;
     let spec = digest(dec)?;
     let flags = dec.get_u8()?;
-    if flags & !0x07 != 0 {
+    if flags & !0x0f != 0 {
         return Err(WireError::malformed(
             0,
             format!("unknown snapshot entry flags {flags:#04x}"),
@@ -131,12 +146,18 @@ fn decode_entry(dec: &mut Decoder<'_>) -> Result<(VerdictKey, CachedVerdict), Wi
     } else {
         None
     };
+    let certificate = if flags & 8 != 0 {
+        Some(dec.get_bytes()?)
+    } else {
+        None
+    };
     Ok((
         VerdictKey { circuit, spec },
         CachedVerdict {
             holds: flags & 1 != 0,
             reachable_but_forbidden: flags & 2 != 0,
             witness,
+            certificate,
         },
     ))
 }
@@ -154,10 +175,27 @@ pub fn journal_record(key: &VerdictKey, verdict: &CachedVerdict) -> Vec<u8> {
     record
 }
 
-/// The in-memory verdict cache with hit/miss counters.
+/// Number of independently locked cache shards.
+///
+/// Sixteen shards follow the amplitude interner's sharding: enough to keep
+/// worker threads recording fresh verdicts from serialising on one global
+/// lock, small enough that snapshotting stays a cheap gather.
+const NUM_SHARDS: usize = 16;
+
+/// Picks the shard for a key by hashing both digests, so the load spreads
+/// even if one digest were ever constant across a workload.
+fn shard_index(key: &VerdictKey) -> usize {
+    let mut bytes = [0u8; 64];
+    bytes[..32].copy_from_slice(&key.circuit.0);
+    bytes[32..].copy_from_slice(&key.spec.0);
+    fnv1a32(&bytes) as usize & (NUM_SHARDS - 1)
+}
+
+/// The in-memory verdict cache with hit/miss counters, sharded 16 ways so
+/// concurrent workers rarely contend on a lock.
 #[derive(Default)]
 pub struct VerdictCache {
-    entries: Mutex<HashMap<VerdictKey, CachedVerdict>>,
+    shards: [Mutex<HashMap<VerdictKey, CachedVerdict>>; NUM_SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -169,14 +207,20 @@ impl VerdictCache {
     }
 
     /// Looks up a verdict, counting a hit or a miss.
-    pub fn lookup(&self, key: &VerdictKey) -> Option<CachedVerdict> {
-        let entries = lock(&self.entries);
+    ///
+    /// A stored verdict without a certificate does not satisfy a job that
+    /// wants one: that lookup counts as a miss so the job recomputes (and
+    /// its richer verdict then overwrites the entry).  The reverse serve —
+    /// a certificate-carrying entry answering a job that did not ask — is
+    /// fine; the server strips the bundle from the framed reply.
+    pub fn lookup(&self, key: &VerdictKey, want_certificate: bool) -> Option<CachedVerdict> {
+        let entries = lock(&self.shards[shard_index(key)]);
         match entries.get(key) {
-            Some(verdict) => {
+            Some(verdict) if !want_certificate || verdict.certificate.is_some() => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(verdict.clone())
             }
-            None => {
+            _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -185,12 +229,12 @@ impl VerdictCache {
 
     /// Inserts (or overwrites) a verdict.
     pub fn insert(&self, key: VerdictKey, verdict: CachedVerdict) {
-        lock(&self.entries).insert(key, verdict);
+        lock(&self.shards[shard_index(&key)]).insert(key, verdict);
     }
 
     /// Number of cached verdicts.
     pub fn len(&self) -> usize {
-        lock(&self.entries).len()
+        self.shards.iter().map(|shard| lock(shard).len()).sum()
     }
 
     /// Whether the cache is empty.
@@ -210,19 +254,23 @@ impl VerdictCache {
 
     /// Serialises the cache into its binary snapshot format.
     pub fn to_snapshot(&self) -> Vec<u8> {
-        let entries = lock(&self.entries);
+        // Gather all shards, then sort keys so equal caches snapshot to
+        // identical bytes regardless of how entries landed in shards.
+        let mut all: Vec<(VerdictKey, CachedVerdict)> = Vec::new();
+        for shard in &self.shards {
+            let entries = lock(shard);
+            all.extend(entries.iter().map(|(k, v)| (*k, v.clone())));
+        }
+        all.sort_by_key(|(k, _)| (k.circuit, k.spec));
         let mut enc = Encoder::default();
         enc.put_u8(SNAPSHOT_MAGIC[0]);
         enc.put_u8(SNAPSHOT_MAGIC[1]);
         enc.put_u8(SNAPSHOT_MAGIC[2]);
         enc.put_u8(SNAPSHOT_MAGIC[3]);
         enc.put_u8(SNAPSHOT_VERSION);
-        enc.put_varint(entries.len() as u64);
-        // Sort keys so equal caches snapshot to identical bytes.
-        let mut keys: Vec<&VerdictKey> = entries.keys().collect();
-        keys.sort_by_key(|k| (k.circuit, k.spec));
-        for key in keys {
-            encode_entry(&mut enc, key, &entries[key]);
+        enc.put_varint(all.len() as u64);
+        for (key, verdict) in &all {
+            encode_entry(&mut enc, key, verdict);
         }
         enc.finish()
     }
@@ -251,17 +299,13 @@ impl VerdictCache {
         if count > dec.remaining() as u64 {
             return Err(WireError::malformed(5, "snapshot entry count too large"));
         }
-        let mut entries = HashMap::with_capacity(count as usize);
+        let cache = VerdictCache::new();
         for _ in 0..count {
             let (key, verdict) = decode_entry(&mut dec)?;
-            entries.insert(key, verdict);
+            cache.insert(key, verdict);
         }
         dec.expect_end()?;
-        Ok(VerdictCache {
-            entries: Mutex::new(entries),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        })
+        Ok(cache)
     }
 
     /// Replays a journal on top of this cache, applying every intact
@@ -315,17 +359,77 @@ mod tests {
     #[test]
     fn lookup_counts_hits_and_misses() {
         let cache = VerdictCache::new();
-        assert!(cache.lookup(&key(1)).is_none());
+        assert!(cache.lookup(&key(1), false).is_none());
         cache.insert(
             key(1),
             CachedVerdict {
                 holds: true,
                 reachable_but_forbidden: false,
                 witness: None,
+                certificate: None,
             },
         );
-        assert!(cache.lookup(&key(1)).is_some());
+        assert!(cache.lookup(&key(1), false).is_some());
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn certificate_requests_miss_plain_entries() {
+        let cache = VerdictCache::new();
+        cache.insert(
+            key(1),
+            CachedVerdict {
+                holds: true,
+                reachable_but_forbidden: false,
+                witness: None,
+                certificate: None,
+            },
+        );
+        // A plain entry cannot answer a certificate request...
+        assert!(cache.lookup(&key(1), true).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        // ...but once the recomputed verdict (with its bundle) overwrites
+        // the entry, both kinds of request hit.
+        cache.insert(
+            key(1),
+            CachedVerdict {
+                holds: true,
+                reachable_but_forbidden: false,
+                witness: None,
+                certificate: Some(vec![0xAA, 0xBB]),
+            },
+        );
+        assert!(cache.lookup(&key(1), true).is_some());
+        assert!(cache.lookup(&key(1), false).is_some());
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
+    }
+
+    #[test]
+    fn entries_spread_across_shards() {
+        let cache = VerdictCache::new();
+        for tag in 0..64 {
+            cache.insert(
+                key(tag),
+                CachedVerdict {
+                    holds: true,
+                    reachable_but_forbidden: false,
+                    witness: None,
+                    certificate: None,
+                },
+            );
+        }
+        assert_eq!(cache.len(), 64);
+        let populated = cache
+            .shards
+            .iter()
+            .filter(|shard| !lock(shard).is_empty())
+            .count();
+        // 64 sha256-derived keys over 16 shards: all lookups still resolve
+        // and more than one shard carries load.
+        assert!(populated > 1, "all entries landed in one shard");
+        for tag in 0..64 {
+            assert!(cache.lookup(&key(tag), false).is_some());
+        }
     }
 
     #[test]
@@ -337,6 +441,7 @@ mod tests {
                 holds: true,
                 reachable_but_forbidden: false,
                 witness: None,
+                certificate: Some(vec![0xC0, 0xDE]),
             },
         );
         cache.insert(
@@ -345,14 +450,19 @@ mod tests {
                 holds: false,
                 reachable_but_forbidden: true,
                 witness: Some(vec![1, 2, 3]),
+                certificate: None,
             },
         );
         let snap = cache.to_snapshot();
         let restored = VerdictCache::from_snapshot(&snap).unwrap();
         assert_eq!(restored.len(), 2);
         assert_eq!(
-            restored.lookup(&key(2)).unwrap().witness,
+            restored.lookup(&key(2), false).unwrap().witness,
             Some(vec![1, 2, 3])
+        );
+        assert_eq!(
+            restored.lookup(&key(1), true).unwrap().certificate,
+            Some(vec![0xC0, 0xDE])
         );
         assert_eq!(restored.to_snapshot(), snap);
     }
@@ -364,11 +474,13 @@ mod tests {
             holds: true,
             reachable_but_forbidden: false,
             witness: None,
+            certificate: None,
         };
         let second = CachedVerdict {
             holds: false,
             reachable_but_forbidden: true,
             witness: Some(vec![9, 8, 7]),
+            certificate: Some(vec![6, 5]),
         };
         let mut journal = journal_record(&key(1), &first);
         journal.extend_from_slice(&journal_record(&key(2), &second));
@@ -376,7 +488,7 @@ mod tests {
         journal.extend_from_slice(&journal_record(&key(1), &second));
         assert_eq!(cache.replay_journal(&journal), 3);
         assert_eq!(cache.len(), 2);
-        assert_eq!(cache.lookup(&key(1)).unwrap(), second);
+        assert_eq!(cache.lookup(&key(1), false).unwrap(), second);
     }
 
     #[test]
@@ -385,6 +497,7 @@ mod tests {
             holds: false,
             reachable_but_forbidden: true,
             witness: Some(vec![1, 2, 3, 4]),
+            certificate: None,
         };
         let first = journal_record(&key(1), &verdict);
         let mut journal = first.clone();
@@ -421,6 +534,7 @@ mod tests {
                 holds: true,
                 reachable_but_forbidden: false,
                 witness: None,
+                certificate: None,
             },
         );
         let snap = cache.to_snapshot();

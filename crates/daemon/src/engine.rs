@@ -3,7 +3,8 @@
 //! engine.
 //!
 //! [`RealEngine`] wraps [`autoq_core::Engine`] via the interrupt-governed,
-//! progress-observed entry point [`autoq_core::verify_interruptible_observed`].
+//! progress-observed, certificate-capable entry point
+//! [`autoq_core::verify_interruptible_certified`].
 //! [`MockEngine`] produces scripted verdicts with configurable timing
 //! (instant, slow, blocked-until-cancelled, or panicking) and counts its
 //! invocations, which is how the test suites prove cache hits never reach
@@ -14,7 +15,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Duration;
 
 use autoq_circuit::Circuit;
-use autoq_core::{ApplyStats, Engine, Interrupt, Interrupted, StateSet, VerificationOutcome};
+use autoq_core::{
+    ApplyStats, CertifyPolicy, Engine, Interrupt, Interrupted, StateSet, VerificationOutcome,
+    VerifyError,
+};
 use autoq_treeaut::{basis, format, Tree};
 
 use crate::proto::{JobRequest, Spec, SpecMode};
@@ -32,6 +36,9 @@ pub struct JobInputs {
     pub mode: autoq_core::SpecMode,
     /// Whether a violation should carry its witness.
     pub want_witness: bool,
+    /// Whether a positive verdict should carry its proof certificate (and
+    /// therefore be independently checked before it is returned).
+    pub want_certificate: bool,
 }
 
 /// Builds a [`StateSet`] from a wire [`Spec`], validating every constraint
@@ -121,6 +128,7 @@ pub fn materialize(circuit: Circuit, job: &JobRequest) -> Result<JobInputs, Stri
             SpecMode::Inclusion => autoq_core::SpecMode::Inclusion,
         },
         want_witness: job.want_witness,
+        want_certificate: job.want_certificate,
     })
 }
 
@@ -134,25 +142,48 @@ pub struct EngineVerdict {
     pub reachable_but_forbidden: bool,
     /// Witness of a violation, when available.
     pub witness: Option<Tree>,
+    /// Serialized `AQIC` certificate bundle backing the verdict, when the
+    /// job asked for one and the verdict was certifiable.  Already checked
+    /// by the independent checker before the engine returned it.
+    pub certificate: Option<Vec<u8>>,
+}
+
+/// Why an engine run failed to produce a verdict.
+#[derive(Clone, Debug)]
+pub enum EngineError {
+    /// The run tripped a cancellation flag, deadline or size budget.
+    Interrupted(Interrupted),
+    /// The engine's verdict failed certification — a soundness bug, which
+    /// the daemon must surface as a job error (and count), never as a
+    /// verdict.
+    Soundness(String),
+}
+
+impl From<Interrupted> for EngineError {
+    fn from(interrupted: Interrupted) -> Self {
+        EngineError::Interrupted(interrupted)
+    }
 }
 
 /// The engine abstraction the daemon schedules jobs onto.
 pub trait VerifyEngine: Send + Sync {
     /// Runs the job to a verdict under `interrupt` — cancellation, the
     /// wall-clock deadline and the peak-size budgets are all checked
-    /// cooperatively — or returns the typed
-    /// [`Interrupted`] stop.  Implementations call
-    /// `progress(applied, total)` as the circuit advances.
+    /// cooperatively — or returns the typed [`EngineError`] failure
+    /// (interrupted, or a certification soundness failure).
+    /// Implementations call `progress(applied, total)` as the circuit
+    /// advances.
     fn verify(
         &self,
         inputs: &JobInputs,
         interrupt: &Interrupt,
         progress: &mut dyn FnMut(u32, u32),
-    ) -> Result<EngineVerdict, Interrupted>;
+    ) -> Result<EngineVerdict, EngineError>;
 }
 
-/// The production engine: [`autoq_core::verify_interruptible_observed`] on
-/// a configurable [`Engine`].
+/// The production engine: [`autoq_core::verify_interruptible_certified`] on
+/// a configurable [`Engine`]; jobs asking for a certificate run under
+/// [`CertifyPolicy::OnHolds`].
 pub struct RealEngine {
     engine: Engine,
 }
@@ -177,27 +208,38 @@ impl VerifyEngine for RealEngine {
         inputs: &JobInputs,
         interrupt: &Interrupt,
         progress: &mut dyn FnMut(u32, u32),
-    ) -> Result<EngineVerdict, Interrupted> {
+    ) -> Result<EngineVerdict, EngineError> {
         let mut observer = |applied: usize, total: usize| {
             progress(
                 applied.min(u32::MAX as usize) as u32,
                 total.min(u32::MAX as usize) as u32,
             );
         };
-        let (outcome, _stats) = autoq_core::verify_interruptible_observed(
+        let certify = if inputs.want_certificate {
+            CertifyPolicy::OnHolds
+        } else {
+            CertifyPolicy::Off
+        };
+        let certified = autoq_core::verify_interruptible_certified(
             &self.engine,
             &inputs.pre,
             &inputs.circuit,
             &inputs.post,
             inputs.mode,
+            certify,
             interrupt,
             &mut observer,
-        )?;
-        Ok(match outcome {
+        )
+        .map_err(|error| match error {
+            VerifyError::Interrupted(interrupted) => EngineError::Interrupted(interrupted),
+            VerifyError::Soundness(violation) => EngineError::Soundness(violation.to_string()),
+        })?;
+        Ok(match certified.outcome {
             VerificationOutcome::Holds => EngineVerdict {
                 holds: true,
                 reachable_but_forbidden: false,
                 witness: None,
+                certificate: certified.certificate,
             },
             VerificationOutcome::Violated {
                 witness,
@@ -206,6 +248,7 @@ impl VerifyEngine for RealEngine {
                 holds: false,
                 reachable_but_forbidden,
                 witness: Some(witness),
+                certificate: certified.certificate,
             },
         })
     }
@@ -237,6 +280,8 @@ pub struct MockEngine {
     holds: bool,
     reachable_but_forbidden: bool,
     witness: Option<Tree>,
+    certificate: Option<Vec<u8>>,
+    soundness_failure: Option<String>,
     calls: AtomicUsize,
     observed_cancel: AtomicBool,
 }
@@ -249,6 +294,8 @@ impl MockEngine {
             holds: true,
             reachable_but_forbidden: false,
             witness: None,
+            certificate: None,
+            soundness_failure: None,
             calls: AtomicUsize::new(0),
             observed_cancel: AtomicBool::new(false),
         }
@@ -261,6 +308,8 @@ impl MockEngine {
             holds: false,
             reachable_but_forbidden: true,
             witness: Some(witness),
+            certificate: None,
+            soundness_failure: None,
             calls: AtomicUsize::new(0),
             observed_cancel: AtomicBool::new(false),
         }
@@ -269,6 +318,21 @@ impl MockEngine {
     /// Overrides the timing behaviour.
     pub fn with_behavior(mut self, behavior: MockBehavior) -> Self {
         self.behavior = behavior;
+        self
+    }
+
+    /// Attaches scripted certificate bytes, returned whenever a job asks
+    /// for a certificate.
+    pub fn with_certificate(mut self, certificate: Vec<u8>) -> Self {
+        self.certificate = Some(certificate);
+        self
+    }
+
+    /// Scripts a certification soundness failure: every `verify` call
+    /// answering a certificate-requesting job fails instead of producing a
+    /// verdict.
+    pub fn with_soundness_failure(mut self, message: impl Into<String>) -> Self {
+        self.soundness_failure = Some(message.into());
         self
     }
 
@@ -285,24 +349,24 @@ impl MockEngine {
 }
 
 impl MockEngine {
-    fn stop(&self, reason: autoq_core::StopReason) -> Interrupted {
+    fn stop(&self, reason: autoq_core::StopReason) -> EngineError {
         if reason == autoq_core::StopReason::Cancelled {
             self.observed_cancel.store(true, Ordering::SeqCst);
         }
-        Interrupted {
+        EngineError::Interrupted(Interrupted {
             reason,
             partial_stats: ApplyStats::default(),
-        }
+        })
     }
 }
 
 impl VerifyEngine for MockEngine {
     fn verify(
         &self,
-        _inputs: &JobInputs,
+        inputs: &JobInputs,
         interrupt: &Interrupt,
         progress: &mut dyn FnMut(u32, u32),
-    ) -> Result<EngineVerdict, Interrupted> {
+    ) -> Result<EngineVerdict, EngineError> {
         self.calls.fetch_add(1, Ordering::SeqCst);
         match self.behavior {
             MockBehavior::Instant => {}
@@ -326,10 +390,20 @@ impl VerifyEngine for MockEngine {
         if let Err(reason) = interrupt.check_sizes(0, 0) {
             return Err(self.stop(reason));
         }
+        if inputs.want_certificate {
+            if let Some(message) = &self.soundness_failure {
+                return Err(EngineError::Soundness(message.clone()));
+            }
+        }
         Ok(EngineVerdict {
             holds: self.holds,
             reachable_but_forbidden: self.reachable_but_forbidden,
             witness: self.witness.clone(),
+            certificate: if inputs.want_certificate {
+                self.certificate.clone()
+            } else {
+                None
+            },
         })
     }
 }

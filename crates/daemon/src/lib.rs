@@ -74,6 +74,7 @@
 //!         mode: SpecMode::Equality,
 //!         want_witness: true,
 //!         limits: Default::default(),
+//!         want_certificate: false,
 //!     })
 //!     .unwrap();
 //! match outcome {

@@ -234,6 +234,10 @@ pub struct JobRequest {
     /// ceilings).  Unlimited jobs encode as the v1 Submit frame, so old
     /// servers and clients interoperate unchanged.
     pub limits: JobLimits,
+    /// Whether a positive verdict should carry an AQIC inclusion-certificate
+    /// bundle, checked by the independent `autoq-certify` crate before the
+    /// verdict is reported.  Forces the v2 Submit frame.
+    pub want_certificate: bool,
 }
 
 /// The verdict of a job.
@@ -248,6 +252,11 @@ pub struct Verdict {
     /// ([`autoq_treeaut::format::tree_to_binary`]), when the verdict is a
     /// violation and the job asked for one.
     pub witness: Option<Vec<u8>>,
+    /// AQIC inclusion-certificate bundle
+    /// ([`autoq_treeaut::format::certificates_to_binary`]), when the verdict
+    /// is positive and the job asked for one.  Always checker-verified by
+    /// the server before it is sent.
+    pub certificate: Option<Vec<u8>>,
 }
 
 /// Aggregate daemon statistics.
@@ -273,6 +282,11 @@ pub struct DaemonStats {
     /// Jobs whose engine run panicked (answered [`Response::JobError`];
     /// the worker survives).
     pub jobs_panicked: u64,
+    /// Positive verdicts that shipped a checker-verified certificate.
+    pub verdicts_certified: u64,
+    /// Certificates rejected by the independent checker (each one is a
+    /// soundness bug surfaced as [`Response::JobError`]).
+    pub certificates_rejected: u64,
 }
 
 /// Fatal protocol error classes (the connection closes after one).
@@ -374,8 +388,9 @@ impl Request {
             }
             Request::Submit { client_job, job } => {
                 // Unlimited jobs stay on the v1 opcode so the encoding (and
-                // any v1 peer) is unchanged; limits ride the v2 opcode.
-                let opcode = if job.limits.is_unlimited() {
+                // any v1 peer) is unchanged; limits and certificate requests
+                // ride the v2 opcode.
+                let opcode = if job.limits.is_unlimited() && !job.want_certificate {
                     OP_SUBMIT
                 } else {
                     OP_SUBMIT_V2
@@ -392,6 +407,7 @@ impl Request {
                 enc.put_u8(u8::from(job.want_witness));
                 if opcode == OP_SUBMIT_V2 {
                     job.limits.encode_into(&mut enc);
+                    enc.put_u8(u8::from(job.want_certificate));
                 }
                 enc.finish()
             }
@@ -444,6 +460,22 @@ impl Request {
                 } else {
                     JobLimits::default()
                 };
+                // The certificate-flags byte trails the limits block; older
+                // v2 peers omit it, which decodes as "no certificate".
+                let want_certificate = if opcode == OP_SUBMIT_V2 && dec.remaining() > 0 {
+                    match dec.get_u8()? {
+                        0 => false,
+                        1 => true,
+                        other => {
+                            return Err(WireError::malformed(
+                                0,
+                                format!("unknown certificate flags {other:#04x}"),
+                            ))
+                        }
+                    }
+                } else {
+                    false
+                };
                 Request::Submit {
                     client_job,
                     job: JobRequest {
@@ -453,6 +485,7 @@ impl Request {
                         mode,
                         want_witness,
                         limits,
+                        want_certificate,
                     },
                 }
             }
@@ -643,9 +676,15 @@ impl Response {
                 if verdict.witness.is_some() {
                     flags |= 8;
                 }
+                if verdict.certificate.is_some() {
+                    flags |= 16;
+                }
                 enc.put_u8(flags);
                 if let Some(witness) = &verdict.witness {
                     enc.put_bytes(witness);
+                }
+                if let Some(certificate) = &verdict.certificate {
+                    enc.put_bytes(certificate);
                 }
                 enc.finish()
             }
@@ -682,6 +721,8 @@ impl Response {
                 enc.put_varint(stats.cache_entries);
                 enc.put_varint(stats.jobs_exhausted);
                 enc.put_varint(stats.jobs_panicked);
+                enc.put_varint(stats.verdicts_certified);
+                enc.put_varint(stats.certificates_rejected);
                 enc.finish()
             }
             Response::Pong => Encoder::with_opcode(OP_PONG).finish(),
@@ -722,13 +763,18 @@ impl Response {
             OP_VERDICT => {
                 let client_job = dec.get_varint()?;
                 let flags = dec.get_u8()?;
-                if flags & !0x0f != 0 {
+                if flags & !0x1f != 0 {
                     return Err(WireError::malformed(
                         0,
                         format!("unknown verdict flags {flags:#04x}"),
                     ));
                 }
                 let witness = if flags & 8 != 0 {
+                    Some(dec.get_bytes()?)
+                } else {
+                    None
+                };
+                let certificate = if flags & 16 != 0 {
                     Some(dec.get_bytes()?)
                 } else {
                     None
@@ -740,6 +786,7 @@ impl Response {
                         holds: flags & 2 != 0,
                         reachable_but_forbidden: flags & 4 != 0,
                         witness,
+                        certificate,
                     },
                 }
             }
@@ -764,13 +811,20 @@ impl Response {
                     cache_entries: dec.get_varint()?,
                     jobs_exhausted: 0,
                     jobs_panicked: 0,
+                    verdicts_certified: 0,
+                    certificates_rejected: 0,
                 };
                 // The degradation counters were appended later; a report
                 // from an older daemon simply ends here, and both default
-                // to zero.
+                // to zero.  The certification counters were appended later
+                // still, so they get their own tolerance check.
                 if dec.remaining() > 0 {
                     stats.jobs_exhausted = dec.get_varint()?;
                     stats.jobs_panicked = dec.get_varint()?;
+                    if dec.remaining() > 0 {
+                        stats.verdicts_certified = dec.get_varint()?;
+                        stats.certificates_rejected = dec.get_varint()?;
+                    }
                 }
                 Response::StatsReport(stats)
             }

@@ -68,7 +68,7 @@ use autoq_core::{CancelFlag, Interrupt, Resource, StopReason};
 use autoq_treeaut::format::tree_to_binary;
 
 use crate::cache::{journal_record, spec_digest, CachedVerdict, VerdictCache, VerdictKey};
-use crate::engine::{materialize, JobInputs, VerifyEngine};
+use crate::engine::{materialize, EngineError, JobInputs, VerifyEngine};
 use crate::lock;
 use crate::proto::{
     DaemonStats, ErrorCode, JobLimits, Request, Response, Verdict, MAGIC, PROTOCOL_VERSION,
@@ -84,7 +84,9 @@ pub struct DaemonConfig {
     /// Maximum queued (accepted but not yet running) jobs before
     /// submissions are rejected.
     pub queue_capacity: usize,
-    /// Retry hint attached to backpressure rejections.
+    /// Base retry hint attached to backpressure rejections; the framed
+    /// hint scales with queue depth (see `Shared::adaptive_retry_ms`),
+    /// from this base up to 10× of it.
     pub retry_after_ms: u32,
     /// Minimum interval between progress frames for one job.
     pub progress_interval: Duration,
@@ -204,6 +206,8 @@ struct Shared {
     jobs_exhausted: AtomicU64,
     jobs_panicked: AtomicU64,
     rejected: AtomicU64,
+    verdicts_certified: AtomicU64,
+    certificates_rejected: AtomicU64,
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn: AtomicU64,
 }
@@ -220,7 +224,21 @@ impl Shared {
             cache_entries: self.cache.len() as u64,
             jobs_exhausted: self.jobs_exhausted.load(Ordering::Relaxed),
             jobs_panicked: self.jobs_panicked.load(Ordering::Relaxed),
+            verdicts_certified: self.verdicts_certified.load(Ordering::Relaxed),
+            certificates_rejected: self.certificates_rejected.load(Ordering::Relaxed),
         }
+    }
+
+    /// Backpressure retry hint, scaled by how loaded the queue is: an empty
+    /// or lightly loaded queue keeps the configured base, a deep queue
+    /// stretches it proportionally to the drain time (depth / workers),
+    /// capped at 10× so a hint never tells a client to go away for long.
+    fn adaptive_retry_ms(&self) -> u32 {
+        let base = self.config.retry_after_ms.max(1);
+        let depth = lock(&self.queue).len() as u32;
+        let workers = self.config.workers.max(1) as u32;
+        let scale = (depth / workers).max(1);
+        base.saturating_mul(scale).min(base.saturating_mul(10))
     }
 
     /// Snapshots the whole cache and clears the journal.  Caller holds the
@@ -408,6 +426,8 @@ pub fn serve(
         jobs_exhausted: AtomicU64::new(0),
         jobs_panicked: AtomicU64::new(0),
         rejected: AtomicU64::new(0),
+        verdicts_certified: AtomicU64::new(0),
+        certificates_rejected: AtomicU64::new(0),
         conns: Mutex::new(HashMap::new()),
         next_conn: AtomicU64::new(0),
     });
@@ -662,7 +682,16 @@ fn handle_submit(
         circuit: circuit_digest(&circuit),
         spec: spec_digest(&job),
     };
-    if let Some(cached) = shared.cache.lookup(&key) {
+    if let Some(cached) = shared.cache.lookup(&key, job.want_certificate) {
+        // The stored bundle is only framed when this job asked for it.
+        let certificate = if job.want_certificate {
+            cached.certificate
+        } else {
+            None
+        };
+        if cached.holds && certificate.is_some() {
+            shared.verdicts_certified.fetch_add(1, Ordering::Relaxed);
+        }
         return writer
             .send(&Response::Verdict {
                 client_job,
@@ -671,6 +700,7 @@ fn handle_submit(
                     holds: cached.holds,
                     reachable_but_forbidden: cached.reachable_but_forbidden,
                     witness: cached.witness,
+                    certificate,
                 },
             })
             .is_ok();
@@ -682,13 +712,14 @@ fn handle_submit(
         Err(message) => return job_error(message),
     };
     let (deadline, max_states) = effective_limits(&shared.config, &job.limits);
-    let rejected = Response::Rejected {
-        client_job,
-        retry_after_ms: shared.config.retry_after_ms,
-    };
     if shared.shutting_down.load(Ordering::SeqCst) {
         shared.rejected.fetch_add(1, Ordering::Relaxed);
-        return writer.send(&rejected).is_ok();
+        return writer
+            .send(&Response::Rejected {
+                client_job,
+                retry_after_ms: shared.adaptive_retry_ms(),
+            })
+            .is_ok();
     }
     let cancel = CancelFlag::new();
     {
@@ -696,7 +727,12 @@ fn handle_submit(
         if queue.len() >= shared.config.queue_capacity {
             drop(queue);
             shared.rejected.fetch_add(1, Ordering::Relaxed);
-            return writer.send(&rejected).is_ok();
+            return writer
+                .send(&Response::Rejected {
+                    client_job,
+                    retry_after_ms: shared.adaptive_retry_ms(),
+                })
+                .is_ok();
         }
         lock(jobs).insert(client_job, cancel.clone());
         // Ack *before* the job becomes visible to workers (the push below),
@@ -853,7 +889,18 @@ fn run_job(shared: &Shared, job: QueuedJob) {
                 message: format!("job panicked: {message}"),
             });
         }
-        Ok(Err(interrupted)) => {
+        Ok(Err(EngineError::Soundness(message))) => {
+            // The independent checker refused the certificate backing a
+            // positive verdict.  This is evidence of a soundness bug in the
+            // optimized engine: never serve (or cache) the verdict.
+            shared.certificates_rejected.fetch_add(1, Ordering::Relaxed);
+            eprintln!("autoq-daemon: certificate rejected by checker: {message}");
+            finish(&Response::JobError {
+                client_job,
+                message: format!("soundness violation: {message}"),
+            });
+        }
+        Ok(Err(EngineError::Interrupted(interrupted))) => {
             // A watchdog hard-cancel surfaces as `Cancelled` even though
             // the real cause was the deadline; attribute it correctly.
             let reason = match (interrupted.reason, deadline) {
@@ -902,10 +949,15 @@ fn run_job(shared: &Shared, job: QueuedJob) {
                 Some(tree) if inputs.want_witness => Some(tree_to_binary(tree)),
                 _ => None,
             };
+            let certificate = verdict.certificate;
+            if verdict.holds && certificate.is_some() {
+                shared.verdicts_certified.fetch_add(1, Ordering::Relaxed);
+            }
             let cached = CachedVerdict {
                 holds: verdict.holds,
                 reachable_but_forbidden: verdict.reachable_but_forbidden,
                 witness: witness.clone(),
+                certificate: certificate.clone(),
             };
             shared.record_verdict(key, cached);
             shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
@@ -916,6 +968,7 @@ fn run_job(shared: &Shared, job: QueuedJob) {
                     holds: verdict.holds,
                     reachable_but_forbidden: verdict.reachable_but_forbidden,
                     witness,
+                    certificate,
                 },
             });
         }

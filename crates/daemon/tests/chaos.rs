@@ -14,7 +14,9 @@ use std::time::{Duration, Instant};
 
 use autoq_core::{Interrupt, Interrupted, Resource, StopReason};
 use autoq_daemon::client::{Client, JobOutcome, RetryPolicy};
-use autoq_daemon::engine::{EngineVerdict, JobInputs, MockBehavior, MockEngine, VerifyEngine};
+use autoq_daemon::engine::{
+    EngineError, EngineVerdict, JobInputs, MockBehavior, MockEngine, VerifyEngine,
+};
 use autoq_daemon::proto::{JobLimits, JobRequest, Spec, SpecMode};
 use autoq_daemon::server::{serve, DaemonConfig};
 use autoq_daemon::store::{MemStore, VerdictStore};
@@ -31,6 +33,7 @@ fn job(num_qubits: u32, body: &str) -> JobRequest {
         mode: SpecMode::Inclusion,
         want_witness: false,
         limits: JobLimits::default(),
+        want_certificate: false,
     }
 }
 
@@ -59,7 +62,7 @@ impl VerifyEngine for PanicOnSevenQubits {
         inputs: &JobInputs,
         interrupt: &Interrupt,
         progress: &mut dyn FnMut(u32, u32),
-    ) -> Result<EngineVerdict, Interrupted> {
+    ) -> Result<EngineVerdict, EngineError> {
         if inputs.circuit.num_qubits() == 7 {
             panic!("chaos: scripted engine panic");
         }
@@ -79,15 +82,15 @@ impl VerifyEngine for DeadlineIgnorer {
         _inputs: &JobInputs,
         interrupt: &Interrupt,
         _progress: &mut dyn FnMut(u32, u32),
-    ) -> Result<EngineVerdict, Interrupted> {
+    ) -> Result<EngineVerdict, EngineError> {
         self.calls.fetch_add(1, Ordering::SeqCst);
         while !interrupt.is_cancelled() {
             std::thread::sleep(Duration::from_millis(1));
         }
-        Err(Interrupted {
+        Err(EngineError::Interrupted(Interrupted {
             reason: StopReason::Cancelled,
             partial_stats: Default::default(),
-        })
+        }))
     }
 }
 

@@ -61,6 +61,7 @@ fn check_against_direct(
             mode,
             want_witness: true,
             limits: Default::default(),
+            want_certificate: false,
         })
         .unwrap();
     let JobOutcome::Verdict { verdict, cached } = outcome else {
@@ -255,6 +256,7 @@ fn second_submission_hits_the_cache_with_the_same_verdict() {
         mode: SpecMode::Equality,
         want_witness: true,
         limits: Default::default(),
+        want_certificate: false,
     };
     let JobOutcome::Verdict {
         verdict: cold,
@@ -293,6 +295,7 @@ fn restart_re_serves_persisted_verdicts_without_the_engine() {
         mode: SpecMode::Inclusion,
         want_witness: true,
         limits: Default::default(),
+        want_certificate: false,
     };
 
     // First life: a violating mock engine computes one verdict, which the
@@ -371,6 +374,7 @@ fn job_errors_are_scoped_and_descriptive() {
         mode: SpecMode::Equality,
         want_witness: false,
         limits: Default::default(),
+        want_certificate: false,
     };
     let JobOutcome::Failed { message } = client.verify(job.clone()).unwrap() else {
         panic!("expected a job error");
@@ -396,6 +400,146 @@ fn job_errors_are_scoped_and_descriptive() {
 
     // The connection survived all three failures.
     client.ping().unwrap();
+    daemon.shutdown();
+    daemon.join();
+}
+
+#[test]
+fn certificate_requests_ship_checker_verified_bundles() {
+    let daemon = real_daemon();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+
+    // EPR preparation: {|00>} epr {(|00> + |11>)/sqrt(2)} holds.
+    let epr = "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0], q[1];\n";
+    let post_set = StateSet::from_state_fn(2, |basis| match basis {
+        0b00 | 0b11 => autoq_amplitude::Algebraic::one_over_sqrt2(),
+        _ => autoq_amplitude::Algebraic::zero(),
+    });
+    let job = JobRequest {
+        qasm: epr.into(),
+        pre: Spec::Basis {
+            num_qubits: 2,
+            basis: 0,
+        },
+        post: automaton_spec(&post_set),
+        mode: SpecMode::Equality,
+        want_witness: false,
+        limits: Default::default(),
+        want_certificate: true,
+    };
+
+    // A plain submission first, so the cache holds a certificate-free
+    // entry when the certificate request arrives.
+    let mut plain = job.clone();
+    plain.want_certificate = false;
+    let JobOutcome::Verdict {
+        verdict: bare,
+        cached: false,
+    } = client.verify(plain.clone()).unwrap()
+    else {
+        panic!("expected a cold verdict");
+    };
+    assert!(bare.holds);
+    assert!(bare.certificate.is_none());
+
+    // The certificate request must NOT be served from the plain entry: it
+    // recomputes and ships a bundle that the independent checker accepts.
+    let JobOutcome::Verdict {
+        verdict: certified,
+        cached: false,
+    } = client.verify(job.clone()).unwrap()
+    else {
+        panic!("certificate request must miss the plain cache entry");
+    };
+    assert!(certified.holds);
+    let bundle = certified
+        .certificate
+        .as_ref()
+        .expect("certificate requested");
+    let certs = autoq_treeaut::format::certificates_from_binary(bundle).unwrap();
+    assert_eq!(certs.len(), 2, "equality verdicts carry both directions");
+    // Re-run the circuit application locally to reconstruct the output
+    // automaton the daemon certified against (the hybrid engine is
+    // deterministic), then re-check both directions with the independent
+    // checker — the client-side half of the certification pipeline.
+    let circuit = autoq_circuit::qasm::parse_qasm(epr).unwrap();
+    let output = Engine::hybrid().apply_circuit(&StateSet::basis_state(2, 0), &circuit);
+    autoq_certify::check_inclusion(output.automaton(), post_set.automaton(), &certs[0]).unwrap();
+    autoq_certify::check_inclusion(post_set.automaton(), output.automaton(), &certs[1]).unwrap();
+
+    // Third submission: the enriched entry now answers from the cache,
+    // bundle included.
+    let JobOutcome::Verdict {
+        verdict: warm,
+        cached: true,
+    } = client.verify(job).unwrap()
+    else {
+        panic!("expected a cached certified verdict");
+    };
+    assert_eq!(warm.certificate.as_deref(), Some(bundle.as_slice()));
+
+    // And a plain job hits the same entry but gets no bundle framed.
+    let JobOutcome::Verdict {
+        verdict: stripped,
+        cached: true,
+    } = client.verify(plain).unwrap()
+    else {
+        panic!("expected a cached verdict");
+    };
+    assert!(stripped.certificate.is_none());
+
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.verdicts_certified, 2,
+        "fresh + cached certified serves"
+    );
+    assert_eq!(stats.certificates_rejected, 0);
+
+    daemon.shutdown();
+    daemon.join();
+}
+
+#[test]
+fn checker_rejection_is_a_hard_error_and_counted() {
+    let engine = Arc::new(
+        MockEngine::holding().with_soundness_failure("leaf transition 0 of A has no justified set"),
+    );
+    let daemon = serve("127.0.0.1:0", DaemonConfig::default(), engine, None).unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    let job = JobRequest {
+        qasm: "OPENQASM 2.0;\nqreg q[1];\nx q[0];\n".into(),
+        pre: Spec::Basis {
+            num_qubits: 1,
+            basis: 0,
+        },
+        post: Spec::Basis {
+            num_qubits: 1,
+            basis: 1,
+        },
+        mode: SpecMode::Equality,
+        want_witness: false,
+        limits: Default::default(),
+        want_certificate: true,
+    };
+
+    let JobOutcome::Failed { message } = client.verify(job.clone()).unwrap() else {
+        panic!("a rejected certificate must fail the job");
+    };
+    assert!(message.contains("soundness violation"), "{message}");
+
+    // The unsound verdict must not have been cached: resubmitting without
+    // a certificate runs the engine again and succeeds.
+    let mut plain = job;
+    plain.want_certificate = false;
+    let JobOutcome::Verdict { cached, .. } = client.verify(plain).unwrap() else {
+        panic!("expected a verdict");
+    };
+    assert!(!cached, "rejected runs must not populate the cache");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.certificates_rejected, 1);
+    assert_eq!(stats.verdicts_certified, 0);
+
     daemon.shutdown();
     daemon.join();
 }

@@ -34,6 +34,7 @@ fn tiny_job() -> JobRequest {
         mode: SpecMode::Equality,
         want_witness: false,
         limits: Default::default(),
+        want_certificate: false,
     }
 }
 

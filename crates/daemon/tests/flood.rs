@@ -9,9 +9,11 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use autoq_core::{Interrupt, Interrupted};
+use autoq_core::Interrupt;
 use autoq_daemon::client::{Client, JobOutcome};
-use autoq_daemon::engine::{EngineVerdict, JobInputs, MockBehavior, MockEngine, VerifyEngine};
+use autoq_daemon::engine::{
+    EngineError, EngineVerdict, JobInputs, MockBehavior, MockEngine, VerifyEngine,
+};
 use autoq_daemon::proto::{JobRequest, Request, Response, Spec, SpecMode};
 use autoq_daemon::server::{serve, DaemonConfig};
 
@@ -27,7 +29,7 @@ impl VerifyEngine for PanicOnFiveQubits {
         inputs: &JobInputs,
         interrupt: &Interrupt,
         progress: &mut dyn FnMut(u32, u32),
-    ) -> Result<EngineVerdict, Interrupted> {
+    ) -> Result<EngineVerdict, EngineError> {
         if inputs.circuit.num_qubits() == 5 {
             panic!("scripted panic (flood)");
         }
@@ -46,6 +48,7 @@ fn flood_job() -> JobRequest {
         mode: SpecMode::Inclusion,
         want_witness: false,
         limits: Default::default(),
+        want_certificate: false,
     }
 }
 

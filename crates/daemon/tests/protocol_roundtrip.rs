@@ -31,6 +31,7 @@ fn sample_job() -> JobRequest {
         mode: SpecMode::Inclusion,
         want_witness: true,
         limits: Default::default(),
+        want_certificate: false,
     }
 }
 
@@ -57,6 +58,7 @@ fn every_request_variant_round_trips() {
                 mode: SpecMode::Equality,
                 want_witness: false,
                 limits: Default::default(),
+                want_certificate: false,
             },
         },
         Request::Submit {
@@ -123,6 +125,7 @@ fn every_response_variant_round_trips() {
                 holds: true,
                 reachable_but_forbidden: false,
                 witness: None,
+                certificate: None,
             },
         },
         Response::Verdict {
@@ -132,6 +135,17 @@ fn every_response_variant_round_trips() {
                 holds: false,
                 reachable_but_forbidden: true,
                 witness: Some(vec![1, 2, 3, 4]),
+                certificate: None,
+            },
+        },
+        Response::Verdict {
+            client_job: 9,
+            cached: false,
+            verdict: Verdict {
+                holds: true,
+                reachable_but_forbidden: false,
+                witness: None,
+                certificate: Some(vec![0x41, 0x51, 0x49, 0x43]),
             },
         },
         Response::JobError {
@@ -166,6 +180,8 @@ fn every_response_variant_round_trips() {
             cache_entries: 9,
             jobs_exhausted: 5,
             jobs_panicked: 2,
+            verdicts_certified: 7,
+            certificates_rejected: 1,
         }),
         Response::Pong,
         Response::ShuttingDown,
@@ -183,8 +199,9 @@ fn every_response_variant_round_trips() {
 #[test]
 fn stats_report_from_an_older_daemon_decodes_with_zero_degradation_counters() {
     // A v1-era StatsReport ends after cache_entries; the degradation
-    // counters were appended later.  Encoding zeros appends exactly two
-    // zero varint bytes, so stripping them reconstructs the old frame.
+    // counters were appended later, and the certification counters later
+    // still.  Encoding zeros appends exactly four zero varint bytes, so
+    // stripping reconstructs each generation of the frame.
     let stats = DaemonStats {
         jobs_completed: 4,
         cache_hits: 3,
@@ -195,12 +212,19 @@ fn stats_report_from_an_older_daemon_decodes_with_zero_degradation_counters() {
         cache_entries: 6,
         jobs_exhausted: 0,
         jobs_panicked: 0,
+        verdicts_certified: 0,
+        certificates_rejected: 0,
     };
     let full = Response::StatsReport(stats.clone()).encode();
-    let old = &full[..full.len() - 2];
-    match Response::decode(old).unwrap() {
-        Response::StatsReport(decoded) => assert_eq!(decoded, stats),
-        other => panic!("unexpected response {other:?}"),
+    // Mid-era frame: degradation counters present, certification absent.
+    let mid = &full[..full.len() - 2];
+    // V1-era frame: neither pair present.
+    let old = &full[..full.len() - 4];
+    for frame in [mid, old] {
+        match Response::decode(frame).unwrap() {
+            Response::StatsReport(decoded) => assert_eq!(decoded, stats),
+            other => panic!("unexpected response {other:?}"),
+        }
     }
 }
 
@@ -230,6 +254,47 @@ fn unlimited_jobs_encode_as_v1_submit_frames() {
 }
 
 #[test]
+fn certificate_requests_ride_the_v2_submit_frame() {
+    // An unlimited job that wants a certificate cannot use the v1 opcode
+    // (there is nowhere to put the flag), and it round-trips.
+    let submit = Request::Submit {
+        client_job: 5,
+        job: JobRequest {
+            want_certificate: true,
+            ..sample_job()
+        },
+    };
+    let frame = submit.encode();
+    assert_eq!(frame[0], 0x07, "certificate requests ride the v2 opcode");
+    assert_eq!(Request::decode(&frame).unwrap(), submit);
+
+    // The certificate-flags byte trails the limits block; a v2 frame from
+    // an older peer simply ends after the limits, which decodes as "no
+    // certificate".  Our encoder always writes the byte, so stripping the
+    // trailing zero from a no-certificate v2 frame reconstructs the old
+    // encoding.
+    let old_style = Request::Submit {
+        client_job: 5,
+        job: JobRequest {
+            limits: JobLimits {
+                deadline_ms: Some(10),
+                max_states: None,
+            },
+            ..sample_job()
+        },
+    };
+    let full = old_style.encode();
+    assert_eq!(*full.last().unwrap(), 0, "trailing byte is the cert flag");
+    let stripped = &full[..full.len() - 1];
+    assert_eq!(Request::decode(stripped).unwrap(), old_style);
+
+    // Unknown bits in the certificate-flags byte are rejected.
+    let mut bad = full;
+    *bad.last_mut().unwrap() = 2;
+    assert!(Request::decode(&bad).is_err());
+}
+
+#[test]
 fn truncated_payloads_error_at_every_cut() {
     let payloads = [
         Request::Submit {
@@ -244,6 +309,7 @@ fn truncated_payloads_error_at_every_cut() {
                 holds: false,
                 reachable_but_forbidden: true,
                 witness: Some(vec![9; 17]),
+                certificate: Some(vec![7; 9]),
             },
         }
         .encode(),
@@ -412,6 +478,7 @@ proptest! {
         basis_seed in any::<u64>(),
         mode in 0u8..2,
         want_witness in 0u8..2,
+        want_certificate in 0u8..2,
     ) {
         let basis = (basis_seed as u128).wrapping_mul(0x1234_5678_9abc_def1)
             & ((1u128 << num_qubits.min(127)) - 1);
@@ -428,6 +495,7 @@ proptest! {
                 mode: if mode == 0 { SpecMode::Equality } else { SpecMode::Inclusion },
                 want_witness: want_witness == 1,
                 limits: Default::default(),
+                want_certificate: want_certificate == 1,
             },
         };
         let decoded = Request::decode(&request.encode()).unwrap();

@@ -52,6 +52,7 @@ fn bv_job(limits: JobLimits) -> JobRequest {
         mode: SpecMode::Equality,
         want_witness: false,
         limits,
+        want_certificate: false,
     }
 }
 
@@ -94,6 +95,7 @@ fn real_binary_survives_kill_dash_nine() {
                 deadline_ms: Some(1),
                 max_states: None,
             },
+            want_certificate: false,
         })
         .unwrap();
     assert!(

@@ -1,0 +1,257 @@
+//! Proof certificates for positive inclusion verdicts.
+//!
+//! The antichain search in [`crate::inclusion`] is fast but intricate: CSR
+//! adjacency, subsumption-based eviction, worklist saturation.  A soundness
+//! bug there would silently certify buggy circuits.  Following the
+//! certifying-algorithms discipline, a successful inclusion run can emit the
+//! relation it discovered as an [`InclusionCertificate`]: for every state
+//! `q` of `A` the final antichain of `B`-state sets, plus a transition-level
+//! justification for every `A`-transition.  The independent `autoq-certify`
+//! crate re-validates the certificate against the two automata in one naive
+//! linear pass, sharing no code with the optimized search.
+//!
+//! # What a certificate claims
+//!
+//! Write `R(q)` for the sets recorded for `A`-state `q`.  The certificate is
+//! *locally sound* when:
+//!
+//! 1. **Leaf condition** — for every leaf transition `(q, amp)` of `A` there
+//!    is a justified `S ∈ R(q)` such that every `p ∈ S` has a `B`-leaf whose
+//!    amplitude equals `amp` *by value* (not by interned id).
+//! 2. **Step condition** — for every internal transition `t = (q, xᵢ, l, r)`
+//!    of `A` and **every** pair `(Sl ∈ R(l), Sr ∈ R(r))` there is a
+//!    justified `S ∈ R(q)` where each `p ∈ S` carries a witness `B`-transition
+//!    `(p, xᵢ, pl, pr)` with `pl ∈ Sl`, `pr ∈ Sr` (tags ignored).
+//! 3. **Root condition** — every `S ∈ R(q)` of every root `q` of `A`
+//!    intersects the roots of `B`.
+//!
+//! Local soundness implies `L(A) ⊆ L(B)`: by induction on trees, every tree
+//! reaching `q` in `A` reaches, in `B`, a superset of some `S ∈ R(q)`; at a
+//! root of `A` condition 3 then forces acceptance by `B`.  The checker never
+//! has to trust the search — only these three first-order conditions.
+//!
+//! The certificate serializes through the `AQIC` codec in [`crate::format`].
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::{StateId, TreeAutomaton};
+
+/// One antichain element: a set of `B`-states associated with an `A`-state.
+///
+/// `b_states` is strictly sorted; the codec and the checker both reject
+/// unsorted or duplicated entries so a certificate has a single canonical
+/// byte representation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CertSet {
+    /// The `A`-state this set belongs to.
+    pub a_state: StateId,
+    /// Strictly increasing `B`-state ids.
+    pub b_states: Vec<StateId>,
+}
+
+/// Justification of one `A`-leaf transition (condition 1).
+///
+/// `leaf` indexes `a.leaves` and must equal the justification's own position
+/// in the certificate's `leaf_just` vector — one justification per `A`-leaf
+/// transition, in transition order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeafJustification {
+    /// Index into `a.leaves`.
+    pub leaf: u32,
+    /// Index into [`InclusionCertificate::sets`]; the set whose every state
+    /// has a `B`-leaf of the same amplitude value.
+    pub set: u32,
+}
+
+/// Justification of one `(A`-transition, left set, right set`)` combination
+/// (condition 2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepJustification {
+    /// Index into `a.internal`.
+    pub transition: u32,
+    /// Index into `sets`; must belong to the transition's left child state.
+    pub left_set: u32,
+    /// Index into `sets`; must belong to the transition's right child state.
+    pub right_set: u32,
+    /// Index into `sets`; must belong to the transition's parent state.
+    pub result_set: u32,
+    /// One `(left, right)` witness per state of the result set, in the
+    /// result set's (sorted) order: the `k`-th result state `p` must have a
+    /// `B`-transition `(p, var, witnesses[k].0, witnesses[k].1)`.
+    pub witnesses: Vec<(StateId, StateId)>,
+}
+
+/// A checkable witness for a positive verdict of `L(A) ⊆ L(B)`.
+///
+/// Produced by [`crate::inclusion_with_certificate`], serialized by
+/// [`crate::format::certificates_to_binary`] (`AQIC`), validated by the
+/// independent `autoq-certify` crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InclusionCertificate {
+    /// Number of states of `A` the certificate was built against; checked
+    /// against the actual automaton so a certificate cannot be replayed
+    /// against a different pair.
+    pub num_a_states: u32,
+    /// The recorded relation: antichain sets grouped by ascending `A`-state.
+    pub sets: Vec<CertSet>,
+    /// One entry per `A`-leaf transition, in `a.leaves` order.
+    pub leaf_just: Vec<LeafJustification>,
+    /// One entry per (internal transition, left set, right set) combination.
+    pub step_just: Vec<StepJustification>,
+}
+
+/// Error raised when the post-pass certificate builder cannot justify the
+/// relation discovered by the antichain search.
+///
+/// On a correct search this is unreachable (the final antichains always
+/// satisfy the three conditions), so any occurrence is itself evidence of a
+/// soundness bug in the optimized inclusion — callers must treat it as a
+/// hard error, never as "certificate unavailable".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CertificateBuildError {
+    /// Human-readable description of the unjustifiable fact.
+    pub message: String,
+}
+
+impl std::fmt::Display for CertificateBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "certificate build failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for CertificateBuildError {}
+
+/// Builds a certificate from the final antichains of a successful search.
+///
+/// This is a deterministic post-pass: it re-derives every justification from
+/// the recorded sets and the raw transition vectors of `a` and `b` (the
+/// in-loop pairs may have been evicted mid-search, so recording during the
+/// search would be unsound).  The pass mirrors the checker's three
+/// conditions; see the module docs for why it always succeeds on a correct
+/// run.
+pub(crate) fn build_certificate(
+    a: &TreeAutomaton,
+    b: &TreeAutomaton,
+    antichains: &[Vec<BTreeSet<StateId>>],
+) -> Result<InclusionCertificate, CertificateBuildError> {
+    debug_assert_eq!(antichains.len(), a.num_states as usize);
+
+    // Flatten the antichains into the canonical `sets` vector (grouped by
+    // ascending A-state) and remember, per A-state, the (global index, set)
+    // pairs for the covering-set searches below.
+    let mut sets: Vec<CertSet> = Vec::new();
+    let mut by_state: Vec<Vec<(u32, &BTreeSet<StateId>)>> = vec![Vec::new(); antichains.len()];
+    for (q, chain) in antichains.iter().enumerate() {
+        for set in chain {
+            let index = sets.len() as u32;
+            sets.push(CertSet {
+                a_state: StateId::new(q as u32),
+                b_states: set.iter().copied().collect(),
+            });
+            by_state[q].push((index, set));
+        }
+    }
+
+    // Group B's transitions exactly as the search does (by amplitude id for
+    // leaves, by var for internal transitions, tags ignored).
+    let mut b_leaves: HashMap<autoq_amplitude::AmpId, BTreeSet<StateId>> = HashMap::new();
+    for t in &b.leaves {
+        b_leaves.entry(t.amp).or_default().insert(t.parent);
+    }
+    let mut b_internal_by_var: HashMap<u32, Vec<(StateId, StateId, StateId)>> = HashMap::new();
+    for t in &b.internal {
+        b_internal_by_var
+            .entry(t.symbol.var)
+            .or_default()
+            .push((t.parent, t.left, t.right));
+    }
+
+    // Condition 1: each A-leaf is justified by a recorded subset of the
+    // B-states carrying the same amplitude.
+    let mut leaf_just = Vec::with_capacity(a.leaves.len());
+    let empty = BTreeSet::new();
+    for (i, t) in a.leaves.iter().enumerate() {
+        let reachable = b_leaves.get(&t.amp).unwrap_or(&empty);
+        let covering = by_state[t.parent.index()]
+            .iter()
+            .find(|(_, set)| set.is_subset(reachable));
+        let Some(&(set, _)) = covering else {
+            return Err(CertificateBuildError {
+                message: format!(
+                    "A-leaf {i} (state {}) has no recorded set within its reachable B-states",
+                    t.parent.index()
+                ),
+            });
+        };
+        leaf_just.push(LeafJustification {
+            leaf: i as u32,
+            set,
+        });
+    }
+
+    // Condition 2: every (transition, Sl, Sr) combination.  Recompute the
+    // post-image with a per-parent witness transition, then find a recorded
+    // subset of it for the parent state.
+    let mut step_just = Vec::new();
+    for (ti, t) in a.internal.iter().enumerate() {
+        let candidates = b_internal_by_var
+            .get(&t.symbol.var)
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        for &(left_set, sl) in &by_state[t.left.index()] {
+            for &(right_set, sr) in &by_state[t.right.index()] {
+                let mut post: HashMap<StateId, (StateId, StateId)> = HashMap::new();
+                for &(parent, left, right) in candidates {
+                    if sl.contains(&left) && sr.contains(&right) {
+                        post.entry(parent).or_insert((left, right));
+                    }
+                }
+                let covering = by_state[t.parent.index()]
+                    .iter()
+                    .find(|(_, set)| set.iter().all(|p| post.contains_key(p)));
+                let Some(&(result_set, result)) = covering else {
+                    return Err(CertificateBuildError {
+                        message: format!(
+                            "A-transition {ti} with sets ({left_set}, {right_set}) has no \
+                             recorded set within its post-image"
+                        ),
+                    });
+                };
+                let witnesses = result
+                    .iter()
+                    .map(|p| post[p])
+                    .collect::<Vec<(StateId, StateId)>>();
+                step_just.push(StepJustification {
+                    transition: ti as u32,
+                    left_set,
+                    right_set,
+                    result_set,
+                    witnesses,
+                });
+            }
+        }
+    }
+
+    // Condition 3 is a pure cross-check: the search only ever inserts pairs
+    // at root states after the failure test, so every recorded root set must
+    // intersect B's roots.
+    for q in &a.roots {
+        for &(index, set) in &by_state[q.index()] {
+            if set.is_disjoint(&b.roots) {
+                return Err(CertificateBuildError {
+                    message: format!(
+                        "recorded set {index} at root state {} misses every B-root",
+                        q.index()
+                    ),
+                });
+            }
+        }
+    }
+
+    Ok(InclusionCertificate {
+        num_a_states: a.num_states,
+        sets,
+        leaf_just,
+        step_just,
+    })
+}

@@ -42,6 +42,7 @@ use std::str::FromStr;
 use autoq_amplitude::{intern, resolve, Algebraic, AmpId};
 use autoq_bigint::{BigInt, Sign};
 
+use crate::certificate::{CertSet, InclusionCertificate, LeafJustification, StepJustification};
 use crate::{InternalSymbol, StateId, Tag, Tree, TreeAutomaton};
 
 /// Error produced when parsing the textual automaton format.
@@ -321,6 +322,7 @@ impl std::error::Error for BinaryFormatError {}
 
 const AUTOMATON_MAGIC: [u8; 4] = *b"AQBA";
 const TREE_MAGIC: [u8; 4] = *b"AQTD";
+const CERTIFICATE_MAGIC: [u8; 4] = *b"AQIC";
 // Version 2: leaf amplitudes moved out of the transition/node streams into
 // a per-message deduplicated table (first-use order), referenced by dense
 // varint index.  Process-local `AmpId`s are never written to the wire — the
@@ -816,6 +818,170 @@ pub fn tree_from_binary(bytes: &[u8]) -> Result<Tree, BinaryFormatError> {
         });
     }
     Ok(root)
+}
+
+/// Serialises a bundle of inclusion certificates to the `AQIC` binary
+/// format.
+///
+/// A bundle holds the certificates backing one verdict: one certificate for
+/// an inclusion spec, two (in the order `[out ⊆ post, post ⊆ out]`) for an
+/// equality spec.  Certificates reference automaton states and transition
+/// indices only — no amplitude table is needed, since leaf justifications
+/// point at `A`-leaf positions and the checker resolves values itself.
+///
+/// Layout after the 5-byte header (`"AQIC"` + version): a certificate count
+/// varint, then per certificate the `A`-state count, the sets (state, size,
+/// strictly increasing state ids), the leaf justifications (leaf index, set
+/// index) and the step justifications (transition, left/right/result set
+/// indices, then exactly one `(left, right)` witness pair per state of the
+/// result set — the length is derived, never stored).
+///
+/// ```
+/// use autoq_treeaut::format::{certificates_from_binary, certificates_to_binary};
+/// use autoq_treeaut::{inclusion_with_certificate, CertifiedInclusionResult, Tree, TreeAutomaton};
+///
+/// let a = TreeAutomaton::from_tree(&Tree::basis_state(2, 1));
+/// let b = TreeAutomaton::from_trees(2, &[Tree::basis_state(2, 0), Tree::basis_state(2, 1)]);
+/// let CertifiedInclusionResult::Included(cert) = inclusion_with_certificate(&a, &b).unwrap()
+/// else {
+///     unreachable!()
+/// };
+/// let bytes = certificates_to_binary(std::slice::from_ref(&cert));
+/// assert_eq!(certificates_from_binary(&bytes).unwrap(), vec![cert]);
+/// ```
+pub fn certificates_to_binary(certs: &[InclusionCertificate]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&CERTIFICATE_MAGIC);
+    buf.push(BINARY_VERSION);
+    put_varint(&mut buf, certs.len() as u64);
+    for cert in certs {
+        put_varint(&mut buf, u64::from(cert.num_a_states));
+        put_varint(&mut buf, cert.sets.len() as u64);
+        for set in &cert.sets {
+            put_varint(&mut buf, u64::from(set.a_state.raw()));
+            put_varint(&mut buf, set.b_states.len() as u64);
+            for state in &set.b_states {
+                put_varint(&mut buf, u64::from(state.raw()));
+            }
+        }
+        put_varint(&mut buf, cert.leaf_just.len() as u64);
+        for just in &cert.leaf_just {
+            put_varint(&mut buf, u64::from(just.leaf));
+            put_varint(&mut buf, u64::from(just.set));
+        }
+        put_varint(&mut buf, cert.step_just.len() as u64);
+        for just in &cert.step_just {
+            put_varint(&mut buf, u64::from(just.transition));
+            put_varint(&mut buf, u64::from(just.left_set));
+            put_varint(&mut buf, u64::from(just.right_set));
+            put_varint(&mut buf, u64::from(just.result_set));
+            for (left, right) in &just.witnesses {
+                put_varint(&mut buf, u64::from(left.raw()));
+                put_varint(&mut buf, u64::from(right.raw()));
+            }
+        }
+    }
+    buf
+}
+
+/// Decodes an `AQIC` certificate bundle.
+///
+/// Only *self*-consistency is validated here (set indices in range, set
+/// states within `num_a_states`, `b_states` strictly increasing, witness
+/// counts matching their result sets, no trailing bytes); the semantic
+/// conditions against a concrete automaton pair are the `autoq-certify`
+/// checker's job.  Inputs are untrusted: malformed bytes produce a
+/// [`BinaryFormatError`], never a panic.
+pub fn certificates_from_binary(
+    bytes: &[u8],
+) -> Result<Vec<InclusionCertificate>, BinaryFormatError> {
+    let mut cursor = Cursor::new(bytes);
+    cursor.expect_magic(&CERTIFICATE_MAGIC, "certificate bundle")?;
+    let cert_count = cursor.get_count(3)?;
+    let mut certs = Vec::with_capacity(cert_count);
+    for _ in 0..cert_count {
+        let num_a_states = u32::try_from(cursor.get_varint()?)
+            .map_err(|_| cursor.error("num_a_states exceeds u32"))?;
+        let get_u32 = |cursor: &mut Cursor<'_>, what: &str| -> Result<u32, BinaryFormatError> {
+            u32::try_from(cursor.get_varint()?)
+                .map_err(|_| cursor.error(format!("{what} exceeds u32")))
+        };
+        let set_count = cursor.get_count(2)?;
+        let mut sets = Vec::with_capacity(set_count);
+        for _ in 0..set_count {
+            let a_state = get_u32(&mut cursor, "set state")?;
+            if a_state >= num_a_states {
+                return Err(cursor.error(format!(
+                    "set state {a_state} out of range (< {num_a_states})"
+                )));
+            }
+            let state_count = cursor.get_count(1)?;
+            let mut b_states: Vec<StateId> = Vec::with_capacity(state_count);
+            for _ in 0..state_count {
+                let state = StateId::new(get_u32(&mut cursor, "set member")?);
+                if b_states.last().is_some_and(|last| *last >= state) {
+                    return Err(cursor.error("set members must be strictly increasing"));
+                }
+                b_states.push(state);
+            }
+            sets.push(CertSet {
+                a_state: StateId::new(a_state),
+                b_states,
+            });
+        }
+        let check_set_index =
+            |cursor: &Cursor<'_>, index: u32, what: &str| -> Result<(), BinaryFormatError> {
+                if index as usize >= set_count {
+                    return Err(
+                        cursor.error(format!("{what} {index} out of range (< {set_count} sets)"))
+                    );
+                }
+                Ok(())
+            };
+        let leaf_count = cursor.get_count(2)?;
+        let mut leaf_just = Vec::with_capacity(leaf_count);
+        for _ in 0..leaf_count {
+            let leaf = get_u32(&mut cursor, "leaf index")?;
+            let set = get_u32(&mut cursor, "leaf set")?;
+            check_set_index(&cursor, set, "leaf set")?;
+            leaf_just.push(LeafJustification { leaf, set });
+        }
+        let step_count = cursor.get_count(4)?;
+        let mut step_just = Vec::with_capacity(step_count);
+        for _ in 0..step_count {
+            let transition = get_u32(&mut cursor, "transition index")?;
+            let left_set = get_u32(&mut cursor, "left set")?;
+            let right_set = get_u32(&mut cursor, "right set")?;
+            let result_set = get_u32(&mut cursor, "result set")?;
+            check_set_index(&cursor, left_set, "left set")?;
+            check_set_index(&cursor, right_set, "right set")?;
+            check_set_index(&cursor, result_set, "result set")?;
+            // The witness count is derived from the result set, so a
+            // mutated count cannot desynchronise witnesses from states.
+            let witness_count = sets[result_set as usize].b_states.len();
+            let mut witnesses = Vec::with_capacity(witness_count);
+            for _ in 0..witness_count {
+                let left = StateId::new(get_u32(&mut cursor, "witness left")?);
+                let right = StateId::new(get_u32(&mut cursor, "witness right")?);
+                witnesses.push((left, right));
+            }
+            step_just.push(StepJustification {
+                transition,
+                left_set,
+                right_set,
+                result_set,
+                witnesses,
+            });
+        }
+        certs.push(InclusionCertificate {
+            num_a_states,
+            sets,
+            leaf_just,
+            step_just,
+        });
+    }
+    cursor.expect_end()?;
+    Ok(certs)
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ use std::rc::Rc;
 
 use autoq_amplitude::AmpId;
 
+use crate::certificate::{build_certificate, CertificateBuildError, InclusionCertificate};
 use crate::{StateId, Tree, TreeAutomaton};
 
 /// Result of a language inclusion test `L(A) ⊆ L(B)`.
@@ -128,6 +129,66 @@ struct SearchPair {
 /// assert!(!inclusion(&big, &small).holds());
 /// ```
 pub fn inclusion(a: &TreeAutomaton, b: &TreeAutomaton) -> InclusionResult {
+    match search(a, b) {
+        Ok(_) => InclusionResult::Included,
+        Err(counterexample) => InclusionResult::Counterexample(counterexample),
+    }
+}
+
+/// Result of a certificate-producing inclusion test `L(A) ⊆ L(B)`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CertifiedInclusionResult {
+    /// The inclusion holds; the certificate justifies it (see
+    /// [`crate::certificate`] for the conditions it encodes).
+    Included(InclusionCertificate),
+    /// A tree accepted by `A` but not by `B`.
+    Counterexample(Tree),
+}
+
+impl CertifiedInclusionResult {
+    /// Returns `true` if the inclusion holds.
+    pub fn holds(&self) -> bool {
+        matches!(self, CertifiedInclusionResult::Included(_))
+    }
+}
+
+/// Decides `L(a) ⊆ L(b)` like [`inclusion`], additionally emitting an
+/// [`InclusionCertificate`] on a positive verdict.
+///
+/// The certificate is built by a deterministic post-pass over the final
+/// antichains of the search; on a correct search the pass always succeeds,
+/// so an `Err` is itself evidence of a soundness bug in the optimized
+/// search and must be treated as a hard failure by callers.
+///
+/// ```
+/// use autoq_treeaut::{inclusion_with_certificate, CertifiedInclusionResult, Tree, TreeAutomaton};
+///
+/// let small = TreeAutomaton::from_tree(&Tree::basis_state(2, 1));
+/// let trees: Vec<Tree> = (0..4).map(|b| Tree::basis_state(2, b)).collect();
+/// let big = TreeAutomaton::from_trees(2, &trees);
+/// let result = inclusion_with_certificate(&small, &big).unwrap();
+/// assert!(matches!(result, CertifiedInclusionResult::Included(_)));
+/// ```
+pub fn inclusion_with_certificate(
+    a: &TreeAutomaton,
+    b: &TreeAutomaton,
+) -> Result<CertifiedInclusionResult, CertificateBuildError> {
+    match search(a, b) {
+        Err(counterexample) => Ok(CertifiedInclusionResult::Counterexample(counterexample)),
+        Ok(pairs) => {
+            let antichains: Vec<Vec<BTreeSet<StateId>>> = pairs
+                .iter()
+                .map(|chain| chain.iter().map(|pair| pair.b_states.clone()).collect())
+                .collect();
+            build_certificate(a, b, &antichains).map(CertifiedInclusionResult::Included)
+        }
+    }
+}
+
+/// The antichain search shared by [`inclusion`] and
+/// [`inclusion_with_certificate`]: returns the final per-state antichains on
+/// success, or a counterexample tree on failure.
+fn search(a: &TreeAutomaton, b: &TreeAutomaton) -> Result<Vec<Vec<Rc<SearchPair>>>, Tree> {
     // Group B's leaf transitions by interned amplitude id and internal
     // transitions by var.
     let mut b_leaves: HashMap<AmpId, BTreeSet<StateId>> = HashMap::new();
@@ -183,7 +244,7 @@ pub fn inclusion(a: &TreeAutomaton, b: &TreeAutomaton) -> InclusionResult {
             witness: Rc::new(Witness::Leaf(t.amp)),
         });
         if a.roots.contains(&t.parent) && failure(&pair, &b_roots) {
-            return InclusionResult::Counterexample(pair.witness.to_tree());
+            return Err(pair.witness.to_tree());
         }
         if insert_pair(&mut pairs, t.parent, &pair) {
             worklist.push((t.parent, pair));
@@ -243,7 +304,7 @@ pub fn inclusion(a: &TreeAutomaton, b: &TreeAutomaton) -> InclusionResult {
                     )),
                 });
                 if a.roots.contains(&t.parent) && failure(&new_pair, &b_roots) {
-                    return InclusionResult::Counterexample(new_pair.witness.to_tree());
+                    return Err(new_pair.witness.to_tree());
                 }
                 if insert_pair(&mut pairs, t.parent, &new_pair) {
                     worklist.push((t.parent, new_pair));
@@ -251,7 +312,7 @@ pub fn inclusion(a: &TreeAutomaton, b: &TreeAutomaton) -> InclusionResult {
             }
         }
     }
-    InclusionResult::Included
+    Ok(pairs)
 }
 
 /// Decides `L(a) = L(b)`, producing a witness tree on failure.
@@ -393,6 +454,32 @@ mod tests {
                 set_a.iter().all(|t| set_b.contains(t)) && set_b.iter().all(|t| set_a.contains(t));
             assert_eq!(equivalence(&a, &b).holds(), expected);
             assert_eq!(naive_equivalence(&a, &b, 64), expected);
+        }
+    }
+
+    #[test]
+    fn certified_inclusion_agrees_with_plain_inclusion() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..=3u32);
+            let universe = crate::basis::basis_count(n);
+            let pick = |rng: &mut rand::rngs::StdRng| -> Vec<Tree> {
+                (0..universe)
+                    .filter(|_| rng.gen_bool(0.5))
+                    .map(|b| Tree::basis_state(n, b))
+                    .collect()
+            };
+            let a = TreeAutomaton::from_trees(n, &pick(&mut rng));
+            let b = TreeAutomaton::from_trees(n, &pick(&mut rng));
+            let plain = inclusion(&a, &b).holds();
+            let certified = inclusion_with_certificate(&a, &b).expect("post-pass must succeed");
+            assert_eq!(certified.holds(), plain);
+            if let CertifiedInclusionResult::Included(cert) = &certified {
+                let bytes = crate::format::certificates_to_binary(std::slice::from_ref(cert));
+                let decoded = crate::format::certificates_from_binary(&bytes).unwrap();
+                assert_eq!(decoded, vec![cert.clone()]);
+            }
         }
     }
 

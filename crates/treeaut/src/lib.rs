@@ -49,6 +49,7 @@
 pub mod arena;
 mod automaton;
 pub mod basis;
+pub mod certificate;
 pub mod format;
 mod inclusion;
 mod index;
@@ -59,8 +60,12 @@ mod tree;
 
 pub use automaton::{InternalTransition, LeafTransition, TreeAutomaton};
 pub use basis::BasisIndex;
+pub use certificate::{
+    CertSet, CertificateBuildError, InclusionCertificate, LeafJustification, StepJustification,
+};
 pub use inclusion::{
-    equivalence, inclusion, naive_equivalence, EquivalenceResult, InclusionResult,
+    equivalence, inclusion, inclusion_with_certificate, naive_equivalence,
+    CertifiedInclusionResult, EquivalenceResult, InclusionResult,
 };
 pub use index::TransitionIndex;
 pub use state::StateId;
